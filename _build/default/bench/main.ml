@@ -1,0 +1,502 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§VII).  Subcommands:
+
+     table2    False positives over time        (paper Table II)
+     table3    Main results: CVE detection matrix, FPR, coverage (Table III)
+     fig3      Normalized storage throughput    (paper Figure 3)
+     fig4      Normalized storage latency       (paper Figure 4)
+     fig5      PCNet bandwidth and ping latency (paper Figure 5)
+     ablation  Design-choice ablations (DESIGN.md §5)
+     micro     Bechamel micro-benchmarks, one per table/figure
+     all       Everything above (default)
+
+   Flags: --quick (shorter soaks), --seed N. *)
+
+module Table = Sedspec_util.Table
+
+let quick = ref false
+let seed = ref 42L
+
+let strategies =
+  [
+    Sedspec.Checker.Parameter_check;
+    Sedspec.Checker.Indirect_jump_check;
+    Sedspec.Checker.Conditional_jump_check;
+  ]
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Table II: false positives over time                                  *)
+
+let soak_results = Hashtbl.create 8
+
+let soak_for (module W : Workload.Samples.DEVICE_WORKLOAD) =
+  match Hashtbl.find_opt soak_results W.device_name with
+  | Some r -> r
+  | None ->
+    let cases_per_hour = if !quick then 20 else 120 in
+    let r =
+      Metrics.Fpr.soak ~seed:!seed ~cases_per_hour
+        ~checkpoint_hours:[ 10; 20; 30 ]
+        (module W)
+    in
+    Hashtbl.add soak_results W.device_name r;
+    r
+
+let table2 () =
+  section "Table II: False Positives Over Time";
+  let rows =
+    List.map
+      (fun w ->
+        let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+        let r = soak_for (module W) in
+        let at h =
+          match
+            List.find_opt (fun (c : Metrics.Fpr.checkpoint) -> c.at_hours = h) r.checkpoints
+          with
+          | Some c -> string_of_int c.fp_cases
+          | None -> "-"
+        in
+        [ String.uppercase_ascii W.device_name; at 10; at 20; at 30 ])
+      Workload.Samples.all
+  in
+  Table.print
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "Device"; "10 hours"; "20 hours"; "30 hours" ]
+    rows;
+  Printf.printf
+    "(paper: FDC 1/2/5, USB EHCI 3/3/3, PCNet 1/5/6, SDHCI 4/7/7, SCSI 1/3/4)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table III: main results                                              *)
+
+let check_mark detected = if detected then "x" else ""
+
+let table3 () =
+  section "Table III: Main results (CVE case studies, FPR, coverage)";
+  let case_results = Metrics.Case_study.run_all () in
+  let rows =
+    List.map
+      (fun (r : Metrics.Case_study.result) ->
+        let det s =
+          match
+            List.find_opt
+              (fun (o : Metrics.Case_study.strategy_outcome) -> o.strategy = s)
+              r.per_strategy
+          with
+          | Some o -> check_mark o.detected
+          | None -> ""
+        in
+        [
+          r.attack.device;
+          r.attack.cve;
+          "v" ^ Devices.Qemu_version.to_string r.attack.qemu_version;
+          det Sedspec.Checker.Parameter_check;
+          det Sedspec.Checker.Indirect_jump_check;
+          det Sedspec.Checker.Conditional_jump_check;
+          (if Metrics.Case_study.matches_expectation r then "yes" else "NO");
+        ])
+      case_results
+  in
+  Table.print
+    ~align:[ Table.Left; Table.Left; Table.Left; Table.Center; Table.Center; Table.Center; Table.Center ]
+    ~header:
+      [ "Device"; "CVE ID"; "QEMU"; "Param"; "Indirect"; "Cond."; "=paper?" ]
+    rows;
+  Printf.printf "\nPer-device FPR and effective coverage:\n";
+  let rows =
+    List.map
+      (fun w ->
+        let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+        let soak = soak_for (module W) in
+        let cov =
+          Metrics.Coverage.measure ~seed:!seed
+            ~fuzz_cases:(if !quick then 30 else 60)
+            (module W)
+        in
+        [
+          String.uppercase_ascii W.device_name;
+          Table.fmt_pct soak.fpr;
+          Printf.sprintf "%d/%d" soak.fp_cases soak.total_cases;
+          string_of_int soak.param_check_fps;
+          Table.fmt_pct cov.effective;
+        ])
+      Workload.Samples.all
+  in
+  Table.print
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "Device"; "FPR"; "N_L/N_T"; "param FPs"; "Eff. coverage" ]
+    rows;
+  Printf.printf
+    "(paper FPR: 0.14/0.10/0.11/0.09/0.17%%; coverage: 95.9/97.3/96.2/93.5/93.8%%)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figures 3 and 4: storage throughput / latency                        *)
+
+let fmt_block b =
+  if b >= 1048576 then Printf.sprintf "%dM" (b / 1048576)
+  else if b >= 1024 then Printf.sprintf "%dK" (b / 1024)
+  else string_of_int b
+
+(* Best-of-N to suppress scheduler noise. *)
+let sweep_cached = Hashtbl.create 16
+
+let sweep device write =
+  let key = (device, write) in
+  match Hashtbl.find_opt sweep_cached key with
+  | Some pts -> pts
+  | None ->
+    let reps = if !quick then 1 else 3 in
+    let runs =
+      List.init reps (fun _ -> Metrics.Perf.storage_sweep ~device ~write ())
+    in
+    (* Combine repetitions with per-side minima: the fastest observed
+       base and protected times are the least noisy estimators. *)
+    let best =
+      List.map
+        (fun (p0 : Metrics.Perf.storage_point) ->
+          let pts =
+            List.map
+              (fun run ->
+                List.find
+                  (fun (p : Metrics.Perf.storage_point) ->
+                    p.block_bytes = p0.block_bytes)
+                  run)
+              runs
+          in
+          let base_s =
+            List.fold_left (fun acc (p : Metrics.Perf.storage_point) -> min acc p.base_s)
+              max_float pts
+          in
+          let protected_s =
+            List.fold_left
+              (fun acc (p : Metrics.Perf.storage_point) -> min acc p.protected_s)
+              max_float pts
+          in
+          {
+            Metrics.Perf.block_bytes = p0.block_bytes;
+            base_s;
+            protected_s;
+            norm_throughput = base_s /. protected_s;
+            norm_latency = protected_s /. base_s;
+          })
+        (List.hd runs)
+    in
+    Hashtbl.add sweep_cached key best;
+    best
+
+let fig_storage ~latency () =
+  section
+    (if latency then "Figure 4: Normalized storage latency (protected / baseline)"
+     else "Figure 3: Normalized storage throughput (baseline = 1.0)");
+  List.iter
+    (fun write ->
+      Printf.printf "\n%s:\n" (if write then "write" else "read");
+      let blocks =
+        List.sort_uniq compare
+          (List.concat_map Metrics.Perf.storage_blocks Metrics.Perf.storage_devices)
+      in
+      let rows =
+        List.map
+          (fun device ->
+            let pts = sweep device write in
+            device
+            :: List.map
+                 (fun b ->
+                   match
+                     List.find_opt
+                       (fun (p : Metrics.Perf.storage_point) -> p.block_bytes = b)
+                       pts
+                   with
+                   | Some p ->
+                     Table.fmt_float ~digits:3
+                       (if latency then p.norm_latency else p.norm_throughput)
+                   | None -> "-")
+                 blocks)
+          Metrics.Perf.storage_devices
+      in
+      Table.print
+        ~header:("Device" :: List.map fmt_block blocks)
+        rows)
+    [ false; true ];
+  Printf.printf "(paper: within 5%% of 1.0 at every block size)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: PCNet bandwidth + ping                                     *)
+
+let fig5 () =
+  section "Figure 5: PCNet bandwidth benchmark (+ ping latency)";
+  let kinds =
+    [ Metrics.Perf.Tcp_up; Metrics.Perf.Tcp_down; Metrics.Perf.Udp_up; Metrics.Perf.Udp_down ]
+  in
+  let reps = if !quick then 1 else 3 in
+  let rows =
+    List.map
+      (fun kind ->
+        (* Per-side maxima across repetitions: the highest observed
+           bandwidth on each side is the least noisy estimator. *)
+        let pts = List.init reps (fun _ -> Metrics.Perf.pcnet_bandwidth kind) in
+        let base_mbps =
+          List.fold_left
+            (fun acc (p : Metrics.Perf.net_point) -> max acc p.base_mbps)
+            0.0 pts
+        in
+        let protected_mbps =
+          List.fold_left
+            (fun acc (p : Metrics.Perf.net_point) -> max acc p.protected_mbps)
+            0.0 pts
+        in
+        [
+          Metrics.Perf.net_kind_to_string kind;
+          Table.fmt_float base_mbps;
+          Table.fmt_float protected_mbps;
+          Table.fmt_float (100.0 *. (1.0 -. (protected_mbps /. base_mbps))) ^ "%";
+        ])
+      kinds
+  in
+  Table.print
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "Stream"; "Base MB/s"; "SEDSpec MB/s"; "Overhead" ]
+    rows;
+  let pings = List.init reps (fun _ -> Metrics.Perf.pcnet_ping ()) in
+  let base = List.fold_left (fun acc (b, _, _) -> min acc b) max_float pings in
+  let prot = List.fold_left (fun acc (_, p, _) -> min acc p) max_float pings in
+  Printf.printf "ping: base %.3f ms, SEDSpec %.3f ms, overhead %.1f%%\n" base
+    prot ((prot -. base) /. base *. 100.0);
+  Printf.printf
+    "(paper: TCP up/down 6.9/7.3%%, UDP up/down 5.7/6.6%%, ping +9.2%%)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+
+let ablation () =
+  section "Ablation: control-flow reduction (spec size)";
+  let rows =
+    List.map
+      (fun w ->
+        let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+        let m = W.make_machine W.paper_version in
+        let cases = if !quick then 8 else 16 in
+        let unreduced =
+          Sedspec.Pipeline.build ~reduce:false m ~device:W.device_name
+            (W.trainer ~cases)
+        in
+        let m2 = W.make_machine W.paper_version in
+        let reduced =
+          Sedspec.Pipeline.build ~reduce:true m2 ~device:W.device_name
+            (W.trainer ~cases)
+        in
+        [
+          W.device_name;
+          string_of_int (Sedspec.Es_cfg.node_count unreduced.spec);
+          string_of_int (Sedspec.Es_cfg.node_count reduced.spec);
+          string_of_int reduced.reduced;
+          Printf.sprintf "%d/%d/%d" reduced.datadep.substituted
+            reduced.datadep.guest_replay reduced.datadep.sync_points;
+          string_of_int reduced.p1.trace_bytes;
+        ])
+      Workload.Samples.all
+  in
+  Table.print
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Center; Table.Right ]
+    ~header:
+      [ "Device"; "ES-CFG nodes"; "after reduction"; "removed";
+        "datadep subst/guest/sync"; "PT bytes" ]
+    rows;
+  section "Ablation: simulated VM-exit cost vs. protection overhead (FDC read, 4K blocks)";
+  let rows =
+    List.map
+      (fun vmexit_cost ->
+        let pts =
+          Metrics.Perf.storage_sweep ~total_bytes:8192 ~vmexit_cost ~device:"fdc"
+            ~write:false ()
+        in
+        let p = List.nth pts 1 in
+        [
+          string_of_int vmexit_cost;
+          Table.fmt_float ~digits:3 p.norm_throughput;
+          Table.fmt_float ~digits:1 ((p.norm_latency -. 1.0) *. 100.0) ^ "%";
+        ])
+      [ 0; 2000; 20000; 60000 ]
+  in
+  Table.print
+    ~align:[ Table.Right; Table.Right; Table.Right ]
+    ~header:[ "vm-exit spin"; "norm. throughput"; "latency overhead" ]
+    rows;
+  section "Ablation: single-strategy detection of the venom stream";
+  let rows =
+    List.map
+      (fun strat ->
+        let attack = Attacks.Attack.find "CVE-2015-3456" in
+        let w = Workload.Samples.find attack.device in
+        let config =
+          { Sedspec.Checker.default_config with Sedspec.Checker.strategies = [ strat ] }
+        in
+        let m, checker =
+          Metrics.Spec_cache.fresh_protected_machine ~config w attack.qemu_version
+        in
+        attack.setup m;
+        (try attack.run m with Exit -> ());
+        let anoms = Sedspec.Checker.drain_anomalies checker in
+        [
+          Sedspec.Checker.strategy_to_string strat;
+          string_of_int (List.length anoms);
+          string_of_int (Sedspec.Checker.stats checker).Sedspec.Checker.interactions;
+        ])
+      strategies
+  in
+  Table.print
+    ~header:[ "Strategy"; "anomalies (venom)"; "interactions checked" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison: Nioh                                            *)
+
+let baseline () =
+  section "Baseline: Nioh (manual state machines) vs SEDSpec (learned specs)";
+  let rows =
+    List.map
+      (fun (v : Metrics.Baseline.verdict) ->
+        [
+          v.cve;
+          v.device;
+          (if v.nioh_detected then "detected" else "missed");
+          (if v.sedspec_detected then "detected" else "missed");
+        ])
+      (Metrics.Baseline.run ())
+  in
+  Table.print
+    ~header:[ "CVE"; "Device"; "Nioh (manual)"; "SEDSpec (automatic)" ]
+    rows;
+  Printf.printf
+    "(paper: Nioh's set is fully detected by SEDSpec except CVE-2016-1568)\n";
+  let rows =
+    List.map
+      (fun device ->
+        [ device; string_of_int (Metrics.Baseline.benign_nioh_fp device) ])
+      [ "fdc"; "scsi"; "pcnet" ]
+  in
+  Table.print ~header:[ "Device"; "Nioh benign FPs (40 soak cases)" ] rows;
+  Printf.printf
+    "(manual models cover rare commands, so Nioh has no rare-command FPs —\n\
+    \ at the cost of hand-writing every model, which SEDSpec automates)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+
+let micro () =
+  section "Bechamel micro-benchmarks (one per table/figure)";
+  let open Bechamel in
+  let fdc_w = Workload.Samples.find "fdc" in
+  let module FW = (val fdc_w : Workload.Samples.DEVICE_WORKLOAD) in
+  let m_t2, checker_t2 =
+    Metrics.Spec_cache.fresh_protected_machine fdc_w FW.paper_version
+  in
+  let rng = Sedspec_util.Prng.create 99L in
+  let t2 =
+    Test.make ~name:"table2.soak-case(fdc)"
+      (Staged.stage (fun () ->
+           FW.soak_case ~mode:Workload.Samples.Random ~rng ~rare_prob:0.0 ~ops:1
+             m_t2;
+           ignore (Sedspec.Checker.drain_anomalies checker_t2)))
+  in
+  let t3 =
+    Test.make ~name:"table3.venom-stream"
+      (Staged.stage (fun () ->
+           let attack = Attacks.Attack.find "CVE-2015-3456" in
+           let m = Metrics.Spec_cache.fresh_machine fdc_w attack.qemu_version in
+           attack.setup m;
+           try attack.run m with Exit -> ()))
+  in
+  let m_f3, _ = Metrics.Spec_cache.fresh_protected_machine fdc_w FW.paper_version in
+  let d_f3 = Workload.Fdc_driver.create m_f3 in
+  ignore (Workload.Fdc_driver.reset d_f3);
+  ignore (Workload.Fdc_driver.recalibrate d_f3 ~drive:0);
+  ignore (Workload.Fdc_driver.sense_interrupt d_f3);
+  let f34 =
+    Test.make ~name:"fig3-4.protected-sector-read(fdc)"
+      (Staged.stage (fun () ->
+           ignore
+             (Workload.Fdc_driver.read_sector d_f3 ~drive:0 ~head:0 ~track:1
+                ~sect:1)))
+  in
+  let pcnet_w = Workload.Samples.find "pcnet" in
+  let module PW = (val pcnet_w : Workload.Samples.DEVICE_WORKLOAD) in
+  let m_f5, _ = Metrics.Spec_cache.fresh_protected_machine pcnet_w PW.paper_version in
+  let d_f5 = Workload.Pcnet_driver.create m_f5 in
+  ignore (Workload.Pcnet_driver.reset d_f5);
+  ignore (Workload.Pcnet_driver.init d_f5 ~mode:0 ());
+  ignore (Workload.Pcnet_driver.start d_f5);
+  let payload = Bytes.make 1460 'p' in
+  let f5 =
+    Test.make ~name:"fig5.protected-frame-tx(pcnet)"
+      (Staged.stage (fun () -> ignore (Workload.Pcnet_driver.transmit d_f5 [ payload ])))
+  in
+  let tests = [ t2; t3; f34; f5 ] in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ t ] -> Printf.printf "%-40s %10.1f ns/run\n" name t
+          | _ -> Printf.printf "%-40s (no estimate)\n" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let cmds = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--quick" -> quick := true
+        | "--seed" -> ()
+        | s when i > 1 && Sys.argv.(i - 1) = "--seed" -> seed := Int64.of_string s
+        | s -> cmds := s :: !cmds)
+    Sys.argv;
+  let cmds = if !cmds = [] then [ "all" ] else List.rev !cmds in
+  Metrics.Spec_cache.training_cases := (if !quick then 12 else 24);
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun cmd ->
+      match cmd with
+      | "table2" -> table2 ()
+      | "table3" -> table3 ()
+      | "fig3" -> fig_storage ~latency:false ()
+      | "fig4" -> fig_storage ~latency:true ()
+      | "fig5" -> fig5 ()
+      | "ablation" -> ablation ()
+      | "baseline" -> baseline ()
+      | "micro" -> micro ()
+      | "all" ->
+        table2 ();
+        table3 ();
+        fig_storage ~latency:false ();
+        fig_storage ~latency:true ();
+        fig5 ();
+        baseline ();
+        ablation ();
+        micro ()
+      | other ->
+        Printf.eprintf
+          "unknown command %s (table2|table3|fig3|fig4|fig5|baseline|ablation|micro|all)\n"
+          other;
+        exit 2)
+    cmds;
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,234 @@
+(* sedspec — command-line front end.
+
+   Subcommands: list, inspect, attack, soak, coverage.  See README.md. *)
+
+open Cmdliner
+
+let setup_training cases = Metrics.Spec_cache.training_cases := cases
+
+let training_cases_arg =
+  let doc = "Benign training cases used to build specifications." in
+  Arg.(value & opt int 24 & info [ "training-cases" ] ~docv:"N" ~doc)
+
+let device_arg =
+  let doc = "Device: fdc, ehci, pcnet, sdhci or scsi." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DEVICE" ~doc)
+
+let find_device name =
+  try Workload.Samples.find name
+  with Not_found ->
+    Printf.eprintf "unknown device %s (fdc|ehci|pcnet|sdhci|scsi)\n" name;
+    exit 2
+
+(* --- list -------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "Devices (QEMU version used by the paper's case studies):";
+    List.iter
+      (fun w ->
+        let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+        Printf.printf "  %-8s v%s\n" W.device_name
+          (Devices.Qemu_version.to_string W.paper_version))
+      Workload.Samples.all;
+    print_endline "";
+    print_endline "Attack catalogue:";
+    List.iter
+      (fun (a : Attacks.Attack.t) ->
+        Printf.printf "  %-16s %-6s %s\n" a.cve a.device a.description)
+      Attacks.Attack.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List devices and the CVE catalogue")
+    Term.(const run $ const ())
+
+(* --- inspect ------------------------------------------------------------ *)
+
+let inspect_cmd =
+  let save_arg =
+    let doc = "Save the trained specification to $(docv) (Sedspec.Persist format)." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let dot_arg =
+    let doc = "Write a Graphviz rendering of the ES-CFG to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+  in
+  let run device cases save dot =
+    setup_training cases;
+    let w = find_device device in
+    let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+    let built = Metrics.Spec_cache.built (module W) W.paper_version in
+    Format.printf "device %s at QEMU v%s@." W.device_name
+      (Devices.Qemu_version.to_string W.paper_version);
+    Format.printf "@.%a@." Sedspec.Pipeline.pp_built built;
+    Format.printf "@.device state parameter selection:@.%a@." Sedspec.Selection.pp
+      (Sedspec.Es_cfg.selection built.spec);
+    Format.printf "content-tracked buffers: %s@."
+      (String.concat ", "
+         (Sedspec.Es_cfg.selection built.spec).Sedspec.Selection.tracked_buffers);
+    Format.printf "@.commands in the access table:@.";
+    List.iter
+      (fun ((bref, v) : Sedspec.Es_cfg.cmd_key) ->
+        Format.printf "  %a = 0x%Lx@." Devir.Program.pp_bref bref v)
+      (List.sort compare (Sedspec.Es_cfg.commands built.spec));
+    (match save with
+    | Some path ->
+      Sedspec.Persist.save built.spec path;
+      Format.printf "@.specification saved to %s@." path
+    | None -> ());
+    match dot with
+    | Some path ->
+      Sedspec.Viz.save_dot built.spec path;
+      Format.printf "ES-CFG dot graph written to %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Train and print a device's execution specification")
+    Term.(const run $ device_arg $ training_cases_arg $ save_arg $ dot_arg)
+
+(* --- attack ------------------------------------------------------------- *)
+
+let attack_cmd =
+  let cve_arg =
+    let doc = "CVE id, e.g. CVE-2015-3456, or 'all'." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CVE" ~doc)
+  in
+  let run cve cases =
+    setup_training cases;
+    let attacks =
+      if cve = "all" then Attacks.Attack.all
+      else
+        try [ Attacks.Attack.find cve ]
+        with Not_found ->
+          Printf.eprintf "unknown CVE %s (try 'list')\n" cve;
+          exit 2
+    in
+    List.iter
+      (fun attack ->
+        let r = Metrics.Case_study.run attack in
+        Format.printf "%a@." Metrics.Case_study.pp_result r;
+        Format.printf "  matches paper: %b@.@."
+          (Metrics.Case_study.matches_expectation r))
+      attacks
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Replay a CVE exploit under each check strategy (Table III)")
+    Term.(const run $ cve_arg $ training_cases_arg)
+
+(* --- soak --------------------------------------------------------------- *)
+
+let soak_cmd =
+  let hours_arg =
+    let doc = "Simulated soak hours." in
+    Arg.(value & opt int 10 & info [ "hours" ] ~docv:"H" ~doc)
+  in
+  let cases_per_hour_arg =
+    let doc = "Test cases per simulated hour." in
+    Arg.(value & opt int 40 & info [ "cases-per-hour" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "PRNG seed." in
+    Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let run device hours cases_per_hour seed cases =
+    setup_training cases;
+    let w = find_device device in
+    let r =
+      Metrics.Fpr.soak ~seed ~cases_per_hour ~checkpoint_hours:[ hours ] w
+    in
+    Format.printf "%a@." Metrics.Fpr.pp_result r
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Run the benign false-positive soak (Tables II/III) on a device")
+    Term.(const run $ device_arg $ hours_arg $ cases_per_hour_arg $ seed_arg
+          $ training_cases_arg)
+
+(* --- coverage ------------------------------------------------------------ *)
+
+let coverage_cmd =
+  let run device cases =
+    setup_training cases;
+    let w = find_device device in
+    let r = Metrics.Coverage.measure w in
+    Format.printf "%a@." Metrics.Coverage.pp_result r
+  in
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:"Measure effective coverage of the training corpus (Table III)")
+    Term.(const run $ device_arg $ training_cases_arg)
+
+(* --- dump-device ----------------------------------------------------------- *)
+
+let dump_device_cmd =
+  let version_arg =
+    let doc = "QEMU version to build the model at (default: the paper's)." in
+    Arg.(value & opt (some string) None & info [ "qemu" ] ~docv:"VER" ~doc)
+  in
+  let run device version =
+    let w = find_device device in
+    let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+    let version =
+      match version with
+      | Some v -> Devices.Qemu_version.of_string v
+      | None -> W.paper_version
+    in
+    let m = W.make_machine version in
+    let program = Interp.program (Vmm.Machine.interp_of m W.device_name) in
+    print_string (Devir.Pretty.program_to_string program)
+  in
+  Cmd.v
+    (Cmd.info "dump-device"
+       ~doc:"Render a device model as pseudo-C (handlers, blocks, layout)")
+    Term.(const run $ device_arg $ version_arg)
+
+(* --- check-spec ----------------------------------------------------------- *)
+
+let check_spec_cmd =
+  let file_arg =
+    let doc = "Saved specification file." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run device file =
+    let w = find_device device in
+    let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+    let m = W.make_machine W.paper_version in
+    let program = Interp.program (Vmm.Machine.interp_of m W.device_name) in
+    match Sedspec.Persist.load ~program file with
+    | Error msg ->
+      Printf.eprintf "load failed: %s
+" msg;
+      exit 1
+    | Ok spec ->
+      Format.printf "%a@." Sedspec.Es_cfg.pp_stats spec;
+      let checker = Sedspec.Checker.attach m ~spec W.device_name in
+      let trainer = W.trainer ~cases:4 in
+      for case = 0 to 3 do
+        trainer.Sedspec.Pipeline.run_case m case
+      done;
+      let anoms = Sedspec.Checker.drain_anomalies checker in
+      Format.printf "benign replay under the loaded spec: %d anomalies@."
+        (List.length anoms);
+      if anoms <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check-spec"
+       ~doc:"Load a saved specification and verify benign traffic passes")
+    Term.(const run $ device_arg $ file_arg)
+
+let () =
+  let doc = "SEDSpec: securing emulated devices by enforcing execution specification" in
+  let info = Cmd.info "sedspec" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd;
+            inspect_cmd;
+            attack_cmd;
+            soak_cmd;
+            coverage_cmd;
+            check_spec_cmd;
+            dump_device_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/pcnet_protection.ml: Attacks Bytes Devices Format List Printf Sedspec Vmm Workload

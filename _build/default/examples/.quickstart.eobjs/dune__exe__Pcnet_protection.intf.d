@@ -1,0 +1,1 @@
+examples/pcnet_protection.mli:

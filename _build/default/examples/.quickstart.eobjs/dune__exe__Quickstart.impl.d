@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Char Devices Format Int64 List Printf Sedspec Vmm Workload

@@ -1,0 +1,1 @@
+examples/rollback_remedy.ml: Devices Devir Format Int64 Interp List Printf Sedspec Vmm Workload

@@ -1,0 +1,1 @@
+examples/rollback_remedy.mli:

@@ -1,0 +1,1 @@
+examples/spec_construction.ml: Devir Format Iptrace List Sedspec String Workload

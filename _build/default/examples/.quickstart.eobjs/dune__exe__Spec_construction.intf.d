@@ -1,0 +1,1 @@
+examples/spec_construction.mli:

@@ -1,0 +1,70 @@
+(* Network scenario: a protected PCNet adapter carrying live traffic while
+   an attacker tries all three of its CVEs.
+
+     dune exec examples/pcnet_protection.exe
+
+   Runs in enhancement mode first (warnings, availability preserved), then
+   protection mode (the VM halts at the first anomaly), mirroring the
+   paper's two working modes. *)
+
+let attack_names = [ "CVE-2015-7504"; "CVE-2015-7512"; "CVE-2016-7909" ]
+
+let traffic machine =
+  let d = Workload.Pcnet_driver.create machine in
+  ignore (Workload.Pcnet_driver.reset d);
+  ignore (Workload.Pcnet_driver.init d ~mode:0 ());
+  ignore (Workload.Pcnet_driver.start d);
+  for i = 1 to 40 do
+    ignore (Workload.Pcnet_driver.transmit d [ Bytes.make (64 + (i * 17 mod 1400)) 'd' ]);
+    ignore (Workload.Pcnet_driver.receive d (Bytes.make (64 + (i * 31 mod 1400)) 'u'));
+    ignore (Workload.Pcnet_driver.rx_frame d);
+    Workload.Pcnet_driver.ack_interrupts d
+  done
+
+let run_mode mode_name mode =
+  Format.printf "@.=== %s mode ===@." mode_name;
+  let w = Workload.Samples.find "pcnet" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let machine = W.make_machine (Devices.Qemu_version.v 2 4 0) in
+  let built = Sedspec.Pipeline.build machine ~device:"pcnet" (W.trainer ~cases:16) in
+  let checker =
+    Sedspec.Pipeline.protect
+      ~config:{ Sedspec.Checker.default_config with Sedspec.Checker.mode }
+      machine ~device:"pcnet" built
+  in
+  traffic machine;
+  Printf.printf "benign traffic: %d anomalies\n"
+    (List.length (Sedspec.Checker.drain_anomalies checker));
+  List.iter
+    (fun name ->
+      (* 7909 needs the 2.6.0 model; skip it on 2.4.0 where the ring clamp
+         differs — run it against its own machine below. *)
+      let attack = Attacks.Attack.find name in
+      let m2 = W.make_machine attack.qemu_version in
+      let b2 =
+        if attack.qemu_version = Devices.Qemu_version.v 2 4 0 then built
+        else Sedspec.Pipeline.build m2 ~device:"pcnet" (W.trainer ~cases:16)
+      in
+      let c2 =
+        Sedspec.Pipeline.protect
+          ~config:{ Sedspec.Checker.default_config with Sedspec.Checker.mode }
+          m2 ~device:"pcnet" b2
+      in
+      attack.setup m2;
+      ignore (Sedspec.Checker.drain_anomalies c2);
+      (try attack.run m2 with Exit -> ());
+      let anoms = Sedspec.Checker.drain_anomalies c2 in
+      Printf.printf "%-16s -> %d anomalies%s%s\n" name (List.length anoms)
+        (if Vmm.Machine.halted m2 then " (VM halted)" else "")
+        (match anoms with
+        | a :: _ ->
+          ": " ^ Sedspec.Checker.strategy_to_string a.Sedspec.Checker.strategy
+        | [] -> "");
+      if mode = Sedspec.Checker.Enhancement then
+        List.iter (fun wmsg -> Printf.printf "    warning: %s\n" wmsg)
+          (Vmm.Machine.warnings m2))
+    attack_names
+
+let () =
+  run_mode "Enhancement" Sedspec.Checker.Enhancement;
+  run_mode "Protection" Sedspec.Checker.Protection

@@ -1,0 +1,50 @@
+(* Rollback remediation (paper §VIII "Anomaly Defence", future work):
+   instead of leaving the VM halted after an anomaly, restore a checkpoint
+   taken before the exploitation and keep serving.
+
+     dune exec examples/rollback_remedy.exe *)
+
+let () =
+  let w = Workload.Samples.find "fdc" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let machine = W.make_machine (Devices.Qemu_version.v 2 3 0) in
+  let built = Sedspec.Pipeline.build machine ~device:"fdc" (W.trainer ~cases:16) in
+  let checker = Sedspec.Pipeline.protect machine ~device:"fdc" built in
+  let supervisor = Sedspec.Remedy.create machine ~device:"fdc" checker in
+
+  let d = Workload.Fdc_driver.create machine in
+  ignore (Workload.Fdc_driver.reset d);
+  ignore (Workload.Fdc_driver.seek d ~drive:0 ~head:0 ~track:42);
+  ignore (Workload.Fdc_driver.sense_interrupt d);
+  ignore (Sedspec.Remedy.tick supervisor);
+  let arena = Interp.arena (Vmm.Machine.interp_of machine "fdc") in
+  Printf.printf "[1] device serving, head on track %Ld; checkpoint taken\n"
+    (Devir.Arena.get arena "track");
+
+  (* The Venom stream hits the parameter check... *)
+  let port = Int64.add Devices.Fdc.io_base 5L in
+  ignore (Workload.Io.outb machine port 0x8E);
+  (try
+     for _ = 1 to 600 do
+       match Workload.Io.outb machine port 0x01 with
+       | Workload.Io.R_ok _ -> ()
+       | _ -> raise Exit
+     done
+   with Exit -> ());
+  Printf.printf "[2] venom stream: VM halted = %b\n" (Vmm.Machine.halted machine);
+
+  (* ...and the supervisor rolls the machine back instead of keeping it
+     down. *)
+  let events = Sedspec.Remedy.tick supervisor in
+  List.iter
+    (fun e -> Format.printf "    %a@." Sedspec.Remedy.pp_event e)
+    events;
+  Printf.printf "[3] after remedy: halted = %b, rollbacks = %d, track = %Ld\n"
+    (Vmm.Machine.halted machine)
+    (Sedspec.Remedy.rollbacks supervisor)
+    (Devir.Arena.get arena "track");
+
+  (* Service continues. *)
+  (match Workload.Fdc_driver.read_sector d ~drive:0 ~head:0 ~track:42 ~sect:3 with
+  | Some _ -> print_endline "[4] reads work again — availability preserved"
+  | None -> print_endline "[4] !!! device did not recover")

@@ -1,0 +1,56 @@
+(* Phase-by-phase walkthrough of how SEDSpec builds an execution
+   specification (paper Fig. 1), shown on the SCSI controller:
+
+     dune exec examples/spec_construction.exe
+
+   Phase 1 — data collection: PT-style tracing, ITC-CFG, device state
+   parameter selection (Rules 1 and 2), observation points.
+   Phase 2 — ES-CFG construction: Algorithm 1, control flow reduction,
+   data dependency recovery.
+   The printed artifacts are the same ones the paper describes. *)
+
+let () =
+  let w = Workload.Samples.find "scsi" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let machine = W.make_machine W.paper_version in
+  let trainer = W.trainer ~cases:16 in
+
+  (* Phase 1: trace benign traffic through the simulated Intel PT. *)
+  let p1 = Sedspec.Pipeline.collect machine ~device:"scsi" trainer in
+  Format.printf "=== Phase 1: data collection ===@.";
+  Format.printf "ITC-CFG: %d blocks, %d edges (from %d bytes of PT packets)@."
+    (Iptrace.Itc_cfg.block_count p1.itc)
+    (Iptrace.Itc_cfg.edge_count p1.itc)
+    p1.trace_bytes;
+  let one_sided =
+    List.filter Iptrace.Itc_cfg.one_sided (Iptrace.Itc_cfg.conditional_nodes p1.itc)
+  in
+  Format.printf "conditionals observed one-sided during training: %d@."
+    (List.length one_sided);
+  Format.printf "@.device state parameter selection (Rules 1 & 2):@.%a@."
+    Sedspec.Selection.pp p1.selection;
+  Format.printf "buffers tracked by content (relevance analysis): %s@."
+    (String.concat ", " p1.selection.Sedspec.Selection.tracked_buffers);
+  Format.printf "observation points instrumented: %d@.@."
+    (List.length p1.observation_points);
+
+  (* Phase 2: construct, reduce, recover dependencies. *)
+  let built = Sedspec.Pipeline.construct machine ~device:"scsi" p1 trainer in
+  Format.printf "=== Phase 2: specification construction ===@.";
+  Format.printf "%a@." Sedspec.Es_cfg.pp_stats built.spec;
+  Format.printf "%a@." Sedspec.Datadep.pp_report built.datadep;
+  Format.printf "commands in the access table:@.";
+  List.iter
+    (fun ((bref, v) : Sedspec.Es_cfg.cmd_key) ->
+      Format.printf "  %a = 0x%Lx@." Devir.Program.pp_bref bref v)
+    (List.sort compare (Sedspec.Es_cfg.commands built.spec));
+
+  (* Phase 3: one protected interaction, to close the loop. *)
+  let checker = Sedspec.Pipeline.protect machine ~device:"scsi" built in
+  let d = Workload.Scsi_driver.create machine in
+  ignore (Workload.Scsi_driver.reset d);
+  ignore (Workload.Scsi_driver.inquiry d ~dma:true);
+  Format.printf "@.=== Phase 3: runtime protection ===@.";
+  Format.printf "INQUIRY under protection: %d anomalies, %d nodes walked@."
+    (List.length (Sedspec.Checker.drain_anomalies checker))
+    (Sedspec.Checker.stats checker).Sedspec.Checker.nodes_walked

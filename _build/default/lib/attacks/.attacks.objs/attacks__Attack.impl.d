@@ -1,0 +1,1 @@
+lib/attacks/attack.ml: Bytes Devices Devir Format Int64 Interp List Sedspec String Vmm Workload

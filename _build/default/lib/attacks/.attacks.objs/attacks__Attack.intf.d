@@ -1,0 +1,1 @@
+lib/attacks/attack.mli: Devices Format Interp Sedspec Vmm

@@ -1,0 +1,1 @@
+lib/devices/device.mli: Devir Qemu_version Vmm

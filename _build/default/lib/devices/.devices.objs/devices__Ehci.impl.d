@@ -1,0 +1,1 @@
+lib/devices/ehci.ml: Device Devir Layout Program Qemu_version Stmt Width

@@ -1,0 +1,1 @@
+lib/devices/ehci.mli: Device Devir Qemu_version

@@ -1,0 +1,1 @@
+lib/devices/fdc.ml: Device Devir Int64 Layout Program Qemu_version Width

@@ -1,0 +1,1 @@
+lib/devices/fdc.mli: Device Devir Qemu_version

@@ -1,0 +1,1 @@
+lib/devices/pcnet.ml: Device Devir Layout Program Qemu_version Stmt Width

@@ -1,0 +1,1 @@
+lib/devices/pcnet.mli: Device Devir Qemu_version

@@ -1,0 +1,1 @@
+lib/devices/qemu_version.ml: Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/devices/scsi.ml: Device Devir Layout Program Qemu_version Stmt Width

@@ -1,0 +1,1 @@
+lib/devices/scsi.mli: Device Devir Qemu_version

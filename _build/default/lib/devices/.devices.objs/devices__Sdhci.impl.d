@@ -1,0 +1,1 @@
+lib/devices/sdhci.ml: Device Devir Layout Program Qemu_version Width

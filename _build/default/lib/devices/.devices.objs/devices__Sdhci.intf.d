@@ -1,0 +1,1 @@
+lib/devices/sdhci.mli: Device Devir Qemu_version

@@ -1,0 +1,19 @@
+type t = {
+  name : string;
+  version : Qemu_version.t;
+  program : Devir.Program.t;
+  make_binding : unit -> Vmm.Machine.device_binding;
+}
+
+let binding_of ~program ?(pmio = []) ?pmio_read ?pmio_write ?(mmio = [])
+    ?mmio_read ?mmio_write () =
+  {
+    Vmm.Machine.program;
+    arena = Devir.Arena.create (Devir.Program.layout program);
+    pmio;
+    pmio_read;
+    pmio_write;
+    mmio;
+    mmio_read;
+    mmio_write;
+  }

@@ -1,0 +1,26 @@
+(** Common packaging for the emulated device models.
+
+    Each device module builds its program at a given QEMU version (gating
+    vulnerable vs. patched logic) and can mint fresh machine bindings —
+    a new control-structure arena wired to the device's I/O ranges. *)
+
+type t = {
+  name : string;
+  version : Qemu_version.t;
+  program : Devir.Program.t;
+  make_binding : unit -> Vmm.Machine.device_binding;
+      (** Fresh arena each call; program shared. *)
+}
+
+val binding_of :
+  program:Devir.Program.t ->
+  ?pmio:(int64 * int) list ->
+  ?pmio_read:string ->
+  ?pmio_write:string ->
+  ?mmio:(int64 * int) list ->
+  ?mmio_read:string ->
+  ?mmio_write:string ->
+  unit ->
+  Vmm.Machine.device_binding
+(** Convenience constructor allocating a fresh arena from the program's
+    layout. *)

@@ -1,0 +1,247 @@
+open Devir
+open Devir.Dsl
+
+let name = "ehci"
+let mmio_base = 0x3000_0000L
+let irq_cb = 0x0050_3000L
+let data_buf_size = 4096
+let cve_2020_14364_fixed_in = Qemu_version.v 5 1 1
+
+let pid_out = 0
+let pid_in = 1
+let pid_setup = 2
+
+(* USBSTS bits. *)
+let sts_int = 0x1
+let sts_err = 0x2
+
+(* Mirrors the real USBDevice field order: setup_len and setup_index sit
+   behind data_buf, then the irq pointer; [guard] sizes the structure so a
+   wLength of data_buf + 80 bytes corrupts everything up to the end without
+   escaping. *)
+let layout =
+  Layout.make
+    [
+      Layout.reg ~hw:true "usbcmd" Width.W32;
+      Layout.reg ~hw:true "usbsts" Width.W32;
+      Layout.reg ~hw:true "usbintr" Width.W32;
+      Layout.reg ~hw:true "frindex" Width.W32;
+      Layout.reg ~hw:true "async_addr" Width.W32;
+      Layout.reg ~hw:true ~init:0x1000L "portsc" Width.W32;
+      Layout.reg "dev_addr" Width.W8;
+      Layout.reg "config" Width.W8;
+      Layout.reg "setup_state" Width.W8;
+      Layout.buf "setup_buf" 8;
+      Layout.buf "data_buf" data_buf_size;
+      Layout.reg "setup_len" Width.W32;
+      Layout.reg "setup_index" Width.W32;
+      Layout.fn_ptr ~init:irq_cb "irq";
+      Layout.buf "guard" 64;
+    ]
+
+let or_sts bits = set "usbsts" (bor Width.W32 (fld "usbsts") (c bits))
+
+(* Transfer-size computation shared by IN and OUT tokens: the qTD length
+   clamped to what remains of the control transfer.  Produces blocks
+   [<pfx>_want]/[<pfx>_clamp] defining local "xfer", both continuing at
+   [next]. *)
+let min_xfer_blocks pfx next =
+  [
+    blk (pfx ^ "_minchk")
+      [ local "remain" (sub Width.W32 (fld "setup_len") (fld "setup_index")) ]
+      (br (lcl "tlen" <=% lcl "remain") (pfx ^ "_want") (pfx ^ "_clamp"));
+    blk (pfx ^ "_want") [ local "xfer" (lcl "tlen") ] (goto next);
+    blk (pfx ^ "_clamp") [ local "xfer" (lcl "remain") ] (goto next);
+  ]
+
+let write_handler ~vulnerable =
+  let setup_len_blocks =
+    if vulnerable then
+      (* CVE-2020-14364: wLength stored without validation. *)
+      [ blk "setup_lenchk" [ set "setup_len" (lcl "wlen") ] (goto "setup_parse") ]
+    else
+      [
+        blk "setup_lenchk" [ set "setup_len" (lcl "wlen") ]
+          (br (fld "setup_len" >% buflen "data_buf") "setup_stall" "setup_parse");
+        blk "setup_stall"
+          [ set "setup_len" (c 0); set "setup_state" (c ~w:Width.W8 0); or_sts sts_err ]
+          (goto "async_done");
+      ]
+  in
+  handler "mmio_write"
+    ~params:[ "addr"; "offset"; "size"; "data" ]
+    ([
+       entry "w_entry" []
+         (switch (prm "offset")
+            [
+              (0x00, "w_usbcmd");
+              (0x04, "w_usbsts");
+              (0x08, "w_usbintr");
+              (0x0C, "w_frindex");
+              (0x18, "w_async");
+              (0x44, "w_portsc");
+            ]
+            "w_exit");
+       blk "w_usbcmd" [ set "usbcmd" (prm "data") ]
+         (br ((prm "data" &% c 0x21) ==% c 0x21) "async_run" "w_exit");
+       blk "w_usbsts"
+         [
+           set "usbsts"
+             (band Width.W32 (fld "usbsts")
+                (bxor Width.W32 (prm "data") (c64 0xFFFFFFFFL)));
+         ]
+         (goto "w_exit");
+       blk "w_usbintr" [ set "usbintr" (prm "data") ] (goto "w_exit");
+       blk "w_frindex" [ set "frindex" (prm "data") ] (goto "w_exit");
+       blk "w_async" [ set "async_addr" (prm "data") ] (goto "w_exit");
+       blk "w_portsc" [] (br ((prm "data" &% c 0x100) <>% c 0) "port_reset" "port_set");
+       blk "port_reset"
+         [
+           set "portsc" (c 0x1005);
+           set "dev_addr" (c ~w:Width.W8 0);
+           set "setup_state" (c ~w:Width.W8 0);
+           set "setup_len" (c 0);
+           set "setup_index" (c 0);
+         ]
+         (goto "w_exit");
+       blk "port_set" [ set "portsc" (bor Width.W32 (prm "data") (c 1)) ] (goto "w_exit");
+       (* One qTD per async-schedule kick. *)
+       cmd_decision "async_run"
+         [
+           Stmt.Read_guest { local = "qtd_token"; addr = fld "async_addr"; width = Width.W32 };
+           Stmt.Read_guest
+             { local = "qtd_buf"; addr = fld "async_addr" +% c 4; width = Width.W32 };
+           local "pid" (band Width.W32 (shr Width.W32 (lcl "qtd_token") (c 8)) (c 3));
+           local "tlen" (band Width.W32 (shr Width.W32 (lcl "qtd_token") (c 16)) (c 0x7FFF));
+         ]
+         (switch (lcl "pid")
+            [ (pid_out, "tok_out"); (pid_in, "tok_in"); (pid_setup, "tok_setup") ]
+            "tok_err");
+       cmd_decision "tok_setup"
+         [
+           dma_in ~buf:"setup_buf" ~buf_off:(c 0) ~addr:(lcl "qtd_buf") ~len:(c 8);
+           local "breq" (bufb "setup_buf" (c 1));
+           local "wval"
+             (bufb "setup_buf" (c 2) |% shl Width.W32 (bufb "setup_buf" (c 3)) (c 8));
+           local "wlen"
+             (bufb "setup_buf" (c 6) |% shl Width.W32 (bufb "setup_buf" (c 7)) (c 8));
+           set "setup_state" (c ~w:Width.W8 1);
+           set "setup_index" (c 0);
+         ]
+         (switch (lcl "breq")
+            [
+              (0, "req_get_status");
+              (1, "req_clear_feat");
+              (3, "req_set_feat");
+              (5, "req_set_addr");
+              (6, "req_get_desc");
+              (9, "req_set_conf");
+            ]
+            "req_stall");
+     ]
+    @ setup_len_blocks
+    @ [
+        (* setup_lenchk runs between tok_setup and the request dispatch: the
+           switch above goes through setup_parse. *)
+        blk "setup_parse" [] (goto "setup_done");
+        blk "req_get_desc"
+          [ local "dtype" (shr Width.W32 (lcl "wval") (c 8)) ]
+          (br (lcl "dtype" ==% c 1) "desc_device" "desc_other");
+        blk "desc_device"
+          [ fill "data_buf" ~off:(c 0) ~len:(c 18) (c 0x12 +% fld "dev_addr") ]
+          (goto "setup_lenchk");
+        blk "desc_other" [] (br (lcl "dtype" ==% c 2) "desc_config" "desc_string");
+        blk "desc_config"
+          [ fill "data_buf" ~off:(c 0) ~len:(c 32) (c 0x43) ]
+          (goto "setup_lenchk");
+        blk "desc_string"
+          [ fill "data_buf" ~off:(c 0) ~len:(c 16) (c 0x53) ]
+          (goto "setup_lenchk");
+        blk "req_set_addr" [ set "dev_addr" (lcl "wval") ] (goto "setup_lenchk");
+        blk "req_set_conf" [ set "config" (lcl "wval") ] (goto "setup_lenchk");
+        blk "req_get_status"
+          [ setb "data_buf" (c 0) (c 1); setb "data_buf" (c 1) (c 0) ]
+          (goto "setup_lenchk");
+        blk "req_clear_feat" [] (goto "setup_lenchk");
+        blk "req_set_feat" [] (goto "setup_lenchk");
+        blk "req_stall"
+          [ set "setup_state" (c ~w:Width.W8 0); set "setup_len" (c 0); or_sts sts_err ]
+          (goto "async_done");
+        blk "setup_done" [ or_sts sts_int ] (icall (fld "irq") "async_done");
+        blk "tok_in" [] (br (fld "setup_state" ==% c 1) "in_minchk" "tok_err");
+      ]
+    @ min_xfer_blocks "in" "in_copy"
+    @ [
+        blk "in_copy"
+          [
+            dma_out ~buf:"data_buf" ~buf_off:(fld "setup_index") ~addr:(lcl "qtd_buf")
+              ~len:(lcl "xfer");
+            set "setup_index" (fld "setup_index" +% lcl "xfer");
+          ]
+          (br (fld "setup_index" >=% fld "setup_len") "in_status" "in_more");
+        blk "in_status" [ set "setup_state" (c ~w:Width.W8 0); or_sts sts_int ]
+          (icall (fld "irq") "async_done");
+        blk "in_more" [ or_sts sts_int ] (icall (fld "irq") "async_done");
+        blk "tok_out" [] (br (fld "setup_state" ==% c 1) "out_minchk" "tok_err");
+      ]
+    @ min_xfer_blocks "out" "out_copy"
+    @ [
+        blk "out_copy"
+          [
+            dma_in ~buf:"data_buf" ~buf_off:(fld "setup_index") ~addr:(lcl "qtd_buf")
+              ~len:(lcl "xfer");
+            set "setup_index" (fld "setup_index" +% lcl "xfer");
+          ]
+          (br (fld "setup_index" >=% fld "setup_len") "out_status" "out_more");
+        blk "out_status" [ set "setup_state" (c ~w:Width.W8 0); or_sts sts_int ]
+          (icall (fld "irq") "async_done");
+        blk "out_more" [ or_sts sts_int ] (icall (fld "irq") "async_done");
+        blk "tok_err" [ or_sts sts_err ] (goto "async_done");
+        cmd_end "async_done" [ set "frindex" (fld "frindex" +% c 8) ] (goto "w_exit");
+        exit_ "w_exit" [];
+      ])
+
+let read_handler =
+  handler "mmio_read"
+    ~params:[ "addr"; "offset"; "size"; "data" ]
+    [
+      entry "r_entry" []
+        (switch (prm "offset")
+           [
+             (0x00, "r_usbcmd");
+             (0x04, "r_usbsts");
+             (0x08, "r_usbintr");
+             (0x0C, "r_frindex");
+             (0x18, "r_async");
+             (0x44, "r_portsc");
+           ]
+           "r_zero");
+      blk "r_usbcmd" [ respond (fld "usbcmd") ] (goto "r_exit");
+      blk "r_usbsts" [ respond (fld "usbsts") ] (goto "r_exit");
+      blk "r_usbintr" [ respond (fld "usbintr") ] (goto "r_exit");
+      blk "r_frindex" [ respond (fld "frindex") ] (goto "r_exit");
+      blk "r_async" [ respond (fld "async_addr") ] (goto "r_exit");
+      blk "r_portsc" [ respond (fld "portsc") ] (goto "r_exit");
+      blk "r_zero" [ respond (c 0) ] (goto "r_exit");
+      exit_ "r_exit" [];
+    ]
+
+let program ~version =
+  let vulnerable = Qemu_version.(version < cve_2020_14364_fixed_in) in
+  Program.make ~name ~layout ~code_base:0x0043_0000L
+    ~callbacks:
+      [ (irq_cb, { Program.cb_name = "ehci_irq"; action = Program.Raise_irq_line }) ]
+    [ write_handler ~vulnerable; read_handler ]
+
+let device ~version =
+  let program = program ~version in
+  {
+    Device.name;
+    version;
+    program;
+    make_binding =
+      (fun () ->
+        Device.binding_of ~program
+          ~mmio:[ (mmio_base, 0x100) ]
+          ~mmio_read:"mmio_read" ~mmio_write:"mmio_write" ());
+  }

@@ -1,0 +1,37 @@
+(** USB EHCI host controller with an attached USB device, modelled after
+    QEMU's [hcd-ehci.c] + [core.c] (usb_generic_handle_packet).
+
+    Memory-mapped at [0x3000_0000]: USBCMD/USBSTS/USBINTR, FRINDEX, the
+    async list address and PORTSC.  Writing USBCMD with the run + async
+    schedule bits set processes one qTD from the async list: the qTD's PID
+    selects a SETUP, IN or OUT token against the attached device's control
+    endpoint.  SETUP parses the 8-byte setup packet (GET_DESCRIPTOR /
+    SET_ADDRESS / SET_CONFIGURATION / ...), IN moves data from the device's
+    [data_buf] to guest memory, OUT moves guest data into [data_buf].
+    Mirroring the real USBDevice struct, [setup_len] and [setup_index] live
+    directly {e behind} [data_buf], followed by the [irq] pointer.
+
+    Vulnerability (version-gated):
+    - {b CVE-2020-14364} (fixed in 5.1.1): [setup_len] is taken from the
+      setup packet's wLength without validation against
+      [sizeof(data_buf)].  An OUT token can then write past [data_buf],
+      overwriting [setup_len], [setup_index] (the second out-of-bounds
+      instance: a corrupted, effectively negative index) and the [irq]
+      function pointer. *)
+
+val name : string
+val mmio_base : int64
+val irq_cb : int64
+val data_buf_size : int
+val cve_2020_14364_fixed_in : Qemu_version.t
+
+(** qTD layout in guest memory: +0 token (PID in bits 8..9, length in bits
+    16..30), +4 buffer pointer. *)
+
+val pid_out : int
+val pid_in : int
+val pid_setup : int
+
+val layout : Devir.Layout.t
+val program : version:Qemu_version.t -> Devir.Program.t
+val device : version:Qemu_version.t -> Device.t

@@ -1,0 +1,432 @@
+open Devir
+open Devir.Dsl
+
+let name = "pcnet"
+let io_base = 0xC100L
+let irq_cb = 0x0050_2000L
+let buffer_size = 4096
+let cve_2015_750x_fixed_in = Qemu_version.v 2 5 0
+let cve_2016_7909_fixed_in = Qemu_version.v 2 7 1
+
+let ib_mode_off = 0
+let ib_rdra_off = 4
+let ib_tdra_off = 8
+let ib_rcvrl_off = 12
+let ib_xmtrl_off = 16
+let desc_size = 16
+
+(* CSR0 bits. *)
+let csr0_init = 0x0001
+let csr0_strt = 0x0002
+let csr0_stop = 0x0004
+let csr0_tdmd = 0x0008
+let csr0_txon = 0x0010
+let csr0_rxon = 0x0020
+let csr0_inea = 0x0040
+let csr0_idon = 0x0100
+let csr0_tint = 0x0200
+let csr0_rint = 0x0400
+let csr0_miss = 0x1000
+
+let own_bit = 0x8000_0000L
+let enp_bit = 0x0100_0000L
+
+(* The [irq] pointer directly follows [buffer]; [guard] keeps moderate
+   overflows inside the structure so corruption (not an immediate crash) is
+   what the exploit achieves, as on the real heap. *)
+let layout =
+  Layout.make
+    [
+      Layout.reg ~hw:true "rap" Width.W8;
+      Layout.reg ~hw:true "csr0" Width.W16;
+      Layout.reg ~hw:true "mode" Width.W16;
+      Layout.reg ~hw:true "bcr20" Width.W16;
+      Layout.reg "init_addr" Width.W32;
+      Layout.reg "rdra" Width.W32;
+      Layout.reg "tdra" Width.W32;
+      Layout.reg "rcvrl" Width.W32;
+      Layout.reg "xmtrl" Width.W32;
+      Layout.reg "recv_idx" Width.W32;
+      Layout.reg "xmit_idx" Width.W32;
+      Layout.reg "xmit_pos" Width.W32;
+      Layout.reg "recv_pos" Width.W32;
+      Layout.reg "lnkst" Width.W8;
+      Layout.reg "wr_sum" Width.W32;
+      Layout.buf "buffer" buffer_size;
+      Layout.fn_ptr ~init:irq_cb "irq";
+      Layout.buf "guard" 512;
+    ]
+
+let or_csr0 bits = set "csr0" (bor Width.W16 (fld "csr0") (c bits))
+
+let tmd_field off =
+  fld "tdra" +% ((fld "xmit_idx" *% c desc_size) +% c off)
+
+let rmd_field off =
+  fld "rdra" +% ((fld "recv_idx" *% c desc_size) +% c off)
+
+let write_handler ~vuln_750x ~vuln_7909 =
+  let clamp_ring local set_fld ok_label next_label =
+    (* Patched ring-length setup: a zero length is forced to 1. *)
+    [
+      blk ok_label []
+        (br (lcl local ==% c 0) (ok_label ^ "_clamp") (ok_label ^ "_set"));
+      blk (ok_label ^ "_clamp") [ set set_fld (c 1) ] (goto next_label);
+      blk (ok_label ^ "_set") [ set set_fld (lcl local) ] (goto next_label);
+    ]
+  in
+  let init_ring_blocks =
+    if vuln_7909 then
+      [
+        blk "cb_init_rings"
+          [ set "rcvrl" (lcl "ib_rcvrl"); set "xmtrl" (lcl "ib_xmtrl") ]
+          (goto "cb_init_done");
+      ]
+    else
+      blk "cb_init_rings" [] (br (lcl "ib_rcvrl" ==% c 0) "cb_rcl_clamp" "cb_rcl_set")
+      :: blk "cb_rcl_clamp" [ set "rcvrl" (c 1) ] (goto "cb_xml")
+      :: blk "cb_rcl_set" [ set "rcvrl" (lcl "ib_rcvrl") ] (goto "cb_xml")
+      :: clamp_ring "ib_xmtrl" "xmtrl" "cb_xml" "cb_init_done"
+  in
+  let csr76_blocks =
+    if vuln_7909 then
+      [ blk "w_csr76" [ set "rcvrl" (prm "data") ] (goto "w_exit") ]
+    else
+      [
+        blk "w_csr76" [] (br (prm "data" ==% c 0) "w_csr76_clamp" "w_csr76_set");
+        blk "w_csr76_clamp" [ set "rcvrl" (c 1) ] (goto "w_exit");
+        blk "w_csr76_set" [ set "rcvrl" (prm "data") ] (goto "w_exit");
+      ]
+  in
+  (* Frames may span several descriptors; only a descriptor with ENP set
+     completes the frame.  CVE-2015-7512: the vulnerable code accumulates
+     fragment bytes at [xmit_pos] without bounding it against the buffer, so
+     a guest chaining enough un-ENP'd fragments writes past it. *)
+  let tx_copy_blocks =
+    if vuln_750x then
+      [
+        blk "tx_own"
+          [
+            Stmt.Read_guest { local = "tmd_addr"; addr = tmd_field 0; width = Width.W32 };
+            Stmt.Read_guest { local = "tmd_bcnt"; addr = tmd_field 8; width = Width.W32 };
+            dma_in ~buf:"buffer" ~buf_off:(fld "xmit_pos") ~addr:(lcl "tmd_addr")
+              ~len:(lcl "tmd_bcnt");
+            set "xmit_pos" (fld "xmit_pos" +% lcl "tmd_bcnt");
+            local "fsize" (lcl "fsize" +% lcl "tmd_bcnt");
+          ]
+          (br ((lcl "tmd_status" &% c64 enp_bit) <>% c 0) "tx_send_chk" "tx_finish");
+      ]
+    else
+      [
+        blk "tx_own"
+          [
+            Stmt.Read_guest { local = "tmd_addr"; addr = tmd_field 0; width = Width.W32 };
+            Stmt.Read_guest { local = "tmd_bcnt"; addr = tmd_field 8; width = Width.W32 };
+          ]
+          (br ((fld "xmit_pos" +% lcl "tmd_bcnt") <=% buflen "buffer") "tx_copy"
+             "tx_drop");
+        blk "tx_copy"
+          [
+            dma_in ~buf:"buffer" ~buf_off:(fld "xmit_pos") ~addr:(lcl "tmd_addr")
+              ~len:(lcl "tmd_bcnt");
+            set "xmit_pos" (fld "xmit_pos" +% lcl "tmd_bcnt");
+            local "fsize" (lcl "fsize" +% lcl "tmd_bcnt");
+          ]
+          (br ((lcl "tmd_status" &% c64 enp_bit) <>% c 0) "tx_send_chk" "tx_finish");
+        blk "tx_drop" [ set "xmit_pos" (c 0); local "fsize" (c 0) ] (goto "tx_finish");
+      ]
+  in
+  let crc_stmts =
+    [
+      setb "buffer" (lcl "lsize") (bufb "buffer" (c 0) ^% c 0x5A);
+      setb "buffer" (lcl "lsize" +% c 1) (c 0xA5);
+      setb "buffer" (lcl "lsize" +% c 2) (c 0x3C);
+      setb "buffer" (lcl "lsize" +% c 3) (c 0xC3);
+    ]
+  in
+  let loopback_blocks =
+    if vuln_750x then
+      (* CVE-2015-7504: FCS appended without bounding size + 4. *)
+      [
+        blk "tx_loopback" [ local "lsize" (lcl "fsize") ] (goto "lb_crc");
+        blk "lb_crc"
+          (crc_stmts @ [ or_csr0 csr0_rint; set "xmit_pos" (c 0); local "fsize" (c 0) ])
+          (goto "tx_finish");
+      ]
+    else
+      [
+        blk "tx_loopback"
+          [ local "lsize" (lcl "fsize") ]
+          (br ((lcl "lsize" +% c 4) <=% buflen "buffer") "lb_crc" "lb_skip");
+        blk "lb_crc"
+          (crc_stmts @ [ or_csr0 csr0_rint; set "xmit_pos" (c 0); local "fsize" (c 0) ])
+          (goto "tx_finish");
+        blk "lb_skip"
+          [ or_csr0 csr0_rint; set "xmit_pos" (c 0); local "fsize" (c 0) ]
+          (goto "tx_finish");
+      ]
+  in
+  handler "write"
+    ~params:[ "addr"; "offset"; "size"; "data" ]
+    ([
+       entry "w_entry" []
+         (switch (prm "offset")
+            [ (0x10, "w_rdp"); (0x12, "w_rap"); (0x14, "w_reset"); (0x16, "w_bdp") ]
+            "w_exit");
+       blk "w_rap" [ set "rap" (prm "data" &% c 0xFF) ] (goto "w_exit");
+       blk "w_reset"
+         [
+           set "csr0" (c ~w:Width.W16 csr0_stop);
+           set "xmit_pos" (c 0);
+           set "recv_pos" (c 0);
+           set "xmit_idx" (c 0);
+           set "recv_idx" (c 0);
+         ]
+         (goto "w_exit");
+       blk "w_bdp" [] (br (fld "rap" ==% c 20) "w_bcr20" "w_exit");
+       blk "w_bcr20" [ set "bcr20" (prm "data") ] (goto "w_exit");
+       cmd_decision "w_rdp" []
+         (switch (fld "rap")
+            [
+              (0, "w_csr0");
+              (1, "w_csr1");
+              (2, "w_csr2");
+              (15, "w_csr15");
+              (76, "w_csr76");
+              (78, "w_csr78");
+            ]
+            "w_exit");
+       blk "w_csr1"
+         [
+           set "init_addr"
+             (bor Width.W32
+                (band Width.W32 (fld "init_addr") (c64 0xFFFF0000L))
+                (prm "data" &% c 0xFFFF));
+         ]
+         (goto "w_exit");
+       blk "w_csr2"
+         [
+           set "init_addr"
+             (bor Width.W32
+                (band Width.W32 (fld "init_addr") (c 0xFFFF))
+                (shl Width.W32 (prm "data" &% c 0xFFFF) (c 16)));
+         ]
+         (goto "w_exit");
+       blk "w_csr15" [ set "mode" (prm "data") ] (goto "w_exit");
+       blk "w_csr78" [ set "xmtrl" (prm "data") ] (goto "w_exit");
+       blk "w_csr0" [] (br ((prm "data" &% c csr0_stop) <>% c 0) "cb_stop" "cb_chk_init");
+       blk "cb_stop" [ set "csr0" (c ~w:Width.W16 csr0_stop) ] (goto "w_exit");
+       blk "cb_chk_init" []
+         (br ((prm "data" &% c csr0_init) <>% c 0) "cb_init" "cb_chk_strt");
+       blk "cb_init"
+         [
+           Stmt.Read_guest
+             { local = "ib_mode"; addr = fld "init_addr" +% c ib_mode_off; width = Width.W16 };
+           Stmt.Read_guest
+             { local = "ib_rdra"; addr = fld "init_addr" +% c ib_rdra_off; width = Width.W32 };
+           Stmt.Read_guest
+             { local = "ib_tdra"; addr = fld "init_addr" +% c ib_tdra_off; width = Width.W32 };
+           Stmt.Read_guest
+             { local = "ib_rcvrl"; addr = fld "init_addr" +% c ib_rcvrl_off; width = Width.W32 };
+           Stmt.Read_guest
+             { local = "ib_xmtrl"; addr = fld "init_addr" +% c ib_xmtrl_off; width = Width.W32 };
+           set "mode" (lcl "ib_mode");
+           set "rdra" (lcl "ib_rdra");
+           set "tdra" (lcl "ib_tdra");
+         ]
+         (goto "cb_init_rings");
+     ]
+    @ init_ring_blocks
+    @ [
+        blk "cb_init_done"
+          [
+            set "recv_idx" (c 0);
+            set "xmit_idx" (c 0);
+            (* INIT clears STOP, like the real chip. *)
+            set "csr0"
+              (bor Width.W16
+                 (band Width.W16 (fld "csr0") (c (0xFFFF lxor csr0_stop)))
+                 (c (csr0_idon lor csr0_init)));
+          ]
+          (icall (fld "irq") "cb_chk_strt");
+        blk "cb_chk_strt" []
+          (br ((prm "data" &% c csr0_strt) <>% c 0) "cb_strt" "cb_chk_tdmd");
+        blk "cb_strt"
+          [
+            set "csr0"
+              (bor Width.W16
+                 (band Width.W16 (fld "csr0") (c (0xFFFF lxor csr0_stop)))
+                 (c (csr0_strt lor csr0_txon lor csr0_rxon)));
+          ]
+          (goto "cb_chk_tdmd");
+        blk "cb_chk_tdmd" []
+          (br ((prm "data" &% c csr0_tdmd) <>% c 0) "tx_poll" "cb_inea");
+        blk "cb_inea"
+          [
+            set "csr0"
+              (bor Width.W16
+                 (band Width.W16 (fld "csr0") (c (0xFFFF lxor csr0_inea)))
+                 (prm "data" &% c csr0_inea));
+          ]
+          (goto "w_exit");
+        blk "tx_poll" [ local "fsize" (c 0) ]
+          (br ((fld "csr0" &% c csr0_txon) <>% c 0) "tx_loop" "cb_inea");
+        blk "tx_loop"
+          [ Stmt.Read_guest { local = "tmd_status"; addr = tmd_field 4; width = Width.W32 } ]
+          (br ((lcl "tmd_status" &% c64 own_bit) <>% c 0) "tx_own" "tx_done");
+      ]
+    @ tx_copy_blocks
+    @ [
+        blk "tx_send_chk" []
+          (br ((fld "mode" &% c 4) <>% c 0) "tx_loopback" "tx_wire");
+        blk "tx_wire"
+          [
+            set "wr_sum" (bxor Width.W32 (fld "wr_sum") (bufb "buffer" (c 0)));
+            set "xmit_pos" (c 0);
+            local "fsize" (c 0);
+          ]
+          (goto "tx_finish");
+      ]
+    @ loopback_blocks
+    @ [
+        blk "tx_finish"
+          [
+            store ~w:Width.W32 (tmd_field 4)
+              (band Width.W32 (lcl "tmd_status") (c64 0x7FFFFFFFL));
+            set "xmit_idx" (fld "xmit_idx" +% c 1);
+          ]
+          (br (fld "xmit_idx" >=% fld "xmtrl") "tx_wrap" "tx_int");
+        blk "tx_wrap" [ set "xmit_idx" (c 0) ] (goto "tx_int");
+        blk "tx_int" [ or_csr0 csr0_tint ] (icall (fld "irq") "tx_loop_back");
+        blk "tx_loop_back" [] (goto "tx_loop");
+        blk "tx_done" [] (goto "cb_inea");
+        exit_ "w_exit" [];
+      ]
+    @ csr76_blocks)
+
+let receive_handler ~vuln_7512 ~vuln_7909 =
+  let entry_blocks =
+    if vuln_7512 then
+      [
+        entry "rx_entry" []
+          (br ((fld "csr0" &% c csr0_rxon) <>% c 0) "rx_copy" "rx_exit");
+      ]
+    else
+      [
+        entry "rx_entry" []
+          (br ((fld "csr0" &% c csr0_rxon) <>% c 0) "rx_szchk" "rx_exit");
+        blk "rx_szchk" [] (br (prm "size" >% buflen "buffer") "rx_exit" "rx_copy");
+      ]
+  in
+  let scan_exit_cond =
+    (* CVE-2016-7909: equality exit is unreachable for rcvrl = 0. *)
+    if vuln_7909 then lcl "scan" ==% fld "rcvrl" else lcl "scan" >=% fld "rcvrl"
+  in
+  handler "receive"
+    ~params:[ "size"; "pkt_addr" ]
+    (entry_blocks
+    @ [
+        blk "rx_copy"
+          [
+            set "recv_pos" (c 0);
+            dma_in ~buf:"buffer" ~buf_off:(fld "recv_pos") ~addr:(prm "pkt_addr")
+              ~len:(prm "size");
+            local "scan" (c 0);
+          ]
+          (goto "rx_scan");
+        blk "rx_scan"
+          [ Stmt.Read_guest { local = "rmd_status"; addr = rmd_field 4; width = Width.W32 } ]
+          (br ((lcl "rmd_status" &% c64 own_bit) <>% c 0) "rx_deliver" "rx_next");
+        blk "rx_next"
+          [ set "recv_idx" (fld "recv_idx" +% c 1) ]
+          (br (fld "recv_idx" >=% fld "rcvrl") "rx_widx" "rx_cnt");
+        blk "rx_widx" [ set "recv_idx" (c 0) ] (goto "rx_cnt");
+        blk "rx_cnt" [ local "scan" (lcl "scan" +% c 1) ]
+          (br scan_exit_cond "rx_miss" "rx_scan");
+        blk "rx_miss" [ set "csr0" (bor Width.W16 (fld "csr0") (c csr0_miss)) ]
+          (goto "rx_exit");
+        blk "rx_deliver"
+          [
+            Stmt.Read_guest { local = "rmd_addr"; addr = rmd_field 0; width = Width.W32 };
+            dma_out ~buf:"buffer" ~buf_off:(c 0) ~addr:(lcl "rmd_addr") ~len:(prm "size");
+            store ~w:Width.W32 (rmd_field 4)
+              (band Width.W32 (lcl "rmd_status") (c64 0x7FFFFFFFL));
+            store ~w:Width.W32 (rmd_field 12) (prm "size");
+            set "recv_idx" (fld "recv_idx" +% c 1);
+          ]
+          (br (fld "recv_idx" >=% fld "rcvrl") "rx_dwrap" "rx_int");
+        blk "rx_dwrap" [ set "recv_idx" (c 0) ] (goto "rx_int");
+        blk "rx_int" [ set "csr0" (bor Width.W16 (fld "csr0") (c csr0_rint)) ]
+          (icall (fld "irq") "rx_end");
+        blk "rx_end" [] (goto "rx_exit");
+        exit_ "rx_exit" [];
+      ])
+
+let read_handler =
+  handler "read"
+    ~params:[ "addr"; "offset"; "size"; "data" ]
+    [
+      entry "r_entry" []
+        (switch (prm "offset")
+           [ (0x10, "r_rdp"); (0x12, "r_rap"); (0x14, "r_reset"); (0x16, "r_bdp") ]
+           "r_zero");
+      blk "r_rap" [ respond (fld "rap") ] (goto "r_exit");
+      blk "r_reset" [ respond (c 0) ] (goto "r_exit");
+      blk "r_zero" [ respond (c 0) ] (goto "r_exit");
+      blk "r_rdp" []
+        (switch (fld "rap")
+           [
+             (0, "r_csr0");
+             (1, "r_csr1");
+             (2, "r_csr2");
+             (15, "r_csr15");
+             (76, "r_csr76");
+             (78, "r_csr78");
+             (88, "r_chipid");
+           ]
+           "r_zero2");
+      blk "r_csr0" [ respond (fld "csr0") ] (goto "r_exit");
+      blk "r_csr1" [ respond (fld "init_addr" &% c 0xFFFF) ] (goto "r_exit");
+      blk "r_csr2" [ respond (shr Width.W32 (fld "init_addr") (c 16)) ] (goto "r_exit");
+      blk "r_csr15" [ respond (fld "mode") ] (goto "r_exit");
+      blk "r_csr76" [ respond (fld "rcvrl") ] (goto "r_exit");
+      blk "r_csr78" [ respond (fld "xmtrl") ] (goto "r_exit");
+      blk "r_chipid" [ respond (c 0x2621) ] (goto "r_exit");
+      blk "r_zero2" [ respond (c 0) ] (goto "r_exit");
+      (* BCR4: link status comes from the host NIC — invisible to the
+         ES-Checker, hence a sync point in the execution specification. *)
+      blk "r_bdp" [] (br (fld "rap" ==% c 4) "r_lnkst" "r_bdp_other");
+      blk "r_lnkst" [ hostv "lnk" "pcnet_link" ]
+        (br (lcl "lnk" <>% c 0) "r_lnk_up" "r_lnk_down");
+      blk "r_lnk_up" [ set "lnkst" (c 0x40); respond (c 0xC0) ] (goto "r_exit");
+      blk "r_lnk_down" [ set "lnkst" (c 0); respond (c 0) ] (goto "r_exit");
+      blk "r_bdp_other" [] (br (fld "rap" ==% c 20) "r_bcr20" "r_zero3");
+      blk "r_bcr20" [ respond (fld "bcr20") ] (goto "r_exit");
+      blk "r_zero3" [ respond (c 0) ] (goto "r_exit");
+      exit_ "r_exit" [];
+    ]
+
+let program ~version =
+  let vuln_750x = Qemu_version.(version < cve_2015_750x_fixed_in) in
+  let vuln_7909 = Qemu_version.(version < cve_2016_7909_fixed_in) in
+  Program.make ~name ~layout ~code_base:0x0042_0000L
+    ~callbacks:
+      [ (irq_cb, { Program.cb_name = "pcnet_irq"; action = Program.Raise_irq_line }) ]
+    [
+      write_handler ~vuln_750x ~vuln_7909;
+      read_handler;
+      receive_handler ~vuln_7512:vuln_750x ~vuln_7909;
+    ]
+
+let device ~version =
+  let program = program ~version in
+  {
+    Device.name;
+    version;
+    program;
+    make_binding =
+      (fun () ->
+        Device.binding_of ~program
+          ~pmio:[ (io_base, 0x20) ]
+          ~pmio_read:"read" ~pmio_write:"write" ());
+  }

@@ -1,0 +1,47 @@
+(** AMD PCNet-PCI II network adapter, modelled after QEMU's [pcnet.c].
+
+    Port-mapped at [0xC100]: RDP (CSR data), RAP (register address), reset
+    and BDP (BCR data).  The driver initialises the device by staging an
+    init block in guest memory (mode, receive/transmit descriptor ring
+    addresses and lengths) and setting CSR0.INIT; transmission polls the
+    TX descriptor ring on CSR0.TDMD, DMA-ing owned frames into the 4096-byte
+    device buffer; reception scans the RX ring for an owned descriptor and
+    DMAs the frame to the guest.  The [irq] function pointer sits directly
+    after the frame buffer, as the corresponding QEMU heap layout that made
+    the 2015 exploits control-flow hijacks.
+
+    Vulnerabilities (version-gated):
+    - {b CVE-2015-7504} (fixed in 2.5.0): in loopback mode the FCS/CRC is
+      appended at [buffer\[size\]] without bounding [size + 4], so a
+      4096-byte loopback frame overwrites the adjacent [irq] pointer.
+    - {b CVE-2015-7512} (fixed in 2.5.0): received frames are copied without
+      checking [size] against the buffer, so an oversized frame corrupts
+      the fields behind the buffer.
+    - {b CVE-2016-7909} (fixed in 2.7.1): the receive-ring scan exits on
+      [scanned == rcvrl]; a guest that programs a ring length of zero makes
+      the condition unreachable and the scan loops forever. *)
+
+val name : string
+val io_base : int64
+val irq_cb : int64
+val buffer_size : int
+val cve_2015_750x_fixed_in : Qemu_version.t
+val cve_2016_7909_fixed_in : Qemu_version.t
+
+(** Init-block field offsets relative to the init address (mode, rdra,
+    tdra, rcvrl, xmtrl). *)
+
+val ib_mode_off : int
+val ib_rdra_off : int
+val ib_tdra_off : int
+val ib_rcvrl_off : int
+val ib_xmtrl_off : int
+
+(** Ring descriptors are 16 bytes: buffer address, status (bit 31 = OWN),
+    byte count, message count. *)
+
+val desc_size : int
+
+val layout : Devir.Layout.t
+val program : version:Qemu_version.t -> Devir.Program.t
+val device : version:Qemu_version.t -> Device.t

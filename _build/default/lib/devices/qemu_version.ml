@@ -1,0 +1,19 @@
+type t = int * int * int
+
+let v major minor patch = (major, minor, patch)
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c ] -> (
+    match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+    | Some a, Some b, Some c -> (a, b, c)
+    | _ -> invalid_arg (Printf.sprintf "Qemu_version.of_string: %s" s))
+  | _ -> invalid_arg (Printf.sprintf "Qemu_version.of_string: %s" s)
+
+let to_string (a, b, c) = Printf.sprintf "%d.%d.%d" a b c
+
+let compare = Stdlib.compare
+let ( < ) a b = compare a b < 0
+let ( >= ) a b = compare a b >= 0
+
+let latest = (99, 0, 0)

@@ -1,0 +1,24 @@
+(** QEMU release versions, used to gate vulnerable code paths.
+
+    The paper evaluates each CVE against the QEMU release that shipped the
+    bug (e.g. Venom against v2.3.0, CVE-2020-14364 against v5.1.0).  Our
+    device models do the same: building a device at a version older than a
+    fix includes the faithful vulnerable logic; at or after the fix it
+    includes the patched logic. *)
+
+type t
+
+val v : int -> int -> int -> t
+(** [v major minor patch]. *)
+
+val of_string : string -> t
+(** Parses ["2.3.0"].  Raises [Invalid_argument] on malformed input. *)
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val latest : t
+(** A version newer than every fix — all patches applied. *)

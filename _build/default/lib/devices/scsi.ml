@@ -1,0 +1,474 @@
+open Devir
+open Devir.Dsl
+
+let name = "scsi"
+let mmio_base = 0x4000_0000L
+let irq_cb = 0x0050_4000L
+let complete_cb = 0x0050_4008L
+let ti_buf_size = 16
+let cmdbuf_size = 16
+let cve_2015_5158_fixed_in = Qemu_version.v 2 4 1
+let cve_2016_4439_fixed_in = Qemu_version.v 2 6 1
+let cve_2016_1568_fixed_in = Qemu_version.v 2 5 1
+
+(* Interrupt register bits. *)
+let intr_fc = 0x08  (* function complete *)
+let intr_bs = 0x10  (* bus service *)
+let intr_dc = 0x20  (* disconnect *)
+let intr_rst = 0x80
+
+(* scsi_state values: 0 idle, 1 selected, 2 data-in, 3 data-out, 4 status. *)
+
+(* cmdbuf is followed by ti_size/scsi_state/do_cmd/cdb_len and cdb is
+   followed by disk_len/disk_lba: the two overflows corrupt exactly the
+   scalars that drive later control flow, as on the real struct. *)
+let layout =
+  Layout.make
+    [
+      Layout.reg ~hw:true "tclo" Width.W8;
+      Layout.reg ~hw:true "tchi" Width.W8;
+      Layout.reg ~hw:true "status" Width.W8;
+      Layout.reg ~hw:true "intr" Width.W8;
+      Layout.reg ~hw:true "seqstep" Width.W8;
+      Layout.reg ~hw:true "wregs_cmd" Width.W8;
+      Layout.reg ~hw:true "dma_addr" Width.W32;
+      Layout.reg "ti_rptr" Width.W16;
+      Layout.reg "ti_wptr" Width.W16;
+      Layout.reg "lun" Width.W8;
+      Layout.reg "completions" Width.W32;
+      Layout.reg "wr_sum" Width.W32;
+      Layout.reg "req_active" Width.W8;
+      Layout.buf "ti_buf" ti_buf_size;
+      Layout.buf "dma_buf" 4096;
+      Layout.buf "cmdbuf" cmdbuf_size;
+      Layout.reg "ti_size" Width.W16;
+      Layout.reg "scsi_state" Width.W8;
+      Layout.reg "do_cmd" Width.W8;
+      Layout.reg "cdb_len" Width.W16;
+      Layout.buf "cdb" 16;
+      Layout.reg "disk_len" Width.W32;
+      Layout.reg "disk_lba" Width.W32;
+      Layout.fn_ptr ~init:complete_cb "complete_fn";
+      Layout.fn_ptr ~init:irq_cb "irq";
+      Layout.buf "guard" 64;
+    ]
+
+let disk_pattern = band Width.W32 ((fld "disk_lba" *% c 17) +% c 0x40) (c 0xFF)
+
+let write_handler ~vuln_5158 ~vuln_4439 ~vuln_1568 =
+  let sel_dma_blocks =
+    if vuln_4439 then
+      (* CVE-2016-4439: the DMA length is trusted. *)
+      [
+        blk "sel_dma"
+          [
+            Stmt.Read_guest { local = "dmalen"; addr = fld "dma_addr"; width = Width.W32 };
+            local "cl" (lcl "dmalen");
+            dma_in ~buf:"cmdbuf" ~buf_off:(c 0) ~addr:(fld "dma_addr" +% c 4)
+              ~len:(lcl "cl");
+          ]
+          (goto "sel_parse");
+      ]
+    else
+      [
+        blk "sel_dma"
+          [ Stmt.Read_guest { local = "dmalen"; addr = fld "dma_addr"; width = Width.W32 } ]
+          (br (lcl "dmalen" >% c cmdbuf_size) "sel_clamp" "sel_take");
+        blk "sel_clamp" [ local "cl" (c cmdbuf_size) ] (goto "sel_dma_copy");
+        blk "sel_take" [ local "cl" (lcl "dmalen") ] (goto "sel_dma_copy");
+        blk "sel_dma_copy"
+          [
+            dma_in ~buf:"cmdbuf" ~buf_off:(c 0) ~addr:(fld "dma_addr" +% c 4)
+              ~len:(lcl "cl");
+          ]
+          (goto "sel_parse");
+      ]
+  in
+  let cdb_default_blocks =
+    if vuln_5158 then
+      (* CVE-2015-5158: reserved command groups take the transferred length
+         as the CDB length. *)
+      [ blk "cl_bad" [ set "cdb_len" (lcl "cl") ] (goto "cp_init") ]
+    else
+      [
+        blk "cl_bad"
+          [
+            set "status" (c ~w:Width.W8 2);
+            set "do_cmd" (c ~w:Width.W8 0);
+            set "intr" (c ~w:Width.W8 intr_fc);
+          ]
+          (icall (fld "irq") "cl_bad_end");
+        blk "cl_bad_end" [] (goto "es_exit");
+      ]
+  in
+  let iccs_blocks =
+    if vuln_1568 then
+      [ blk "es_iccs" [] (goto "iccs_do") ]
+    else
+      [ blk "es_iccs" [] (br (fld "req_active" ==% c 1) "iccs_do" "es_exit") ]
+  in
+  handler "mmio_write"
+    ~params:[ "addr"; "offset"; "size"; "data" ]
+    ([
+       entry "w_entry" []
+         (switch (prm "offset")
+            [
+              (0, "w_tclo");
+              (1, "w_tchi");
+              (2, "w_fifo");
+              (3, "w_cmd");
+              (8, "w_dmaaddr");
+            ]
+            "es_exit");
+       blk "w_tclo" [ set "tclo" (prm "data") ] (goto "es_exit");
+       blk "w_tchi" [ set "tchi" (prm "data") ] (goto "es_exit");
+       blk "w_dmaaddr" [ set "dma_addr" (prm "data") ] (goto "es_exit");
+       blk "w_fifo" [] (br (fld "ti_wptr" <% c ti_buf_size) "wf_push" "es_exit");
+       blk "wf_push"
+         [
+           setb "ti_buf" (fld "ti_wptr") (prm "data");
+           set "ti_wptr" (fld "ti_wptr" +% c 1);
+           set "ti_size" (fld "ti_wptr");
+         ]
+         (goto "es_exit");
+       cmd_decision "w_cmd"
+         [ set "wregs_cmd" (prm "data") ]
+         (switch (prm "data" &% c 0x7F)
+            [
+              (0x00, "es_nop");
+              (0x01, "es_flush");
+              (0x02, "es_reset");
+              (0x03, "es_busreset");
+              (0x10, "ti_chk");
+              (0x11, "es_iccs");
+              (0x12, "es_msgacc");
+              (0x41, "sel_entry");
+              (0x42, "sel_entry");
+            ]
+            "es_nop");
+       blk "es_nop" [] (goto "es_exit");
+       blk "es_flush"
+         [ set "ti_rptr" (c 0); set "ti_wptr" (c 0) ]
+         (goto "es_exit");
+       blk "es_reset"
+         [
+           set "ti_rptr" (c 0);
+           set "ti_wptr" (c 0);
+           set "ti_size" (c 0);
+           set "scsi_state" (c ~w:Width.W8 0);
+           set "do_cmd" (c ~w:Width.W8 0);
+           set "req_active" (c ~w:Width.W8 0);
+           set "status" (c ~w:Width.W8 0);
+           set "intr" (c ~w:Width.W8 0);
+           set "disk_len" (c 0);
+           set "cdb_len" (c 0);
+           set "seqstep" (c ~w:Width.W8 0);
+         ]
+         (goto "es_exit");
+       blk "es_busreset" [ set "intr" (c ~w:Width.W8 intr_rst) ]
+         (icall (fld "irq") "es_busreset_end");
+       blk "es_busreset_end" [] (goto "es_exit");
+       (* SELECT: latch the CDB (FIFO or DMA), parse, execute. *)
+       blk "sel_entry" [ set "seqstep" (c ~w:Width.W8 0) ]
+         (br ((fld "wregs_cmd" &% c 0x80) <>% c 0) "sel_dma" "sel_fifo");
+       blk "sel_fifo"
+         [ local "cl" (fld "ti_wptr"); local "ci" (c 0) ]
+         (br (lcl "cl" ==% c 0) "sel_parse" "sf_loop");
+       blk "sf_loop"
+         [
+           setb "cmdbuf" (lcl "ci") (bufb "ti_buf" (lcl "ci"));
+           local "ci" (lcl "ci" +% c 1);
+         ]
+         (br (lcl "ci" <% lcl "cl") "sf_loop" "sel_parse");
+       blk "sel_parse" [ set "do_cmd" (c ~w:Width.W8 1) ]
+         (br ((fld "wregs_cmd" &% c 0x7F) ==% c 0x41) "sp_atn" "sp_noatn");
+       blk "sp_atn"
+         [
+           set "lun" (band Width.W8 (bufb "cmdbuf" (c 0)) (c 7));
+           local "cdb_start" (c 1);
+         ]
+         (goto "cdb_lencalc");
+       blk "sp_noatn"
+         [ set "lun" (c ~w:Width.W8 0); local "cdb_start" (c 0) ]
+         (goto "cdb_lencalc");
+       blk "cdb_lencalc"
+         [
+           local "op" (bufb "cmdbuf" (lcl "cdb_start"));
+           local "grp" (shr Width.W32 (lcl "op") (c 5));
+         ]
+         (switch (lcl "grp")
+            [ (0, "cl6"); (1, "cl10"); (2, "cl10"); (5, "cl12") ]
+            "cl_bad");
+       blk "cl6" [ set "cdb_len" (c 6) ] (goto "cp_init");
+       blk "cl10" [ set "cdb_len" (c 10) ] (goto "cp_init");
+       blk "cl12" [ set "cdb_len" (c 12) ] (goto "cp_init");
+       blk "cp_init" [ local "ci" (c 0) ] (goto "cp_loop");
+       blk "cp_loop"
+         [
+           setb "cdb" (lcl "ci") (bufb "cmdbuf" (lcl "ci" +% lcl "cdb_start"));
+           local "ci" (lcl "ci" +% c 1);
+         ]
+         (br (lcl "ci" <% fld "cdb_len") "cp_loop" "scsi_exec");
+       cmd_decision "scsi_exec" []
+         (switch (bufb "cdb" (c 0))
+            [
+              (0x00, "sc_tur");
+              (0x03, "sc_sense");
+              (0x12, "sc_inquiry");
+              (0x1A, "sc_modesense");
+              (0x25, "sc_readcap");
+              (0x28, "sc_read10");
+              (0x2A, "sc_write10");
+            ]
+            "sc_unknown");
+       blk "sc_tur"
+         [ set "status" (c ~w:Width.W8 0); set "scsi_state" (c ~w:Width.W8 4) ]
+         (goto "sc_done");
+       blk "sc_sense"
+         [ set "disk_len" (c 18); set "disk_lba" (c 0);
+           set "scsi_state" (c ~w:Width.W8 2); set "status" (c ~w:Width.W8 0) ]
+         (goto "sc_done");
+       blk "sc_inquiry"
+         [ set "disk_len" (c 36); set "disk_lba" (c 0);
+           set "scsi_state" (c ~w:Width.W8 2); set "status" (c ~w:Width.W8 0) ]
+         (goto "sc_done");
+       blk "sc_modesense"
+         [ set "disk_len" (bufb "cdb" (c 4)); set "disk_lba" (c 0);
+           set "scsi_state" (c ~w:Width.W8 2); set "status" (c ~w:Width.W8 0) ]
+         (goto "sc_done");
+       blk "sc_readcap"
+         [ set "disk_len" (c 8); set "disk_lba" (c 0);
+           set "scsi_state" (c ~w:Width.W8 2); set "status" (c ~w:Width.W8 0) ]
+         (goto "sc_done");
+       blk "sc_read10"
+         [
+           set "disk_lba"
+             (shl Width.W32 (bufb "cdb" (c 2)) (c 24)
+             |% (shl Width.W32 (bufb "cdb" (c 3)) (c 16)
+                |% (shl Width.W32 (bufb "cdb" (c 4)) (c 8) |% bufb "cdb" (c 5))));
+           local "nblk"
+             (shl Width.W32 (bufb "cdb" (c 7)) (c 8) |% bufb "cdb" (c 8));
+           set "disk_len" (lcl "nblk" *% c 512);
+           set "scsi_state" (c ~w:Width.W8 2);
+           set "status" (c ~w:Width.W8 0);
+         ]
+         (goto "sc_done");
+       blk "sc_write10"
+         [
+           set "disk_lba"
+             (shl Width.W32 (bufb "cdb" (c 2)) (c 24)
+             |% (shl Width.W32 (bufb "cdb" (c 3)) (c 16)
+                |% (shl Width.W32 (bufb "cdb" (c 4)) (c 8) |% bufb "cdb" (c 5))));
+           local "nblk"
+             (shl Width.W32 (bufb "cdb" (c 7)) (c 8) |% bufb "cdb" (c 8));
+           set "disk_len" (lcl "nblk" *% c 512);
+           set "scsi_state" (c ~w:Width.W8 3);
+           set "status" (c ~w:Width.W8 0);
+         ]
+         (goto "sc_done");
+       (* Unknown opcode: check condition; note disk_len is left as-is. *)
+       blk "sc_unknown"
+         [ set "status" (c ~w:Width.W8 2); set "scsi_state" (c ~w:Width.W8 4) ]
+         (goto "sc_done");
+       blk "sc_done"
+         [
+           set "req_active" (c ~w:Width.W8 1);
+           set "seqstep" (c ~w:Width.W8 4);
+           set "intr" (c ~w:Width.W8 (intr_bs lor intr_fc));
+         ]
+         (icall (fld "irq") "sc_done_end");
+       blk "sc_done_end" [] (goto "es_exit");
+       (* TRANSFER INFO.  The defensive length check is never taken by
+          benign traffic; CVE-2015-5158's corrupted disk_len lands here. *)
+       blk "ti_chk" [] (br (fld "ti_size" >% c ti_buf_size) "es_badti" "ti_len_chk");
+       (* An impossible FIFO byte count: CVE-2016-4439's corrupted ti_size
+          lands here. *)
+       blk "es_badti"
+         [ set "ti_size" (c 0); set "ti_rptr" (c 0); set "ti_wptr" (c 0);
+           set "status" (c ~w:Width.W8 2) ]
+         (goto "es_exit");
+       blk "ti_len_chk" [] (br (fld "disk_len" >% c 0x100000) "es_badlen" "ti_state_sw");
+       blk "es_badlen"
+         [ set "disk_len" (c 0); set "status" (c ~w:Width.W8 2) ]
+         (goto "es_exit");
+       blk "ti_state_sw" []
+         (switch (fld "scsi_state")
+            [ (0, "ti_idle"); (1, "ti_idle"); (2, "ti_datain"); (3, "ti_dataout");
+              (4, "ti_statusph") ]
+            "es_badstate");
+       (* An impossible device state: CVE-2016-4439's corrupted scsi_state
+          lands here. *)
+       blk "es_badstate"
+         [ set "status" (c ~w:Width.W8 2); set "intr" (c ~w:Width.W8 intr_dc) ]
+         (goto "es_exit");
+       blk "ti_idle" [ set "intr" (c ~w:Width.W8 intr_dc) ] (goto "es_exit");
+       (* DMA transfers move page-sized chunks through the external DMA
+          engine's bounce buffer; the FIFO path moves 16 bytes at a time. *)
+       blk "ti_datain" []
+         (br ((fld "wregs_cmd" &% c 0x80) <>% c 0) "ti_di_dmasz" "ti_di_fifosz");
+       blk "ti_di_dmasz" []
+         (br (fld "disk_len" <=% buflen "dma_buf") "ti_di_dlast" "ti_di_dfull");
+       blk "ti_di_dlast" [ local "chunk" (fld "disk_len") ] (goto "ti_di_dma");
+       blk "ti_di_dfull" [ local "chunk" (buflen "dma_buf") ] (goto "ti_di_dma");
+       blk "ti_di_fifosz" []
+         (br (fld "disk_len" <=% c ti_buf_size) "ti_di_last" "ti_di_full");
+       blk "ti_di_last" [ local "chunk" (fld "disk_len") ] (goto "ti_di_copy");
+       blk "ti_di_full" [ local "chunk" (c ti_buf_size) ] (goto "ti_di_copy");
+       blk "ti_di_copy"
+         [ fill "ti_buf" ~off:(c 0) ~len:(lcl "chunk") disk_pattern ]
+         (goto "ti_di_fifo");
+       blk "ti_di_dma"
+         [
+           fill "dma_buf" ~off:(c 0) ~len:(lcl "chunk") disk_pattern;
+           dma_out ~buf:"dma_buf" ~buf_off:(c 0) ~addr:(fld "dma_addr")
+             ~len:(lcl "chunk");
+           set "dma_addr" (fld "dma_addr" +% lcl "chunk");
+         ]
+         (goto "ti_di_adv");
+       blk "ti_di_fifo"
+         [ set "ti_wptr" (lcl "chunk"); set "ti_rptr" (c 0);
+           set "ti_size" (lcl "chunk") ]
+         (goto "ti_di_adv");
+       blk "ti_di_adv"
+         [
+           set "disk_len" (sub Width.W32 (fld "disk_len") (lcl "chunk"));
+           set "disk_lba" (fld "disk_lba" +% c 1);
+           set "intr" (c ~w:Width.W8 intr_bs);
+         ]
+         (br (fld "disk_len" ==% c 0) "ti_di_done" "ti_di_more");
+       blk "ti_di_done" [ set "scsi_state" (c ~w:Width.W8 4) ]
+         (icall (fld "irq") "ti_di_done_end");
+       blk "ti_di_done_end" [] (goto "es_exit");
+       blk "ti_di_more" [] (icall (fld "irq") "ti_di_more_end");
+       blk "ti_di_more_end" [] (goto "es_exit");
+       blk "ti_dataout" []
+         (br ((fld "wregs_cmd" &% c 0x80) <>% c 0) "ti_do_dmasz" "ti_do_fifosz");
+       blk "ti_do_dmasz" []
+         (br (fld "disk_len" <=% buflen "dma_buf") "ti_do_dlast" "ti_do_dfull");
+       blk "ti_do_dlast" [ local "chunk" (fld "disk_len") ] (goto "ti_do_dma");
+       blk "ti_do_dfull" [ local "chunk" (buflen "dma_buf") ] (goto "ti_do_dma");
+       blk "ti_do_fifosz" []
+         (br (fld "disk_len" <=% c ti_buf_size) "ti_do_last" "ti_do_full");
+       blk "ti_do_last" [ local "chunk" (fld "disk_len") ] (goto "ti_do_fifo");
+       blk "ti_do_full" [ local "chunk" (c ti_buf_size) ] (goto "ti_do_fifo");
+       blk "ti_do_dma"
+         [
+           dma_in ~buf:"dma_buf" ~buf_off:(c 0) ~addr:(fld "dma_addr")
+             ~len:(lcl "chunk");
+           set "wr_sum" (bxor Width.W32 (fld "wr_sum") (bufb "dma_buf" (c 0)));
+           set "dma_addr" (fld "dma_addr" +% lcl "chunk");
+         ]
+         (goto "ti_do_adv");
+       blk "ti_do_fifo"
+         [
+           set "ti_rptr" (c 0);
+           set "ti_wptr" (c 0);
+           set "wr_sum" (bxor Width.W32 (fld "wr_sum") (bufb "ti_buf" (c 0)));
+         ]
+         (goto "ti_do_adv");
+       blk "ti_do_adv"
+         [
+           set "disk_len" (sub Width.W32 (fld "disk_len") (lcl "chunk"));
+           set "intr" (c ~w:Width.W8 intr_bs);
+         ]
+         (br (fld "disk_len" ==% c 0) "ti_do_done" "ti_do_more");
+       blk "ti_do_done" [ set "scsi_state" (c ~w:Width.W8 4) ]
+         (icall (fld "irq") "ti_do_done_end");
+       blk "ti_do_done_end" [] (goto "es_exit");
+       blk "ti_do_more" [] (icall (fld "irq") "ti_do_more_end");
+       blk "ti_do_more_end" [] (goto "es_exit");
+       blk "ti_statusph"
+         [
+           setb "ti_buf" (c 0) (fld "status");
+           setb "ti_buf" (c 1) (c 0);
+           set "ti_wptr" (c 2);
+           set "ti_rptr" (c 0);
+           set "intr" (c ~w:Width.W8 (intr_bs lor intr_fc));
+         ]
+         (icall (fld "irq") "ti_st_end");
+       blk "ti_st_end" [] (goto "es_exit");
+       (* ICCS: the completion callback runs here. *)
+       blk "iccs_do"
+         [
+           set "completions" (fld "completions" +% c 1);
+           setb "ti_buf" (c 0) (fld "status");
+           setb "ti_buf" (c 1) (c 0);
+           set "ti_wptr" (c 2);
+           set "ti_rptr" (c 0);
+           set "intr" (c ~w:Width.W8 (intr_bs lor intr_fc));
+         ]
+         (icall (fld "complete_fn") "iccs_end");
+       blk "iccs_end" [] (goto "es_exit");
+       blk "es_msgacc"
+         [
+           set "req_active" (c ~w:Width.W8 0);
+           set "scsi_state" (c ~w:Width.W8 0);
+           set "do_cmd" (c ~w:Width.W8 0);
+           set "intr" (c ~w:Width.W8 intr_dc);
+         ]
+         (icall (fld "irq") "msgacc_end");
+       cmd_end "msgacc_end" [] (goto "es_exit");
+       exit_ "es_exit" [];
+     ]
+    @ sel_dma_blocks @ cdb_default_blocks @ iccs_blocks)
+
+let read_handler =
+  handler "mmio_read"
+    ~params:[ "addr"; "offset"; "size"; "data" ]
+    [
+      entry "r_entry" []
+        (switch (prm "offset")
+           [
+             (0, "r_tclo");
+             (1, "r_tchi");
+             (2, "r_fifo");
+             (4, "r_status");
+             (5, "r_intr");
+             (6, "r_seq");
+             (7, "r_flags");
+           ]
+           "r_zero");
+      blk "r_tclo" [ respond (fld "tclo") ] (goto "r_exit");
+      blk "r_tchi" [ respond (fld "tchi") ] (goto "r_exit");
+      blk "r_status" [ respond (fld "status") ] (goto "r_exit");
+      blk "r_seq" [ respond (fld "seqstep") ] (goto "r_exit");
+      blk "r_flags" [ respond (fld "ti_wptr") ] (goto "r_exit");
+      blk "r_zero" [ respond (c 0) ] (goto "r_exit");
+      (* Interrupt register reads clear it, like the real chip. *)
+      blk "r_intr" [ respond (fld "intr"); set "intr" (c ~w:Width.W8 0) ]
+        (goto "r_exit");
+      blk "r_fifo" [] (br (fld "ti_rptr" <% fld "ti_wptr") "rf_pop" "rf_empty");
+      blk "rf_pop"
+        [
+          respond (bufb "ti_buf" (fld "ti_rptr"));
+          set "ti_rptr" (fld "ti_rptr" +% c 1);
+        ]
+        (goto "r_exit");
+      blk "rf_empty" [ respond (c 0) ] (goto "r_exit");
+      exit_ "r_exit" [];
+    ]
+
+let program ~version =
+  let vuln_5158 = Qemu_version.(version < cve_2015_5158_fixed_in) in
+  let vuln_4439 = Qemu_version.(version < cve_2016_4439_fixed_in) in
+  let vuln_1568 = Qemu_version.(version < cve_2016_1568_fixed_in) in
+  Program.make ~name ~layout ~code_base:0x0044_0000L
+    ~callbacks:
+      [
+        (irq_cb, { Program.cb_name = "esp_irq"; action = Program.Raise_irq_line });
+        (complete_cb, { Program.cb_name = "esp_complete"; action = Program.Raise_irq_line });
+      ]
+    [ write_handler ~vuln_5158 ~vuln_4439 ~vuln_1568; read_handler ]
+
+let device ~version =
+  let program = program ~version in
+  {
+    Device.name;
+    version;
+    program;
+    make_binding =
+      (fun () ->
+        Device.binding_of ~program
+          ~mmio:[ (mmio_base, 0x40) ]
+          ~mmio_read:"mmio_read" ~mmio_write:"mmio_write" ());
+  }

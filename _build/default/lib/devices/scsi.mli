@@ -1,0 +1,41 @@
+(** ESP (53C9X) SCSI controller with a disk target, modelled after QEMU's
+    [esp.c] + [scsi-bus.c]/[scsi-disk.c].
+
+    Memory-mapped at [0x4000_0000]: transfer count (TCLO/TCHI), the 16-byte
+    TI FIFO, the command register, status/interrupt/sequence-step registers
+    and a DMA address register.  SELECT (with/without ATN) latches a CDB —
+    either from the FIFO or via DMA from a guest descriptor
+    ([count][bytes...] at the DMA address) — parses it by SCSI command
+    group and executes it against the disk; TRANSFER INFO moves data in
+    16-byte FIFO chunks (or via DMA); ICCS/MSGACC finish the request.
+
+    Vulnerabilities (version-gated):
+    - {b CVE-2015-5158} (fixed in 2.4.1): a CDB whose opcode falls in a
+      reserved command group takes the transferred length as the CDB
+      length, so parsing copies past the 16-byte [cdb] into [disk_len] /
+      [disk_lba].  Detected only later, when the corrupted [disk_len]
+      drives TRANSFER INFO through a defensive branch no benign run takes.
+    - {b CVE-2016-4439} (fixed in 2.6.1): [get_cmd] DMA-copies the full
+      guest-supplied length into the 16-byte [cmdbuf], corrupting
+      [ti_size], [scsi_state] and [cdb_len] behind it — an impossible
+      [scsi_state] then takes the TRANSFER INFO switch's default edge.
+    - {b CVE-2016-1568 analog} (fixed in 2.5.1): ICCS invokes the
+      completion callback without checking that a request is still active;
+      after MSGACC a replayed ICCS re-runs a completion for a dead request
+      (the use-after-free pattern).  The callback value is stale but {e
+      legitimate}, and the path is a trained one — this is the paper's
+      acknowledged miss. *)
+
+val name : string
+val mmio_base : int64
+val irq_cb : int64
+val complete_cb : int64
+val ti_buf_size : int
+val cmdbuf_size : int
+val cve_2015_5158_fixed_in : Qemu_version.t
+val cve_2016_4439_fixed_in : Qemu_version.t
+val cve_2016_1568_fixed_in : Qemu_version.t
+
+val layout : Devir.Layout.t
+val program : version:Qemu_version.t -> Devir.Program.t
+val device : version:Qemu_version.t -> Device.t

@@ -1,0 +1,316 @@
+open Devir
+open Devir.Dsl
+
+let name = "sdhci"
+let mmio_base = 0x2000_0000L
+let irq_cb = 0x0050_1000L
+let buf_size = 4096
+let cve_2021_3409_fixed_in = Qemu_version.v 6 0 0
+
+(* Normal interrupt status bits. *)
+let int_cmd_complete = 0x0001
+let int_xfer_complete = 0x0002
+let int_buf_write_rdy = 0x0010
+let int_buf_read_rdy = 0x0020
+let int_error = 0x8000
+
+(* Present-state bits. *)
+let prn_write_active = 0x0100
+let prn_read_active = 0x0200
+
+(* [fifo_buffer] is last: a runaway transfer escapes the structure quickly,
+   like the SDMA heap overflow of the real bug. *)
+let layout =
+  Layout.make
+    [
+      Layout.reg ~hw:true "sdma_addr" Width.W32;
+      Layout.reg ~hw:true "blksize" Width.W16;
+      Layout.reg ~hw:true "blkcnt" Width.W16;
+      Layout.reg ~hw:true "argument" Width.W32;
+      Layout.reg ~hw:true "trnmod" Width.W16;
+      Layout.reg ~hw:true "cmdreg" Width.W16;
+      Layout.reg ~hw:true "resp" Width.W32;
+      Layout.reg ~hw:true "prnsts" Width.W32;
+      Layout.reg ~hw:true "hostctl" Width.W8;
+      Layout.reg ~hw:true "clkcon" Width.W16;
+      Layout.reg ~hw:true "norintsts" Width.W16;
+      Layout.reg "card_state" Width.W8;
+      Layout.reg "rca" Width.W16;
+      Layout.reg "is_read" Width.W8;
+      Layout.reg "transfer_active" Width.W8;
+      Layout.reg "data_count" Width.W32;
+      Layout.reg "tx_remaining" Width.W32;
+      Layout.reg "wr_sum" Width.W32;
+      Layout.fn_ptr ~init:irq_cb "irq";
+      Layout.buf "fifo_buffer" buf_size;
+    ]
+
+let blk_mask e = e &% c 0xFFF
+
+(* Card data served for reads: a function of the argument (the LBA). *)
+let card_pattern = band Width.W32 ((fld "argument" *% c 11) +% c 0x30) (c 0xFF)
+
+let set_int bits = set "norintsts" (bor Width.W16 (fld "norintsts") (c bits))
+
+let write_handler ~vulnerable =
+  let blksize_blocks =
+    if vulnerable then
+      (* CVE-2021-3409: no transfer-active gate on the register write. *)
+      [ blk "w_blksize" [ set "blksize" (blk_mask (prm "data")) ] (goto "w_exit") ]
+    else
+      [
+        blk "w_blksize" []
+          (br (fld "transfer_active" <>% c 0) "w_exit" "w_blksize_ok");
+        blk "w_blksize_ok" [ set "blksize" (blk_mask (prm "data")) ] (goto "w_exit");
+      ]
+  in
+  let flush_cond =
+    (* The vulnerable flush test uses equality, so a shrunken blksize makes
+       it unreachable; the fix compares with >=. *)
+    if vulnerable then fld "data_count" ==% blk_mask (fld "blksize")
+    else fld "data_count" >=% blk_mask (fld "blksize")
+  in
+  handler "mmio_write"
+    ~params:[ "addr"; "offset"; "size"; "data" ]
+    ([
+       entry "w_entry" []
+         (switch (prm "offset")
+            [
+              (0x00, "w_sdma");
+              (0x04, "w_blksize");
+              (0x06, "w_blkcnt");
+              (0x08, "w_arg");
+              (0x0C, "w_trnmod");
+              (0x0E, "w_cmd");
+              (0x20, "w_bdata");
+              (0x30, "w_norint");
+            ]
+            "w_exit");
+       blk "w_sdma" [ set "sdma_addr" (prm "data") ] (goto "w_exit");
+       blk "w_blkcnt" [ set "blkcnt" (prm "data") ] (goto "w_exit");
+       blk "w_arg" [ set "argument" (prm "data") ] (goto "w_exit");
+       blk "w_trnmod" [ set "trnmod" (prm "data" &% c 0x37) ] (goto "w_exit");
+       cmd_decision "w_cmd"
+         [ set "cmdreg" (prm "data") ]
+         (switch
+            (band Width.W16 (shr Width.W16 (fld "cmdreg") (c 8)) (c 0x3F))
+            [
+              (0, "c_go_idle");
+              (2, "c_all_cid");
+              (3, "c_send_rca");
+              (7, "c_select");
+              (8, "c_if_cond");
+              (12, "c_stop");
+              (13, "c_status");
+              (16, "c_blocklen");
+              (17, "c_read_single");
+              (18, "c_read_multi");
+              (24, "c_write_single");
+              (25, "c_write_multi");
+              (41, "c_acmd41");
+              (55, "c_app");
+            ]
+            "c_unknown");
+       blk "c_go_idle"
+         [ set "card_state" (c ~w:Width.W8 0); set "resp" (c 0); set_int int_cmd_complete ]
+         (icall (fld "irq") "c_done");
+       blk "c_all_cid"
+         [ set "resp" (c64 0xDEADBEEFL); set "card_state" (c ~w:Width.W8 2);
+           set_int int_cmd_complete ]
+         (icall (fld "irq") "c_done");
+       blk "c_send_rca"
+         [ set "rca" (c ~w:Width.W16 1); set "resp" (c 0x10000);
+           set "card_state" (c ~w:Width.W8 3); set_int int_cmd_complete ]
+         (icall (fld "irq") "c_done");
+       blk "c_select"
+         [ set "card_state" (c ~w:Width.W8 4); set "resp" (c 0x700);
+           set_int int_cmd_complete ]
+         (icall (fld "irq") "c_done");
+       blk "c_if_cond"
+         [ set "resp" (fld "argument"); set_int int_cmd_complete ]
+         (icall (fld "irq") "c_done");
+       blk "c_stop"
+         [ set "transfer_active" (c ~w:Width.W8 0); set "prnsts" (c 0);
+           set "card_state" (c ~w:Width.W8 4); set_int int_cmd_complete ]
+         (icall (fld "irq") "c_done");
+       blk "c_status"
+         [ set "resp" (shl Width.W32 (fld "card_state") (c 9));
+           set_int int_cmd_complete ]
+         (icall (fld "irq") "c_done");
+       blk "c_blocklen"
+         [ set "resp" (c 0x900); set_int int_cmd_complete ]
+         (icall (fld "irq") "c_done");
+       blk "c_acmd41"
+         [ set "resp" (c64 0x80FF8000L); set "card_state" (c ~w:Width.W8 1);
+           set_int int_cmd_complete ]
+         (icall (fld "irq") "c_done");
+       blk "c_app"
+         [ set "resp" (c 0x120); set_int int_cmd_complete ]
+         (icall (fld "irq") "c_done");
+       blk "c_unknown"
+         [ set "resp" (c64 0xFFFFFFFFL); set_int int_error ]
+         (goto "w_exit");
+       blk "c_read_single" []
+         (br (fld "card_state" ==% c 4) "c_read_ok" "c_state_err");
+       blk "c_read_ok"
+         [
+           fill "fifo_buffer" ~off:(c 0) ~len:(blk_mask (fld "blksize")) card_pattern;
+           set "data_count" (c 0);
+           set "is_read" (c ~w:Width.W8 1);
+           set "transfer_active" (c ~w:Width.W8 1);
+           set "prnsts" (bor Width.W32 (fld "prnsts") (c (prn_read_active lor 0x800)));
+           set_int (int_cmd_complete lor int_buf_read_rdy);
+         ]
+         (icall (fld "irq") "c_done");
+       blk "c_write_single" []
+         (br (fld "card_state" ==% c 4) "c_write_ok" "c_state_err");
+       blk "c_write_ok"
+         [
+           set "data_count" (c 0);
+           set "is_read" (c ~w:Width.W8 0);
+           set "transfer_active" (c ~w:Width.W8 1);
+           set "prnsts" (bor Width.W32 (fld "prnsts") (c (prn_write_active lor 0x400)));
+           set_int (int_cmd_complete lor int_buf_write_rdy);
+         ]
+         (icall (fld "irq") "c_done");
+       blk "c_state_err"
+         [ set "resp" (c64 0x80000000L); set_int int_error ]
+         (goto "w_exit");
+       (* Multi-block SDMA read: per block, fill the buffer from the card
+          and DMA it to guest memory. *)
+       blk "c_read_multi" []
+         (br (fld "card_state" ==% c 4) "rm_block" "c_state_err");
+       blk "rm_block"
+         [
+           fill "fifo_buffer" ~off:(c 0) ~len:(blk_mask (fld "blksize")) card_pattern;
+           dma_out ~buf:"fifo_buffer" ~buf_off:(c 0) ~addr:(fld "sdma_addr")
+             ~len:(blk_mask (fld "blksize"));
+           set "sdma_addr" (fld "sdma_addr" +% blk_mask (fld "blksize"));
+           set "blkcnt" (sub Width.W16 (fld "blkcnt") (c 1));
+         ]
+         (br (fld "blkcnt" ==% c 0) "rm_done" "rm_block");
+       blk "rm_done" [ set_int (int_cmd_complete lor int_xfer_complete) ]
+         (icall (fld "irq") "c_done");
+       (* Multi-block SDMA write: per block, DMA from guest memory into the
+          buffer and "program" it into the card. *)
+       blk "c_write_multi" []
+         (br (fld "card_state" ==% c 4) "wm_block" "c_state_err");
+       blk "wm_block"
+         [
+           dma_in ~buf:"fifo_buffer" ~buf_off:(c 0) ~addr:(fld "sdma_addr")
+             ~len:(blk_mask (fld "blksize"));
+           set "wr_sum"
+             (bxor Width.W32 (fld "wr_sum")
+                (bufb "fifo_buffer" (c 0) +% fld "argument"));
+           set "sdma_addr" (fld "sdma_addr" +% blk_mask (fld "blksize"));
+           set "blkcnt" (sub Width.W16 (fld "blkcnt") (c 1));
+         ]
+         (br (fld "blkcnt" ==% c 0) "wm_done" "wm_block");
+       blk "wm_done" [ set_int (int_cmd_complete lor int_xfer_complete) ]
+         (icall (fld "irq") "c_done");
+       cmd_end "c_done" [] (goto "w_exit");
+       (* Buffer data port: one byte per write during an active write
+          transfer.  This is the CVE-2021-3409 site. *)
+       blk "w_bdata" []
+         (br (fld "transfer_active" ==% c 1) "wb_active" "w_exit");
+       blk "wb_active" [] (br (fld "is_read" ==% c 0) "wb_store" "w_exit");
+       blk "wb_store"
+         [
+           setb "fifo_buffer" (fld "data_count") (prm "data");
+           set "data_count" (fld "data_count" +% c 1);
+           set "tx_remaining"
+             (sub Width.W32 (blk_mask (fld "blksize")) (fld "data_count"));
+         ]
+         (br flush_cond "wb_flush" "w_exit");
+       blk "wb_flush"
+         [
+           set "wr_sum"
+             (bxor Width.W32 (fld "wr_sum")
+                (bufb "fifo_buffer" (c 0) +% fld "argument"));
+           set "data_count" (c 0);
+           set "transfer_active" (c ~w:Width.W8 0);
+           set "prnsts" (c 0);
+           set_int int_xfer_complete;
+         ]
+         (icall (fld "irq") "c_done");
+       blk "w_norint"
+         [
+           set "norintsts"
+             (band Width.W16 (fld "norintsts")
+                (bxor Width.W16 (prm "data") (c 0xFFFF)));
+         ]
+         (goto "w_exit");
+       exit_ "w_exit" [];
+     ]
+    @ blksize_blocks)
+
+let read_handler =
+  handler "mmio_read"
+    ~params:[ "addr"; "offset"; "size"; "data" ]
+    [
+      entry "r_entry" []
+        (switch (prm "offset")
+           [
+             (0x00, "r_sdma");
+             (0x04, "r_blk");
+             (0x08, "r_arg");
+             (0x0C, "r_trnmod");
+             (0x10, "r_resp");
+             (0x20, "r_bdata");
+             (0x24, "r_prnsts");
+             (0x30, "r_norint");
+           ]
+           "r_zero");
+      blk "r_sdma" [ respond (fld "sdma_addr") ] (goto "r_exit");
+      blk "r_blk"
+        [ respond (bor Width.W32 (fld "blksize") (shl Width.W32 (fld "blkcnt") (c 16))) ]
+        (goto "r_exit");
+      blk "r_arg" [ respond (fld "argument") ] (goto "r_exit");
+      blk "r_trnmod" [ respond (fld "trnmod") ] (goto "r_exit");
+      blk "r_resp" [ respond (fld "resp") ] (goto "r_exit");
+      blk "r_prnsts" [ respond (fld "prnsts") ] (goto "r_exit");
+      blk "r_norint" [ respond (fld "norintsts") ] (goto "r_exit");
+      blk "r_zero" [ respond (c 0) ] (goto "r_exit");
+      (* Buffer data port: one byte per read during an active read
+         transfer. *)
+      blk "r_bdata" []
+        (br (fld "transfer_active" ==% c 1) "rb_active" "r_zero2");
+      blk "rb_active" [] (br (fld "is_read" ==% c 1) "rb_load" "r_zero2");
+      blk "rb_load"
+        [
+          respond (bufb "fifo_buffer" (fld "data_count"));
+          set "data_count" (fld "data_count" +% c 1);
+        ]
+        (br (fld "data_count" >=% blk_mask (fld "blksize")) "rb_done" "r_exit");
+      blk "rb_done"
+        [
+          set "data_count" (c 0);
+          set "transfer_active" (c ~w:Width.W8 0);
+          set "prnsts" (c 0);
+          set "norintsts" (bor Width.W16 (fld "norintsts") (c int_xfer_complete));
+        ]
+        (icall (fld "irq") "rb_end");
+      blk "rb_end" [] (goto "r_exit");
+      blk "r_zero2" [ respond (c 0) ] (goto "r_exit");
+      exit_ "r_exit" [];
+    ]
+
+let program ~version =
+  let vulnerable = Qemu_version.(version < cve_2021_3409_fixed_in) in
+  Program.make ~name ~layout ~code_base:0x0041_0000L
+    ~callbacks:
+      [ (irq_cb, { Program.cb_name = "sdhci_irq"; action = Program.Raise_irq_line }) ]
+    [ write_handler ~vulnerable; read_handler ]
+
+let device ~version =
+  let program = program ~version in
+  {
+    Device.name;
+    version;
+    program;
+    make_binding =
+      (fun () ->
+        Device.binding_of ~program
+          ~mmio:[ (mmio_base, 0x100) ]
+          ~mmio_read:"mmio_read" ~mmio_write:"mmio_write" ());
+  }

@@ -1,0 +1,26 @@
+(** SD Host Controller Interface, modelled after QEMU's [sdhci.c] with an
+    SD card behind it.
+
+    Memory-mapped at [0x2000_0000]: SDMA address, block size/count,
+    argument, transfer mode, command (writing triggers execution), response,
+    buffer data port, present state and normal interrupt status.  Single
+    block transfers move bytes through the buffer data port; multi-block
+    transfers (CMD18/CMD25) run SDMA against guest memory.
+
+    Vulnerability (version-gated):
+    - {b CVE-2021-3409} (fixed in 6.0.0): the block size register may be
+      reprogrammed while a transfer is in progress.  The data port path
+      compares [data_count] against [blksize] with equality, so shrinking
+      [blksize] mid-transfer makes the flush condition unreachable:
+      [data_count] keeps growing past the 4096-byte buffer, and the
+      remaining-bytes computation [blksize - data_count] underflows. *)
+
+val name : string
+val mmio_base : int64
+val irq_cb : int64
+val buf_size : int
+val cve_2021_3409_fixed_in : Qemu_version.t
+
+val layout : Devir.Layout.t
+val program : version:Qemu_version.t -> Devir.Program.t
+val device : version:Qemu_version.t -> Device.t

@@ -1,0 +1,1 @@
+lib/devir/arena.ml: Bytes Char Format Int64 Layout List Printf Width

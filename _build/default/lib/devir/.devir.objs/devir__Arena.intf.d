@@ -1,0 +1,1 @@
+lib/devir/arena.mli: Format Layout

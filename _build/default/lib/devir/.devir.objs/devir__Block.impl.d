@@ -1,0 +1,1 @@
+lib/devir/block.ml: Format List Stmt Term

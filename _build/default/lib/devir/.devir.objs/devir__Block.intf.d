@@ -1,0 +1,1 @@
+lib/devir/block.mli: Format Stmt Term

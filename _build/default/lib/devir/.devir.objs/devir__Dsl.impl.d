@@ -1,0 +1,1 @@
+lib/devir/dsl.ml: Block Expr Int64 List Program Stmt Term Width

@@ -1,0 +1,1 @@
+lib/devir/dsl.mli: Block Expr Program Stmt Term Width

@@ -1,0 +1,1 @@
+lib/devir/expr.ml: Format List Width

@@ -1,0 +1,1 @@
+lib/devir/expr.mli: Format Width

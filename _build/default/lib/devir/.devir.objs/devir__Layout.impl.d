@@ -1,0 +1,1 @@
+lib/devir/layout.ml: Format Hashtbl List Printf Width

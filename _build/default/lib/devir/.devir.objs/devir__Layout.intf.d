@@ -1,0 +1,1 @@
+lib/devir/layout.mli: Format Width

@@ -1,0 +1,1 @@
+lib/devir/pretty.ml: Block Buffer Expr Format Layout List Printf Program Stmt String Term Width

@@ -1,0 +1,1 @@
+lib/devir/pretty.mli: Format Program

@@ -1,0 +1,1 @@
+lib/devir/program.ml: Block Format Hashtbl Int64 Layout List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/devir/program.mli: Block Format Layout

@@ -1,0 +1,1 @@
+lib/devir/stmt.ml: Expr Format List Width

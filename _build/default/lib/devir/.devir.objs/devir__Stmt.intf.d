@@ -1,0 +1,1 @@
+lib/devir/stmt.mli: Expr Format Width

@@ -1,0 +1,1 @@
+lib/devir/term.ml: Expr Format List Printf String

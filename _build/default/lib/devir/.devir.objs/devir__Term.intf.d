@@ -1,0 +1,1 @@
+lib/devir/term.mli: Expr Format

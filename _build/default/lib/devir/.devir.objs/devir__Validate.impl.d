@@ -1,0 +1,1 @@
+lib/devir/validate.ml: Block Buffer Expr Format Layout List Program Stmt Term

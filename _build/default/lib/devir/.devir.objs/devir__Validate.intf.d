@@ -1,0 +1,1 @@
+lib/devir/validate.mli: Format Program

@@ -1,0 +1,1 @@
+lib/devir/width.ml: Format Int64 Stdlib

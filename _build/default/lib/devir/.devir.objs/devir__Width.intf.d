@@ -1,0 +1,1 @@
+lib/devir/width.mli: Format

@@ -1,0 +1,65 @@
+let c ?(w = Width.W32) v = Expr.Const (Int64.of_int v, w)
+let c64 ?(w = Width.W32) v = Expr.Const (v, w)
+let fld n = Expr.Field n
+let bufb b idx = Expr.Buf_byte (b, idx)
+let buflen b = Expr.Buf_len b
+let prm n = Expr.Param n
+let lcl n = Expr.Local n
+
+let add w a b = Expr.Binop (Expr.Add, w, a, b)
+let sub w a b = Expr.Binop (Expr.Sub, w, a, b)
+let mul w a b = Expr.Binop (Expr.Mul, w, a, b)
+let div w a b = Expr.Binop (Expr.Div, w, a, b)
+let rem w a b = Expr.Binop (Expr.Rem, w, a, b)
+let band w a b = Expr.Binop (Expr.And, w, a, b)
+let bor w a b = Expr.Binop (Expr.Or, w, a, b)
+let bxor w a b = Expr.Binop (Expr.Xor, w, a, b)
+let shl w a b = Expr.Binop (Expr.Shl, w, a, b)
+let shr w a b = Expr.Binop (Expr.Shr, w, a, b)
+
+let ( +% ) = add Width.W32
+let ( -% ) = sub Width.W32
+let ( *% ) = mul Width.W32
+let ( &% ) = band Width.W32
+let ( |% ) = bor Width.W32
+let ( ^% ) = bxor Width.W32
+let ( <<% ) = shl Width.W32
+let ( >>% ) = shr Width.W32
+
+let ( ==% ) a b = Expr.Cmp (Expr.Eq, a, b)
+let ( <>% ) a b = Expr.Cmp (Expr.Ne, a, b)
+let ( <% ) a b = Expr.Cmp (Expr.Ltu, a, b)
+let ( <=% ) a b = Expr.Cmp (Expr.Leu, a, b)
+let ( >% ) a b = Expr.Cmp (Expr.Gtu, a, b)
+let ( >=% ) a b = Expr.Cmp (Expr.Geu, a, b)
+let lts a b = Expr.Cmp (Expr.Lts, a, b)
+let not_ e = Expr.Not e
+
+let set f e = Stmt.Set_field (f, e)
+let setb b idx v = Stmt.Set_buf (b, idx, v)
+let local n e = Stmt.Set_local (n, e)
+let fill b ~off ~len v = Stmt.Buf_fill (b, off, len, v)
+let dma_in ~buf ~buf_off ~addr ~len = Stmt.Copy_from_guest { buf; buf_off; addr; len }
+let dma_out ~buf ~buf_off ~addr ~len = Stmt.Copy_to_guest { buf; buf_off; addr; len }
+let load name ?(w = Width.W32) addr = Stmt.Read_guest { local = name; addr; width = w }
+let store ?(w = Width.W32) addr value = Stmt.Write_guest { addr; value; width = w }
+let hostv name key = Stmt.Host_value { local = name; key }
+let respond e = Stmt.Respond e
+let note s = Stmt.Note s
+
+let goto l = Term.Goto l
+let br cond t f = Term.Branch (cond, t, f)
+
+let switch e cases default =
+  Term.Switch (e, List.map (fun (v, l) -> (Int64.of_int v, l)) cases, default)
+
+let icall e next = Term.Icall (e, next)
+let halt = Term.Halt
+
+let blk ?kind label stmts term = Block.v ?kind label stmts term
+let entry label stmts term = Block.v ~kind:Block.Entry label stmts term
+let exit_ label stmts = Block.v ~kind:Block.Exit label stmts Term.Halt
+let cmd_decision label stmts term = Block.v ~kind:Block.Cmd_decision label stmts term
+let cmd_end label stmts term = Block.v ~kind:Block.Cmd_end label stmts term
+
+let handler hname ~params blocks : Program.handler = { hname; params; blocks }

@@ -1,0 +1,91 @@
+(** Concise construction helpers for writing device models.
+
+    The five device models are several hundred blocks of IR; this module
+    keeps them readable.  Arithmetic helpers take an explicit width;
+    the infix operators default to [W32], matching the dominant register
+    width in the modelled devices. *)
+
+(* Expressions ---------------------------------------------------------- *)
+
+val c : ?w:Width.t -> int -> Expr.t
+(** Integer constant (default width [W32]). *)
+
+val c64 : ?w:Width.t -> int64 -> Expr.t
+val fld : string -> Expr.t
+val bufb : string -> Expr.t -> Expr.t
+val buflen : string -> Expr.t
+val prm : string -> Expr.t
+val lcl : string -> Expr.t
+
+val add : Width.t -> Expr.t -> Expr.t -> Expr.t
+val sub : Width.t -> Expr.t -> Expr.t -> Expr.t
+val mul : Width.t -> Expr.t -> Expr.t -> Expr.t
+val div : Width.t -> Expr.t -> Expr.t -> Expr.t
+val rem : Width.t -> Expr.t -> Expr.t -> Expr.t
+val band : Width.t -> Expr.t -> Expr.t -> Expr.t
+val bor : Width.t -> Expr.t -> Expr.t -> Expr.t
+val bxor : Width.t -> Expr.t -> Expr.t -> Expr.t
+val shl : Width.t -> Expr.t -> Expr.t -> Expr.t
+val shr : Width.t -> Expr.t -> Expr.t -> Expr.t
+
+(** [( +% )] is [add W32]; the remaining [%] operators follow suit. *)
+val ( +% ) : Expr.t -> Expr.t -> Expr.t
+val ( -% ) : Expr.t -> Expr.t -> Expr.t
+val ( *% ) : Expr.t -> Expr.t -> Expr.t
+val ( &% ) : Expr.t -> Expr.t -> Expr.t
+val ( |% ) : Expr.t -> Expr.t -> Expr.t
+val ( ^% ) : Expr.t -> Expr.t -> Expr.t
+val ( <<% ) : Expr.t -> Expr.t -> Expr.t
+val ( >>% ) : Expr.t -> Expr.t -> Expr.t
+
+val ( ==% ) : Expr.t -> Expr.t -> Expr.t
+val ( <>% ) : Expr.t -> Expr.t -> Expr.t
+
+(** Comparisons: [%] variants are unsigned; [lts] is signed [<]. *)
+
+val ( <% ) : Expr.t -> Expr.t -> Expr.t
+val ( <=% ) : Expr.t -> Expr.t -> Expr.t
+val ( >% ) : Expr.t -> Expr.t -> Expr.t
+val ( >=% ) : Expr.t -> Expr.t -> Expr.t
+val lts : Expr.t -> Expr.t -> Expr.t
+val not_ : Expr.t -> Expr.t
+
+(* Statements ----------------------------------------------------------- *)
+
+val set : string -> Expr.t -> Stmt.t
+val setb : string -> Expr.t -> Expr.t -> Stmt.t
+val local : string -> Expr.t -> Stmt.t
+val fill : string -> off:Expr.t -> len:Expr.t -> Expr.t -> Stmt.t
+val dma_in : buf:string -> buf_off:Expr.t -> addr:Expr.t -> len:Expr.t -> Stmt.t
+(** Guest memory -> device buffer. *)
+
+val dma_out : buf:string -> buf_off:Expr.t -> addr:Expr.t -> len:Expr.t -> Stmt.t
+(** Device buffer -> guest memory. *)
+
+val load : string -> ?w:Width.t -> Expr.t -> Stmt.t
+(** [load local addr]: little-endian guest load (default [W32]). *)
+
+val store : ?w:Width.t -> Expr.t -> Expr.t -> Stmt.t
+val hostv : string -> string -> Stmt.t
+(** [hostv local key]: load host-side value [key] into [local]. *)
+
+val respond : Expr.t -> Stmt.t
+val note : string -> Stmt.t
+
+(* Terminators and blocks ------------------------------------------------ *)
+
+val goto : string -> Term.t
+val br : Expr.t -> string -> string -> Term.t
+val switch : Expr.t -> (int * string) list -> string -> Term.t
+val icall : Expr.t -> string -> Term.t
+val halt : Term.t
+
+val blk : ?kind:Block.kind -> string -> Stmt.t list -> Term.t -> Block.t
+val entry : string -> Stmt.t list -> Term.t -> Block.t
+val exit_ : string -> Stmt.t list -> Block.t
+(** Exit block; always terminates with [halt]. *)
+
+val cmd_decision : string -> Stmt.t list -> Term.t -> Block.t
+val cmd_end : string -> Stmt.t list -> Term.t -> Block.t
+
+val handler : string -> params:string list -> Block.t list -> Program.handler

@@ -1,0 +1,98 @@
+type field_kind = Reg of Width.t | Buf of int | Fn_ptr
+
+type field = {
+  name : string;
+  kind : field_kind;
+  hw_register : bool;
+  init : int64;
+}
+
+type t = {
+  fields : field list;
+  offsets : (string, int * field) Hashtbl.t;
+  size : int;
+}
+
+let field_size f =
+  match f.kind with
+  | Reg w -> Width.bytes w
+  | Buf n -> n
+  | Fn_ptr -> 8
+
+let make fields =
+  let offsets = Hashtbl.create 16 in
+  let size =
+    List.fold_left
+      (fun off f ->
+        (match f.kind with
+        | Buf n when n <= 0 ->
+          invalid_arg (Printf.sprintf "Layout.make: buffer %s has size %d" f.name n)
+        | _ -> ());
+        if Hashtbl.mem offsets f.name then
+          invalid_arg (Printf.sprintf "Layout.make: duplicate field %s" f.name);
+        Hashtbl.add offsets f.name (off, f);
+        off + field_size f)
+      0 fields
+  in
+  { fields; offsets; size }
+
+let reg ?(hw = false) ?(init = 0L) name w =
+  { name; kind = Reg w; hw_register = hw; init }
+
+let buf ?(hw = false) name n = { name; kind = Buf n; hw_register = hw; init = 0L }
+
+let fn_ptr ?(init = 0L) name =
+  { name; kind = Fn_ptr; hw_register = false; init }
+
+let fields t = t.fields
+let size t = t.size
+let mem t name = Hashtbl.mem t.offsets name
+
+let find t name =
+  match Hashtbl.find_opt t.offsets name with
+  | Some (_, f) -> f
+  | None -> raise Not_found
+
+let offset t name =
+  match Hashtbl.find_opt t.offsets name with
+  | Some (off, _) -> off
+  | None -> raise Not_found
+
+let buf_size t name =
+  match (find t name).kind with
+  | Buf n -> n
+  | Reg _ | Fn_ptr ->
+    invalid_arg (Printf.sprintf "Layout.buf_size: %s is not a buffer" name)
+
+let width_of t name =
+  match (find t name).kind with
+  | Reg w -> w
+  | Fn_ptr -> Width.W64
+  | Buf _ ->
+    invalid_arg (Printf.sprintf "Layout.width_of: %s is a buffer" name)
+
+let field_at t off =
+  if off < 0 || off >= t.size then None
+  else
+    let rec go cur = function
+      | [] -> None
+      | f :: rest ->
+        let sz = field_size f in
+        if off < cur + sz then Some (f, off - cur) else go (cur + sz) rest
+    in
+    go 0 t.fields
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun f ->
+      let kind =
+        match f.kind with
+        | Reg w -> Width.to_string w
+        | Buf n -> Printf.sprintf "u8[%d]" n
+        | Fn_ptr -> "fn*"
+      in
+      Format.fprintf ppf "%+4d %-16s %s%s@," (offset t f.name) f.name kind
+        (if f.hw_register then " (hw)" else ""))
+    t.fields;
+  Format.fprintf ppf "@]"

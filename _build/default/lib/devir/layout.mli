@@ -1,0 +1,61 @@
+(** Memory layout of a device control structure.
+
+    A layout is an ordered list of named fields, laid out back to back like
+    a C struct (no padding).  The order matters for security semantics: a
+    buffer overflow spills into the *following* fields, which is how the
+    reproduced CVEs corrupt length fields and function pointers. *)
+
+type field_kind =
+  | Reg of Width.t  (** Scalar register-like field, little-endian. *)
+  | Buf of int      (** Fixed-length byte buffer of the given size. *)
+  | Fn_ptr
+      (** Function pointer (stored as a 64-bit callback value resolved
+          against {!Program.callbacks}). *)
+
+type field = {
+  name : string;
+  kind : field_kind;
+  hw_register : bool;
+      (** [true] when the field mirrors a physical device register —
+          SEDSpec's Rule 1 for device state parameter selection. *)
+  init : int64;
+      (** Initial scalar value ([Buf] fields are zero-filled; for [Fn_ptr]
+          this is the initial callback value). *)
+}
+
+type t
+
+val make : field list -> t
+(** Builds a layout; raises [Invalid_argument] on duplicate field names or
+    non-positive buffer sizes. *)
+
+val reg : ?hw:bool -> ?init:int64 -> string -> Width.t -> field
+val buf : ?hw:bool -> string -> int -> field
+val fn_ptr : ?init:int64 -> string -> field
+
+val fields : t -> field list
+val size : t -> int
+(** Total byte size of the structure. *)
+
+val mem : t -> string -> bool
+val find : t -> string -> field
+(** Raises [Not_found]. *)
+
+val offset : t -> string -> int
+(** Byte offset of a field.  Raises [Not_found]. *)
+
+val field_size : field -> int
+
+val buf_size : t -> string -> int
+(** Declared size of a [Buf] field; raises [Invalid_argument] if the field
+    is not a buffer. *)
+
+val width_of : t -> string -> Width.t
+(** Width of a [Reg] field ([Fn_ptr] counts as [W64]); raises
+    [Invalid_argument] for buffers. *)
+
+val field_at : t -> int -> (field * int) option
+(** [field_at t off] returns the field covering byte offset [off] together
+    with the offset within that field, or [None] past the end. *)
+
+val pp : Format.formatter -> t -> unit

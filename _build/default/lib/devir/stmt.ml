@@ -1,0 +1,82 @@
+type t =
+  | Set_field of string * Expr.t
+  | Set_buf of string * Expr.t * Expr.t
+  | Set_local of string * Expr.t
+  | Buf_fill of string * Expr.t * Expr.t * Expr.t
+  | Copy_from_guest of { buf : string; buf_off : Expr.t; addr : Expr.t; len : Expr.t }
+  | Copy_to_guest of { buf : string; buf_off : Expr.t; addr : Expr.t; len : Expr.t }
+  | Read_guest of { local : string; addr : Expr.t; width : Width.t }
+  | Write_guest of { addr : Expr.t; value : Expr.t; width : Width.t }
+  | Host_value of { local : string; key : string }
+  | Respond of Expr.t
+  | Note of string
+
+let dedup l =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] l)
+
+let exprs = function
+  | Set_field (_, e) | Set_local (_, e) | Respond e -> [ e ]
+  | Set_buf (_, idx, v) -> [ idx; v ]
+  | Buf_fill (_, off, len, b) -> [ off; len; b ]
+  | Copy_from_guest { buf_off; addr; len; _ }
+  | Copy_to_guest { buf_off; addr; len; _ } ->
+    [ buf_off; addr; len ]
+  | Read_guest { addr; _ } -> [ addr ]
+  | Write_guest { addr; value; _ } -> [ addr; value ]
+  | Host_value _ | Note _ -> []
+
+let fields_read stmt =
+  let from_exprs = List.concat_map Expr.fields (exprs stmt) in
+  let extra =
+    match stmt with
+    | Copy_to_guest { buf; _ } -> [ buf ]
+    | _ -> []
+  in
+  dedup (extra @ from_exprs)
+
+let fields_written = function
+  | Set_field (f, _) -> [ f ]
+  | Set_buf (b, _, _) | Buf_fill (b, _, _, _) -> [ b ]
+  | Copy_from_guest { buf; _ } -> [ buf ]
+  | Set_local _ | Copy_to_guest _ | Read_guest _ | Write_guest _ | Respond _
+  | Host_value _ | Note _ ->
+    []
+
+let locals_read stmt = dedup (List.concat_map Expr.locals (exprs stmt))
+
+let locals_written = function
+  | Set_local (n, _) -> [ n ]
+  | Read_guest { local; _ } | Host_value { local; _ } -> [ local ]
+  | _ -> []
+
+let touches_state is_param stmt =
+  List.exists is_param (fields_read stmt)
+  || List.exists is_param (fields_written stmt)
+
+let pp ppf = function
+  | Set_field (f, e) -> Format.fprintf ppf "s.%s = %a" f Expr.pp e
+  | Set_buf (b, idx, v) ->
+    Format.fprintf ppf "s.%s[%a] = %a" b Expr.pp idx Expr.pp v
+  | Set_local (n, e) -> Format.fprintf ppf "%s = %a" n Expr.pp e
+  | Buf_fill (b, off, len, v) ->
+    Format.fprintf ppf "memset(s.%s+%a, %a, %a)" b Expr.pp off Expr.pp v
+      Expr.pp len
+  | Copy_from_guest { buf; buf_off; addr; len } ->
+    Format.fprintf ppf "dma_read(s.%s+%a, guest:%a, %a)" buf Expr.pp buf_off
+      Expr.pp addr Expr.pp len
+  | Copy_to_guest { buf; buf_off; addr; len } ->
+    Format.fprintf ppf "dma_write(guest:%a, s.%s+%a, %a)" Expr.pp addr buf
+      Expr.pp buf_off Expr.pp len
+  | Read_guest { local; addr; width } ->
+    Format.fprintf ppf "%s = guest_load_%s(%a)" local (Width.to_string width)
+      Expr.pp addr
+  | Write_guest { addr; value; width } ->
+    Format.fprintf ppf "guest_store_%s(%a, %a)" (Width.to_string width)
+      Expr.pp addr Expr.pp value
+  | Host_value { local; key } ->
+    Format.fprintf ppf "%s = host_value(%S)" local key
+  | Respond e -> Format.fprintf ppf "respond %a" Expr.pp e
+  | Note s -> Format.fprintf ppf "/* %s */" s
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,59 @@
+(** Statements of the device IR.
+
+    Statements are the side-effecting half of the IR: they update the device
+    control structure, handler locals, guest memory (DMA) and the I/O
+    response.  The SEDSpec ES-CFG constructor lifts the subset of statements
+    that touch device state parameters into DSOD (Device State Operation
+    Data). *)
+
+type t =
+  | Set_field of string * Expr.t
+      (** [fld := e], truncated to the field's width; a wrap sets the
+          interpreter's overflow flag. *)
+  | Set_buf of string * Expr.t * Expr.t
+      (** [buf[idx] := byte].  An index past the end of the buffer writes
+          into the following fields of the control structure, exactly like
+          the C structs the paper's devices use; writes past the whole
+          structure trap. *)
+  | Set_local of string * Expr.t
+      (** Define or update a handler-local temporary. *)
+  | Buf_fill of string * Expr.t * Expr.t * Expr.t
+      (** [Buf_fill (buf, off, len, byte)]: memset-like fill, with the same
+          out-of-bounds semantics as {!Set_buf}. *)
+  | Copy_from_guest of { buf : string; buf_off : Expr.t; addr : Expr.t; len : Expr.t }
+      (** DMA read: copy [len] bytes from guest physical memory [addr] into
+          [buf] at [buf_off]. *)
+  | Copy_to_guest of { buf : string; buf_off : Expr.t; addr : Expr.t; len : Expr.t }
+      (** DMA write: copy [len] bytes from [buf] at [buf_off] into guest
+          physical memory at [addr]. *)
+  | Read_guest of { local : string; addr : Expr.t; width : Width.t }
+      (** Load a little-endian scalar from guest memory into a local. *)
+  | Write_guest of { addr : Expr.t; value : Expr.t; width : Width.t }
+      (** Store a little-endian scalar to guest memory. *)
+  | Host_value of { local : string; key : string }
+      (** Load a host-side value (link status, host clock, ...) into a
+          local.  Unlike guest memory, host state is invisible to the
+          ES-Checker, so branch conditions depending on such locals cannot
+          be recovered and force a sync point. *)
+  | Respond of Expr.t
+      (** Set the data returned to the guest for a read request. *)
+  | Note of string
+      (** Free-form marker; no semantics. *)
+
+val fields_read : t -> string list
+(** Control-structure fields read by the statement's expressions. *)
+
+val fields_written : t -> string list
+(** Control-structure fields written (the target of [Set_field], [Set_buf],
+    [Buf_fill], [Copy_from_guest]). *)
+
+val locals_read : t -> string list
+val locals_written : t -> string list
+
+val touches_state : (string -> bool) -> t -> bool
+(** [touches_state is_param stmt] is [true] when the statement reads or
+    writes at least one field for which [is_param] holds — i.e. whether the
+    ES-CFG constructor must lift it into DSOD. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,31 @@
+type t =
+  | Goto of string
+  | Branch of Expr.t * string * string
+  | Switch of Expr.t * (int64 * string) list * string
+  | Icall of Expr.t * string
+  | Halt
+
+let successors = function
+  | Goto l -> [ l ]
+  | Branch (_, t, f) -> [ t; f ]
+  | Switch (_, cases, default) -> List.map snd cases @ [ default ]
+  | Icall (_, next) -> [ next ]
+  | Halt -> []
+
+let exprs = function
+  | Goto _ | Halt -> []
+  | Branch (e, _, _) | Switch (e, _, _) | Icall (e, _) -> [ e ]
+
+let pp ppf = function
+  | Goto l -> Format.fprintf ppf "goto %s" l
+  | Branch (e, t, f) ->
+    Format.fprintf ppf "if %a then %s else %s" Expr.pp e t f
+  | Switch (e, cases, d) ->
+    Format.fprintf ppf "switch %a {%s default:%s}" Expr.pp e
+      (String.concat "; "
+         (List.map (fun (v, l) -> Printf.sprintf "%Ld:%s" v l) cases))
+      d
+  | Icall (e, next) -> Format.fprintf ppf "icall %a; goto %s" Expr.pp e next
+  | Halt -> Format.fprintf ppf "halt"
+
+let to_string t = Format.asprintf "%a" pp t

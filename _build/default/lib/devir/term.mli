@@ -1,0 +1,32 @@
+(** Basic-block terminators of the device IR.
+
+    Terminators are the IR's control transfers — exactly the events Intel PT
+    records (conditional branches as TNT bits, indirect transfers as TIP
+    packets) and exactly the points where the ES-Checker's conditional and
+    indirect jump checks apply. *)
+
+type t =
+  | Goto of string  (** Unconditional jump; PT emits nothing for it. *)
+  | Branch of Expr.t * string * string
+      (** [Branch (cond, if_taken, if_not)]: taken when [cond] is nonzero.
+          PT records one TNT bit. *)
+  | Switch of Expr.t * (int64 * string) list * string
+      (** Multi-way dispatch on a command byte with a default label.  The
+          ES-CFG maps switches in [Cmd_decision] blocks to its command
+          access table.  PT-wise a switch is an indirect transfer (TIP). *)
+  | Icall of Expr.t * string
+      (** [Icall (fnptr, next)]: call through a function-pointer value
+          (e.g. the [irq] callback), then continue at [next].  The value is
+          resolved against the program's callback table; an unknown value is
+          a wild jump and traps.  PT records a TIP packet with the target
+          value. *)
+  | Halt  (** End of the handler: the I/O round's exit. *)
+
+val successors : t -> string list
+(** Static successor labels, in branch order (taken first for [Branch];
+    cases then default for [Switch]). *)
+
+val exprs : t -> Expr.t list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

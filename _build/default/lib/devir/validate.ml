@@ -1,0 +1,168 @@
+type error = {
+  where : Program.bref option;
+  message : string;
+}
+
+let pp_error ppf e =
+  match e.where with
+  | Some r -> Format.fprintf ppf "%a: %s" Program.pp_bref r e.message
+  | None -> Format.fprintf ppf "%s" e.message
+
+let check program =
+  let errors = ref [] in
+  let err ?where fmt =
+    Format.kasprintf (fun message -> errors := { where; message } :: !errors) fmt
+  in
+  let layout = Program.layout program in
+  let check_field_kind where name ~want =
+    if not (Layout.mem layout name) then
+      err ~where "unknown field %s" name
+    else
+      let f = Layout.find layout name in
+      match (f.kind, want) with
+      | Layout.Buf _, `Buf | Layout.Reg _, `Scalar | Layout.Fn_ptr, `Scalar
+      | _, `Any ->
+        ()
+      | Layout.Buf _, `Scalar -> err ~where "field %s is a buffer" name
+      | (Layout.Reg _ | Layout.Fn_ptr), `Buf ->
+        err ~where "field %s is not a buffer" name
+  in
+  let check_expr where e =
+    let rec go = function
+      | Expr.Const _ | Expr.Param _ | Expr.Local _ -> ()
+      | Expr.Field n -> check_field_kind where n ~want:`Scalar
+      | Expr.Buf_byte (n, idx) ->
+        check_field_kind where n ~want:`Buf;
+        go idx
+      | Expr.Buf_len n -> check_field_kind where n ~want:`Buf
+      | Expr.Binop (_, _, a, b) | Expr.Cmp (_, a, b) ->
+        go a;
+        go b
+      | Expr.Not a -> go a
+    in
+    go e
+  in
+  List.iter
+    (fun (h : Program.handler) ->
+      let labels = List.map (fun (b : Block.t) -> b.label) h.blocks in
+      let assigned_locals =
+        List.concat_map
+          (fun (b : Block.t) -> List.concat_map Stmt.locals_written b.stmts)
+          h.blocks
+      in
+      (match h.blocks with
+      | [] -> err "handler %s has no blocks" h.hname
+      | first :: rest ->
+        if first.kind <> Block.Entry then
+          err
+            ~where:{ handler = h.hname; label = first.label }
+            "first block must have kind entry";
+        List.iter
+          (fun (b : Block.t) ->
+            if b.kind = Block.Entry then
+              err
+                ~where:{ handler = h.hname; label = b.label }
+                "only the first block may have kind entry")
+          rest);
+      let exits =
+        List.filter (fun (b : Block.t) -> b.kind = Block.Exit) h.blocks
+      in
+      if exits = [] then err "handler %s has no exit block" h.hname;
+      List.iter
+        (fun (b : Block.t) ->
+          if b.term <> Term.Halt then
+            err
+              ~where:{ handler = h.hname; label = b.label }
+              "exit block must terminate with halt")
+        exits;
+      List.iter
+        (fun (b : Block.t) ->
+          let where : Program.bref = { handler = h.hname; label = b.label } in
+          List.iter
+            (fun succ ->
+              if not (List.mem succ labels) then
+                err ~where "successor %s not found" succ)
+            (Term.successors b.term);
+          (if b.kind = Block.Cmd_decision then
+             match b.term with
+             | Term.Switch _ -> ()
+             | _ -> err ~where "cmd-decision block must terminate with switch");
+          List.iter (check_expr where) (Term.exprs b.term);
+          List.iter
+            (fun stmt ->
+              List.iter (check_expr where)
+                (match stmt with
+                | Stmt.Set_field (_, e) | Stmt.Set_local (_, e) | Stmt.Respond e
+                  ->
+                  [ e ]
+                | Stmt.Set_buf (_, i, v) -> [ i; v ]
+                | Stmt.Buf_fill (_, o, n, v) -> [ o; n; v ]
+                | Stmt.Copy_from_guest { buf_off; addr; len; _ }
+                | Stmt.Copy_to_guest { buf_off; addr; len; _ } ->
+                  [ buf_off; addr; len ]
+                | Stmt.Read_guest { addr; _ } -> [ addr ]
+                | Stmt.Write_guest { addr; value; _ } -> [ addr; value ]
+                | Stmt.Host_value _ | Stmt.Note _ -> []);
+              (match stmt with
+              | Stmt.Set_field (n, _) -> check_field_kind where n ~want:`Scalar
+              | Stmt.Set_buf (n, _, _)
+              | Stmt.Buf_fill (n, _, _, _)
+              | Stmt.Copy_from_guest { buf = n; _ }
+              | Stmt.Copy_to_guest { buf = n; _ } ->
+                check_field_kind where n ~want:`Buf
+              | _ -> ());
+              List.iter
+                (fun local ->
+                  if not (List.mem local assigned_locals) then
+                    err ~where "local %s is never assigned in handler %s" local
+                      h.hname)
+                (Stmt.locals_read stmt);
+              List.iter
+                (fun param ->
+                  if not (List.mem param h.params) then
+                    err ~where "parameter %s not declared by handler %s" param
+                      h.hname)
+                (List.concat_map Expr.params
+                   (match stmt with
+                   | Stmt.Set_field (_, e)
+                   | Stmt.Set_local (_, e)
+                   | Stmt.Respond e ->
+                     [ e ]
+                   | Stmt.Set_buf (_, i, v) -> [ i; v ]
+                   | Stmt.Buf_fill (_, o, n, v) -> [ o; n; v ]
+                   | Stmt.Copy_from_guest { buf_off; addr; len; _ }
+                   | Stmt.Copy_to_guest { buf_off; addr; len; _ } ->
+                     [ buf_off; addr; len ]
+                   | Stmt.Read_guest { addr; _ } -> [ addr ]
+                   | Stmt.Write_guest { addr; value; _ } -> [ addr; value ]
+                   | Stmt.Host_value _ | Stmt.Note _ -> [])))
+            b.stmts;
+          List.iter
+            (fun param ->
+              if not (List.mem param h.params) then
+                err ~where "parameter %s not declared by handler %s" param
+                  h.hname)
+            (List.concat_map Expr.params (Term.exprs b.term)))
+        h.blocks)
+    (Program.handlers program);
+  (* Callback actions that chain to handlers must name existing handlers. *)
+  List.iter
+    (fun (_, (cb : Program.callback)) ->
+      match cb.action with
+      | Program.Run_handler hname ->
+        (try ignore (Program.find_handler program hname)
+         with Not_found -> err "callback %s chains to unknown handler %s" cb.cb_name hname)
+      | _ -> ())
+    (Program.callbacks program);
+  List.rev !errors
+
+let check_exn program =
+  match check program with
+  | [] -> ()
+  | errors ->
+    let buf = Buffer.create 256 in
+    let ppf = Format.formatter_of_buffer buf in
+    Format.fprintf ppf "program %s is ill-formed:@." (Program.name program);
+    List.iter (fun e -> Format.fprintf ppf "  %a@." pp_error e) errors;
+    Format.pp_print_flush ppf ();
+    failwith (Buffer.contents buf)

@@ -1,0 +1,28 @@
+(** Static well-formedness checks for device programs.
+
+    Devices are data, so a malformed device model would otherwise surface as
+    a confusing runtime failure deep inside an experiment.  [check] is run
+    by the test suite over every shipped device model. *)
+
+type error = {
+  where : Program.bref option;
+  message : string;
+}
+
+val check : Program.t -> error list
+(** Returns all violations found:
+    - branch/goto/switch/icall successors resolve to blocks of the handler;
+    - the first block of a handler has kind [Entry]; no other block does;
+    - every handler has at least one [Exit]-kind block and [Exit] blocks
+      terminate with [Halt];
+    - referenced fields exist in the layout; buffer operations target [Buf]
+      fields; [Set_field] targets scalars;
+    - locals are assigned somewhere in the handler before any block reads
+      them (flow-insensitive approximation);
+    - request parameters read by blocks are declared by the handler;
+    - [Cmd_decision] blocks terminate with [Switch]. *)
+
+val check_exn : Program.t -> unit
+(** Raises [Failure] with a readable report when [check] is non-empty. *)
+
+val pp_error : Format.formatter -> error -> unit

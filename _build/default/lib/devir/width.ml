@@ -1,0 +1,49 @@
+type t = W8 | W16 | W32 | W64
+
+let bits = function W8 -> 8 | W16 -> 16 | W32 -> 32 | W64 -> 64
+
+let bytes = function W8 -> 1 | W16 -> 2 | W32 -> 4 | W64 -> 8
+
+let mask = function
+  | W8 -> 0xFFL
+  | W16 -> 0xFFFFL
+  | W32 -> 0xFFFFFFFFL
+  | W64 -> -1L
+
+let truncate w v = Int64.logand v (mask w)
+
+let fits_unsigned w v =
+  match w with
+  | W64 -> true
+  | _ -> Int64.logand v (Int64.lognot (mask w)) = 0L && v >= 0L
+
+let sign_extend w v =
+  match w with
+  | W64 -> v
+  | _ ->
+    let n = bits w in
+    let v = truncate w v in
+    let sign_bit = Int64.shift_left 1L (n - 1) in
+    if Int64.logand v sign_bit = 0L then v
+    else Int64.sub v (Int64.shift_left 1L n)
+
+let max_signed w =
+  match w with
+  | W64 -> Int64.max_int
+  | _ -> Int64.sub (Int64.shift_left 1L (bits w - 1)) 1L
+
+let min_signed w =
+  match w with
+  | W64 -> Int64.min_int
+  | _ -> Int64.neg (Int64.shift_left 1L (bits w - 1))
+
+let to_string = function
+  | W8 -> "u8"
+  | W16 -> "u16"
+  | W32 -> "u32"
+  | W64 -> "u64"
+
+let pp ppf w = Format.pp_print_string ppf (to_string w)
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b

@@ -1,0 +1,40 @@
+(** Machine integer widths for device registers and IR arithmetic.
+
+    Every scalar field of a device control structure and every arithmetic
+    operation in the device IR carries a width.  The interpreter wraps
+    results to the width (like C unsigned arithmetic) and reports when a
+    wrap occurred, which is the signal the parameter check strategy uses to
+    detect integer overflow. *)
+
+type t = W8 | W16 | W32 | W64
+
+val bits : t -> int
+(** Number of bits: 8, 16, 32 or 64. *)
+
+val bytes : t -> int
+(** Number of bytes: 1, 2, 4 or 8. *)
+
+val mask : t -> int64
+(** All-ones mask of the width, e.g. [mask W16 = 0xFFFFL]. *)
+
+val truncate : t -> int64 -> int64
+(** [truncate w v] keeps the low [bits w] bits of [v] (zero-extended). *)
+
+val fits_unsigned : t -> int64 -> bool
+(** [fits_unsigned w v] is [true] when [v] is already within \[0, 2^bits).
+    For [W64] every value fits. *)
+
+val sign_extend : t -> int64 -> int64
+(** [sign_extend w v] reinterprets the low bits of [v] as a signed integer
+    of width [w]. *)
+
+val max_signed : t -> int64
+val min_signed : t -> int64
+
+val to_string : t -> string
+(** ["u8"], ["u16"], ["u32"], ["u64"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+val compare : t -> t -> int

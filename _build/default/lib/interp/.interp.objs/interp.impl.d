@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Arena Block Bytes Char Devir Eval Event Hashtbl Int64 Layout List Option Printf Program Stmt Term Width

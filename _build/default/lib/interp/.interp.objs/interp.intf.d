@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Devir Eval Event

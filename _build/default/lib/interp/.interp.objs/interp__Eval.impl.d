@@ -1,0 +1,1 @@
+lib/interp/eval.ml: Devir Expr Format Int64 Width

@@ -1,0 +1,1 @@
+lib/interp/eval.mli: Devir Format

@@ -1,0 +1,1 @@
+lib/interp/event.ml: Devir Format List Printf String

@@ -1,0 +1,1 @@
+lib/interp/event.mli: Devir Format

@@ -1,0 +1,109 @@
+open Devir
+
+type overflow = {
+  ov_op : Expr.binop;
+  ov_width : Width.t;
+  ov_lhs : int64;
+  ov_rhs : int64;
+  ov_result : int64;
+}
+
+exception Div_by_zero
+exception Undefined_local of string
+exception Undefined_param of string
+
+type ctx = {
+  get_field : string -> int64;
+  get_buf_byte : string -> int -> int;
+  buf_len : string -> int;
+  get_param : string -> int64;
+  get_local : string -> int64;
+  record_overflow : overflow -> unit;
+}
+
+let truthy v = v <> 0L
+
+(* Unsigned wrap detection.  Operands arrive already truncated to [w], so
+   for widths below 64 bits exact results of + and - fit in an int64 and a
+   range check suffices; W64 uses the classic carry/borrow tests. *)
+let binop ctx op w a b =
+  let a = Width.truncate w a and b = Width.truncate w b in
+  let wrapped exact =
+    let r = Width.truncate w exact in
+    if not (Width.fits_unsigned w exact) then
+      ctx.record_overflow { ov_op = op; ov_width = w; ov_lhs = a; ov_rhs = b; ov_result = r };
+    r
+  in
+  match op with
+  | Expr.Add ->
+    if w = Width.W64 then begin
+      let r = Int64.add a b in
+      if Int64.unsigned_compare r a < 0 then
+        ctx.record_overflow { ov_op = op; ov_width = w; ov_lhs = a; ov_rhs = b; ov_result = r };
+      r
+    end
+    else wrapped (Int64.add a b)
+  | Expr.Sub ->
+    let r = Width.truncate w (Int64.sub a b) in
+    if Int64.unsigned_compare b a > 0 then
+      ctx.record_overflow { ov_op = op; ov_width = w; ov_lhs = a; ov_rhs = b; ov_result = r };
+    r
+  | Expr.Mul ->
+    (* Operands of width <= 32 give an exact product within unsigned 64
+       bits, so the range check in [wrapped] is precise.  W64 multiplies
+       wrap silently; the modelled devices never use them. *)
+    if w = Width.W64 then Int64.mul a b else wrapped (Int64.mul a b)
+  | Expr.Div ->
+    if b = 0L then raise Div_by_zero else Int64.unsigned_div a b
+  | Expr.Rem ->
+    if b = 0L then raise Div_by_zero else Int64.unsigned_rem a b
+  | Expr.And -> Int64.logand a b
+  | Expr.Or -> Int64.logor a b
+  | Expr.Xor -> Int64.logxor a b
+  | Expr.Shl ->
+    let shift = Int64.to_int (Int64.logand b 63L) in
+    let exact = Int64.shift_left a shift in
+    let r = Width.truncate w exact in
+    (* Bits shifted out of the width are an overflow (UBSan-style). *)
+    if w <> Width.W64 && not (Width.fits_unsigned w exact) then
+      ctx.record_overflow { ov_op = op; ov_width = w; ov_lhs = a; ov_rhs = b; ov_result = r };
+    r
+  | Expr.Shr ->
+    let shift = Int64.to_int (Int64.logand b 63L) in
+    Int64.shift_right_logical a shift
+
+let cmp op a b =
+  let u = Int64.unsigned_compare a b and s = Int64.compare a b in
+  let r =
+    match op with
+    | Expr.Eq -> a = b
+    | Expr.Ne -> a <> b
+    | Expr.Ltu -> u < 0
+    | Expr.Leu -> u <= 0
+    | Expr.Gtu -> u > 0
+    | Expr.Geu -> u >= 0
+    | Expr.Lts -> s < 0
+    | Expr.Les -> s <= 0
+    | Expr.Gts -> s > 0
+    | Expr.Ges -> s >= 0
+  in
+  if r then 1L else 0L
+
+let rec eval ctx (e : Expr.t) =
+  match e with
+  | Expr.Const (v, w) -> Width.truncate w v
+  | Expr.Field n -> ctx.get_field n
+  | Expr.Buf_byte (b, idx) ->
+    Int64.of_int (ctx.get_buf_byte b (Int64.to_int (eval ctx idx)))
+  | Expr.Buf_len b -> Int64.of_int (ctx.buf_len b)
+  | Expr.Param n -> ctx.get_param n
+  | Expr.Local n -> ctx.get_local n
+  | Expr.Binop (op, w, a, b) -> binop ctx op w (eval ctx a) (eval ctx b)
+  | Expr.Cmp (op, a, b) -> cmp op (eval ctx a) (eval ctx b)
+  | Expr.Not a -> if truthy (eval ctx a) then 0L else 1L
+
+let pp_overflow ppf o =
+  Format.fprintf ppf "%Ld %s %Ld wrapped to %Ld at width %s" o.ov_lhs
+    (Expr.binop_to_string o.ov_op)
+    o.ov_rhs o.ov_result
+    (Width.to_string o.ov_width)

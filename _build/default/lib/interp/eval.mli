@@ -1,0 +1,42 @@
+(** Width-aware expression evaluation, shared by the device interpreter and
+    the ES-Checker.
+
+    Evaluation is parameterised over lookup functions so the interpreter can
+    evaluate against the live control structure while the checker evaluates
+    against its own shadow device state.  All arithmetic wraps at its
+    declared width; wraps are reported through [record_overflow], which is
+    the exact signal the parameter check strategy consumes (the paper uses
+    the host flag register plus UBSan-style type metadata for the same
+    purpose). *)
+
+type overflow = {
+  ov_op : Devir.Expr.binop;
+  ov_width : Devir.Width.t;
+  ov_lhs : int64;
+  ov_rhs : int64;
+  ov_result : int64;  (** The wrapped result actually produced. *)
+}
+
+exception Div_by_zero
+exception Undefined_local of string
+exception Undefined_param of string
+
+type ctx = {
+  get_field : string -> int64;
+  get_buf_byte : string -> int -> int;
+      (** May raise {!Devir.Arena.Out_of_arena}. *)
+  buf_len : string -> int;
+  get_param : string -> int64;  (** Raises {!Undefined_param}. *)
+  get_local : string -> int64;  (** Raises {!Undefined_local}. *)
+  record_overflow : overflow -> unit;
+}
+
+val eval : ctx -> Devir.Expr.t -> int64
+(** Evaluate an expression.  Comparison results are 0/1.  May raise
+    {!Div_by_zero}, {!Undefined_local}, {!Undefined_param} or
+    {!Devir.Arena.Out_of_arena}. *)
+
+val truthy : int64 -> bool
+(** Branch semantics: nonzero is taken. *)
+
+val pp_overflow : Format.formatter -> overflow -> unit

@@ -1,0 +1,88 @@
+type trace_event = Pge of int64 | Tnt of bool | Tip of int64 | Pgd
+
+type obs_outcome =
+  | O_goto of string
+  | O_taken
+  | O_not_taken
+  | O_case of int64 * string
+  | O_icall of int64
+  | O_halt
+
+type observe_entry = {
+  block : Devir.Program.bref;
+  kind : Devir.Block.kind;
+  state : (string * int64) list;
+  outcome : obs_outcome;
+  cmd : int64 option;
+  stmts : Devir.Stmt.t list;
+  term : Devir.Term.t;
+}
+
+type oob_event = {
+  oob_block : Devir.Program.bref;
+  oob_buf : string;
+  oob_index : int;
+  oob_write : bool;
+}
+
+type trap =
+  | Wild_jump of { block : Devir.Program.bref; target : int64 }
+  | Icall_blocked of { block : Devir.Program.bref; target : int64 }
+  | Div_by_zero of Devir.Program.bref
+  | Out_of_arena of { block : Devir.Program.bref; field : string; index : int }
+  | Undefined_param of { block : Devir.Program.bref; param : string }
+  | Undefined_local of { block : Devir.Program.bref; local : string }
+  | Step_limit
+  | Depth_limit
+
+type outcome = Done of { response : int64 option } | Trapped of trap
+
+let pp_trace_event ppf = function
+  | Pge a -> Format.fprintf ppf "PGE %Lx" a
+  | Tnt b -> Format.fprintf ppf "TNT %c" (if b then 'T' else 'N')
+  | Tip a -> Format.fprintf ppf "TIP %Lx" a
+  | Pgd -> Format.fprintf ppf "PGD"
+
+let pp_obs_outcome ppf = function
+  | O_goto l -> Format.fprintf ppf "goto %s" l
+  | O_taken -> Format.fprintf ppf "taken"
+  | O_not_taken -> Format.fprintf ppf "not-taken"
+  | O_case (v, l) -> Format.fprintf ppf "case %Ld -> %s" v l
+  | O_icall v -> Format.fprintf ppf "icall %Lx" v
+  | O_halt -> Format.fprintf ppf "halt"
+
+let pp_observe_entry ppf (e : observe_entry) =
+  Format.fprintf ppf "@[<h>%a [%s] %a {%s}%s@]" Devir.Program.pp_bref e.block
+    (Devir.Block.kind_to_string e.kind)
+    pp_obs_outcome e.outcome
+    (String.concat ", "
+       (List.map (fun (n, v) -> Printf.sprintf "%s=%Ld" n v) e.state))
+    (match e.cmd with Some c -> Printf.sprintf " cmd=%Ld" c | None -> "")
+
+let pp_trap ppf = function
+  | Wild_jump { block; target } ->
+    Format.fprintf ppf "wild jump to %Lx at %a" target Devir.Program.pp_bref
+      block
+  | Icall_blocked { block; target } ->
+    Format.fprintf ppf "indirect call to %Lx blocked by guard at %a" target
+      Devir.Program.pp_bref block
+  | Div_by_zero b ->
+    Format.fprintf ppf "division by zero at %a" Devir.Program.pp_bref b
+  | Out_of_arena { block; field; index } ->
+    Format.fprintf ppf "access to %s[%d] escapes control structure at %a"
+      field index Devir.Program.pp_bref block
+  | Undefined_param { block; param } ->
+    Format.fprintf ppf "undefined request parameter %s at %a" param
+      Devir.Program.pp_bref block
+  | Undefined_local { block; local } ->
+    Format.fprintf ppf "undefined local %s at %a" local Devir.Program.pp_bref
+      block
+  | Step_limit -> Format.fprintf ppf "step limit exceeded (hang)"
+  | Depth_limit -> Format.fprintf ppf "callback depth limit exceeded"
+
+let pp_outcome ppf = function
+  | Done { response = Some v } -> Format.fprintf ppf "done (response %Ld)" v
+  | Done { response = None } -> Format.fprintf ppf "done"
+  | Trapped t -> Format.fprintf ppf "trapped: %a" pp_trap t
+
+let trap_to_string t = Format.asprintf "%a" pp_trap t

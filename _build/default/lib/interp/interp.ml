@@ -1,0 +1,314 @@
+open Devir
+
+type guest = {
+  read_byte : int64 -> int;
+  write_byte : int64 -> int -> unit;
+}
+
+type hooks = {
+  on_trace : Event.trace_event -> unit;
+  on_block : Program.bref -> Block.kind -> unit;
+  on_observe : Event.observe_entry -> unit;
+  on_oob : Event.oob_event -> unit;
+  on_irq : bool -> unit;
+  on_overflow : Eval.overflow -> unit;
+}
+
+let silent_hooks =
+  {
+    on_trace = ignore;
+    on_block = (fun _ _ -> ());
+    on_observe = ignore;
+    on_oob = ignore;
+    on_irq = ignore;
+    on_overflow = ignore;
+  }
+
+type config = { step_limit : int; depth_limit : int }
+
+let default_config = { step_limit = 100_000; depth_limit = 8 }
+
+type observation = {
+  points : (Program.bref, unit) Hashtbl.t;
+  state_params : string list;
+}
+
+type t = {
+  config : config;
+  mutable hooks : hooks;
+  program : Program.t;
+  arena : Arena.t;
+  guest : guest;
+  mutable observation : observation option;
+  sync_points : (Program.bref, string list) Hashtbl.t;
+  mutable on_sync : Program.bref -> (string * int64) list -> unit;
+  mutable host_value : string -> int64;
+  mutable icall_guard : (Program.bref -> int64 -> bool) option;
+}
+
+let create ?(config = default_config) ?(hooks = silent_hooks) ~program ~arena
+    ~guest () =
+  {
+    config;
+    hooks;
+    program;
+    arena;
+    guest;
+    observation = None;
+    sync_points = Hashtbl.create 4;
+    on_sync = (fun _ _ -> ());
+    host_value = (fun _ -> 0L);
+    icall_guard = None;
+  }
+
+let set_hooks t hooks = t.hooks <- hooks
+let hooks t = t.hooks
+let program t = t.program
+let arena t = t.arena
+
+let set_observation t ~points ~state_params =
+  let table = Hashtbl.create (List.length points) in
+  List.iter (fun p -> Hashtbl.replace table p ()) points;
+  t.observation <- Some { points = table; state_params }
+
+let clear_observation t = t.observation <- None
+
+let set_host_values t f = t.host_value <- f
+
+let set_icall_guard t g = t.icall_guard <- g
+let clear_icall_guard t = t.icall_guard <- None
+
+let set_sync_points t points ~on_sync =
+  Hashtbl.reset t.sync_points;
+  List.iter (fun (bref, locals) -> Hashtbl.replace t.sync_points bref locals) points;
+  t.on_sync <- on_sync
+
+exception Trap of Event.trap
+
+(* Per-invocation mutable state threaded through block execution. *)
+type frame = {
+  locals : (string, int64) Hashtbl.t;
+  params : (string * int64) list;
+  mutable response : int64 option;
+  mutable steps : int;
+}
+
+let eval_ctx t frame (block : Program.bref) =
+  {
+    Eval.get_field = Arena.get t.arena;
+    get_buf_byte =
+      (fun buf idx ->
+        let size = Layout.buf_size (Arena.layout t.arena) buf in
+        if idx < 0 || idx >= size then
+          t.hooks.on_oob
+            { Event.oob_block = block; oob_buf = buf; oob_index = idx; oob_write = false };
+        Arena.get_buf_byte t.arena buf idx);
+    buf_len = Layout.buf_size (Arena.layout t.arena);
+    get_param =
+      (fun name ->
+        match List.assoc_opt name frame.params with
+        | Some v -> v
+        | None -> raise (Eval.Undefined_param name));
+    get_local =
+      (fun name ->
+        match Hashtbl.find_opt frame.locals name with
+        | Some v -> v
+        | None -> raise (Eval.Undefined_local name));
+    record_overflow = t.hooks.on_overflow;
+  }
+
+let set_buf_checked t block buf idx v =
+  let size = Layout.buf_size (Arena.layout t.arena) buf in
+  if idx < 0 || idx >= size then
+    t.hooks.on_oob
+      { Event.oob_block = block; oob_buf = buf; oob_index = idx; oob_write = true };
+  Arena.set_buf_byte t.arena buf idx v
+
+let exec_stmt t frame block ctx (stmt : Stmt.t) =
+  let eval e = Eval.eval ctx e in
+  let to_int e = Int64.to_int (eval e) in
+  match stmt with
+  | Stmt.Set_field (f, e) -> Arena.set t.arena f (eval e)
+  | Stmt.Set_buf (b, idx, v) ->
+    set_buf_checked t block b (to_int idx) (Int64.to_int (eval v) land 0xFF)
+  | Stmt.Set_local (n, e) -> Hashtbl.replace frame.locals n (eval e)
+  | Stmt.Buf_fill (b, off, len, v) ->
+    let off = to_int off and len = to_int len in
+    let v = Int64.to_int (eval v) land 0xFF in
+    for i = off to off + len - 1 do
+      set_buf_checked t block b i v
+    done
+  | Stmt.Copy_from_guest { buf; buf_off; addr; len } ->
+    let buf_off = to_int buf_off and len = to_int len in
+    let addr = eval addr in
+    for i = 0 to len - 1 do
+      let byte = t.guest.read_byte (Int64.add addr (Int64.of_int i)) in
+      set_buf_checked t block buf (buf_off + i) byte
+    done
+  | Stmt.Copy_to_guest { buf; buf_off; addr; len } ->
+    let buf_off = to_int buf_off and len = to_int len in
+    let addr = eval addr in
+    let size = Layout.buf_size (Arena.layout t.arena) buf in
+    for i = 0 to len - 1 do
+      let idx = buf_off + i in
+      if idx < 0 || idx >= size then
+        t.hooks.on_oob
+          { Event.oob_block = block; oob_buf = buf; oob_index = idx; oob_write = false };
+      t.guest.write_byte
+        (Int64.add addr (Int64.of_int i))
+        (Arena.get_buf_byte t.arena buf idx)
+    done
+  | Stmt.Read_guest { local; addr; width } ->
+    let addr = eval addr in
+    let n = Width.bytes width in
+    let rec go i acc =
+      if i < 0 then acc
+      else
+        go (i - 1)
+          (Int64.logor (Int64.shift_left acc 8)
+             (Int64.of_int (t.guest.read_byte (Int64.add addr (Int64.of_int i)))))
+    in
+    Hashtbl.replace frame.locals local (go (n - 1) 0L)
+  | Stmt.Write_guest { addr; value; width } ->
+    let addr = eval addr in
+    let v = eval value in
+    for i = 0 to Width.bytes width - 1 do
+      t.guest.write_byte
+        (Int64.add addr (Int64.of_int i))
+        (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL))
+    done
+  | Stmt.Respond e -> frame.response <- Some (eval e)
+  | Stmt.Note _ -> ()
+  | Stmt.Host_value { local; key } ->
+    Hashtbl.replace frame.locals local (t.host_value key)
+
+let observe t (bref : Program.bref) (block : Block.t) outcome cmd =
+  match t.observation with
+  | None -> ()
+  | Some obs ->
+    if Hashtbl.mem obs.points bref then
+      let state =
+        List.map (fun p -> (p, Arena.get t.arena p)) obs.state_params
+      in
+      t.hooks.on_observe
+        {
+          Event.block = bref;
+          kind = block.kind;
+          state;
+          outcome;
+          cmd;
+          stmts = block.stmts;
+          term = block.term;
+        }
+
+(* Execute a handler to completion.  [depth] > 0 means we arrived through a
+   callback chain; only the outermost invocation brackets the trace with
+   PGE/PGD. *)
+let rec run_handler t frame depth hname =
+  if depth > t.config.depth_limit then raise (Trap Event.Depth_limit);
+  let h =
+    try Program.find_handler t.program hname
+    with Not_found -> invalid_arg (Printf.sprintf "Interp.run: no handler %s" hname)
+  in
+  let entry =
+    match h.blocks with
+    | b :: _ -> b
+    | [] -> invalid_arg (Printf.sprintf "Interp.run: handler %s is empty" hname)
+  in
+  let bref_of label : Program.bref = { handler = hname; label } in
+  if depth = 0 then
+    t.hooks.on_trace (Event.Pge (Program.address_of t.program (bref_of entry.Block.label)));
+  let rec step (block : Block.t) =
+    let bref = bref_of block.label in
+    frame.steps <- frame.steps + 1;
+    if frame.steps > t.config.step_limit then raise (Trap Event.Step_limit);
+    t.hooks.on_block bref block.kind;
+    let ctx = eval_ctx t frame bref in
+    let reraise_arena f =
+      try f () with
+      | Arena.Out_of_arena { field; index } ->
+        raise (Trap (Event.Out_of_arena { block = bref; field; index }))
+      | Eval.Div_by_zero -> raise (Trap (Event.Div_by_zero bref))
+      | Eval.Undefined_param param ->
+        raise (Trap (Event.Undefined_param { block = bref; param }))
+      | Eval.Undefined_local local ->
+        raise (Trap (Event.Undefined_local { block = bref; local }))
+    in
+    reraise_arena (fun () -> List.iter (exec_stmt t frame bref ctx) block.stmts);
+    (match Hashtbl.find_opt t.sync_points bref with
+    | Some locals ->
+      let values =
+        List.filter_map
+          (fun l ->
+            Option.map (fun v -> (l, v)) (Hashtbl.find_opt frame.locals l))
+          locals
+      in
+      t.on_sync bref values
+    | None -> ());
+    match block.term with
+    | Term.Goto l ->
+      observe t bref block (Event.O_goto l) None;
+      step (Program.find_block t.program (bref_of l))
+    | Term.Branch (cond, if_taken, if_not) ->
+      let v = reraise_arena (fun () -> Eval.eval ctx cond) in
+      let taken = Eval.truthy v in
+      t.hooks.on_trace (Event.Tnt taken);
+      observe t bref block
+        (if taken then Event.O_taken else Event.O_not_taken)
+        None;
+      step (Program.find_block t.program (bref_of (if taken then if_taken else if_not)))
+    | Term.Switch (scrutinee, cases, default) ->
+      let v = reraise_arena (fun () -> Eval.eval ctx scrutinee) in
+      let dest =
+        match List.assoc_opt v cases with Some l -> l | None -> default
+      in
+      t.hooks.on_trace (Event.Tip (Program.address_of t.program (bref_of dest)));
+      observe t bref block (Event.O_case (v, dest)) (Some v);
+      step (Program.find_block t.program (bref_of dest))
+    | Term.Icall (fnptr, next) ->
+      let v = reraise_arena (fun () -> Eval.eval ctx fnptr) in
+      t.hooks.on_trace (Event.Tip v);
+      observe t bref block (Event.O_icall v) None;
+      (match t.icall_guard with
+      | Some guard when not (guard bref v) ->
+        raise (Trap (Event.Icall_blocked { block = bref; target = v }))
+      | _ -> ());
+      (match Program.find_callback t.program v with
+      | None -> raise (Trap (Event.Wild_jump { block = bref; target = v }))
+      | Some cb -> (
+        match cb.action with
+        | Program.Raise_irq_line -> t.hooks.on_irq true
+        | Program.Lower_irq_line -> t.hooks.on_irq false
+        | Program.Run_handler callee -> run_handler t frame (depth + 1) callee
+        | Program.Noop -> ()));
+      step (Program.find_block t.program (bref_of next))
+    | Term.Halt ->
+      observe t bref block Event.O_halt None;
+      if depth = 0 then t.hooks.on_trace Event.Pgd
+  in
+  step entry
+
+let run t ~handler ~params =
+  let frame = { locals = Hashtbl.create 16; params; response = None; steps = 0 } in
+  match run_handler t frame 0 handler with
+  | () -> Event.Done { response = frame.response }
+  | exception Trap trap -> Event.Trapped trap
+
+let null_guest = { read_byte = (fun _ -> 0); write_byte = (fun _ _ -> ()) }
+
+let bytes_guest mem =
+  {
+    read_byte =
+      (fun addr ->
+        let i = Int64.to_int addr in
+        if i >= 0 && i < Bytes.length mem then Char.code (Bytes.get mem i) else 0);
+    write_byte =
+      (fun addr v ->
+        let i = Int64.to_int addr in
+        if i >= 0 && i < Bytes.length mem then Bytes.set mem i (Char.chr (v land 0xFF)));
+  }
+
+(* Re-export the library's sibling modules: [interp.ml] is the library's
+   root module, which would otherwise hide them from the outside. *)
+module Event = Event
+module Eval = Eval

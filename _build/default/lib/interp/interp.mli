@@ -1,0 +1,101 @@
+(** The device-program interpreter.
+
+    Executes one I/O interaction (one handler invocation, plus any handler
+    chaining through function-pointer callbacks) against a live control
+    structure and guest memory.  Execution streams {!Event.trace_event}s to
+    the PT simulator, fires observation points for SEDSpec's data
+    collection, and reports memory-corruption ground truth. *)
+
+type guest = {
+  read_byte : int64 -> int;
+  write_byte : int64 -> int -> unit;
+}
+(** Guest physical memory access, supplied by the machine model.  DMA
+    statements go through these. *)
+
+type hooks = {
+  on_trace : Event.trace_event -> unit;
+  on_block : Devir.Program.bref -> Devir.Block.kind -> unit;
+      (** Fires on entry to every block (used for coverage measurement). *)
+  on_observe : Event.observe_entry -> unit;
+      (** Fires for instrumented blocks only (observation points). *)
+  on_oob : Event.oob_event -> unit;
+  on_irq : bool -> unit;  (** IRQ line raised ([true]) or lowered. *)
+  on_overflow : Eval.overflow -> unit;
+      (** Every arithmetic wrap during device execution (ground truth). *)
+}
+
+val silent_hooks : hooks
+(** Hooks that drop every event. *)
+
+type config = {
+  step_limit : int;   (** Blocks executed before declaring a hang. *)
+  depth_limit : int;  (** Maximum handler-chaining depth. *)
+}
+
+val default_config : config
+(** [step_limit = 100_000], [depth_limit = 8]. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?hooks:hooks ->
+  program:Devir.Program.t ->
+  arena:Devir.Arena.t ->
+  guest:guest ->
+  unit ->
+  t
+
+val set_hooks : t -> hooks -> unit
+val hooks : t -> hooks
+val program : t -> Devir.Program.t
+val arena : t -> Devir.Arena.t
+
+val set_observation :
+  t -> points:Devir.Program.bref list -> state_params:string list -> unit
+(** Install observation points: on leaving any block in [points], emit an
+    {!Event.observe_entry} carrying the current values of [state_params]
+    (scalar fields only — buffers are tracked through their index/length
+    parameters, per the paper's data-volume rule). *)
+
+val clear_observation : t -> unit
+
+val set_icall_guard : t -> (Devir.Program.bref -> int64 -> bool) option -> unit
+(** Install an inline guard consulted at every indirect call, {e after} the
+    target value is computed but {e before} the callback runs.  Returning
+    [false] aborts the interaction with {!Event.Icall_blocked} — this is
+    where SEDSpec's indirect jump check enforces at runtime. *)
+
+val clear_icall_guard : t -> unit
+
+val set_host_values : t -> (string -> int64) -> unit
+(** Provide host-side values for {!Devir.Stmt.Host_value} statements
+    (default: every key reads 0). *)
+
+val set_sync_points :
+  t ->
+  (Devir.Program.bref * string list) list ->
+  on_sync:(Devir.Program.bref -> (string * int64) list -> unit) ->
+  unit
+(** Install sync points: after the statements of a listed block run, the
+    current values of the listed handler locals are reported to [on_sync].
+    This is the paper's data-dependency fallback — when a branch variable
+    cannot be recomputed from device state, the ES-Checker synchronises it
+    from the real device execution. *)
+
+val run :
+  t -> handler:string -> params:(string * int64) list -> Event.outcome
+(** Execute one I/O interaction. *)
+
+val null_guest : guest
+(** Guest memory that reads zero and ignores writes (for unit tests). *)
+
+val bytes_guest : bytes -> guest
+(** Guest memory backed by a byte buffer; out-of-range accesses read zero /
+    are dropped. *)
+
+(** {1 Re-exports} *)
+
+module Event : module type of Event
+module Eval : module type of Eval

@@ -1,0 +1,1 @@
+lib/iptrace/decoder.ml: Devir Format List Packet Printf Program Term

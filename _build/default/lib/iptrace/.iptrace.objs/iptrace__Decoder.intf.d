@@ -1,0 +1,1 @@
+lib/iptrace/decoder.mli: Devir Format Packet

@@ -1,0 +1,1 @@
+lib/iptrace/encoder.ml: Filter Interp List Packet

@@ -1,0 +1,1 @@
+lib/iptrace/encoder.mli: Filter Interp Packet

@@ -1,0 +1,1 @@
+lib/iptrace/filter.ml: Devir Int64 List

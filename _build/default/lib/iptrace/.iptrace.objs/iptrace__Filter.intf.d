@@ -1,0 +1,1 @@
+lib/iptrace/filter.mli: Devir

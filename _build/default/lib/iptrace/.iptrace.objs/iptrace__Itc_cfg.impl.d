@@ -1,0 +1,1 @@
+lib/iptrace/itc_cfg.ml: Block Decoder Devir Format Hashtbl Int64 List Printf Program String Term

@@ -1,0 +1,1 @@
+lib/iptrace/itc_cfg.mli: Decoder Devir Format

@@ -1,0 +1,1 @@
+lib/iptrace/packet.ml: Format List String

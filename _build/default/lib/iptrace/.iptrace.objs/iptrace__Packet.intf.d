@@ -1,0 +1,1 @@
+lib/iptrace/packet.mli: Format

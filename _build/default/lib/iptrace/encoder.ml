@@ -1,0 +1,64 @@
+type t = {
+  filter : Filter.t;
+  mutable packets_rev : Packet.t list;
+  mutable tnt_buf : bool list;  (** Newest first. *)
+  mutable in_window : bool;
+      (** False between a dropped PGE and the matching PGD: the filter
+          suppressed this trace window. *)
+}
+
+let create filter =
+  { filter; packets_rev = []; tnt_buf = []; in_window = false }
+
+let emit t p = t.packets_rev <- p :: t.packets_rev
+
+let flush_tnt t =
+  match t.tnt_buf with
+  | [] -> ()
+  | bits ->
+    emit t (Packet.Tnt_short (List.rev bits));
+    t.tnt_buf <- []
+
+let feed t (ev : Interp.Event.trace_event) =
+  match ev with
+  | Interp.Event.Pge addr ->
+    if Filter.contains t.filter addr then begin
+      t.in_window <- true;
+      emit t Packet.Psb;
+      emit t Packet.Psbend;
+      emit t (Packet.Tip_pge addr)
+    end
+    else t.in_window <- false
+  | Interp.Event.Tnt taken ->
+    if t.in_window then begin
+      t.tnt_buf <- taken :: t.tnt_buf;
+      if List.length t.tnt_buf >= 6 then flush_tnt t
+    end
+  | Interp.Event.Tip addr ->
+    if t.in_window then begin
+      flush_tnt t;
+      if Filter.contains t.filter addr then emit t (Packet.Tip addr)
+      else
+        (* Real PT suppresses out-of-range targets; the decoder sees a
+           filtered TIP as a hole.  We keep a placeholder so decoding can
+           detect contaminated streams in tests. *)
+        emit t Packet.Pad
+    end
+  | Interp.Event.Pgd ->
+    if t.in_window then begin
+      flush_tnt t;
+      emit t Packet.Tip_pgd;
+      t.in_window <- false
+    end
+
+let packets t =
+  flush_tnt t;
+  List.rev t.packets_rev
+
+let clear t =
+  t.packets_rev <- [];
+  t.tnt_buf <- [];
+  t.in_window <- false
+
+let trace_bytes t =
+  List.fold_left (fun acc p -> acc + Packet.encoded_size p) 0 (packets t)

@@ -1,0 +1,25 @@
+(** PT packet encoder.
+
+    Consumes the interpreter's {!Interp.Event.trace_event}s and produces a
+    compressed packet stream: conditional branch bits accumulate into short
+    TNT packets (up to six bits) that are flushed before any other packet,
+    and every trace window is bracketed by PSB/PSBEND...TIP.PGE and
+    TIP.PGD.  Events whose address falls outside the filter are dropped,
+    like hardware range filtering; a dropped PGE suppresses the whole
+    window. *)
+
+type t
+
+val create : Filter.t -> t
+
+val feed : t -> Interp.Event.trace_event -> unit
+
+val packets : t -> Packet.t list
+(** Flush pending TNT bits and return all packets so far, in order.  The
+    encoder can keep being fed afterwards. *)
+
+val clear : t -> unit
+(** Drop all buffered packets and bits. *)
+
+val trace_bytes : t -> int
+(** Total {!Packet.encoded_size} of the packets emitted so far. *)

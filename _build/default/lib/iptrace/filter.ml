@@ -1,0 +1,21 @@
+type t = { ranges : (int64 * int64) list }
+
+let make ~ranges = { ranges }
+
+let kernel_base = 0xFFFF_8000_0000_0000L
+
+let for_program program =
+  let lo, hi = Devir.Program.code_range program in
+  let callback_values = List.map fst (Devir.Program.callbacks program) in
+  let cb_ranges =
+    List.map (fun v -> (v, Int64.add v 1L)) callback_values
+  in
+  { ranges = (lo, hi) :: cb_ranges }
+
+let contains t addr =
+  List.exists
+    (fun (lo, hi) ->
+      Int64.unsigned_compare addr lo >= 0 && Int64.unsigned_compare addr hi < 0)
+    t.ranges
+
+let ranges t = t.ranges

@@ -1,0 +1,25 @@
+(** IPT address filtering.
+
+    SEDSpec configures IPT so that only control flow inside the emulated
+    device is collected: tracing starts/stops at the device's I/O entry and
+    exit, the collected address range is restricted to the device code, and
+    kernel-space flow is disabled.  This module reproduces those filtering
+    rules for the simulated packet stream. *)
+
+type t
+
+val make : ranges:(int64 * int64) list -> t
+(** Half-open address ranges \[lo, hi) whose flow may be collected. *)
+
+val for_program : Devir.Program.t -> t
+(** The filter SEDSpec's IPT module would compute from the device's memory
+    layout: the program's code range plus its callback-value range (so
+    indirect-jump targets survive filtering). *)
+
+val kernel_base : int64
+(** Base of the simulated kernel address space ([0xFFFF_8000_0000_0000]);
+    never inside a device filter, so kernel flow is dropped. *)
+
+val contains : t -> int64 -> bool
+
+val ranges : t -> (int64 * int64) list

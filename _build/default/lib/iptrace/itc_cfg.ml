@@ -1,0 +1,101 @@
+open Devir
+
+type node = {
+  bref : Program.bref;
+  mutable visits : int;
+  mutable taken : int;
+  mutable not_taken : int;
+  mutable itargets : (int64 * int) list;
+  mutable succs : (Program.bref * int) list;
+}
+
+type t = {
+  program : Program.t;
+  table : (Program.bref, node) Hashtbl.t;
+}
+
+let create program = { program; table = Hashtbl.create 64 }
+
+let get_node t bref =
+  match Hashtbl.find_opt t.table bref with
+  | Some n -> n
+  | None ->
+    let n = { bref; visits = 0; taken = 0; not_taken = 0; itargets = []; succs = [] } in
+    Hashtbl.add t.table bref n;
+    n
+
+let bump_assoc key l =
+  let rec go = function
+    | [] -> [ (key, 1) ]
+    | (k, c) :: rest when k = key -> (k, c + 1) :: rest
+    | kv :: rest -> kv :: go rest
+  in
+  go l
+
+let add_succ n succ = n.succs <- bump_assoc succ n.succs
+
+let add_trace t (trace : Decoder.trace) =
+  let rec go = function
+    | [] -> ()
+    | (step : Decoder.step) :: rest ->
+      let n = get_node t step.block in
+      n.visits <- n.visits + 1;
+      (match step.transfer with
+      | Decoder.Taken -> n.taken <- n.taken + 1
+      | Decoder.Not_taken -> n.not_taken <- n.not_taken + 1
+      | Decoder.Call v -> n.itargets <- bump_assoc v n.itargets
+      | Decoder.Fall | Decoder.Sw _ | Decoder.End -> ());
+      (match rest with
+      | next :: _ -> add_succ n next.Decoder.block
+      | [] -> ());
+      go rest
+  in
+  go trace
+
+let program t = t.program
+let node t bref = Hashtbl.find_opt t.table bref
+
+let nodes t =
+  let all = Hashtbl.fold (fun _ n acc -> n :: acc) t.table [] in
+  List.sort
+    (fun a b ->
+      Int64.compare
+        (Program.address_of t.program a.bref)
+        (Program.address_of t.program b.bref))
+    all
+
+let block_count t = Hashtbl.length t.table
+
+let term_of t bref = (Program.find_block t.program bref).Block.term
+
+let conditional_nodes t =
+  List.filter
+    (fun n -> match term_of t n.bref with Term.Branch _ -> true | _ -> false)
+    (nodes t)
+
+let indirect_nodes t =
+  List.filter
+    (fun n -> match term_of t n.bref with Term.Icall _ -> true | _ -> false)
+    (nodes t)
+
+let one_sided n =
+  (n.taken = 0 && n.not_taken > 0) || (n.taken > 0 && n.not_taken = 0)
+
+let edge_count t =
+  Hashtbl.fold (fun _ n acc -> acc + List.length n.succs) t.table 0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>ITC-CFG of %s: %d blocks, %d edges@,"
+    (Program.name t.program) (block_count t) (edge_count t);
+  List.iter
+    (fun n ->
+      Format.fprintf ppf "%a visits=%d" Program.pp_bref n.bref n.visits;
+      if n.taken + n.not_taken > 0 then
+        Format.fprintf ppf " T=%d N=%d" n.taken n.not_taken;
+      if n.itargets <> [] then
+        Format.fprintf ppf " targets={%s}"
+          (String.concat ","
+             (List.map (fun (v, c) -> Printf.sprintf "%Lx:%d" v c) n.itargets));
+      Format.fprintf ppf "@,")
+    (nodes t);
+  Format.fprintf ppf "@]"

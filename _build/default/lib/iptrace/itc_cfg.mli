@@ -1,0 +1,48 @@
+(** Indirect Targets Connected Control Flow Graph (ITC-CFG).
+
+    The runtime control-flow graph SEDSpec builds from decoded PT traces
+    (the FlowGuard construction): one node per basic block actually
+    executed, edges weighted by observation counts, and — the "indirect
+    targets connected" part — each indirect jump site annotated with the
+    set of concrete targets it was observed to reach.  SEDSpec's CFG
+    analyzer later walks this graph to find the conditional and indirect
+    structures whose variables become device state parameters. *)
+
+type node = {
+  bref : Devir.Program.bref;
+  mutable visits : int;
+  mutable taken : int;       (** Conditional branch: times taken. *)
+  mutable not_taken : int;
+  mutable itargets : (int64 * int) list;
+      (** Indirect call targets with observation counts. *)
+  mutable succs : (Devir.Program.bref * int) list;
+      (** Observed successor blocks with edge counts. *)
+}
+
+type t
+
+val create : Devir.Program.t -> t
+
+val add_trace : t -> Decoder.trace -> unit
+(** Fold one decoded trace window into the graph. *)
+
+val program : t -> Devir.Program.t
+val node : t -> Devir.Program.bref -> node option
+val nodes : t -> node list
+(** All nodes, in program address order. *)
+
+val block_count : t -> int
+
+val conditional_nodes : t -> node list
+(** Nodes whose block ends in a conditional branch. *)
+
+val indirect_nodes : t -> node list
+(** Nodes whose block ends in an indirect call. *)
+
+val one_sided : node -> bool
+(** A conditional node observed taking only one direction — the basis of
+    the conditional jump check. *)
+
+val edge_count : t -> int
+
+val pp : Format.formatter -> t -> unit

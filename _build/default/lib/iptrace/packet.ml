@@ -1,0 +1,31 @@
+type t =
+  | Psb
+  | Psbend
+  | Tip_pge of int64
+  | Tip of int64
+  | Tip_pgd
+  | Tnt_short of bool list
+  | Pad
+
+let pp ppf = function
+  | Psb -> Format.fprintf ppf "PSB"
+  | Psbend -> Format.fprintf ppf "PSBEND"
+  | Tip_pge a -> Format.fprintf ppf "TIP.PGE %Lx" a
+  | Tip a -> Format.fprintf ppf "TIP %Lx" a
+  | Tip_pgd -> Format.fprintf ppf "TIP.PGD"
+  | Tnt_short bits ->
+    Format.fprintf ppf "TNT %s"
+      (String.concat "" (List.map (fun b -> if b then "T" else "N") bits))
+  | Pad -> Format.fprintf ppf "PAD"
+
+let to_string p = Format.asprintf "%a" pp p
+
+let ip_bytes = 6 (* a 48-bit IP payload, the common real-world case *)
+
+let encoded_size = function
+  | Psb -> 16
+  | Psbend -> 2
+  | Tip_pge _ | Tip _ -> 1 + ip_bytes
+  | Tip_pgd -> 2
+  | Tnt_short _ -> 1
+  | Pad -> 1

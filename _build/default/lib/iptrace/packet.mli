@@ -1,0 +1,27 @@
+(** Simulated Intel Processor Trace packets.
+
+    The encoder compresses the interpreter's control-flow events into the
+    same packet vocabulary real IPT uses: PSB synchronisation, TIP.PGE /
+    TIP.PGD trace windowing, short TNT packets carrying up to six
+    conditional-branch bits, and TIP packets for indirect transfers.  The
+    decoder must recover the exact block path from these packets plus the
+    static program, exactly as FlowGuard-style decoders recover it from the
+    binary. *)
+
+type t =
+  | Psb          (** Stream synchronisation boundary. *)
+  | Psbend
+  | Tip_pge of int64  (** Trace enabled at address (handler entry). *)
+  | Tip of int64      (** Indirect transfer target. *)
+  | Tip_pgd           (** Trace disabled (handler exit). *)
+  | Tnt_short of bool list
+      (** 1..6 conditional-branch outcomes, oldest first. *)
+  | Pad
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val encoded_size : t -> int
+(** Approximate wire size in bytes of the packet, mirroring real IPT
+    encodings (PSB 16, TIP* 1+IP bytes, short TNT 1, PAD 1).  Used to
+    report trace-volume statistics. *)

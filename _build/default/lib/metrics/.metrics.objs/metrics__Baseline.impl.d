@@ -1,0 +1,1 @@
+lib/metrics/baseline.ml: Attacks Format List Nioh Option Sedspec Sedspec_util Spec_cache Vmm Workload

@@ -1,0 +1,1 @@
+lib/metrics/case_study.ml: Attacks Devices Format List Sedspec Spec_cache Vmm Workload

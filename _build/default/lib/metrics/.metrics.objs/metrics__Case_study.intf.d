@@ -1,0 +1,1 @@
+lib/metrics/case_study.mli: Attacks Format Sedspec

@@ -1,0 +1,1 @@
+lib/metrics/coverage.ml: Devir Format Hashtbl Interp Sedspec Sedspec_util Spec_cache Vmm Workload

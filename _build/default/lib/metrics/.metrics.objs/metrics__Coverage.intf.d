@@ -1,0 +1,1 @@
+lib/metrics/coverage.mli: Format Workload

@@ -1,0 +1,1 @@
+lib/metrics/fpr.ml: Array Format List Option Printf Sedspec Sedspec_util Spec_cache String Vmm Workload

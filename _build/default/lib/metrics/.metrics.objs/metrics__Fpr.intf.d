@@ -1,0 +1,1 @@
+lib/metrics/fpr.mli: Format Workload

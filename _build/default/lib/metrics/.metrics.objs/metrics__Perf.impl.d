@@ -1,0 +1,1 @@
+lib/metrics/perf.ml: Bytes List Spec_cache Unix Workload

@@ -1,0 +1,1 @@
+lib/metrics/spec_cache.ml: Devices Hashtbl Sedspec Workload

@@ -1,0 +1,1 @@
+lib/metrics/spec_cache.mli: Devices Sedspec Vmm Workload

@@ -1,0 +1,28 @@
+let training_cases = ref 24
+
+let cache : (string * string, Sedspec.Pipeline.built) Hashtbl.t =
+  Hashtbl.create 8
+
+let built (module W : Workload.Samples.DEVICE_WORKLOAD) version =
+  let key = (W.device_name, Devices.Qemu_version.to_string version) in
+  match Hashtbl.find_opt cache key with
+  | Some b -> b
+  | None ->
+    let m = W.make_machine version in
+    let b =
+      Sedspec.Pipeline.build m ~device:W.device_name
+        (W.trainer ~cases:!training_cases)
+    in
+    Hashtbl.add cache key b;
+    b
+
+let fresh_machine ?vmexit_cost (module W : Workload.Samples.DEVICE_WORKLOAD)
+    version =
+  W.make_machine ?vmexit_cost version
+
+let fresh_protected_machine ?config ?vmexit_cost
+    (module W : Workload.Samples.DEVICE_WORKLOAD) version =
+  let b = built (module W) version in
+  let m = W.make_machine ?vmexit_cost version in
+  let checker = Sedspec.Pipeline.protect ?config m ~device:W.device_name b in
+  (m, checker)

@@ -1,0 +1,29 @@
+(** Execution-specification cache.
+
+    Experiments need one trained specification per (device, QEMU version)
+    pair; building one costs two training passes, so they are memoised for
+    the lifetime of the process. *)
+
+val training_cases : int ref
+(** Training corpus size per device (default 24). *)
+
+val built :
+  (module Workload.Samples.DEVICE_WORKLOAD) ->
+  Devices.Qemu_version.t ->
+  Sedspec.Pipeline.built
+(** Train (or fetch) the specification for a device at a version. *)
+
+val fresh_protected_machine :
+  ?config:Sedspec.Checker.config ->
+  ?vmexit_cost:int ->
+  (module Workload.Samples.DEVICE_WORKLOAD) ->
+  Devices.Qemu_version.t ->
+  Vmm.Machine.t * Sedspec.Checker.t
+(** A fresh machine with the device attached and a checker built from the
+    cached specification. *)
+
+val fresh_machine :
+  ?vmexit_cost:int ->
+  (module Workload.Samples.DEVICE_WORKLOAD) ->
+  Devices.Qemu_version.t ->
+  Vmm.Machine.t

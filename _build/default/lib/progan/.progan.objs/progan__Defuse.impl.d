@@ -1,0 +1,1 @@
+lib/progan/defuse.ml: Block Devir Expr Hashtbl List Option Program Stmt

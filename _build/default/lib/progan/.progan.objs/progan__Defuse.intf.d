@@ -1,0 +1,1 @@
+lib/progan/defuse.mli: Devir

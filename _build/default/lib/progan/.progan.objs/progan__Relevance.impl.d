@@ -1,0 +1,1 @@
+lib/progan/relevance.ml: Block Devir Expr Layout List Program Set Stmt String Term

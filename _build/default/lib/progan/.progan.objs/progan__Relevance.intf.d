@@ -1,0 +1,1 @@
+lib/progan/relevance.mli: Devir

@@ -1,0 +1,1 @@
+lib/progan/usage.ml: Block Defuse Devir Expr Hashtbl Layout List Option Program Stmt Term

@@ -1,0 +1,1 @@
+lib/progan/usage.mli: Devir

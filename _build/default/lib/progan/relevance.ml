@@ -1,0 +1,93 @@
+open Devir
+
+module S = Set.Make (String)
+
+let rec bufs_read acc (e : Expr.t) =
+  match e with
+  | Expr.Buf_byte (b, idx) -> bufs_read (S.add b acc) idx
+  | Expr.Binop (_, _, a, b) | Expr.Cmp (_, a, b) -> bufs_read (bufs_read acc a) b
+  | Expr.Not a -> bufs_read acc a
+  | Expr.Const _ | Expr.Field _ | Expr.Buf_len _ | Expr.Param _ | Expr.Local _ ->
+    acc
+
+let vars_of e = Expr.fields e @ Expr.locals e
+
+(* Index / offset / length expressions of a statement: always decision-
+   relevant (they position buffer accesses). *)
+let position_exprs (stmt : Stmt.t) =
+  match stmt with
+  | Stmt.Set_buf (_, idx, _) -> [ idx ]
+  | Stmt.Buf_fill (_, off, len, _) -> [ off; len ]
+  | Stmt.Copy_from_guest { buf_off; len; _ } | Stmt.Copy_to_guest { buf_off; len; _ }
+    ->
+    [ buf_off; len ]
+  | _ -> []
+
+(* Value expressions whose result lands in the given sink. *)
+let assignments (stmt : Stmt.t) =
+  match stmt with
+  | Stmt.Set_field (f, e) -> [ (`Var f, e) ]
+  | Stmt.Set_local (n, e) -> [ (`Var n, e) ]
+  | Stmt.Set_buf (b, _, v) -> [ (`Buf b, v) ]
+  | Stmt.Buf_fill (b, _, _, v) -> [ (`Buf b, v) ]
+  | _ -> []
+
+let relevant_buffers program =
+  let rel_vars = ref S.empty and rel_bufs = ref S.empty in
+  let changed = ref true in
+  let add_vars vars =
+    List.iter
+      (fun v ->
+        if not (S.mem v !rel_vars) then begin
+          rel_vars := S.add v !rel_vars;
+          changed := true
+        end)
+      vars
+  in
+  let add_bufs bufs =
+    S.iter
+      (fun b ->
+        if not (S.mem b !rel_bufs) then begin
+          rel_bufs := S.add b !rel_bufs;
+          changed := true
+        end)
+      bufs
+  in
+  let mark_expr e =
+    add_vars (vars_of e);
+    add_bufs (bufs_read S.empty e)
+  in
+  (* Seed: decisions and buffer positions. *)
+  Program.iter_blocks program (fun _ block ->
+      List.iter mark_expr (Term.exprs block.Block.term);
+      List.iter
+        (fun stmt -> List.iter mark_expr (position_exprs stmt))
+        block.Block.stmts);
+  (* Propagate backwards through assignments until stable. *)
+  while !changed do
+    changed := false;
+    Program.iter_blocks program (fun _ block ->
+        List.iter
+          (fun stmt ->
+            List.iter
+              (fun (sink, e) ->
+                let sink_relevant =
+                  match sink with
+                  | `Var v -> S.mem v !rel_vars
+                  | `Buf b -> S.mem b !rel_bufs
+                in
+                if sink_relevant then mark_expr e)
+              (assignments stmt))
+          block.Block.stmts)
+  done;
+  (* Keep only actual buffer fields. *)
+  let layout = Program.layout program in
+  S.elements
+    (S.filter
+       (fun b ->
+         Layout.mem layout b
+         &&
+         match (Layout.find layout b).kind with
+         | Layout.Buf _ -> true
+         | _ -> false)
+       !rel_bufs)

@@ -1,0 +1,16 @@
+(** Buffer-content relevance analysis.
+
+    SEDSpec's device state deliberately excludes buffer contents (the
+    data-volume rule) — except where content actually decides control
+    flow, e.g. a command byte parsed out of a FIFO.  This analysis
+    computes, per program, the set of buffers whose {e bytes} can reach a
+    branch/switch/indirect-call decision or a buffer index/offset/length,
+    directly or through any chain of local and scalar-field assignments
+    (including byte copies into other relevant buffers).
+
+    The ES-Checker replays content only for relevant buffers; for the rest
+    it validates bounds and skips the byte traffic, which is what keeps
+    its overhead low on bulk-data paths. *)
+
+val relevant_buffers : Devir.Program.t -> string list
+(** Buffers whose contents must be tracked, in no particular order. *)

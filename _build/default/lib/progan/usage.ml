@@ -1,0 +1,134 @@
+open Devir
+
+type fact = {
+  field : Layout.field;
+  influences_branches : Program.bref list;
+  indexes_buffers : string list;
+  is_called : bool;
+  is_indexed_buffer : bool;
+}
+
+type t = {
+  by_name : (string, fact) Hashtbl.t;
+  order : string list;
+  sites : (Program.bref * Expr.t) list;
+  site_fields : (Program.bref, string list) Hashtbl.t;
+}
+
+let analyze program =
+  let layout = Program.layout program in
+  let influences : (string, Program.bref list) Hashtbl.t = Hashtbl.create 32 in
+  let indexes : (string, string list) Hashtbl.t = Hashtbl.create 32 in
+  let called : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let indexed_buf : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let sites = ref [] in
+  let site_fields = Hashtbl.create 32 in
+  let add_multi tbl key v =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+    if not (List.mem v cur) then Hashtbl.replace tbl key (cur @ [ v ])
+  in
+  List.iter
+    (fun (h : Program.handler) ->
+      let du = Defuse.analyze h in
+      let record_index_expr buf e =
+        (match e with
+        | Expr.Const _ -> ()
+        | _ -> Hashtbl.replace indexed_buf buf ());
+        List.iter
+          (fun field -> add_multi indexes field buf)
+          (Defuse.influencing_fields du e)
+      in
+      List.iter
+        (fun (b : Block.t) ->
+          let bref : Program.bref = { handler = h.hname; label = b.label } in
+          (* Branch decision expressions. *)
+          (match b.term with
+          | Term.Branch (e, _, _) | Term.Switch (e, _, _) ->
+            sites := (bref, e) :: !sites;
+            let fields = Defuse.influencing_fields du e in
+            Hashtbl.replace site_fields bref fields;
+            List.iter (fun f -> add_multi influences f bref) fields
+          | Term.Icall (e, _) ->
+            sites := (bref, e) :: !sites;
+            let fields = Defuse.influencing_fields du e in
+            Hashtbl.replace site_fields bref fields;
+            List.iter (fun f -> add_multi influences f bref) fields;
+            List.iter
+              (fun f ->
+                match (Layout.find layout f).kind with
+                | Layout.Fn_ptr -> Hashtbl.replace called f ()
+                | _ -> ())
+              fields
+          | Term.Goto _ | Term.Halt -> ());
+          (* Buffer index / offset / length positions, in statements and in
+             buffer reads inside expressions. *)
+          let rec scan_expr e =
+            match e with
+            | Expr.Buf_byte (buf, idx) ->
+              record_index_expr buf idx;
+              scan_expr idx
+            | Expr.Binop (_, _, a, b2) | Expr.Cmp (_, a, b2) ->
+              scan_expr a;
+              scan_expr b2
+            | Expr.Not a -> scan_expr a
+            | Expr.Const _ | Expr.Field _ | Expr.Buf_len _ | Expr.Param _
+            | Expr.Local _ ->
+              ()
+          in
+          List.iter
+            (fun stmt ->
+              (match stmt with
+              | Stmt.Set_buf (buf, idx, _) -> record_index_expr buf idx
+              | Stmt.Buf_fill (buf, off, len, _) ->
+                record_index_expr buf off;
+                record_index_expr buf len
+              | Stmt.Copy_from_guest { buf; buf_off; len; _ }
+              | Stmt.Copy_to_guest { buf; buf_off; len; _ } ->
+                record_index_expr buf buf_off;
+                record_index_expr buf len
+              | _ -> ());
+              List.iter scan_expr
+                (match stmt with
+                | Stmt.Set_field (_, e) | Stmt.Set_local (_, e) | Stmt.Respond e
+                  ->
+                  [ e ]
+                | Stmt.Set_buf (_, i, v) -> [ i; v ]
+                | Stmt.Buf_fill (_, o, l, v) -> [ o; l; v ]
+                | Stmt.Copy_from_guest { buf_off; addr; len; _ }
+                | Stmt.Copy_to_guest { buf_off; addr; len; _ } ->
+                  [ buf_off; addr; len ]
+                | Stmt.Read_guest { addr; _ } -> [ addr ]
+                | Stmt.Write_guest { addr; value; _ } -> [ addr; value ]
+                | Stmt.Host_value _ | Stmt.Note _ -> []))
+            b.stmts;
+          List.iter scan_expr (Term.exprs b.term))
+        h.blocks)
+    (Program.handlers program);
+  let by_name = Hashtbl.create 32 in
+  let order = List.map (fun (f : Layout.field) -> f.name) (Layout.fields layout) in
+  List.iter
+    (fun (f : Layout.field) ->
+      Hashtbl.replace by_name f.name
+        {
+          field = f;
+          influences_branches =
+            Option.value ~default:[] (Hashtbl.find_opt influences f.name);
+          indexes_buffers =
+            Option.value ~default:[] (Hashtbl.find_opt indexes f.name);
+          is_called = Hashtbl.mem called f.name;
+          is_indexed_buffer = Hashtbl.mem indexed_buf f.name;
+        })
+    (Layout.fields layout);
+  { by_name; order; sites = List.rev !sites; site_fields }
+
+let fact t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some f -> f
+  | None -> raise Not_found
+
+let facts t = List.map (fact t) t.order
+
+let branch_sites t = t.sites
+
+let fields_influencing t bref =
+  Option.value ~default:[] (Hashtbl.find_opt t.site_fields bref)

@@ -1,0 +1,40 @@
+(** Whole-program usage facts about control-structure fields.
+
+    These facts feed SEDSpec's two device-state-parameter selection rules:
+    Rule 1 keeps fields mirroring physical device registers (a layout
+    attribute), Rule 2 keeps buffers, the fields that index or bound
+    buffers, and function pointers that are actually called.  Index and
+    length positions are traced through local definitions with
+    {!Defuse.influencing_fields}, so [buf[pos]] still attributes [pos]'s
+    source field when the device wrote [tmp = s.pos + 1; buf[tmp] = x]. *)
+
+type fact = {
+  field : Devir.Layout.field;
+  influences_branches : Devir.Program.bref list;
+      (** Conditional/switch/icall blocks whose decision the field reaches. *)
+  indexes_buffers : string list;
+      (** Buffers whose index, offset or length expressions the field
+          reaches. *)
+  is_called : bool;  (** Function pointer used by some [Icall]. *)
+  is_indexed_buffer : bool;
+      (** Buffer accessed with a non-constant index somewhere. *)
+}
+
+type t
+
+val analyze : Devir.Program.t -> t
+
+val fact : t -> string -> fact
+(** Raises [Not_found] for unknown fields. *)
+
+val facts : t -> fact list
+(** In layout order. *)
+
+val branch_sites : t -> (Devir.Program.bref * Devir.Expr.t) list
+(** All conditional/switch/icall sites of the program with their decision
+    expressions. *)
+
+val fields_influencing :
+  t -> Devir.Program.bref -> string list
+(** Fields reaching the decision of one branch site ([[]] for unknown
+    sites). *)

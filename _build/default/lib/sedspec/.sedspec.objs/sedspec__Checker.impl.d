@@ -1,0 +1,1 @@
+lib/sedspec/checker.ml: Arena Block Bytes Devir Es_cfg Expr Format Hashtbl Int64 Interp Layout List Printf Program Queue Selection Stmt Term Vmm Width

@@ -1,0 +1,1 @@
+lib/sedspec/checker.mli: Devir Es_cfg Format Interp Vmm

@@ -1,0 +1,1 @@
+lib/sedspec/datadep.ml: Block Devir Es_cfg Expr Format Hashtbl List Program Stmt Term

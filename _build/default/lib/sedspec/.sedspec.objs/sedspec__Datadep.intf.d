@@ -1,0 +1,1 @@
+lib/sedspec/datadep.mli: Devir Es_cfg Format

@@ -1,0 +1,1 @@
+lib/sedspec/ds_log.ml: Devir Interp List Vmm

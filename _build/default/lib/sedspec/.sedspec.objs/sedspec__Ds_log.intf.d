@@ -1,0 +1,1 @@
+lib/sedspec/ds_log.mli: Devir Interp Vmm

@@ -1,0 +1,1 @@
+lib/sedspec/es_cfg.ml: Block Devir Ds_log Format Hashtbl Int64 Interp List Program Selection Stmt Term

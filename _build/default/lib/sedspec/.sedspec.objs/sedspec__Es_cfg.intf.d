@@ -1,0 +1,1 @@
+lib/sedspec/es_cfg.mli: Devir Ds_log Format Selection

@@ -1,0 +1,1 @@
+lib/sedspec/persist.ml: Buffer Devir Es_cfg Hashtbl Int64 List Printf Program Selection String

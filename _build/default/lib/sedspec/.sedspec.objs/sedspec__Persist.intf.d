@@ -1,0 +1,1 @@
+lib/sedspec/persist.mli: Devir Es_cfg

@@ -1,0 +1,1 @@
+lib/sedspec/pipeline.ml: Checker Datadep Devir Ds_log Es_cfg Format Interp Iptrace List Progan Selection Vmm

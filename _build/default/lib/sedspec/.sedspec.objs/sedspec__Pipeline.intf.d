@@ -1,0 +1,1 @@
+lib/sedspec/pipeline.mli: Checker Datadep Devir Ds_log Es_cfg Format Iptrace Progan Selection Vmm

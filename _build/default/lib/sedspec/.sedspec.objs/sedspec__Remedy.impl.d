@@ -1,0 +1,1 @@
+lib/sedspec/remedy.ml: Bytes Checker Devir Format Interp List Vmm

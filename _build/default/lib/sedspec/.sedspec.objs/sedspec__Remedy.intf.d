@@ -1,0 +1,1 @@
+lib/sedspec/remedy.mli: Checker Format Vmm

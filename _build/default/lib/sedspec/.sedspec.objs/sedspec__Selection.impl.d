@@ -1,0 +1,1 @@
+lib/sedspec/selection.ml: Block Devir Expr Format Hashtbl Layout List Option Progan Program Stmt String Term

@@ -1,0 +1,1 @@
+lib/sedspec/selection.mli: Devir Format Progan

@@ -1,0 +1,1 @@
+lib/sedspec/viz.ml: Block Buffer Devir Es_cfg List Printf Program String Term

@@ -1,0 +1,1 @@
+lib/sedspec/viz.mli: Es_cfg

@@ -1,0 +1,585 @@
+open Devir
+
+type strategy = Parameter_check | Indirect_jump_check | Conditional_jump_check
+
+type mode = Protection | Enhancement
+
+type anomaly = {
+  strategy : strategy;
+  at : Program.bref option;
+  detail : string;
+  pre_execution : bool;
+}
+
+type config = {
+  strategies : strategy list;
+  mode : mode;
+  walk_limit : int;
+}
+
+let default_config =
+  {
+    strategies = [ Parameter_check; Indirect_jump_check; Conditional_jump_check ];
+    mode = Protection;
+    walk_limit = 20_000;
+  }
+
+type stats = {
+  mutable interactions : int;
+  mutable walks_ok : int;
+  mutable bails : int;
+  mutable deferred : int;
+  mutable nodes_walked : int;
+}
+
+(* Command context, mirroring the constructor's; [Ctx_unknown] is the
+   permissive state after a bail or resync. *)
+type ctx = Ctx_none | Ctx_cmd of Es_cfg.cmd_key | Ctx_unknown
+
+type pending = { p_handler : string; p_params : (string * int64) list }
+
+type t = {
+  spec : Es_cfg.t;
+  mutable config : config;
+  device_arena : Arena.t;
+  guest : Interp.guest;
+  shadow : Arena.t;
+  work : Arena.t;
+  mutable ctx : ctx;
+  mutable anomalies_rev : anomaly list;
+  stats : stats;
+  sync_values : (Program.bref * string, int64 Queue.t) Hashtbl.t;
+  mutable pending : pending option;
+  staged_buf : bytes;
+  mutable staged : ctx option;  (** [Some ctx] means [staged_buf] is valid. *)
+  mutable dirty : bool;
+  walk_locals : (string, int64 * bool) Hashtbl.t;
+  tracked_buffers : (string, unit) Hashtbl.t;
+  spans : (int * int) list;
+      (** Byte extents of the tracked shadow state (scalars + relevant
+          buffers), merged; everything else is bounds-checked but its
+          bytes are not mirrored. *)
+  mutable inline_halt : anomaly option;
+      (** Set by the inline icall guard when it vetoes a call. *)
+  mutable inline_warn : anomaly option;
+  (* Strategy flags, kept in sync with [config] (hot-path lookups). *)
+  mutable en_param : bool;
+  mutable en_indirect : bool;
+  mutable en_cond : bool;
+}
+
+let strategy_to_string = function
+  | Parameter_check -> "parameter-check"
+  | Indirect_jump_check -> "indirect-jump-check"
+  | Conditional_jump_check -> "conditional-jump-check"
+
+let pp_anomaly ppf a =
+  Format.fprintf ppf "[%s]%s %s%s"
+    (strategy_to_string a.strategy)
+    (if a.pre_execution then "" else " (post-sync)")
+    (match a.at with
+    | Some b -> Program.bref_to_string b ^ ": "
+    | None -> "")
+    a.detail
+
+let create ?(config = default_config) ~spec ~device_arena ~guest () =
+  let layout = Program.layout (Es_cfg.program spec) in
+  let shadow = Arena.create layout in
+  Arena.copy_into ~src:device_arena ~dst:shadow;
+  let tracked_buffers = Hashtbl.create 8 in
+  List.iter
+    (fun b -> Hashtbl.replace tracked_buffers b ())
+    (Es_cfg.selection spec).Selection.tracked_buffers;
+  (* Merge adjacent tracked extents into copy spans. *)
+  let spans =
+    let raw =
+      List.filter_map
+        (fun (f : Layout.field) ->
+          let keep =
+            match f.kind with
+            | Layout.Reg _ | Layout.Fn_ptr -> true
+            | Layout.Buf _ -> Hashtbl.mem tracked_buffers f.name
+          in
+          if keep then
+            Some (Layout.offset layout f.name, Layout.field_size f)
+          else None)
+        (Layout.fields layout)
+    in
+    let rec merge = function
+      | (o1, l1) :: (o2, l2) :: rest when o1 + l1 = o2 ->
+        merge ((o1, l1 + l2) :: rest)
+      | span :: rest -> span :: merge rest
+      | [] -> []
+    in
+    merge raw
+  in
+  {
+    spec;
+    config;
+    device_arena;
+    guest;
+    shadow;
+    work = Arena.create layout;
+    ctx = Ctx_none;
+    anomalies_rev = [];
+    stats =
+      { interactions = 0; walks_ok = 0; bails = 0; deferred = 0; nodes_walked = 0 };
+    sync_values = Hashtbl.create 8;
+    staged_buf = Bytes.create (Layout.size layout);
+    pending = None;
+    staged = None;
+    dirty = false;
+    walk_locals = Hashtbl.create 32;
+    tracked_buffers;
+    spans;
+    inline_halt = None;
+    inline_warn = None;
+    en_param = List.mem Parameter_check config.strategies;
+    en_indirect = List.mem Indirect_jump_check config.strategies;
+    en_cond = List.mem Conditional_jump_check config.strategies;
+  }
+
+let config t = t.config
+
+let set_config t config =
+  t.config <- config;
+  t.en_param <- List.mem Parameter_check config.strategies;
+  t.en_indirect <- List.mem Indirect_jump_check config.strategies;
+  t.en_cond <- List.mem Conditional_jump_check config.strategies
+let stats t = t.stats
+let anomalies t = List.rev t.anomalies_rev
+
+let drain_anomalies t =
+  let out = List.rev t.anomalies_rev in
+  t.anomalies_rev <- [];
+  out
+
+let resync t =
+  Arena.copy_into ~src:t.device_arena ~dst:t.shadow;
+  t.ctx <- Ctx_unknown
+
+(* Only decision-relevant parameters are guaranteed to match: fields pulled
+   in purely as dependencies may be computed from untracked buffer content
+   (which never reaches a decision, by the relevance closure). *)
+let shadow_matches_device t =
+  let sel = Es_cfg.selection t.spec in
+  let decision_relevant name =
+    match List.assoc_opt name sel.Selection.rationale with
+    | Some rules ->
+      List.exists
+        (fun r ->
+          r = Selection.Branch_influencer || r = Selection.Rule2_index
+          || r = Selection.Rule2_fn_ptr)
+        rules
+    | None -> false
+  in
+  List.filter_map
+    (fun name ->
+      if not (decision_relevant name) then None
+      else
+        let s = Arena.get t.shadow name and d = Arena.get t.device_arena name in
+        if s <> d then Some (name, s, d) else None)
+    sel.Selection.scalars
+
+let record_sync t bref values =
+  List.iter
+    (fun (local, v) ->
+      let key = (bref, local) in
+      let q =
+        match Hashtbl.find_opt t.sync_values key with
+        | Some q -> q
+        | None ->
+          let q = Queue.create () in
+          Hashtbl.add t.sync_values key q;
+          q
+      in
+      Queue.push v q)
+    values
+
+let enabled t = function
+  | Parameter_check -> t.en_param
+  | Indirect_jump_check -> t.en_indirect
+  | Conditional_jump_check -> t.en_cond
+
+(* Walk-control exceptions. *)
+exception Anomaly_found of anomaly
+exception Bail of string
+exception Defer
+
+let anomaly strategy at detail =
+  raise (Anomaly_found { strategy; at; detail; pre_execution = true })
+
+(* Linkage: is this expression's value traceable to device state or I/O
+   request data?  Guest-memory and host-value temporaries are not — the
+   parameter check's blind spot. *)
+let rec linked locals (e : Expr.t) =
+  match e with
+  | Expr.Const _ -> false
+  | Expr.Field _ | Expr.Buf_len _ | Expr.Buf_byte _ -> true
+  | Expr.Param _ -> true
+  | Expr.Local n -> (
+    match Hashtbl.find_opt locals n with Some (_, l) -> l | None -> false)
+  | Expr.Binop (_, _, a, b) | Expr.Cmp (_, a, b) ->
+    linked locals a || linked locals b
+  | Expr.Not a -> linked locals a
+
+type walk_result =
+  | W_ok of ctx  (** Final state is left in [t.work]. *)
+  | W_anomaly of anomaly
+  | W_bail of string
+  | W_defer
+
+let walk t ~sync ~handler ~params =
+  let program = Es_cfg.program t.spec in
+  let layout = Program.layout program in
+  let selection = Es_cfg.selection t.spec in
+  Arena.copy_spans ~spans:t.spans ~src:t.shadow ~dst:t.work;
+  (* Refresh function-pointer parameters from the live control structure:
+     they are never legitimately rewritten between interactions, so this
+     lets the indirect jump check see corruption before the hijack runs. *)
+  List.iter
+    (fun f -> Arena.set t.work f (Arena.get t.device_arena f))
+    selection.Selection.fn_ptrs;
+  let locals = t.walk_locals in
+  Hashtbl.reset locals;
+  let ctx = ref t.ctx in
+  let steps = ref 0 in
+  let overflow : Interp.Eval.overflow option ref = ref None in
+  let eval_ctx =
+    {
+      Interp.Eval.get_field = Arena.get t.work;
+      get_buf_byte = Arena.get_buf_byte t.work;
+      buf_len = Layout.buf_size layout;
+      get_param =
+        (fun name ->
+          match List.assoc_opt name params with
+          | Some v -> v
+          | None -> raise (Interp.Eval.Undefined_param name));
+      get_local =
+        (fun name ->
+          match Hashtbl.find_opt locals name with
+          | Some (v, _) -> v
+          | None -> raise (Interp.Eval.Undefined_local name));
+      record_overflow = (fun o -> if !overflow = None then overflow := Some o);
+    }
+  in
+  let eval e =
+    overflow := None;
+    Interp.Eval.eval eval_ctx e
+  in
+  let buf_check at buf ~off ~len ~lnk =
+    if enabled t Parameter_check && lnk then begin
+      let size = Layout.buf_size layout buf in
+      if off < 0 || off + len > size then
+        anomaly Parameter_check (Some at)
+          (Printf.sprintf "buffer overflow: %s[%d..%d) exceeds size %d" buf off
+             (off + len) size)
+    end
+  in
+  let read_guest_scalar addr width =
+    let n = Width.bytes width in
+    let rec go i acc =
+      if i < 0 then acc
+      else
+        go (i - 1)
+          (Int64.logor (Int64.shift_left acc 8)
+             (Int64.of_int (t.guest.Interp.read_byte (Int64.add addr (Int64.of_int i)))))
+    in
+    go (n - 1) 0L
+  in
+  let exec_stmt at (stmt : Stmt.t) =
+    match stmt with
+    | Stmt.Set_field (f, e) ->
+      let v = eval e in
+      (match !overflow with
+      | Some o when enabled t Parameter_check ->
+        anomaly Parameter_check (Some at)
+          (Format.asprintf "integer overflow computing %s: %a" f Interp.Eval.pp_overflow o)
+      | _ -> ());
+      Arena.set t.work f v
+    | Stmt.Set_local (n, e) ->
+      let v = eval e in
+      Hashtbl.replace locals n (v, linked locals e)
+    | Stmt.Set_buf (b, idx, v) ->
+      let iv = Int64.to_int (eval idx) in
+      buf_check at b ~off:iv ~len:1 ~lnk:(linked locals idx);
+      if Hashtbl.mem t.tracked_buffers b then begin
+        let vv = Int64.to_int (eval v) land 0xFF in
+        Arena.set_buf_byte t.work b iv vv
+      end
+    | Stmt.Buf_fill (b, off, len, v) ->
+      let offv = Int64.to_int (eval off) in
+      let lenv = Int64.to_int (eval len) in
+      buf_check at b ~off:offv ~len:lenv
+        ~lnk:(linked locals off || linked locals len);
+      if Hashtbl.mem t.tracked_buffers b then begin
+        let vv = Int64.to_int (eval v) land 0xFF in
+        for i = offv to offv + lenv - 1 do
+          Arena.set_buf_byte t.work b i vv
+        done
+      end
+    | Stmt.Copy_from_guest { buf; buf_off; addr; len } ->
+      let offv = Int64.to_int (eval buf_off) in
+      let lenv = Int64.to_int (eval len) in
+      buf_check at buf ~off:offv ~len:lenv
+        ~lnk:(linked locals buf_off || linked locals len);
+      if Hashtbl.mem t.tracked_buffers buf then begin
+        let addrv = eval addr in
+        for i = 0 to lenv - 1 do
+          Arena.set_buf_byte t.work buf (offv + i)
+            (t.guest.Interp.read_byte (Int64.add addrv (Int64.of_int i)))
+        done
+      end
+    | Stmt.Copy_to_guest { buf; buf_off; len; _ } ->
+      (* Guest memory is never written during simulation; only the device
+         buffer bounds are validated. *)
+      let offv = Int64.to_int (eval buf_off) in
+      let lenv = Int64.to_int (eval len) in
+      buf_check at buf ~off:offv ~len:lenv
+        ~lnk:(linked locals buf_off || linked locals len)
+    | Stmt.Read_guest { local; addr; width } ->
+      let addrv = eval addr in
+      Hashtbl.replace locals local (read_guest_scalar addrv width, false)
+    | Stmt.Host_value { local; key = _ } ->
+      if not sync then raise Defer
+      else begin
+        let key = (at, local) in
+        match Hashtbl.find_opt t.sync_values key with
+        | Some q when not (Queue.is_empty q) ->
+          Hashtbl.replace locals local (Queue.pop q, false)
+        | _ -> raise (Bail "missing sync value")
+      end
+    | Stmt.Respond _ | Stmt.Write_guest _ | Stmt.Note _ -> ()
+  in
+  let check_access (bref : Program.bref) =
+    let ok =
+      match !ctx with
+      | Ctx_unknown -> true
+      | Ctx_none -> Es_cfg.no_cmd_allows t.spec bref
+      | Ctx_cmd key ->
+        Es_cfg.cmd_allows t.spec key bref || Es_cfg.no_cmd_allows t.spec bref
+    in
+    if not ok then
+      if enabled t Conditional_jump_check then
+        anomaly Conditional_jump_check (Some bref)
+          "block not accessible under the current device command"
+  in
+  let off_graph bref reason =
+    if enabled t Conditional_jump_check then
+      anomaly Conditional_jump_check (Some bref) reason
+    else raise (Bail reason)
+  in
+  let rec walk_block (bref : Program.bref) stack =
+    incr steps;
+    if !steps > t.config.walk_limit then
+      if enabled t Conditional_jump_check then
+        anomaly Conditional_jump_check (Some bref)
+          "walk limit exceeded (irregular device operation / possible infinite loop)"
+      else raise (Bail "walk limit exceeded");
+    let sibling label : Program.bref = { handler = bref.handler; label } in
+    match Es_cfg.node t.spec bref with
+    | None -> (
+      (* Blocks with no device-state operations and an unconditional
+         transfer are exactly what control-flow reduction removes: pass
+         through.  Anything else off-graph is an untrained path. *)
+      let block = Program.find_block program bref in
+      match (Es_cfg.lift_dsod block.Block.stmts, block.Block.term) with
+      | [], Term.Goto l -> walk_block (sibling l) stack
+      | [], Term.Halt -> (
+        match stack with
+        | cont :: rest -> walk_block cont rest
+        | [] -> ())
+      | _ -> off_graph bref "block never observed in training")
+    | Some n -> (
+      t.stats.nodes_walked <- t.stats.nodes_walked + 1;
+      check_access bref;
+      List.iter (exec_stmt bref) n.dsod;
+      let clear_if_cmd_end () = if n.kind = Block.Cmd_end then ctx := Ctx_none in
+      match n.term with
+      | Term.Goto l ->
+        clear_if_cmd_end ();
+        walk_block (sibling l) stack
+      | Term.Halt -> (
+        clear_if_cmd_end ();
+        match stack with
+        | cont :: rest -> walk_block cont rest
+        | [] -> ())
+      | Term.Branch (cond, if_taken, if_not) ->
+        let taken = Interp.Eval.truthy (eval cond) in
+        if enabled t Conditional_jump_check then
+          if (taken && n.taken = 0) || ((not taken) && n.not_taken = 0) then
+            anomaly Conditional_jump_check (Some bref)
+              (Printf.sprintf "untraversed branch direction (%s)"
+                 (if taken then "taken" else "not taken"));
+        clear_if_cmd_end ();
+        walk_block (sibling (if taken then if_taken else if_not)) stack
+      | Term.Switch (scrutinee, cases, default) ->
+        let v = eval scrutinee in
+        let dest =
+          match List.assoc_opt v cases with Some l -> l | None -> default
+        in
+        (if n.kind = Block.Cmd_decision then
+           let key = (bref, v) in
+           if Es_cfg.cmd_known t.spec key then ctx := Ctx_cmd key
+           else if enabled t Conditional_jump_check then
+             anomaly Conditional_jump_check (Some bref)
+               (Printf.sprintf "unknown device command %Ld" v)
+           else ctx := Ctx_unknown);
+        if
+          enabled t Conditional_jump_check && not (List.mem (v, dest) n.cases)
+        then
+          anomaly Conditional_jump_check (Some bref)
+            (Printf.sprintf "untraversed switch case %Ld" v);
+        clear_if_cmd_end ();
+        walk_block (sibling dest) stack
+      | Term.Icall (fnptr, next) -> (
+        let v = eval fnptr in
+        if enabled t Indirect_jump_check && not (List.mem v n.itargets) then
+          anomaly Indirect_jump_check (Some bref)
+            (Printf.sprintf "indirect call to illegitimate target 0x%Lx" v);
+        clear_if_cmd_end ();
+        let continue_at = sibling next in
+        match Program.find_callback program v with
+        | Some { Program.action = Program.Run_handler callee; _ } ->
+          let callee_entry : Program.bref =
+            match (Program.find_handler program callee).blocks with
+            | b :: _ -> { handler = callee; label = b.Block.label }
+            | [] -> raise (Bail "empty chained handler")
+          in
+          walk_block callee_entry (continue_at :: stack)
+        | Some _ -> walk_block continue_at stack
+        | None -> raise (Bail "indirect call to unknown callback")))
+  in
+  let entry = Es_cfg.entry_of t.spec handler in
+  match walk_block entry [] with
+  | () -> W_ok !ctx
+  | exception Anomaly_found a -> W_anomaly a
+  | exception Bail reason -> W_bail reason
+  | exception Defer -> W_defer
+  | exception Arena.Out_of_arena _ ->
+    W_bail "simulation escaped the control structure"
+  | exception Interp.Eval.Div_by_zero -> W_bail "division by zero in simulation"
+  | exception Interp.Eval.Undefined_local l -> W_bail ("undefined local " ^ l)
+  | exception Interp.Eval.Undefined_param p -> W_bail ("undefined parameter " ^ p)
+
+let record_anomaly t a = t.anomalies_rev <- a :: t.anomalies_rev
+
+let verdict t (a : anomaly) : Vmm.Machine.verdict =
+  let msg = Format.asprintf "%a" pp_anomaly a in
+  match t.config.mode with
+  | Protection -> Vmm.Machine.Halt msg
+  | Enhancement -> (
+    match a.strategy with
+    | Parameter_check -> Vmm.Machine.Halt msg
+    | Indirect_jump_check | Conditional_jump_check -> Vmm.Machine.Warn msg)
+
+let before t (request : Vmm.Machine.request) : Vmm.Machine.verdict =
+  t.stats.interactions <- t.stats.interactions + 1;
+  t.pending <- None;
+  t.staged <- None;
+  t.dirty <- false;
+  t.inline_halt <- None;
+  t.inline_warn <- None;
+  Hashtbl.reset t.sync_values;
+  match walk t ~sync:false ~handler:request.handler ~params:request.params with
+  | W_ok ctx' ->
+    t.stats.walks_ok <- t.stats.walks_ok + 1;
+    Arena.save_spans ~spans:t.spans t.work t.staged_buf;
+    t.staged <- Some ctx';
+    Vmm.Machine.Allow
+  | W_defer ->
+    t.stats.deferred <- t.stats.deferred + 1;
+    t.pending <- Some { p_handler = request.handler; p_params = request.params };
+    Vmm.Machine.Allow
+  | W_bail _ ->
+    t.stats.bails <- t.stats.bails + 1;
+    t.dirty <- true;
+    Vmm.Machine.Allow
+  | W_anomaly a ->
+    record_anomaly t a;
+    t.dirty <- true;
+    verdict t a
+
+let after t (_request : Vmm.Machine.request) (outcome : Interp.Event.outcome) :
+    Vmm.Machine.verdict =
+  match outcome with
+  | Interp.Event.Trapped _ -> (
+    resync t;
+    t.staged <- None;
+    t.pending <- None;
+    match t.inline_halt with
+    | Some a -> verdict t a
+    | None -> Vmm.Machine.Allow)
+  | Interp.Event.Done _ -> (
+    match t.pending with
+    | Some p -> (
+      t.pending <- None;
+      match walk t ~sync:true ~handler:p.p_handler ~params:p.p_params with
+      | W_ok ctx' ->
+        Arena.copy_spans ~spans:t.spans ~src:t.work ~dst:t.shadow;
+        t.ctx <- ctx';
+        t.stats.walks_ok <- t.stats.walks_ok + 1;
+        Vmm.Machine.Allow
+      | W_anomaly a ->
+        record_anomaly t { a with pre_execution = false };
+        resync t;
+        verdict t a
+      | W_bail _ | W_defer ->
+        t.stats.bails <- t.stats.bails + 1;
+        resync t;
+        Vmm.Machine.Allow)
+    | None -> (
+      match t.staged with
+      | Some ctx' ->
+        Arena.restore_spans ~spans:t.spans t.shadow t.staged_buf;
+        t.ctx <- ctx';
+        t.staged <- None;
+        Vmm.Machine.Allow
+      | None -> (
+        if t.dirty then resync t;
+        match t.inline_warn with
+        | Some a -> verdict t a
+        | None -> Vmm.Machine.Allow)))
+
+(* Inline enforcement of the indirect jump check: consulted by the
+   interpreter at the actual call site, with the just-computed target. *)
+let icall_guard t (bref : Program.bref) target =
+  if not (enabled t Indirect_jump_check) then true
+  else
+    match Es_cfg.node t.spec bref with
+    | Some n when not (List.mem target n.itargets) ->
+      let a =
+        {
+          strategy = Indirect_jump_check;
+          at = Some bref;
+          detail =
+            Printf.sprintf "runtime indirect call to illegitimate target 0x%Lx"
+              target;
+          pre_execution = true;
+        }
+      in
+      record_anomaly t a;
+      (match t.config.mode with
+      | Protection ->
+        t.inline_halt <- Some a;
+        false
+      | Enhancement ->
+        t.inline_warn <- Some a;
+        true)
+    | Some _ | None -> true
+
+let interposer t : Vmm.Machine.interposer =
+  { before = before t; after = after t }
+
+let attach ?config machine ~spec device =
+  let interp = Vmm.Machine.interp_of machine device in
+  let t =
+    create ?config ~spec
+      ~device_arena:(Interp.arena interp)
+      ~guest:(Vmm.Guest_mem.access (Vmm.Machine.ram machine))
+      ()
+  in
+  Vmm.Machine.set_interposer machine device (interposer t);
+  Interp.set_sync_points interp (Es_cfg.sync_points spec) ~on_sync:(record_sync t);
+  Interp.set_icall_guard interp (Some (icall_guard t));
+  t

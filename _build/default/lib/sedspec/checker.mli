@@ -1,0 +1,101 @@
+(** ES-Checker: runtime protection by execution-specification enforcement
+    (paper §VI).
+
+    For every I/O interaction the checker simulates the device's execution
+    over the ES-CFG {e before} the device runs: it replays each node's
+    DSOD against its own shadow device state (reading guest memory where
+    the device would) and resolves each NBTD, applying the three check
+    strategies:
+
+    - {b parameter check}: integer overflow on any device-state
+      assignment, and buffer-bound violations for buffer operations whose
+      index/offset/length is linked to device state or I/O request data
+      (values reaching the device only through guest memory temporaries
+      are this strategy's documented blind spot, as in the paper);
+    - {b indirect jump check}: a function-pointer call whose target — with
+      function-pointer parameters refreshed from the live control
+      structure — is not one of the targets observed in training;
+    - {b conditional jump check}: a branch direction, switch case or
+      command never observed in training, a block outside the current
+      command's access set, or a walk exceeding its cycle budget (the
+      infinite-loop signature).
+
+    Interactions whose path crosses a sync point cannot be fully simulated
+    in advance; the checker defers them, lets the device run with sync
+    instrumentation, and completes the checks with the synchronised
+    values.
+
+    Working modes: in [Protection] any anomaly halts the VM; in
+    [Enhancement] only parameter-check anomalies halt, the others warn. *)
+
+type strategy = Parameter_check | Indirect_jump_check | Conditional_jump_check
+
+type mode = Protection | Enhancement
+
+type anomaly = {
+  strategy : strategy;
+  at : Devir.Program.bref option;
+  detail : string;
+  pre_execution : bool;
+      (** [true] when raised before the device ran (prevention). *)
+}
+
+type config = {
+  strategies : strategy list;
+  mode : mode;
+  walk_limit : int;  (** ES-CFG nodes visited per interaction. *)
+}
+
+val default_config : config
+(** All three strategies, protection mode, walk limit 20000. *)
+
+type stats = {
+  mutable interactions : int;
+  mutable walks_ok : int;
+  mutable bails : int;  (** Off-graph with the conditional check disabled. *)
+  mutable deferred : int;  (** Sync-point interactions checked post-run. *)
+  mutable nodes_walked : int;
+}
+
+type t
+
+val create :
+  ?config:config ->
+  spec:Es_cfg.t ->
+  device_arena:Devir.Arena.t ->
+  guest:Interp.guest ->
+  unit ->
+  t
+
+val attach : ?config:config -> Vmm.Machine.t -> spec:Es_cfg.t -> string -> t
+(** [attach machine ~spec device] wires a checker in front of the named
+    device: installs the machine interposer, initialises the shadow state
+    from the live control structure and plants sync instrumentation. *)
+
+val interposer : t -> Vmm.Machine.interposer
+
+val config : t -> config
+val set_config : t -> config -> unit
+val stats : t -> stats
+val anomalies : t -> anomaly list
+(** All anomalies so far, oldest first. *)
+
+val drain_anomalies : t -> anomaly list
+val resync : t -> unit
+(** Re-initialise the shadow state from the live control structure. *)
+
+val record_sync : t -> Devir.Program.bref -> (string * int64) list -> unit
+(** Feed sync-point values captured from the device run (installed
+    automatically by {!attach}). *)
+
+val shadow_matches_device : t -> (string * int64 * int64) list
+(** Diagnostic invariant: compare every {e decision-relevant} scalar
+    parameter (branch influencers, index/counting parameters, function
+    pointers) of the shadow device state against the live control
+    structure.  Returns the mismatching (name, shadow, device) triples —
+    empty after any benign interaction sequence.  Dependency-only fields
+    may legitimately diverge: they can be computed from buffer content the
+    volume rule deliberately leaves untracked. *)
+
+val strategy_to_string : strategy -> string
+val pp_anomaly : Format.formatter -> anomaly -> unit

@@ -1,0 +1,65 @@
+open Devir
+
+type classification = Substituted | Guest_replay | Sync_point
+
+type report = {
+  per_site : (Program.bref * classification) list;
+  substituted : int;
+  guest_replay : int;
+  sync_points : int;
+}
+
+(* Classify the locals a decision expression depends on by chasing their
+   definitions across the whole handler (flow-insensitive, like the
+   paper's angr pass): a host-value definition anywhere in the chain makes
+   the site a sync point; a guest read makes it guest-replay. *)
+let classify_site program (bref : Program.bref) expr =
+  let handler = Program.find_handler program bref.handler in
+  let deps = Hashtbl.create 8 in
+  let uses_host = ref false and uses_guest = ref false in
+  let rec chase local =
+    if not (Hashtbl.mem deps local) then begin
+      Hashtbl.add deps local ();
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter
+            (fun (stmt : Stmt.t) ->
+              match stmt with
+              | Stmt.Set_local (n, e) when n = local ->
+                List.iter chase (Expr.locals e)
+              | Stmt.Read_guest { local = n; _ } when n = local ->
+                uses_guest := true
+              | Stmt.Host_value { local = n; _ } when n = local ->
+                uses_host := true
+              | _ -> ())
+            b.stmts)
+        handler.blocks
+    end
+  in
+  List.iter chase (Expr.locals expr);
+  if !uses_host then Sync_point
+  else if !uses_guest then Guest_replay
+  else Substituted
+
+let analyze spec =
+  let program = Es_cfg.program spec in
+  let per_site =
+    List.filter_map
+      (fun (n : Es_cfg.node) ->
+        match Term.exprs n.term with
+        | [] -> None
+        | e :: _ -> Some (n.bref, classify_site program n.bref e))
+      (Es_cfg.nodes spec)
+  in
+  let count c = List.length (List.filter (fun (_, x) -> x = c) per_site) in
+  {
+    per_site;
+    substituted = count Substituted;
+    guest_replay = count Guest_replay;
+    sync_points = count Sync_point;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "data dependencies: %d substituted, %d guest-replay, %d sync points"
+    r.substituted r.guest_replay r.sync_points

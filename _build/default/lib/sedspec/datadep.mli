@@ -1,0 +1,28 @@
+(** Data dependency recovery (paper §V-D).
+
+    Control-flow transitions can depend on variables other than the device
+    state parameters.  For each NBTD of the specification this module
+    classifies how the ES-Checker obtains the decision's inputs:
+
+    - [Substituted] — the decision is computable from device state and
+      request parameters alone (the paper rewrites the NBTD with the
+      recovered expression; our checker replays the lifted definitions,
+      which is the same computation);
+    - [Guest_replay] — the decision additionally needs guest-memory values;
+      the checker re-reads guest memory (part of the I/O data);
+    - [Sync_point] — the decision depends on host-side values the checker
+      cannot see; a sync point is inserted and the check for that
+      interaction runs after the device, with the synchronised values. *)
+
+type classification = Substituted | Guest_replay | Sync_point
+
+type report = {
+  per_site : (Devir.Program.bref * classification) list;
+  substituted : int;
+  guest_replay : int;
+  sync_points : int;
+}
+
+val analyze : Es_cfg.t -> report
+
+val pp_report : Format.formatter -> report -> unit

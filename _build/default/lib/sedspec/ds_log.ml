@@ -1,0 +1,116 @@
+type interaction = {
+  handler : string;
+  params : (string * int64) list;
+  entries : Interp.Event.observe_entry list;
+}
+
+type log = interaction list
+
+type t = log list
+
+let observation_points program =
+  let points = ref [] in
+  Devir.Program.iter_blocks program (fun bref block ->
+      let keep =
+        match block.Devir.Block.kind with
+        | Devir.Block.Entry | Devir.Block.Exit | Devir.Block.Cmd_decision
+        | Devir.Block.Cmd_end ->
+          true
+        | Devir.Block.Normal -> (
+          match block.Devir.Block.term with
+          | Devir.Term.Branch _ | Devir.Term.Switch _ | Devir.Term.Icall _ -> true
+          | Devir.Term.Goto _ | Devir.Term.Halt -> false)
+      in
+      if keep then points := bref :: !points);
+  List.rev !points
+
+module Collector = struct
+  type collector = {
+    machine : Vmm.Machine.t;
+    device : string;
+    interp : Interp.t;
+    saved_hooks : Interp.hooks;
+    mutable current : (string * (string * int64) list) option;
+        (** Handler/params of the in-flight interaction. *)
+    mutable current_entries : Interp.Event.observe_entry list;  (* reversed *)
+    mutable current_case : interaction list;  (* reversed *)
+    mutable cases : log list;  (* reversed *)
+  }
+
+  let close_interaction t =
+    match t.current with
+    | None -> ()
+    | Some (handler, params) ->
+      t.current_case <-
+        { handler; params; entries = List.rev t.current_entries }
+        :: t.current_case;
+      t.current <- None;
+      t.current_entries <- []
+
+  let attach machine ~device ~points ~state_params =
+    let interp = Vmm.Machine.interp_of machine device in
+    let saved_hooks = Interp.hooks interp in
+    let t =
+      {
+        machine;
+        device;
+        interp;
+        saved_hooks;
+        current = None;
+        current_entries = [];
+        current_case = [];
+        cases = [];
+      }
+    in
+    Interp.set_observation interp ~points ~state_params;
+    Interp.set_hooks interp
+      {
+        saved_hooks with
+        Interp.on_observe =
+          (fun e ->
+            t.current_entries <- e :: t.current_entries;
+            saved_hooks.Interp.on_observe e);
+      };
+    Vmm.Machine.set_interposer machine device
+      {
+        Vmm.Machine.before =
+          (fun req ->
+            close_interaction t;
+            t.current <- Some (req.Vmm.Machine.handler, req.Vmm.Machine.params);
+            Vmm.Machine.Allow);
+        after =
+          (fun _ _ ->
+            close_interaction t;
+            Vmm.Machine.Allow);
+      };
+    t
+
+  let flush_case t =
+    close_interaction t;
+    if t.current_case <> [] then begin
+      t.cases <- List.rev t.current_case :: t.cases;
+      t.current_case <- []
+    end
+
+  let begin_case t = flush_case t
+
+  let logs t =
+    close_interaction t;
+    let completed = List.rev t.cases in
+    if t.current_case = [] then completed
+    else completed @ [ List.rev t.current_case ]
+
+  let detach t =
+    flush_case t;
+    Interp.clear_observation t.interp;
+    Interp.set_hooks t.interp t.saved_hooks;
+    Vmm.Machine.clear_interposer t.machine t.device
+end
+
+let interaction_count t = List.fold_left (fun acc l -> acc + List.length l) 0 t
+
+let entry_count t =
+  List.fold_left
+    (fun acc l ->
+      List.fold_left (fun acc i -> acc + List.length i.entries) acc l)
+    0 t

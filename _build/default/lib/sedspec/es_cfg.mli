@@ -1,0 +1,100 @@
+(** The Execution Specification CFG (paper §V) and its constructor
+    (Algorithm 1).
+
+    Nodes correspond to source basic blocks observed during benign
+    training.  Each node carries:
+
+    - {b DSOD} (Device State Operation Data): the lifted source statements
+      that compute device state — state writes plus the local/guest-read
+      definitions they depend on (the product of data dependency
+      recovery);
+    - {b NBTD} (Next Block Transition Data): the source terminator
+      together with the observed transition behaviour — taken/not-taken
+      counts for conditional branches, the observed case set for switches
+      and the observed (legitimate) target set for indirect calls.
+
+    The constructor consumes device state change logs: it restores each
+    interaction's full block path from the observation-point entries (the
+    gaps between observation points are deterministic goto chains), builds
+    nodes and transition edges, and maintains the command access table —
+    for every decoded command, the set of blocks reachable while that
+    command is current.  Command context persists across I/O interactions
+    until a command end block, as device commands span many port
+    accesses. *)
+
+type node = {
+  bref : Devir.Program.bref;
+  kind : Devir.Block.kind;
+  dsod : Devir.Stmt.t list;
+  term : Devir.Term.t;
+  sync_locals : string list;
+      (** Locals loaded from host-side values in this block: the checker
+          cannot compute them and must synchronise from the device run. *)
+  mutable visits : int;
+  mutable taken : int;
+  mutable not_taken : int;
+  mutable cases : (int64 * string) list;  (** Observed case value/label. *)
+  mutable itargets : int64 list;  (** Legitimate indirect targets. *)
+  mutable succs : Devir.Program.bref list;
+}
+
+type cmd_key = Devir.Program.bref * int64
+(** A command is identified by its decision block and decoded value. *)
+
+type t
+
+val create : program:Devir.Program.t -> selection:Selection.t -> t
+
+val add_log : t -> Ds_log.log -> unit
+(** Fold one benign test case into the specification. *)
+
+val add_logs : t -> Ds_log.t -> unit
+
+val program : t -> Devir.Program.t
+val selection : t -> Selection.t
+
+val node : t -> Devir.Program.bref -> node option
+val nodes : t -> node list
+val node_count : t -> int
+
+val entry_of : t -> string -> Devir.Program.bref
+(** Entry block of a handler (from the program). *)
+
+val cmd_known : t -> cmd_key -> bool
+val cmd_allows : t -> cmd_key -> Devir.Program.bref -> bool
+val no_cmd_allows : t -> Devir.Program.bref -> bool
+val commands : t -> cmd_key list
+
+val sync_points : t -> (Devir.Program.bref * string list) list
+(** All nodes with host-value locals — where sync instrumentation goes. *)
+
+val reduce : t -> int
+(** Control flow reduction: delete nodes with no device-state operations
+    and an unconditional transfer (the checker walks through such blocks
+    without work).  Returns the number of nodes removed. *)
+
+val lift_dsod : Devir.Stmt.t list -> Devir.Stmt.t list
+(** The DSOD lifting rule (exposed for tests): keeps state writes, local
+    definitions, guest reads and host-value loads; drops responses, guest
+    stores and notes. *)
+
+val pp_stats : Format.formatter -> t -> unit
+
+(** {1 Import (spec persistence)} *)
+
+val import_node :
+  t ->
+  Devir.Program.bref ->
+  visits:int ->
+  taken:int ->
+  not_taken:int ->
+  cases:(int64 * string) list ->
+  itargets:int64 list ->
+  succs:Devir.Program.bref list ->
+  unit
+(** Recreate a node from persisted training statistics; DSOD/NBTD come
+    from the program source.  Used by {!Persist}. *)
+
+val import_access : t -> cmd:cmd_key option -> Devir.Program.bref -> unit
+(** Mark a block accessible under a command ([None] = the no-command
+    set). *)

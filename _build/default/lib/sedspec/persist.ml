@@ -1,0 +1,225 @@
+open Devir
+
+let magic = "sedspec-spec v1"
+
+let rule_to_tag = function
+  | Selection.Rule1_hw_register -> "rule1"
+  | Selection.Rule2_buffer -> "rule2buf"
+  | Selection.Rule2_index -> "rule2idx"
+  | Selection.Rule2_fn_ptr -> "rule2fn"
+  | Selection.Branch_influencer -> "branch"
+  | Selection.Dependency -> "dep"
+
+let rule_of_tag = function
+  | "rule1" -> Some Selection.Rule1_hw_register
+  | "rule2buf" -> Some Selection.Rule2_buffer
+  | "rule2idx" -> Some Selection.Rule2_index
+  | "rule2fn" -> Some Selection.Rule2_fn_ptr
+  | "branch" -> Some Selection.Branch_influencer
+  | "dep" -> Some Selection.Dependency
+  | _ -> None
+
+let to_string spec =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let program = Es_cfg.program spec in
+  let sel = Es_cfg.selection spec in
+  pf "%s\n" magic;
+  pf "program %s\n" (Program.name program);
+  pf "selection scalars %s\n" (String.concat "," sel.Selection.scalars);
+  pf "selection buffers %s\n"
+    (String.concat ","
+       (List.map (fun (b, n) -> Printf.sprintf "%s:%d" b n) sel.Selection.buffers));
+  pf "selection fnptrs %s\n" (String.concat "," sel.Selection.fn_ptrs);
+  pf "selection index %s\n" (String.concat "," sel.Selection.index_params);
+  pf "selection tracked %s\n" (String.concat "," sel.Selection.tracked_buffers);
+  List.iter
+    (fun (name, rules) ->
+      pf "rationale %s %s\n" name
+        (String.concat "," (List.map rule_to_tag rules)))
+    sel.Selection.rationale;
+  List.iter
+    (fun (n : Es_cfg.node) ->
+      pf "node %s %s %d %d %d\n" n.bref.handler n.bref.label n.visits n.taken
+        n.not_taken;
+      List.iter (fun (v, l) -> pf "  case %Ld %s\n" v l) n.cases;
+      List.iter (fun v -> pf "  itarget %Ld\n" v) n.itargets;
+      List.iter
+        (fun (s : Program.bref) -> pf "  succ %s %s\n" s.handler s.label)
+        n.succs)
+    (Es_cfg.nodes spec);
+  List.iter
+    (fun (((d : Program.bref), v) as key) ->
+      pf "cmd %s %s %Ld\n" d.handler d.label v;
+      Program.iter_blocks program (fun bref _ ->
+          if Es_cfg.cmd_allows spec key bref then
+            pf "  allow %s %s\n" bref.handler bref.label))
+    (List.sort compare (Es_cfg.commands spec));
+  Program.iter_blocks program (fun bref _ ->
+      if Es_cfg.no_cmd_allows spec bref then
+        pf "nocmd %s %s\n" bref.handler bref.label);
+  pf "end\n";
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let split_commas s =
+  if String.trim s = "" then [] else String.split_on_char ',' (String.trim s)
+
+let of_string ~program text =
+  try
+    let lines =
+      text |> String.split_on_char '\n'
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    let lines =
+      match lines with
+      | l :: rest when String.trim l = magic -> rest
+      | _ -> fail "missing magic header %S" magic
+    in
+    let sel =
+      ref
+        {
+          Selection.scalars = [];
+          buffers = [];
+          fn_ptrs = [];
+          index_params = [];
+          tracked_buffers = [];
+          rationale = [];
+        }
+    in
+    let spec = ref None in
+    let get_spec () =
+      match !spec with
+      | Some s -> s
+      | None ->
+        let s = Es_cfg.create ~program ~selection:!sel in
+        spec := Some s;
+        s
+    in
+    let current_node : Program.bref option ref = ref None in
+    let node_acc = Hashtbl.create 64 in
+    let current_cmd : Es_cfg.cmd_key option option ref = ref None in
+    let bref h l : Program.bref = { handler = h; label = l } in
+    let check_block b =
+      try ignore (Program.find_block program b)
+      with Not_found -> fail "unknown block %s/%s" b.Program.handler b.Program.label
+    in
+    let flush_node () =
+      match !current_node with
+      | None -> ()
+      | Some b ->
+        let visits, taken, not_taken, cases, itargets, succs =
+          Hashtbl.find node_acc b
+        in
+        Es_cfg.import_node (get_spec ()) b ~visits ~taken ~not_taken
+          ~cases:(List.rev cases) ~itargets:(List.rev itargets)
+          ~succs:(List.rev succs);
+        current_node := None
+    in
+    List.iter
+      (fun line ->
+        let indented = String.length line > 0 && line.[0] = ' ' in
+        let words =
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun w -> w <> "")
+        in
+        match (indented, words) with
+        | false, [ "program"; name ] ->
+          if name <> Program.name program then
+            fail "spec is for program %s, not %s" name (Program.name program)
+        | false, "selection" :: "scalars" :: rest ->
+          sel := { !sel with Selection.scalars = split_commas (String.concat " " rest) }
+        | false, "selection" :: "buffers" :: rest ->
+          let buffers =
+            List.map
+              (fun item ->
+                match String.split_on_char ':' item with
+                | [ b; n ] -> (b, int_of_string n)
+                | _ -> fail "bad buffer entry %s" item)
+              (split_commas (String.concat " " rest))
+          in
+          sel := { !sel with Selection.buffers }
+        | false, "selection" :: "fnptrs" :: rest ->
+          sel := { !sel with Selection.fn_ptrs = split_commas (String.concat " " rest) }
+        | false, "selection" :: "index" :: rest ->
+          sel :=
+            { !sel with Selection.index_params = split_commas (String.concat " " rest) }
+        | false, "selection" :: "tracked" :: rest ->
+          sel :=
+            {
+              !sel with
+              Selection.tracked_buffers = split_commas (String.concat " " rest);
+            }
+        | false, [ "rationale"; name; tags ] ->
+          let rules = List.filter_map rule_of_tag (split_commas tags) in
+          sel := { !sel with Selection.rationale = !sel.Selection.rationale @ [ (name, rules) ] }
+        | false, [ "node"; h; l; visits; taken; not_taken ] ->
+          flush_node ();
+          let b = bref h l in
+          check_block b;
+          current_node := Some b;
+          Hashtbl.replace node_acc b
+            (int_of_string visits, int_of_string taken, int_of_string not_taken,
+             [], [], [])
+        | true, [ "case"; v; l ] -> (
+          match !current_node with
+          | Some b ->
+            let vi, ta, nt, cases, its, sc = Hashtbl.find node_acc b in
+            Hashtbl.replace node_acc b
+              (vi, ta, nt, (Int64.of_string v, l) :: cases, its, sc)
+          | None -> fail "case outside node")
+        | true, [ "itarget"; v ] -> (
+          match !current_node with
+          | Some b ->
+            let vi, ta, nt, cases, its, sc = Hashtbl.find node_acc b in
+            Hashtbl.replace node_acc b (vi, ta, nt, cases, Int64.of_string v :: its, sc)
+          | None -> fail "itarget outside node")
+        | true, [ "succ"; h; l ] -> (
+          match !current_node with
+          | Some b ->
+            let vi, ta, nt, cases, its, sc = Hashtbl.find node_acc b in
+            Hashtbl.replace node_acc b (vi, ta, nt, cases, its, bref h l :: sc)
+          | None -> fail "succ outside node")
+        | false, [ "cmd"; h; l; v ] ->
+          flush_node ();
+          let d = bref h l in
+          check_block d;
+          current_cmd := Some (Some (d, Int64.of_string v))
+        | true, [ "allow"; h; l ] -> (
+          match !current_cmd with
+          | Some cmd ->
+            let b = bref h l in
+            check_block b;
+            Es_cfg.import_access (get_spec ()) ~cmd b
+          | None -> fail "allow outside cmd")
+        | false, [ "nocmd"; h; l ] ->
+          flush_node ();
+          current_cmd := None;
+          let b = bref h l in
+          check_block b;
+          Es_cfg.import_access (get_spec ()) ~cmd:None b
+        | false, [ "end" ] ->
+          flush_node ();
+          current_cmd := None
+        | _ -> fail "unparseable line %S" line)
+      lines;
+    flush_node ();
+    Ok (get_spec ())
+  with
+  | Parse_error msg -> Error msg
+  | Failure msg -> Error msg
+
+let save spec path =
+  let oc = open_out path in
+  output_string oc (to_string spec);
+  close_out oc
+
+let load ~program path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string ~program text

@@ -1,0 +1,24 @@
+(** Execution specification persistence.
+
+    The paper's false-positive remedy (§VIII) is to build specifications
+    once — e.g. at the device developer's site with an extensive test
+    corpus — and distribute them.  This module serialises everything a
+    specification {e learned} (node statistics, observed branch directions,
+    switch cases, legitimate indirect targets, the command access table and
+    the parameter selection) into a line-based text format; structural data
+    (DSOD, NBTD) is reconstructed from the device program on load, so a
+    specification only loads against the program it was trained for. *)
+
+val to_string : Es_cfg.t -> string
+
+val of_string :
+  program:Devir.Program.t -> string -> (Es_cfg.t, string) result
+(** Rebuild a specification.  Fails with a readable message when the text
+    is malformed or references blocks/fields the program does not have. *)
+
+val save : Es_cfg.t -> string -> unit
+(** [save spec path] writes the serialised form to a file. *)
+
+val load :
+  program:Devir.Program.t -> string -> (Es_cfg.t, string) result
+(** [load ~program path] reads a specification from a file. *)

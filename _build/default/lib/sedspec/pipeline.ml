@@ -1,0 +1,90 @@
+type trainer = {
+  cases : int;
+  run_case : Vmm.Machine.t -> int -> unit;
+}
+
+type phase1 = {
+  itc : Iptrace.Itc_cfg.t;
+  usage : Progan.Usage.t;
+  selection : Selection.t;
+  observation_points : Devir.Program.bref list;
+  trace_bytes : int;
+}
+
+type built = {
+  spec : Es_cfg.t;
+  p1 : phase1;
+  logs : Ds_log.t;
+  datadep : Datadep.report;
+  reduced : int;
+}
+
+let reset_device machine ~device =
+  let interp = Vmm.Machine.interp_of machine device in
+  Devir.Arena.reset (Interp.arena interp);
+  Vmm.Machine.resume machine
+
+let collect machine ~device trainer =
+  reset_device machine ~device;
+  let interp = Vmm.Machine.interp_of machine device in
+  let program = Interp.program interp in
+  let encoder = Iptrace.Encoder.create (Iptrace.Filter.for_program program) in
+  let saved = Interp.hooks interp in
+  Interp.set_hooks interp
+    { saved with Interp.on_trace = Iptrace.Encoder.feed encoder };
+  for case = 0 to trainer.cases - 1 do
+    trainer.run_case machine case
+  done;
+  Interp.set_hooks interp saved;
+  let packets = Iptrace.Encoder.packets encoder in
+  let traces = Iptrace.Decoder.decode program packets in
+  let itc = Iptrace.Itc_cfg.create program in
+  List.iter (Iptrace.Itc_cfg.add_trace itc) traces;
+  let usage = Progan.Usage.analyze program in
+  let observed =
+    List.map (fun (n : Iptrace.Itc_cfg.node) -> n.bref) (Iptrace.Itc_cfg.nodes itc)
+  in
+  let selection = Selection.select program usage ~observed in
+  {
+    itc;
+    usage;
+    selection;
+    observation_points = Ds_log.observation_points program;
+    trace_bytes = Iptrace.Encoder.trace_bytes encoder;
+  }
+
+(* The paper's trainer feeds the same samples again with the observation
+   points instrumented; a trap during benign training would indicate a
+   broken device model, so it is surfaced loudly. *)
+let construct ?(reduce = true) machine ~device p1 trainer =
+  reset_device machine ~device;
+  let program = Interp.program (Vmm.Machine.interp_of machine device) in
+  let collector =
+    Ds_log.Collector.attach machine ~device ~points:p1.observation_points
+      ~state_params:p1.selection.Selection.scalars
+  in
+  for case = 0 to trainer.cases - 1 do
+    Ds_log.Collector.begin_case collector;
+    trainer.run_case machine case
+  done;
+  let logs = Ds_log.Collector.logs collector in
+  Ds_log.Collector.detach collector;
+  let spec = Es_cfg.create ~program ~selection:p1.selection in
+  Es_cfg.add_logs spec logs;
+  let reduced = if reduce then Es_cfg.reduce spec else 0 in
+  let datadep = Datadep.analyze spec in
+  { spec; p1; logs; datadep; reduced }
+
+let build ?reduce machine ~device trainer =
+  let p1 = collect machine ~device trainer in
+  construct ?reduce machine ~device p1 trainer
+
+let protect ?config machine ~device built =
+  reset_device machine ~device;
+  Checker.attach ?config machine ~spec:built.spec device
+
+let pp_built ppf b =
+  Format.fprintf ppf "@[<v>%a@,%a@,trace volume: %d bytes, %d logs, %d interactions@]"
+    Es_cfg.pp_stats b.spec Datadep.pp_report b.datadep b.p1.trace_bytes
+    (List.length b.logs)
+    (Ds_log.interaction_count b.logs)

@@ -1,0 +1,54 @@
+(** End-to-end SEDSpec pipeline (paper Fig. 1).
+
+    Phase 1 (data collection): run the benign training cases with the IPT
+    simulator attached, decode the packet stream, build the ITC-CFG, and
+    select the device state parameters; observation points are placed at
+    the control-flow joints.
+
+    Phase 2 (specification construction): re-run the training cases with
+    observation points active, collect the device state change logs, run
+    Algorithm 1, apply control-flow reduction and analyze data
+    dependencies.
+
+    Phase 3 (runtime protection): attach an ES-Checker built from the
+    specification in front of the device. *)
+
+type trainer = {
+  cases : int;
+  run_case : Vmm.Machine.t -> int -> unit;
+      (** Drive one benign test case against the machine.  Must be
+          replayable: the pipeline runs every case once per phase. *)
+}
+
+type phase1 = {
+  itc : Iptrace.Itc_cfg.t;
+  usage : Progan.Usage.t;
+  selection : Selection.t;
+  observation_points : Devir.Program.bref list;
+  trace_bytes : int;  (** Encoded PT volume of the training run. *)
+}
+
+type built = {
+  spec : Es_cfg.t;
+  p1 : phase1;
+  logs : Ds_log.t;
+  datadep : Datadep.report;
+  reduced : int;  (** Nodes removed by control-flow reduction. *)
+}
+
+val collect : Vmm.Machine.t -> device:string -> trainer -> phase1
+(** Phase 1.  Resets the device control structure first. *)
+
+val construct :
+  ?reduce:bool -> Vmm.Machine.t -> device:string -> phase1 -> trainer -> built
+(** Phase 2 ([reduce] defaults to [true]). *)
+
+val build :
+  ?reduce:bool -> Vmm.Machine.t -> device:string -> trainer -> built
+(** Phases 1 + 2. *)
+
+val protect :
+  ?config:Checker.config -> Vmm.Machine.t -> device:string -> built -> Checker.t
+(** Phase 3: resets the device and attaches the checker. *)
+
+val pp_built : Format.formatter -> built -> unit

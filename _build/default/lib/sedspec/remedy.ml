@@ -1,0 +1,126 @@
+type severity = Critical | High | Medium
+
+let severity_of (a : Checker.anomaly) =
+  let base =
+    match a.strategy with
+    | Checker.Parameter_check -> Critical
+    | Checker.Indirect_jump_check -> High
+    | Checker.Conditional_jump_check -> Medium
+  in
+  if a.pre_execution then base
+  else
+    (* Damage may already have happened: promote. *)
+    match base with Medium -> High | High | Critical -> Critical
+
+let severity_to_string = function
+  | Critical -> "critical"
+  | High -> "high"
+  | Medium -> "medium"
+
+type policy = Halt_vm | Rollback | Resume_with_warning
+
+type event = {
+  anomaly : Checker.anomaly;
+  severity : severity;
+  action : policy;
+}
+
+type snapshot = {
+  arena_bytes : bytes;
+  ram_bytes : bytes;
+}
+
+type t = {
+  machine : Vmm.Machine.t;
+  device : string;
+  checker : Checker.t;
+  policy_of : severity -> policy;
+  mutable saved : snapshot;
+  mutable events_rev : event list;
+  mutable rollbacks : int;
+}
+
+let take_snapshot t =
+  {
+    arena_bytes =
+      Devir.Arena.snapshot (Interp.arena (Vmm.Machine.interp_of t.machine t.device));
+    ram_bytes = Vmm.Guest_mem.snapshot (Vmm.Machine.ram t.machine);
+  }
+
+let create ?(policy_of = fun _ -> Rollback) machine ~device checker =
+  let t =
+    {
+      machine;
+      device;
+      checker;
+      policy_of;
+      saved = { arena_bytes = Bytes.empty; ram_bytes = Bytes.empty };
+      events_rev = [];
+      rollbacks = 0;
+    }
+  in
+  t.saved <- take_snapshot t;
+  t
+
+let checkpoint t =
+  if Vmm.Machine.halted t.machine then
+    invalid_arg "Remedy.checkpoint: machine is halted";
+  t.saved <- take_snapshot t
+
+let apply_rollback t =
+  Devir.Arena.restore
+    (Interp.arena (Vmm.Machine.interp_of t.machine t.device))
+    t.saved.arena_bytes;
+  Vmm.Guest_mem.restore (Vmm.Machine.ram t.machine) t.saved.ram_bytes;
+  Vmm.Machine.resume t.machine;
+  Checker.resync t.checker;
+  t.rollbacks <- t.rollbacks + 1
+
+let tick t =
+  if not (Vmm.Machine.halted t.machine) then begin
+    (* Clean point: advance the rollback target. *)
+    ignore (Checker.drain_anomalies t.checker);
+    Vmm.Machine.clear_warnings t.machine;
+    t.saved <- take_snapshot t;
+    []
+  end
+  else begin
+    let anomalies = Checker.drain_anomalies t.checker in
+    let events =
+      List.map
+        (fun anomaly ->
+          let severity = severity_of anomaly in
+          { anomaly; severity; action = t.policy_of severity })
+        anomalies
+    in
+    (* The strongest requested action wins: Halt > Rollback > Resume. *)
+    let decided =
+      List.fold_left
+        (fun acc e ->
+          match (acc, e.action) with
+          | Halt_vm, _ | _, Halt_vm -> Halt_vm
+          | Rollback, _ | _, Rollback -> Rollback
+          | Resume_with_warning, Resume_with_warning -> Resume_with_warning)
+        Resume_with_warning events
+    in
+    (match decided with
+    | Halt_vm -> ()
+    | Rollback -> apply_rollback t
+    | Resume_with_warning ->
+      Vmm.Machine.resume t.machine;
+      Checker.resync t.checker);
+    t.events_rev <- List.rev_append events t.events_rev;
+    events
+  end
+
+let events t = List.rev t.events_rev
+let rollbacks t = t.rollbacks
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%s -> %s] %a"
+    (severity_to_string e.severity)
+    (match e.action with
+    | Halt_vm -> "halt"
+    | Rollback -> "rollback"
+    | Resume_with_warning -> "resume")
+    Checker.pp_anomaly e.anomaly

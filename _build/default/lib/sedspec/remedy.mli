@@ -1,0 +1,64 @@
+(** Anomaly remediation (paper §VIII "Anomaly Defence", listed as future
+    work): instead of only halting or warning, classify alerts by severity
+    and optionally roll the virtual machine back to a checkpoint taken
+    before the exploitation.
+
+    A {!supervisor} wraps a protected machine.  The caller ticks it
+    between I/O bursts: on clean ticks it refreshes its checkpoint (device
+    control structures, guest RAM, interrupt state); when the checker has
+    halted the VM it applies the configured {!policy} — halt (paper
+    default), roll back to the last clean checkpoint and resume, or resume
+    with a warning only. *)
+
+type severity = Critical | High | Medium
+
+val severity_of : Checker.anomaly -> severity
+(** Alert classification by strategy and timing: parameter-check anomalies
+    are [Critical] (directly tied to exploitation, no false positives);
+    indirect-jump anomalies are [High]; conditional-jump anomalies are
+    [Medium] (may be rare-command false positives).  Post-execution
+    detections are promoted one level, since damage may already exist. *)
+
+val severity_to_string : severity -> string
+
+type policy =
+  | Halt_vm  (** Leave the machine halted (the paper's protection mode). *)
+  | Rollback
+      (** Restore the last clean checkpoint and resume — the paper's
+          proposed rollback remedy. *)
+  | Resume_with_warning
+      (** Clear the halt and keep going (availability first). *)
+
+type event = {
+  anomaly : Checker.anomaly;
+  severity : severity;
+  action : policy;
+}
+
+type t
+
+val create :
+  ?policy_of:(severity -> policy) ->
+  Vmm.Machine.t ->
+  device:string ->
+  Checker.t ->
+  t
+(** [create machine ~device checker] builds a supervisor.  [policy_of]
+    maps severities to actions (default: everything rolls back).  An
+    initial checkpoint is taken immediately. *)
+
+val checkpoint : t -> unit
+(** Capture device control structure + guest RAM + IRQ/checker state as
+    the rollback target.  Refuses ([Invalid_argument]) while halted. *)
+
+val tick : t -> event list
+(** Inspect the machine: if it is running, drain (benign bookkeeping) and
+    refresh the checkpoint; if it was halted by anomalies, classify them,
+    apply the policy and return the events. *)
+
+val events : t -> event list
+(** All events so far, oldest first. *)
+
+val rollbacks : t -> int
+
+val pp_event : Format.formatter -> event -> unit

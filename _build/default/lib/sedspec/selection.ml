@@ -1,0 +1,137 @@
+open Devir
+
+type rule =
+  | Rule1_hw_register
+  | Rule2_buffer
+  | Rule2_index
+  | Rule2_fn_ptr
+  | Branch_influencer
+  | Dependency
+
+let rule_to_string = function
+  | Rule1_hw_register -> "rule1:hw-register"
+  | Rule2_buffer -> "rule2:buffer"
+  | Rule2_index -> "rule2:index"
+  | Rule2_fn_ptr -> "rule2:fn-ptr"
+  | Branch_influencer -> "branch-influencer"
+  | Dependency -> "dependency"
+
+type t = {
+  scalars : string list;
+  buffers : (string * int) list;
+  fn_ptrs : string list;
+  index_params : string list;
+  tracked_buffers : string list;
+  rationale : (string * rule list) list;
+}
+
+let select program usage ~observed =
+  let layout = Program.layout program in
+  let tags : (string, rule list) Hashtbl.t = Hashtbl.create 32 in
+  let tag name rule =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt tags name) in
+    if not (List.mem rule cur) then Hashtbl.replace tags name (cur @ [ rule ])
+  in
+  List.iter
+    (fun (fact : Progan.Usage.fact) ->
+      let name = fact.field.name in
+      let observed_influence =
+        List.exists (fun b -> List.mem b observed) fact.influences_branches
+      in
+      if observed_influence then tag name Branch_influencer;
+      (match fact.field.kind with
+      | Layout.Buf _ -> if fact.is_indexed_buffer then tag name Rule2_buffer
+      | Layout.Reg _ ->
+        if fact.field.hw_register then tag name Rule1_hw_register;
+        if fact.indexes_buffers <> [] then tag name Rule2_index
+      | Layout.Fn_ptr -> if fact.is_called then tag name Rule2_fn_ptr))
+    (Progan.Usage.facts usage);
+  (* Dependency closure: scalar fields read by statements that write a
+     selected field, or read by the decision expression of an observed
+     branch site, are needed to replay DSOD — pull them in. *)
+  let is_selected name = Hashtbl.mem tags name in
+  let scalar_kind name =
+    match (Layout.find layout name).kind with
+    | Layout.Reg _ | Layout.Fn_ptr -> true
+    | Layout.Buf _ -> false
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Program.iter_blocks program (fun bref block ->
+        let pull name =
+          if scalar_kind name && not (is_selected name) then begin
+            tag name Dependency;
+            changed := true
+          end
+        in
+        List.iter
+          (fun stmt ->
+            let writes_selected =
+              List.exists is_selected (Stmt.fields_written stmt)
+            in
+            if writes_selected then List.iter pull (Stmt.fields_read stmt))
+          block.Block.stmts;
+        if List.mem bref observed then
+          List.iter
+            (fun e -> List.iter pull (Expr.fields e))
+            (Term.exprs block.Block.term))
+  done;
+  let in_layout_order f =
+    List.filter_map f (Layout.fields layout)
+  in
+  let scalars =
+    in_layout_order (fun (f : Layout.field) ->
+        match f.kind with
+        | (Layout.Reg _ | Layout.Fn_ptr) when is_selected f.name -> Some f.name
+        | _ -> None)
+  in
+  let buffers =
+    in_layout_order (fun (f : Layout.field) ->
+        match f.kind with
+        | Layout.Buf n when is_selected f.name -> Some (f.name, n)
+        | _ -> None)
+  in
+  let fn_ptrs =
+    in_layout_order (fun (f : Layout.field) ->
+        match f.kind with
+        | Layout.Fn_ptr when is_selected f.name -> Some f.name
+        | _ -> None)
+  in
+  let index_params =
+    List.filter
+      (fun name ->
+        List.mem Rule2_index (Option.value ~default:[] (Hashtbl.find_opt tags name)))
+      scalars
+  in
+  let rationale =
+    List.filter_map
+      (fun (f : Layout.field) ->
+        Option.map (fun rules -> (f.name, rules)) (Hashtbl.find_opt tags f.name))
+      (Layout.fields layout)
+  in
+  {
+    scalars;
+    buffers;
+    fn_ptrs;
+    index_params;
+    tracked_buffers = Progan.Relevance.relevant_buffers program;
+    rationale;
+  }
+
+let select_static program =
+  let usage = Progan.Usage.analyze program in
+  let observed = List.map fst (Progan.Usage.branch_sites usage) in
+  select program usage ~observed
+
+let is_scalar_param t name = List.mem name t.scalars
+let is_buffer_param t name = List.exists (fun (b, _) -> b = name) t.buffers
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, rules) ->
+      Format.fprintf ppf "%-16s %s@," name
+        (String.concat ", " (List.map rule_to_string rules)))
+    t.rationale;
+  Format.fprintf ppf "@]"

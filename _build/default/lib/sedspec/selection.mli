@@ -1,0 +1,52 @@
+(** Device state parameter selection (paper §IV-B).
+
+    The CFG analyzer walks the ITC-CFG recovered from benign traces,
+    extracts the variables that influence the conditional and indirect
+    jumps actually observed, and filters/extends them by the two rules:
+
+    - {b Rule 1}: variables mirroring physical device registers (the
+      [hw_register] layout attribute);
+    - {b Rule 2}: fixed-length buffers, the variables counting/indexing
+      buffer positions, and function pointers that are called.
+
+    A dependency closure then pulls in scalar fields read by statements
+    that compute selected parameters, so the ES-Checker can replay every
+    device-state operation without consulting the live device.  Buffers
+    are selected by name and size only — their contents are never logged
+    (the paper's data-volume rule). *)
+
+type rule =
+  | Rule1_hw_register
+  | Rule2_buffer
+  | Rule2_index  (** Counts or indexes buffer positions. *)
+  | Rule2_fn_ptr
+  | Branch_influencer
+  | Dependency  (** Pulled in by the dependency closure. *)
+
+type t = {
+  scalars : string list;  (** Scalar parameters, layout order. *)
+  buffers : (string * int) list;  (** Buffer parameters with sizes. *)
+  fn_ptrs : string list;  (** Function-pointer parameters. *)
+  index_params : string list;
+      (** Scalars tagged Rule2_index — the parameter check's buffer-bound
+          scope. *)
+  tracked_buffers : string list;
+      (** Buffers whose contents decide control flow (see
+          {!Progan.Relevance}); the checker replays bytes only for
+          these. *)
+  rationale : (string * rule list) list;
+}
+
+val select :
+  Devir.Program.t -> Progan.Usage.t -> observed:Devir.Program.bref list -> t
+(** [select program usage ~observed] computes the selection given the
+    branch sites observed in the ITC-CFG. *)
+
+val select_static : Devir.Program.t -> t
+(** Selection treating every static branch site as observed (used by tests
+    and by the ablation that skips the tracing phase). *)
+
+val is_scalar_param : t -> string -> bool
+val is_buffer_param : t -> string -> bool
+
+val pp : Format.formatter -> t -> unit

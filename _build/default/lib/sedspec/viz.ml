@@ -1,0 +1,64 @@
+open Devir
+
+let node_id (b : Program.bref) =
+  Printf.sprintf "\"%s_%s\"" b.handler b.label
+
+let escape s = String.concat "\\n" (String.split_on_char '\n' s)
+
+let to_dot spec =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph \"escfg_%s\" {\n" (Program.name (Es_cfg.program spec));
+  pf "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  List.iter
+    (fun (n : Es_cfg.node) ->
+      let shape, color =
+        match n.kind with
+        | Block.Entry -> ("ellipse", "lightblue")
+        | Block.Exit -> ("ellipse", "lightgray")
+        | Block.Cmd_decision -> ("diamond", "gold")
+        | Block.Cmd_end -> ("box", "palegreen")
+        | Block.Normal -> ("box", "white")
+      in
+      let extra =
+        (if n.sync_locals <> [] then "\\n[sync point]" else "")
+        ^
+        match n.term with
+        | Term.Branch _ when (n.taken = 0) <> (n.not_taken = 0) ->
+          "\\n[one-sided]"
+        | _ -> ""
+      in
+      pf "  %s [label=\"%s\\nvisits=%d%s\", shape=%s, style=filled, fillcolor=%s];\n"
+        (node_id n.bref)
+        (escape (Program.bref_to_string n.bref))
+        n.visits extra shape color)
+    (Es_cfg.nodes spec);
+  (* Edges: observed successors; annotate conditional direction counts. *)
+  List.iter
+    (fun (n : Es_cfg.node) ->
+      List.iter
+        (fun succ ->
+          let label =
+            match n.term with
+            | Term.Branch (_, t, _) when succ.Program.label = t ->
+              Printf.sprintf " [label=\"T:%d\"]" n.taken
+            | Term.Branch (_, _, f) when succ.Program.label = f ->
+              Printf.sprintf " [label=\"N:%d\"]" n.not_taken
+            | Term.Icall _ ->
+              Printf.sprintf " [label=\"icall %s\", style=dashed]"
+                (String.concat ","
+                   (List.map (Printf.sprintf "0x%Lx") n.itargets))
+            | _ -> ""
+          in
+          (* Only draw edges to nodes still in the (reduced) graph. *)
+          if Es_cfg.node spec succ <> None then
+            pf "  %s -> %s%s;\n" (node_id n.bref) (node_id succ) label)
+        n.succs)
+    (Es_cfg.nodes spec);
+  pf "}\n";
+  Buffer.contents buf
+
+let save_dot spec path =
+  let oc = open_out path in
+  output_string oc (to_dot spec);
+  close_out oc

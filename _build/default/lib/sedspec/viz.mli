@@ -1,0 +1,12 @@
+(** Graphviz rendering of execution specifications.
+
+    Produces a dot graph of the ES-CFG: nodes carry block kind, visit
+    counts and sync markers; edges are the observed transitions, with
+    one-sided conditionals highlighted (those are the conditional jump
+    check's tripwires).  Useful for reviewing what a device's
+    specification actually learned. *)
+
+val to_dot : Es_cfg.t -> string
+
+val save_dot : Es_cfg.t -> string -> unit
+(** [save_dot spec path] writes the dot file. *)

@@ -1,0 +1,1 @@
+lib/util/table.ml: Buffer List Printf String

@@ -1,0 +1,58 @@
+type align = Left | Right | Center
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+      let left = (width - n) / 2 in
+      String.make left ' ' ^ s ^ String.make (width - n - left) ' '
+
+let render ?(align = []) ~header rows =
+  let ncols = List.length header in
+  let normalize row =
+    let n = List.length row in
+    if n >= ncols then row else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let align_of i =
+    match List.nth_opt align i with Some a -> a | None -> Left
+  in
+  let line c =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) c) widths)
+    ^ "+\n"
+  in
+  let render_row row =
+    "|"
+    ^ String.concat "|"
+        (List.mapi
+           (fun i cell ->
+             " " ^ pad (align_of i) (List.nth widths i) cell ^ " ")
+           row)
+    ^ "|\n"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line '-');
+  Buffer.add_string buf (render_row header);
+  Buffer.add_string buf (line '=');
+  List.iter (fun r -> Buffer.add_string buf (render_row r)) rows;
+  Buffer.add_string buf (line '-');
+  Buffer.contents buf
+
+let print ?align ~header rows = print_string (render ?align ~header rows)
+
+let fmt_pct x = Printf.sprintf "%.2f%%" (x *. 100.0)
+
+let fmt_float ?(digits = 2) x = Printf.sprintf "%.*f" digits x

@@ -1,0 +1,31 @@
+(** Plain-text table rendering for benchmark and experiment reports.
+
+    The bench harness prints the same rows the paper's tables report; this
+    module renders them with aligned columns so the output is directly
+    comparable to the paper. *)
+
+type align = Left | Right | Center
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays out [rows] under [header] with box-drawing
+    separators.  [align] gives per-column alignment (default all [Left]);
+    missing entries default to [Left].  Rows shorter than the header are
+    padded with empty cells. *)
+
+val print :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  unit
+(** [print] is [render] followed by [print_string]. *)
+
+val fmt_pct : float -> string
+(** [fmt_pct x] formats a ratio [x] as a percentage with two decimals,
+    e.g. [fmt_pct 0.0014 = "0.14%"]. *)
+
+val fmt_float : ?digits:int -> float -> string
+(** [fmt_float x] formats [x] with [digits] decimals (default 2). *)

@@ -1,0 +1,1 @@
+lib/vmm/guest_mem.ml: Bytes Char Devir Int64 Interp

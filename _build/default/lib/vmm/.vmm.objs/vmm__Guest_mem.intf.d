@@ -1,0 +1,1 @@
+lib/vmm/guest_mem.mli: Devir Interp

@@ -1,0 +1,1 @@
+lib/vmm/irq.ml: Hashtbl

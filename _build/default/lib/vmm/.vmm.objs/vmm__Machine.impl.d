@@ -1,0 +1,1 @@
+lib/vmm/machine.ml: Devir Guest_mem Hashtbl Int64 Interp Irq List Option Printf

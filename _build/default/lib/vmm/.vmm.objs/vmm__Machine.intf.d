@@ -1,0 +1,1 @@
+lib/vmm/machine.mli: Devir Guest_mem Interp Irq

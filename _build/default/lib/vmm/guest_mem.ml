@@ -1,0 +1,58 @@
+type t = { mem : bytes }
+
+let create size = { mem = Bytes.make size '\000' }
+
+let size t = Bytes.length t.mem
+
+let read_byte t addr =
+  let i = Int64.to_int addr in
+  if i >= 0 && i < Bytes.length t.mem then Char.code (Bytes.get t.mem i) else 0
+
+let write_byte t addr v =
+  let i = Int64.to_int addr in
+  if i >= 0 && i < Bytes.length t.mem then
+    Bytes.set t.mem i (Char.chr (v land 0xFF))
+
+let read t addr w =
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      go (i - 1)
+        (Int64.logor (Int64.shift_left acc 8)
+           (Int64.of_int (read_byte t (Int64.add addr (Int64.of_int i)))))
+  in
+  go (Devir.Width.bytes w - 1) 0L
+
+let write t addr w v =
+  for i = 0 to Devir.Width.bytes w - 1 do
+    write_byte t
+      (Int64.add addr (Int64.of_int i))
+      (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL))
+  done
+
+let blit_in t addr src =
+  for i = 0 to Bytes.length src - 1 do
+    write_byte t (Int64.add addr (Int64.of_int i)) (Char.code (Bytes.get src i))
+  done
+
+let blit_out t addr len =
+  let out = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set out i (Char.chr (read_byte t (Int64.add addr (Int64.of_int i))))
+  done;
+  out
+
+let fill t addr len byte =
+  for i = 0 to len - 1 do
+    write_byte t (Int64.add addr (Int64.of_int i)) byte
+  done
+
+let snapshot t = Bytes.copy t.mem
+
+let restore t saved =
+  if Bytes.length saved <> Bytes.length t.mem then
+    invalid_arg "Guest_mem.restore: size mismatch";
+  Bytes.blit saved 0 t.mem 0 (Bytes.length saved)
+
+let access t =
+  { Interp.read_byte = read_byte t; write_byte = write_byte t }

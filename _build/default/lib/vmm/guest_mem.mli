@@ -1,0 +1,40 @@
+(** Guest physical memory.
+
+    A flat RAM image the emulated devices DMA into and out of, and that the
+    guest-side drivers in the workload library use to stage descriptors,
+    ring buffers and data pages — the same role guest RAM plays between a
+    real driver and QEMU. *)
+
+type t
+
+val create : int -> t
+(** [create size] allocates [size] bytes of zeroed RAM. *)
+
+val size : t -> int
+
+val read_byte : t -> int64 -> int
+(** Out-of-range reads return 0 (like a missing physical page). *)
+
+val write_byte : t -> int64 -> int -> unit
+(** Out-of-range writes are dropped. *)
+
+val read : t -> int64 -> Devir.Width.t -> int64
+(** Little-endian scalar read. *)
+
+val write : t -> int64 -> Devir.Width.t -> int64 -> unit
+
+val blit_in : t -> int64 -> bytes -> unit
+(** Copy bytes into RAM at an address. *)
+
+val blit_out : t -> int64 -> int -> bytes
+(** Copy [len] bytes out of RAM. *)
+
+val fill : t -> int64 -> int -> int -> unit
+(** [fill t addr len byte]. *)
+
+val snapshot : t -> bytes
+val restore : t -> bytes -> unit
+(** Save / restore the whole RAM image (same size required). *)
+
+val access : t -> Interp.guest
+(** The interpreter-facing access record. *)

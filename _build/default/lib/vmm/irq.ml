@@ -1,0 +1,28 @@
+type line = { mutable raised : bool; mutable count : int }
+
+type t = { lines : (string, line) Hashtbl.t }
+
+let create () = { lines = Hashtbl.create 8 }
+
+let get t name =
+  match Hashtbl.find_opt t.lines name with
+  | Some l -> l
+  | None ->
+    let l = { raised = false; count = 0 } in
+    Hashtbl.add t.lines name l;
+    l
+
+let register t name = ignore (get t name)
+
+let raise_line t name =
+  let l = get t name in
+  if not l.raised then l.count <- l.count + 1;
+  l.raised <- true
+
+let lower_line t name = (get t name).raised <- false
+
+let is_raised t name = (get t name).raised
+let raise_count t name = (get t name).count
+
+let clear_counts t =
+  Hashtbl.iter (fun _ l -> l.count <- 0) t.lines

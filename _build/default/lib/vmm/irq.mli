@@ -1,0 +1,22 @@
+(** Interrupt controller.
+
+    One line per attached device; experiments read the per-line raise
+    counts to assert that emulated devices still signal the guest while
+    SEDSpec protection is active, and the workload drivers poll line state
+    the way a guest interrupt handler would. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> string -> unit
+(** Register a line (idempotent). *)
+
+val raise_line : t -> string -> unit
+val lower_line : t -> string -> unit
+
+val is_raised : t -> string -> bool
+val raise_count : t -> string -> int
+(** Total number of raise edges seen on the line. *)
+
+val clear_counts : t -> unit

@@ -1,0 +1,1 @@
+lib/workload/ehci_driver.ml: Bytes Char Devices Devir Int64 Io Vmm

@@ -1,0 +1,1 @@
+lib/workload/ehci_driver.mli: Io Vmm

@@ -1,0 +1,1 @@
+lib/workload/fdc_driver.ml: Array Bytes Char Devices Int64 Io Vmm

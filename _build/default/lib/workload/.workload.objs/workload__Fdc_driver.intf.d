@@ -1,0 +1,1 @@
+lib/workload/fdc_driver.mli: Io Vmm

@@ -1,0 +1,1 @@
+lib/workload/io.ml: Int64 Interp Vmm

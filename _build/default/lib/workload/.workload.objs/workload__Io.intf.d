@@ -1,0 +1,1 @@
+lib/workload/io.mli: Interp Vmm

@@ -1,0 +1,1 @@
+lib/workload/pcnet_driver.ml: Bytes Devices Devir Int64 Io List Vmm

@@ -1,0 +1,1 @@
+lib/workload/pcnet_driver.mli: Io Vmm

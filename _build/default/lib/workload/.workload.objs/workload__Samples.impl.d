@@ -1,0 +1,1 @@
+lib/workload/samples.ml: Array Bytes Char Devices Ehci_driver Fdc_driver Int64 List Pcnet_driver Scsi_driver Sdhci_driver Sedspec Sedspec_util Vmm

@@ -1,0 +1,1 @@
+lib/workload/samples.mli: Devices Sedspec Sedspec_util Vmm

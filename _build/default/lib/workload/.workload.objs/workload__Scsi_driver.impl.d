@@ -1,0 +1,1 @@
+lib/workload/scsi_driver.ml: Bytes Char Devices Devir Int64 Io List Vmm

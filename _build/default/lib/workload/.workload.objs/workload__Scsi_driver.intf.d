@@ -1,0 +1,1 @@
+lib/workload/scsi_driver.mli: Io Vmm

@@ -1,0 +1,1 @@
+lib/workload/sdhci_driver.ml: Bytes Char Devices Int64 Io Vmm

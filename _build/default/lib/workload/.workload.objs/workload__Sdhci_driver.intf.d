@@ -1,0 +1,1 @@
+lib/workload/sdhci_driver.mli: Io Vmm

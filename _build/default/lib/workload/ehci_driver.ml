@@ -1,0 +1,65 @@
+type t = { m : Vmm.Machine.t }
+
+let qtd_addr = 0x5000L
+let dbuf = 0x6000L
+
+let reg off = Int64.add Devices.Ehci.mmio_base (Int64.of_int off)
+
+let create m = { m }
+
+let ram t = Vmm.Machine.ram t.m
+
+let reset_port t = Io.mmio_w32 t.m (reg 0x44) 0x100L
+
+let submit t ~pid ~len ~buf =
+  let token = Int64.of_int ((len lsl 16) lor (pid lsl 8)) in
+  Vmm.Guest_mem.write (ram t) qtd_addr Devir.Width.W32 token;
+  Vmm.Guest_mem.write (ram t) (Int64.add qtd_addr 4L) Devir.Width.W32 buf;
+  match Io.mmio_w32 t.m (reg 0x18) qtd_addr with
+  | Io.R_ok _ -> Io.mmio_w32 t.m (reg 0x00) 0x21L
+  | r -> r
+
+let control_setup t ~bm ~req ~value ~index ~length =
+  let pkt = Bytes.create 8 in
+  Bytes.set pkt 0 (Char.chr (bm land 0xFF));
+  Bytes.set pkt 1 (Char.chr (req land 0xFF));
+  Bytes.set pkt 2 (Char.chr (value land 0xFF));
+  Bytes.set pkt 3 (Char.chr ((value lsr 8) land 0xFF));
+  Bytes.set pkt 4 (Char.chr (index land 0xFF));
+  Bytes.set pkt 5 (Char.chr ((index lsr 8) land 0xFF));
+  Bytes.set pkt 6 (Char.chr (length land 0xFF));
+  Bytes.set pkt 7 (Char.chr ((length lsr 8) land 0xFF));
+  Vmm.Guest_mem.blit_in (ram t) dbuf pkt;
+  submit t ~pid:Devices.Ehci.pid_setup ~len:8 ~buf:dbuf
+
+let get_descriptor t ~dtype ~length =
+  if
+    Io.ok (control_setup t ~bm:0x80 ~req:6 ~value:(dtype lsl 8) ~index:0 ~length)
+    && Io.ok (submit t ~pid:Devices.Ehci.pid_in ~len:length ~buf:dbuf)
+  then Some (Vmm.Guest_mem.blit_out (ram t) dbuf length)
+  else None
+
+let set_address t addr =
+  Io.ok (control_setup t ~bm:0x00 ~req:5 ~value:addr ~index:0 ~length:0)
+  && Io.ok (submit t ~pid:Devices.Ehci.pid_in ~len:0 ~buf:dbuf)
+
+let set_configuration t cfg =
+  Io.ok (control_setup t ~bm:0x00 ~req:9 ~value:cfg ~index:0 ~length:0)
+  && Io.ok (submit t ~pid:Devices.Ehci.pid_in ~len:0 ~buf:dbuf)
+
+let get_status t =
+  if
+    Io.ok (control_setup t ~bm:0x80 ~req:0 ~value:0 ~index:0 ~length:2)
+    && Io.ok (submit t ~pid:Devices.Ehci.pid_in ~len:2 ~buf:dbuf)
+  then Some (Vmm.Guest_mem.blit_out (ram t) dbuf 2)
+  else None
+
+let control_out t payload =
+  let length = Bytes.length payload in
+  Io.ok (control_setup t ~bm:0x00 ~req:3 ~value:0 ~index:0 ~length)
+  &&
+  (Vmm.Guest_mem.blit_in (ram t) dbuf payload;
+   Io.ok (submit t ~pid:Devices.Ehci.pid_out ~len:length ~buf:dbuf))
+
+let usbsts t = Io.mmio_r32_v t.m (reg 0x04)
+let frindex t = Io.mmio_r32_v t.m (reg 0x0C)

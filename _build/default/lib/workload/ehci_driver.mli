@@ -1,0 +1,29 @@
+(** Guest-side EHCI driver: port management and USB control transfers via
+    qTDs staged in guest memory. *)
+
+type t
+
+val create : Vmm.Machine.t -> t
+
+val reset_port : t -> Io.result
+
+val submit : t -> pid:int -> len:int -> buf:int64 -> Io.result
+(** Stage a qTD and kick the async schedule. *)
+
+val control_setup :
+  t -> bm:int -> req:int -> value:int -> index:int -> length:int -> Io.result
+(** SETUP token with the 8-byte setup packet staged in guest memory. *)
+
+val get_descriptor : t -> dtype:int -> length:int -> bytes option
+(** GET_DESCRIPTOR control transfer: SETUP then one IN qTD of [length]. *)
+
+val set_address : t -> int -> bool
+val set_configuration : t -> int -> bool
+val get_status : t -> bytes option
+
+val control_out : t -> bytes -> bool
+(** A vendor-style OUT data stage: SETUP with wLength = payload size, then
+    one OUT qTD carrying the payload. *)
+
+val usbsts : t -> int64
+val frindex : t -> int64

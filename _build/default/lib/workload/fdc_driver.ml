@@ -1,0 +1,130 @@
+type t = { m : Vmm.Machine.t }
+
+let base = Devices.Fdc.io_base
+let port off = Int64.add base (Int64.of_int off)
+
+let create m = { m }
+
+let wr t v = Io.outb t.m (port 5) v
+let rd t = Io.inb t.m (port 5)
+
+let rd_v t = match rd t with Io.R_ok (Some v) -> Int64.to_int v | _ -> -1
+
+let msr t = Io.inb_v t.m (port 4)
+
+let reset t =
+  match Io.outb t.m (port 2) 0x00 with
+  | Io.R_ok _ -> Io.outb t.m (port 2) 0x0C
+  | r -> r
+
+(* Issue a command byte followed by parameter bytes; stop on any blocked
+   or faulted access. *)
+let command t bytes_ =
+  let rec go = function
+    | [] -> Io.R_ok None
+    | b :: rest -> (
+      match wr t b with Io.R_ok _ -> go rest | r -> r)
+  in
+  go bytes_
+
+let drain_result t n =
+  let out = Array.make n (-1) in
+  let rec go i =
+    if i >= n then true
+    else
+      let v = rd_v t in
+      if v < 0 then false
+      else begin
+        out.(i) <- v;
+        go (i + 1)
+      end
+  in
+  if go 0 then Some out else None
+
+let specify t ~srt ~hut = command t [ 0x03; srt land 0xFF; hut land 0xFF ]
+
+let configure t v = command t [ 0x13; 0x00; v land 0xFF; 0x00 ]
+
+let recalibrate t ~drive = command t [ 0x07; drive land 3 ]
+
+let seek t ~drive ~head ~track =
+  command t [ 0x0F; (drive land 3) lor ((head land 1) lsl 2); track land 0xFF ]
+
+let sense_interrupt t =
+  match command t [ 0x08 ] with
+  | Io.R_ok _ -> (
+    match drain_result t 2 with
+    | Some [| st0; trk |] -> Some (st0, trk)
+    | _ -> None)
+  | _ -> None
+
+let chs_command op ~drive ~head ~track ~sect =
+  [
+    op;
+    (drive land 3) lor ((head land 1) lsl 2);
+    track land 0xFF;
+    head land 1;
+    sect land 0xFF;
+    2;  (* 512-byte sectors *)
+    0x12;
+    0x1B;
+    0xFF;
+  ]
+
+let read_sector t ~drive ~head ~track ~sect =
+  match command t (chs_command 0x46 ~drive ~head ~track ~sect) with
+  | Io.R_ok _ ->
+    let buf = Bytes.create Devices.Fdc.fifo_size in
+    let rec go i =
+      if i >= Devices.Fdc.fifo_size then true
+      else
+        let v = rd_v t in
+        if v < 0 then false
+        else begin
+          Bytes.set buf i (Char.chr (v land 0xFF));
+          go (i + 1)
+        end
+    in
+    if go 0 && drain_result t 7 <> None then Some buf else None
+  | _ -> None
+
+let write_sector t ~drive ~head ~track ~sect data =
+  assert (Bytes.length data = Devices.Fdc.fifo_size);
+  match command t (chs_command 0x45 ~drive ~head ~track ~sect) with
+  | Io.R_ok _ ->
+    let rec go i =
+      if i >= Bytes.length data then true
+      else
+        match wr t (Char.code (Bytes.get data i)) with
+        | Io.R_ok _ -> go (i + 1)
+        | _ -> false
+    in
+    go 0 && drain_result t 7 <> None
+  | _ -> false
+
+let read_id t ~drive =
+  match command t [ 0x0A; drive land 3 ] with
+  | Io.R_ok _ -> drain_result t 7 <> None
+  | _ -> false
+
+let version t =
+  match command t [ 0x10 ] with
+  | Io.R_ok _ -> (
+    match drain_result t 1 with Some [| v |] -> Some v | _ -> None)
+  | _ -> None
+
+let dumpreg t =
+  match command t [ 0x0E ] with
+  | Io.R_ok _ -> drain_result t 10 <> None
+  | _ -> false
+
+let perpendicular t v =
+  match command t [ 0x12; v land 0xFF ] with Io.R_ok _ -> true | _ -> false
+
+let invalid_command t =
+  match command t [ 0x1F ] with
+  | Io.R_ok _ -> drain_result t 1 <> None
+  | _ -> false
+
+let expected_byte ~track ~head ~sect =
+  ((track * 7) + (sect * 13) + (head * 3)) land 0xFF

@@ -1,0 +1,37 @@
+(** Guest-side floppy driver: the test program of paper §VII driving the
+    FDC through its port interface. *)
+
+type t
+
+val create : Vmm.Machine.t -> t
+
+val reset : t -> Io.result
+(** Toggle DOR reset. *)
+
+val specify : t -> srt:int -> hut:int -> Io.result
+val configure : t -> int -> Io.result
+val recalibrate : t -> drive:int -> Io.result
+val seek : t -> drive:int -> head:int -> track:int -> Io.result
+val sense_interrupt : t -> (int * int) option
+(** Returns (st0, track). *)
+
+val read_sector :
+  t -> drive:int -> head:int -> track:int -> sect:int -> bytes option
+(** Full READ lifecycle: command, 512 data-port reads, 7 result reads.
+    [None] when any access is blocked or faults. *)
+
+val write_sector :
+  t -> drive:int -> head:int -> track:int -> sect:int -> bytes -> bool
+val read_id : t -> drive:int -> bool
+val msr : t -> int
+
+(** Rare maintenance commands — excluded from training, occasionally issued
+    by the soak workloads (the paper's false-positive source). *)
+
+val version : t -> int option
+val dumpreg : t -> bool
+val perpendicular : t -> int -> bool
+val invalid_command : t -> bool
+
+val expected_byte : track:int -> head:int -> sect:int -> int
+(** The deterministic sector pattern served by the device model. *)

@@ -1,0 +1,41 @@
+type result =
+  | R_ok of int64 option
+  | R_blocked of string
+  | R_fault of Interp.Event.trap
+  | R_halted
+
+let of_io = function
+  | Vmm.Machine.Io_ok v -> R_ok v
+  | Vmm.Machine.Io_blocked reason -> R_blocked reason
+  | Vmm.Machine.Io_fault trap -> R_fault trap
+  | Vmm.Machine.Io_no_device -> R_blocked "no device"
+  | Vmm.Machine.Io_vm_halted -> R_halted
+
+let outb m port v =
+  of_io (Vmm.Machine.io_write m ~port ~size:1 ~data:(Int64.of_int v))
+
+let inb m port = of_io (Vmm.Machine.io_read m ~port ~size:1)
+
+let inb_v m port =
+  match inb m port with
+  | R_ok (Some v) -> Int64.to_int v
+  | _ -> -1
+
+let mmio_w32 m addr v = of_io (Vmm.Machine.mmio_write m ~addr ~size:4 ~data:v)
+let mmio_r32 m addr = of_io (Vmm.Machine.mmio_read m ~addr ~size:4)
+
+let mmio_r32_v m addr =
+  match mmio_r32 m addr with R_ok (Some v) -> v | _ -> -1L
+
+let ok = function R_ok _ -> true | _ -> false
+let blocked = function R_blocked _ | R_halted -> true | _ -> false
+
+let outw m port v =
+  of_io (Vmm.Machine.io_write m ~port ~size:2 ~data:(Int64.of_int v))
+
+let inw m port = of_io (Vmm.Machine.io_read m ~port ~size:2)
+
+let inw_v m port =
+  match inw m port with
+  | R_ok (Some v) -> Int64.to_int v
+  | _ -> -1

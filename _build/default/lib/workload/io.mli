@@ -1,0 +1,35 @@
+(** Small guest-side I/O helpers shared by the device drivers.
+
+    All drivers return {!result} rather than raising: a blocked access
+    means the SEDSpec checker halted the VM, which the experiments treat
+    as a first-class outcome. *)
+
+type result =
+  | R_ok of int64 option
+  | R_blocked of string
+  | R_fault of Interp.Event.trap
+  | R_halted
+
+val of_io : Vmm.Machine.io_result -> result
+
+val outb : Vmm.Machine.t -> int64 -> int -> result
+(** Port write, 1 byte. *)
+
+val inb : Vmm.Machine.t -> int64 -> result
+
+val inb_v : Vmm.Machine.t -> int64 -> int
+(** Port read returning the byte value; -1 on anything but [R_ok]. *)
+
+val mmio_w32 : Vmm.Machine.t -> int64 -> int64 -> result
+val mmio_r32 : Vmm.Machine.t -> int64 -> result
+val mmio_r32_v : Vmm.Machine.t -> int64 -> int64
+(** MMIO read returning the value; -1L on anything but [R_ok]. *)
+
+val ok : result -> bool
+val blocked : result -> bool
+
+val outw : Vmm.Machine.t -> int64 -> int -> result
+(** Port write, 2 bytes. *)
+
+val inw : Vmm.Machine.t -> int64 -> result
+val inw_v : Vmm.Machine.t -> int64 -> int

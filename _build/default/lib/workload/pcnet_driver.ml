@@ -1,0 +1,146 @@
+type t = {
+  m : Vmm.Machine.t;
+  rcvrl : int;
+  xmtrl : int;
+  mutable rx_head : int;  (** Next RX descriptor the guest will reap. *)
+  mutable tx_head : int;  (** Next TX descriptor the guest will fill. *)
+}
+
+(* Guest memory map owned by this driver. *)
+let ib_addr = 0x1000L
+let rx_ring = 0x2000L
+let tx_ring = 0x3000L
+let rx_bufs = 0x10000L
+let tx_bufs = 0x40000L
+let pkt_stage = 0x80000L
+let rx_buf_size = 2048
+
+let port off = Int64.add Devices.Pcnet.io_base (Int64.of_int off)
+
+let create ?(rcvrl = 8) ?(xmtrl = 8) m =
+  { m; rcvrl; xmtrl; rx_head = 0; tx_head = 0 }
+
+let reset t =
+  t.rx_head <- 0;
+  t.tx_head <- 0;
+  Io.outw t.m (port 0x14) 0
+
+let write_csr t n v =
+  match Io.outw t.m (port 0x12) n with
+  | Io.R_ok _ -> Io.outw t.m (port 0x10) v
+  | r -> r
+
+let read_csr t n =
+  match Io.outw t.m (port 0x12) n with
+  | Io.R_ok _ -> Io.inw_v t.m (port 0x10)
+  | _ -> -1
+
+let read_bcr t n =
+  match Io.outw t.m (port 0x12) n with
+  | Io.R_ok _ -> Io.inw_v t.m (port 0x16)
+  | _ -> -1
+
+let ram t = Vmm.Machine.ram t.m
+
+let desc_addr ring i = Int64.add ring (Int64.of_int (i * Devices.Pcnet.desc_size))
+
+let write_desc t ring i ~addr ~status ~bcnt =
+  let d = desc_addr ring i in
+  Vmm.Guest_mem.write (ram t) d Devir.Width.W32 addr;
+  Vmm.Guest_mem.write (ram t) (Int64.add d 4L) Devir.Width.W32 status;
+  Vmm.Guest_mem.write (ram t) (Int64.add d 8L) Devir.Width.W32 (Int64.of_int bcnt);
+  Vmm.Guest_mem.write (ram t) (Int64.add d 12L) Devir.Width.W32 0L
+
+let read_desc_status t ring i =
+  Vmm.Guest_mem.read (ram t) (Int64.add (desc_addr ring i) 4L) Devir.Width.W32
+
+let stock_rx_desc t i =
+  write_desc t rx_ring i
+    ~addr:(Int64.add rx_bufs (Int64.of_int (i * rx_buf_size)))
+    ~status:0x8000_0000L ~bcnt:rx_buf_size
+
+let stock_rx_ring t =
+  for i = 0 to t.rcvrl - 1 do
+    stock_rx_desc t i
+  done
+
+let init t ?(mode = 0) () =
+  let g = ram t in
+  Vmm.Guest_mem.write g
+    (Int64.add ib_addr (Int64.of_int Devices.Pcnet.ib_mode_off))
+    Devir.Width.W16 (Int64.of_int mode);
+  Vmm.Guest_mem.write g
+    (Int64.add ib_addr (Int64.of_int Devices.Pcnet.ib_rdra_off))
+    Devir.Width.W32 rx_ring;
+  Vmm.Guest_mem.write g
+    (Int64.add ib_addr (Int64.of_int Devices.Pcnet.ib_tdra_off))
+    Devir.Width.W32 tx_ring;
+  Vmm.Guest_mem.write g
+    (Int64.add ib_addr (Int64.of_int Devices.Pcnet.ib_rcvrl_off))
+    Devir.Width.W32 (Int64.of_int t.rcvrl);
+  Vmm.Guest_mem.write g
+    (Int64.add ib_addr (Int64.of_int Devices.Pcnet.ib_xmtrl_off))
+    Devir.Width.W32 (Int64.of_int t.xmtrl);
+  stock_rx_ring t;
+  (* Clear the TX ring. *)
+  for i = 0 to t.xmtrl - 1 do
+    write_desc t tx_ring i ~addr:0L ~status:0L ~bcnt:0
+  done;
+  Io.ok (write_csr t 1 (Int64.to_int ib_addr land 0xFFFF))
+  && Io.ok (write_csr t 2 (Int64.to_int (Int64.shift_right_logical ib_addr 16)))
+  && Io.ok (write_csr t 0 0x0001)
+
+let start t = write_csr t 0 0x0042 (* STRT | INEA *)
+
+let transmit t frags =
+  let g = ram t in
+  let n = List.length frags in
+  if n = 0 || n > t.xmtrl then false
+  else begin
+    let staged = ref true in
+    List.iteri
+      (fun k frag ->
+        let i = (t.tx_head + k) mod t.xmtrl in
+        let buf = Int64.add tx_bufs (Int64.of_int (i * 4096)) in
+        Vmm.Guest_mem.blit_in g buf frag;
+        let enp = if k = n - 1 then 0x0100_0000L else 0L in
+        write_desc t tx_ring i ~addr:buf
+          ~status:(Int64.logor 0x8000_0000L enp)
+          ~bcnt:(Bytes.length frag))
+      frags;
+    t.tx_head <- (t.tx_head + n) mod t.xmtrl;
+    !staged && Io.ok (write_csr t 0 0x0048 (* TDMD | INEA *))
+  end
+
+let receive t frame =
+  Vmm.Guest_mem.blit_in (ram t) pkt_stage frame;
+  Io.of_io
+    (Vmm.Machine.inject t.m ~device:Devices.Pcnet.name ~handler:"receive"
+       ~params:
+         [
+           ("size", Int64.of_int (Bytes.length frame)); ("pkt_addr", pkt_stage);
+         ])
+
+let rx_frame t =
+  let i = t.rx_head in
+  let status = read_desc_status t rx_ring i in
+  if Int64.logand status 0x8000_0000L <> 0L then None
+  else begin
+    let len =
+      Int64.to_int
+        (Vmm.Guest_mem.read (ram t)
+           (Int64.add (desc_addr rx_ring i) 12L)
+           Devir.Width.W32)
+    in
+    let buf = Int64.add rx_bufs (Int64.of_int (i * rx_buf_size)) in
+    let data = Vmm.Guest_mem.blit_out (ram t) buf (min len rx_buf_size) in
+    stock_rx_desc t i;
+    t.rx_head <- (t.rx_head + 1) mod t.rcvrl;
+    Some (len, data)
+  end
+
+let link_up t = read_bcr t 4 <> 0
+
+let csr0 t = read_csr t 0
+
+let ack_interrupts t = ignore (write_csr t 0 (csr0 t land 0x0F00))

@@ -1,0 +1,42 @@
+(** Guest-side PCNet driver: init block staging, descriptor rings, frame
+    transmission (single- and multi-fragment) and host-side frame
+    injection. *)
+
+type t
+
+val create : ?rcvrl:int -> ?xmtrl:int -> Vmm.Machine.t -> t
+(** Ring lengths default to 8 / 8. *)
+
+val reset : t -> Io.result
+val write_csr : t -> int -> int -> Io.result
+val read_csr : t -> int -> int
+val read_bcr : t -> int -> int
+
+val init : t -> ?mode:int -> unit -> bool
+(** Stage the init block (mode, ring addresses, ring lengths) in guest
+    memory and fire CSR0.INIT.  [mode] bit 2 enables loopback. *)
+
+val start : t -> Io.result
+(** CSR0.STRT — enables RX and TX. *)
+
+val stock_rx_ring : t -> unit
+(** Give every RX descriptor back to the device (set OWN). *)
+
+val transmit : t -> bytes list -> bool
+(** One frame as a list of fragments; only the last descriptor carries
+    ENP.  Returns [false] when any access is blocked. *)
+
+val receive : t -> bytes -> Io.result
+(** Host-side frame delivery (what iperf traffic arriving from the wire
+    looks like). *)
+
+val rx_frame : t -> (int * bytes) option
+(** Pop the oldest delivered frame from the RX ring: returns (length,
+    data) and restocks the descriptor. *)
+
+val link_up : t -> bool
+(** Read BCR4 — backed by a host value, hence a sync point under
+    SEDSpec. *)
+
+val csr0 : t -> int
+val ack_interrupts : t -> unit

@@ -1,0 +1,143 @@
+type t = { m : Vmm.Machine.t }
+
+let dma_desc = 0x7000L
+let dma_data = 0x9000L
+
+let reg off = Int64.add Devices.Scsi.mmio_base (Int64.of_int off)
+
+let create m = { m }
+
+let w t off v = Io.mmio_w32 t.m (reg off) (Int64.of_int v)
+let r t off = Int64.to_int (Io.mmio_r32_v t.m (reg off)) land 0xFF
+
+let ram t = Vmm.Machine.ram t.m
+
+let reset t = w t 3 0x02
+let flush_fifo t = w t 3 0x01
+
+let set_dma_addr t addr = Io.mmio_w32 t.m (reg 8) addr
+
+let push_fifo t bytes_ =
+  List.for_all (fun b -> Io.ok (w t 2 b)) bytes_
+
+let select_fifo t ~lun ~cdb =
+  Io.ok (flush_fifo t)
+  && push_fifo t ((0x80 lor (lun land 7)) :: cdb)
+  && Io.ok (w t 3 0x41)
+
+let select_dma t ~lun ~cdb =
+  let n = 1 + List.length cdb in
+  Vmm.Guest_mem.write (ram t) dma_desc Devir.Width.W32 (Int64.of_int n);
+  Vmm.Guest_mem.write_byte (ram t) (Int64.add dma_desc 4L) (0x80 lor (lun land 7));
+  List.iteri
+    (fun i b ->
+      Vmm.Guest_mem.write_byte (ram t) (Int64.add dma_desc (Int64.of_int (5 + i))) b)
+    cdb;
+  Io.ok (set_dma_addr t dma_desc) && Io.ok (w t 3 0xC1)
+
+(* The DMA engine moves up to a page per TRANSFER INFO. *)
+let dma_chunk = 4096
+
+let transfer_dma t ~len =
+  Io.ok (set_dma_addr t dma_data)
+  &&
+  let rec go remaining =
+    if remaining <= 0 then true
+    else if Io.ok (w t 3 0x90) then go (remaining - dma_chunk)
+    else false
+  in
+  go len
+
+let transfer_fifo_in t ~len =
+  let out = Bytes.create len in
+  let rec chunk pos =
+    if pos >= len then Some out
+    else if not (Io.ok (w t 3 0x10)) then None
+    else begin
+      let n = min 16 (len - pos) in
+      let rec pop i =
+        if i >= n then true
+        else
+          let v = r t 2 in
+          if v < 0 then false
+          else begin
+            Bytes.set out (pos + i) (Char.chr (v land 0xFF));
+            pop (i + 1)
+          end
+      in
+      if pop 0 then chunk (pos + n) else None
+    end
+  in
+  chunk 0
+
+let iccs t =
+  if Io.ok (w t 3 0x11) then begin
+    let status = r t 2 in
+    let _msg = r t 2 in
+    if status >= 0 then Some status else None
+  end
+  else None
+
+let msgacc t = w t 3 0x12
+
+let read_intr t = r t 5
+
+let bus_reset t = w t 3 0x03
+let nop t = w t 3 0x00
+
+let cdb_read10 ~lba ~blocks =
+  [
+    0x28;
+    0x00;
+    (lba lsr 24) land 0xFF;
+    (lba lsr 16) land 0xFF;
+    (lba lsr 8) land 0xFF;
+    lba land 0xFF;
+    0x00;
+    (blocks lsr 8) land 0xFF;
+    blocks land 0xFF;
+    0x00;
+  ]
+
+let cdb_write10 ~lba ~blocks =
+  0x2A :: List.tl (cdb_read10 ~lba ~blocks)
+
+let finish t =
+  match iccs t with
+  | Some _ -> Io.ok (msgacc t)
+  | None -> false
+
+let inquiry t ~dma =
+  let cdb = [ 0x12; 0x00; 0x00; 0x00; 36; 0x00 ] in
+  (if dma then select_dma t ~lun:0 ~cdb else select_fifo t ~lun:0 ~cdb)
+  && (if dma then transfer_dma t ~len:36
+      else transfer_fifo_in t ~len:36 <> None)
+  && finish t
+
+let test_unit_ready t =
+  select_fifo t ~lun:0 ~cdb:[ 0x00; 0x00; 0x00; 0x00; 0x00; 0x00 ] && finish t
+
+let request_sense t =
+  select_fifo t ~lun:0 ~cdb:[ 0x03; 0x00; 0x00; 0x00; 18; 0x00 ]
+  && transfer_dma t ~len:18 && finish t
+
+let read10 t ~lba ~blocks =
+  select_dma t ~lun:0 ~cdb:(cdb_read10 ~lba ~blocks)
+  && transfer_dma t ~len:(blocks * 512)
+  && finish t
+
+let write10 t ~lba ~blocks =
+  (* Stage deterministic data in the DMA area first. *)
+  for i = 0 to (blocks * 512) - 1 do
+    Vmm.Guest_mem.write_byte (ram t)
+      (Int64.add dma_data (Int64.of_int i))
+      ((lba + i) land 0xFF)
+  done;
+  select_dma t ~lun:0 ~cdb:(cdb_write10 ~lba ~blocks)
+  && transfer_dma t ~len:(blocks * 512)
+  && finish t
+
+let mode_sense t ~pages =
+  select_fifo t ~lun:0 ~cdb:[ 0x1A; 0x00; 0x3F; 0x00; pages land 0xFF; 0x00 ]
+  && transfer_dma t ~len:(pages land 0xFF)
+  && finish t

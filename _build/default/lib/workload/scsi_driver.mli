@@ -1,0 +1,48 @@
+(** Guest-side ESP/SCSI driver: CDB selection (FIFO or DMA), chunked
+    TRANSFER INFO and the command-completion handshake. *)
+
+type t
+
+val create : Vmm.Machine.t -> t
+
+val reset : t -> Io.result
+val flush_fifo : t -> Io.result
+
+val select_fifo : t -> lun:int -> cdb:int list -> bool
+(** Push an identify byte plus the CDB into the TI FIFO, then SELATN. *)
+
+val select_dma : t -> lun:int -> cdb:int list -> bool
+(** Stage [count][bytes...] at the DMA descriptor address, then SELATN
+    with the DMA bit. *)
+
+val transfer_dma : t -> len:int -> bool
+(** Issue TRANSFER INFO (DMA) repeatedly until [len] bytes have moved
+    (16-byte device chunks).  Data lands at / comes from the driver's DMA
+    data area. *)
+
+val transfer_fifo_in : t -> len:int -> bytes option
+(** TRANSFER INFO via the FIFO, popping each chunk through register
+    reads. *)
+
+val iccs : t -> int option
+(** Initiator command complete: returns the SCSI status byte. *)
+
+val msgacc : t -> Io.result
+
+val inquiry : t -> dma:bool -> bool
+val test_unit_ready : t -> bool
+val request_sense : t -> bool
+val read10 : t -> lba:int -> blocks:int -> bool
+val write10 : t -> lba:int -> blocks:int -> bool
+val mode_sense : t -> pages:int -> bool
+
+val bus_reset : t -> Io.result
+(** SCSI bus reset — legitimate but rare (a soak-workload rare command). *)
+
+val nop : t -> Io.result
+
+val read_intr : t -> int
+(** Read (and clear) the interrupt register. *)
+
+val dma_data : int64
+(** Guest address of the driver's DMA data area. *)

@@ -1,0 +1,85 @@
+type t = { m : Vmm.Machine.t }
+
+let base = Devices.Sdhci.mmio_base
+let reg off = Int64.add base (Int64.of_int off)
+
+let create m = { m }
+
+let w t off v = Io.mmio_w32 t.m (reg off) (Int64.of_int v)
+let w64 t off v = Io.mmio_w32 t.m (reg off) v
+let r t off = Io.mmio_r32_v t.m (reg off)
+
+let command t ~idx ~arg =
+  match w64 t 0x08 (Int64.of_int arg) with
+  | Io.R_ok _ -> w t 0x0E (idx lsl 8)
+  | res -> res
+
+let init_card t =
+  Io.ok (command t ~idx:0 ~arg:0)
+  && Io.ok (command t ~idx:8 ~arg:0x1AA)
+  && Io.ok (command t ~idx:55 ~arg:0)
+  && Io.ok (command t ~idx:41 ~arg:0x40FF8000)
+  && Io.ok (command t ~idx:2 ~arg:0)
+  && Io.ok (command t ~idx:3 ~arg:0)
+  && Io.ok (command t ~idx:7 ~arg:0x10000)
+
+let set_blksize t v = w t 0x04 v
+let set_blkcnt t v = w t 0x06 v
+
+let read_block t ~lba ~blksize =
+  if not (Io.ok (set_blksize t blksize)) then None
+  else if not (Io.ok (command t ~idx:17 ~arg:lba)) then None
+  else begin
+    let out = Bytes.create blksize in
+    let rec go i =
+      if i >= blksize then true
+      else
+        let v = r t 0x20 in
+        if Int64.compare v 0L < 0 then false
+        else begin
+          Bytes.set out i (Char.chr (Int64.to_int v land 0xFF));
+          go (i + 1)
+        end
+    in
+    if go 0 then Some out else None
+  end
+
+let write_block t ~lba data =
+  let blksize = Bytes.length data in
+  Io.ok (set_blksize t blksize)
+  && Io.ok (command t ~idx:24 ~arg:lba)
+  &&
+  let rec go i =
+    if i >= blksize then true
+    else if Io.ok (w t 0x20 (Char.code (Bytes.get data i))) then go (i + 1)
+    else false
+  in
+  go 0
+
+let read_multi t ~lba ~blksize ~blkcnt ~dma_addr =
+  Io.ok (w64 t 0x00 dma_addr)
+  && Io.ok (set_blksize t blksize)
+  && Io.ok (set_blkcnt t blkcnt)
+  && Io.ok (command t ~idx:18 ~arg:lba)
+
+let write_multi t ~lba ~blksize ~blkcnt ~dma_addr =
+  Io.ok (w64 t 0x00 dma_addr)
+  && Io.ok (set_blksize t blksize)
+  && Io.ok (set_blkcnt t blkcnt)
+  && Io.ok (command t ~idx:25 ~arg:lba)
+
+let send_status t =
+  if Io.ok (command t ~idx:13 ~arg:0) then
+    let v = r t 0x10 in
+    if Int64.compare v 0L >= 0 then Some v else None
+  else None
+
+let stop t = w t 0x0E (12 lsl 8)
+
+let norintsts t = Int64.to_int (r t 0x30) land 0xFFFF
+
+let clear_ints t = w t 0x30 0xFFFF
+
+let raw_command t ~idx ~arg = command t ~idx ~arg
+
+let expected_byte ~lba = ((lba * 11) + 0x30) land 0xFF

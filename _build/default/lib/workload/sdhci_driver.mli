@@ -1,0 +1,35 @@
+(** Guest-side SD host driver: card initialisation and block I/O through
+    the SDHCI model's MMIO interface. *)
+
+type t
+
+val create : Vmm.Machine.t -> t
+
+val init_card : t -> bool
+(** CMD0 / CMD8 / CMD55+ACMD41 / CMD2 / CMD3 / CMD7 — leaves the card in
+    transfer state. *)
+
+val set_blksize : t -> int -> Io.result
+val set_blkcnt : t -> int -> Io.result
+
+val read_block : t -> lba:int -> blksize:int -> bytes option
+(** CMD17 plus [blksize] buffer-data-port reads. *)
+
+val write_block : t -> lba:int -> bytes -> bool
+(** CMD24 plus per-byte buffer-data-port writes of the whole block. *)
+
+val read_multi : t -> lba:int -> blksize:int -> blkcnt:int -> dma_addr:int64 -> bool
+(** CMD18: SDMA transfer into guest memory. *)
+
+val write_multi : t -> lba:int -> blksize:int -> blkcnt:int -> dma_addr:int64 -> bool
+(** CMD25: SDMA transfer from guest memory (caller stages the data). *)
+
+val send_status : t -> int64 option
+val stop : t -> Io.result
+val norintsts : t -> int
+val clear_ints : t -> Io.result
+val raw_command : t -> idx:int -> arg:int -> Io.result
+(** Issue an arbitrary SD command (used by the soak workloads' rare
+    commands). *)
+
+val expected_byte : lba:int -> int

@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Attacks Devices Format List Sedspec String Workload

@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Arena Attacks Bytes Char Devices Devir Int64 Interp List QCheck QCheck_alcotest Sedspec Sedspec_util Vmm Width Workload

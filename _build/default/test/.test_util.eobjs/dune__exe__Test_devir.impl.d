@@ -1,0 +1,1 @@
+test/test_devir.ml: Alcotest Arena Block Bytes Devices Devir Expr Int64 Layout List Pretty Program QCheck QCheck_alcotest Stmt String Term Validate Width

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Arena Bytes Devir Format Int64 Interp Layout List Program QCheck QCheck_alcotest Stmt Width

@@ -1,0 +1,1 @@
+test/test_iptrace.ml: Alcotest Devices Devir Interp Iptrace List Program QCheck QCheck_alcotest Sedspec Sedspec_util Vmm Workload

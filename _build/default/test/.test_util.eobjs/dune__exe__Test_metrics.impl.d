@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Attacks Devices Format List Metrics Workload

@@ -1,0 +1,1 @@
+test/test_nioh.ml: Alcotest Devices Format Int64 List Metrics Nioh Option Sedspec Sedspec_util Vmm Workload

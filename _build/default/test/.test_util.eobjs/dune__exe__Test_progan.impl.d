@@ -1,0 +1,1 @@
+test/test_progan.ml: Alcotest Devices Devir Expr List Progan Program Stmt Width

@@ -1,0 +1,1 @@
+test/test_sedspec.ml: Alcotest Arena Attacks Block Devices Devir Format Int64 Interp Lazy List Metrics Option Program QCheck QCheck_alcotest Sedspec Sedspec_util Stmt String Term Vmm Width Workload

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Fun List QCheck QCheck_alcotest Sedspec_util String

@@ -1,0 +1,1 @@
+test/test_vmm.ml: Alcotest Arena Bytes Devices Devir Interp Layout List Program Unix Vmm Width Workload

@@ -1,0 +1,442 @@
+(* Tests for the expression evaluator (width-aware arithmetic, overflow
+   reporting) and the block-graph interpreter (control transfers, traps,
+   hooks, guards, sync points). *)
+
+open Devir
+open Devir.Dsl
+
+(* --- Eval ----------------------------------------------------------- *)
+
+let eval_with ?(fields = []) ?(params = []) ?(locals = []) e =
+  let overflow = ref None in
+  let ctx =
+    {
+      Interp.Eval.get_field =
+        (fun n ->
+          match List.assoc_opt n fields with
+          | Some v -> v
+          | None -> Alcotest.failf "unknown field %s" n);
+      get_buf_byte = (fun _ i -> i land 0xFF);
+      buf_len = (fun _ -> 16);
+      get_param =
+        (fun n ->
+          match List.assoc_opt n params with
+          | Some v -> v
+          | None -> raise (Interp.Eval.Undefined_param n));
+      get_local =
+        (fun n ->
+          match List.assoc_opt n locals with
+          | Some v -> v
+          | None -> raise (Interp.Eval.Undefined_local n));
+      record_overflow = (fun o -> overflow := Some o);
+    }
+  in
+  let v = Interp.Eval.eval ctx e in
+  (v, !overflow)
+
+let test_eval_arith () =
+  Alcotest.(check int64) "add" 5L (fst (eval_with (c 2 +% c 3)));
+  Alcotest.(check int64) "sub" 1L (fst (eval_with (c 3 -% c 2)));
+  Alcotest.(check int64) "mul" 6L (fst (eval_with (c 2 *% c 3)));
+  Alcotest.(check int64) "and" 4L (fst (eval_with (c 6 &% c 12)));
+  Alcotest.(check int64) "or" 14L (fst (eval_with (c 6 |% c 12)));
+  Alcotest.(check int64) "xor" 10L (fst (eval_with (c 6 ^% c 12)));
+  Alcotest.(check int64) "shl" 8L (fst (eval_with (c 1 <<% c 3)));
+  Alcotest.(check int64) "shr" 2L (fst (eval_with (c 8 >>% c 2)));
+  Alcotest.(check int64) "div" 3L (fst (eval_with (div Width.W32 (c 7) (c 2))));
+  Alcotest.(check int64) "rem" 1L (fst (eval_with (rem Width.W32 (c 7) (c 2))))
+
+let test_eval_cmp () =
+  let t e = Alcotest.(check int64) "true" 1L (fst (eval_with e)) in
+  let f e = Alcotest.(check int64) "false" 0L (fst (eval_with e)) in
+  t (c 1 ==% c 1);
+  f (c 1 ==% c 2);
+  t (c 1 <>% c 2);
+  t (c 1 <% c 2);
+  f (c 2 <% c 1);
+  t (c 2 <=% c 2);
+  t (c 3 >% c 2);
+  t (c 3 >=% c 3);
+  (* Unsigned vs signed: all-ones is max unsigned but -1 signed. *)
+  t (c64 ~w:Width.W64 (-1L) >% c64 ~w:Width.W64 1L);
+  t (lts (c64 ~w:Width.W64 (-1L)) (c64 ~w:Width.W64 1L));
+  t (not_ (c 0));
+  f (not_ (c 5))
+
+let test_eval_overflow_add () =
+  let v, ov = eval_with (add Width.W8 (c 200) (c 100)) in
+  Alcotest.(check int64) "wraps" 44L v;
+  Alcotest.(check bool) "overflow recorded" true (ov <> None)
+
+let test_eval_overflow_sub () =
+  let v, ov = eval_with (sub Width.W32 (c 0x40) (c 0x81)) in
+  (* The SDHCI CVE-2021-3409 expression shape. *)
+  Alcotest.(check int64) "wraps" 0xFFFFFFBFL v;
+  Alcotest.(check bool) "underflow recorded" true (ov <> None)
+
+let test_eval_overflow_mul () =
+  let _, ov = eval_with (mul Width.W16 (c 300) (c 300)) in
+  Alcotest.(check bool) "mul overflow recorded" true (ov <> None)
+
+let test_eval_shl_overflow () =
+  let _, ov = eval_with (shl Width.W8 (c 0x80) (c 1)) in
+  Alcotest.(check bool) "shl overflow recorded" true (ov <> None)
+
+let test_eval_no_false_overflow () =
+  let _, ov = eval_with (c 1000 +% c 2000) in
+  Alcotest.(check bool) "no overflow" true (ov = None);
+  let _, ov = eval_with (sub Width.W32 (c 5) (c 5)) in
+  Alcotest.(check bool) "equal sub no overflow" true (ov = None)
+
+let test_eval_div_zero () =
+  Alcotest.check_raises "div by zero" Interp.Eval.Div_by_zero (fun () ->
+      ignore (eval_with (div Width.W32 (c 1) (c 0))))
+
+let test_eval_undefined () =
+  Alcotest.check_raises "undefined param" (Interp.Eval.Undefined_param "nope")
+    (fun () -> ignore (eval_with (prm "nope")));
+  Alcotest.check_raises "undefined local" (Interp.Eval.Undefined_local "ghost")
+    (fun () -> ignore (eval_with (lcl "ghost")))
+
+let prop_add_matches_reference =
+  QCheck.Test.make ~name:"W16 add wraps like a reference" ~count:500
+    QCheck.(pair (int_range 0 0xFFFF) (int_range 0 0xFFFF))
+    (fun (a, b) ->
+      let v, _ =
+        eval_with (add Width.W16 (c ~w:Width.W16 a) (c ~w:Width.W16 b))
+      in
+      Int64.to_int v = (a + b) land 0xFFFF)
+
+let prop_cmp_matches_reference =
+  QCheck.Test.make ~name:"unsigned comparisons match reference" ~count:500
+    QCheck.(pair (int_range 0 0xFFFF) (int_range 0 0xFFFF))
+    (fun (a, b) ->
+      let t e = fst (eval_with e) = 1L in
+      t (c a <% c b) = (a < b)
+      && t (c a <=% c b) = (a <= b)
+      && t (c a ==% c b) = (a = b))
+
+(* --- Interpreter ----------------------------------------------------- *)
+
+let tiny_layout =
+  Layout.make
+    [
+      Layout.reg "x" Width.W32;
+      Layout.reg "y" Width.W32;
+      Layout.fn_ptr ~init:0x100L "cb";
+      Layout.buf "buf" 8;
+    ]
+
+let tiny_program
+    ?(callbacks = [ (0x100L, { Program.cb_name = "cb"; action = Program.Raise_irq_line }) ])
+    handlers =
+  Program.make ~name:"tiny" ~layout:tiny_layout ~callbacks handlers
+
+let run_tiny ?(params = []) ?hooks ?config program handler =
+  let arena = Arena.create tiny_layout in
+  let interp =
+    Interp.create ?config ?hooks ~program ~arena ~guest:Interp.null_guest ()
+  in
+  (Interp.run interp ~handler ~params, arena, interp)
+
+let test_interp_straightline () =
+  let p =
+    tiny_program
+      [
+        handler "h" ~params:[]
+          [
+            entry "e" [ set "x" (c 3) ] (goto "next");
+            blk "next" [ set "y" (fld "x" +% c 1); respond (fld "y") ] (goto "out");
+            exit_ "out" [];
+          ];
+      ]
+  in
+  let outcome, arena, _ = run_tiny p "h" in
+  (match outcome with
+  | Interp.Event.Done { response = Some 4L } -> ()
+  | o ->
+    Alcotest.failf "unexpected outcome %s"
+      (Format.asprintf "%a" Interp.Event.pp_outcome o));
+  Alcotest.(check int64) "y" 4L (Arena.get arena "y")
+
+let test_interp_branch_directions () =
+  let p =
+    tiny_program
+      [
+        handler "h" ~params:[ "v" ]
+          [
+            entry "e" [] (br (prm "v" >% c 10) "big" "small");
+            blk "big" [ set "x" (c 1) ] (goto "out");
+            blk "small" [ set "x" (c 2) ] (goto "out");
+            exit_ "out" [];
+          ];
+      ]
+  in
+  let _, arena, _ = run_tiny ~params:[ ("v", 50L) ] p "h" in
+  Alcotest.(check int64) "taken" 1L (Arena.get arena "x");
+  let _, arena, _ = run_tiny ~params:[ ("v", 5L) ] p "h" in
+  Alcotest.(check int64) "not taken" 2L (Arena.get arena "x")
+
+let test_interp_switch_default () =
+  let p =
+    tiny_program
+      [
+        handler "h" ~params:[ "v" ]
+          [
+            entry "e" [] (switch (prm "v") [ (1, "one") ] "other");
+            blk "one" [ set "x" (c 11) ] (goto "out");
+            blk "other" [ set "x" (c 99) ] (goto "out");
+            exit_ "out" [];
+          ];
+      ]
+  in
+  let _, arena, _ = run_tiny ~params:[ ("v", 1L) ] p "h" in
+  Alcotest.(check int64) "case" 11L (Arena.get arena "x");
+  let _, arena, _ = run_tiny ~params:[ ("v", 7L) ] p "h" in
+  Alcotest.(check int64) "default" 99L (Arena.get arena "x")
+
+let test_interp_icall_and_wild_jump () =
+  let p =
+    tiny_program
+      [
+        handler "h" ~params:[]
+          [ entry "e" [] (icall (fld "cb") "out"); exit_ "out" [] ];
+      ]
+  in
+  let irqs = ref 0 in
+  let hooks =
+    { Interp.silent_hooks with Interp.on_irq = (fun up -> if up then incr irqs) }
+  in
+  let outcome, _, _ = run_tiny ~hooks p "h" in
+  Alcotest.(check bool) "done" true (outcome = Interp.Event.Done { response = None });
+  Alcotest.(check int) "irq raised" 1 !irqs;
+  let arena = Arena.create tiny_layout in
+  Arena.set arena "cb" 0xBADL;
+  let interp = Interp.create ~program:p ~arena ~guest:Interp.null_guest () in
+  match Interp.run interp ~handler:"h" ~params:[] with
+  | Interp.Event.Trapped (Interp.Event.Wild_jump { target = 0xBADL; _ }) -> ()
+  | o ->
+    Alcotest.failf "expected wild jump, got %s"
+      (Format.asprintf "%a" Interp.Event.pp_outcome o)
+
+let test_interp_icall_guard () =
+  let p =
+    tiny_program
+      [
+        handler "h" ~params:[]
+          [ entry "e" [] (icall (fld "cb") "out"); exit_ "out" [] ];
+      ]
+  in
+  let arena = Arena.create tiny_layout in
+  let interp = Interp.create ~program:p ~arena ~guest:Interp.null_guest () in
+  Interp.set_icall_guard interp (Some (fun _ _ -> false));
+  (match Interp.run interp ~handler:"h" ~params:[] with
+  | Interp.Event.Trapped (Interp.Event.Icall_blocked { target = 0x100L; _ }) -> ()
+  | o ->
+    Alcotest.failf "expected guard block, got %s"
+      (Format.asprintf "%a" Interp.Event.pp_outcome o));
+  Interp.clear_icall_guard interp;
+  Alcotest.(check bool) "guard cleared" true
+    (Interp.run interp ~handler:"h" ~params:[] = Interp.Event.Done { response = None })
+
+let test_interp_step_limit () =
+  let p =
+    tiny_program
+      [
+        handler "h" ~params:[]
+          [ entry "e" [] (goto "spin"); blk "spin" [] (goto "spin"); exit_ "out" [] ];
+      ]
+  in
+  let outcome, _, _ =
+    run_tiny ~config:{ Interp.step_limit = 100; depth_limit = 4 } p "h"
+  in
+  Alcotest.(check bool) "hangs" true
+    (outcome = Interp.Event.Trapped Interp.Event.Step_limit)
+
+let test_interp_depth_limit () =
+  let p =
+    tiny_program
+      ~callbacks:
+        [ (0x100L, { Program.cb_name = "rec"; action = Program.Run_handler "h" }) ]
+      [
+        handler "h" ~params:[]
+          [ entry "e" [] (icall (fld "cb") "out"); exit_ "out" [] ];
+      ]
+  in
+  let outcome, _, _ = run_tiny p "h" in
+  Alcotest.(check bool) "depth limit" true
+    (outcome = Interp.Event.Trapped Interp.Event.Depth_limit)
+
+let test_interp_chained_handler () =
+  let p =
+    tiny_program
+      ~callbacks:
+        [ (0x100L, { Program.cb_name = "sub"; action = Program.Run_handler "sub" }) ]
+      [
+        handler "h" ~params:[]
+          [
+            entry "e" [ set "x" (c 1) ] (icall (fld "cb") "after");
+            blk "after" [ set "y" (fld "y" +% c 10) ] (goto "out");
+            exit_ "out" [];
+          ];
+        handler "sub" ~params:[]
+          [ entry "se" [ set "y" (c 5) ] (goto "sout"); exit_ "sout" [] ];
+      ]
+  in
+  let _, arena, _ = run_tiny p "h" in
+  Alcotest.(check int64) "chain ran before continuation" 15L (Arena.get arena "y")
+
+let test_interp_oob_hook_and_trap () =
+  let p =
+    tiny_program
+      [
+        handler "h" ~params:[ "i" ]
+          [
+            entry "e" [ setb "buf" (prm "i") (c 0xAB) ] (goto "out");
+            exit_ "out" [];
+          ];
+      ]
+  in
+  let oob = ref [] in
+  let hooks =
+    { Interp.silent_hooks with Interp.on_oob = (fun e -> oob := e :: !oob) }
+  in
+  (* buf is the last field, so index 9 escapes the whole structure. *)
+  let outcome, _, _ = run_tiny ~hooks ~params:[ ("i", 9L) ] p "h" in
+  Alcotest.(check bool) "trap on escape" true
+    (match outcome with
+    | Interp.Event.Trapped (Interp.Event.Out_of_arena _) -> true
+    | _ -> false);
+  Alcotest.(check int) "oob event fired" 1 (List.length !oob)
+
+let test_interp_host_values () =
+  let p =
+    tiny_program
+      [
+        handler "h" ~params:[]
+          [
+            entry "e" [ hostv "hv" "link"; set "x" (lcl "hv") ] (goto "out");
+            exit_ "out" [];
+          ];
+      ]
+  in
+  let arena = Arena.create tiny_layout in
+  let interp = Interp.create ~program:p ~arena ~guest:Interp.null_guest () in
+  Interp.set_host_values interp (fun key -> if key = "link" then 7L else 0L);
+  ignore (Interp.run interp ~handler:"h" ~params:[]);
+  Alcotest.(check int64) "host value loaded" 7L (Arena.get arena "x")
+
+let test_interp_sync_points () =
+  let p =
+    tiny_program
+      [
+        handler "h" ~params:[]
+          [
+            entry "e" [ local "t" (c 42); set "x" (lcl "t") ] (goto "out");
+            exit_ "out" [];
+          ];
+      ]
+  in
+  let arena = Arena.create tiny_layout in
+  let interp = Interp.create ~program:p ~arena ~guest:Interp.null_guest () in
+  let synced = ref [] in
+  Interp.set_sync_points interp
+    [ ({ Program.handler = "h"; label = "e" }, [ "t" ]) ]
+    ~on_sync:(fun _ values -> synced := values @ !synced);
+  ignore (Interp.run interp ~handler:"h" ~params:[]);
+  Alcotest.(check (list (pair string int64))) "synced" [ ("t", 42L) ] !synced
+
+let test_interp_observation () =
+  let p =
+    tiny_program
+      [
+        handler "h" ~params:[ "v" ]
+          [
+            entry "e" [] (br (prm "v" >% c 0) "a" "b");
+            blk "a" [ set "x" (c 1) ] (goto "out");
+            blk "b" [ set "x" (c 2) ] (goto "out");
+            exit_ "out" [];
+          ];
+      ]
+  in
+  let arena = Arena.create tiny_layout in
+  let entries = ref [] in
+  let hooks =
+    { Interp.silent_hooks with Interp.on_observe = (fun e -> entries := e :: !entries) }
+  in
+  let interp = Interp.create ~hooks ~program:p ~arena ~guest:Interp.null_guest () in
+  Interp.set_observation interp
+    ~points:[ { Program.handler = "h"; label = "e" } ]
+    ~state_params:[ "x" ];
+  ignore (Interp.run interp ~handler:"h" ~params:[ ("v", 1L) ]);
+  match !entries with
+  | [ e ] ->
+    Alcotest.(check bool) "taken outcome" true
+      (e.Interp.Event.outcome = Interp.Event.O_taken);
+    Alcotest.(check (list (pair string int64))) "state" [ ("x", 0L) ]
+      e.Interp.Event.state
+  | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l)
+
+let test_guest_memory_dma () =
+  let p =
+    tiny_program
+      [
+        handler "h" ~params:[ "addr" ]
+          [
+            entry "e"
+              [
+                dma_in ~buf:"buf" ~buf_off:(c 0) ~addr:(prm "addr") ~len:(c 4);
+                Stmt.Read_guest { local = "g"; addr = prm "addr"; width = Width.W32 };
+                set "x" (lcl "g");
+              ]
+              (goto "out");
+            exit_ "out" [];
+          ];
+      ]
+  in
+  let mem = Bytes.make 64 '\000' in
+  Bytes.set mem 8 '\x78';
+  Bytes.set mem 9 '\x56';
+  Bytes.set mem 10 '\x34';
+  Bytes.set mem 11 '\x12';
+  let arena = Arena.create tiny_layout in
+  let interp = Interp.create ~program:p ~arena ~guest:(Interp.bytes_guest mem) () in
+  ignore (Interp.run interp ~handler:"h" ~params:[ ("addr", 8L) ]);
+  Alcotest.(check int64) "little-endian load" 0x12345678L (Arena.get arena "x");
+  Alcotest.(check int) "dma byte" 0x78 (Arena.get_buf_byte arena "buf" 0)
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_eval_arith;
+          Alcotest.test_case "comparisons" `Quick test_eval_cmp;
+          Alcotest.test_case "add overflow" `Quick test_eval_overflow_add;
+          Alcotest.test_case "sub underflow (CVE-2021-3409 shape)" `Quick
+            test_eval_overflow_sub;
+          Alcotest.test_case "mul overflow" `Quick test_eval_overflow_mul;
+          Alcotest.test_case "shl overflow" `Quick test_eval_shl_overflow;
+          Alcotest.test_case "no false positives" `Quick test_eval_no_false_overflow;
+          Alcotest.test_case "div by zero" `Quick test_eval_div_zero;
+          Alcotest.test_case "undefined names" `Quick test_eval_undefined;
+          QCheck_alcotest.to_alcotest prop_add_matches_reference;
+          QCheck_alcotest.to_alcotest prop_cmp_matches_reference;
+        ] );
+      ( "interpreter",
+        [
+          Alcotest.test_case "straight line" `Quick test_interp_straightline;
+          Alcotest.test_case "branch directions" `Quick test_interp_branch_directions;
+          Alcotest.test_case "switch and default" `Quick test_interp_switch_default;
+          Alcotest.test_case "icall and wild jump" `Quick test_interp_icall_and_wild_jump;
+          Alcotest.test_case "icall guard" `Quick test_interp_icall_guard;
+          Alcotest.test_case "step limit (hang)" `Quick test_interp_step_limit;
+          Alcotest.test_case "depth limit" `Quick test_interp_depth_limit;
+          Alcotest.test_case "chained handler" `Quick test_interp_chained_handler;
+          Alcotest.test_case "oob hook and trap" `Quick test_interp_oob_hook_and_trap;
+          Alcotest.test_case "host values" `Quick test_interp_host_values;
+          Alcotest.test_case "sync points" `Quick test_interp_sync_points;
+          Alcotest.test_case "observation points" `Quick test_interp_observation;
+          Alcotest.test_case "guest memory dma" `Quick test_guest_memory_dma;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+(* Tests for the experiment harnesses.  The headline test reproduces the
+   paper's entire Table III detection matrix. *)
+
+let () = Metrics.Spec_cache.training_cases := 12
+
+let test_case_studies_match_paper () =
+  List.iter
+    (fun (r : Metrics.Case_study.result) ->
+      if not (Metrics.Case_study.matches_expectation r) then
+        Alcotest.failf "%s diverges from the paper:@.%s" r.attack.cve
+          (Format.asprintf "%a" Metrics.Case_study.pp_result r))
+    (Metrics.Case_study.run_all ())
+
+let test_fpr_soak_tracks_rare_probability () =
+  let w = Workload.Samples.find "ehci" in
+  let r =
+    Metrics.Fpr.soak ~seed:3L ~cases_per_hour:30 ~checkpoint_hours:[ 1; 2 ]
+      ~rare_prob:0.5 w
+  in
+  Alcotest.(check int) "total cases" 60 r.total_cases;
+  (* With a 50% rare tail roughly half the cases must be flagged. *)
+  Alcotest.(check bool) "flagged cases near expectation" true
+    (r.fp_cases > 15 && r.fp_cases < 45);
+  Alcotest.(check int) "no parameter-check FPs" 0 r.param_check_fps;
+  (* Checkpoints accumulate. *)
+  match r.checkpoints with
+  | [ c1; c2 ] ->
+    Alcotest.(check bool) "monotone" true (c2.fp_cases >= c1.fp_cases);
+    Alcotest.(check int) "case counts" 30 c1.cases
+  | _ -> Alcotest.fail "two checkpoints expected"
+
+let test_fpr_paper_constants () =
+  Alcotest.(check bool) "per-device FPR targets" true
+    (List.for_all
+       (fun d ->
+         let f = Metrics.Fpr.paper_fpr d in
+         f > 0.0 && f < 0.01)
+       [ "fdc"; "ehci"; "pcnet"; "sdhci"; "scsi" ])
+
+let test_coverage_bounds () =
+  List.iter
+    (fun w ->
+      let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+      let r = Metrics.Coverage.measure ~seed:11L ~fuzz_cases:20 (module W) in
+      Alcotest.(check bool)
+        (W.device_name ^ " coverage plausible")
+        true
+        (r.effective > 0.75 && r.effective <= 1.0);
+      Alcotest.(check bool) "fuzz reaches at least training" true (r.fuzz_blocks > 0))
+    Workload.Samples.all
+
+let test_perf_sanity () =
+  (* Check the harness produces positive, same-order numbers.  Timing on a
+     shared machine is noisy, so use a non-trivial volume, keep the best of
+     two runs per point, and accept a wide band — this is a smoke test of
+     the measurement plumbing, not a performance assertion (the bench does
+     those with proper repetition). *)
+  let run () =
+    Metrics.Perf.storage_sweep ~total_bytes:65536 ~vmexit_cost:5000
+      ~device:"scsi" ~write:false ()
+  in
+  let a = run () and b = run () in
+  List.iter2
+    (fun (pa : Metrics.Perf.storage_point) (pb : Metrics.Perf.storage_point) ->
+      Alcotest.(check bool) "positive times" true
+        (pa.base_s > 0.0 && pa.protected_s > 0.0);
+      let best = max pa.norm_throughput pb.norm_throughput in
+      Alcotest.(check bool) "same order of magnitude" true
+        (best > 0.1 && best < 10.0))
+    a b
+
+let test_net_harness_sanity () =
+  let p = Metrics.Perf.pcnet_bandwidth ~total_bytes:(256 * 1024) ~vmexit_cost:5000
+      Metrics.Perf.Udp_up
+  in
+  Alcotest.(check bool) "bandwidth positive" true
+    (p.base_mbps > 0.0 && p.protected_mbps > 0.0);
+  let base, prot, _ = Metrics.Perf.pcnet_ping ~count:30 ~vmexit_cost:5000 () in
+  Alcotest.(check bool) "ping positive" true (base > 0.0 && prot > 0.0)
+
+let test_baseline_verdict_list () =
+  Alcotest.(check int) "five nioh CVEs" 5 (List.length Metrics.Baseline.nioh_cves);
+  List.iter
+    (fun cve ->
+      Alcotest.(check bool) (cve ^ " exists in catalogue") true
+        (match Attacks.Attack.find cve with _ -> true | exception Not_found -> false))
+    Metrics.Baseline.nioh_cves
+
+let test_spec_cache_memoises () =
+  let w = Workload.Samples.find "fdc" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let b1 = Metrics.Spec_cache.built (module W) W.paper_version in
+  let b2 = Metrics.Spec_cache.built (module W) W.paper_version in
+  Alcotest.(check bool) "same build returned" true (b1 == b2);
+  (* A different version is a different cache entry. *)
+  let b3 = Metrics.Spec_cache.built (module W) Devices.Qemu_version.latest in
+  Alcotest.(check bool) "different version, different build" true (b1 != b3)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "case-study",
+        [
+          Alcotest.test_case "Table III matrix reproduces" `Slow
+            test_case_studies_match_paper;
+        ] );
+      ( "fpr",
+        [
+          Alcotest.test_case "soak tracks rare probability" `Slow
+            test_fpr_soak_tracks_rare_probability;
+          Alcotest.test_case "paper constants" `Quick test_fpr_paper_constants;
+        ] );
+      ( "coverage",
+        [ Alcotest.test_case "bounds on all devices" `Slow test_coverage_bounds ] );
+      ( "perf",
+        [
+          Alcotest.test_case "storage harness sanity" `Slow test_perf_sanity;
+          Alcotest.test_case "network harness sanity" `Slow test_net_harness_sanity;
+        ] );
+      ( "infrastructure",
+        [
+          Alcotest.test_case "baseline catalogue" `Quick test_baseline_verdict_list;
+          Alcotest.test_case "spec cache memoises" `Quick test_spec_cache_memoises;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+(* Tests for the Nioh baseline: the hand-written state machines accept all
+   benign traffic, detect their experiment's five CVEs, and diverge from
+   SEDSpec exactly where the paper says (the use-after-free analog). *)
+
+let () = Metrics.Spec_cache.training_cases := 12
+
+let devices_with_models = [ "fdc"; "scsi"; "pcnet" ]
+
+let test_models_exist () =
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) (d ^ " has a model") true (Nioh.spec_for d <> None))
+    devices_with_models;
+  Alcotest.(check bool) "no model for sdhci" true (Nioh.spec_for "sdhci" = None)
+
+let test_benign_traffic_accepted () =
+  List.iter
+    (fun device ->
+      let w = Workload.Samples.find device in
+      let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+      let m = W.make_machine W.paper_version in
+      let monitor = Nioh.attach m (Option.get (Nioh.spec_for device)) in
+      let rng = Sedspec_util.Prng.create 33L in
+      (* Rare maintenance commands included: the manual model covers them,
+         so unlike SEDSpec's learned model, Nioh has no rare-command FPs. *)
+      for _ = 1 to 12 do
+        W.soak_case ~mode:Workload.Samples.Random ~rng ~rare_prob:0.1 ~ops:8 m
+      done;
+      let anoms = Nioh.drain_anomalies monitor in
+      if anoms <> [] then
+        Alcotest.failf "%s: nioh flagged benign traffic: %s" device
+          (Format.asprintf "%a" Nioh.pp_anomaly (List.hd anoms)))
+    devices_with_models
+
+let test_trainer_traffic_accepted () =
+  List.iter
+    (fun device ->
+      let w = Workload.Samples.find device in
+      let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+      let m = W.make_machine W.paper_version in
+      let monitor = Nioh.attach m (Option.get (Nioh.spec_for device)) in
+      let trainer = W.trainer ~cases:8 in
+      for case = 0 to 7 do
+        trainer.Sedspec.Pipeline.run_case m case
+      done;
+      Alcotest.(check int) (device ^ " trainer clean") 0
+        (List.length (Nioh.drain_anomalies monitor)))
+    devices_with_models
+
+let test_nioh_detects_its_five_cves () =
+  List.iter
+    (fun (v : Metrics.Baseline.verdict) ->
+      Alcotest.(check bool) (v.cve ^ " detected by nioh") true v.nioh_detected)
+    (Metrics.Baseline.run ())
+
+let test_divergence_matches_paper () =
+  let verdicts = Metrics.Baseline.run () in
+  List.iter
+    (fun (v : Metrics.Baseline.verdict) ->
+      let expected_sedspec = v.cve <> "CVE-2016-1568" in
+      Alcotest.(check bool) (v.cve ^ " sedspec verdict") expected_sedspec
+        v.sedspec_detected)
+    verdicts
+
+let test_venom_blocked_before_crash () =
+  (* Nioh's command-length invariant stops venom long before the FIFO
+     overflows. *)
+  let w = Workload.Samples.find "fdc" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let m = W.make_machine (Devices.Qemu_version.v 2 3 0) in
+  let monitor = Nioh.attach m Nioh.fdc_spec in
+  let port = Int64.add Devices.Fdc.io_base 5L in
+  ignore (Workload.Io.outb m port 0x8E);
+  let sent = ref 0 in
+  (try
+     for _ = 1 to 600 do
+       match Workload.Io.outb m port 0x01 with
+       | Workload.Io.R_ok _ -> incr sent
+       | _ -> raise Exit
+     done
+   with Exit -> ());
+  Alcotest.(check bool) "blocked early" true (!sent < 20);
+  Alcotest.(check bool) "anomaly recorded" true (Nioh.anomalies monitor <> []);
+  Alcotest.(check bool) "vm halted" true (Vmm.Machine.halted m)
+
+let test_resync_after_halt () =
+  let w = Workload.Samples.find "scsi" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let m = W.make_machine (Devices.Qemu_version.v 2 4 0) in
+  let monitor = Nioh.attach m Nioh.scsi_spec in
+  let d = Workload.Scsi_driver.create m in
+  ignore (Workload.Scsi_driver.reset d);
+  ignore (Workload.Scsi_driver.test_unit_ready d);
+  (* Illegal replayed completion: halted. *)
+  ignore (Workload.Scsi_driver.iccs d);
+  Alcotest.(check bool) "halted on replayed iccs" true (Vmm.Machine.halted m);
+  Vmm.Machine.resume m;
+  Nioh.resync monitor;
+  ignore (Nioh.drain_anomalies monitor);
+  Alcotest.(check bool) "works after resync" true
+    (Workload.Scsi_driver.test_unit_ready d);
+  Alcotest.(check int) "clean after resync" 0
+    (List.length (Nioh.drain_anomalies monitor))
+
+let () =
+  Alcotest.run "nioh"
+    [
+      ( "models",
+        [
+          Alcotest.test_case "exist for the nioh devices" `Quick test_models_exist;
+          Alcotest.test_case "accept benign soak traffic" `Quick
+            test_benign_traffic_accepted;
+          Alcotest.test_case "accept trainer traffic" `Quick
+            test_trainer_traffic_accepted;
+        ] );
+      ( "comparison",
+        [
+          Alcotest.test_case "nioh detects its five CVEs" `Slow
+            test_nioh_detects_its_five_cves;
+          Alcotest.test_case "divergence matches the paper" `Slow
+            test_divergence_matches_paper;
+        ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "venom blocked before crash" `Quick
+            test_venom_blocked_before_crash;
+          Alcotest.test_case "resync after halt" `Quick test_resync_after_halt;
+        ] );
+    ]

@@ -1,0 +1,701 @@
+(* Tests for the SEDSpec core: parameter selection, log collection, ES-CFG
+   construction (Algorithm 1), control-flow reduction, data-dependency
+   recovery, and the ES-Checker's three strategies and two modes. *)
+
+open Devir
+
+module QV = Devices.Qemu_version
+
+let training_cases = 12
+
+let build_for ?(version = None) name =
+  let w = Workload.Samples.find name in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let version = Option.value version ~default:W.paper_version in
+  let m = W.make_machine version in
+  let built =
+    Sedspec.Pipeline.build m ~device:name (W.trainer ~cases:training_cases)
+  in
+  (m, built, w)
+
+(* Cache: the FDC build is reused by several tests. *)
+let fdc_built = lazy (build_for "fdc")
+
+(* --- Selection --------------------------------------------------------- *)
+
+let test_selection_fdc_matches_paper_table1 () =
+  let _, built, _ = Lazy.force fdc_built in
+  let sel = Sedspec.Es_cfg.selection built.spec in
+  (* Table I's examples: msr/dor/tdr registers, fifo buffer, data_pos
+     counting variable, irq function pointer. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (p ^ " selected") true
+        (Sedspec.Selection.is_scalar_param sel p))
+    [ "msr"; "dor"; "tdr"; "data_pos"; "data_len"; "cmd"; "phase"; "irq" ];
+  Alcotest.(check bool) "fifo selected as buffer" true
+    (Sedspec.Selection.is_buffer_param sel "fifo");
+  Alcotest.(check (list string)) "fn ptrs" [ "irq" ] sel.fn_ptrs;
+  Alcotest.(check bool) "data_pos is an index param" true
+    (List.mem "data_pos" sel.index_params)
+
+let test_selection_other_devices () =
+  (* Rule-based selection lands on the security-relevant fields for every
+     device (paper Table I's categories). *)
+  let check_static name expects_scalars expects_tracked =
+    let w = Workload.Samples.find name in
+    let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+    let p =
+      Interp.program (Vmm.Machine.interp_of (W.make_machine W.paper_version) W.device_name)
+    in
+    let sel = Sedspec.Selection.select_static p in
+    List.iter
+      (fun f ->
+        Alcotest.(check bool) (name ^ ": " ^ f ^ " selected") true
+          (Sedspec.Selection.is_scalar_param sel f))
+      expects_scalars;
+    List.iter
+      (fun b ->
+        Alcotest.(check bool) (name ^ ": " ^ b ^ " content-tracked") true
+          (List.mem b sel.tracked_buffers))
+      expects_tracked
+  in
+  (* EHCI: the CVE-2020-14364 parameters. *)
+  check_static "ehci" [ "setup_len"; "setup_index"; "setup_state"; "irq" ] [ "setup_buf" ];
+  (* SDHCI: the CVE-2021-3409 parameters. *)
+  check_static "sdhci" [ "blksize"; "data_count"; "transfer_active"; "is_read"; "irq" ] [];
+  (* PCNet: ring/packet bookkeeping. *)
+  check_static "pcnet" [ "csr0"; "rcvrl"; "recv_idx"; "xmit_pos"; "mode"; "irq" ] [];
+  (* SCSI: both overflow targets and the completion pointer.  Note
+     req_active is NOT selected at the vulnerable 2.4.0 version — the
+     missing req_active guard is exactly CVE-2016-1568's bug, so nothing
+     branches on it and the analysis rightly drops it (the reason SEDSpec
+     cannot see the replayed completion). *)
+  check_static "scsi"
+    [ "ti_size"; "scsi_state"; "cdb_len"; "disk_len"; "status"; "complete_fn"; "irq" ]
+    [ "cmdbuf"; "cdb"; "ti_buf" ]
+
+let test_selection_index_params_per_device () =
+  let check name field buffer =
+    let w = Workload.Samples.find name in
+    let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+    let p =
+      Interp.program (Vmm.Machine.interp_of (W.make_machine W.paper_version) W.device_name)
+    in
+    let sel = Sedspec.Selection.select_static p in
+    Alcotest.(check bool) (name ^ ": " ^ field ^ " is an index param") true
+      (List.mem field sel.index_params);
+    Alcotest.(check bool) (name ^ ": " ^ buffer ^ " is a buffer param") true
+      (Sedspec.Selection.is_buffer_param sel buffer)
+  in
+  check "fdc" "data_pos" "fifo";
+  check "ehci" "setup_index" "data_buf";
+  check "sdhci" "data_count" "fifo_buffer";
+  check "pcnet" "xmit_pos" "buffer";
+  check "scsi" "ti_wptr" "ti_buf"
+
+let test_selection_static_covers_all_devices () =
+  List.iter
+    (fun w ->
+      let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+      let p = Interp.program (Vmm.Machine.interp_of (W.make_machine W.paper_version) W.device_name) in
+      let sel = Sedspec.Selection.select_static p in
+      Alcotest.(check bool) (W.device_name ^ " has scalars") true (sel.scalars <> []);
+      Alcotest.(check bool) (W.device_name ^ " has buffers") true (sel.buffers <> []);
+      Alcotest.(check bool) (W.device_name ^ " has fn ptrs") true (sel.fn_ptrs <> []))
+    Workload.Samples.all
+
+(* --- Logs -------------------------------------------------------------- *)
+
+let test_log_collection_counts () =
+  let _, built, _ = Lazy.force fdc_built in
+  Alcotest.(check int) "one log per case" training_cases (List.length built.logs);
+  Alcotest.(check bool) "thousands of interactions" true
+    (Sedspec.Ds_log.interaction_count built.logs > 1000);
+  Alcotest.(check bool) "entries recorded" true
+    (Sedspec.Ds_log.entry_count built.logs > 1000)
+
+let test_observation_points_are_joints () =
+  let p = Devices.Fdc.program ~version:(QV.v 2 3 0) in
+  let points = Sedspec.Ds_log.observation_points p in
+  List.iter
+    (fun bref ->
+      let b = Program.find_block p bref in
+      let ok =
+        b.Block.kind <> Block.Normal
+        ||
+        match b.Block.term with
+        | Term.Branch _ | Term.Switch _ | Term.Icall _ -> true
+        | _ -> false
+      in
+      Alcotest.(check bool) (Program.bref_to_string bref ^ " is a joint") true ok)
+    points
+
+(* --- ES-CFG ------------------------------------------------------------ *)
+
+let test_escfg_structure () =
+  let _, built, _ = Lazy.force fdc_built in
+  let spec = built.spec in
+  Alcotest.(check bool) "nodes" true (Sedspec.Es_cfg.node_count spec > 30);
+  (* The drive-specification setup block was never trained. *)
+  Alcotest.(check bool) "untrained block absent" true
+    (Sedspec.Es_cfg.node spec { Program.handler = "write"; label = "su_drivespec" }
+    = None);
+  (* A trained conditional has directional counts. *)
+  (match Sedspec.Es_cfg.node spec { Program.handler = "write"; label = "w_cmd_phase" } with
+  | Some n ->
+    Alcotest.(check bool) "both directions trained" true (n.taken > 0 && n.not_taken > 0)
+  | None -> Alcotest.fail "w_cmd_phase missing");
+  (* Icall targets collected. *)
+  (match Sedspec.Es_cfg.node spec { Program.handler = "write"; label = "ex_seek" } with
+  | Some n ->
+    Alcotest.(check (list int64)) "legit irq target" [ Devices.Fdc.irq_cb ] n.itargets
+  | None -> Alcotest.fail "ex_seek missing");
+  (* Commands decoded into the access table. *)
+  Alcotest.(check bool) "seek command known" true
+    (Sedspec.Es_cfg.cmd_known spec
+       ({ Program.handler = "write"; label = "w_new_cmd" }, 0x0FL));
+  Alcotest.(check bool) "drive-spec command unknown" false
+    (Sedspec.Es_cfg.cmd_known spec
+       ({ Program.handler = "write"; label = "w_new_cmd" }, 0x8EL))
+
+let test_escfg_reduction_only_trivial () =
+  let w = Workload.Samples.find "fdc" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let m = W.make_machine W.paper_version in
+  let unreduced =
+    Sedspec.Pipeline.build ~reduce:false m ~device:"fdc" (W.trainer ~cases:6)
+  in
+  let removable =
+    List.filter
+      (fun (n : Sedspec.Es_cfg.node) ->
+        n.kind = Block.Normal && n.dsod = []
+        && match n.term with Term.Goto _ -> true | _ -> false)
+      (Sedspec.Es_cfg.nodes unreduced.spec)
+  in
+  let before = Sedspec.Es_cfg.node_count unreduced.spec in
+  let removed = Sedspec.Es_cfg.reduce unreduced.spec in
+  Alcotest.(check int) "exactly the trivial nodes" (List.length removable) removed;
+  Alcotest.(check int) "count consistent" (before - removed)
+    (Sedspec.Es_cfg.node_count unreduced.spec)
+
+let test_dsod_lifting_rule () =
+  let open Devir.Dsl in
+  let stmts =
+    [
+      set "x" (c 1);
+      respond (c 2);
+      note "hi";
+      local "t" (c 3);
+      store (c 0) (c 1);
+      Stmt.Read_guest { local = "g"; addr = c 0; width = Width.W32 };
+    ]
+  in
+  let lifted = Sedspec.Es_cfg.lift_dsod stmts in
+  Alcotest.(check int) "keeps state, locals, guest reads" 3 (List.length lifted)
+
+(* --- Data dependencies -------------------------------------------------- *)
+
+let test_datadep_pcnet_sync_point () =
+  let _, built, _ = build_for "pcnet" in
+  (* The BCR4 link-status read branches on a host value: a sync point. *)
+  Alcotest.(check bool) "pcnet has a sync point" true (built.datadep.sync_points > 0);
+  let sync = Sedspec.Es_cfg.sync_points built.spec in
+  Alcotest.(check bool) "r_lnkst is the sync block" true
+    (List.exists
+       (fun ((b : Program.bref), locals) ->
+         b.label = "r_lnkst" && List.mem "lnk" locals)
+       sync)
+
+let test_datadep_fdc_fully_substituted () =
+  let _, built, _ = Lazy.force fdc_built in
+  Alcotest.(check int) "no sync points" 0 built.datadep.sync_points;
+  Alcotest.(check int) "no guest replay" 0 built.datadep.guest_replay;
+  Alcotest.(check bool) "all substituted" true (built.datadep.substituted > 0)
+
+let test_datadep_pcnet_guest_replay () =
+  let _, built, _ = build_for "pcnet" in
+  (* Descriptor own-bit branches read guest memory. *)
+  Alcotest.(check bool) "guest replay sites" true (built.datadep.guest_replay > 0)
+
+(* --- Checker: benign traffic -------------------------------------------- *)
+
+let test_checker_zero_fp_on_training_replay () =
+  List.iter
+    (fun w ->
+      let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+      let m = W.make_machine W.paper_version in
+      let built =
+        Sedspec.Pipeline.build m ~device:W.device_name
+          (W.trainer ~cases:training_cases)
+      in
+      let checker = Sedspec.Pipeline.protect m ~device:W.device_name built in
+      let trainer = W.trainer ~cases:training_cases in
+      for case = 0 to training_cases - 1 do
+        trainer.Sedspec.Pipeline.run_case m case
+      done;
+      let anoms = Sedspec.Checker.drain_anomalies checker in
+      if anoms <> [] then
+        Alcotest.failf "%s: %d false positives, first: %s" W.device_name
+          (List.length anoms)
+          (Format.asprintf "%a" Sedspec.Checker.pp_anomaly (List.hd anoms));
+      let stats = Sedspec.Checker.stats checker in
+      Alcotest.(check bool) (W.device_name ^ " interactions checked") true
+        (stats.Sedspec.Checker.interactions > 100))
+    Workload.Samples.all
+
+let test_checker_soak_zero_fp_without_rare () =
+  List.iter
+    (fun w ->
+      let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+      let r =
+        Metrics.Fpr.soak ~seed:5L ~cases_per_hour:6 ~checkpoint_hours:[ 1 ]
+          ~rare_prob:0.0
+          (module W)
+      in
+      Alcotest.(check int) (W.device_name ^ " fp-free without rare tail") 0 r.fp_cases)
+    Workload.Samples.all
+
+let test_checker_rare_command_is_flagged () =
+  let m, built, _ = Lazy.force fdc_built in
+  let checker =
+    Sedspec.Pipeline.protect
+      ~config:
+        { Sedspec.Checker.default_config with Sedspec.Checker.mode = Sedspec.Checker.Enhancement }
+      m ~device:"fdc" built
+  in
+  let d = Workload.Fdc_driver.create m in
+  ignore (Workload.Fdc_driver.reset d);
+  (* VERSION is trained (drivers probe it at init); DUMPREG is not. *)
+  ignore (Workload.Fdc_driver.version d);
+  Alcotest.(check int) "trained maintenance command passes" 0
+    (List.length (Sedspec.Checker.drain_anomalies checker));
+  ignore (Workload.Fdc_driver.dumpreg d);
+  let anoms = Sedspec.Checker.drain_anomalies checker in
+  Alcotest.(check bool) "rare command flagged" true (anoms <> []);
+  Alcotest.(check bool) "conditional strategy" true
+    (List.for_all
+       (fun (a : Sedspec.Checker.anomaly) ->
+         a.strategy = Sedspec.Checker.Conditional_jump_check)
+       anoms);
+  Alcotest.(check bool) "enhancement mode does not halt" false (Vmm.Machine.halted m)
+
+let test_checker_protection_halts_enhancement_warns () =
+  (* Same anomaly, both modes. *)
+  let run mode =
+    let w = Workload.Samples.find "fdc" in
+    let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+    let m = W.make_machine W.paper_version in
+    let built = Sedspec.Pipeline.build m ~device:"fdc" (W.trainer ~cases:6) in
+    let checker =
+      Sedspec.Pipeline.protect
+        ~config:{ Sedspec.Checker.default_config with Sedspec.Checker.mode }
+        m ~device:"fdc" built
+    in
+    let d = Workload.Fdc_driver.create m in
+    ignore (Workload.Fdc_driver.reset d);
+    ignore (Workload.Fdc_driver.dumpreg d);
+    (Vmm.Machine.halted m, Sedspec.Checker.drain_anomalies checker <> [],
+     Vmm.Machine.warnings m <> [])
+  in
+  let halted_p, detected_p, _ = run Sedspec.Checker.Protection in
+  Alcotest.(check bool) "protection halts" true halted_p;
+  Alcotest.(check bool) "protection detects" true detected_p;
+  let halted_e, detected_e, warned_e = run Sedspec.Checker.Enhancement in
+  Alcotest.(check bool) "enhancement does not halt" false halted_e;
+  Alcotest.(check bool) "enhancement detects" true detected_e;
+  Alcotest.(check bool) "enhancement warns" true warned_e
+
+let test_checker_sync_point_deferral () =
+  let m, built, _ = build_for "pcnet" in
+  let checker = Sedspec.Pipeline.protect m ~device:"pcnet" built in
+  let d = Workload.Pcnet_driver.create m in
+  ignore (Workload.Pcnet_driver.reset d);
+  ignore (Workload.Pcnet_driver.init d ~mode:0 ());
+  ignore (Workload.Pcnet_driver.start d);
+  ignore (Workload.Pcnet_driver.link_up d);
+  let stats = Sedspec.Checker.stats checker in
+  Alcotest.(check bool) "link read deferred through sync" true
+    (stats.Sedspec.Checker.deferred > 0);
+  Alcotest.(check bool) "no anomaly" true
+    (Sedspec.Checker.drain_anomalies checker = [])
+
+let test_checker_resync_after_halt () =
+  let m, built, _ = Lazy.force fdc_built in
+  let checker = Sedspec.Pipeline.protect m ~device:"fdc" built in
+  let d = Workload.Fdc_driver.create m in
+  ignore (Workload.Fdc_driver.reset d);
+  ignore (Workload.Fdc_driver.dumpreg d);
+  Alcotest.(check bool) "halted on rare command" true (Vmm.Machine.halted m);
+  Vmm.Machine.resume m;
+  Sedspec.Checker.resync checker;
+  ignore (Sedspec.Checker.drain_anomalies checker);
+  (* Normal traffic clean again after resync. *)
+  ignore (Workload.Fdc_driver.reset d);
+  ignore (Workload.Fdc_driver.recalibrate d ~drive:0);
+  ignore (Workload.Fdc_driver.sense_interrupt d);
+  (match Workload.Fdc_driver.read_sector d ~drive:0 ~head:0 ~track:2 ~sect:1 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "benign read blocked after resync");
+  Alcotest.(check (list reject)) "clean" []
+    (List.map (fun _ -> ()) (Sedspec.Checker.drain_anomalies checker))
+
+(* --- Checker: strategy separation (one attack per strategy) ------------- *)
+
+let detect_with attack_cve strategy =
+  Metrics.Spec_cache.training_cases := training_cases;
+  let attack = Attacks.Attack.find attack_cve in
+  let w = Workload.Samples.find attack.device in
+  let m, checker =
+    Metrics.Spec_cache.fresh_protected_machine
+      ~config:
+        { Sedspec.Checker.default_config with Sedspec.Checker.strategies = [ strategy ] }
+      w attack.qemu_version
+  in
+  attack.setup m;
+  ignore (Sedspec.Checker.drain_anomalies checker);
+  (try attack.run m with Exit -> ());
+  Sedspec.Checker.drain_anomalies checker <> []
+
+let test_strategy_parameter_only () =
+  Alcotest.(check bool) "venom via parameter check" true
+    (detect_with "CVE-2015-3456" Sedspec.Checker.Parameter_check);
+  Alcotest.(check bool) "7504 invisible to parameter check" false
+    (detect_with "CVE-2015-7504" Sedspec.Checker.Parameter_check)
+
+let test_strategy_indirect_only () =
+  Alcotest.(check bool) "7504 via indirect check" true
+    (detect_with "CVE-2015-7504" Sedspec.Checker.Indirect_jump_check);
+  Alcotest.(check bool) "3409 invisible to indirect check" false
+    (detect_with "CVE-2021-3409" Sedspec.Checker.Indirect_jump_check)
+
+let test_strategy_conditional_only () =
+  Alcotest.(check bool) "7909 via conditional check (walk limit)" true
+    (detect_with "CVE-2016-7909" Sedspec.Checker.Conditional_jump_check);
+  Alcotest.(check bool) "3409 invisible to conditional check" false
+    (detect_with "CVE-2021-3409" Sedspec.Checker.Conditional_jump_check)
+
+let test_prevention_is_pre_execution () =
+  (* Parameter check stops venom before the device writes out of bounds. *)
+  Metrics.Spec_cache.training_cases := training_cases;
+  let attack = Attacks.Attack.find "CVE-2015-3456" in
+  let w = Workload.Samples.find "fdc" in
+  let m, checker =
+    Metrics.Spec_cache.fresh_protected_machine
+      ~config:
+        {
+          Sedspec.Checker.default_config with
+          Sedspec.Checker.strategies = [ Sedspec.Checker.Parameter_check ];
+        }
+      w attack.qemu_version
+  in
+  attack.setup m;
+  let effects =
+    Attacks.Attack.observe_effects m ~device:"fdc"
+      (fun () -> try attack.run m with Exit -> ())
+      attack
+  in
+  Alcotest.(check int) "no corruption happened" 0 effects.oob_writes;
+  Alcotest.(check int) "no trap happened" 0 (List.length effects.traps);
+  let anoms = Sedspec.Checker.drain_anomalies checker in
+  Alcotest.(check bool) "anomaly was pre-execution" true
+    (List.for_all (fun (a : Sedspec.Checker.anomaly) -> a.pre_execution) anoms
+    && anoms <> [])
+
+(* --- Persistence --------------------------------------------------------- *)
+
+let test_persist_roundtrip () =
+  let _, built, _ = Lazy.force fdc_built in
+  let text = Sedspec.Persist.to_string built.spec in
+  let program = Sedspec.Es_cfg.program built.spec in
+  match Sedspec.Persist.of_string ~program text with
+  | Error msg -> Alcotest.failf "load failed: %s" msg
+  | Ok spec' ->
+    Alcotest.(check int) "node count" (Sedspec.Es_cfg.node_count built.spec)
+      (Sedspec.Es_cfg.node_count spec');
+    Alcotest.(check int) "commands" (List.length (Sedspec.Es_cfg.commands built.spec))
+      (List.length (Sedspec.Es_cfg.commands spec'));
+    (* Node statistics survive. *)
+    List.iter
+      (fun (n : Sedspec.Es_cfg.node) ->
+        match Sedspec.Es_cfg.node spec' n.bref with
+        | Some n' ->
+          Alcotest.(check int) "visits" n.visits n'.visits;
+          Alcotest.(check int) "taken" n.taken n'.taken;
+          Alcotest.(check int) "not taken" n.not_taken n'.not_taken;
+          Alcotest.(check (list int64)) "itargets" n.itargets n'.itargets;
+          Alcotest.(check int) "cases" (List.length n.cases) (List.length n'.cases)
+        | None -> Alcotest.failf "node %s lost" (Program.bref_to_string n.bref))
+      (Sedspec.Es_cfg.nodes built.spec);
+    (* Selection survives. *)
+    let s = Sedspec.Es_cfg.selection built.spec
+    and s' = Sedspec.Es_cfg.selection spec' in
+    Alcotest.(check (list string)) "scalars" s.scalars s'.scalars;
+    Alcotest.(check (list string)) "tracked buffers" s.tracked_buffers s'.tracked_buffers
+
+let test_persist_rejects_garbage () =
+  let p = Devices.Fdc.program ~version:(QV.v 2 3 0) in
+  (match Sedspec.Persist.of_string ~program:p "nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  match
+    Sedspec.Persist.of_string ~program:p
+      "sedspec-spec v1\nprogram pcnet\nend\n"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong program accepted"
+
+let test_persisted_spec_still_detects () =
+  (* Save the trained FDC spec, reload it, protect a fresh machine with it
+     and confirm venom is still caught. *)
+  let _, built, _ = Lazy.force fdc_built in
+  let text = Sedspec.Persist.to_string built.spec in
+  let w = Workload.Samples.find "fdc" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let m = W.make_machine (QV.v 2 3 0) in
+  let program = Interp.program (Vmm.Machine.interp_of m "fdc") in
+  match Sedspec.Persist.of_string ~program text with
+  | Error msg -> Alcotest.failf "reload failed: %s" msg
+  | Ok spec ->
+    let checker = Sedspec.Checker.attach m ~spec "fdc" in
+    let d = Workload.Fdc_driver.create m in
+    ignore (Workload.Fdc_driver.reset d);
+    ignore (Workload.Fdc_driver.recalibrate d ~drive:0);
+    ignore (Workload.Fdc_driver.sense_interrupt d);
+    Alcotest.(check int) "benign clean" 0
+      (List.length (Sedspec.Checker.drain_anomalies checker));
+    ignore (Workload.Io.outb m (Int64.add Devices.Fdc.io_base 5L) 0x8E);
+    Alcotest.(check bool) "venom detected by reloaded spec" true
+      (Sedspec.Checker.drain_anomalies checker <> [])
+
+let test_persist_all_devices () =
+  Metrics.Spec_cache.training_cases := training_cases;
+  List.iter
+    (fun w ->
+      let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+      let built = Metrics.Spec_cache.built (module W) W.paper_version in
+      let program = Sedspec.Es_cfg.program built.spec in
+      match Sedspec.Persist.of_string ~program (Sedspec.Persist.to_string built.spec) with
+      | Error msg -> Alcotest.failf "%s: %s" W.device_name msg
+      | Ok spec' ->
+        Alcotest.(check int)
+          (W.device_name ^ " node count survives")
+          (Sedspec.Es_cfg.node_count built.spec)
+          (Sedspec.Es_cfg.node_count spec');
+        Alcotest.(check int)
+          (W.device_name ^ " commands survive")
+          (List.length (Sedspec.Es_cfg.commands built.spec))
+          (List.length (Sedspec.Es_cfg.commands spec')))
+    Workload.Samples.all
+
+let test_checker_command_access_context () =
+  (* The access table keys blocks by the current command: result bytes of a
+     SEEK read back under SEEK's context, and the context survives across
+     interactions. *)
+  let _, built, _ = Lazy.force fdc_built in
+  let spec = built.spec in
+  (* Context is re-keyed by the execution dispatch switch, so the
+     command's execution blocks live under the w_dispatch key. *)
+  let w_dispatch : Program.bref = { handler = "write"; label = "w_dispatch" } in
+  let seek = (w_dispatch, 0x0FL) and read = (w_dispatch, 0x46L) in
+  Alcotest.(check bool) "seek cmd known" true (Sedspec.Es_cfg.cmd_known spec seek);
+  (* The seek execution block is reachable under SEEK... *)
+  Alcotest.(check bool) "ex_seek under seek" true
+    (Sedspec.Es_cfg.cmd_allows spec seek
+       { Program.handler = "write"; label = "ex_seek" });
+  (* ...but not under READ. *)
+  Alcotest.(check bool) "ex_seek not under read" false
+    (Sedspec.Es_cfg.cmd_allows spec read
+       { Program.handler = "write"; label = "ex_seek" });
+  (* The exec-phase data reads belong to READ's subgraph. *)
+  Alcotest.(check bool) "r_exec_byte under read" true
+    (Sedspec.Es_cfg.cmd_allows spec read
+       { Program.handler = "read"; label = "r_exec_byte" })
+
+let test_viz_dot_output () =
+  let _, built, _ = Lazy.force fdc_built in
+  let dot = Sedspec.Viz.to_dot built.spec in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 100 && String.sub dot 0 7 = "digraph");
+  (* Every node appears exactly once as a node statement. *)
+  let count needle s =
+    let n = String.length needle and m = String.length s in
+    let rec go i acc =
+      if i + n > m then acc
+      else go (i + 1) (if String.sub s i n = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  Alcotest.(check bool) "one-sided marker present" true (count "[one-sided]" dot > 0);
+  Alcotest.(check int) "closing brace" 1 (count "\n}" dot)
+
+(* --- Remedy --------------------------------------------------------------- *)
+
+let test_remedy_severity_classification () =
+  let mk strategy pre =
+    {
+      Sedspec.Checker.strategy;
+      at = None;
+      detail = "";
+      pre_execution = pre;
+    }
+  in
+  Alcotest.(check string) "param critical" "critical"
+    (Sedspec.Remedy.severity_to_string
+       (Sedspec.Remedy.severity_of (mk Sedspec.Checker.Parameter_check true)));
+  Alcotest.(check string) "indirect high" "high"
+    (Sedspec.Remedy.severity_to_string
+       (Sedspec.Remedy.severity_of (mk Sedspec.Checker.Indirect_jump_check true)));
+  Alcotest.(check string) "conditional medium" "medium"
+    (Sedspec.Remedy.severity_to_string
+       (Sedspec.Remedy.severity_of (mk Sedspec.Checker.Conditional_jump_check true)));
+  Alcotest.(check string) "post-execution promotes" "high"
+    (Sedspec.Remedy.severity_to_string
+       (Sedspec.Remedy.severity_of (mk Sedspec.Checker.Conditional_jump_check false)))
+
+let test_remedy_rollback_restores_state () =
+  let w = Workload.Samples.find "fdc" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let m = W.make_machine (QV.v 2 3 0) in
+  let built = Sedspec.Pipeline.build m ~device:"fdc" (W.trainer ~cases:8) in
+  let checker = Sedspec.Pipeline.protect m ~device:"fdc" built in
+  let sup = Sedspec.Remedy.create m ~device:"fdc" checker in
+  let d = Workload.Fdc_driver.create m in
+  ignore (Workload.Fdc_driver.reset d);
+  ignore (Workload.Fdc_driver.seek d ~drive:0 ~head:0 ~track:21);
+  ignore (Workload.Fdc_driver.sense_interrupt d);
+  Alcotest.(check (list reject)) "clean tick" []
+    (List.map (fun _ -> ()) (Sedspec.Remedy.tick sup));
+  let arena = Interp.arena (Vmm.Machine.interp_of m "fdc") in
+  Alcotest.(check int64) "track before attack" 21L (Arena.get arena "track");
+  (* A rare command halts the VM (protection mode). *)
+  ignore (Workload.Fdc_driver.dumpreg d);
+  Alcotest.(check bool) "halted" true (Vmm.Machine.halted m);
+  let events = Sedspec.Remedy.tick sup in
+  Alcotest.(check int) "one event" 1 (List.length events);
+  Alcotest.(check bool) "rolled back and resumed" false (Vmm.Machine.halted m);
+  Alcotest.(check int) "rollback counted" 1 (Sedspec.Remedy.rollbacks sup);
+  Alcotest.(check int64) "state restored to checkpoint" 21L (Arena.get arena "track");
+  (* The machine keeps working after the rollback. *)
+  ignore (Workload.Fdc_driver.seek d ~drive:0 ~head:0 ~track:5);
+  ignore (Workload.Fdc_driver.sense_interrupt d);
+  Alcotest.(check (list reject)) "clean again" []
+    (List.map (fun _ -> ()) (Sedspec.Remedy.tick sup))
+
+let test_remedy_halt_policy_keeps_halted () =
+  let w = Workload.Samples.find "fdc" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let m = W.make_machine (QV.v 2 3 0) in
+  let built = Sedspec.Pipeline.build m ~device:"fdc" (W.trainer ~cases:8) in
+  let checker = Sedspec.Pipeline.protect m ~device:"fdc" built in
+  let sup =
+    Sedspec.Remedy.create ~policy_of:(fun _ -> Sedspec.Remedy.Halt_vm) m
+      ~device:"fdc" checker
+  in
+  let d = Workload.Fdc_driver.create m in
+  ignore (Workload.Fdc_driver.reset d);
+  ignore (Workload.Fdc_driver.dumpreg d);
+  ignore (Sedspec.Remedy.tick sup);
+  Alcotest.(check bool) "still halted" true (Vmm.Machine.halted m);
+  Alcotest.(check int) "no rollback" 0 (Sedspec.Remedy.rollbacks sup)
+
+(* --- Shadow consistency property ----------------------------------------- *)
+
+let prop_shadow_tracks_device =
+  QCheck.Test.make ~name:"checker shadow matches device on benign traffic"
+    ~count:4 QCheck.int64
+    (fun seed ->
+      Metrics.Spec_cache.training_cases := training_cases;
+      List.for_all
+        (fun w ->
+          let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+          let m, checker =
+            Metrics.Spec_cache.fresh_protected_machine w W.paper_version
+          in
+          let rng = Sedspec_util.Prng.create seed in
+          W.soak_case ~mode:Workload.Samples.Random ~rng ~rare_prob:0.0 ~ops:4 m;
+          match Sedspec.Checker.shadow_matches_device checker with
+          | [] -> true
+          | (name, s, d) :: _ ->
+            QCheck.Test.fail_reportf "%s: %s shadow=%Ld device=%Ld" W.device_name
+              name s d)
+        Workload.Samples.all)
+
+let () =
+  Alcotest.run "sedspec"
+    [
+      ( "selection",
+        [
+          Alcotest.test_case "fdc matches paper Table I" `Quick
+            test_selection_fdc_matches_paper_table1;
+          Alcotest.test_case "static selection on all devices" `Quick
+            test_selection_static_covers_all_devices;
+          Alcotest.test_case "per-device security parameters" `Quick
+            test_selection_other_devices;
+          Alcotest.test_case "per-device index/buffer params" `Quick
+            test_selection_index_params_per_device;
+        ] );
+      ( "logs",
+        [
+          Alcotest.test_case "collection counts" `Quick test_log_collection_counts;
+          Alcotest.test_case "observation points are joints" `Quick
+            test_observation_points_are_joints;
+        ] );
+      ( "es-cfg",
+        [
+          Alcotest.test_case "structure" `Quick test_escfg_structure;
+          Alcotest.test_case "reduction removes only trivial nodes" `Quick
+            test_escfg_reduction_only_trivial;
+          Alcotest.test_case "dsod lifting rule" `Quick test_dsod_lifting_rule;
+        ] );
+      ( "datadep",
+        [
+          Alcotest.test_case "pcnet sync point" `Quick test_datadep_pcnet_sync_point;
+          Alcotest.test_case "fdc fully substituted" `Quick
+            test_datadep_fdc_fully_substituted;
+          Alcotest.test_case "pcnet guest replay" `Quick test_datadep_pcnet_guest_replay;
+        ] );
+      ( "checker-benign",
+        [
+          Alcotest.test_case "zero FP on training replay (all devices)" `Slow
+            test_checker_zero_fp_on_training_replay;
+          Alcotest.test_case "zero FP soak without rare tail" `Slow
+            test_checker_soak_zero_fp_without_rare;
+          Alcotest.test_case "rare command flagged" `Quick
+            test_checker_rare_command_is_flagged;
+          Alcotest.test_case "protection halts / enhancement warns" `Quick
+            test_checker_protection_halts_enhancement_warns;
+          Alcotest.test_case "sync point deferral" `Quick test_checker_sync_point_deferral;
+          Alcotest.test_case "resync after halt" `Quick test_checker_resync_after_halt;
+          Alcotest.test_case "command access context" `Quick
+            test_checker_command_access_context;
+        ] );
+      ( "persist",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_persist_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_persist_rejects_garbage;
+          Alcotest.test_case "reloaded spec still detects" `Quick
+            test_persisted_spec_still_detects;
+          Alcotest.test_case "dot rendering" `Quick test_viz_dot_output;
+          Alcotest.test_case "roundtrip on all devices" `Slow test_persist_all_devices;
+        ] );
+      ( "remedy",
+        [
+          Alcotest.test_case "severity classification" `Quick
+            test_remedy_severity_classification;
+          Alcotest.test_case "rollback restores state" `Quick
+            test_remedy_rollback_restores_state;
+          Alcotest.test_case "halt policy keeps halted" `Quick
+            test_remedy_halt_policy_keeps_halted;
+        ] );
+      ( "invariants",
+        [ QCheck_alcotest.to_alcotest prop_shadow_tracks_device ] );
+      ( "checker-strategies",
+        [
+          Alcotest.test_case "parameter check scope" `Slow test_strategy_parameter_only;
+          Alcotest.test_case "indirect check scope" `Slow test_strategy_indirect_only;
+          Alcotest.test_case "conditional check scope" `Slow test_strategy_conditional_only;
+          Alcotest.test_case "prevention is pre-execution" `Slow
+            test_prevention_is_pre_execution;
+        ] );
+    ]

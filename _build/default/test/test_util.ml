@@ -1,0 +1,126 @@
+(* Unit and property tests for the utility library. *)
+
+module Prng = Sedspec_util.Prng
+module Table = Sedspec_util.Table
+
+let test_determinism () =
+  let a = Prng.create 1L and b = Prng.create 1L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_distinct_seeds () =
+  let a = Prng.create 1L and b = Prng.create 2L in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Prng.next a <> Prng.next b then differs := true
+  done;
+  Alcotest.(check bool) "different streams" true !differs
+
+let test_copy () =
+  let a = Prng.create 7L in
+  ignore (Prng.next a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy replays" (Prng.next a) (Prng.next b)
+
+let test_split_independent () =
+  let a = Prng.create 3L in
+  let child = Prng.split a in
+  Alcotest.(check bool) "child differs from parent" true
+    (Prng.next child <> Prng.next a)
+
+let test_pick_and_shuffle () =
+  let rng = Prng.create 11L in
+  let arr = [| 1; 2; 3; 4; 5 |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "pick in range" true (Array.mem (Prng.pick rng arr) arr)
+  done;
+  let arr2 = Array.init 10 Fun.id in
+  Prng.shuffle rng arr2;
+  let sorted = Array.copy arr2 in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 10 Fun.id) sorted
+
+let test_bytes_len () =
+  let rng = Prng.create 5L in
+  Alcotest.(check int) "bytes length" 33 (Bytes.length (Prng.bytes rng 33))
+
+let prop_int_bounds =
+  QCheck.Test.make ~name:"prng int stays in bounds" ~count:500
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Prng.create seed in
+      let v = Prng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_int_in =
+  QCheck.Test.make ~name:"prng int_in inclusive bounds" ~count:500
+    QCheck.(triple int64 (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, extra) ->
+      let hi = lo + extra in
+      let rng = Prng.create seed in
+      let v = Prng.int_in rng lo hi in
+      v >= lo && v <= hi)
+
+let prop_float_bounds =
+  QCheck.Test.make ~name:"prng float stays in bounds" ~count:500 QCheck.int64
+    (fun seed ->
+      let rng = Prng.create seed in
+      let v = Prng.float rng 2.5 in
+      v >= 0.0 && v < 2.5)
+
+let prop_chance_extremes =
+  QCheck.Test.make ~name:"chance 0 never, 1 always" ~count:200 QCheck.int64
+    (fun seed ->
+      let rng = Prng.create seed in
+      (not (Prng.chance rng 0.0)) && Prng.chance (Prng.create seed) 1.0)
+
+let test_table_render () =
+  let s =
+    Table.render ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  Alcotest.(check bool) "contains padded cell" true
+    (String.length s > 0
+     &&
+     (* every line same width *)
+     let lines = String.split_on_char '\n' (String.trim s) in
+     match lines with
+     | l :: rest -> List.for_all (fun l' -> String.length l' = String.length l) rest
+     | [] -> false)
+
+let test_table_pads_short_rows () =
+  let s = Table.render ~header:[ "a"; "b"; "c" ] [ [ "1" ] ] in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_fmt_pct () =
+  Alcotest.(check string) "pct" "0.14%" (Table.fmt_pct 0.0014);
+  Alcotest.(check string) "pct 100" "100.00%" (Table.fmt_pct 1.0)
+
+let test_fmt_float () =
+  Alcotest.(check string) "default digits" "1.50" (Table.fmt_float 1.5);
+  Alcotest.(check string) "3 digits" "1.500" (Table.fmt_float ~digits:3 1.5)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "distinct seeds" `Quick test_distinct_seeds;
+          Alcotest.test_case "copy" `Quick test_copy;
+          Alcotest.test_case "split" `Quick test_split_independent;
+          Alcotest.test_case "pick and shuffle" `Quick test_pick_and_shuffle;
+          Alcotest.test_case "bytes" `Quick test_bytes_len;
+          QCheck_alcotest.to_alcotest prop_int_bounds;
+          QCheck_alcotest.to_alcotest prop_int_in;
+          QCheck_alcotest.to_alcotest prop_float_bounds;
+          QCheck_alcotest.to_alcotest prop_chance_extremes;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render aligns" `Quick test_table_render;
+          Alcotest.test_case "pads short rows" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "fmt_pct" `Quick test_fmt_pct;
+          Alcotest.test_case "fmt_float" `Quick test_fmt_float;
+        ] );
+    ]
