@@ -7,15 +7,41 @@
      fig4      Normalized storage latency       (paper Figure 4)
      fig5      PCNet bandwidth and ping latency (paper Figure 5)
      ablation  Design-choice ablations (DESIGN.md §5)
-     micro     Bechamel micro-benchmarks, one per table/figure
+     micro     Walk-engine throughput + Bechamel micro-benchmarks
      all       Everything above (default)
 
-   Flags: --quick (shorter soaks), --seed N. *)
+   Flags: --quick (shorter soaks), --seed N, --json FILE (dump every
+   reported number as a flat JSON object keyed "section.detail"). *)
 
 module Table = Sedspec_util.Table
 
 let quick = ref false
 let seed = ref 42L
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results (--json FILE)                               *)
+
+let json_path : string option ref = ref None
+let json_out : (string * string) list ref = ref []
+let json_add key value = json_out := (key, value) :: !json_out
+let json_int key v = json_add key (string_of_int v)
+let json_bool key v = json_add key (string_of_bool v)
+
+let json_float key v =
+  json_add key (if Float.is_finite v then Printf.sprintf "%.6g" v else "null")
+
+(* Keys are ASCII identifiers, so OCaml's %S escaping is valid JSON. *)
+let json_write path =
+  let oc = open_out path in
+  let entries = List.rev !json_out in
+  let last = List.length entries - 1 in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  %S: %s%s\n" k v (if i < last then "," else ""))
+    entries;
+  output_string oc "}\n";
+  close_out oc
 
 let strategies =
   [
@@ -52,6 +78,12 @@ let table2 () =
       (fun w ->
         let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
         let r = soak_for (module W) in
+        List.iter
+          (fun (c : Metrics.Fpr.checkpoint) ->
+            json_int
+              (Printf.sprintf "table2.%s.fp_at_%dh" W.device_name c.at_hours)
+              c.fp_cases)
+          r.checkpoints;
         let at h =
           match
             List.find_opt (fun (c : Metrics.Fpr.checkpoint) -> c.at_hours = h) r.checkpoints
@@ -89,6 +121,9 @@ let table3 () =
           | Some o -> check_mark o.detected
           | None -> ""
         in
+        json_bool
+          (Printf.sprintf "table3.%s.matches_paper" r.attack.cve)
+          (Metrics.Case_study.matches_expectation r);
         [
           r.attack.device;
           r.attack.cve;
@@ -116,6 +151,10 @@ let table3 () =
             ~fuzz_cases:(if !quick then 30 else 60)
             (module W)
         in
+        json_float (Printf.sprintf "table3.%s.fpr" W.device_name) soak.fpr;
+        json_float
+          (Printf.sprintf "table3.%s.effective_coverage" W.device_name)
+          cov.effective;
         [
           String.uppercase_ascii W.device_name;
           Table.fmt_pct soak.fpr;
@@ -211,8 +250,15 @@ let fig_storage ~latency () =
                        pts
                    with
                    | Some p ->
-                     Table.fmt_float ~digits:3
-                       (if latency then p.norm_latency else p.norm_throughput)
+                     let v = if latency then p.norm_latency else p.norm_throughput in
+                     json_float
+                       (Printf.sprintf "%s.%s.%s.%s"
+                          (if latency then "fig4" else "fig3")
+                          device
+                          (if write then "write" else "read")
+                          (fmt_block b))
+                       v;
+                     Table.fmt_float ~digits:3 v
                    | None -> "-")
                  blocks)
           Metrics.Perf.storage_devices
@@ -248,11 +294,20 @@ let fig5 () =
             (fun acc (p : Metrics.Perf.net_point) -> max acc p.protected_mbps)
             0.0 pts
         in
+        let overhead = 100.0 *. (1.0 -. (protected_mbps /. base_mbps)) in
+        let slug =
+          String.map
+            (fun c -> if c = ' ' then '_' else Char.lowercase_ascii c)
+            (Metrics.Perf.net_kind_to_string kind)
+        in
+        json_float (Printf.sprintf "fig5.%s.base_mbps" slug) base_mbps;
+        json_float (Printf.sprintf "fig5.%s.protected_mbps" slug) protected_mbps;
+        json_float (Printf.sprintf "fig5.%s.overhead_pct" slug) overhead;
         [
           Metrics.Perf.net_kind_to_string kind;
           Table.fmt_float base_mbps;
           Table.fmt_float protected_mbps;
-          Table.fmt_float (100.0 *. (1.0 -. (protected_mbps /. base_mbps))) ^ "%";
+          Table.fmt_float overhead ^ "%";
         ])
       kinds
   in
@@ -265,6 +320,9 @@ let fig5 () =
   let prot = List.fold_left (fun acc (_, p, _) -> min acc p) max_float pings in
   Printf.printf "ping: base %.3f ms, SEDSpec %.3f ms, overhead %.1f%%\n" base
     prot ((prot -. base) /. base *. 100.0);
+  json_float "fig5.ping.base_ms" base;
+  json_float "fig5.ping.protected_ms" prot;
+  json_float "fig5.ping.overhead_pct" ((prot -. base) /. base *. 100.0);
   Printf.printf
     "(paper: TCP up/down 6.9/7.3%%, UDP up/down 5.7/6.6%%, ping +9.2%%)\n"
 
@@ -384,9 +442,111 @@ let baseline () =
     \ at the cost of hand-writing every model, which SEDSpec automates)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Walk-engine throughput: compiled vs interpreted                      *)
+
+(* Record one benign request stream off an unprotected machine; the
+   interposer sees exactly what the checker would. *)
+let capture_stream w ~cases ~ops =
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let m = Metrics.Spec_cache.fresh_machine w W.paper_version in
+  let reqs = ref [] in
+  Vmm.Machine.set_interposer m W.device_name
+    {
+      before = (fun r -> reqs := r :: !reqs; Vmm.Machine.Allow);
+      after = (fun _ _ -> Vmm.Machine.Allow);
+    };
+  let rng = Sedspec_util.Prng.create !seed in
+  for _ = 1 to cases do
+    W.soak_case ~mode:Workload.Samples.Sequential ~rng ~rare_prob:0.0 ~ops m
+  done;
+  Array.of_list (List.rev !reqs)
+
+(* Replay the stream through a live checker's interposer (the full
+   protection path: pre-execution walk, verdict, shadow commit) and
+   measure interactions and ES-CFG nodes walked per second. *)
+let replay_throughput w engine reqs =
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let config = { Sedspec.Checker.default_config with Sedspec.Checker.engine } in
+  let _m, checker =
+    Metrics.Spec_cache.fresh_protected_machine ~config w W.paper_version
+  in
+  let ip = Sedspec.Checker.interposer checker in
+  let done_ = Interp.Event.Done { response = None } in
+  let replay () =
+    Array.iter
+      (fun (r : Vmm.Machine.request) ->
+        ignore (ip.Vmm.Machine.before r);
+        ignore (ip.Vmm.Machine.after r done_))
+      reqs;
+    ignore (Sedspec.Checker.drain_anomalies checker)
+  in
+  (* Warm pass: lazy lowering under the compiled engine, caches under
+     both. *)
+  replay ();
+  let stats = Sedspec.Checker.stats checker in
+  let n0 = stats.Sedspec.Checker.nodes_walked in
+  let budget = if !quick then 0.2 else 0.6 in
+  let t0 = Unix.gettimeofday () in
+  let passes = ref 0 in
+  while Unix.gettimeofday () -. t0 < budget do
+    replay ();
+    incr passes
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let interactions = !passes * Array.length reqs in
+  let nodes = stats.Sedspec.Checker.nodes_walked - n0 in
+  (float_of_int interactions /. dt, float_of_int nodes /. dt)
+
+let fmt_rate r =
+  if r >= 1.0e6 then Printf.sprintf "%.2fM" (r /. 1.0e6)
+  else if r >= 1.0e3 then Printf.sprintf "%.1fk" (r /. 1.0e3)
+  else Printf.sprintf "%.0f" r
+
+let walk_throughput () =
+  section "Micro: ES-Checker walk throughput (compiled vs interpreted)";
+  let rows =
+    List.concat_map
+      (fun device ->
+        let w = Workload.Samples.find device in
+        let reqs =
+          capture_stream w ~cases:(if !quick then 2 else 4) ~ops:20
+        in
+        let i_ips, i_nps =
+          replay_throughput w Sedspec.Checker.Interpreted reqs
+        in
+        let c_ips, c_nps = replay_throughput w Sedspec.Checker.Compiled reqs in
+        let speedup = c_ips /. i_ips in
+        json_float (Printf.sprintf "micro.walk.%s.interpreted_ips" device) i_ips;
+        json_float (Printf.sprintf "micro.walk.%s.compiled_ips" device) c_ips;
+        json_float
+          (Printf.sprintf "micro.walk.%s.interpreted_nodes_per_s" device)
+          i_nps;
+        json_float
+          (Printf.sprintf "micro.walk.%s.compiled_nodes_per_s" device)
+          c_nps;
+        json_float (Printf.sprintf "micro.walk.%s.speedup" device) speedup;
+        [
+          [ device; "interpreted"; fmt_rate i_ips; fmt_rate i_nps; "" ];
+          [
+            device; "compiled"; fmt_rate c_ips; fmt_rate c_nps;
+            Printf.sprintf "%.2fx" speedup;
+          ];
+        ])
+      [ "fdc"; "pcnet"; "scsi" ]
+  in
+  Table.print
+    ~align:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "Device"; "Engine"; "interactions/s"; "nodes/s"; "speedup" ]
+    rows;
+  Printf.printf
+    "(replays one benign request stream through the checker interposer;\n\
+    \ speedup = compiled / interpreted interactions per second)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 
 let micro () =
+  walk_throughput ();
   section "Bechamel micro-benchmarks (one per table/figure)";
   let open Bechamel in
   let fdc_w = Workload.Samples.find "fdc" in
@@ -466,11 +626,20 @@ let () =
       if i > 0 then
         match arg with
         | "--quick" -> quick := true
-        | "--seed" -> ()
+        | "--seed" | "--json" -> ()
         | s when i > 1 && Sys.argv.(i - 1) = "--seed" -> seed := Int64.of_string s
+        | s when i > 1 && Sys.argv.(i - 1) = "--json" -> json_path := Some s
         | s -> cmds := s :: !cmds)
     Sys.argv;
   let cmds = if !cmds = [] then [ "all" ] else List.rev !cmds in
+  (* Fail on an unwritable --json target now, not after the full run. *)
+  (match !json_path with
+  | Some path ->
+    (try close_out (open_out path)
+     with Sys_error msg ->
+       Printf.eprintf "cannot write json output: %s\n" msg;
+       exit 2)
+  | None -> ());
   Metrics.Spec_cache.training_cases := (if !quick then 12 else 24);
   let t0 = Unix.gettimeofday () in
   List.iter
@@ -499,4 +668,9 @@ let () =
           other;
         exit 2)
     cmds;
-  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0);
+  match !json_path with
+  | Some path ->
+    json_write path;
+    Printf.printf "machine-readable results written to %s\n" path
+  | None -> ()

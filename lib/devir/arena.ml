@@ -58,6 +58,27 @@ let set t name v =
   | Layout.Buf _ ->
     invalid_arg (Printf.sprintf "Arena.set: %s is a buffer" name)
 
+let size t = Bytes.length t.mem
+
+let get_byte_at t off = Char.code (Bytes.get t.mem off)
+let set_byte_at t off v = Bytes.set t.mem off (Char.chr (v land 0xFF))
+
+let read_u8 t off = Int64.of_int (Bytes.get_uint8 t.mem off)
+let read_u16 t off = Int64.of_int (Bytes.get_uint16_le t.mem off)
+
+let read_u32 t off =
+  Int64.logand (Int64.of_int32 (Bytes.get_int32_le t.mem off)) 0xFFFFFFFFL
+
+let read_u64 t off = Bytes.get_int64_le t.mem off
+
+let write_u8 t off v = Bytes.set_uint8 t.mem off (Int64.to_int v land 0xFF)
+
+let write_u16 t off v =
+  Bytes.set_uint16_le t.mem off (Int64.to_int v land 0xFFFF)
+
+let write_u32 t off v = Bytes.set_int32_le t.mem off (Int64.to_int32 v)
+let write_u64 t off v = Bytes.set_int64_le t.mem off v
+
 let buf_abs t name idx =
   let off = Layout.offset t.layout name + idx in
   if off < 0 || off >= Bytes.length t.mem then

@@ -64,4 +64,32 @@ val restore_spans : spans:(int * int) list -> t -> bytes -> unit
 val scalar_fields : t -> (string * int64) list
 (** Current values of all non-buffer fields, in layout order. *)
 
+(** {1 Raw offset access}
+
+    Absolute-offset accessors for code that has already resolved field
+    names to layout offsets (the compiled ES-Checker).  They perform no
+    name lookup and no width truncation: scalar writers expect the value
+    already truncated to the field's width, exactly as {!set} would store
+    it.  Offsets must come from {!Layout.offset}; byte accessors only
+    carry the byte-array bounds check, so callers enforcing C overflow
+    semantics must range-check against {!size} themselves. *)
+
+val size : t -> int
+(** Total byte length of the control structure. *)
+
+val get_byte_at : t -> int -> int
+val set_byte_at : t -> int -> int -> unit
+
+val read_u8 : t -> int -> int64
+val read_u16 : t -> int -> int64
+val read_u32 : t -> int -> int64
+val read_u64 : t -> int -> int64
+(** Little-endian scalar reads at an absolute offset, as {!get} performs
+    after resolving the field. *)
+
+val write_u8 : t -> int -> int64 -> unit
+val write_u16 : t -> int -> int64 -> unit
+val write_u32 : t -> int -> int64 -> unit
+val write_u64 : t -> int -> int64 -> unit
+
 val pp : Format.formatter -> t -> unit

@@ -26,12 +26,12 @@ let truthy v = v <> 0L
 (* Unsigned wrap detection.  Operands arrive already truncated to [w], so
    for widths below 64 bits exact results of + and - fit in an int64 and a
    range check suffices; W64 uses the classic carry/borrow tests. *)
-let binop ctx op w a b =
+let binop ~record op w a b =
   let a = Width.truncate w a and b = Width.truncate w b in
   let wrapped exact =
     let r = Width.truncate w exact in
     if not (Width.fits_unsigned w exact) then
-      ctx.record_overflow { ov_op = op; ov_width = w; ov_lhs = a; ov_rhs = b; ov_result = r };
+      record { ov_op = op; ov_width = w; ov_lhs = a; ov_rhs = b; ov_result = r };
     r
   in
   match op with
@@ -39,14 +39,14 @@ let binop ctx op w a b =
     if w = Width.W64 then begin
       let r = Int64.add a b in
       if Int64.unsigned_compare r a < 0 then
-        ctx.record_overflow { ov_op = op; ov_width = w; ov_lhs = a; ov_rhs = b; ov_result = r };
+        record { ov_op = op; ov_width = w; ov_lhs = a; ov_rhs = b; ov_result = r };
       r
     end
     else wrapped (Int64.add a b)
   | Expr.Sub ->
     let r = Width.truncate w (Int64.sub a b) in
     if Int64.unsigned_compare b a > 0 then
-      ctx.record_overflow { ov_op = op; ov_width = w; ov_lhs = a; ov_rhs = b; ov_result = r };
+      record { ov_op = op; ov_width = w; ov_lhs = a; ov_rhs = b; ov_result = r };
     r
   | Expr.Mul ->
     (* Operands of width <= 32 give an exact product within unsigned 64
@@ -66,7 +66,7 @@ let binop ctx op w a b =
     let r = Width.truncate w exact in
     (* Bits shifted out of the width are an overflow (UBSan-style). *)
     if w <> Width.W64 && not (Width.fits_unsigned w exact) then
-      ctx.record_overflow { ov_op = op; ov_width = w; ov_lhs = a; ov_rhs = b; ov_result = r };
+      record { ov_op = op; ov_width = w; ov_lhs = a; ov_rhs = b; ov_result = r };
     r
   | Expr.Shr ->
     let shift = Int64.to_int (Int64.logand b 63L) in
@@ -98,7 +98,8 @@ let rec eval ctx (e : Expr.t) =
   | Expr.Buf_len b -> Int64.of_int (ctx.buf_len b)
   | Expr.Param n -> ctx.get_param n
   | Expr.Local n -> ctx.get_local n
-  | Expr.Binop (op, w, a, b) -> binop ctx op w (eval ctx a) (eval ctx b)
+  | Expr.Binop (op, w, a, b) ->
+    binop ~record:ctx.record_overflow op w (eval ctx a) (eval ctx b)
   | Expr.Cmp (op, a, b) -> cmp op (eval ctx a) (eval ctx b)
   | Expr.Not a -> if truthy (eval ctx a) then 0L else 1L
 

@@ -39,4 +39,18 @@ val eval : ctx -> Devir.Expr.t -> int64
 val truthy : int64 -> bool
 (** Branch semantics: nonzero is taken. *)
 
+val binop :
+  record:(overflow -> unit) ->
+  Devir.Expr.binop ->
+  Devir.Width.t ->
+  int64 ->
+  int64 ->
+  int64
+(** The arithmetic primitive behind {!eval}, exposed so compiled
+    expression closures share the exact wrap-detection semantics.  May
+    raise {!Div_by_zero}. *)
+
+val cmp : Devir.Expr.cmpop -> int64 -> int64 -> int64
+(** Comparison primitive; returns 0/1. *)
+
 val pp_overflow : Format.formatter -> overflow -> unit

@@ -11,10 +11,13 @@ type anomaly = {
   pre_execution : bool;
 }
 
+type engine = Interpreted | Compiled
+
 type config = {
   strategies : strategy list;
   mode : mode;
   walk_limit : int;
+  engine : engine;
 }
 
 let default_config =
@@ -22,6 +25,7 @@ let default_config =
     strategies = [ Parameter_check; Indirect_jump_check; Conditional_jump_check ];
     mode = Protection;
     walk_limit = 20_000;
+    engine = Compiled;
   }
 
 type stats = {
@@ -37,6 +41,10 @@ type stats = {
 type ctx = Ctx_none | Ctx_cmd of Es_cfg.cmd_key | Ctx_unknown
 
 type pending = { p_handler : string; p_params : (string * int64) list }
+
+(* Pre-classified reduced (non-node) blocks, so the reference walk does not
+   re-run [lift_dsod] on every pass-through of every walk. *)
+type pass = P_goto of Program.bref | P_halt | P_off
 
 type t = {
   spec : Es_cfg.t;
@@ -54,6 +62,9 @@ type t = {
   mutable staged : ctx option;  (** [Some ctx] means [staged_buf] is valid. *)
   mutable dirty : bool;
   walk_locals : (string, int64 * bool) Hashtbl.t;
+  pass_map : (Program.bref, pass) Hashtbl.t;
+  mutable compiled : Compile.t option;
+      (** Compiled spec, built lazily on the first walk. *)
   tracked_buffers : (string, unit) Hashtbl.t;
   spans : (int * int) list;
       (** Byte extents of the tracked shadow state (scalars + relevant
@@ -113,6 +124,18 @@ let create ?(config = default_config) ~spec ~device_arena ~guest () =
     in
     merge raw
   in
+  let pass_map = Hashtbl.create 64 in
+  Program.iter_blocks (Es_cfg.program spec) (fun bref block ->
+      if Option.is_none (Es_cfg.node spec bref) then begin
+        let p =
+          match (Es_cfg.lift_dsod block.Block.stmts, block.Block.term) with
+          | [], Term.Goto l ->
+            P_goto { Program.handler = bref.handler; label = l }
+          | [], Term.Halt -> P_halt
+          | _ -> P_off
+        in
+        Hashtbl.add pass_map bref p
+      end);
   {
     spec;
     config;
@@ -130,6 +153,8 @@ let create ?(config = default_config) ~spec ~device_arena ~guest () =
     staged = None;
     dirty = false;
     walk_locals = Hashtbl.create 32;
+    pass_map;
+    compiled = None;
     tracked_buffers;
     spans;
     inline_halt = None;
@@ -229,7 +254,10 @@ type walk_result =
   | W_bail of string
   | W_defer
 
-let walk t ~sync ~handler ~params =
+(* The reference (interpreted) walk: tree-walking evaluation straight off
+   the ES-CFG.  Kept as the semantic baseline the compiled walk is
+   differentially tested against. *)
+let walk_interpreted t ~sync ~handler ~params =
   let program = Es_cfg.program t.spec in
   let layout = Program.layout program in
   let selection = Es_cfg.selection t.spec in
@@ -382,14 +410,13 @@ let walk t ~sync ~handler ~params =
       (* Blocks with no device-state operations and an unconditional
          transfer are exactly what control-flow reduction removes: pass
          through.  Anything else off-graph is an untrained path. *)
-      let block = Program.find_block program bref in
-      match (Es_cfg.lift_dsod block.Block.stmts, block.Block.term) with
-      | [], Term.Goto l -> walk_block (sibling l) stack
-      | [], Term.Halt -> (
+      match Hashtbl.find_opt t.pass_map bref with
+      | Some (P_goto next) -> walk_block next stack
+      | Some P_halt -> (
         match stack with
         | cont :: rest -> walk_block cont rest
         | [] -> ())
-      | _ -> off_graph bref "block never observed in training")
+      | Some P_off | None -> off_graph bref "block never observed in training")
     | Some n -> (
       t.stats.nodes_walked <- t.stats.nodes_walked + 1;
       check_access bref;
@@ -461,6 +488,222 @@ let walk t ~sync ~handler ~params =
   | exception Interp.Eval.Div_by_zero -> W_bail "division by zero in simulation"
   | exception Interp.Eval.Undefined_local l -> W_bail ("undefined local " ^ l)
   | exception Interp.Eval.Undefined_param p -> W_bail ("undefined parameter " ^ p)
+
+(* --- Compiled walk --------------------------------------------------- *)
+
+let force_compiled t =
+  match t.compiled with
+  | Some c -> c
+  | None ->
+    let c = Compile.lower t.spec in
+    c.Compile.env.Compile.work <- t.work;
+    c.Compile.env.Compile.guest_read <- t.guest.Interp.read_byte;
+    c.Compile.env.Compile.sync_pop <-
+      (fun bref local ->
+        match Hashtbl.find_opt t.sync_values (bref, local) with
+        | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
+        | _ -> None);
+    t.compiled <- Some c;
+    c
+
+let anomaly_of_fault (f : Compile.fault) =
+  match f with
+  | Compile.Overflow { at; field; ov } ->
+    {
+      strategy = Parameter_check;
+      at = Some at;
+      detail =
+        Format.asprintf "integer overflow computing %s: %a" field
+          Interp.Eval.pp_overflow ov;
+      pre_execution = true;
+    }
+  | Compile.Buf_bounds { at; buf; off; len; size } ->
+    {
+      strategy = Parameter_check;
+      at = Some at;
+      detail =
+        Printf.sprintf "buffer overflow: %s[%d..%d) exceeds size %d" buf off
+          (off + len) size;
+      pre_execution = true;
+    }
+
+(* Command context over dense command ids: -1 = none, -2 = unknown. *)
+let cctx_none = -1
+let cctx_unknown = -2
+
+let walk_compiled t ~sync ~handler ~params =
+  let c = force_compiled t in
+  let env = c.Compile.env in
+  Arena.copy_spans ~spans:t.spans ~src:t.shadow ~dst:t.work;
+  (* Function-pointer refresh from the live control structure, as byte
+     spans instead of name lookups (see the interpreted walk for why). *)
+  Arena.copy_spans ~spans:c.Compile.fn_ptr_spans ~src:t.device_arena
+    ~dst:t.work;
+  Array.fill env.Compile.ldef 0 (Array.length env.Compile.ldef) false;
+  Array.fill env.Compile.llink 0 (Array.length env.Compile.llink) false;
+  Array.fill env.Compile.pdef 0 (Array.length env.Compile.pdef) false;
+  env.Compile.sync <- sync;
+  env.Compile.en_param <- t.en_param;
+  env.Compile.overflow <- None;
+  List.iter
+    (fun (name, v) ->
+      match Hashtbl.find_opt c.Compile.param_slots name with
+      | Some s ->
+        (* First binding wins, as in [List.assoc]. *)
+        if not env.Compile.pdef.(s) then begin
+          env.Compile.params.(s) <- v;
+          env.Compile.pdef.(s) <- true
+        end
+      | None -> ())
+    params;
+  let ctx =
+    ref
+      (match t.ctx with
+      | Ctx_none -> cctx_none
+      | Ctx_unknown -> cctx_unknown
+      | Ctx_cmd key -> (
+        match Hashtbl.find_opt c.Compile.cmd_ids key with
+        | Some i -> i
+        | None -> cctx_unknown))
+  in
+  let steps = ref 0 in
+  let walked = ref 0 in
+  let limit = t.config.walk_limit in
+  let bump (bref : Program.bref) =
+    incr steps;
+    if !steps > limit then
+      if t.en_cond then
+        anomaly Conditional_jump_check (Some bref)
+          "walk limit exceeded (irregular device operation / possible infinite loop)"
+      else raise (Compile.Bail "walk limit exceeded")
+  in
+  let nodes = c.Compile.nodes in
+  let rec goto (d : Compile.dest) stack =
+    let chain = d.Compile.chain in
+    for i = 0 to Array.length chain - 1 do
+      bump chain.(i)
+    done;
+    match d.Compile.target with
+    | Compile.T_node id -> enter nodes.(id) stack
+    | Compile.T_pop -> pop stack
+    | Compile.T_off bref ->
+      if t.en_cond then
+        anomaly Conditional_jump_check (Some bref)
+          "block never observed in training"
+      else raise (Compile.Bail "block never observed in training")
+    | Compile.T_spin cycle ->
+      (* Burns steps until the walk limit trips. *)
+      let len = Array.length cycle in
+      let i = ref 0 in
+      while true do
+        bump cycle.(!i);
+        i := if !i + 1 = len then 0 else !i + 1
+      done
+  and pop stack = match stack with d :: rest -> goto d rest | [] -> ()
+  and enter (n : Compile.cnode) stack =
+    bump n.Compile.bref;
+    incr walked;
+    (let ok =
+       match !ctx with
+       | -2 -> true
+       | -1 -> Compile.bit c.Compile.no_cmd_bits n.Compile.id
+       | id ->
+         Compile.bit c.Compile.cmd_bits.(id) n.Compile.id
+         || Compile.bit c.Compile.no_cmd_bits n.Compile.id
+     in
+     if not ok then
+       if t.en_cond then
+         anomaly Conditional_jump_check (Some n.Compile.bref)
+           "block not accessible under the current device command");
+    let stmts = n.Compile.stmts in
+    for i = 0 to Array.length stmts - 1 do
+      stmts.(i) env
+    done;
+    let clear_if_cmd_end () = if n.Compile.is_cmd_end then ctx := cctx_none in
+    match n.Compile.term with
+    | Compile.C_goto d ->
+      clear_if_cmd_end ();
+      goto d stack
+    | Compile.C_halt ->
+      clear_if_cmd_end ();
+      pop stack
+    | Compile.C_branch { cond; taken0; not_taken0; if_taken; if_not } ->
+      env.Compile.overflow <- None;
+      let taken = Interp.Eval.truthy (cond env) in
+      if t.en_cond then
+        if (taken && taken0) || ((not taken) && not_taken0) then
+          anomaly Conditional_jump_check (Some n.Compile.bref)
+            (Printf.sprintf "untraversed branch direction (%s)"
+               (if taken then "taken" else "not taken"));
+      clear_if_cmd_end ();
+      goto (if taken then if_taken else if_not) stack
+    | Compile.C_switch sw ->
+      env.Compile.overflow <- None;
+      let v = sw.Compile.scrutinee env in
+      let dest, dlabel = Compile.find_case sw v in
+      (match sw.Compile.cmd_of with
+      | Some tbl -> (
+        match Hashtbl.find_opt tbl v with
+        | Some id -> ctx := id
+        | None ->
+          if t.en_cond then
+            anomaly Conditional_jump_check (Some n.Compile.bref)
+              (Printf.sprintf "unknown device command %Ld" v)
+          else ctx := cctx_unknown)
+      | None -> ());
+      if t.en_cond && not (Compile.case_observed sw v dlabel) then
+        anomaly Conditional_jump_check (Some n.Compile.bref)
+          (Printf.sprintf "untraversed switch case %Ld" v);
+      clear_if_cmd_end ();
+      goto dest stack
+    | Compile.C_icall ic -> (
+      env.Compile.overflow <- None;
+      let v = ic.Compile.fnptr env in
+      if t.en_indirect && not (ic.Compile.legit v) then
+        anomaly Indirect_jump_check (Some n.Compile.bref)
+          (Printf.sprintf "indirect call to illegitimate target 0x%Lx" v);
+      clear_if_cmd_end ();
+      match Hashtbl.find_opt ic.Compile.actions v with
+      | Some (Compile.A_chain entry) -> goto entry (ic.Compile.next :: stack)
+      | Some Compile.A_plain -> goto ic.Compile.next stack
+      | Some Compile.A_empty -> raise (Compile.Bail "empty chained handler")
+      | None -> raise (Compile.Bail "indirect call to unknown callback"))
+  in
+  let entry =
+    match Hashtbl.find_opt c.Compile.entries handler with
+    | Some d -> d
+    | None ->
+      (* Unknown or empty handler: surface the exact exception the
+         reference's [Es_cfg.entry_of] would raise. *)
+      ignore (Es_cfg.entry_of t.spec handler : Program.bref);
+      raise Not_found
+  in
+  let res =
+    match goto entry [] with
+    | () ->
+      W_ok
+        (if !ctx = cctx_none then Ctx_none
+         else if !ctx = cctx_unknown then Ctx_unknown
+         else Ctx_cmd c.Compile.cmd_keys.(!ctx))
+    | exception Anomaly_found a -> W_anomaly a
+    | exception Compile.Fault f -> W_anomaly (anomaly_of_fault f)
+    | exception Compile.Bail reason -> W_bail reason
+    | exception Compile.Defer -> W_defer
+    | exception Arena.Out_of_arena _ ->
+      W_bail "simulation escaped the control structure"
+    | exception Interp.Eval.Div_by_zero ->
+      W_bail "division by zero in simulation"
+    | exception Interp.Eval.Undefined_local l -> W_bail ("undefined local " ^ l)
+    | exception Interp.Eval.Undefined_param p ->
+      W_bail ("undefined parameter " ^ p)
+  in
+  t.stats.nodes_walked <- t.stats.nodes_walked + !walked;
+  res
+
+let walk t ~sync ~handler ~params =
+  match t.config.engine with
+  | Compiled -> walk_compiled t ~sync ~handler ~params
+  | Interpreted -> walk_interpreted t ~sync ~handler ~params
 
 let record_anomaly t a = t.anomalies_rev <- a :: t.anomalies_rev
 
@@ -570,6 +813,14 @@ let icall_guard t (bref : Program.bref) target =
 
 let interposer t : Vmm.Machine.interposer =
   { before = before t; after = after t }
+
+(* A single pre-execution walk with no verdict bookkeeping and no shadow
+   commit: the walk-throughput micro-benchmark's unit of work. *)
+let bench_walk t ~handler ~params =
+  match walk t ~sync:false ~handler ~params with
+  | W_ok _ | W_anomaly _ | W_bail _ | W_defer -> ()
+
+let shadow_snapshot t = Arena.snapshot t.shadow
 
 let attach ?config machine ~spec device =
   let interp = Vmm.Machine.interp_of machine device in

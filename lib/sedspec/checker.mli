@@ -40,14 +40,23 @@ type anomaly = {
       (** [true] when raised before the device ran (prevention). *)
 }
 
+(** Walk engine.  [Compiled] (the default) lowers the frozen spec once
+    through {!Compile.lower} into an array-indexed, closure-compiled form;
+    [Interpreted] is the reference tree-walking implementation.  The two
+    are verdict-for-verdict identical (enforced by the differential test);
+    only throughput differs. *)
+type engine = Interpreted | Compiled
+
 type config = {
   strategies : strategy list;
   mode : mode;
   walk_limit : int;  (** ES-CFG nodes visited per interaction. *)
+  engine : engine;
 }
 
 val default_config : config
-(** All three strategies, protection mode, walk limit 20000. *)
+(** All three strategies, protection mode, walk limit 20000, compiled
+    engine. *)
 
 type stats = {
   mutable interactions : int;
@@ -96,6 +105,14 @@ val shadow_matches_device : t -> (string * int64 * int64) list
     empty after any benign interaction sequence.  Dependency-only fields
     may legitimately diverge: they can be computed from buffer content the
     volume rule deliberately leaves untracked. *)
+
+val bench_walk : t -> handler:string -> params:(string * int64) list -> unit
+(** Run one pre-execution walk (under the configured engine) and discard
+    the result: no anomaly recording, no shadow commit, no interaction
+    bookkeeping beyond [stats.nodes_walked].  For micro-benchmarks. *)
+
+val shadow_snapshot : t -> bytes
+(** Raw bytes of the shadow control structure (for differential tests). *)
 
 val strategy_to_string : strategy -> string
 val pp_anomaly : Format.formatter -> anomaly -> unit

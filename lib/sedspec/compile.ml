@@ -1,0 +1,687 @@
+open Devir
+
+type env = {
+  mutable work : Arena.t;
+  mutable locals : int64 array;
+  mutable ldef : bool array;
+  mutable llink : bool array;
+  mutable params : int64 array;
+  mutable pdef : bool array;
+  mutable overflow : Interp.Eval.overflow option;
+  mutable record_overflow : Interp.Eval.overflow -> unit;
+  mutable guest_read : int64 -> int;
+  mutable sync : bool;
+  mutable en_param : bool;
+  mutable sync_pop : Program.bref -> string -> int64 option;
+}
+
+type fault =
+  | Overflow of {
+      at : Program.bref;
+      field : string;
+      ov : Interp.Eval.overflow;
+    }
+  | Buf_bounds of {
+      at : Program.bref;
+      buf : string;
+      off : int;
+      len : int;
+      size : int;
+    }
+
+exception Fault of fault
+exception Defer
+exception Bail of string
+
+type target =
+  | T_node of int
+  | T_pop
+  | T_off of Program.bref
+  | T_spin of Program.bref array
+
+type dest = { chain : Program.bref array; target : target }
+
+type switch = {
+  scrutinee : env -> int64;
+  case_vals : int64 array;
+  case_dests : dest array;
+  case_labels : string array;
+  default : dest;
+  default_label : string;
+  observed : (int64, string list) Hashtbl.t;
+  cmd_of : (int64, int) Hashtbl.t option;
+}
+
+type icall_action = A_chain of dest | A_plain | A_empty
+
+type icall = {
+  fnptr : env -> int64;
+  legit : int64 -> bool;
+  actions : (int64, icall_action) Hashtbl.t;
+  next : dest;
+}
+
+type cterm =
+  | C_goto of dest
+  | C_halt
+  | C_branch of {
+      cond : env -> int64;
+      taken0 : bool;
+      not_taken0 : bool;
+      if_taken : dest;
+      if_not : dest;
+    }
+  | C_switch of switch
+  | C_icall of icall
+
+type cnode = {
+  id : int;
+  bref : Program.bref;
+  is_cmd_end : bool;
+  stmts : (env -> unit) array;
+  term : cterm;
+}
+
+type t = {
+  nodes : cnode array;
+  env : env;
+  entries : (string, dest) Hashtbl.t;
+  param_slots : (string, int) Hashtbl.t;
+  no_cmd_bits : Bytes.t;
+  cmd_bits : Bytes.t array;
+  cmd_keys : Es_cfg.cmd_key array;
+  cmd_ids : (Es_cfg.cmd_key, int) Hashtbl.t;
+  fn_ptr_spans : (int * int) list;
+}
+
+let bit b i = Char.code (Bytes.get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set_bit b i =
+  Bytes.set b (i lsr 3)
+    (Char.chr (Char.code (Bytes.get b (i lsr 3)) lor (1 lsl (i land 7))))
+
+let find_case sw v =
+  let vals = sw.case_vals in
+  let lo = ref 0 and hi = ref (Array.length vals - 1) in
+  let found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = Int64.compare vals.(mid) v in
+    if c = 0 then begin
+      found := mid;
+      lo := !hi + 1
+    end
+    else if c < 0 then lo := mid + 1
+    else hi := mid - 1
+  done;
+  if !found >= 0 then (sw.case_dests.(!found), sw.case_labels.(!found))
+  else (sw.default, sw.default_label)
+
+let case_observed sw v label =
+  match Hashtbl.find_opt sw.observed v with
+  | Some labels -> List.mem label labels
+  | None -> false
+
+(* Name -> dense slot allocation, shared across the whole spec: locals
+   persist across chained handlers within one walk and are keyed purely by
+   name, exactly like the reference's single hashtable. *)
+type slots = { tbl : (string, int) Hashtbl.t; mutable next : int }
+
+let fresh_slots () = { tbl = Hashtbl.create 16; next = 0 }
+
+let slot_of s name =
+  match Hashtbl.find_opt s.tbl name with
+  | Some i -> i
+  | None ->
+    let i = s.next in
+    s.next <- i + 1;
+    Hashtbl.add s.tbl name i;
+    i
+
+type cctx = {
+  spec : Es_cfg.t;
+  program : Program.t;
+  layout : Layout.t;
+  asize : int;
+  locals : slots;
+  cparams : slots;
+  tracked : (string, unit) Hashtbl.t;
+  ids : (Program.bref, int) Hashtbl.t;
+}
+
+(* --- Expressions ----------------------------------------------------- *)
+
+(* Subexpression evaluation order must match the reference interpreter:
+   OCaml evaluates [binop ~record op w (eval a) (eval b)] right-to-left,
+   so [b] runs first — overflow recording and exception ordering depend
+   on it. *)
+let rec compile_expr c (e : Expr.t) : env -> int64 =
+  match e with
+  | Expr.Const (v, w) ->
+    let k = Width.truncate w v in
+    fun _ -> k
+  | Expr.Field n -> (
+    let off = Layout.offset c.layout n in
+    match (Layout.find c.layout n).Layout.kind with
+    | Layout.Reg Width.W8 -> fun env -> Arena.read_u8 env.work off
+    | Layout.Reg Width.W16 -> fun env -> Arena.read_u16 env.work off
+    | Layout.Reg Width.W32 -> fun env -> Arena.read_u32 env.work off
+    | Layout.Reg Width.W64 | Layout.Fn_ptr ->
+      fun env -> Arena.read_u64 env.work off
+    | Layout.Buf _ ->
+      invalid_arg (Printf.sprintf "Arena.get: %s is a buffer" n))
+  | Expr.Buf_byte (b, idx) ->
+    let base = Layout.offset c.layout b in
+    let fidx = compile_expr c idx in
+    let asize = c.asize in
+    fun env ->
+      let i = Int64.to_int (fidx env) in
+      let abs = base + i in
+      if abs < 0 || abs >= asize then
+        raise (Arena.Out_of_arena { field = b; index = i });
+      Int64.of_int (Arena.get_byte_at env.work abs)
+  | Expr.Buf_len b ->
+    let k = Int64.of_int (Layout.buf_size c.layout b) in
+    fun _ -> k
+  | Expr.Param n ->
+    let s = slot_of c.cparams n in
+    fun env ->
+      if env.pdef.(s) then env.params.(s)
+      else raise (Interp.Eval.Undefined_param n)
+  | Expr.Local n ->
+    let s = slot_of c.locals n in
+    fun env ->
+      if env.ldef.(s) then env.locals.(s)
+      else raise (Interp.Eval.Undefined_local n)
+  | Expr.Binop (op, w, a, b) ->
+    let fa = compile_expr c a and fb = compile_expr c b in
+    fun env ->
+      let vb = fb env in
+      let va = fa env in
+      Interp.Eval.binop ~record:env.record_overflow op w va vb
+  | Expr.Cmp (op, a, b) ->
+    let fa = compile_expr c a and fb = compile_expr c b in
+    fun env ->
+      let vb = fb env in
+      let va = fa env in
+      Interp.Eval.cmp op va vb
+  | Expr.Not a ->
+    let fa = compile_expr c a in
+    fun env -> if Interp.Eval.truthy (fa env) then 0L else 1L
+
+(* Linkage (taint toward device/request state), constant-folded: only
+   [Local] leaves are dynamic, everything else is statically linked or
+   statically not. *)
+type lnk = Lconst of bool | Ldyn of (env -> bool)
+
+let lnk_or a b =
+  match (a, b) with
+  | Lconst true, _ | _, Lconst true -> Lconst true
+  | Lconst false, x | x, Lconst false -> x
+  | Ldyn fa, Ldyn fb -> Ldyn (fun env -> fa env || fb env)
+
+let rec compile_linked c (e : Expr.t) : lnk =
+  match e with
+  | Expr.Const _ -> Lconst false
+  | Expr.Field _ | Expr.Buf_len _ | Expr.Buf_byte _ -> Lconst true
+  | Expr.Param _ -> Lconst true
+  | Expr.Local n ->
+    let s = slot_of c.locals n in
+    Ldyn (fun env -> env.llink.(s))
+  | Expr.Binop (_, _, a, b) | Expr.Cmp (_, a, b) ->
+    lnk_or (compile_linked c a) (compile_linked c b)
+  | Expr.Not a -> compile_linked c a
+
+(* --- Statements ------------------------------------------------------ *)
+
+(* Bounds guard over a buffer operation whose extent is linked: a no-op
+   closure when linkage is statically false. *)
+let compile_buf_check ~at ~buf ~bsize l : env -> int -> int -> unit =
+  match l with
+  | Lconst false -> fun _ _ _ -> ()
+  | Lconst true ->
+    fun env off len ->
+      if env.en_param && (off < 0 || off + len > bsize) then
+        raise (Fault (Buf_bounds { at; buf; off; len; size = bsize }))
+  | Ldyn fl ->
+    fun env off len ->
+      if env.en_param && fl env && (off < 0 || off + len > bsize) then
+        raise (Fault (Buf_bounds { at; buf; off; len; size = bsize }))
+
+let compile_stmt c ~(at : Program.bref) (stmt : Stmt.t) : env -> unit =
+  let asize = c.asize in
+  match stmt with
+  | Stmt.Set_field (f, e) -> (
+    let fe = compile_expr c e in
+    let off = Layout.offset c.layout f in
+    let check_overflow env =
+      match env.overflow with
+      | Some ov when env.en_param -> raise (Fault (Overflow { at; field = f; ov }))
+      | _ -> ()
+    in
+    match (Layout.find c.layout f).Layout.kind with
+    | Layout.Reg Width.W8 ->
+      fun env ->
+        env.overflow <- None;
+        let v = fe env in
+        check_overflow env;
+        Arena.write_u8 env.work off v
+    | Layout.Reg Width.W16 ->
+      fun env ->
+        env.overflow <- None;
+        let v = fe env in
+        check_overflow env;
+        Arena.write_u16 env.work off v
+    | Layout.Reg Width.W32 ->
+      fun env ->
+        env.overflow <- None;
+        let v = fe env in
+        check_overflow env;
+        Arena.write_u32 env.work off v
+    | Layout.Reg Width.W64 | Layout.Fn_ptr ->
+      fun env ->
+        env.overflow <- None;
+        let v = fe env in
+        check_overflow env;
+        Arena.write_u64 env.work off v
+    | Layout.Buf _ ->
+      invalid_arg (Printf.sprintf "Arena.set: %s is a buffer" f))
+  | Stmt.Set_local (n, e) -> (
+    let fe = compile_expr c e in
+    let s = slot_of c.locals n in
+    match compile_linked c e with
+    | Lconst l ->
+      fun env ->
+        env.overflow <- None;
+        let v = fe env in
+        env.locals.(s) <- v;
+        env.ldef.(s) <- true;
+        env.llink.(s) <- l
+    | Ldyn fl ->
+      fun env ->
+        env.overflow <- None;
+        let v = fe env in
+        let l = fl env in
+        env.locals.(s) <- v;
+        env.ldef.(s) <- true;
+        env.llink.(s) <- l)
+  | Stmt.Set_buf (b, idx, v) ->
+    let base = Layout.offset c.layout b in
+    let bsize = Layout.buf_size c.layout b in
+    let fidx = compile_expr c idx in
+    let check = compile_buf_check ~at ~buf:b ~bsize (compile_linked c idx) in
+    let fv = compile_expr c v in
+    if Hashtbl.mem c.tracked b then
+      fun env ->
+        env.overflow <- None;
+        let iv = Int64.to_int (fidx env) in
+        check env iv 1;
+        env.overflow <- None;
+        let vv = Int64.to_int (fv env) land 0xFF in
+        let abs = base + iv in
+        if abs < 0 || abs >= asize then
+          raise (Arena.Out_of_arena { field = b; index = iv });
+        Arena.set_byte_at env.work abs vv
+    else
+      fun env ->
+        env.overflow <- None;
+        let iv = Int64.to_int (fidx env) in
+        check env iv 1
+  | Stmt.Buf_fill (b, off, len, v) ->
+    let base = Layout.offset c.layout b in
+    let bsize = Layout.buf_size c.layout b in
+    let foff = compile_expr c off and flen = compile_expr c len in
+    let check =
+      compile_buf_check ~at ~buf:b ~bsize
+        (lnk_or (compile_linked c off) (compile_linked c len))
+    in
+    let fv = compile_expr c v in
+    if Hashtbl.mem c.tracked b then
+      fun env ->
+        env.overflow <- None;
+        let offv = Int64.to_int (foff env) in
+        env.overflow <- None;
+        let lenv = Int64.to_int (flen env) in
+        check env offv lenv;
+        env.overflow <- None;
+        let vv = Int64.to_int (fv env) land 0xFF in
+        for i = offv to offv + lenv - 1 do
+          let abs = base + i in
+          if abs < 0 || abs >= asize then
+            raise (Arena.Out_of_arena { field = b; index = i });
+          Arena.set_byte_at env.work abs vv
+        done
+    else
+      fun env ->
+        env.overflow <- None;
+        let offv = Int64.to_int (foff env) in
+        env.overflow <- None;
+        let lenv = Int64.to_int (flen env) in
+        check env offv lenv
+  | Stmt.Copy_from_guest { buf; buf_off; addr; len } ->
+    let base = Layout.offset c.layout buf in
+    let bsize = Layout.buf_size c.layout buf in
+    let foff = compile_expr c buf_off and flen = compile_expr c len in
+    let check =
+      compile_buf_check ~at ~buf ~bsize
+        (lnk_or (compile_linked c buf_off) (compile_linked c len))
+    in
+    let faddr = compile_expr c addr in
+    if Hashtbl.mem c.tracked buf then
+      fun env ->
+        env.overflow <- None;
+        let offv = Int64.to_int (foff env) in
+        env.overflow <- None;
+        let lenv = Int64.to_int (flen env) in
+        check env offv lenv;
+        env.overflow <- None;
+        let addrv = faddr env in
+        for i = 0 to lenv - 1 do
+          let byte = env.guest_read (Int64.add addrv (Int64.of_int i)) in
+          let idx = offv + i in
+          let abs = base + idx in
+          if abs < 0 || abs >= asize then
+            raise (Arena.Out_of_arena { field = buf; index = idx });
+          Arena.set_byte_at env.work abs byte
+        done
+    else
+      fun env ->
+        env.overflow <- None;
+        let offv = Int64.to_int (foff env) in
+        env.overflow <- None;
+        let lenv = Int64.to_int (flen env) in
+        check env offv lenv
+  | Stmt.Copy_to_guest { buf; buf_off; len; _ } ->
+    (* Guest memory is never written during simulation; only the device
+       buffer bounds are validated. *)
+    let bsize = Layout.buf_size c.layout buf in
+    let foff = compile_expr c buf_off and flen = compile_expr c len in
+    let check =
+      compile_buf_check ~at ~buf ~bsize
+        (lnk_or (compile_linked c buf_off) (compile_linked c len))
+    in
+    fun env ->
+      env.overflow <- None;
+      let offv = Int64.to_int (foff env) in
+      env.overflow <- None;
+      let lenv = Int64.to_int (flen env) in
+      check env offv lenv
+  | Stmt.Read_guest { local; addr; width } ->
+    let faddr = compile_expr c addr in
+    let s = slot_of c.locals local in
+    let n = Width.bytes width in
+    fun env ->
+      env.overflow <- None;
+      let addrv = faddr env in
+      let rec go i acc =
+        if i < 0 then acc
+        else
+          go (i - 1)
+            (Int64.logor (Int64.shift_left acc 8)
+               (Int64.of_int (env.guest_read (Int64.add addrv (Int64.of_int i)))))
+      in
+      let v = go (n - 1) 0L in
+      env.locals.(s) <- v;
+      env.ldef.(s) <- true;
+      env.llink.(s) <- false
+  | Stmt.Host_value { local; key = _ } ->
+    let s = slot_of c.locals local in
+    fun env ->
+      if not env.sync then raise Defer
+      else begin
+        match env.sync_pop at local with
+        | Some v ->
+          env.locals.(s) <- v;
+          env.ldef.(s) <- true;
+          env.llink.(s) <- false
+        | None -> raise (Bail "missing sync value")
+      end
+  | Stmt.Respond _ | Stmt.Write_guest _ | Stmt.Note _ -> fun _ -> ()
+
+(* --- Edge resolution ------------------------------------------------- *)
+
+(* Chase the pass-through blocks (no DSOD, unconditional transfer — what
+   control-flow reduction removed) from [start] to the next real node.
+   Every traversed block is kept in the chain: the walk charges a step
+   for each, so walk-limit anomalies land on the same bref as in the
+   reference. *)
+let resolve c (start : Program.bref) : dest =
+  let rec go (bref : Program.bref) path =
+    match Hashtbl.find_opt c.ids bref with
+    | Some id -> { chain = Array.of_list (List.rev path); target = T_node id }
+    | None ->
+      if List.exists (Program.bref_equal bref) path then begin
+        (* Goto cycle among non-node blocks: split into prefix + cycle. *)
+        let rec split acc = function
+          | [] -> assert false
+          | x :: rest when Program.bref_equal x bref -> (List.rev acc, x :: rest)
+          | x :: rest -> split (x :: acc) rest
+        in
+        let prefix, cycle = split [] (List.rev path) in
+        { chain = Array.of_list prefix; target = T_spin (Array.of_list cycle) }
+      end
+      else
+        let block = Program.find_block c.program bref in
+        let path = bref :: path in
+        match (Es_cfg.lift_dsod block.Block.stmts, block.Block.term) with
+        | [], Term.Goto l ->
+          go { Program.handler = bref.handler; label = l } path
+        | [], Term.Halt ->
+          { chain = Array.of_list (List.rev path); target = T_pop }
+        | _ -> { chain = Array.of_list (List.rev path); target = T_off bref }
+  in
+  go start []
+
+let resolve_label c (bref : Program.bref) label =
+  resolve c { Program.handler = bref.handler; label }
+
+(* --- Terminators ----------------------------------------------------- *)
+
+let compile_term c (n : Es_cfg.node) cmd_keys : cterm =
+  match n.Es_cfg.term with
+  | Term.Goto l -> C_goto (resolve_label c n.bref l)
+  | Term.Halt -> C_halt
+  | Term.Branch (cond, if_taken, if_not) ->
+    C_branch
+      {
+        cond = compile_expr c cond;
+        taken0 = n.taken = 0;
+        not_taken0 = n.not_taken = 0;
+        if_taken = resolve_label c n.bref if_taken;
+        if_not = resolve_label c n.bref if_not;
+      }
+  | Term.Switch (scrutinee, cases, default) ->
+    let fscrut = compile_expr c scrutinee in
+    (* Dedup keeping the first binding ([List.assoc] semantics), then
+       sort for binary search. *)
+    let seen = Hashtbl.create 16 in
+    let uniq =
+      List.filter
+        (fun (v, _) ->
+          if Hashtbl.mem seen v then false
+          else begin
+            Hashtbl.add seen v ();
+            true
+          end)
+        cases
+    in
+    let sorted =
+      List.sort (fun (a, _) (b, _) -> Int64.compare a b) uniq
+    in
+    let case_vals = Array.of_list (List.map fst sorted) in
+    let case_labels = Array.of_list (List.map snd sorted) in
+    let case_dests =
+      Array.map (fun l -> resolve_label c n.bref l) case_labels
+    in
+    let observed = Hashtbl.create 16 in
+    List.iter
+      (fun (v, d) ->
+        let cur =
+          match Hashtbl.find_opt observed v with Some ls -> ls | None -> []
+        in
+        if not (List.mem d cur) then Hashtbl.replace observed v (d :: cur))
+      n.cases;
+    let cmd_of =
+      if n.kind = Block.Cmd_decision then begin
+        let tbl = Hashtbl.create 16 in
+        Array.iteri
+          (fun id (kbref, v) ->
+            if Program.bref_equal kbref n.bref then Hashtbl.replace tbl v id)
+          cmd_keys;
+        Some tbl
+      end
+      else None
+    in
+    C_switch
+      {
+        scrutinee = fscrut;
+        case_vals;
+        case_dests;
+        case_labels;
+        default = resolve_label c n.bref default;
+        default_label = default;
+        observed;
+        cmd_of;
+      }
+  | Term.Icall (fnptr, next) ->
+    let f = compile_expr c fnptr in
+    let targets = Array.of_list n.itargets in
+    let legit =
+      match Array.length targets with
+      | 0 -> fun _ -> false
+      | 1 ->
+        let x = targets.(0) in
+        fun v -> Int64.equal v x
+      | len when len <= 8 ->
+        fun v ->
+          let rec scan i = i < len && (Int64.equal targets.(i) v || scan (i + 1)) in
+          scan 0
+      | _ ->
+        let tbl = Hashtbl.create 32 in
+        Array.iter (fun v -> Hashtbl.replace tbl v ()) targets;
+        fun v -> Hashtbl.mem tbl v
+    in
+    let actions = Hashtbl.create 16 in
+    List.iter
+      (fun (v, (cb : Program.callback)) ->
+        (* First binding wins, as in [List.assoc]. *)
+        if not (Hashtbl.mem actions v) then
+          let act =
+            match cb.Program.action with
+            | Program.Run_handler callee -> (
+              match (Program.find_handler c.program callee).Program.blocks with
+              | b :: _ ->
+                A_chain (resolve c { Program.handler = callee; label = b.Block.label })
+              | [] -> A_empty)
+            | Program.Raise_irq_line | Program.Lower_irq_line | Program.Noop ->
+              A_plain
+          in
+          Hashtbl.add actions v act)
+      (Program.callbacks c.program);
+    C_icall { fnptr = f; legit; actions; next = resolve_label c n.bref next }
+
+(* --- Lowering -------------------------------------------------------- *)
+
+let lower spec : t =
+  let program = Es_cfg.program spec in
+  let layout = Program.layout program in
+  let selection = Es_cfg.selection spec in
+  let tracked = Hashtbl.create 8 in
+  List.iter
+    (fun b -> Hashtbl.replace tracked b ())
+    selection.Selection.tracked_buffers;
+  let node_list = Es_cfg.nodes spec in
+  let ids = Hashtbl.create (List.length node_list * 2) in
+  List.iteri (fun i (n : Es_cfg.node) -> Hashtbl.add ids n.bref i) node_list;
+  let c =
+    {
+      spec;
+      program;
+      layout;
+      asize = Layout.size layout;
+      locals = fresh_slots ();
+      cparams = fresh_slots ();
+      tracked;
+      ids;
+    }
+  in
+  let cmd_keys = Array.of_list (Es_cfg.commands spec) in
+  let cmd_ids = Hashtbl.create (Array.length cmd_keys * 2) in
+  Array.iteri (fun i key -> Hashtbl.replace cmd_ids key i) cmd_keys;
+  let nodes =
+    Array.of_list
+      (List.mapi
+         (fun id (n : Es_cfg.node) ->
+           {
+             id;
+             bref = n.bref;
+             is_cmd_end = n.kind = Block.Cmd_end;
+             stmts =
+               Array.of_list
+                 (List.map (compile_stmt c ~at:n.bref) n.dsod);
+             term = compile_term c n cmd_keys;
+           })
+         node_list)
+  in
+  (* Per-command access sets as bitsets over dense node ids. *)
+  let nbits = (Array.length nodes + 7) / 8 in
+  let nbits = if nbits = 0 then 1 else nbits in
+  let no_cmd_bits = Bytes.make nbits '\000' in
+  Array.iter
+    (fun cn ->
+      if Es_cfg.no_cmd_allows spec cn.bref then set_bit no_cmd_bits cn.id)
+    nodes;
+  let cmd_bits =
+    Array.map
+      (fun key ->
+        let b = Bytes.make nbits '\000' in
+        Array.iter
+          (fun cn -> if Es_cfg.cmd_allows spec key cn.bref then set_bit b cn.id)
+          nodes;
+        b)
+      cmd_keys
+  in
+  let entries = Hashtbl.create 16 in
+  List.iter
+    (fun (h : Program.handler) ->
+      match h.Program.blocks with
+      | b :: _ ->
+        Hashtbl.replace entries h.Program.hname
+          (resolve c { Program.handler = h.Program.hname; label = b.Block.label })
+      | [] -> ())
+    (Program.handlers program);
+  let fn_ptr_spans =
+    List.map
+      (fun f ->
+        (Layout.offset layout f, Layout.field_size (Layout.find layout f)))
+      selection.Selection.fn_ptrs
+  in
+  let env =
+    {
+      work = Arena.create layout;
+      locals = Array.make (max c.locals.next 1) 0L;
+      ldef = Array.make (max c.locals.next 1) false;
+      llink = Array.make (max c.locals.next 1) false;
+      params = Array.make (max c.cparams.next 1) 0L;
+      pdef = Array.make (max c.cparams.next 1) false;
+      overflow = None;
+      record_overflow = ignore;
+      guest_read = (fun _ -> 0);
+      sync = false;
+      en_param = true;
+      sync_pop = (fun _ _ -> None);
+    }
+  in
+  env.record_overflow <-
+    (fun o -> if env.overflow = None then env.overflow <- Some o);
+  {
+    nodes;
+    env;
+    entries;
+    param_slots = c.cparams.tbl;
+    no_cmd_bits;
+    cmd_bits;
+    cmd_keys;
+    cmd_ids;
+    fn_ptr_spans;
+  }

@@ -1,0 +1,171 @@
+(** One-time lowering of a frozen {!Es_cfg.t} into a form the checker can
+    walk without any per-step name resolution (the compiled ES-Checker).
+
+    The interpreted walk pays for its flexibility on every single step:
+    block lookups hash a [Program.bref], field accesses hash a name
+    through the {!Devir.Layout}, every expression re-walks its
+    {!Devir.Expr} tree, request parameters are [List.assoc]'d by name and
+    access sets are nested hashtable probes.  None of that can change
+    after training: the spec handed to {!Checker.attach} is frozen.  So
+    this pass resolves everything once:
+
+    - ES-CFG nodes are renumbered to dense integer ids and stored in a
+      flat array; inter-node edges become {!dest} values whose
+      pass-through chains (reduced blocks the reference walk traverses
+      via [lift_dsod]) are pre-resolved, including goto cycles among
+      non-node blocks ({!T_spin}) so walk-limit accounting stays exact.
+    - DSOD statements and terminator expressions become OCaml closures
+      over an {!env} of pre-resolved arena byte offsets, widths and
+      local/parameter array slots.
+    - Switch cases become sorted arrays (binary search replaces
+      [List.assoc]), observed-transition sets and indirect-call target
+      sets become int64 hashtables, and per-command access sets become
+      [Bytes]-backed bitsets indexed by block id.
+
+    Lowering never changes verdicts: the compiled walk must be
+    bit-for-bit equivalent to the reference walk — same anomalies at the
+    same blocks with the same detail strings, same statistics, same
+    shadow-arena bytes (see the differential test). *)
+
+open Devir
+
+(** Mutable per-walk evaluation state shared by all compiled closures.
+    The closures receive it as an argument, so one compiled spec can in
+    principle drive several environments; the checker uses one. *)
+type env = {
+  mutable work : Arena.t;  (** Scratch shadow the walk mutates. *)
+  mutable locals : int64 array;
+  mutable ldef : bool array;  (** Local slot is defined this walk. *)
+  mutable llink : bool array;
+      (** Local slot is linked to device/request state (the parameter
+          check's taint bit). *)
+  mutable params : int64 array;
+  mutable pdef : bool array;
+  mutable overflow : Interp.Eval.overflow option;
+      (** First overflow recorded since the last top-level reset. *)
+  mutable record_overflow : Interp.Eval.overflow -> unit;
+  mutable guest_read : int64 -> int;
+  mutable sync : bool;  (** Sync values available (post-run walk). *)
+  mutable en_param : bool;  (** Parameter check enabled. *)
+  mutable sync_pop : Program.bref -> string -> int64 option;
+}
+
+type fault =
+  | Overflow of {
+      at : Program.bref;
+      field : string;
+      ov : Interp.Eval.overflow;
+    }
+  | Buf_bounds of {
+      at : Program.bref;
+      buf : string;
+      off : int;
+      len : int;
+      size : int;
+    }
+
+exception Fault of fault
+(** Parameter-check violations detected inside compiled statements; the
+    checker translates these into its anomaly representation. *)
+
+exception Defer
+(** A sync point was reached with [env.sync = false]. *)
+
+exception Bail of string
+(** Walk cannot continue (missing sync value, unknown callback, ...). *)
+
+(** Where a pre-resolved edge lands after its pass-through chain. *)
+type target =
+  | T_node of int  (** Dense id of the destination node. *)
+  | T_pop  (** Chain ended in an empty [Halt] block: return to stack. *)
+  | T_off of Program.bref
+      (** Chain reached an off-graph block (never observed in training);
+          the bref is the anomaly location. *)
+  | T_spin of Program.bref array
+      (** Chain entered a goto cycle among non-node blocks; the walk
+          spins through the cycle burning steps until the walk limit
+          trips, exactly as the reference does. *)
+
+type dest = {
+  chain : Program.bref array;
+      (** Every non-node block traversed before the target, in order:
+          each one costs a walk step and is a potential walk-limit
+          anomaly site. *)
+  target : target;
+}
+
+type switch = {
+  scrutinee : env -> int64;
+  case_vals : int64 array;  (** Static case values, sorted, deduped. *)
+  case_dests : dest array;  (** Parallel to [case_vals]. *)
+  case_labels : string array;  (** Parallel to [case_vals]. *)
+  default : dest;
+  default_label : string;
+  observed : (int64, string list) Hashtbl.t;
+      (** Observed transitions: scrutinee value -> destination labels. *)
+  cmd_of : (int64, int) Hashtbl.t option;
+      (** For [Cmd_decision] nodes: decoded value -> command id. *)
+}
+
+type icall_action =
+  | A_chain of dest  (** Chained handler: push continuation, enter. *)
+  | A_plain  (** IRQ line / noop callback: continue past the call. *)
+  | A_empty  (** Chained handler with no blocks (bail). *)
+
+type icall = {
+  fnptr : env -> int64;
+  legit : int64 -> bool;  (** Observed-target membership. *)
+  actions : (int64, icall_action) Hashtbl.t;
+  next : dest;
+}
+
+type cterm =
+  | C_goto of dest
+  | C_halt
+  | C_branch of {
+      cond : env -> int64;
+      taken0 : bool;  (** Taken direction never observed in training. *)
+      not_taken0 : bool;
+      if_taken : dest;
+      if_not : dest;
+    }
+  | C_switch of switch
+  | C_icall of icall
+
+type cnode = {
+  id : int;
+  bref : Program.bref;
+  is_cmd_end : bool;
+  stmts : (env -> unit) array;  (** Compiled DSOD, in order. *)
+  term : cterm;
+}
+
+type t = {
+  nodes : cnode array;  (** Indexed by dense id. *)
+  env : env;
+  entries : (string, dest) Hashtbl.t;  (** Handler name -> entry edge. *)
+  param_slots : (string, int) Hashtbl.t;
+      (** Request parameter name -> slot in [env.params]; global across
+          handlers because chained handlers share the caller's request. *)
+  no_cmd_bits : Bytes.t;  (** Bitset over node ids: no-command access. *)
+  cmd_bits : Bytes.t array;  (** Per-command-id bitsets over node ids. *)
+  cmd_keys : Es_cfg.cmd_key array;  (** Command id -> key. *)
+  cmd_ids : (Es_cfg.cmd_key, int) Hashtbl.t;  (** Key -> command id. *)
+  fn_ptr_spans : (int * int) list;
+      (** (offset, length) spans of the selection's function-pointer
+          parameters, for refreshing from the live control structure. *)
+}
+
+val lower : Es_cfg.t -> t
+(** Lower a frozen spec.  The resulting environment's [work],
+    [guest_read] and [sync_pop] fields are placeholders the caller must
+    set before walking. *)
+
+val bit : Bytes.t -> int -> bool
+(** Bitset probe ([i]th bit, little-endian within bytes). *)
+
+val find_case : switch -> int64 -> dest * string
+(** Binary search over the static cases; falls back to the default. *)
+
+val case_observed : switch -> int64 -> string -> bool
+(** Was (value -> label) observed in training? *)

@@ -16,12 +16,22 @@ type node = {
 
 type cmd_key = Program.bref * int64
 
+(* Membership keys for the NBTD edge lists.  The lists themselves stay in
+   insertion order on the nodes; this auxiliary table makes the
+   once-per-observation membership test O(1) instead of scanning the list
+   on every single visit (quadratic over a training log). *)
+type edge =
+  | E_succ of Program.bref * Program.bref
+  | E_case of Program.bref * int64 * string
+  | E_itarget of Program.bref * int64
+
 type t = {
   program : Program.t;
   selection : Selection.t;
   nodes : (Program.bref, node) Hashtbl.t;
   cmd_table : (cmd_key, (Program.bref, unit) Hashtbl.t) Hashtbl.t;
   no_cmd : (Program.bref, unit) Hashtbl.t;
+  seen : (edge, unit) Hashtbl.t;
   mutable reduced : int;
 }
 
@@ -32,8 +42,16 @@ let create ~program ~selection =
     nodes = Hashtbl.create 128;
     cmd_table = Hashtbl.create 32;
     no_cmd = Hashtbl.create 64;
+    seen = Hashtbl.create 256;
     reduced = 0;
   }
+
+let first_sight t edge =
+  if Hashtbl.mem t.seen edge then false
+  else begin
+    Hashtbl.add t.seen edge ();
+    true
+  end
 
 (* DSOD lifting: keep statements that write device state (directly or by
    DMA), plus the definitions the replay needs (locals, guest loads, host
@@ -81,8 +99,6 @@ let get_node t bref =
     Hashtbl.add t.nodes bref n;
     n
 
-let add_once x l = if List.mem x l then l else l @ [ x ]
-
 (* Command context during construction (and mirrored by the checker). *)
 type ctx = Ctx_none | Ctx_cmd of cmd_key
 
@@ -115,7 +131,9 @@ let add_interaction t ctx (i : Ds_log.interaction) =
   let prev : node option ref = ref None in
   let link (n : node) =
     (match !prev with
-    | Some p -> p.succs <- add_once n.bref p.succs
+    | Some p ->
+      if first_sight t (E_succ (p.bref, n.bref)) then
+        p.succs <- p.succs @ [ n.bref ]
     | None -> ());
     prev := Some n
   in
@@ -153,7 +171,8 @@ let add_interaction t ctx (i : Ds_log.interaction) =
       | Term.Switch (_, _, _) -> (
         match entry with
         | Some { Interp.Event.outcome = Interp.Event.O_case (v, dest); _ } ->
-          if not (List.mem (v, dest) n.cases) then n.cases <- n.cases @ [ (v, dest) ];
+          if first_sight t (E_case (bref, v, dest)) then
+            n.cases <- n.cases @ [ (v, dest) ];
           if n.kind = Block.Cmd_decision then ctx := Ctx_cmd (bref, v);
           if n.kind = Block.Cmd_end then ctx := Ctx_none;
           walk (sibling dest) stack (fuel - 1)
@@ -161,7 +180,8 @@ let add_interaction t ctx (i : Ds_log.interaction) =
       | Term.Icall (_, next) -> (
         match entry with
         | Some { Interp.Event.outcome = Interp.Event.O_icall v; _ } -> (
-          n.itargets <- add_once v n.itargets;
+          if first_sight t (E_itarget (bref, v)) then
+            n.itargets <- n.itargets @ [ v ];
           if n.kind = Block.Cmd_end then ctx := Ctx_none;
           let continue_at = sibling next in
           match Program.find_callback t.program v with
@@ -237,6 +257,20 @@ let reduce t =
       t.nodes []
   in
   List.iter (Hashtbl.remove t.nodes) removable;
+  (* Drop membership entries sourced at removed nodes so a later add_log
+     that recreates one starts from its (empty) lists consistently. *)
+  if removable <> [] then begin
+    let gone = Hashtbl.create 16 in
+    List.iter (fun b -> Hashtbl.replace gone b ()) removable;
+    Hashtbl.filter_map_inplace
+      (fun edge () ->
+        let src =
+          match edge with
+          | E_succ (src, _) | E_case (src, _, _) | E_itarget (src, _) -> src
+        in
+        if Hashtbl.mem gone src then None else Some ())
+      t.seen
+  end;
   let removed = List.length removable in
   t.reduced <- t.reduced + removed;
   removed
@@ -268,7 +302,12 @@ let import_node t bref ~visits ~taken ~not_taken ~cases ~itargets ~succs =
   n.not_taken <- not_taken;
   n.cases <- cases;
   n.itargets <- itargets;
-  n.succs <- succs
+  n.succs <- succs;
+  (* Seed the membership table so further training on an imported spec
+     does not duplicate edges. *)
+  List.iter (fun (v, d) -> Hashtbl.replace t.seen (E_case (bref, v, d)) ()) cases;
+  List.iter (fun v -> Hashtbl.replace t.seen (E_itarget (bref, v)) ()) itargets;
+  List.iter (fun s -> Hashtbl.replace t.seen (E_succ (bref, s)) ()) succs
 
 let import_access t ~cmd bref =
   match cmd with

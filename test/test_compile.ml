@@ -1,0 +1,166 @@
+(* Differential test for the compiled ES-Checker: the closure-compiled
+   walk (Compile.lower + Checker's compiled driver) must be bit-for-bit
+   equivalent to the reference interpreted walk — same verdicts, same
+   anomalies (strategy, location, detail, pre/post flag), same statistics,
+   same shadow-arena bytes — across all five device workloads and the
+   full attacks corpus, in both working modes. *)
+
+module C = Sedspec.Checker
+
+let anomaly_repr (a : C.anomaly) =
+  Printf.sprintf "%s|%s|%b|%s"
+    (C.strategy_to_string a.strategy)
+    (match a.at with
+    | Some b -> Devir.Program.bref_to_string b
+    | None -> "-")
+    a.pre_execution a.detail
+
+let stats_repr (s : C.stats) =
+  Printf.sprintf "interactions=%d walks_ok=%d bails=%d deferred=%d nodes_walked=%d"
+    s.interactions s.walks_ok s.bails s.deferred s.nodes_walked
+
+let shadow_repr checker =
+  let b = C.shadow_snapshot checker in
+  let h = Buffer.create (2 * Bytes.length b) in
+  Bytes.iter (fun c -> Buffer.add_string h (Printf.sprintf "%02x" (Char.code c))) b;
+  Buffer.contents h
+
+let mode_name = function
+  | C.Protection -> "protection"
+  | C.Enhancement -> "enhancement"
+
+(* --- Workload soak ----------------------------------------------------- *)
+
+(* One soak transcript: everything observable about the checker after each
+   benign case (with occasional rare commands so anomaly paths and the
+   resync machinery are exercised too). *)
+let soak_transcript device mode engine =
+  let w = Workload.Samples.find device in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let config = { C.default_config with C.mode; engine } in
+  let m, checker =
+    Metrics.Spec_cache.fresh_protected_machine ~config w W.paper_version
+  in
+  let rng = Sedspec_util.Prng.create 0xC0FFEEL in
+  let modes =
+    [| Workload.Samples.Sequential; Workload.Samples.Random;
+       Workload.Samples.Random_delay |]
+  in
+  let out = ref [] in
+  let push s = out := s :: !out in
+  for case = 0 to 5 do
+    let mode = modes.(case mod Array.length modes) in
+    W.soak_case ~mode ~rng ~rare_prob:0.002 ~ops:20 m;
+    List.iter (fun a -> push (anomaly_repr a)) (C.drain_anomalies checker);
+    List.iter (fun wmsg -> push ("warn:" ^ wmsg)) (Vmm.Machine.warnings m);
+    Vmm.Machine.clear_warnings m;
+    if Vmm.Machine.halted m then begin
+      push (Printf.sprintf "halted after case %d" case);
+      Vmm.Machine.resume m;
+      C.resync checker
+    end
+  done;
+  push (stats_repr (C.stats checker));
+  push ("shadow:" ^ shadow_repr checker);
+  List.rev !out
+
+let test_workloads_differential mode () =
+  List.iter
+    (fun w ->
+      let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+      let device = W.device_name in
+      let reference = soak_transcript device mode C.Interpreted in
+      let compiled = soak_transcript device mode C.Compiled in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s soak (%s mode)" device (mode_name mode))
+        reference compiled)
+    Workload.Samples.all
+
+(* --- Attacks corpus ---------------------------------------------------- *)
+
+let run_stream m (attack : Attacks.Attack.t) =
+  try attack.run m with Exit -> ()
+
+let attack_transcript (attack : Attacks.Attack.t) mode engine =
+  let w = Workload.Samples.find attack.device in
+  let config = { C.default_config with C.mode; engine } in
+  let m, checker =
+    Metrics.Spec_cache.fresh_protected_machine ~config w attack.qemu_version
+  in
+  attack.setup m;
+  let setup_anoms = List.map anomaly_repr (C.drain_anomalies checker) in
+  run_stream m attack;
+  let attack_anoms = List.map anomaly_repr (C.drain_anomalies checker) in
+  setup_anoms
+  @ ("--attack--" :: attack_anoms)
+  @ List.map (fun wmsg -> "warn:" ^ wmsg) (Vmm.Machine.warnings m)
+  @ [
+      Printf.sprintf "halted=%b" (Vmm.Machine.halted m);
+      stats_repr (C.stats checker);
+      "shadow:" ^ shadow_repr checker;
+    ]
+
+let test_attacks_differential mode () =
+  List.iter
+    (fun (attack : Attacks.Attack.t) ->
+      let reference = attack_transcript attack mode C.Interpreted in
+      let compiled = attack_transcript attack mode C.Compiled in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s (%s mode)" attack.cve (mode_name mode))
+        reference compiled)
+    Attacks.Attack.all
+
+(* --- Compiled-form sanity ---------------------------------------------- *)
+
+(* The lowering itself: dense ids are consistent, every observed command
+   has a bitset, and compiled walks actually visit nodes. *)
+let test_lowering_shape () =
+  let w = Workload.Samples.find "fdc" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let built = Metrics.Spec_cache.built w W.paper_version in
+  let c = Sedspec.Compile.lower built.spec in
+  let n = Array.length c.Sedspec.Compile.nodes in
+  Alcotest.(check int) "node count matches spec" (Sedspec.Es_cfg.node_count built.spec) n;
+  Array.iteri
+    (fun i cn -> Alcotest.(check int) "dense id" i cn.Sedspec.Compile.id)
+    c.Sedspec.Compile.nodes;
+  Alcotest.(check int) "one bitset per command"
+    (List.length (Sedspec.Es_cfg.commands built.spec))
+    (Array.length c.Sedspec.Compile.cmd_bits);
+  Alcotest.(check bool) "some no-cmd-accessible node" true
+    (Array.exists
+       (fun cn -> Sedspec.Compile.bit c.Sedspec.Compile.no_cmd_bits cn.Sedspec.Compile.id)
+       c.Sedspec.Compile.nodes)
+
+let test_bench_walk_counts_nodes () =
+  let w = Workload.Samples.find "fdc" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let m, checker = Metrics.Spec_cache.fresh_protected_machine w W.paper_version in
+  ignore (m : Vmm.Machine.t);
+  let before = (C.stats checker).C.nodes_walked in
+  C.bench_walk checker ~handler:"read"
+    ~params:
+      [ ("addr", 0x3F4L); ("offset", 4L); ("size", 1L); ("data", 0L) ];
+  let after = (C.stats checker).C.nodes_walked in
+  Alcotest.(check bool) "walked at least one node" true (after > before)
+
+let () =
+  Alcotest.run "compile"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "workloads (protection)" `Slow
+            (test_workloads_differential C.Protection);
+          Alcotest.test_case "workloads (enhancement)" `Slow
+            (test_workloads_differential C.Enhancement);
+          Alcotest.test_case "attacks (protection)" `Slow
+            (test_attacks_differential C.Protection);
+          Alcotest.test_case "attacks (enhancement)" `Slow
+            (test_attacks_differential C.Enhancement);
+        ] );
+      ( "lowering",
+        [
+          Alcotest.test_case "shape" `Quick test_lowering_shape;
+          Alcotest.test_case "bench_walk" `Quick test_bench_walk_counts_nodes;
+        ] );
+    ]
