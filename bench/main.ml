@@ -11,12 +11,23 @@
      all       Everything above (default)
 
    Flags: --quick (shorter soaks), --seed N, --json FILE (dump every
-   reported number as a flat JSON object keyed "section.detail"). *)
+   reported number as a flat JSON object keyed "section.detail"),
+   --jobs N (fan independent per-device experiments out across N
+   domains; deterministic sections are bit-identical for any N). *)
 
 module Table = Sedspec_util.Table
+module Runner = Sedspec_util.Runner
 
 let quick = ref false
 let seed = ref 42L
+
+(* Effective worker-domain count.  Results never depend on it (every
+   experiment derives its PRNG from the base seed and its own identity),
+   only wall-clock does, so --jobs is clamped to the cores the runtime
+   reports: oversubscribed domains only add stop-the-world GC barrier
+   churn. *)
+let jobs_requested = ref 1
+let jobs = ref 1
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable results (--json FILE)                               *)
@@ -30,18 +41,32 @@ let json_bool key v = json_add key (string_of_bool v)
 let json_float key v =
   json_add key (if Float.is_finite v then Printf.sprintf "%.6g" v else "null")
 
-(* Keys are ASCII identifiers, so OCaml's %S escaping is valid JSON. *)
+(* Keys are ASCII identifiers, so OCaml's %S escaping is valid JSON.
+   The write is atomic (temp file + rename) and the fd is protected, so
+   an exception mid-dump never leaves a truncated JSON file behind. *)
 let json_write path =
-  let oc = open_out path in
+  let buf = Buffer.create 4096 in
   let entries = List.rev !json_out in
   let last = List.length entries - 1 in
-  output_string oc "{\n";
+  Buffer.add_string buf "{\n";
   List.iteri
     (fun i (k, v) ->
-      Printf.fprintf oc "  %S: %s%s\n" k v (if i < last then "," else ""))
+      Buffer.add_string buf
+        (Printf.sprintf "  %S: %s%s\n" k v (if i < last then "," else "")))
     entries;
-  output_string oc "}\n";
-  close_out oc
+  Buffer.add_string buf "}\n";
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  match
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> Buffer.output_buffer oc buf)
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 let strategies =
   [
@@ -58,18 +83,56 @@ let section title =
 
 let soak_results = Hashtbl.create 8
 
+let soak_one (module W : Workload.Samples.DEVICE_WORKLOAD) =
+  let cases_per_hour = if !quick then 20 else 120 in
+  Metrics.Fpr.soak ~seed:!seed ~cases_per_hour
+    ~checkpoint_hours:[ 10; 20; 30 ]
+    (module W)
+
+(* The per-device soaks are independent (each derives its own PRNG from
+   the same base seed and its spec comes from the single-flight cache),
+   so they fan out across --jobs domains.  Results are identical to a
+   serial run; the section wall-clock is the first recorded parallelism
+   trajectory point of the bench. *)
+let soak_wall_s = ref nan
+
+let ensure_soaks () =
+  let missing =
+    List.filter
+      (fun w ->
+        let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+        not (Hashtbl.mem soak_results W.device_name))
+      Workload.Samples.all
+  in
+  if missing <> [] then begin
+    let t0 = Unix.gettimeofday () in
+    let results = Runner.map ~jobs:!jobs soak_one missing in
+    soak_wall_s := Unix.gettimeofday () -. t0;
+    List.iter
+      (fun (r : Metrics.Fpr.result) -> Hashtbl.add soak_results r.device r)
+      results
+  end
+
 let soak_for (module W : Workload.Samples.DEVICE_WORKLOAD) =
-  match Hashtbl.find_opt soak_results W.device_name with
-  | Some r -> r
-  | None ->
-    let cases_per_hour = if !quick then 20 else 120 in
-    let r =
-      Metrics.Fpr.soak ~seed:!seed ~cases_per_hour
-        ~checkpoint_hours:[ 10; 20; 30 ]
-        (module W)
-    in
-    Hashtbl.add soak_results W.device_name r;
-    r
+  ensure_soaks ();
+  Hashtbl.find soak_results W.device_name
+
+(* Coverage measurements fan out the same way. *)
+let coverage_results = Hashtbl.create 8
+
+let coverage_for (module W : Workload.Samples.DEVICE_WORKLOAD) =
+  if Hashtbl.length coverage_results = 0 then
+    List.iter
+      (fun (r : Metrics.Coverage.result) ->
+        Hashtbl.add coverage_results r.device r)
+      (Runner.map ~jobs:!jobs
+         (fun w ->
+           let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+           Metrics.Coverage.measure ~seed:!seed
+             ~fuzz_cases:(if !quick then 30 else 60)
+             (module W))
+         Workload.Samples.all);
+  Hashtbl.find coverage_results W.device_name
 
 let table2 () =
   section "Table II: False Positives Over Time";
@@ -99,7 +162,11 @@ let table2 () =
     ~header:[ "Device"; "10 hours"; "20 hours"; "30 hours" ]
     rows;
   Printf.printf
-    "(paper: FDC 1/2/5, USB EHCI 3/3/3, PCNet 1/5/6, SDHCI 4/7/7, SCSI 1/3/4)\n"
+    "(paper: FDC 1/2/5, USB EHCI 3/3/3, PCNet 1/5/6, SDHCI 4/7/7, SCSI 1/3/4)\n";
+  if Float.is_finite !soak_wall_s then
+    Printf.printf "soak section wall-clock: %.2fs with %d job%s\n" !soak_wall_s
+      !jobs
+      (if !jobs = 1 then "" else "s")
 
 (* ------------------------------------------------------------------ *)
 (* Table III: main results                                              *)
@@ -108,7 +175,7 @@ let check_mark detected = if detected then "x" else ""
 
 let table3 () =
   section "Table III: Main results (CVE case studies, FPR, coverage)";
-  let case_results = Metrics.Case_study.run_all () in
+  let case_results = Metrics.Case_study.run_all ~jobs:!jobs () in
   let rows =
     List.map
       (fun (r : Metrics.Case_study.result) ->
@@ -146,11 +213,7 @@ let table3 () =
       (fun w ->
         let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
         let soak = soak_for (module W) in
-        let cov =
-          Metrics.Coverage.measure ~seed:!seed
-            ~fuzz_cases:(if !quick then 30 else 60)
-            (module W)
-        in
+        let cov = coverage_for (module W) in
         json_float (Printf.sprintf "table3.%s.fpr" W.device_name) soak.fpr;
         json_float
           (Printf.sprintf "table3.%s.effective_coverage" W.device_name)
@@ -182,11 +245,7 @@ let fmt_block b =
 (* Best-of-N to suppress scheduler noise. *)
 let sweep_cached = Hashtbl.create 16
 
-let sweep device write =
-  let key = (device, write) in
-  match Hashtbl.find_opt sweep_cached key with
-  | Some pts -> pts
-  | None ->
+let sweep_compute device write =
     let reps = if !quick then 1 else 3 in
     let runs =
       List.init reps (fun _ -> Metrics.Perf.storage_sweep ~device ~write ())
@@ -223,8 +282,32 @@ let sweep device write =
           })
         (List.hd runs)
     in
-    Hashtbl.add sweep_cached key best;
     best
+
+(* All (device, direction) sweeps are pairwise independent, so they fan
+   out across --jobs domains.  The numbers are wall-clock measurements:
+   fan-out trades a little timing noise (domains share cores with each
+   other's spin loops) for section wall-clock; the reported values are
+   base/protected ratios, which see the same contention on both sides. *)
+let ensure_sweeps () =
+  let missing =
+    List.filter
+      (fun key -> not (Hashtbl.mem sweep_cached key))
+      (List.concat_map
+         (fun device -> [ (device, false); (device, true) ])
+         Metrics.Perf.storage_devices)
+  in
+  if missing <> [] then
+    List.iter2
+      (fun key pts -> Hashtbl.add sweep_cached key pts)
+      missing
+      (Runner.map ~jobs:!jobs
+         (fun (device, write) -> sweep_compute device write)
+         missing)
+
+let sweep device write =
+  ensure_sweeps ();
+  Hashtbl.find sweep_cached (device, write)
 
 let fig_storage ~latency () =
   section
@@ -278,8 +361,11 @@ let fig5 () =
     [ Metrics.Perf.Tcp_up; Metrics.Perf.Tcp_down; Metrics.Perf.Udp_up; Metrics.Perf.Udp_down ]
   in
   let reps = if !quick then 1 else 3 in
-  let rows =
-    List.map
+  (* The four stream kinds are independent measurements; fan them out
+     across --jobs domains (each kind keeps its repetitions serial so
+     per-side maxima stay comparable). *)
+  let measured =
+    Runner.map ~jobs:!jobs
       (fun kind ->
         (* Per-side maxima across repetitions: the highest observed
            bandwidth on each side is the least noisy estimator. *)
@@ -294,6 +380,12 @@ let fig5 () =
             (fun acc (p : Metrics.Perf.net_point) -> max acc p.protected_mbps)
             0.0 pts
         in
+        (kind, base_mbps, protected_mbps))
+      kinds
+  in
+  let rows =
+    List.map
+      (fun (kind, base_mbps, protected_mbps) ->
         let overhead = 100.0 *. (1.0 -. (protected_mbps /. base_mbps)) in
         let slug =
           String.map
@@ -309,7 +401,7 @@ let fig5 () =
           Table.fmt_float protected_mbps;
           Table.fmt_float overhead ^ "%";
         ])
-      kinds
+      measured
   in
   Table.print
     ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
@@ -626,12 +718,20 @@ let () =
       if i > 0 then
         match arg with
         | "--quick" -> quick := true
-        | "--seed" | "--json" -> ()
+        | "--seed" | "--json" | "--jobs" -> ()
         | s when i > 1 && Sys.argv.(i - 1) = "--seed" -> seed := Int64.of_string s
         | s when i > 1 && Sys.argv.(i - 1) = "--json" -> json_path := Some s
+        | s when i > 1 && Sys.argv.(i - 1) = "--jobs" ->
+          jobs_requested := max 1 (int_of_string s)
         | s -> cmds := s :: !cmds)
     Sys.argv;
   let cmds = if !cmds = [] then [ "all" ] else List.rev !cmds in
+  jobs := min !jobs_requested (Runner.default_jobs ());
+  if !jobs < !jobs_requested then
+    Printf.printf "--jobs %d requested, %d core%s available: running %d\n"
+      !jobs_requested (Runner.default_jobs ())
+      (if Runner.default_jobs () = 1 then "" else "s")
+      !jobs;
   (* Fail on an unwritable --json target now, not after the full run. *)
   (match !json_path with
   | Some path ->
@@ -668,9 +768,18 @@ let () =
           other;
         exit 2)
     cmds;
-  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0);
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "\ntotal bench time: %.1fs (%d job%s)\n" wall !jobs
+    (if !jobs = 1 then "" else "s");
   match !json_path with
   | Some path ->
+    (* meta.* fields describe the run itself and are the only keys that
+       legitimately differ between --jobs settings. *)
+    json_int "meta.jobs" !jobs;
+    json_int "meta.jobs_requested" !jobs_requested;
+    json_float "meta.wall_clock_s" wall;
+    if Float.is_finite !soak_wall_s then
+      json_float "meta.soak_wall_s" !soak_wall_s;
     json_write path;
     Printf.printf "machine-readable results written to %s\n" path
   | None -> ()

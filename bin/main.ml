@@ -71,9 +71,12 @@ let inspect_cmd =
         Format.printf "  %a = 0x%Lx@." Devir.Program.pp_bref bref v)
       (List.sort compare (Sedspec.Es_cfg.commands built.spec));
     (match save with
-    | Some path ->
-      Sedspec.Persist.save built.spec path;
-      Format.printf "@.specification saved to %s@." path
+    | Some path -> (
+      match Sedspec.Persist.save built.spec path with
+      | Ok () -> Format.printf "@.specification saved to %s@." path
+      | Error msg ->
+        Printf.eprintf "cannot save specification: %s\n" msg;
+        exit 1)
     | None -> ());
     match dot with
     | Some path ->
@@ -88,12 +91,16 @@ let inspect_cmd =
 
 (* --- attack ------------------------------------------------------------- *)
 
+let jobs_arg =
+  let doc = "Worker domains used to fan independent experiments out in parallel." in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let attack_cmd =
   let cve_arg =
     let doc = "CVE id, e.g. CVE-2015-3456, or 'all'." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"CVE" ~doc)
   in
-  let run cve cases =
+  let run cve cases jobs =
     setup_training cases;
     let attacks =
       if cve = "all" then Attacks.Attack.all
@@ -104,17 +111,16 @@ let attack_cmd =
           exit 2
     in
     List.iter
-      (fun attack ->
-        let r = Metrics.Case_study.run attack in
+      (fun r ->
         Format.printf "%a@." Metrics.Case_study.pp_result r;
         Format.printf "  matches paper: %b@.@."
           (Metrics.Case_study.matches_expectation r))
-      attacks
+      (Sedspec_util.Runner.map ~jobs Metrics.Case_study.run attacks)
   in
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Replay a CVE exploit under each check strategy (Table III)")
-    Term.(const run $ cve_arg $ training_cases_arg)
+    Term.(const run $ cve_arg $ training_cases_arg $ jobs_arg)
 
 (* --- soak --------------------------------------------------------------- *)
 

@@ -70,7 +70,10 @@ let run attack =
     per_strategy = List.map snd outcomes;
   }
 
-let run_all () = List.map run Attacks.Attack.all
+(* Each case study is independent (fresh machines, a shared read-only
+   spec from the single-flight cache), so the catalogue fans out across
+   domains; results come back in catalogue order either way. *)
+let run_all ?(jobs = 1) () = Sedspec_util.Runner.map ~jobs run Attacks.Attack.all
 
 let matches_expectation r =
   let detected_set =

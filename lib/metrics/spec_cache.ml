@@ -1,20 +1,60 @@
+(* Memoised spec builds, shared by every harness.
+
+   The cache is domain-safe: lookups and inserts are mutex-guarded, and
+   builds are single-flight — the first caller for a (device, version)
+   key inserts a [Building] marker and builds outside the lock; any
+   concurrent caller for the same key blocks on the condition variable
+   until the build lands, so a spec is never built twice.  A build that
+   raises clears its marker and wakes the waiters, one of which retries
+   the build. *)
+
 let training_cases = ref 24
 
-let cache : (string * string, Sedspec.Pipeline.built) Hashtbl.t =
-  Hashtbl.create 8
+type slot = Building | Ready of Sedspec.Pipeline.built
+
+let cache : (string * string, slot) Hashtbl.t = Hashtbl.create 8
+let lock = Mutex.create ()
+let landed = Condition.create ()
 
 let built (module W : Workload.Samples.DEVICE_WORKLOAD) version =
   let key = (W.device_name, Devices.Qemu_version.to_string version) in
-  match Hashtbl.find_opt cache key with
-  | Some b -> b
-  | None ->
-    let m = W.make_machine version in
-    let b =
+  let claim () =
+    let rec wait () =
+      match Hashtbl.find_opt cache key with
+      | Some (Ready b) -> `Hit b
+      | Some Building ->
+        Condition.wait landed lock;
+        wait ()
+      | None ->
+        Hashtbl.replace cache key Building;
+        `Build
+    in
+    Mutex.lock lock;
+    let r = wait () in
+    Mutex.unlock lock;
+    r
+  in
+  match claim () with
+  | `Hit b -> b
+  | `Build -> (
+    let build () =
+      let m = W.make_machine version in
       Sedspec.Pipeline.build m ~device:W.device_name
         (W.trainer ~cases:!training_cases)
     in
-    Hashtbl.add cache key b;
-    b
+    match build () with
+    | b ->
+      Mutex.lock lock;
+      Hashtbl.replace cache key (Ready b);
+      Condition.broadcast landed;
+      Mutex.unlock lock;
+      b
+    | exception e ->
+      Mutex.lock lock;
+      Hashtbl.remove cache key;
+      Condition.broadcast landed;
+      Mutex.unlock lock;
+      raise e)
 
 let fresh_machine ?vmexit_cost (module W : Workload.Samples.DEVICE_WORKLOAD)
     version =

@@ -2,7 +2,12 @@
 
     Experiments need one trained specification per (device, QEMU version)
     pair; building one costs two training passes, so they are memoised for
-    the lifetime of the process. *)
+    the lifetime of the process.
+
+    The cache is domain-safe: lookups are mutex-guarded and builds are
+    single-flight, so concurrent experiments (see {!Sedspec_util.Runner})
+    never build the same specification twice — late callers block until
+    the first build lands and share its result. *)
 
 val training_cases : int ref
 (** Training corpus size per device (default 24). *)

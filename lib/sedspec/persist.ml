@@ -19,7 +19,55 @@ let rule_of_tag = function
   | "dep" -> Some Selection.Dependency
   | _ -> None
 
+(* The format is line- and word-oriented: names are separated by spaces,
+   list entries by commas, buffer entries use ':' for the size.  A name
+   containing any of those separators (or a newline) would round-trip
+   into a different spec — or a parse error — with no warning, so saving
+   validates every name first. *)
+
+let name_ok ?(extra = []) s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         not (List.mem c ([ ' '; ','; '\n'; '\r'; '\t' ] @ extra)))
+       s
+
+let validate_names spec =
+  let bad = ref [] in
+  let check what ?extra s = if not (name_ok ?extra s) then bad := (what, s) :: !bad in
+  let check_bref what (b : Program.bref) =
+    check (what ^ " handler") b.handler;
+    check (what ^ " label") b.label
+  in
+  let program = Es_cfg.program spec in
+  let sel = Es_cfg.selection spec in
+  check "program name" (Program.name program);
+  List.iter (check "scalar") sel.Selection.scalars;
+  List.iter (fun (b, _) -> check "buffer" ~extra:[ ':' ] b) sel.Selection.buffers;
+  List.iter (check "fn-ptr") sel.Selection.fn_ptrs;
+  List.iter (check "index param") sel.Selection.index_params;
+  List.iter (check "tracked buffer") sel.Selection.tracked_buffers;
+  List.iter (fun (n, _) -> check "rationale name" n) sel.Selection.rationale;
+  List.iter
+    (fun (n : Es_cfg.node) ->
+      check_bref "node" n.bref;
+      List.iter (fun (_, l) -> check "case label" l) n.cases;
+      List.iter (check_bref "successor") n.succs)
+    (Es_cfg.nodes spec);
+  List.iter (fun (d, _) -> check_bref "command" d) (Es_cfg.commands spec);
+  match !bad with
+  | [] -> Ok ()
+  | (what, s) :: _ ->
+    Error
+      (Printf.sprintf
+         "unpersistable %s %S: names must be non-empty and free of \
+          spaces, commas and newlines"
+         what s)
+
 let to_string spec =
+  (match validate_names spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Persist.to_string: " ^ msg));
   let buf = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let program = Es_cfg.program spec in
@@ -95,7 +143,14 @@ let of_string ~program text =
       match !spec with
       | Some s -> s
       | None ->
-        let s = Es_cfg.create ~program ~selection:!sel in
+        (* Rationale lines were accumulated in reverse (consing is linear
+           where append-per-line is quadratic); restore file order when
+           the selection is frozen into the spec. *)
+        let s =
+          Es_cfg.create ~program
+            ~selection:
+              { !sel with Selection.rationale = List.rev !sel.Selection.rationale }
+        in
         spec := Some s;
         s
     in
@@ -155,9 +210,13 @@ let of_string ~program text =
             }
         | false, [ "rationale"; name; tags ] ->
           let rules = List.filter_map rule_of_tag (split_commas tags) in
-          sel := { !sel with Selection.rationale = !sel.Selection.rationale @ [ (name, rules) ] }
+          sel := { !sel with Selection.rationale = (name, rules) :: !sel.Selection.rationale }
         | false, [ "node"; h; l; visits; taken; not_taken ] ->
           flush_node ();
+          (* A node line ends any open cmd block; a stray allow after it
+             must fail instead of silently extending the previous
+             command's access set. *)
+          current_cmd := None;
           let b = bref h l in
           check_block b;
           current_node := Some b;
@@ -212,10 +271,31 @@ let of_string ~program text =
   | Parse_error msg -> Error msg
   | Failure msg -> Error msg
 
+(* Atomic, leak-free file writes: the text goes to a temp file in the
+   target directory (same filesystem, so the rename is atomic), the fd is
+   released by [Fun.protect] on any exception, and the destination is
+   only ever replaced by a complete file. *)
+let write_atomic path text =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  match
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc text)
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
 let save spec path =
-  let oc = open_out path in
-  output_string oc (to_string spec);
-  close_out oc
+  match validate_names spec with
+  | Error _ as e -> e
+  | Ok () -> (
+    match write_atomic path (to_string spec) with
+    | () -> Ok ()
+    | exception Sys_error msg -> Error msg)
 
 let load ~program path =
   let ic = open_in path in

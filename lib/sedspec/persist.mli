@@ -10,14 +10,22 @@
     specification only loads against the program it was trained for. *)
 
 val to_string : Es_cfg.t -> string
+(** Serialise.  The format is word/comma separated, so handler, label,
+    parameter and buffer names must be free of spaces, commas and
+    newlines; raises [Invalid_argument] when a name would not round-trip
+    rather than emitting a corrupt spec. *)
 
 val of_string :
   program:Devir.Program.t -> string -> (Es_cfg.t, string) result
 (** Rebuild a specification.  Fails with a readable message when the text
     is malformed or references blocks/fields the program does not have. *)
 
-val save : Es_cfg.t -> string -> unit
-(** [save spec path] writes the serialised form to a file. *)
+val save : Es_cfg.t -> string -> (unit, string) result
+(** [save spec path] writes the serialised form to a file.  Names are
+    validated first ([Error] instead of a corrupt file), and the write is
+    atomic: the text lands in a temp file in the same directory which is
+    renamed over [path], so a crash or exception mid-write never leaves a
+    truncated spec behind. *)
 
 val load :
   program:Devir.Program.t -> string -> (Es_cfg.t, string) result

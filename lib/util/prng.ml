@@ -17,8 +17,18 @@ let next t =
 
 let int t bound =
   assert (bound > 0);
-  let r = Int64.to_int (Int64.shift_right_logical (next t) 2) in
-  r mod bound
+  (* Draws are uniform on [0, 2^62).  A plain [r mod bound] favours small
+     residues whenever bound does not divide 2^62; reject the biased tail
+     (r > cut, at most one draw in ~4.6e18 for small bounds) instead.
+     [cut] is the largest r with r mod bound exact, i.e. 2^62 - (2^62 mod
+     bound) - 1; note 2^62 = max_int + 1 on 64-bit OCaml. *)
+  let rem = ((max_int mod bound) + 1) mod bound in
+  let cut = max_int - rem in
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+    if r > cut then draw () else r mod bound
+  in
+  draw ()
 
 let int_in t lo hi =
   assert (lo <= hi);

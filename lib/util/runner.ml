@@ -1,0 +1,74 @@
+(* Fixed-size domain pool with an order-preserving work queue.
+
+   [map ~jobs f items] applies [f] to every item, fanning the work out
+   across at most [jobs] domains.  Dispatch order is the list order (an
+   atomic cursor over the task array), results are returned in input
+   order, and a task failure never cancels its siblings: every task runs
+   to completion, then the first failure (in input order) is re-raised
+   with its original backtrace.
+
+   [jobs <= 1] runs everything in the calling domain — same semantics,
+   no spawn — so a serial run is the exact reference for a parallel one.
+
+   Determinism is the caller's contract: tasks must not share mutable
+   state, and any randomness must come from a per-task seed.
+   [map_seeded] supplies that seed by splitting the base seed with
+   splitmix64 (see {!Prng}): task [i] always receives the [i]-th output
+   of the stream seeded at [seed], so results are bit-identical
+   regardless of how many domains execute them. *)
+
+type 'b cell =
+  | Pending
+  | Done of 'b
+  | Failed of exn * Printexc.raw_backtrace
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let run_one results tasks i =
+  results.(i) <-
+    (match tasks.(i) () with
+    | v -> Done v
+    | exception e -> Failed (e, Printexc.get_raw_backtrace ()))
+
+let run_tasks ~jobs (tasks : (unit -> 'b) array) : 'b array =
+  let n = Array.length tasks in
+  let results = Array.make n Pending in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then
+    for i = 0 to n - 1 do
+      run_one results tasks i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          run_one results tasks i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains
+  end;
+  Array.map
+    (function
+      | Done v -> v
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Pending -> assert false)
+    results
+
+let mapi ?(jobs = 1) f items =
+  let tasks = Array.of_list (List.mapi (fun i x -> fun () -> f i x) items) in
+  Array.to_list (run_tasks ~jobs tasks)
+
+let map ?jobs f items = mapi ?jobs (fun _ x -> f x) items
+
+let map_seeded ?jobs ~seed f items =
+  let rng = Prng.create seed in
+  let seeds = Array.init (List.length items) (fun _ -> Prng.next rng) in
+  mapi ?jobs (fun i x -> f ~seed:seeds.(i) x) items
+
+let iter ?jobs (f : 'a -> unit) items = ignore (map ?jobs f items)

@@ -1,0 +1,31 @@
+(** Fixed-size domain pool with an order-preserving work queue.
+
+    The experiment harnesses are dominated by independent per-device
+    soaks and sweeps; this module fans them out across OCaml 5 domains.
+    Tasks are dispatched in list order off an atomic cursor, results are
+    returned in input order, and [jobs <= 1] (the default) runs in the
+    calling domain with identical semantics, so a serial run is the
+    exact reference for a parallel one.
+
+    Tasks must not share mutable state; any randomness must come from a
+    per-task seed (see {!map_seeded}). *)
+
+val default_jobs : unit -> int
+(** The runtime's recommended domain count (at least 1). *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] is [List.map f items] computed on up to [jobs]
+    domains.  Every task runs to completion even if a sibling fails;
+    afterwards the first failure in input order is re-raised with its
+    original backtrace. *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+
+val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
+
+val map_seeded :
+  ?jobs:int -> seed:int64 -> (seed:int64 -> 'a -> 'b) -> 'a list -> 'b list
+(** Like {!map}, but task [i] receives the [i]-th output of the
+    splitmix64 stream seeded at [seed] as its private PRNG seed.  Seeds
+    depend only on [seed] and the task's position — never on [jobs] —
+    so results are bit-identical regardless of how many domains run. *)

@@ -86,6 +86,57 @@ let test_baseline_verdict_list () =
         (match Attacks.Attack.find cve with _ -> true | exception Not_found -> false))
     Metrics.Baseline.nioh_cves
 
+let test_spec_cache_single_flight () =
+  (* Four domains race on a cold (device, version) key; the mutex +
+     single-flight build must hand every caller the same build (an
+     unsynchronised cache would build twice and return distinct values,
+     or corrupt the table outright). *)
+  let w = Workload.Samples.find "sdhci" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let version = Devices.Qemu_version.latest in
+  match
+    Sedspec_util.Runner.map ~jobs:4
+      (fun () -> Metrics.Spec_cache.built (module W) version)
+      [ (); (); (); () ]
+  with
+  | b :: rest ->
+    List.iter
+      (fun b' -> Alcotest.(check bool) "one build shared by all" true (b == b'))
+      rest
+  | [] -> assert false
+
+let test_parallel_soak_determinism () =
+  (* The tentpole invariant: fanning the per-device soaks out across
+     domains changes wall-clock only.  Every field of every result —
+     counters, checkpoints, FPR floats — must equal the serial run. *)
+  let soak name =
+    Metrics.Fpr.soak ~seed:5L ~cases_per_hour:8 ~checkpoint_hours:[ 1; 2 ]
+      (Workload.Samples.find name)
+  in
+  let devices = [ "fdc"; "pcnet"; "ehci" ] in
+  let serial = Sedspec_util.Runner.map ~jobs:1 soak devices in
+  let parallel = Sedspec_util.Runner.map ~jobs:4 soak devices in
+  Alcotest.(check bool) "jobs 1 = jobs 4" true (serial = parallel);
+  Alcotest.(check (list string)) "order preserved" devices
+    (List.map (fun (r : Metrics.Fpr.result) -> r.device) parallel)
+
+let test_case_studies_parallel_deterministic () =
+  let serial = Metrics.Case_study.run_all () in
+  let parallel = Metrics.Case_study.run_all ~jobs:4 () in
+  List.iter2
+    (fun (a : Metrics.Case_study.result) (b : Metrics.Case_study.result) ->
+      Alcotest.(check string) "same attack order" a.attack.cve b.attack.cve;
+      Alcotest.(check bool) (a.attack.cve ^ " same verdicts") true
+        (List.map
+           (fun (o : Metrics.Case_study.strategy_outcome) ->
+             (o.strategy, o.detected, o.blocked))
+           a.per_strategy
+        = List.map
+            (fun (o : Metrics.Case_study.strategy_outcome) ->
+              (o.strategy, o.detected, o.blocked))
+            b.per_strategy))
+    serial parallel
+
 let test_spec_cache_memoises () =
   let w = Workload.Samples.find "fdc" in
   let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
@@ -121,5 +172,14 @@ let () =
         [
           Alcotest.test_case "baseline catalogue" `Quick test_baseline_verdict_list;
           Alcotest.test_case "spec cache memoises" `Quick test_spec_cache_memoises;
+          Alcotest.test_case "spec cache single-flight" `Quick
+            test_spec_cache_single_flight;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "soaks deterministic across jobs" `Slow
+            test_parallel_soak_determinism;
+          Alcotest.test_case "case studies deterministic across jobs" `Slow
+            test_case_studies_parallel_deterministic;
         ] );
     ]

@@ -468,6 +468,176 @@ let test_persisted_spec_still_detects () =
     Alcotest.(check bool) "venom detected by reloaded spec" true
       (Sedspec.Checker.drain_anomalies checker <> [])
 
+let test_persist_stale_allow_fails () =
+  (* A node line closes any open cmd block; an allow line appearing after
+     it used to silently extend the previous command's access set. *)
+  let p = Devices.Fdc.program ~version:(QV.v 2 3 0) in
+  let text =
+    "sedspec-spec v1\n\
+     program fdc\n\
+     cmd write w_dispatch 15\n\
+    \  allow write ex_seek\n\
+     node write w_dispatch 3 1 2\n\
+    \  allow write ex_seek\n\
+     end\n"
+  in
+  match Sedspec.Persist.of_string ~program:p text with
+  | Error msg ->
+    Alcotest.(check bool) "fails fast on the stale allow" true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "stale allow after a node was accepted"
+
+let empty_selection =
+  {
+    Sedspec.Selection.scalars = [];
+    buffers = [];
+    fn_ptrs = [];
+    index_params = [];
+    tracked_buffers = [];
+    rationale = [];
+  }
+
+let test_persist_rejects_bad_names () =
+  (* The format is word/comma separated: a name with a space or comma
+     cannot round-trip, so saving must refuse instead of corrupting. *)
+  let p = Devices.Fdc.program ~version:(QV.v 2 3 0) in
+  List.iter
+    (fun scalar ->
+      let sel = { empty_selection with Sedspec.Selection.scalars = [ scalar ] } in
+      let spec = Sedspec.Es_cfg.create ~program:p ~selection:sel in
+      let target = Filename.concat (Filename.get_temp_dir_name ()) "bad.spec" in
+      (match Sedspec.Persist.save spec target with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "saved unpersistable scalar %S" scalar);
+      Alcotest.(check bool) "no file was written" false (Sys.file_exists target);
+      match Sedspec.Persist.to_string spec with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "serialised unpersistable scalar %S" scalar)
+    [ "bad name"; "bad,name"; "bad\nname"; "" ]
+
+let test_persist_save_atomic_roundtrip () =
+  let _, built, _ = Lazy.force fdc_built in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sedspec_persist_%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o700;
+  let path = Filename.concat dir "fdc.spec" in
+  (match Sedspec.Persist.save built.spec path with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "save failed: %s" msg);
+  (* The temp file was renamed over the target, not left behind. *)
+  Alcotest.(check (list string)) "only the spec file remains" [ "fdc.spec" ]
+    (Array.to_list (Sys.readdir dir));
+  let program = Sedspec.Es_cfg.program built.spec in
+  (match Sedspec.Persist.load ~program path with
+  | Error msg -> Alcotest.failf "load failed: %s" msg
+  | Ok spec' ->
+    Alcotest.(check int) "node count survives the file"
+      (Sedspec.Es_cfg.node_count built.spec)
+      (Sedspec.Es_cfg.node_count spec'));
+  Sys.remove path;
+  (* An unwritable destination is a clean [Error], not an exception or a
+     half-written file. *)
+  match Sedspec.Persist.save built.spec (Filename.concat dir "no/such/dir.spec") with
+  | Error _ -> Sys.rmdir dir
+  | Ok () -> Alcotest.fail "save into a missing directory succeeded"
+
+(* Property: any well-formed training state round-trips through the text
+   format — node statistics, observed cases, indirect targets, successor
+   edges and the command access table all survive save -> load. *)
+let persist_roundtrip_prop =
+  let program = Devices.Fdc.program ~version:(QV.v 2 3 0) in
+  let blocks =
+    let acc = ref [] in
+    Program.iter_blocks program (fun bref _ -> acc := bref :: !acc);
+    Array.of_list (List.rev !acc)
+  in
+  let nblocks = Array.length blocks in
+  let gen =
+    let open QCheck.Gen in
+    let idx = int_bound (nblocks - 1) in
+    let stat = int_bound 9999 in
+    let value = map Int64.of_int (int_bound 4095) in
+    let node_for i =
+      let* visits = stat and* taken = stat and* not_taken = stat in
+      let* cases = list_size (int_bound 4) (pair value idx) in
+      let* itargets = list_size (int_bound 4) value in
+      let* succs = list_size (int_bound 4) idx in
+      return (i, visits, taken, not_taken, cases, itargets, succs)
+    in
+    let* node_idxs = map (List.sort_uniq compare) (list_size (int_bound 12) idx) in
+    let* nodes = flatten_l (List.map node_for node_idxs) in
+    let* cmd_keys =
+      map (List.sort_uniq compare) (list_size (int_bound 5) (pair idx value))
+    in
+    let* cmds =
+      flatten_l
+        (List.map
+           (fun (i, v) ->
+             let* allowed = list_size (int_range 1 5) idx in
+             return (i, v, allowed))
+           cmd_keys)
+    in
+    let* nocmd = map (List.sort_uniq compare) (list_size (int_bound 5) idx) in
+    return (nodes, cmds, nocmd)
+  in
+  let build (nodes, cmds, nocmd) =
+    let spec = Sedspec.Es_cfg.create ~program ~selection:empty_selection in
+    List.iter
+      (fun (i, visits, taken, not_taken, cases, itargets, succs) ->
+        Sedspec.Es_cfg.import_node spec blocks.(i) ~visits ~taken ~not_taken
+          ~cases:(List.map (fun (v, li) -> (v, blocks.(li).Program.label)) cases)
+          ~itargets
+          ~succs:(List.map (fun si -> blocks.(si)) succs))
+      nodes;
+    List.iter
+      (fun (di, v, allowed) ->
+        List.iter
+          (fun ai ->
+            Sedspec.Es_cfg.import_access spec ~cmd:(Some (blocks.(di), v))
+              blocks.(ai))
+          allowed)
+      cmds;
+    List.iter
+      (fun ni -> Sedspec.Es_cfg.import_access spec ~cmd:None blocks.(ni))
+      nocmd;
+    spec
+  in
+  QCheck.Test.make ~name:"persist round-trips any training state" ~count:60
+    (QCheck.make gen) (fun desc ->
+      let spec = build desc in
+      match
+        Sedspec.Persist.of_string ~program (Sedspec.Persist.to_string spec)
+      with
+      | Error msg -> QCheck.Test.fail_reportf "reload failed: %s" msg
+      | Ok spec' ->
+        Sedspec.Es_cfg.node_count spec = Sedspec.Es_cfg.node_count spec'
+        && List.for_all
+             (fun (n : Sedspec.Es_cfg.node) ->
+               match Sedspec.Es_cfg.node spec' n.bref with
+               | None -> false
+               | Some n' ->
+                 n.visits = n'.visits && n.taken = n'.taken
+                 && n.not_taken = n'.not_taken && n.cases = n'.cases
+                 && n.itargets = n'.itargets && n.succs = n'.succs)
+             (Sedspec.Es_cfg.nodes spec)
+        && List.sort compare (Sedspec.Es_cfg.commands spec)
+           = List.sort compare (Sedspec.Es_cfg.commands spec')
+        && List.for_all
+             (fun key ->
+               Array.for_all
+                 (fun b ->
+                   Sedspec.Es_cfg.cmd_allows spec key b
+                   = Sedspec.Es_cfg.cmd_allows spec' key b)
+                 blocks)
+             (Sedspec.Es_cfg.commands spec)
+        && Array.for_all
+             (fun b ->
+               Sedspec.Es_cfg.no_cmd_allows spec b
+               = Sedspec.Es_cfg.no_cmd_allows spec' b)
+             blocks)
+
 let test_persist_all_devices () =
   Metrics.Spec_cache.training_cases := training_cases;
   List.iter
@@ -674,6 +844,11 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_persist_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_persist_rejects_garbage;
+          Alcotest.test_case "stale allow fails" `Quick test_persist_stale_allow_fails;
+          Alcotest.test_case "rejects bad names" `Quick test_persist_rejects_bad_names;
+          Alcotest.test_case "atomic save roundtrip" `Quick
+            test_persist_save_atomic_roundtrip;
+          QCheck_alcotest.to_alcotest persist_roundtrip_prop;
           Alcotest.test_case "reloaded spec still detects" `Quick
             test_persisted_spec_still_detects;
           Alcotest.test_case "dot rendering" `Quick test_viz_dot_output;

@@ -2,6 +2,7 @@
 
 module Prng = Sedspec_util.Prng
 module Table = Sedspec_util.Table
+module Runner = Sedspec_util.Runner
 
 let test_determinism () =
   let a = Prng.create 1L and b = Prng.create 1L in
@@ -75,6 +76,89 @@ let prop_chance_extremes =
       let rng = Prng.create seed in
       (not (Prng.chance rng 0.0)) && Prng.chance (Prng.create seed) 1.0)
 
+let test_int_uniform_smoke () =
+  (* Rejection sampling: residues of a non-power-of-two bound stay near
+     uniform (the old [r mod bound] passed this too for small bounds; the
+     test pins the distribution so a bias regression is visible). *)
+  let rng = Prng.create 17L in
+  let counts = Array.make 6 0 in
+  let draws = 6000 in
+  for _ = 1 to draws do
+    let v = Prng.int rng 6 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "residue %d count %d near %d" i c (draws / 6))
+        true
+        (c > 800 && c < 1200))
+    counts
+
+let prop_int_huge_bounds =
+  (* Bounds near 2^62 exercise the rejection path: 2^62 mod bound is a
+     large tail there, so the old modulo fold-back would favour small
+     values almost half the time. *)
+  QCheck.Test.make ~name:"prng int in bounds for huge bounds" ~count:200
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, off) ->
+      let bound = (max_int / 2) + off in
+      let rng = Prng.create seed in
+      let v = Prng.int rng bound in
+      v >= 0 && v < bound)
+
+(* --- Runner ------------------------------------------------------------- *)
+
+let test_runner_order_preserved () =
+  let items = List.init 97 Fun.id in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "map with %d jobs = List.map" jobs)
+        (List.map f items)
+        (Runner.map ~jobs f items))
+    [ 1; 2; 4; 8 ]
+
+let test_runner_empty_and_single () =
+  Alcotest.(check (list int)) "empty" [] (Runner.map ~jobs:4 Fun.id []);
+  Alcotest.(check (list int)) "single" [ 9 ] (Runner.map ~jobs:4 (fun x -> x + 2) [ 7 ])
+
+let test_runner_first_failure_wins () =
+  (* Every task runs to completion; the first failure in input order is
+     the one re-raised. *)
+  let ran = Atomic.make 0 in
+  let f x =
+    Atomic.incr ran;
+    if x = 3 || x = 7 then failwith (Printf.sprintf "boom%d" x) else x
+  in
+  (match Runner.map ~jobs:4 f (List.init 10 Fun.id) with
+  | _ -> Alcotest.fail "expected a failure"
+  | exception Failure msg -> Alcotest.(check string) "first by index" "boom3" msg);
+  Alcotest.(check int) "all tasks ran" 10 (Atomic.get ran)
+
+let test_runner_iter_runs_all () =
+  let sum = Atomic.make 0 in
+  Runner.iter ~jobs:3 (fun x -> ignore (Atomic.fetch_and_add sum x)) (List.init 20 Fun.id);
+  Alcotest.(check int) "sum" 190 (Atomic.get sum)
+
+let test_runner_seed_split_job_independent () =
+  (* Task i's seed is the i-th splitmix64 output of the base seed: the
+     same for any job count, and reproducible from Prng directly. *)
+  let items = List.init 9 Fun.id in
+  let seeds jobs =
+    Runner.map_seeded ~jobs ~seed:42L (fun ~seed _ -> seed) items
+  in
+  let s1 = seeds 1 and s4 = seeds 4 in
+  Alcotest.(check (list int64)) "jobs 1 = jobs 4" s1 s4;
+  let rng = Prng.create 42L in
+  List.iter
+    (fun s -> Alcotest.(check int64) "matches the splitmix stream" (Prng.next rng) s)
+    s1
+
+let test_runner_default_jobs () =
+  Alcotest.(check bool) "at least one" true (Runner.default_jobs () >= 1)
+
 let test_table_render () =
   let s =
     Table.render ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "333"; "4" ] ]
@@ -111,10 +195,22 @@ let () =
           Alcotest.test_case "split" `Quick test_split_independent;
           Alcotest.test_case "pick and shuffle" `Quick test_pick_and_shuffle;
           Alcotest.test_case "bytes" `Quick test_bytes_len;
+          Alcotest.test_case "int residues uniform" `Quick test_int_uniform_smoke;
           QCheck_alcotest.to_alcotest prop_int_bounds;
           QCheck_alcotest.to_alcotest prop_int_in;
           QCheck_alcotest.to_alcotest prop_float_bounds;
           QCheck_alcotest.to_alcotest prop_chance_extremes;
+          QCheck_alcotest.to_alcotest prop_int_huge_bounds;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "order preserved" `Quick test_runner_order_preserved;
+          Alcotest.test_case "empty and single" `Quick test_runner_empty_and_single;
+          Alcotest.test_case "first failure wins" `Quick test_runner_first_failure_wins;
+          Alcotest.test_case "iter runs all" `Quick test_runner_iter_runs_all;
+          Alcotest.test_case "seed split job-independent" `Quick
+            test_runner_seed_split_job_independent;
+          Alcotest.test_case "default jobs" `Quick test_runner_default_jobs;
         ] );
       ( "table",
         [
