@@ -8,6 +8,7 @@
      fig5      PCNet bandwidth and ping latency (paper Figure 5)
      ablation  Design-choice ablations (DESIGN.md §5)
      micro     Walk-engine throughput + Bechamel micro-benchmarks
+     fuzz      Coverage-guided differential fuzz smoke (lib/fuzz)
      all       Everything above (default)
 
    Flags: --quick (shorter soaks), --seed N, --json FILE (dump every
@@ -710,6 +711,65 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Fuzz smoke: a short coverage-guided differential fuzzing run per     *)
+(* device.  Divergences are checker bugs, so any non-zero count is an   *)
+(* immediate red flag in the bench output and the JSON dump.            *)
+
+let fuzz_smoke () =
+  section "Fuzz smoke: differential fuzzing of the ES-Checker";
+  let budget = if !quick then 100 else 500 in
+  (* The loop parallelises internally; devices run serially so their
+     reports land in a stable order. *)
+  let rows =
+    List.map
+      (fun w ->
+        let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+        let device = W.device_name in
+        let opts =
+          {
+            (Fuzz.Loop.default_options ~device) with
+            Fuzz.Loop.budget;
+            seed = !seed;
+            jobs = !jobs;
+          }
+        in
+        let r = Fuzz.Loop.run opts in
+        let pfx = Printf.sprintf "fuzz.%s" device in
+        json_int (pfx ^ ".executed") r.Fuzz.Loop.r_executed;
+        json_int (pfx ^ ".corpus") (List.length r.Fuzz.Loop.r_corpus);
+        json_int (pfx ^ ".nodes") r.Fuzz.Loop.r_nodes;
+        json_int (pfx ^ ".edges") r.Fuzz.Loop.r_edges;
+        json_int (pfx ^ ".new_nodes")
+          (r.Fuzz.Loop.r_nodes - r.Fuzz.Loop.r_seed_nodes);
+        json_int (pfx ^ ".new_edges")
+          (r.Fuzz.Loop.r_edges - r.Fuzz.Loop.r_seed_edges);
+        json_int (pfx ^ ".divergences") r.Fuzz.Loop.r_divergent_inputs;
+        json_int (pfx ^ ".crashes") r.Fuzz.Loop.r_crashes;
+        [
+          String.uppercase_ascii device;
+          string_of_int r.Fuzz.Loop.r_executed;
+          string_of_int (List.length r.Fuzz.Loop.r_corpus);
+          Printf.sprintf "%d (+%d)" r.Fuzz.Loop.r_nodes
+            (r.Fuzz.Loop.r_nodes - r.Fuzz.Loop.r_seed_nodes);
+          Printf.sprintf "%d (+%d)" r.Fuzz.Loop.r_edges
+            (r.Fuzz.Loop.r_edges - r.Fuzz.Loop.r_seed_edges);
+          string_of_int r.Fuzz.Loop.r_divergent_inputs;
+          string_of_int r.Fuzz.Loop.r_crashes;
+        ])
+      Workload.Samples.all
+  in
+  Table.print
+    ~align:
+      [
+        Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+        Table.Right; Table.Right;
+      ]
+    ~header:
+      [ "Device"; "Execs"; "Corpus"; "Nodes"; "Edges"; "Diverg."; "Crashes" ]
+    rows;
+  Printf.printf "(any divergence or crash is a walk-engine bug)\n"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let cmds = ref [] in
@@ -753,6 +813,7 @@ let () =
       | "ablation" -> ablation ()
       | "baseline" -> baseline ()
       | "micro" -> micro ()
+      | "fuzz" -> fuzz_smoke ()
       | "all" ->
         table2 ();
         table3 ();
@@ -761,10 +822,11 @@ let () =
         fig5 ();
         baseline ();
         ablation ();
-        micro ()
+        micro ();
+        fuzz_smoke ()
       | other ->
         Printf.eprintf
-          "unknown command %s (table2|table3|fig3|fig4|fig5|baseline|ablation|micro|all)\n"
+          "unknown command %s (table2|table3|fig3|fig4|fig5|baseline|ablation|micro|fuzz|all)\n"
           other;
         exit 2)
     cmds;

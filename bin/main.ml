@@ -189,6 +189,176 @@ let dump_device_cmd =
        ~doc:"Render a device model as pseudo-C (handlers, blocks, layout)")
     Term.(const run $ device_arg $ version_arg)
 
+(* --- fuzz ----------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let device_opt_arg =
+    let doc = "Device to fuzz (fdc, ehci, pcnet, sdhci, scsi) or 'all'." in
+    Arg.(value & opt string "fdc" & info [ "device" ] ~docv:"DEVICE" ~doc)
+  in
+  let budget_arg =
+    let doc = "Mutant evaluations per device." in
+    Arg.(value & opt int 1000 & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Master PRNG seed." in
+    Arg.(value & opt int64 0L & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let batch_arg =
+    let doc = "Candidates derived per generation." in
+    Arg.(value & opt int 32 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let max_steps_arg =
+    let doc = "Mutant length cap in interaction steps." in
+    Arg.(value & opt int 48 & info [ "max-steps" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the JSON report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let corpus_out_arg =
+    let doc = "Save the final corpus to $(docv) (with 'all', one file per \
+               device: $(docv).DEVICE)." in
+    Arg.(value & opt (some string) None & info [ "corpus-out" ] ~docv:"FILE" ~doc)
+  in
+  let corpus_in_arg =
+    let doc = "Extra seed inputs loaded from a corpus file." in
+    Arg.(value & opt (some string) None & info [ "corpus-in" ] ~docv:"FILE" ~doc)
+  in
+  let replay_arg =
+    let doc = "Replay the inputs in $(docv) under the differential oracle and \
+               report per-input verdicts instead of fuzzing." in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let load_corpus file =
+    match Fuzz.Input.load_corpus file with
+    | Ok inputs -> inputs
+    | Error msg ->
+      Printf.eprintf "cannot load corpus %s: %s\n" file msg;
+      exit 2
+  in
+  let replay_file file =
+    let inputs = load_corpus file in
+    let failed = ref 0 in
+    List.iteri
+      (fun i (input : Fuzz.Input.t) ->
+        let o = Fuzz.Exec.evaluate input in
+        let verdict =
+          match (o.Fuzz.Exec.divergences, o.Fuzz.Exec.crashed) with
+          | [], None -> "ok"
+          | _ ->
+            incr failed;
+            String.concat "; "
+              ((match o.Fuzz.Exec.crashed with
+               | Some e -> [ "crash: " ^ e ]
+               | None -> [])
+              @ List.map
+                  (fun (d : Fuzz.Exec.divergence) ->
+                    Printf.sprintf "%s/%s: %s" d.d_profile d.d_field d.d_detail)
+                  o.Fuzz.Exec.divergences)
+        in
+        Printf.printf "input %d (%s, %s, %d steps): %s\n" i input.device
+          (Fuzz.Input.origin_to_string input.origin)
+          (Array.length input.steps) verdict)
+      inputs;
+    if !failed > 0 then exit 1
+  in
+  let fuzz_devices device budget seed jobs batch max_steps json corpus_out
+      corpus_in =
+    let devices =
+      if device = "all" then
+        List.map
+          (fun w ->
+            let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+            W.device_name)
+          Workload.Samples.all
+      else begin
+        ignore (find_device device);
+        [ device ]
+      end
+    in
+    let extra_seeds =
+      match corpus_in with Some f -> load_corpus f | None -> []
+    in
+    let reports =
+      List.map
+        (fun dev ->
+          let opts =
+            {
+              (Fuzz.Loop.default_options ~device:dev) with
+              Fuzz.Loop.seed;
+              budget;
+              jobs;
+              batch;
+              max_steps;
+              extra_seeds =
+                List.filter
+                  (fun (i : Fuzz.Input.t) -> i.device = dev)
+                  extra_seeds;
+            }
+          in
+          let r = Fuzz.Loop.run opts in
+          Printf.printf
+            "%s: executed %d, corpus %d (%d seeds), coverage %d nodes / %d \
+             edges (+%d/+%d over seeds), %d divergent inputs, %d crashes, %d \
+             fp candidates\n"
+            r.Fuzz.Loop.r_device r.r_executed (List.length r.r_corpus)
+            r.r_seed_corpus r.r_nodes r.r_edges (r.r_nodes - r.r_seed_nodes)
+            (r.r_edges - r.r_seed_edges) r.r_divergent_inputs r.r_crashes
+            (List.length r.r_fp_candidates);
+          List.iter
+            (fun (f : Fuzz.Loop.finding) ->
+              Printf.printf "  divergence [%s/%s] %s (%d-step reproducer)\n"
+                f.f_profile f.f_field f.f_detail
+                (Array.length f.f_input.Fuzz.Input.steps))
+            r.r_findings;
+          (match corpus_out with
+          | Some base ->
+            let file = if device = "all" then base ^ "." ^ dev else base in
+            Fuzz.Input.save_corpus file r.r_corpus
+          | None -> ());
+          r)
+        devices
+    in
+    (match json with
+    | Some file ->
+      let body =
+        match reports with
+        | [ r ] -> Fuzz.Loop.report_to_string r
+        | rs ->
+          Sedspec_util.Json.to_string
+            (Sedspec_util.Json.List
+               (List.map Fuzz.Loop.report_to_json rs))
+      in
+      let tmp = file ^ ".tmp" in
+      let oc = open_out tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc body);
+      Sys.rename tmp file
+    | None -> ());
+    if
+      List.exists
+        (fun r -> r.Fuzz.Loop.r_divergent_inputs > 0 || r.r_crashes > 0)
+        reports
+    then exit 1
+  in
+  let run device budget seed jobs batch max_steps json corpus_out corpus_in
+      replay cases =
+    setup_training cases;
+    match replay with
+    | Some file -> replay_file file
+    | None ->
+      fuzz_devices device budget seed jobs batch max_steps json corpus_out
+        corpus_in
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Coverage-guided differential fuzzing of the ES-Checker")
+    Term.(const run $ device_opt_arg $ budget_arg $ seed_arg $ jobs_arg
+          $ batch_arg $ max_steps_arg $ json_arg $ corpus_out_arg
+          $ corpus_in_arg $ replay_arg $ training_cases_arg)
+
 (* --- check-spec ----------------------------------------------------------- *)
 
 let check_spec_cmd =
@@ -235,6 +405,7 @@ let () =
             attack_cmd;
             soak_cmd;
             coverage_cmd;
+            fuzz_cmd;
             check_spec_cmd;
             dump_device_cmd;
           ]))

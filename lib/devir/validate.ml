@@ -156,13 +156,20 @@ let check program =
     (Program.callbacks program);
   List.rev !errors
 
-let check_exn program =
+let errors_message program errors =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "program %s is ill-formed:@." (Program.name program);
+  List.iter (fun e -> Format.fprintf ppf "  %a@." pp_error e) errors;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let validate_result program =
   match check program with
-  | [] -> ()
-  | errors ->
-    let buf = Buffer.create 256 in
-    let ppf = Format.formatter_of_buffer buf in
-    Format.fprintf ppf "program %s is ill-formed:@." (Program.name program);
-    List.iter (fun e -> Format.fprintf ppf "  %a@." pp_error e) errors;
-    Format.pp_print_flush ppf ();
-    failwith (Buffer.contents buf)
+  | [] -> Ok ()
+  | errors -> Error (errors_message program errors)
+
+let check_exn program =
+  match validate_result program with
+  | Ok () -> ()
+  | Error msg -> failwith msg

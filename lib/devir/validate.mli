@@ -22,7 +22,12 @@ val check : Program.t -> error list
     - request parameters read by blocks are declared by the handler;
     - [Cmd_decision] blocks terminate with [Switch]. *)
 
+val validate_result : Program.t -> (unit, string) result
+(** [Ok ()] when {!check} finds nothing; otherwise [Error msg] where [msg]
+    is a readable report naming every offending block. *)
+
 val check_exn : Program.t -> unit
-(** Raises [Failure] with a readable report when [check] is non-empty. *)
+(** Raises [Failure] with the {!validate_result} report when [check] is
+    non-empty. *)
 
 val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,57 @@
+(** Differential execution of fuzzer inputs.
+
+    A {!profile} names a pair of checker configurations; replaying an
+    input under both sides and comparing every observable (per-step I/O
+    results, anomalies, warnings, halt point/reason, statistics,
+    shadow-arena bytes, ES-CFG coverage, crashes) yields the fuzzer's
+    oracle.  The production profiles compare the compiled walk engine
+    against the interpreted reference in both working modes, where any
+    difference is a checker bug. *)
+
+module C := Sedspec.Checker
+
+type profile = { pname : string; left : C.config; right : C.config }
+
+val default_profiles : profile list
+(** Compiled vs Interpreted, in protection and enhancement modes. *)
+
+val cached_device : device:string -> version:Devices.Qemu_version.t -> Devices.Device.t
+(** Process-wide memoised device build (immutable program; callers mint
+    fresh arenas via [make_binding]).  Raises [Invalid_argument] for an
+    unknown device name. *)
+
+type obs = {
+  o_steps : string list;
+  o_anomalies : string list;
+  o_warnings : string list;
+  o_halted_at : int option;
+  o_halt_reason : string;
+  o_stats : string;
+  o_shadow : string;
+  o_nodes : string list;
+  o_edges : string list;
+  o_crash : string option;
+}
+
+val run : config:C.config -> Input.t -> obs * C.coverage
+(** Replay an input on a fresh protected machine under one configuration.
+    Stops at the first halt verdict; host-level exceptions out of a step
+    are recorded in [o_crash] rather than propagated. *)
+
+type divergence = { d_profile : string; d_field : string; d_detail : string }
+
+val compare_obs : obs -> obs -> (string * string) list
+(** Field-wise differences as [(field, detail)] pairs; empty = identical. *)
+
+type outcome = {
+  divergences : divergence list;
+  crashed : string option;
+  anomalous : bool;
+  coverage : C.coverage;
+}
+
+val evaluate : ?profiles:profile list -> Input.t -> outcome
+(** Run an input under every profile (both sides) and fold the oracle
+    verdicts.  [coverage] comes from the first profile's left run, making
+    it a deterministic feedback signal.  Raises [Invalid_argument] when
+    [profiles] is empty. *)

@@ -1,0 +1,49 @@
+(** Fuzzer inputs: recorded or synthesised I/O interaction sequences.
+
+    An input is the guest's half of a device conversation — the requests a
+    driver issues (handler + parameters, the form {!Vmm.Machine} dispatches)
+    interleaved with the guest-memory bytes it stages for DMA.  Seeds are
+    recorded from the benign workload library and the attack catalogue;
+    mutants are derived from them. *)
+
+type step =
+  | Req of { handler : string; params : (string * int64) list }
+  | Guest_write of { addr : int64; data : string }
+
+type origin = Benign | Attack of string  (** CVE id. *) | Mutant
+
+type t = {
+  device : string;
+  version : Devices.Qemu_version.t;
+  origin : origin;
+  steps : step array;
+}
+
+val origin_to_string : origin -> string
+
+val record : Vmm.Machine.t -> device:string -> (unit -> unit) -> step array
+(** [record m ~device f] runs [f] while capturing the device's top-level
+    requests and the driver-side guest-memory writes between them.
+    Installs (and removes) a recording interposer and the RAM write hook;
+    the machine must not already carry an interposer on [device]. *)
+
+val record_benign :
+  (module Workload.Samples.DEVICE_WORKLOAD) -> (Vmm.Machine.t -> unit) -> t
+(** Record one benign driver scenario against a fresh machine at the
+    workload's paper version. *)
+
+val seed_corpus : device:string -> t list
+(** Deterministic seeds for one device: a training case, two short benign
+    soaks, and every catalogued attack against the device (recorded at the
+    attack's QEMU version).  Raises [Not_found] for an unknown device. *)
+
+(** {2 Persistence} — a line-oriented text format that round-trips the
+    full unsigned 64-bit range and is byte-stable across runs. *)
+
+val to_string : t -> string
+val corpus_to_string : t list -> string
+val corpus_of_string : string -> (t list, string) result
+val save_corpus : string -> t list -> unit
+(** Atomic: writes a temp file, then renames. *)
+
+val load_corpus : string -> (t list, string) result

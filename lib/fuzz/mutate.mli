@@ -1,0 +1,17 @@
+(** Mutation operators over interaction sequences.
+
+    Mutants stay within the device's declared request surface: only
+    handlers the program defines are injected, with every declared
+    parameter bound, so device-side failures surface as traps or checker
+    anomalies (findings) rather than malformed-dispatch noise. *)
+
+val mutate :
+  rng:Sedspec_util.Prng.t ->
+  max_steps:int ->
+  pool:Input.t array ->
+  Input.t ->
+  Input.t
+(** Derive a mutant from a parent: a stack of 1–4 structural (remove,
+    duplicate, swap, truncate, insert, crossover with [pool]) and payload
+    (parameter/byte) mutations, capped at [max_steps] steps.  All
+    randomness comes from [rng]. *)

@@ -42,6 +42,17 @@ type ctx = Ctx_none | Ctx_cmd of Es_cfg.cmd_key | Ctx_unknown
 
 type pending = { p_handler : string; p_params : (string * int64) list }
 
+(* ES-CFG coverage accumulator: the set of nodes entered by walks and the
+   set of ordered node pairs traversed consecutively in walk order —
+   including the seam between one walk's last node and the next walk's
+   first, which is what makes novel command orderings visible as coverage.
+   Feedback signal for the coverage-guided fuzzer; recording is identical
+   under both engines, so coverage divergence is itself an oracle. *)
+type coverage = {
+  cov_nodes : (Program.bref, unit) Hashtbl.t;
+  cov_edges : (Program.bref * Program.bref, unit) Hashtbl.t;
+}
+
 (* Pre-classified reduced (non-node) blocks, so the reference walk does not
    re-run [lift_dsod] on every pass-through of every walk. *)
 type pass = P_goto of Program.bref | P_halt | P_off
@@ -73,6 +84,10 @@ type t = {
   mutable inline_halt : anomaly option;
       (** Set by the inline icall guard when it vetoes a call. *)
   mutable inline_warn : anomaly option;
+  mutable cov : coverage option;
+      (** When set, every walk records ES-CFG node/edge coverage here. *)
+  mutable cov_prev : Program.bref option;
+      (** Previous node entered in the current walk (edge recording). *)
   (* Strategy flags, kept in sync with [config] (hot-path lookups). *)
   mutable en_param : bool;
   mutable en_indirect : bool;
@@ -159,6 +174,8 @@ let create ?(config = default_config) ~spec ~device_arena ~guest () =
     spans;
     inline_halt = None;
     inline_warn = None;
+    cov = None;
+    cov_prev = None;
     en_param = List.mem Parameter_check config.strategies;
     en_indirect = List.mem Indirect_jump_check config.strategies;
     en_cond = List.mem Conditional_jump_check config.strategies;
@@ -182,6 +199,29 @@ let drain_anomalies t =
 let resync t =
   Arena.copy_into ~src:t.device_arena ~dst:t.shadow;
   t.ctx <- Ctx_unknown
+
+(* Return the checker to its just-attached state against the (already
+   reset) live control structure.  Keeps the lazily-built compiled form:
+   recycling machine+checker pairs across replays is what makes fuzzing
+   throughput viable, and the lowering is immutable apart from its
+   per-walk env, which every walk re-initialises. *)
+let reset t =
+  Arena.copy_into ~src:t.device_arena ~dst:t.shadow;
+  t.ctx <- Ctx_none;
+  t.anomalies_rev <- [];
+  t.stats.interactions <- 0;
+  t.stats.walks_ok <- 0;
+  t.stats.bails <- 0;
+  t.stats.deferred <- 0;
+  t.stats.nodes_walked <- 0;
+  Hashtbl.reset t.sync_values;
+  t.pending <- None;
+  t.staged <- None;
+  t.dirty <- false;
+  t.inline_halt <- None;
+  t.inline_warn <- None;
+  t.cov <- None;
+  t.cov_prev <- None
 
 (* Only decision-relevant parameters are guaranteed to match: fields pulled
    in purely as dependencies may be computed from untracked buffer content
@@ -220,6 +260,58 @@ let record_sync t bref values =
       in
       Queue.push v q)
     values
+
+(* --- Coverage ---------------------------------------------------------- *)
+
+let coverage_create () =
+  { cov_nodes = Hashtbl.create 128; cov_edges = Hashtbl.create 256 }
+
+let coverage_node_count c = Hashtbl.length c.cov_nodes
+let coverage_edge_count c = Hashtbl.length c.cov_edges
+
+let coverage_nodes c =
+  List.sort Program.bref_compare
+    (Hashtbl.fold (fun b () acc -> b :: acc) c.cov_nodes [])
+
+let edge_compare (a1, a2) (b1, b2) =
+  match Program.bref_compare a1 b1 with
+  | 0 -> Program.bref_compare a2 b2
+  | n -> n
+
+let coverage_edges c =
+  List.sort edge_compare (Hashtbl.fold (fun e () acc -> e :: acc) c.cov_edges [])
+
+let coverage_absorb ~into c =
+  let fresh = ref 0 in
+  let merge src dst =
+    Hashtbl.iter
+      (fun k () ->
+        if not (Hashtbl.mem dst k) then begin
+          Hashtbl.replace dst k ();
+          incr fresh
+        end)
+      src
+  in
+  merge c.cov_nodes into.cov_nodes;
+  merge c.cov_edges into.cov_edges;
+  !fresh
+
+let set_coverage t cov =
+  t.cov <- cov;
+  t.cov_prev <- None
+
+(* Entering an ES-CFG node during a walk (either engine). *)
+let cov_enter t bref =
+  match t.cov with
+  | None -> ()
+  | Some c ->
+    if not (Hashtbl.mem c.cov_nodes bref) then Hashtbl.replace c.cov_nodes bref ();
+    (match t.cov_prev with
+    | Some prev ->
+      let e = (prev, bref) in
+      if not (Hashtbl.mem c.cov_edges e) then Hashtbl.replace c.cov_edges e ()
+    | None -> ());
+    t.cov_prev <- Some bref
 
 let enabled t = function
   | Parameter_check -> t.en_param
@@ -419,6 +511,7 @@ let walk_interpreted t ~sync ~handler ~params =
       | Some P_off | None -> off_graph bref "block never observed in training")
     | Some n -> (
       t.stats.nodes_walked <- t.stats.nodes_walked + 1;
+      cov_enter t bref;
       check_access bref;
       List.iter (exec_stmt bref) n.dsod;
       let clear_if_cmd_end () = if n.kind = Block.Cmd_end then ctx := Ctx_none in
@@ -603,6 +696,7 @@ let walk_compiled t ~sync ~handler ~params =
   and enter (n : Compile.cnode) stack =
     bump n.Compile.bref;
     incr walked;
+    cov_enter t n.Compile.bref;
     (let ok =
        match !ctx with
        | -2 -> true

@@ -93,6 +93,13 @@ val drain_anomalies : t -> anomaly list
 val resync : t -> unit
 (** Re-initialise the shadow state from the live control structure. *)
 
+val reset : t -> unit
+(** Return the checker to its just-attached state against the (already
+    reset) live control structure: clears anomalies, statistics, command
+    context, deferred/staged state and coverage wiring, and re-copies the
+    shadow from the device arena.  The lazily-compiled walk form is kept.
+    Lets the fuzzer recycle machine+checker pairs across replays. *)
+
 val record_sync : t -> Devir.Program.bref -> (string * int64) list -> unit
 (** Feed sync-point values captured from the device run (installed
     automatically by {!attach}). *)
@@ -113,6 +120,37 @@ val bench_walk : t -> handler:string -> params:(string * int64) list -> unit
 
 val shadow_snapshot : t -> bytes
 (** Raw bytes of the shadow control structure (for differential tests). *)
+
+(** {2 ES-CFG coverage}
+
+    An accumulator of the ES-CFG nodes entered by walks and the ordered
+    node pairs traversed consecutively in walk order.  Pairs span walk
+    boundaries: the seam from one walk's last node to the next walk's
+    first records, so an unseen {e ordering} of commands counts as new
+    coverage even when every command path is individually known.  Both
+    engines record identically, so the coverage-guided fuzzer can use it
+    as feedback {e and} as part of its differential oracle. *)
+
+type coverage
+
+val coverage_create : unit -> coverage
+val coverage_node_count : coverage -> int
+val coverage_edge_count : coverage -> int
+
+val coverage_nodes : coverage -> Devir.Program.bref list
+(** Covered nodes, sorted (deterministic regardless of walk order). *)
+
+val coverage_edges : coverage -> (Devir.Program.bref * Devir.Program.bref) list
+(** Covered edges (consecutive pairs in walk order, seams included),
+    sorted. *)
+
+val coverage_absorb : into:coverage -> coverage -> int
+(** [coverage_absorb ~into c] merges [c] into [into]; returns the number
+    of nodes plus edges that were new to [into]. *)
+
+val set_coverage : t -> coverage option -> unit
+(** Install (or remove) the accumulator every subsequent walk records
+    into.  Resets the edge seam state. *)
 
 val strategy_to_string : strategy -> string
 val pp_anomaly : Format.formatter -> anomaly -> unit

@@ -1,9 +1,21 @@
 open Devir
 
-let node_id (b : Program.bref) =
-  Printf.sprintf "\"%s_%s\"" b.handler b.label
+(* DOT double-quoted string escaping: backslashes and quotes are escaped,
+   newlines become the \n line-break escape. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
 
-let escape s = String.concat "\\n" (String.split_on_char '\n' s)
+let node_id (b : Program.bref) =
+  Printf.sprintf "\"%s_%s\"" (escape b.handler) (escape b.label)
 
 let to_dot spec =
   let buf = Buffer.create 4096 in

@@ -1,6 +1,8 @@
-type t = { mem : bytes }
+type t = { mem : bytes; mutable write_hook : (int64 -> int -> unit) option }
 
-let create size = { mem = Bytes.make size '\000' }
+let create size = { mem = Bytes.make size '\000'; write_hook = None }
+
+let set_write_hook t hook = t.write_hook <- hook
 
 let size t = Bytes.length t.mem
 
@@ -10,8 +12,10 @@ let read_byte t addr =
 
 let write_byte t addr v =
   let i = Int64.to_int addr in
-  if i >= 0 && i < Bytes.length t.mem then
-    Bytes.set t.mem i (Char.chr (v land 0xFF))
+  if i >= 0 && i < Bytes.length t.mem then begin
+    Bytes.set t.mem i (Char.chr (v land 0xFF));
+    match t.write_hook with None -> () | Some f -> f addr (v land 0xFF)
+  end
 
 let read t addr w =
   let rec go i acc =
@@ -46,6 +50,9 @@ let fill t addr len byte =
   for i = 0 to len - 1 do
     write_byte t (Int64.add addr (Int64.of_int i)) byte
   done
+
+(* Host-side reset: does not fire the write hook. *)
+let clear t = Bytes.fill t.mem 0 (Bytes.length t.mem) '\000'
 
 let snapshot t = Bytes.copy t.mem
 

@@ -18,6 +18,11 @@ val read_byte : t -> int64 -> int
 val write_byte : t -> int64 -> int -> unit
 (** Out-of-range writes are dropped. *)
 
+val set_write_hook : t -> (int64 -> int -> unit) option -> unit
+(** Observe every in-range byte written (all write paths funnel through
+    {!write_byte}).  Used by the fuzzer's input recorder to capture the
+    guest-side memory a workload stages; [None] removes the hook. *)
+
 val read : t -> int64 -> Devir.Width.t -> int64
 (** Little-endian scalar read. *)
 
@@ -31,6 +36,9 @@ val blit_out : t -> int64 -> int -> bytes
 
 val fill : t -> int64 -> int -> int -> unit
 (** [fill t addr len byte]. *)
+
+val clear : t -> unit
+(** Zero the whole image (host-side reset; the write hook does not fire). *)
 
 val snapshot : t -> bytes
 val restore : t -> bytes -> unit

@@ -411,3 +411,8 @@ let find name =
   List.find
     (fun (module W : DEVICE_WORKLOAD) -> W.device_name = name)
     all
+
+let find_opt name =
+  List.find_opt
+    (fun (module W : DEVICE_WORKLOAD) -> W.device_name = name)
+    all

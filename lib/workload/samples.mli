@@ -52,3 +52,5 @@ val all : (module DEVICE_WORKLOAD) list
 
 val find : string -> (module DEVICE_WORKLOAD)
 (** Lookup by device name; raises [Not_found]. *)
+
+val find_opt : string -> (module DEVICE_WORKLOAD) option

@@ -284,6 +284,54 @@ let test_validate_cmd_decision_needs_switch () =
   let p = Program.make ~name:"bad" ~layout:sample_layout [ h ] in
   Alcotest.(check bool) "errors found" true (Validate.check p <> [])
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_validate_result_ok () =
+  List.iter
+    (fun p ->
+      match Validate.validate_result p with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg)
+    (all_programs ())
+
+let test_validate_result_names_every_block () =
+  (* Three independently broken blocks: the report must name all of them,
+     not stop at the first. *)
+  let h =
+    handler "h" ~params:[]
+      [
+        entry "first_bad" [] (goto "missing");
+        blk "second_bad" [ set "nope" (c 1) ] (goto "x");
+        blk "third_bad" [ set "r32" (lcl "ghost") ] (goto "x");
+        exit_ "x" [];
+      ]
+  in
+  let p = Program.make ~name:"multi" ~layout:sample_layout [ h ] in
+  match Validate.validate_result p with
+  | Ok () -> Alcotest.fail "expected errors"
+  | Error msg ->
+    Alcotest.(check bool) "names the program" true (contains msg "multi");
+    List.iter
+      (fun label ->
+        Alcotest.(check bool) ("names " ^ label) true (contains msg label))
+      [ "first_bad"; "second_bad"; "third_bad" ]
+
+let test_validate_check_exn_matches_result () =
+  let h = handler "h" ~params:[] [ entry "e" [] (goto "missing") ] in
+  let p = Program.make ~name:"bad" ~layout:sample_layout [ h ] in
+  let expected =
+    match Validate.validate_result p with
+    | Error msg -> msg
+    | Ok () -> Alcotest.fail "expected errors"
+  in
+  match Validate.check_exn p with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+    Alcotest.(check string) "same report" expected msg
+
 let test_pretty_renders_all_devices () =
   List.iter
     (fun p ->
@@ -368,5 +416,11 @@ let () =
           Alcotest.test_case "unassigned local" `Quick test_validate_catches_unassigned_local;
           Alcotest.test_case "missing exit" `Quick test_validate_requires_exit;
           Alcotest.test_case "cmd-decision needs switch" `Quick test_validate_cmd_decision_needs_switch;
+          Alcotest.test_case "validate_result ok on shipped devices" `Quick
+            test_validate_result_ok;
+          Alcotest.test_case "report names every offending block" `Quick
+            test_validate_result_names_every_block;
+          Alcotest.test_case "check_exn carries the same report" `Quick
+            test_validate_check_exn_matches_result;
         ] );
     ]

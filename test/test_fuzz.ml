@@ -1,0 +1,276 @@
+(* Tests for the coverage-guided differential fuzzer.
+
+   The expensive properties are exercised on the FDC only (one spec
+   build, shared via the cache); serialization and recording cover all
+   five devices because they need no specification at all. *)
+
+module Input = Fuzz.Input
+module Exec = Fuzz.Exec
+module Loop = Fuzz.Loop
+module C = Sedspec.Checker
+
+let devices = [ "fdc"; "sdhci"; "ehci"; "pcnet"; "scsi" ]
+
+(* Seed corpora are recorded once and shared across tests. *)
+let corpus = Hashtbl.create 8
+
+let seed_corpus device =
+  match Hashtbl.find_opt corpus device with
+  | Some c -> c
+  | None ->
+    let c = Input.seed_corpus ~device in
+    Hashtbl.replace corpus device c;
+    c
+
+(* --- Serialization ------------------------------------------------------ *)
+
+let input_equal (a : Input.t) (b : Input.t) =
+  a.device = b.device
+  && Devices.Qemu_version.to_string a.version
+     = Devices.Qemu_version.to_string b.version
+  && a.origin = b.origin && a.steps = b.steps
+
+let test_seed_corpus_roundtrip () =
+  List.iter
+    (fun device ->
+      let seeds = seed_corpus device in
+      Alcotest.(check bool)
+        (device ^ " has seeds") true
+        (List.length seeds >= 3);
+      match Input.corpus_of_string (Input.corpus_to_string seeds) with
+      | Error msg -> Alcotest.fail (device ^ ": reload failed: " ^ msg)
+      | Ok seeds' ->
+        Alcotest.(check int)
+          (device ^ " count") (List.length seeds) (List.length seeds');
+        List.iter2
+          (fun a b ->
+            Alcotest.(check bool) (device ^ " input roundtrips") true
+              (input_equal a b))
+          seeds seeds')
+    devices
+
+let test_roundtrip_int64_extremes () =
+  (* Values are serialized as unsigned hex, so the full 64-bit range —
+     including negative int64 bit patterns — must survive. *)
+  let input =
+    {
+      Input.device = "fdc";
+      version = Devices.Qemu_version.v 2 3 0;
+      origin = Input.Mutant;
+      steps =
+        [|
+          Input.Req
+            {
+              handler = "h";
+              params =
+                [ ("a", -1L); ("b", Int64.min_int); ("c", 0L); ("d", 42L) ];
+            };
+          Input.Guest_write { addr = 0xFFFFFFFFFFFFFFF0L; data = "\x00\xff*" };
+        |];
+    }
+  in
+  match Input.corpus_of_string (Input.to_string input) with
+  | Error msg -> Alcotest.fail ("reload failed: " ^ msg)
+  | Ok [ input' ] ->
+    Alcotest.(check bool) "extreme values roundtrip" true
+      (input_equal input input')
+  | Ok _ -> Alcotest.fail "expected exactly one input"
+
+let test_parser_rejects_garbage () =
+  let expect_error s =
+    match Input.corpus_of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("parsed garbage: " ^ String.escaped s)
+  in
+  expect_error "input fdc\nend\n";
+  expect_error "input fdc 2.3.0 benign\nq bogus\nend\n";
+  expect_error "input fdc 2.3.0 benign\nr h a=1\n";
+  (* missing end *)
+  expect_error "input fdc 2.3.0 sideways\nend\n";
+  (* bad origin *)
+  Alcotest.(check bool) "empty corpus is fine" true
+    (Input.corpus_of_string "" = Ok [])
+
+(* --- ddmin (pure) ------------------------------------------------------- *)
+
+let test_ddmin_minimises () =
+  (* Interesting = contains both 3 and 17: ddmin must find the exact
+     two-element subsequence, preserving order. *)
+  let steps = Array.init 20 Fun.id in
+  let test arr = Array.mem 3 arr && Array.mem 17 arr in
+  let out = Loop.ddmin ~test steps in
+  Alcotest.(check (array int)) "minimal subsequence" [| 3; 17 |] out
+
+let test_ddmin_respects_budget () =
+  let evals = ref 0 in
+  let steps = Array.init 64 Fun.id in
+  let test arr =
+    incr evals;
+    Array.mem 63 arr
+  in
+  ignore (Loop.ddmin ~max_evals:5 ~test steps);
+  Alcotest.(check bool) "stopped at the eval budget" true (!evals <= 5)
+
+let test_ddmin_empty_and_singleton () =
+  Alcotest.(check (array int)) "empty" [||]
+    (Loop.ddmin ~test:(fun _ -> true) [||]);
+  Alcotest.(check (array int)) "singleton kept" [| 9 |]
+    (Loop.ddmin ~test:(fun a -> Array.mem 9 a) [| 9 |])
+
+(* --- The loop on FDC ---------------------------------------------------- *)
+
+let fdc_options ~budget ~seed =
+  { (Loop.default_options ~device:"fdc") with Loop.budget; seed }
+
+let test_benign_fuzz_no_divergence_and_growth () =
+  let r = Loop.run { (fdc_options ~budget:200 ~seed:42L) with Loop.jobs = 2 } in
+  Alcotest.(check int) "no divergent inputs" 0 r.Loop.r_divergent_inputs;
+  Alcotest.(check int) "no crashes" 0 r.Loop.r_crashes;
+  Alcotest.(check int) "executed the budget" 200 r.Loop.r_executed;
+  Alcotest.(check bool) "coverage grew over the seeds" true
+    (r.Loop.r_nodes + r.Loop.r_edges > r.Loop.r_seed_nodes + r.Loop.r_seed_edges);
+  Alcotest.(check bool) "corpus retained the seeds" true
+    (List.length r.Loop.r_corpus >= r.Loop.r_seed_corpus)
+
+let test_jobs_determinism () =
+  (* The whole observable output — report JSON and corpus text — must be
+     bit-identical regardless of the domain count. *)
+  let run jobs =
+    let r = Loop.run { (fdc_options ~budget:64 ~seed:7L) with Loop.jobs } in
+    (Loop.report_to_string r, Input.corpus_to_string r.Loop.r_corpus)
+  in
+  let report1, corpus1 = run 1 in
+  let report4, corpus4 = run 4 in
+  Alcotest.(check string) "report jobs 1 = jobs 4" report1 report4;
+  Alcotest.(check string) "corpus jobs 1 = jobs 4" corpus1 corpus4
+
+(* A deliberately broken right-hand checker: the interpreted engine with a
+   tiny walk budget trips the cycle-budget anomaly on walks the production
+   configuration completes.  The differential oracle must catch it and the
+   shrinker must reduce the reproducer to a handful of steps. *)
+let broken_profile ~walk_limit =
+  {
+    Exec.pname = "seeded-bug";
+    left = C.default_config;
+    right =
+      {
+        C.default_config with
+        C.engine = C.Interpreted;
+        walk_limit;
+      };
+  }
+
+let test_seeded_divergence_found_and_shrunk () =
+  let opts =
+    {
+      (fdc_options ~budget:64 ~seed:3L) with
+      Loop.profiles = [ broken_profile ~walk_limit:4 ];
+      jobs = 2;
+    }
+  in
+  let r = Loop.run opts in
+  Alcotest.(check bool) "divergence detected" true
+    (r.Loop.r_divergent_inputs > 0);
+  Alcotest.(check bool) "finding reported" true (r.Loop.r_findings <> []);
+  List.iter
+    (fun (f : Loop.finding) ->
+      Alcotest.(check string) "profile" "seeded-bug" f.Loop.f_profile;
+      Alcotest.(check bool)
+        (Printf.sprintf "reproducer shrunk to %d steps (<= 8)"
+           (Array.length f.Loop.f_input.Input.steps))
+        true
+        (Array.length f.Loop.f_input.Input.steps <= 8);
+      (* The minimized reproducer still reproduces. *)
+      let o = Exec.evaluate ~profiles:opts.Loop.profiles f.Loop.f_input in
+      Alcotest.(check bool) "reproducer re-diverges" true
+        (List.exists
+           (fun (d : Exec.divergence) ->
+             d.Exec.d_profile = "seeded-bug" && d.Exec.d_field = f.Loop.f_field)
+           o.Exec.divergences))
+    r.Loop.r_findings
+
+let test_fp_candidate_reported () =
+  (* A benign-origin input the spec was never trained on: the checker
+     flags it, and because the origin is benign the report must surface
+     it as a false-positive candidate rather than a plain anomaly. *)
+  let rare =
+    {
+      Input.device = "fdc";
+      version = (let w = Workload.Samples.find "fdc" in
+                 let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+                 W.paper_version);
+      origin = Input.Benign;
+      steps =
+        [|
+          (* DUMPREG (0x0E) is a legal FDC command the benign trainer
+             never issues. *)
+          Input.Req
+            {
+              handler = "write";
+              params =
+                [ ("addr", 0x3F5L); ("offset", 5L); ("size", 1L); ("data", 0x0EL) ];
+            };
+        |];
+    }
+  in
+  let r =
+    Loop.run
+      { (fdc_options ~budget:0 ~seed:1L) with Loop.extra_seeds = [ rare ] }
+  in
+  Alcotest.(check bool) "fp candidate surfaced" true (r.Loop.r_fp_candidates <> [])
+
+let test_report_json_shape () =
+  let r = Loop.run (fdc_options ~budget:16 ~seed:11L) in
+  let json = Loop.report_to_string r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("report mentions " ^ needle) true
+        (let n = String.length needle and m = String.length json in
+         let rec go i =
+           i + n <= m && (String.sub json i n = needle || go (i + 1))
+         in
+         go 0))
+    [
+      "\"device\"";
+      "\"seed\"";
+      "\"executed\"";
+      "\"coverage\"";
+      "\"new_nodes\"";
+      "\"new_edges\"";
+      "\"divergences\"";
+      "\"fp_candidates\"";
+    ]
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "input",
+        [
+          Alcotest.test_case "seed corpus roundtrips (all devices)" `Quick
+            test_seed_corpus_roundtrip;
+          Alcotest.test_case "int64 extremes roundtrip" `Quick
+            test_roundtrip_int64_extremes;
+          Alcotest.test_case "parser rejects garbage" `Quick
+            test_parser_rejects_garbage;
+        ] );
+      ( "ddmin",
+        [
+          Alcotest.test_case "minimises to the core" `Quick test_ddmin_minimises;
+          Alcotest.test_case "respects the eval budget" `Quick
+            test_ddmin_respects_budget;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_ddmin_empty_and_singleton;
+        ] );
+      ( "loop",
+        [
+          Alcotest.test_case "benign fuzz: clean and growing" `Quick
+            test_benign_fuzz_no_divergence_and_growth;
+          Alcotest.test_case "jobs 1 = jobs 4 bit-identical" `Quick
+            test_jobs_determinism;
+          Alcotest.test_case "seeded divergence found and shrunk" `Quick
+            test_seeded_divergence_found_and_shrunk;
+          Alcotest.test_case "fp candidate reported" `Quick
+            test_fp_candidate_reported;
+          Alcotest.test_case "report json shape" `Quick test_report_json_shape;
+        ] );
+    ]

@@ -107,6 +107,44 @@ let prop_int_huge_bounds =
       let v = Prng.int rng bound in
       v >= 0 && v < bound)
 
+let prop_int_near_max =
+  (* The largest representable bound: rejection sampling must still
+     terminate and stay in range right at the edge. *)
+  QCheck.Test.make ~name:"prng int in bounds near max_int" ~count:200
+    QCheck.(pair int64 (int_range 0 4))
+    (fun (seed, off) ->
+      let bound = max_int - off in
+      let rng = Prng.create seed in
+      let v = Prng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_copy_identical_stream =
+  QCheck.Test.make ~name:"prng copy yields an identical stream" ~count:200
+    QCheck.(pair int64 (int_range 1 64))
+    (fun (seed, n) ->
+      let a = Prng.create seed in
+      (* Burn a prefix so the copy starts mid-stream, not at the seed. *)
+      for _ = 1 to n do
+        ignore (Prng.next a)
+      done;
+      let b = Prng.copy a in
+      List.for_all Fun.id
+        (List.init n (fun _ -> Int64.equal (Prng.next a) (Prng.next b))))
+
+let test_prng_preconditions_raise () =
+  (* The preconditions are assert-guarded, so misuse dies loudly in any
+     build rather than looping or returning garbage. *)
+  let rng = Prng.create 1L in
+  let expect_assert name f =
+    match f () with
+    | _ -> Alcotest.fail (name ^ ": expected Assert_failure")
+    | exception Assert_failure _ -> ()
+  in
+  expect_assert "int 0" (fun () -> Prng.int rng 0);
+  expect_assert "int negative" (fun () -> Prng.int rng (-3));
+  expect_assert "int_in lo > hi" (fun () -> Prng.int_in rng 5 4);
+  expect_assert "pick empty" (fun () -> Prng.pick rng [||])
+
 (* --- Runner ------------------------------------------------------------- *)
 
 let test_runner_order_preserved () =
@@ -159,6 +197,30 @@ let test_runner_seed_split_job_independent () =
 let test_runner_default_jobs () =
   Alcotest.(check bool) "at least one" true (Runner.default_jobs () >= 1)
 
+let test_runner_more_jobs_than_tasks () =
+  (* Idle domains must neither deadlock nor disturb the result order. *)
+  Alcotest.(check (list int)) "jobs 16, 3 tasks" [ 10; 20; 30 ]
+    (Runner.map ~jobs:16 (fun x -> x * 10) [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "jobs 16, 0 tasks" [] (Runner.map ~jobs:16 Fun.id [])
+
+let test_runner_failure_mid_queue_drains () =
+  (* A task raising while later tasks are still queued: the queue drains
+     (every task runs exactly once) and re-running without the poison
+     task preserves input ordering. *)
+  let ran = Array.make 40 0 in
+  (match
+     Runner.map ~jobs:4
+       (fun x ->
+         ran.(x) <- ran.(x) + 1;
+         if x = 5 then raise Exit else x)
+       (List.init 40 Fun.id)
+   with
+  | _ -> Alcotest.fail "expected Exit"
+  | exception Exit -> ());
+  Array.iteri
+    (fun i c -> Alcotest.(check int) (Printf.sprintf "task %d ran once" i) 1 c)
+    ran
+
 let test_table_render () =
   let s =
     Table.render ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "333"; "4" ] ]
@@ -201,6 +263,10 @@ let () =
           QCheck_alcotest.to_alcotest prop_float_bounds;
           QCheck_alcotest.to_alcotest prop_chance_extremes;
           QCheck_alcotest.to_alcotest prop_int_huge_bounds;
+          QCheck_alcotest.to_alcotest prop_int_near_max;
+          QCheck_alcotest.to_alcotest prop_copy_identical_stream;
+          Alcotest.test_case "preconditions raise" `Quick
+            test_prng_preconditions_raise;
         ] );
       ( "runner",
         [
@@ -211,6 +277,10 @@ let () =
           Alcotest.test_case "seed split job-independent" `Quick
             test_runner_seed_split_job_independent;
           Alcotest.test_case "default jobs" `Quick test_runner_default_jobs;
+          Alcotest.test_case "more jobs than tasks" `Quick
+            test_runner_more_jobs_than_tasks;
+          Alcotest.test_case "failure mid-queue drains" `Quick
+            test_runner_failure_mid_queue_drains;
         ] );
       ( "table",
         [

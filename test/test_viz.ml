@@ -1,0 +1,165 @@
+(* Expectation tests for the Graphviz rendering of execution specs.
+
+   The DOT output is a review artifact (what did the device's spec
+   actually learn?), so these tests pin the exact text for a small
+   hand-built spec and the annotation/escaping rules separately: a
+   rendering change must show up as a conscious golden update, not as a
+   silent drift. *)
+
+open Devir
+open Devir.Dsl
+
+let empty_selection =
+  {
+    Sedspec.Selection.scalars = [];
+    buffers = [];
+    fn_ptrs = [];
+    index_params = [];
+    tracked_buffers = [];
+    rationale = [];
+  }
+
+let layout = Layout.make [ Layout.reg "r8" Width.W8 ]
+
+(* A miniature FDC-shaped device: entry, a command-decision switch, an
+   execution block that needs host-side synchronisation, a one-sided
+   conditional and the exit. *)
+let mini_program =
+  Program.make ~name:"mini_fdc" ~layout
+    [
+      handler "wr" ~params:[ "data" ]
+        [
+          entry "e" [] (goto "d");
+          cmd_decision "d" [ set "r8" (prm "data") ]
+            (switch (fld "r8") [ (1, "run") ] "x");
+          blk "run"
+            [ hostv "clk" "host-clock"; set "r8" (lcl "clk") ]
+            (br (fld "r8" ==% c 0) "chk" "x");
+          blk "chk" [] (br (fld "r8" ==% c 1) "done" "x");
+          cmd_end "done" [] (goto "x");
+          exit_ "x" [];
+        ];
+    ]
+
+let bref label = { Program.handler = "wr"; label }
+
+let mini_spec () =
+  let spec =
+    Sedspec.Es_cfg.create ~program:mini_program ~selection:empty_selection
+  in
+  let imp label ~visits ~taken ~not_taken ~cases ~succs =
+    Sedspec.Es_cfg.import_node spec (bref label) ~visits ~taken ~not_taken
+      ~cases ~itargets:[]
+      ~succs:(List.map bref succs)
+  in
+  imp "e" ~visits:5 ~taken:0 ~not_taken:0 ~cases:[] ~succs:[ "d" ];
+  imp "d" ~visits:5 ~taken:0 ~not_taken:0
+    ~cases:[ (1L, "run") ]
+    ~succs:[ "run"; "x" ];
+  (* Balanced conditional, but host-synced: a sync point. *)
+  imp "run" ~visits:3 ~taken:2 ~not_taken:1 ~cases:[] ~succs:[ "chk"; "x" ];
+  (* One-sided conditional: the not-taken direction was never observed. *)
+  imp "chk" ~visits:2 ~taken:2 ~not_taken:0 ~cases:[] ~succs:[ "done" ];
+  imp "done" ~visits:2 ~taken:0 ~not_taken:0 ~cases:[] ~succs:[ "x" ];
+  imp "x" ~visits:5 ~taken:0 ~not_taken:0 ~cases:[] ~succs:[];
+  spec
+
+let golden =
+  {|digraph "escfg_mini_fdc" {
+  rankdir=TB;
+  node [shape=box, fontsize=10];
+  "wr_e" [label="wr/e\nvisits=5", shape=ellipse, style=filled, fillcolor=lightblue];
+  "wr_d" [label="wr/d\nvisits=5", shape=diamond, style=filled, fillcolor=gold];
+  "wr_run" [label="wr/run\nvisits=3\n[sync point]", shape=box, style=filled, fillcolor=white];
+  "wr_chk" [label="wr/chk\nvisits=2\n[one-sided]", shape=box, style=filled, fillcolor=white];
+  "wr_done" [label="wr/done\nvisits=2", shape=box, style=filled, fillcolor=palegreen];
+  "wr_x" [label="wr/x\nvisits=5", shape=ellipse, style=filled, fillcolor=lightgray];
+  "wr_e" -> "wr_d";
+  "wr_d" -> "wr_run";
+  "wr_d" -> "wr_x";
+  "wr_run" -> "wr_chk" [label="T:2"];
+  "wr_run" -> "wr_x" [label="N:1"];
+  "wr_chk" -> "wr_done" [label="T:2"];
+  "wr_done" -> "wr_x";
+}
+|}
+
+let test_golden_dot () =
+  Alcotest.(check string) "dot output" golden (Sedspec.Viz.to_dot (mini_spec ()))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_annotations () =
+  let dot = Sedspec.Viz.to_dot (mini_spec ()) in
+  (* The sync-point marker lands on the host-synced node only. *)
+  Alcotest.(check bool) "run is a sync point" true
+    (contains dot "wr/run\\nvisits=3\\n[sync point]");
+  (* The one-sided marker lands on chk; run's balanced branch gets none. *)
+  Alcotest.(check bool) "chk is one-sided" true
+    (contains dot "wr/chk\\nvisits=2\\n[one-sided]");
+  Alcotest.(check bool) "run is not one-sided" false
+    (contains dot "wr/run\\nvisits=3\\n[sync point]\\n[one-sided]");
+  (* Branch direction counts annotate the edges. *)
+  Alcotest.(check bool) "taken count" true (contains dot "label=\"T:2\"");
+  Alcotest.(check bool) "not-taken count" true (contains dot "label=\"N:1\"")
+
+let test_escaping () =
+  (* Handler and label names flow into DOT double-quoted strings both as
+     node ids and as labels; quotes, backslashes and newlines must all be
+     escaped. *)
+  let weird = "h\"quote\nline\\slash" in
+  let program =
+    Program.make ~name:"weird" ~layout
+      [
+        handler weird ~params:[]
+          [ entry "e" [] (goto "x"); exit_ "x" [] ];
+      ]
+  in
+  let spec = Sedspec.Es_cfg.create ~program ~selection:empty_selection in
+  Sedspec.Es_cfg.import_node spec
+    { Program.handler = weird; label = "e" }
+    ~visits:1 ~taken:0 ~not_taken:0 ~cases:[] ~itargets:[] ~succs:[];
+  let dot = Sedspec.Viz.to_dot spec in
+  Alcotest.(check bool) "quote escaped" true
+    (contains dot "h\\\"quote\\nline\\\\slash");
+  Alcotest.(check bool) "no raw newline inside a label" false
+    (contains dot "h\"quote\nline");
+  (* Sanity: graphviz-breaking raw quotes never appear unescaped; every
+     quote is either a string delimiter or preceded by a backslash. *)
+  String.iteri
+    (fun i ch ->
+      if ch = '\n' && i > 0 then
+        Alcotest.(check bool) "newlines only between statements" true
+          (let prev = dot.[i - 1] in
+           prev = '{' || prev = ';' || prev = '}'))
+    dot
+
+let test_save_dot_roundtrip () =
+  let path = Filename.temp_file "sedspec_viz" ".dot" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let spec = mini_spec () in
+      Sedspec.Viz.save_dot spec path;
+      let ic = open_in path in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Alcotest.(check string) "file matches to_dot" (Sedspec.Viz.to_dot spec) s)
+
+let () =
+  Alcotest.run "viz"
+    [
+      ( "to_dot",
+        [
+          Alcotest.test_case "golden mini-fdc" `Quick test_golden_dot;
+          Alcotest.test_case "annotations" `Quick test_annotations;
+          Alcotest.test_case "escaping" `Quick test_escaping;
+          Alcotest.test_case "save_dot" `Quick test_save_dot_roundtrip;
+        ] );
+    ]
