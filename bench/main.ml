@@ -557,13 +557,16 @@ let capture_stream w ~cases ~ops =
 (* Replay the stream through a live checker's interposer (the full
    protection path: pre-execution walk, verdict, shadow commit) and
    measure interactions and ES-CFG nodes walked per second. *)
-let replay_throughput w engine reqs =
+let replay_throughput ?(contained = true) w engine reqs =
   let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
   let config = { Sedspec.Checker.default_config with Sedspec.Checker.engine } in
   let _m, checker =
     Metrics.Spec_cache.fresh_protected_machine ~config w W.paper_version
   in
-  let ip = Sedspec.Checker.interposer checker in
+  let ip =
+    if contained then Sedspec.Checker.interposer checker
+    else Sedspec.Checker.interposer_exn checker
+  in
   let done_ = Interp.Event.Done { response = None } in
   let replay () =
     Array.iter
@@ -635,11 +638,64 @@ let walk_throughput () =
     "(replays one benign request stream through the checker interposer;\n\
     \ speedup = compiled / interpreted interactions per second)\n"
 
+(* The fault-injection PR wrapped every interposer callback in a
+   containment handler (Checker.interposer vs interposer_exn).  This row
+   proves the wrapper is free on the no-fault hot path: same stream,
+   same engine, with and without the try/with. *)
+let containment_overhead () =
+  section "Micro: containment wrapper overhead (no-fault hot path)";
+  let rows =
+    List.map
+      (fun device ->
+        let w = Workload.Samples.find device in
+        let reqs = capture_stream w ~cases:(if !quick then 2 else 4) ~ops:20 in
+        (* Interleaved best-of-3 per side so scheduler drift hits both. *)
+        let best f =
+          let r = ref 0.0 in
+          for _ = 1 to 3 do
+            r := max !r (fst (f ()))
+          done;
+          !r
+        in
+        let raw_ips =
+          best (fun () ->
+              replay_throughput ~contained:false w Sedspec.Checker.Compiled reqs)
+        in
+        let con_ips =
+          best (fun () ->
+              replay_throughput ~contained:true w Sedspec.Checker.Compiled reqs)
+        in
+        let overhead = 100.0 *. (1.0 -. (con_ips /. raw_ips)) in
+        json_float (Printf.sprintf "micro.containment.%s.raw_ips" device) raw_ips;
+        json_float
+          (Printf.sprintf "micro.containment.%s.contained_ips" device)
+          con_ips;
+        json_float
+          (Printf.sprintf "micro.containment.%s.overhead_pct" device)
+          overhead;
+        [
+          device;
+          fmt_rate raw_ips;
+          fmt_rate con_ips;
+          Printf.sprintf "%.1f%%" overhead;
+        ])
+      [ "fdc"; "scsi" ]
+  in
+  Table.print
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~header:
+      [ "Device"; "raw interposer/s"; "contained/s"; "overhead" ]
+    rows;
+  Printf.printf
+    "(the containment try/with should cost ~0%%: it allocates nothing and\n\
+    \ only runs exception code when a fault actually fires)\n"
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 
 let micro () =
   walk_throughput ();
+  containment_overhead ();
   section "Bechamel micro-benchmarks (one per table/figure)";
   let open Bechamel in
   let fdc_w = Workload.Samples.find "fdc" in

@@ -359,6 +359,84 @@ let fuzz_cmd =
           $ batch_arg $ max_steps_arg $ json_arg $ corpus_out_arg
           $ corpus_in_arg $ replay_arg $ training_cases_arg)
 
+(* --- faultinj -------------------------------------------------------------- *)
+
+let faultinj_cmd =
+  let devices_arg =
+    let doc =
+      "Comma-separated devices (fdc, ehci, pcnet, sdhci, scsi) or 'all'."
+    in
+    Arg.(value & opt string "all" & info [ "device" ] ~docv:"DEVICES" ~doc)
+  in
+  let plans_arg =
+    let doc = "Fault plans per device-mode-engine combination." in
+    Arg.(value & opt int 12 & info [ "plans" ] ~docv:"N" ~doc)
+  in
+  let cases_arg =
+    let doc = "Soak cases run while each plan is armed." in
+    Arg.(value & opt int 3 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let ops_arg =
+    let doc = "Logical operations per soak case." in
+    Arg.(value & opt int 6 & info [ "ops" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Master PRNG seed (plans and workloads replay exactly)." in
+    Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the JSON report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run device plans cases ops seed jobs json training =
+    setup_training training;
+    let devices =
+      if device = "all" then
+        List.map
+          (fun w ->
+            let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+            W.device_name)
+          Workload.Samples.all
+      else begin
+        let ds = String.split_on_char ',' device in
+        List.iter (fun d -> ignore (find_device d)) ds;
+        ds
+      end
+    in
+    let opts =
+      {
+        Faultinj.Campaign.devices;
+        plans_per_combo = plans;
+        cases_per_plan = cases;
+        ops_per_case = ops;
+        seed;
+        jobs;
+      }
+    in
+    let r = Faultinj.Campaign.run opts in
+    Format.printf "%a" Faultinj.Campaign.pp_report r;
+    (match json with
+    | Some file ->
+      let body =
+        Sedspec_util.Json.to_string (Faultinj.Campaign.report_to_json r)
+      in
+      let tmp = file ^ ".tmp" in
+      let oc = open_out tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc body);
+      Sys.rename tmp file
+    | None -> ());
+    if not (Faultinj.Campaign.passed r) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "faultinj"
+       ~doc:
+         "Deterministic fault-injection campaign against the checker's \
+          containment (exits 1 on any escaped exception or silent fail-open)")
+    Term.(const run $ devices_arg $ plans_arg $ cases_arg $ ops_arg $ seed_arg
+          $ jobs_arg $ json_arg $ training_cases_arg)
+
 (* --- check-spec ----------------------------------------------------------- *)
 
 let check_spec_cmd =
@@ -406,6 +484,7 @@ let () =
             soak_cmd;
             coverage_cmd;
             fuzz_cmd;
+            faultinj_cmd;
             check_spec_cmd;
             dump_device_cmd;
           ]))

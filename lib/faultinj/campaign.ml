@@ -1,0 +1,279 @@
+module Prng = Sedspec_util.Prng
+module Runner = Sedspec_util.Runner
+module Json = Sedspec_util.Json
+module C = Sedspec.Checker
+
+type options = {
+  devices : string list;
+  plans_per_combo : int;
+  cases_per_plan : int;
+  ops_per_case : int;
+  seed : int64;
+  jobs : int;
+}
+
+let default_options =
+  {
+    devices = [ "fdc"; "ehci"; "pcnet"; "sdhci"; "scsi" ];
+    plans_per_combo = 12;
+    cases_per_plan = 3;
+    ops_per_case = 6;
+    seed = 1L;
+    jobs = 1;
+  }
+
+type combo_report = {
+  device : string;
+  mode : C.mode;
+  engine : C.engine;
+  injected : int;
+  contained : int;
+  escaped : int;
+  fail_open : int;
+  halts : int;
+  warns : int;
+  rollbacks : int;
+  breaker_trips : int;
+  heals : int;
+  spec_detected : int;
+  spec_benign : int;
+  spec_silent : int;
+}
+
+type report = { options : options; combos : combo_report list }
+
+type combo = { cb_device : string; cb_mode : C.mode; cb_engine : C.engine }
+
+(* Return the recycled machine/checker pair to boot state between plans
+   (the fuzzer's scrub, inlined: faultinj must not depend on fuzz). *)
+let scrub ~device machine checker =
+  Vmm.Machine.resume machine;
+  Vmm.Machine.clear_warnings machine;
+  Vmm.Machine.clear_traps machine;
+  Vmm.Guest_mem.clear (Vmm.Machine.ram machine);
+  Devir.Arena.reset (Interp.arena (Vmm.Machine.interp_of machine device));
+  Vmm.Irq.lower_line (Vmm.Machine.irq machine) device;
+  Vmm.Irq.clear_counts (Vmm.Machine.irq machine);
+  C.reset checker
+
+let run_combo ~seed opts { cb_device = device; cb_mode; cb_engine } =
+  let w = Workload.Samples.find device in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let version = W.paper_version in
+  let spec_text =
+    Sedspec.Persist.to_string (Metrics.Spec_cache.built w version).Sedspec.Pipeline.spec
+  in
+  let config =
+    { C.default_config with mode = cb_mode; engine = cb_engine }
+  in
+  let machine, checker =
+    Metrics.Spec_cache.fresh_protected_machine ~config ~vmexit_cost:0 w version
+  in
+  let program = Interp.program (Vmm.Machine.interp_of machine device) in
+  let rng = Prng.create seed in
+  let plans = Plan.generate rng ~n:opts.plans_per_combo in
+  let injected = ref 0
+  and contained = ref 0
+  and escaped = ref 0
+  and fail_open = ref 0
+  and halts = ref 0
+  and warns = ref 0
+  and rollbacks = ref 0
+  and breaker_trips = ref 0
+  and heals = ref 0
+  and spec_detected = ref 0
+  and spec_benign = ref 0
+  and spec_silent = ref 0 in
+  List.iter
+    (fun (plan : Plan.t) ->
+      let prng = Prng.split rng in
+      match plan.site with
+      | Plan.Spec_bit_flip _ | Plan.Spec_truncate -> (
+        incr injected;
+        let corrupted = Inject.corrupt_spec prng plan.site spec_text in
+        match Sedspec.Persist.of_string ~program corrupted with
+        | Error _ -> incr spec_detected
+        | Ok spec' ->
+          if Sedspec.Persist.to_string spec' = spec_text then incr spec_benign
+          else incr spec_silent)
+      | _ ->
+        scrub ~device machine checker;
+        C.set_config checker { config with on_internal_error = plan.policy };
+        let remedy =
+          Sedspec.Remedy.create
+            ~policy_of:(fun _ -> Sedspec.Remedy.Rollback)
+            ~breaker:(2, 8) machine ~device checker
+        in
+        let armed = Inject.arm plan machine checker in
+        let plan_escaped = ref 0 in
+        for _ = 1 to opts.cases_per_plan do
+          (try
+             W.soak_case ~mode:Workload.Samples.Sequential ~rng:prng
+               ~rare_prob:0.0 ~ops:opts.ops_per_case machine
+           with _ -> incr plan_escaped);
+          warns := !warns + List.length (Vmm.Machine.warnings machine);
+          if Vmm.Machine.halted machine then incr halts;
+          ignore (Sedspec.Remedy.tick remedy : Sedspec.Remedy.event list)
+        done;
+        Inject.disarm armed;
+        let plan_contained = C.internal_errors checker in
+        injected := !injected + Inject.fired armed;
+        contained := !contained + plan_contained;
+        escaped := !escaped + !plan_escaped;
+        (match plan.site with
+        | Plan.Walk_raise _
+          when plan.policy = C.Fail_closed
+               && Inject.fired armed > 0
+               && plan_contained = 0
+               && !plan_escaped = 0 ->
+          incr fail_open
+        | _ -> ());
+        rollbacks := !rollbacks + Sedspec.Remedy.rollbacks remedy;
+        if Sedspec.Remedy.breaker_tripped remedy then incr breaker_trips;
+        heals := !heals + C.heals checker)
+    plans;
+  {
+    device;
+    mode = cb_mode;
+    engine = cb_engine;
+    injected = !injected;
+    contained = !contained;
+    escaped = !escaped;
+    fail_open = !fail_open;
+    halts = !halts;
+    warns = !warns;
+    rollbacks = !rollbacks;
+    breaker_trips = !breaker_trips;
+    heals = !heals;
+    spec_detected = !spec_detected;
+    spec_benign = !spec_benign;
+    spec_silent = !spec_silent;
+  }
+
+let run opts =
+  let combos =
+    List.concat_map
+      (fun d ->
+        List.concat_map
+          (fun m ->
+            List.map
+              (fun e -> { cb_device = d; cb_mode = m; cb_engine = e })
+              [ C.Compiled; C.Interpreted ])
+          [ C.Protection; C.Enhancement ])
+      opts.devices
+  in
+  let combos_r =
+    Runner.map_seeded ~jobs:opts.jobs ~seed:opts.seed
+      (fun ~seed combo -> run_combo ~seed opts combo)
+      combos
+  in
+  { options = opts; combos = combos_r }
+
+let totals r =
+  List.fold_left
+    (fun acc c ->
+      {
+        acc with
+        injected = acc.injected + c.injected;
+        contained = acc.contained + c.contained;
+        escaped = acc.escaped + c.escaped;
+        fail_open = acc.fail_open + c.fail_open;
+        halts = acc.halts + c.halts;
+        warns = acc.warns + c.warns;
+        rollbacks = acc.rollbacks + c.rollbacks;
+        breaker_trips = acc.breaker_trips + c.breaker_trips;
+        heals = acc.heals + c.heals;
+        spec_detected = acc.spec_detected + c.spec_detected;
+        spec_benign = acc.spec_benign + c.spec_benign;
+        spec_silent = acc.spec_silent + c.spec_silent;
+      })
+    {
+      device = "total";
+      mode = C.Protection;
+      engine = C.Compiled;
+      injected = 0;
+      contained = 0;
+      escaped = 0;
+      fail_open = 0;
+      halts = 0;
+      warns = 0;
+      rollbacks = 0;
+      breaker_trips = 0;
+      heals = 0;
+      spec_detected = 0;
+      spec_benign = 0;
+      spec_silent = 0;
+    }
+    r.combos
+
+let passed r =
+  let t = totals r in
+  t.escaped = 0 && t.fail_open = 0 && t.spec_silent = 0
+
+let mode_to_string = function
+  | C.Protection -> "protection"
+  | C.Enhancement -> "enhancement"
+
+let engine_to_string = function
+  | C.Compiled -> "compiled"
+  | C.Interpreted -> "interpreted"
+
+let combo_fields c =
+  [
+    ("injected", Json.Int c.injected);
+    ("contained", Json.Int c.contained);
+    ("escaped", Json.Int c.escaped);
+    ("fail_open", Json.Int c.fail_open);
+    ("halts", Json.Int c.halts);
+    ("warns", Json.Int c.warns);
+    ("rollbacks", Json.Int c.rollbacks);
+    ("breaker_trips", Json.Int c.breaker_trips);
+    ("heals", Json.Int c.heals);
+    ("spec_detected", Json.Int c.spec_detected);
+    ("spec_benign", Json.Int c.spec_benign);
+    ("spec_silent", Json.Int c.spec_silent);
+  ]
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("seed", Json.Str (Printf.sprintf "0x%Lx" r.options.seed));
+      ("plans_per_combo", Json.Int r.options.plans_per_combo);
+      ("cases_per_plan", Json.Int r.options.cases_per_plan);
+      ("ops_per_case", Json.Int r.options.ops_per_case);
+      ("devices", Json.List (List.map (fun d -> Json.Str d) r.options.devices));
+      ( "combos",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Obj
+                 (("device", Json.Str c.device)
+                  :: ("mode", Json.Str (mode_to_string c.mode))
+                  :: ("engine", Json.Str (engine_to_string c.engine))
+                  :: combo_fields c))
+             r.combos) );
+      ("totals", Json.Obj (combo_fields (totals r)));
+      ("passed", Json.Bool (passed r));
+    ]
+
+let pp_report ppf r =
+  let line c name =
+    Format.fprintf ppf
+      "%-24s %9d %9d %7d %9d %6d %6d %9d %7d %5d %8d %6d %6d@." name c.injected
+      c.contained c.escaped c.fail_open c.halts c.warns c.rollbacks
+      c.breaker_trips c.heals c.spec_detected c.spec_benign c.spec_silent
+  in
+  Format.fprintf ppf "%-24s %9s %9s %7s %9s %6s %6s %9s %7s %5s %8s %6s %6s@."
+    "device/mode/engine" "injected" "contained" "escaped" "fail-open" "halts"
+    "warns" "rollbacks" "breaker" "heals" "specdet" "benign" "silent";
+  List.iter
+    (fun c ->
+      line c
+        (Printf.sprintf "%s/%s/%s" c.device
+           (match c.mode with C.Protection -> "prot" | C.Enhancement -> "enh")
+           (match c.engine with C.Compiled -> "comp" | C.Interpreted -> "interp")))
+    r.combos;
+  line (totals r) "TOTAL";
+  Format.fprintf ppf "verdict: %s@."
+    (if passed r then "PASS (no escapes, no silent fail-opens)"
+     else "FAIL (escaped exception or silent fail-open)")

@@ -1,0 +1,58 @@
+(** The fault-injection campaign: every requested device × both working
+    modes × both walk engines, [plans_per_combo] seeded plans each,
+    driven by short benign soaks under a remedy supervisor with the
+    circuit breaker armed.
+
+    Determinism contract (same as the experiment suite): per-combo seeds
+    come from [Runner.map_seeded], so the report — including the JSON
+    rendering — is bit-identical for any [jobs] value. *)
+
+type options = {
+  devices : string list;  (** Device names ([Workload.Samples.find]). *)
+  plans_per_combo : int;
+  cases_per_plan : int;  (** Soak cases run while a plan is armed. *)
+  ops_per_case : int;
+  seed : int64;
+  jobs : int;
+}
+
+val default_options : options
+(** All five devices, 12 plans/combo, 3 cases/plan, 6 ops/case, seed 1,
+    jobs 1. *)
+
+type combo_report = {
+  device : string;
+  mode : Sedspec.Checker.mode;
+  engine : Sedspec.Checker.engine;
+  injected : int;  (** Fault firings (corrupted reads, walk hooks, spec plans). *)
+  contained : int;  (** Exceptions converted to [Internal_error] anomalies. *)
+  escaped : int;  (** Exceptions that crossed the interposer — must be 0. *)
+  fail_open : int;
+      (** Fail-closed walk-raise plans whose fault fired yet produced
+          neither a contained anomaly nor an escape — must be 0. *)
+  halts : int;  (** Ticks that found the machine halted (degraded, closed). *)
+  warns : int;  (** Warnings recorded (degraded, open). *)
+  rollbacks : int;
+  breaker_trips : int;
+  heals : int;  (** Shadow resyncs performed by [Checker.heal]. *)
+  spec_detected : int;  (** Corrupted spec loads rejected with [Error]. *)
+  spec_benign : int;  (** Corruption beyond the covered bytes: identical spec. *)
+  spec_silent : int;  (** Loads that returned a different spec — must be 0. *)
+}
+
+type report = { options : options; combos : combo_report list }
+
+val run : options -> report
+
+val passed : report -> bool
+(** No escaped exception, no silent fail-open, no silently corrupted
+    spec load, anywhere. *)
+
+val totals : report -> combo_report
+(** Column sums (the [device]/[mode]/[engine] fields are meaningless). *)
+
+val report_to_json : report -> Sedspec_util.Json.t
+(** Deterministic rendering: no timestamps, no wall-clock, field order
+    fixed — byte-identical across runs and [jobs] values. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,96 @@
+module Prng = Sedspec_util.Prng
+
+(* splitmix64's finaliser: a stateless 64-bit mix, so the corruption
+   pattern is a pure function of (address, mask). *)
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xff51afd7ed558ccdL
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L
+  in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let corrupt_byte ~mask addr b =
+  let h = mix64 (Int64.logxor addr mask) in
+  if Int64.logand h 0x7L = 0L then
+    b lxor (Int64.to_int (Int64.logand (Int64.shift_right_logical h 8) 0xFFL) lor 1)
+  else b
+
+let unsigned_ge a b = Int64.unsigned_compare a b >= 0
+
+let short_byte ~limit addr b = if unsigned_ge addr limit then 0 else b
+
+let burn n =
+  let x = ref 0 in
+  for i = 1 to n do
+    x := !x + i
+  done;
+  ignore (Sys.opaque_identity !x)
+
+type armed = {
+  machine : Vmm.Machine.t;
+  checker : Sedspec.Checker.t;
+  mutable fired : int;
+}
+
+let fired a = a.fired
+
+let arm (plan : Plan.t) machine checker =
+  let a = { machine; checker; fired = 0 } in
+  (match plan.site with
+  | Plan.Guest_corrupt { mask } ->
+    Vmm.Guest_mem.set_read_fault (Vmm.Machine.ram machine)
+      (Some
+         (fun addr b ->
+           let b' = corrupt_byte ~mask addr b in
+           if b' <> b then a.fired <- a.fired + 1;
+           b'))
+  | Plan.Guest_short { limit } ->
+    Vmm.Guest_mem.set_read_fault (Vmm.Machine.ram machine)
+      (Some
+         (fun addr b ->
+           let b' = short_byte ~limit addr b in
+           if b' <> b then a.fired <- a.fired + 1;
+           b'))
+  | Plan.Spec_bit_flip _ | Plan.Spec_truncate -> ()
+  | Plan.Walk_raise { at_walk } ->
+    let n = ref 0 in
+    Sedspec.Checker.set_fault_hook checker
+      (Some
+         (fun () ->
+           let k = !n in
+           incr n;
+           if k = at_walk then begin
+             a.fired <- a.fired + 1;
+             raise (Plan.Injected "synthetic checker fault")
+           end))
+  | Plan.Walk_delay { at_walk; spin } ->
+    let n = ref 0 in
+    Sedspec.Checker.set_fault_hook checker
+      (Some
+         (fun () ->
+           let k = !n in
+           incr n;
+           if k = at_walk then begin
+             a.fired <- a.fired + 1;
+             burn spin
+           end)));
+  a
+
+let disarm a =
+  Vmm.Guest_mem.set_read_fault (Vmm.Machine.ram a.machine) None;
+  Sedspec.Checker.set_fault_hook a.checker None
+
+let corrupt_spec rng (site : Plan.site) text =
+  match site with
+  | Plan.Spec_bit_flip { flips } ->
+    let b = Bytes.of_string text in
+    for _ = 1 to flips do
+      let i = Prng.int rng (Bytes.length b) in
+      let bit = 1 lsl Prng.int rng 8 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bit land 0xFF))
+    done;
+    Bytes.to_string b
+  | Plan.Spec_truncate -> String.sub text 0 (Prng.int rng (String.length text))
+  | _ -> invalid_arg "Inject.corrupt_spec: not a spec-site plan"

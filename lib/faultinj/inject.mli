@@ -1,0 +1,38 @@
+(** Arming fault plans on a live machine/checker pair.
+
+    The guest-memory faults are pure functions of [(address, byte)] — a
+    hard requirement: the device and both checker engines read the same
+    addresses and must observe identical wrong values, or the
+    differential oracle (and the checker's own shadow discipline) would
+    report the {e injector} instead of the fault's consequences. *)
+
+type armed
+(** One armed plan; counts firings until {!disarm}. *)
+
+val arm : Plan.t -> Vmm.Machine.t -> Sedspec.Checker.t -> armed
+(** Install the plan's hooks ([Guest_mem.set_read_fault] /
+    [Checker.set_fault_hook]).  Spec-site plans install nothing — they
+    are exercised through {!corrupt_spec}. *)
+
+val disarm : armed -> unit
+(** Remove both hooks. *)
+
+val fired : armed -> int
+(** Fault firings so far: corrupted/shorted byte reads, or walk hook
+    activations. *)
+
+val corrupt_byte : mask:int64 -> int64 -> int -> int
+(** The pure corruption function [Guest_corrupt] uses: XORs the byte at
+    a deterministic ~1/8 subset of addresses keyed by [mask], identity
+    elsewhere.  Exposed so the fuzzer's replays corrupt identically. *)
+
+val short_byte : limit:int64 -> int64 -> int -> int
+(** The pure short-read function: 0 at/above [limit] (unsigned). *)
+
+val burn : int -> unit
+(** Spin for [n] iterations (the latency fault's payload); opaque to the
+    optimiser. *)
+
+val corrupt_spec : Sedspec_util.Prng.t -> Plan.site -> string -> string
+(** Apply a [Spec_bit_flip]/[Spec_truncate] site to serialised spec
+    bytes.  Raises [Invalid_argument] for other sites. *)

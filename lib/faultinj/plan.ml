@@ -1,0 +1,68 @@
+module Prng = Sedspec_util.Prng
+
+type site =
+  | Guest_corrupt of { mask : int64 }
+  | Guest_short of { limit : int64 }
+  | Spec_bit_flip of { flips : int }
+  | Spec_truncate
+  | Walk_raise of { at_walk : int }
+  | Walk_delay of { at_walk : int; spin : int }
+
+type t = { id : int; site : site; policy : Sedspec.Checker.containment }
+
+exception Injected of string
+
+(* Constant pools: corruption masks hitting single bits, sign bits and
+   dense patterns; short-read limits at guest-physical landmarks (page,
+   64K, legacy hole, megabyte marks); spin counts spanning noise to a
+   visible latency spike. *)
+let masks =
+  [|
+    0x1L;
+    0x80L;
+    0xFFL;
+    0xDEADBEEFL;
+    0xFFFFFFFFL;
+    0x5555555555555555L;
+    0xAAAAAAAAAAAAAAAAL;
+    0x8000000000000000L;
+  |]
+
+let limits = [| 0x0L; 0x100L; 0x1000L; 0x10000L; 0xA0000L; 0x100000L |]
+let spins = [| 64; 1024; 16384 |]
+
+let dictionary =
+  Array.concat [ masks; limits; Array.map Int64.of_int spins ]
+
+let gen_site rng =
+  match Prng.int rng 6 with
+  | 0 -> Guest_corrupt { mask = Prng.pick rng masks }
+  | 1 -> Guest_short { limit = Prng.pick rng limits }
+  | 2 -> Spec_bit_flip { flips = 1 + Prng.int rng 8 }
+  | 3 -> Spec_truncate
+  | 4 -> Walk_raise { at_walk = Prng.int rng 24 }
+  | _ -> Walk_delay { at_walk = Prng.int rng 24; spin = Prng.pick rng spins }
+
+let generate rng ~n =
+  List.init n (fun id ->
+      let site = gen_site rng in
+      let policy : Sedspec.Checker.containment =
+        if Prng.chance rng 0.25 then Sedspec.Checker.Fail_open_warn
+        else Sedspec.Checker.Fail_closed
+      in
+      { id; site; policy })
+
+let site_to_string = function
+  | Guest_corrupt { mask } -> Printf.sprintf "guest-corrupt mask=0x%Lx" mask
+  | Guest_short { limit } -> Printf.sprintf "guest-short limit=0x%Lx" limit
+  | Spec_bit_flip { flips } -> Printf.sprintf "spec-bit-flip flips=%d" flips
+  | Spec_truncate -> "spec-truncate"
+  | Walk_raise { at_walk } -> Printf.sprintf "walk-raise at=%d" at_walk
+  | Walk_delay { at_walk; spin } ->
+    Printf.sprintf "walk-delay at=%d spin=%d" at_walk spin
+
+let to_string p =
+  Printf.sprintf "#%d %s policy=%s" p.id (site_to_string p.site)
+    (match p.policy with
+    | Sedspec.Checker.Fail_closed -> "fail-closed"
+    | Sedspec.Checker.Fail_open_warn -> "fail-open-warn")

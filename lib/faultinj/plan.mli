@@ -1,0 +1,55 @@
+(** Deterministic fault plans.
+
+    A plan is one seeded, replayable fault at one of the three substrate
+    seams the checker depends on but does not control:
+
+    - {b guest memory}: byte reads return corrupted data
+      ([Guest_corrupt], a pure address-keyed XOR so the device and both
+      walk engines observe the same wrong value) or short data
+      ([Guest_short], reads at or above a limit return 0 — a missing
+      page);
+    - {b persisted spec}: the serialised bytes are bit-flipped or
+      truncated before [Persist.of_string];
+    - {b the walk itself}: a synthetic exception or latency spike fires
+      at the top of the k-th walk, under either engine
+      ([Checker.set_fault_hook]).
+
+    Plans carry the containment policy the checker runs under, so a
+    fixed seed replays the exact campaign. *)
+
+type site =
+  | Guest_corrupt of { mask : int64 }
+      (** XOR-corrupt a deterministic ~1/8 subset of guest byte reads;
+          [mask] keys which addresses and with what value. *)
+  | Guest_short of { limit : int64 }
+      (** Byte reads at addresses >= [limit] (unsigned) return 0. *)
+  | Spec_bit_flip of { flips : int }  (** Flip [flips] random bits. *)
+  | Spec_truncate  (** Cut the serialised spec at a random offset. *)
+  | Walk_raise of { at_walk : int }
+      (** Raise {!Injected} at the top of walk number [at_walk]
+          (0-based). *)
+  | Walk_delay of { at_walk : int; spin : int }
+      (** Burn [spin] iterations at the top of walk number [at_walk]. *)
+
+type t = { id : int; site : site; policy : Sedspec.Checker.containment }
+
+exception Injected of string
+(** The synthetic fault [Walk_raise] throws from inside the checker. *)
+
+val generate : Sedspec_util.Prng.t -> n:int -> t list
+(** [n] plans drawn from the generator: site uniform over the six kinds,
+    parameters from {!dictionary}-style constants, policy fail-closed
+    3/4 of the time.  Pure function of the PRNG state. *)
+
+val site_to_string : site -> string
+val to_string : t -> string
+
+val dictionary : int64 array
+(** The plan constants (XOR masks, short-read limits, delay spins) as a
+    mutation dictionary, so the fuzzer schedules the same fault shapes
+    the campaign replays. *)
+
+val masks : int64 array
+val limits : int64 array
+val spins : int array
+(** The individual constant pools {!generate} draws from. *)

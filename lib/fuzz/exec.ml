@@ -105,6 +105,8 @@ let scrub_rctx ~device rctx =
   Devir.Arena.reset (Interp.arena (Vmm.Machine.interp_of m device));
   Vmm.Irq.lower_line (Vmm.Machine.irq m) device;
   Vmm.Irq.clear_counts (Vmm.Machine.irq m);
+  Vmm.Guest_mem.set_read_fault (Vmm.Machine.ram m) None;
+  C.set_fault_hook rctx.rx_checker None;
   C.reset rctx.rx_checker
 
 let with_rctx ~config (input : Input.t) f =
@@ -202,6 +204,36 @@ let run ~config (input : Input.t) =
          match step with
          | Input.Guest_write { addr; data } ->
            Vmm.Guest_mem.blit_in ram addr (Bytes.of_string data)
+         | Input.Fault f -> (
+           (* Pure address-keyed guest faults and top-of-walk hooks fire
+              identically under both engines, so a fault-bearing input
+              still satisfies the differential oracle. *)
+           match f with
+           | Input.F_guest_xor mask ->
+             Vmm.Guest_mem.set_read_fault ram
+               (Some (Faultinj.Inject.corrupt_byte ~mask))
+           | Input.F_guest_short limit ->
+             Vmm.Guest_mem.set_read_fault ram
+               (Some (Faultinj.Inject.short_byte ~limit))
+           | Input.F_guest_clear -> Vmm.Guest_mem.set_read_fault ram None
+           | Input.F_walk_raise ->
+             let live = ref true in
+             C.set_fault_hook checker
+               (Some
+                  (fun () ->
+                    if !live then begin
+                      live := false;
+                      raise (Faultinj.Plan.Injected "fuzz fault step")
+                    end))
+           | Input.F_walk_delay spin ->
+             let live = ref true in
+             C.set_fault_hook checker
+               (Some
+                  (fun () ->
+                    if !live then begin
+                      live := false;
+                      Faultinj.Inject.burn spin
+                    end)))
          | Input.Req { handler; params } -> (
            (match Vmm.Machine.inject m ~device:input.device ~handler ~params with
            | r -> steps_rev := io_result_repr r :: !steps_rev
@@ -215,6 +247,8 @@ let run ~config (input : Input.t) =
        input.steps
    with Exit -> ());
   C.set_coverage checker None;
+  Vmm.Guest_mem.set_read_fault ram None;
+  C.set_fault_hook checker None;
   let obs =
     {
       o_steps = List.rev !steps_rev;

@@ -8,9 +8,22 @@
 
 module Prng = Sedspec_util.Prng
 
+(* Fault steps schedule deterministic faultinj effects inside a replay.
+   Guest faults stay armed until replaced or cleared; walk faults are
+   one-shot and fire at the top of the checker's next walk, before
+   engine dispatch — so both engines observe the identical effect and
+   the differential oracle survives. *)
+type fault =
+  | F_guest_xor of int64  (* corrupt reads: Inject.corrupt_byte mask *)
+  | F_guest_short of int64  (* reads at/above the limit return 0 *)
+  | F_guest_clear
+  | F_walk_raise
+  | F_walk_delay of int  (* Inject.burn iterations *)
+
 type step =
   | Req of { handler : string; params : (string * int64) list }
   | Guest_write of { addr : int64; data : string }
+  | Fault of fault
 
 type origin = Benign | Attack of string | Mutant
 
@@ -174,6 +187,11 @@ let step_to_line = function
     Printf.sprintf "r %s %s" handler
       (String.concat ","
          (List.map (fun (k, v) -> Printf.sprintf "%s=0x%Lx" k v) params))
+  | Fault (F_guest_xor mask) -> Printf.sprintf "f xor 0x%Lx" mask
+  | Fault (F_guest_short limit) -> Printf.sprintf "f short 0x%Lx" limit
+  | Fault F_guest_clear -> "f clear"
+  | Fault F_walk_raise -> "f raise"
+  | Fault (F_walk_delay spin) -> Printf.sprintf "f delay %d" spin
 
 let to_lines t =
   Printf.sprintf "input %s %s %s" t.device
@@ -193,6 +211,11 @@ let step_of_line line =
   | [ "g"; addr; hex ] ->
     Guest_write { addr = Int64.of_string addr; data = string_of_hex hex }
   | [ "r"; handler ] -> Req { handler; params = [] }
+  | [ "f"; "xor"; mask ] -> Fault (F_guest_xor (Int64.of_string mask))
+  | [ "f"; "short"; limit ] -> Fault (F_guest_short (Int64.of_string limit))
+  | [ "f"; "clear" ] -> Fault F_guest_clear
+  | [ "f"; "raise" ] -> Fault F_walk_raise
+  | [ "f"; "delay"; spin ] -> Fault (F_walk_delay (int_of_string spin))
   | [ "r"; handler; kvs ] ->
     let params =
       String.split_on_char ',' kvs

@@ -6,9 +6,21 @@
     recorded from the benign workload library and the attack catalogue;
     mutants are derived from them. *)
 
+(** Scheduled faultinj effects.  Guest faults stay armed until replaced
+    or cleared; walk faults are one-shot and fire at the top of the
+    checker's next walk, before engine dispatch, so both engines observe
+    the identical effect and the differential oracle survives. *)
+type fault =
+  | F_guest_xor of int64  (** Corrupt reads ({!Faultinj.Inject.corrupt_byte} mask). *)
+  | F_guest_short of int64  (** Reads at/above the limit return 0. *)
+  | F_guest_clear
+  | F_walk_raise
+  | F_walk_delay of int  (** {!Faultinj.Inject.burn} iterations. *)
+
 type step =
   | Req of { handler : string; params : (string * int64) list }
   | Guest_write of { addr : int64; data : string }
+  | Fault of fault
 
 type origin = Benign | Attack of string  (** CVE id. *) | Mutant
 

@@ -186,6 +186,20 @@ let synth_guest_write rng =
   Input.Guest_write
     { addr = guest_addr rng; data = Bytes.to_string (Prng.bytes rng len) }
 
+(* Fault steps reuse the campaign's plan constants ({!Faultinj.Plan}):
+   the same XOR masks, short-read limits and delay spins the harness
+   replays, so corpus faults and campaign faults explore one shape
+   space.  Clears are over-weighted so guest faults don't pile up and
+   drown the replay in corruption noise. *)
+let synth_fault rng =
+  Input.Fault
+    (match Prng.int rng 6 with
+    | 0 -> Input.F_guest_xor (Prng.pick rng Faultinj.Plan.masks)
+    | 1 -> Input.F_guest_short (Prng.pick rng Faultinj.Plan.limits)
+    | 2 -> Input.F_walk_raise
+    | 3 -> Input.F_walk_delay (Prng.pick rng Faultinj.Plan.spins)
+    | _ -> Input.F_guest_clear)
+
 (* --- Step/sequence mutations ------------------------------------------- *)
 
 let mutate_value rng s v =
@@ -227,6 +241,13 @@ let mutate_step rng s step =
     | _ ->
       let extra = Bytes.to_string (Prng.bytes rng (1 + Prng.int rng 16)) in
       Input.Guest_write { addr; data = data ^ extra })
+  | Input.Fault f -> (
+    match f with
+    | Input.F_guest_xor mask when Prng.chance rng 0.5 ->
+      Input.Fault (Input.F_guest_xor (mutate_value rng s mask))
+    | Input.F_guest_short limit when Prng.chance rng 0.5 ->
+      Input.Fault (Input.F_guest_short (mutate_value rng s limit))
+    | _ -> synth_fault rng)
 
 let splice a b ~at_a ~at_b =
   Array.append (Array.sub a 0 at_a) (Array.sub b at_b (Array.length b - at_b))
@@ -263,10 +284,12 @@ let one_mutation rng s ~pool steps =
       out.(i) <- mutate_step rng s out.(i);
       out
     | 6 ->
-      (* Insert a synthetic request. *)
+      (* Insert a synthetic request, guest write, or scheduled fault. *)
       let i = Prng.int rng (n + 1) in
       let fresh =
-        if Prng.chance rng 0.75 then synth_req rng s else synth_guest_write rng
+        if Prng.chance rng 0.15 then synth_fault rng
+        else if Prng.chance rng 0.75 then synth_req rng s
+        else synth_guest_write rng
       in
       Array.init (n + 1) (fun j ->
           if j < i then steps.(j) else if j = i then fresh else steps.(j - 1))

@@ -1,6 +1,10 @@
 open Devir
 
-type strategy = Parameter_check | Indirect_jump_check | Conditional_jump_check
+type strategy =
+  | Parameter_check
+  | Indirect_jump_check
+  | Conditional_jump_check
+  | Internal_error
 
 type mode = Protection | Enhancement
 
@@ -13,11 +17,15 @@ type anomaly = {
 
 type engine = Interpreted | Compiled
 
+type containment = Fail_closed | Fail_open_warn
+
 type config = {
   strategies : strategy list;
   mode : mode;
   walk_limit : int;
   engine : engine;
+  on_internal_error : containment;
+  heal_budget : int;
 }
 
 let default_config =
@@ -26,6 +34,8 @@ let default_config =
     mode = Protection;
     walk_limit = 20_000;
     engine = Compiled;
+    on_internal_error = Fail_closed;
+    heal_budget = 8;
   }
 
 type stats = {
@@ -92,12 +102,20 @@ type t = {
   mutable en_param : bool;
   mutable en_indirect : bool;
   mutable en_cond : bool;
+  mutable fault_hook : (unit -> unit) option;
+      (** Fault-injection seam: invoked at the top of every walk, under
+          either engine, before any node is entered.  May raise. *)
+  mutable internal_errors : int;
+      (** Exceptions contained by the interposer wrapper (monotone;
+          survives [drain_anomalies], cleared by [reset]). *)
+  mutable heals : int;  (** Resyncs performed by [heal] since [reset]. *)
 }
 
 let strategy_to_string = function
   | Parameter_check -> "parameter-check"
   | Indirect_jump_check -> "indirect-jump-check"
   | Conditional_jump_check -> "conditional-jump-check"
+  | Internal_error -> "internal-error"
 
 let pp_anomaly ppf a =
   Format.fprintf ppf "[%s]%s %s%s"
@@ -179,6 +197,9 @@ let create ?(config = default_config) ~spec ~device_arena ~guest () =
     en_param = List.mem Parameter_check config.strategies;
     en_indirect = List.mem Indirect_jump_check config.strategies;
     en_cond = List.mem Conditional_jump_check config.strategies;
+    fault_hook = None;
+    internal_errors = 0;
+    heals = 0;
   }
 
 let config t = t.config
@@ -221,7 +242,10 @@ let reset t =
   t.inline_halt <- None;
   t.inline_warn <- None;
   t.cov <- None;
-  t.cov_prev <- None
+  t.cov_prev <- None;
+  t.fault_hook <- None;
+  t.internal_errors <- 0;
+  t.heals <- 0
 
 (* Only decision-relevant parameters are guaranteed to match: fields pulled
    in purely as dependencies may be computed from untracked buffer content
@@ -317,6 +341,7 @@ let enabled t = function
   | Parameter_check -> t.en_param
   | Indirect_jump_check -> t.en_indirect
   | Conditional_jump_check -> t.en_cond
+  | Internal_error -> true (* diagnostic channel, not a strategy toggle *)
 
 (* Walk-control exceptions. *)
 exception Anomaly_found of anomaly
@@ -794,7 +819,14 @@ let walk_compiled t ~sync ~handler ~params =
   t.stats.nodes_walked <- t.stats.nodes_walked + !walked;
   res
 
+let set_fault_hook t hook = t.fault_hook <- hook
+
 let walk t ~sync ~handler ~params =
+  (* The fault seam fires before either engine touches a node, so an
+     injected exception or delay is observed identically by the compiled
+     and interpreted walks (same anomaly, same stats) — a requirement of
+     the differential fuzzing oracle. *)
+  (match t.fault_hook with None -> () | Some f -> f ());
   match t.config.engine with
   | Compiled -> walk_compiled t ~sync ~handler ~params
   | Interpreted -> walk_interpreted t ~sync ~handler ~params
@@ -803,12 +835,22 @@ let record_anomaly t a = t.anomalies_rev <- a :: t.anomalies_rev
 
 let verdict t (a : anomaly) : Vmm.Machine.verdict =
   let msg = Format.asprintf "%a" pp_anomaly a in
-  match t.config.mode with
-  | Protection -> Vmm.Machine.Halt msg
-  | Enhancement -> (
-    match a.strategy with
-    | Parameter_check -> Vmm.Machine.Halt msg
-    | Indirect_jump_check | Conditional_jump_check -> Vmm.Machine.Warn msg)
+  match a.strategy with
+  | Internal_error -> (
+    (* Policy-driven, independent of the working mode: a checker defect
+       says nothing about the guest, so the mode's halt/warn split does
+       not apply. *)
+    match t.config.on_internal_error with
+    | Fail_closed -> Vmm.Machine.Halt msg
+    | Fail_open_warn -> Vmm.Machine.Warn msg)
+  | _ -> (
+    match t.config.mode with
+    | Protection -> Vmm.Machine.Halt msg
+    | Enhancement -> (
+      match a.strategy with
+      | Parameter_check -> Vmm.Machine.Halt msg
+      | Indirect_jump_check | Conditional_jump_check | Internal_error ->
+        Vmm.Machine.Warn msg))
 
 let before t (request : Vmm.Machine.request) : Vmm.Machine.verdict =
   t.stats.interactions <- t.stats.interactions + 1;
@@ -905,8 +947,62 @@ let icall_guard t (bref : Program.bref) target =
         true)
     | Some _ | None -> true
 
-let interposer t : Vmm.Machine.interposer =
+(* --- Containment ------------------------------------------------------ *)
+
+(* No exception may escape the interposer into [Machine] dispatch.  The
+   walk-control set is already folded into [walk_result] by the engines;
+   anything else reaching here — an injected fault, a checker defect, a
+   corrupted internal structure — is an internal error: record a
+   diagnostic anomaly, put the shadow back on a sound footing (the failed
+   walk may have left staged/pending state inconsistent), and fail per
+   policy: [Fail_closed] blocks the interaction, [Fail_open_warn] lets
+   the device run with a recorded warning. *)
+let contain t ~pre exn =
+  t.internal_errors <- t.internal_errors + 1;
+  let a =
+    {
+      strategy = Internal_error;
+      at = None;
+      detail = "checker internal error: " ^ Printexc.to_string exn;
+      pre_execution = pre;
+    }
+  in
+  record_anomaly t a;
+  resync t;
+  t.pending <- None;
+  t.staged <- None;
+  t.dirty <- false;
+  verdict t a
+
+let interposer_exn t : Vmm.Machine.interposer =
   { before = before t; after = after t }
+
+let interposer t : Vmm.Machine.interposer =
+  {
+    before = (fun req -> try before t req with e -> contain t ~pre:true e);
+    after =
+      (fun req outcome -> try after t req outcome with e -> contain t ~pre:false e);
+  }
+
+let internal_errors t = t.internal_errors
+
+(* --- Bounded self-healing --------------------------------------------- *)
+
+type heal_result = Heal_clean | Heal_resynced of int | Heal_exhausted of int
+
+let heals t = t.heals
+
+let heal t =
+  match shadow_matches_device t with
+  | [] -> Heal_clean
+  | divergent ->
+    let n = List.length divergent in
+    if t.heals >= t.config.heal_budget then Heal_exhausted n
+    else begin
+      t.heals <- t.heals + 1;
+      resync t;
+      Heal_resynced n
+    end
 
 (* A single pre-execution walk with no verdict bookkeeping and no shadow
    commit: the walk-throughput micro-benchmark's unit of work. *)

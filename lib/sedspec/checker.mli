@@ -26,9 +26,22 @@
     values.
 
     Working modes: in [Protection] any anomaly halts the VM; in
-    [Enhancement] only parameter-check anomalies halt, the others warn. *)
+    [Enhancement] only parameter-check anomalies halt, the others warn.
 
-type strategy = Parameter_check | Indirect_jump_check | Conditional_jump_check
+    Containment: the interposer returned by {!interposer} (and installed
+    by {!attach}) never lets an exception escape into [Vmm.Machine]
+    dispatch — any exception raised inside the checker is converted into
+    an [Internal_error] diagnostic anomaly and a verdict chosen by the
+    [on_internal_error] policy. *)
+
+type strategy =
+  | Parameter_check
+  | Indirect_jump_check
+  | Conditional_jump_check
+  | Internal_error
+      (** Diagnostic channel for exceptions contained inside the checker
+          itself (never a configured strategy; ignored in
+          [config.strategies]). *)
 
 type mode = Protection | Enhancement
 
@@ -47,16 +60,24 @@ type anomaly = {
     only throughput differs. *)
 type engine = Interpreted | Compiled
 
+(** What a contained internal checker error does to the interaction:
+    [Fail_closed] blocks it (verdict [Halt] — protection degrades to
+    unavailability, never to silence); [Fail_open_warn] lets the device
+    run but records a [Warn] verdict.  Independent of the working mode. *)
+type containment = Fail_closed | Fail_open_warn
+
 type config = {
   strategies : strategy list;
   mode : mode;
   walk_limit : int;  (** ES-CFG nodes visited per interaction. *)
   engine : engine;
+  on_internal_error : containment;
+  heal_budget : int;  (** Resyncs {!heal} may perform before giving up. *)
 }
 
 val default_config : config
 (** All three strategies, protection mode, walk limit 20000, compiled
-    engine. *)
+    engine, fail-closed containment, heal budget 8. *)
 
 type stats = {
   mutable interactions : int;
@@ -82,6 +103,27 @@ val attach : ?config:config -> Vmm.Machine.t -> spec:Es_cfg.t -> string -> t
     from the live control structure and plants sync instrumentation. *)
 
 val interposer : t -> Vmm.Machine.interposer
+(** The containment-wrapped interposer: no exception escapes; internal
+    errors become [Internal_error] anomalies with a policy verdict, and
+    the shadow is resynced (the failed walk may have left it
+    inconsistent).  This is what {!attach} installs. *)
+
+val interposer_exn : t -> Vmm.Machine.interposer
+(** The raw interposer with no containment wrapper: exceptions raised
+    inside the checker propagate to the dispatch caller.  Exists so the
+    benchmark can price the wrapper (and for debugging — a backtrace at
+    the fault site beats a diagnostic anomaly when developing the checker
+    itself).  Production paths use {!interposer}. *)
+
+val internal_errors : t -> int
+(** Exceptions contained so far (monotone; survives {!drain_anomalies},
+    cleared by {!reset}). *)
+
+val set_fault_hook : t -> (unit -> unit) option -> unit
+(** Fault-injection seam: the hook runs at the top of every walk, under
+    either engine, before any ES-CFG node is entered — so an injected
+    exception or delay fires identically in the compiled and interpreted
+    walks.  [None] removes it ({!reset} also clears it). *)
 
 val config : t -> config
 val set_config : t -> config -> unit
@@ -92,6 +134,22 @@ val anomalies : t -> anomaly list
 val drain_anomalies : t -> anomaly list
 val resync : t -> unit
 (** Re-initialise the shadow state from the live control structure. *)
+
+(** Outcome of one {!heal} pass: shadow already matched; resynced after
+    observing [n] divergent decision-relevant parameters; or divergence
+    persists but the [heal_budget] is spent. *)
+type heal_result = Heal_clean | Heal_resynced of int | Heal_exhausted of int
+
+val heal : t -> heal_result
+(** Bounded self-healing: if {!shadow_matches_device} reports divergence,
+    {!resync} — but at most [config.heal_budget] times per checker
+    lifetime (until {!reset}), so a fault that re-corrupts the shadow on
+    every interaction degrades to an explicit [Heal_exhausted] instead of
+    masking itself forever.  Intended to run off the hot path (the remedy
+    supervisor calls it once per clean tick). *)
+
+val heals : t -> int
+(** Resyncs performed by {!heal} since creation/{!reset}. *)
 
 val reset : t -> unit
 (** Return the checker to its just-attached state against the (already

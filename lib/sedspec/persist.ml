@@ -107,7 +107,12 @@ let to_string spec =
       if Es_cfg.no_cmd_allows spec bref then
         pf "nocmd %s %s\n" bref.handler bref.label);
   pf "end\n";
-  Buffer.contents buf
+  (* Integrity trailer over the canonical body (everything up to and
+     including the [end] line).  A bit flip or truncation anywhere in the
+     body fails the digest on load instead of round-tripping into a
+     semantically different spec. *)
+  let body = Buffer.contents buf in
+  body ^ Printf.sprintf "crc %s\n" Sedspec_util.Crc.(to_hex (crc32 body))
 
 exception Parse_error of string
 
@@ -116,8 +121,41 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 let split_commas s =
   if String.trim s = "" then [] else String.split_on_char ',' (String.trim s)
 
+(* Split a possible [crc] trailer off the raw text.  The trailer is the
+   last non-empty physical line when it starts with the word [crc]; the
+   digest covers every byte before that line.  Files from before the
+   trailer existed simply do not have one and skip verification.  (No
+   body line can be mistaken for the trailer: top-level lines start with
+   a fixed keyword set and continuation lines are indented.) *)
+let split_trailer text =
+  let rec last_line pos acc =
+    (* (start offset, contents) of the last non-empty line. *)
+    match String.index_from_opt text pos '\n' with
+    | Some nl ->
+      let seg = String.sub text pos (nl - pos) in
+      last_line (nl + 1) (if String.trim seg = "" then acc else Some (pos, seg))
+    | None ->
+      let seg = String.sub text pos (String.length text - pos) in
+      if String.trim seg = "" then acc else Some (pos, seg)
+  in
+  let words seg =
+    String.split_on_char ' ' (String.trim seg) |> List.filter (fun w -> w <> "")
+  in
+  match last_line 0 None with
+  | Some (pos, seg) when (match words seg with "crc" :: _ -> true | _ -> false) ->
+    let body = String.sub text 0 pos in
+    (match words seg with
+    | [ "crc"; v ] -> (
+      match Sedspec_util.Crc.of_hex v with
+      | Some stored when stored = Sedspec_util.Crc.crc32 body -> body
+      | Some _ -> fail "crc mismatch: spec file is corrupt or truncated"
+      | None -> fail "malformed crc trailer %S" (String.trim seg))
+    | _ -> fail "malformed crc trailer %S" (String.trim seg))
+  | _ -> text
+
 let of_string ~program text =
   try
+    let text = split_trailer text in
     let lines =
       text |> String.split_on_char '\n'
       |> List.filter (fun l -> String.trim l <> "")
@@ -174,8 +212,13 @@ let of_string ~program text =
           ~succs:(List.rev succs);
         current_node := None
     in
+    let saw_end = ref false in
     List.iter
       (fun line ->
+        (* [end] is a terminator, not a separator: trailing content would
+           mean the file was spliced or corrupted, and accepting it is
+           how a truncated-then-concatenated spec goes undetected. *)
+        if !saw_end then fail "content after end line: %S" line;
         let indented = String.length line > 0 && line.[0] = ' ' in
         let words =
           String.split_on_char ' ' (String.trim line)
@@ -262,9 +305,12 @@ let of_string ~program text =
           Es_cfg.import_access (get_spec ()) ~cmd:None b
         | false, [ "end" ] ->
           flush_node ();
-          current_cmd := None
+          current_cmd := None;
+          saw_end := true
         | _ -> fail "unparseable line %S" line)
       lines;
+    if not !saw_end then
+      fail "missing end line: spec file is truncated";
     flush_node ();
     Ok (get_spec ())
   with

@@ -13,12 +13,17 @@ val to_string : Es_cfg.t -> string
 (** Serialise.  The format is word/comma separated, so handler, label,
     parameter and buffer names must be free of spaces, commas and
     newlines; raises [Invalid_argument] when a name would not round-trip
-    rather than emitting a corrupt spec. *)
+    rather than emitting a corrupt spec.  The body ends with an [end]
+    line followed by a [crc] trailer (CRC-32 of everything before the
+    trailer), so corruption between save and load is detected. *)
 
 val of_string :
   program:Devir.Program.t -> string -> (Es_cfg.t, string) result
 (** Rebuild a specification.  Fails with a readable message when the text
-    is malformed or references blocks/fields the program does not have. *)
+    is malformed, references blocks/fields the program does not have, the
+    [crc] trailer does not match the body, the [end] line is missing
+    (truncation), or content follows [end].  Files predating the [crc]
+    trailer load without digest verification. *)
 
 val save : Es_cfg.t -> string -> (unit, string) result
 (** [save spec path] writes the serialised form to a file.  Names are

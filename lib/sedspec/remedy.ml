@@ -6,6 +6,10 @@ let severity_of (a : Checker.anomaly) =
     | Checker.Parameter_check -> Critical
     | Checker.Indirect_jump_check -> High
     | Checker.Conditional_jump_check -> Medium
+    | Checker.Internal_error ->
+      (* The checker itself misbehaved: the shadow can no longer be
+         trusted, which is as bad as a confirmed exploitation signal. *)
+      Critical
   in
   if a.pre_execution then base
   else
@@ -30,14 +34,22 @@ type snapshot = {
   ram_bytes : bytes;
 }
 
+type breaker = { max_rollbacks : int; window : int }
+
 type t = {
   machine : Vmm.Machine.t;
   device : string;
   checker : Checker.t;
   policy_of : severity -> policy;
+  breaker : breaker option;
   mutable saved : snapshot;
   mutable events_rev : event list;
   mutable rollbacks : int;
+  mutable ticks : int;
+  mutable rollback_ticks_rev : int list;
+      (** Tick indices at which a rollback was applied, newest first. *)
+  mutable tripped : bool;
+  mutable log_rev : string list;
 }
 
 let take_snapshot t =
@@ -47,25 +59,40 @@ let take_snapshot t =
     ram_bytes = Vmm.Guest_mem.snapshot (Vmm.Machine.ram t.machine);
   }
 
-let create ?(policy_of = fun _ -> Rollback) machine ~device checker =
+let log_line t line = t.log_rev <- line :: t.log_rev
+
+let create ?(policy_of = fun _ -> Rollback) ?breaker machine ~device checker =
+  (match breaker with
+  | Some (max_rollbacks, window) when max_rollbacks < 1 || window < 1 ->
+    invalid_arg "Remedy.create: breaker thresholds must be >= 1"
+  | _ -> ());
   let t =
     {
       machine;
       device;
       checker;
       policy_of;
+      breaker =
+        Option.map (fun (max_rollbacks, window) -> { max_rollbacks; window }) breaker;
       saved = { arena_bytes = Bytes.empty; ram_bytes = Bytes.empty };
       events_rev = [];
       rollbacks = 0;
+      ticks = 0;
+      rollback_ticks_rev = [];
+      tripped = false;
+      log_rev = [];
     }
   in
   t.saved <- take_snapshot t;
   t
 
+(* A supervisor ticking on a timer must not crash because its tick raced
+   the checker's halt: while halted, refreshing the rollback target would
+   capture post-anomaly state, so skip it as a logged no-op instead. *)
 let checkpoint t =
   if Vmm.Machine.halted t.machine then
-    invalid_arg "Remedy.checkpoint: machine is halted";
-  t.saved <- take_snapshot t
+    log_line t "checkpoint skipped: machine is halted"
+  else t.saved <- take_snapshot t
 
 let apply_rollback t =
   Devir.Arena.restore
@@ -74,11 +101,38 @@ let apply_rollback t =
   Vmm.Guest_mem.restore (Vmm.Machine.ram t.machine) t.saved.ram_bytes;
   Vmm.Machine.resume t.machine;
   Checker.resync t.checker;
-  t.rollbacks <- t.rollbacks + 1
+  t.rollbacks <- t.rollbacks + 1;
+  t.rollback_ticks_rev <- t.ticks :: t.rollback_ticks_rev
+
+(* Would one more rollback at the current tick exceed the breaker?  Counts
+   rollbacks inside the trailing window, including the one about to be
+   applied. *)
+let breaker_would_trip t =
+  match t.breaker with
+  | None -> false
+  | Some b ->
+    let floor = t.ticks - b.window in
+    let recent =
+      List.fold_left
+        (fun n tk -> if tk > floor then n + 1 else n)
+        0 t.rollback_ticks_rev
+    in
+    recent + 1 > b.max_rollbacks
 
 let tick t =
+  t.ticks <- t.ticks + 1;
   if not (Vmm.Machine.halted t.machine) then begin
-    (* Clean point: advance the rollback target. *)
+    (* Clean point: self-heal shadow drift (bounded), then advance the
+       rollback target. *)
+    (match Checker.heal t.checker with
+    | Checker.Heal_clean -> ()
+    | Checker.Heal_resynced n ->
+      log_line t
+        (Printf.sprintf "heal: resynced shadow (%d divergent parameters)" n)
+    | Checker.Heal_exhausted n ->
+      log_line t
+        (Printf.sprintf
+           "heal: budget exhausted, %d parameters still divergent" n));
     ignore (Checker.drain_anomalies t.checker);
     Vmm.Machine.clear_warnings t.machine;
     t.saved <- take_snapshot t;
@@ -86,6 +140,12 @@ let tick t =
   end
   else begin
     let anomalies = Checker.drain_anomalies t.checker in
+    if anomalies = [] then
+      (* Halted with nothing new to adjudicate: a manual halt, or a halt
+         the breaker already escalated.  Leave the machine down — the
+         empty fold below would otherwise default to resume. *)
+      []
+    else begin
     let events =
       List.map
         (fun anomaly ->
@@ -103,6 +163,26 @@ let tick t =
           | Resume_with_warning, Resume_with_warning -> Resume_with_warning)
         Resume_with_warning events
     in
+    (* Circuit breaker: a fault that re-trips the checker after every
+       rollback would otherwise oscillate forever; past the threshold the
+       supervisor stops spending rollbacks and leaves the VM down. *)
+    let decided =
+      if decided = Rollback && (t.tripped || breaker_would_trip t) then begin
+        if not t.tripped then begin
+          t.tripped <- true;
+          match t.breaker with
+          | Some b ->
+            log_line t
+              (Printf.sprintf
+                 "circuit breaker: >%d rollbacks within %d ticks; escalating \
+                  to halt"
+                 b.max_rollbacks b.window)
+          | None -> ()
+        end;
+        Halt_vm
+      end
+      else decided
+    in
     (match decided with
     | Halt_vm -> ()
     | Rollback -> apply_rollback t
@@ -111,10 +191,13 @@ let tick t =
       Checker.resync t.checker);
     t.events_rev <- List.rev_append events t.events_rev;
     events
+    end
   end
 
 let events t = List.rev t.events_rev
 let rollbacks t = t.rollbacks
+let breaker_tripped t = t.tripped
+let log t = List.rev t.log_rev
 
 let pp_event ppf e =
   Format.fprintf ppf "[%s -> %s] %a"

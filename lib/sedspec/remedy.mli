@@ -16,8 +16,10 @@ val severity_of : Checker.anomaly -> severity
 (** Alert classification by strategy and timing: parameter-check anomalies
     are [Critical] (directly tied to exploitation, no false positives);
     indirect-jump anomalies are [High]; conditional-jump anomalies are
-    [Medium] (may be rare-command false positives).  Post-execution
-    detections are promoted one level, since damage may already exist. *)
+    [Medium] (may be rare-command false positives); contained internal
+    checker errors are [Critical] (the shadow can no longer be trusted).
+    Post-execution detections are promoted one level, since damage may
+    already exist. *)
 
 val severity_to_string : severity -> string
 
@@ -39,26 +41,42 @@ type t
 
 val create :
   ?policy_of:(severity -> policy) ->
+  ?breaker:int * int ->
   Vmm.Machine.t ->
   device:string ->
   Checker.t ->
   t
 (** [create machine ~device checker] builds a supervisor.  [policy_of]
-    maps severities to actions (default: everything rolls back).  An
+    maps severities to actions (default: everything rolls back).
+    [breaker:(n, w)] arms the circuit breaker: when applying a rollback
+    would make more than [n] rollbacks within the last [w] ticks, the
+    decision escalates to [Halt_vm] instead and stays escalated — a fault
+    that re-trips the checker after every restore must not oscillate
+    forever.  Both thresholds must be [>= 1]; default: no breaker.  An
     initial checkpoint is taken immediately. *)
 
 val checkpoint : t -> unit
-(** Capture device control structure + guest RAM + IRQ/checker state as
-    the rollback target.  Refuses ([Invalid_argument]) while halted. *)
+(** Capture device control structure + guest RAM as the rollback target.
+    While the machine is halted this is a no-op recorded in {!log}
+    (refreshing the target would capture post-anomaly state; callers
+    ticking on a timer must not crash). *)
 
 val tick : t -> event list
-(** Inspect the machine: if it is running, drain (benign bookkeeping) and
-    refresh the checkpoint; if it was halted by anomalies, classify them,
-    apply the policy and return the events. *)
+(** Inspect the machine: if it is running, run one bounded
+    [Checker.heal] pass, drain (benign bookkeeping) and refresh the
+    checkpoint; if it was halted by anomalies, classify them, apply the
+    policy — subject to the circuit breaker — and return the events. *)
 
 val events : t -> event list
 (** All events so far, oldest first. *)
 
 val rollbacks : t -> int
+
+val breaker_tripped : t -> bool
+(** The circuit breaker escalated at least once (latched). *)
+
+val log : t -> string list
+(** Operational log, oldest first: skipped checkpoints, heal outcomes,
+    breaker escalations. *)
 
 val pp_event : Format.formatter -> event -> unit

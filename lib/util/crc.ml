@@ -1,0 +1,35 @@
+(* Table-driven CRC-32 over the reflected IEEE polynomial.  The table is
+   built once at module init; digesting is one xor + shift + lookup per
+   byte, so verifying a multi-KB spec costs microseconds. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let to_hex v = Printf.sprintf "%08lx" (Int32.logand v 0xFFFFFFFFl)
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else if not (String.for_all (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false) s)
+  then None
+  else Some (Int32.of_string ("0x" ^ s))

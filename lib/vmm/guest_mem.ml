@@ -1,14 +1,21 @@
-type t = { mem : bytes; mutable write_hook : (int64 -> int -> unit) option }
+type t = {
+  mem : bytes;
+  mutable write_hook : (int64 -> int -> unit) option;
+  mutable read_fault : (int64 -> int -> int) option;
+}
 
-let create size = { mem = Bytes.make size '\000'; write_hook = None }
+let create size = { mem = Bytes.make size '\000'; write_hook = None; read_fault = None }
 
 let set_write_hook t hook = t.write_hook <- hook
+
+let set_read_fault t f = t.read_fault <- f
 
 let size t = Bytes.length t.mem
 
 let read_byte t addr =
   let i = Int64.to_int addr in
-  if i >= 0 && i < Bytes.length t.mem then Char.code (Bytes.get t.mem i) else 0
+  let b = if i >= 0 && i < Bytes.length t.mem then Char.code (Bytes.get t.mem i) else 0 in
+  match t.read_fault with None -> b | Some f -> f addr b land 0xFF
 
 let write_byte t addr v =
   let i = Int64.to_int addr in

@@ -23,6 +23,15 @@ val set_write_hook : t -> (int64 -> int -> unit) option -> unit
     {!write_byte}).  Used by the fuzzer's input recorder to capture the
     guest-side memory a workload stages; [None] removes the hook. *)
 
+val set_read_fault : t -> (int64 -> int -> int) option -> unit
+(** Interpose on every byte read (all read paths funnel through
+    {!read_byte}): [f addr byte] returns the byte the reader sees,
+    truncated to 8 bits.  Used by the fault-injection harness to model
+    corrupted or short DMA data.  The function must be a pure function
+    of [(addr, byte)] — the checker's shadow walk and the device itself
+    read the same addresses and must observe the same values, in either
+    checker engine.  [None] removes the fault. *)
+
 val read : t -> int64 -> Devir.Width.t -> int64
 (** Little-endian scalar read. *)
 

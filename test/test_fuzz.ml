@@ -91,6 +91,60 @@ let test_parser_rejects_garbage () =
   Alcotest.(check bool) "empty corpus is fine" true
     (Input.corpus_of_string "" = Ok [])
 
+let test_fault_steps_roundtrip () =
+  let input =
+    {
+      Input.device = "fdc";
+      version = Devices.Qemu_version.v 2 3 0;
+      origin = Input.Mutant;
+      steps =
+        [|
+          Input.Fault (Input.F_guest_xor 0xDEADBEEFL);
+          Input.Fault (Input.F_guest_short 0xA0000L);
+          Input.Fault Input.F_guest_clear;
+          Input.Fault Input.F_walk_raise;
+          Input.Fault (Input.F_walk_delay 1024);
+        |];
+    }
+  in
+  match Input.corpus_of_string (Input.to_string input) with
+  | Error msg -> Alcotest.fail ("reload failed: " ^ msg)
+  | Ok [ input' ] ->
+    Alcotest.(check bool) "fault steps roundtrip" true (input_equal input input')
+  | Ok _ -> Alcotest.fail "expected exactly one input"
+
+(* Scheduled faults must not break the differential oracle: guest
+   corruption is a pure function of the address and walk faults fire
+   before engine dispatch, so both engines observe identical effects —
+   including a contained walk-raise, which shows up as the same anomaly
+   and halt on both sides. *)
+let test_fault_steps_no_divergence () =
+  let seed = List.hd (seed_corpus "fdc") in
+  let prefix =
+    Array.sub seed.Input.steps 0 (min 12 (Array.length seed.Input.steps))
+  in
+  let steps =
+    Array.concat
+      [
+        [|
+          Input.Fault (Input.F_walk_delay 64);
+          Input.Fault (Input.F_guest_xor 0xDEADBEEFL);
+        |];
+        prefix;
+        [| Input.Fault Input.F_guest_clear; Input.Fault Input.F_walk_raise |];
+        prefix;
+      ]
+  in
+  let input = { seed with Input.origin = Input.Mutant; steps } in
+  let o = Exec.evaluate input in
+  List.iter
+    (fun (d : Exec.divergence) ->
+      Printf.eprintf "divergence %s/%s: %s\n" d.Exec.d_profile d.Exec.d_field
+        d.Exec.d_detail)
+    o.Exec.divergences;
+  Alcotest.(check int) "no divergences" 0 (List.length o.Exec.divergences);
+  Alcotest.(check bool) "no crash" true (o.Exec.crashed = None)
+
 (* --- ddmin (pure) ------------------------------------------------------- *)
 
 let test_ddmin_minimises () =
@@ -252,6 +306,10 @@ let () =
             test_roundtrip_int64_extremes;
           Alcotest.test_case "parser rejects garbage" `Quick
             test_parser_rejects_garbage;
+          Alcotest.test_case "fault steps roundtrip" `Quick
+            test_fault_steps_roundtrip;
+          Alcotest.test_case "fault steps keep the oracle green" `Quick
+            test_fault_steps_no_divergence;
         ] );
       ( "ddmin",
         [

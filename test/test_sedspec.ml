@@ -543,6 +543,63 @@ let test_persist_save_atomic_roundtrip () =
   | Error _ -> Sys.rmdir dir
   | Ok () -> Alcotest.fail "save into a missing directory succeeded"
 
+let test_persist_crc_detects_corruption () =
+  let _, built, _ = Lazy.force fdc_built in
+  let text = Sedspec.Persist.to_string built.spec in
+  let program = Sedspec.Es_cfg.program built.spec in
+  (* The serialisation ends with a crc trailer over the body. *)
+  let lines = String.split_on_char '\n' (String.trim text) in
+  (match List.rev lines with
+  | last :: _ ->
+    Alcotest.(check bool) "crc trailer present" true
+      (String.length last = 12 && String.sub last 0 4 = "crc ")
+  | [] -> Alcotest.fail "empty serialisation");
+  (* Any single flipped bit is rejected on load, wherever it lands —
+     including inside the trailer itself. *)
+  List.iter
+    (fun i ->
+      let b = Bytes.of_string text in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x04));
+      match Sedspec.Persist.of_string ~program (Bytes.to_string b) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "bit flip at offset %d accepted" i)
+    [ 0; String.length text / 3; String.length text / 2;
+      String.length text - 2 ];
+  (* Truncations either fail to load or (cut exactly at the trailer
+     seam, where the body is still a complete legacy file) reload to a
+     semantically identical spec. *)
+  List.iter
+    (fun n ->
+      match Sedspec.Persist.of_string ~program (String.sub text 0 n) with
+      | Error _ -> ()
+      | Ok spec' ->
+        Alcotest.(check string)
+          (Printf.sprintf "truncation to %d bytes is semantically benign" n)
+          text
+          (Sedspec.Persist.to_string spec'))
+    [
+      String.length text / 4;
+      String.length text / 2;
+      String.length text - 1;
+      String.length text - 13 (* exactly the crc line: a legacy file *);
+    ]
+
+let test_persist_legacy_without_crc_loads () =
+  (* Spec files written before the crc trailer carry no [crc] line; they
+     must still load, and re-serialising them adds the trailer back. *)
+  let _, built, _ = Lazy.force fdc_built in
+  let text = Sedspec.Persist.to_string built.spec in
+  let program = Sedspec.Es_cfg.program built.spec in
+  let legacy = String.sub text 0 (String.length text - 13) in
+  Alcotest.(check bool) "legacy body ends with end" true
+    (String.length legacy > 4
+    && String.sub legacy (String.length legacy - 4) 4 = "end\n");
+  match Sedspec.Persist.of_string ~program legacy with
+  | Error msg -> Alcotest.failf "legacy file rejected: %s" msg
+  | Ok spec' ->
+    Alcotest.(check string) "legacy reload is identical" text
+      (Sedspec.Persist.to_string spec')
+
 (* Property: any well-formed training state round-trips through the text
    format — node statistics, observed cases, indirect targets, successor
    edges and the command access table all survive save -> load. *)
@@ -769,6 +826,210 @@ let test_remedy_halt_policy_keeps_halted () =
   Alcotest.(check bool) "still halted" true (Vmm.Machine.halted m);
   Alcotest.(check int) "no rollback" 0 (Sedspec.Remedy.rollbacks sup)
 
+(* --- Containment and fail-safe behaviour ---------------------------------- *)
+
+let fresh_fdc ?config () =
+  let w = Workload.Samples.find "fdc" in
+  Metrics.Spec_cache.training_cases := training_cases;
+  let m, checker =
+    Metrics.Spec_cache.fresh_protected_machine ?config ~vmexit_cost:0 w
+      (QV.v 2 3 0)
+  in
+  (m, checker, Workload.Fdc_driver.create m)
+
+let string_contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  go 0
+
+let test_checker_containment_fail_closed () =
+  let m, checker, d = fresh_fdc () in
+  Sedspec.Checker.set_fault_hook checker (Some (fun () -> failwith "boom"));
+  ignore (Workload.Fdc_driver.reset d);
+  (* Fail-closed (the default): the contained error halts the VM instead
+     of letting the unchecked interaction through. *)
+  Alcotest.(check bool) "halted" true (Vmm.Machine.halted m);
+  Alcotest.(check int) "one contained error" 1
+    (Sedspec.Checker.internal_errors checker);
+  (match Sedspec.Checker.anomalies checker with
+  | [ a ] ->
+    Alcotest.(check string) "diagnostic strategy" "internal-error"
+      (Sedspec.Checker.strategy_to_string a.strategy);
+    Alcotest.(check bool) "detail names the exception" true
+      (string_contains a.detail "boom")
+  | l -> Alcotest.failf "expected exactly one anomaly, got %d" (List.length l));
+  (* The exception never crossed the interposer: the dispatch returned
+     normally and the machine records a halt, not a crash. *)
+  Alcotest.(check bool) "halt reason recorded" true
+    (Vmm.Machine.halt_reason m <> None)
+
+let test_checker_containment_fail_open_warn () =
+  let config =
+    {
+      Sedspec.Checker.default_config with
+      on_internal_error = Sedspec.Checker.Fail_open_warn;
+    }
+  in
+  let m, checker, d = fresh_fdc ~config () in
+  Sedspec.Checker.set_fault_hook checker (Some (fun () -> failwith "boom"));
+  ignore (Workload.Fdc_driver.reset d);
+  ignore (Workload.Fdc_driver.recalibrate d ~drive:0);
+  (* Fail-open: the device keeps running, every contained error leaves a
+     warning, and nothing halts. *)
+  Alcotest.(check bool) "not halted" false (Vmm.Machine.halted m);
+  Alcotest.(check bool) "warnings recorded" true (Vmm.Machine.warnings m <> []);
+  Alcotest.(check bool) "errors counted" true
+    (Sedspec.Checker.internal_errors checker > 0);
+  (* Clearing the fault stops the bleeding: no further internal errors. *)
+  Sedspec.Checker.set_fault_hook checker None;
+  let n = Sedspec.Checker.internal_errors checker in
+  ignore (Workload.Fdc_driver.sense_interrupt d);
+  Alcotest.(check int) "no new internal errors" n
+    (Sedspec.Checker.internal_errors checker)
+
+let test_checker_resync_restores_shadow () =
+  let m, checker, d = fresh_fdc () in
+  ignore (Workload.Fdc_driver.reset d);
+  ignore (Workload.Fdc_driver.seek d ~drive:0 ~head:0 ~track:21);
+  ignore (Workload.Fdc_driver.sense_interrupt d);
+  Alcotest.(check bool) "shadow clean after benign ops" true
+    (Sedspec.Checker.shadow_matches_device checker = []);
+  (* Mutate a decision-relevant parameter (data_pos is a Rule-2 index
+     param) in the live control structure behind the checker's back. *)
+  let arena = Interp.arena (Vmm.Machine.interp_of m "fdc") in
+  Arena.set arena "data_pos" 77L;
+  Alcotest.(check bool) "divergence detected" true
+    (Sedspec.Checker.shadow_matches_device checker <> []);
+  Sedspec.Checker.resync checker;
+  Alcotest.(check bool) "post-resync shadow matches device" true
+    (Sedspec.Checker.shadow_matches_device checker = [])
+
+(* The fuzzer's machine scrub, so [Checker.reset] can be tested against
+   the recycled machine the way the replay pool uses it. *)
+let scrub_fdc m checker =
+  Vmm.Machine.resume m;
+  Vmm.Machine.clear_warnings m;
+  Vmm.Machine.clear_traps m;
+  Vmm.Guest_mem.clear (Vmm.Machine.ram m);
+  Arena.reset (Interp.arena (Vmm.Machine.interp_of m "fdc"));
+  Vmm.Irq.lower_line (Vmm.Machine.irq m) "fdc";
+  Vmm.Irq.clear_counts (Vmm.Machine.irq m);
+  Sedspec.Checker.reset checker
+
+let benign_coverage checker d =
+  let cov = Sedspec.Checker.coverage_create () in
+  Sedspec.Checker.set_coverage checker (Some cov);
+  ignore (Workload.Fdc_driver.reset d);
+  ignore (Workload.Fdc_driver.recalibrate d ~drive:0);
+  ignore (Workload.Fdc_driver.sense_interrupt d);
+  Sedspec.Checker.set_coverage checker None;
+  ( Sedspec.Checker.coverage_nodes cov,
+    Sedspec.Checker.coverage_edges cov )
+
+let test_checker_reset_equals_fresh () =
+  (* After arbitrary traffic (including a contained fault), scrub+reset
+     must behave exactly like a just-attached checker: the same benign
+     sequence walks the same nodes and edges and raises nothing. *)
+  let m, checker, d = fresh_fdc () in
+  let fresh_nodes, fresh_edges = benign_coverage checker d in
+  Sedspec.Checker.set_fault_hook checker (Some (fun () -> failwith "boom"));
+  ignore (Workload.Fdc_driver.seek d ~drive:0 ~head:0 ~track:13);
+  Alcotest.(check bool) "fault halted the machine" true (Vmm.Machine.halted m);
+  scrub_fdc m checker;
+  Alcotest.(check int) "internal errors cleared" 0
+    (Sedspec.Checker.internal_errors checker);
+  Alcotest.(check int) "heals cleared" 0 (Sedspec.Checker.heals checker);
+  let nodes', edges' = benign_coverage checker (Workload.Fdc_driver.create m) in
+  Alcotest.(check int) "anomaly-free after reset" 0
+    (List.length (Sedspec.Checker.anomalies checker));
+  Alcotest.(check bool) "same node coverage as a fresh checker" true
+    (fresh_nodes = nodes');
+  Alcotest.(check bool) "same edge coverage as a fresh checker" true
+    (fresh_edges = edges')
+
+let test_checker_heal_budget () =
+  let config = { Sedspec.Checker.default_config with heal_budget = 2 } in
+  let m, checker, d = fresh_fdc ~config () in
+  ignore (Workload.Fdc_driver.reset d);
+  ignore (Workload.Fdc_driver.seek d ~drive:0 ~head:0 ~track:21);
+  ignore (Workload.Fdc_driver.sense_interrupt d);
+  Alcotest.(check bool) "clean shadow heals to clean" true
+    (Sedspec.Checker.heal checker = Sedspec.Checker.Heal_clean);
+  let arena = Interp.arena (Vmm.Machine.interp_of m "fdc") in
+  let corrupt v = Arena.set arena "data_pos" v in
+  corrupt 90L;
+  (match Sedspec.Checker.heal checker with
+  | Sedspec.Checker.Heal_resynced n ->
+    Alcotest.(check bool) "saw divergent params" true (n > 0)
+  | _ -> Alcotest.fail "expected the first heal to resync");
+  Alcotest.(check bool) "resync actually healed" true
+    (Sedspec.Checker.shadow_matches_device checker = []);
+  corrupt 91L;
+  (match Sedspec.Checker.heal checker with
+  | Sedspec.Checker.Heal_resynced _ -> ()
+  | _ -> Alcotest.fail "expected the second heal to resync");
+  corrupt 92L;
+  (match Sedspec.Checker.heal checker with
+  | Sedspec.Checker.Heal_exhausted n ->
+    Alcotest.(check bool) "still divergent" true (n > 0)
+  | _ -> Alcotest.fail "expected the third heal to be budget-exhausted");
+  Alcotest.(check int) "heals capped at the budget" 2
+    (Sedspec.Checker.heals checker)
+
+let test_remedy_checkpoint_while_halted () =
+  let m, checker, d = fresh_fdc () in
+  let sup = Sedspec.Remedy.create m ~device:"fdc" checker in
+  ignore (Workload.Fdc_driver.reset d);
+  ignore (Workload.Fdc_driver.seek d ~drive:0 ~head:0 ~track:21);
+  ignore (Workload.Fdc_driver.sense_interrupt d);
+  (* Running machine: checkpoint works and logs nothing. *)
+  Sedspec.Remedy.checkpoint sup;
+  let log0 = List.length (Sedspec.Remedy.log sup) in
+  ignore (Workload.Fdc_driver.dumpreg d);
+  Alcotest.(check bool) "halted by the rare command" true
+    (Vmm.Machine.halted m);
+  (* Halted machine: a timer-driven checkpoint must not raise and must
+     not overwrite the pre-anomaly target — it is a logged no-op. *)
+  Sedspec.Remedy.checkpoint sup;
+  Alcotest.(check bool) "skip was logged" true
+    (List.length (Sedspec.Remedy.log sup) > log0);
+  ignore (Sedspec.Remedy.tick sup);
+  Alcotest.(check bool) "rolled back and resumed" false (Vmm.Machine.halted m);
+  let arena = Interp.arena (Vmm.Machine.interp_of m "fdc") in
+  Alcotest.(check int64) "restored the pre-anomaly checkpoint" 21L
+    (Arena.get arena "track")
+
+let test_remedy_circuit_breaker_escalates () =
+  let m, checker, d = fresh_fdc () in
+  let sup =
+    Sedspec.Remedy.create
+      ~policy_of:(fun _ -> Sedspec.Remedy.Rollback)
+      ~breaker:(2, 8) m ~device:"fdc" checker
+  in
+  ignore (Workload.Fdc_driver.reset d);
+  ignore (Sedspec.Remedy.tick sup);
+  (* A fault that re-trips the checker after every restore: the first
+     two rollbacks go through, the third escalates to a latched halt. *)
+  for _ = 1 to 4 do
+    ignore (Workload.Fdc_driver.dumpreg d);
+    ignore (Sedspec.Remedy.tick sup)
+  done;
+  Alcotest.(check int) "breaker capped the rollbacks" 2
+    (Sedspec.Remedy.rollbacks sup);
+  Alcotest.(check bool) "breaker latched" true
+    (Sedspec.Remedy.breaker_tripped sup);
+  Alcotest.(check bool) "machine left halted" true (Vmm.Machine.halted m);
+  Alcotest.(check bool) "escalation logged" true
+    (List.exists
+       (fun l -> string_contains l "breaker")
+       (Sedspec.Remedy.log sup));
+  (* Threshold validation. *)
+  match
+    Sedspec.Remedy.create ~breaker:(0, 5) m ~device:"fdc" checker
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "breaker with zero threshold accepted"
+
 (* --- Shadow consistency property ----------------------------------------- *)
 
 let prop_shadow_tracks_device =
@@ -848,6 +1109,10 @@ let () =
           Alcotest.test_case "rejects bad names" `Quick test_persist_rejects_bad_names;
           Alcotest.test_case "atomic save roundtrip" `Quick
             test_persist_save_atomic_roundtrip;
+          Alcotest.test_case "crc detects corruption" `Quick
+            test_persist_crc_detects_corruption;
+          Alcotest.test_case "legacy file without crc loads" `Quick
+            test_persist_legacy_without_crc_loads;
           QCheck_alcotest.to_alcotest persist_roundtrip_prop;
           Alcotest.test_case "reloaded spec still detects" `Quick
             test_persisted_spec_still_detects;
@@ -862,6 +1127,23 @@ let () =
             test_remedy_rollback_restores_state;
           Alcotest.test_case "halt policy keeps halted" `Quick
             test_remedy_halt_policy_keeps_halted;
+          Alcotest.test_case "checkpoint while halted is a logged no-op" `Quick
+            test_remedy_checkpoint_while_halted;
+          Alcotest.test_case "circuit breaker escalates repeat rollbacks" `Quick
+            test_remedy_circuit_breaker_escalates;
+        ] );
+      ( "containment",
+        [
+          Alcotest.test_case "fail-closed halts and diagnoses" `Quick
+            test_checker_containment_fail_closed;
+          Alcotest.test_case "fail-open warns and recovers" `Quick
+            test_checker_containment_fail_open_warn;
+          Alcotest.test_case "resync restores the shadow" `Quick
+            test_checker_resync_restores_shadow;
+          Alcotest.test_case "reset equals a fresh checker" `Quick
+            test_checker_reset_equals_fresh;
+          Alcotest.test_case "heal respects its budget" `Quick
+            test_checker_heal_budget;
         ] );
       ( "invariants",
         [ QCheck_alcotest.to_alcotest prop_shadow_tracks_device ] );
