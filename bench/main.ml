@@ -771,6 +771,133 @@ let micro () =
 (* device.  Divergences are checker bugs, so any non-zero count is an   *)
 (* immediate red flag in the bench output and the JSON dump.            *)
 
+(* Replay a captured stream with the deadline watchdog disarmed vs armed
+   at a budget no walk reaches: the difference is the watchdog's no-fault
+   cost (one integer compare per walked node).  Both sides run in
+   alternating timed rounds so scheduler/GC drift cannot masquerade as
+   overhead, and each side keeps its best round. *)
+let watchdog_pair w reqs =
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let side deadline =
+    let _m, checker =
+      Metrics.Spec_cache.fresh_protected_machine w W.paper_version
+    in
+    Sedspec.Checker.set_deadline checker deadline;
+    let ip = Sedspec.Checker.interposer checker in
+    let done_ = Interp.Event.Done { response = None } in
+    fun () ->
+      Array.iter
+        (fun (r : Vmm.Machine.request) ->
+          ignore (ip.Vmm.Machine.before r);
+          ignore (ip.Vmm.Machine.after r done_))
+        reqs;
+      ignore (Sedspec.Checker.drain_anomalies checker)
+  in
+  let off = side None and on_ = side (Some 1_000_000) in
+  off ();
+  on_ ();
+  let round replay =
+    let budget = if !quick then 0.1 else 0.25 in
+    let t0 = Unix.gettimeofday () in
+    let passes = ref 0 in
+    while Unix.gettimeofday () -. t0 < budget do
+      replay ();
+      incr passes
+    done;
+    float_of_int (!passes * Array.length reqs)
+    /. (Unix.gettimeofday () -. t0)
+  in
+  let off_best = ref 0.0 and on_best = ref 0.0 in
+  for _ = 1 to 5 do
+    off_best := max !off_best (round off);
+    on_best := max !on_best (round on_)
+  done;
+  (!off_best, !on_best)
+
+let fleet_bench () =
+  section "Fleet: multi-VM serving throughput and watchdog overhead";
+  let vms = if !quick then 5 else 10 in
+  let ticks = if !quick then 6 else 16 in
+  let opts jobs =
+    {
+      (Fleet.Supervisor.default_options ()) with
+      Fleet.Supervisor.vms;
+      ticks;
+      seed = !seed;
+      jobs;
+    }
+  in
+  (* Warm the spec cache so the timed runs measure serving, not training. *)
+  ignore (Fleet.Supervisor.run (opts 1) : Fleet.Supervisor.report);
+  let timed jobs =
+    let t0 = Unix.gettimeofday () in
+    let r = Fleet.Supervisor.run (opts jobs) in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let jobs_list =
+    List.sort_uniq compare (1 :: (if !jobs > 1 then [ !jobs ] else []))
+  in
+  let runs = List.map (fun j -> (j, timed j)) jobs_list in
+  let _, (r1, dt1) = List.hd runs in
+  let base_json = Fleet.Supervisor.report_to_json r1 in
+  let deterministic =
+    List.for_all
+      (fun (_, (r, _)) -> Fleet.Supervisor.report_to_json r = base_json)
+      runs
+  in
+  let rows =
+    List.map
+      (fun (j, ((r : Fleet.Supervisor.report), dt)) ->
+        let ips = float_of_int r.Fleet.Supervisor.f_interactions /. dt in
+        json_float (Printf.sprintf "fleet.jobs%d.ips" j) ips;
+        json_float (Printf.sprintf "fleet.jobs%d.wall_s" j) dt;
+        [
+          string_of_int j;
+          string_of_int r.Fleet.Supervisor.f_interactions;
+          Printf.sprintf "%.2fs" dt;
+          fmt_rate ips;
+          Printf.sprintf "%.2fx" (dt1 /. dt);
+        ])
+      runs
+  in
+  json_bool "fleet.deterministic" deterministic;
+  json_int "fleet.vms" vms;
+  json_int "fleet.ticks" ticks;
+  Table.print
+    ~align:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "jobs"; "interactions"; "wall"; "interactions/s"; "speedup" ]
+    rows;
+  Printf.printf
+    "(%d VMs x %d ticks, mixed devices; reports %s across jobs)\n" vms ticks
+    (if deterministic then "bit-identical" else "DIVERGED");
+  let wd_rows =
+    List.map
+      (fun device ->
+        let w = Workload.Samples.find device in
+        let reqs = capture_stream w ~cases:(if !quick then 2 else 4) ~ops:20 in
+        let off_ips, on_ips = watchdog_pair w reqs in
+        let overhead = 100.0 *. (1.0 -. (on_ips /. off_ips)) in
+        json_float (Printf.sprintf "fleet.watchdog.%s.off_ips" device) off_ips;
+        json_float (Printf.sprintf "fleet.watchdog.%s.on_ips" device) on_ips;
+        json_float
+          (Printf.sprintf "fleet.watchdog.%s.overhead_pct" device)
+          overhead;
+        [
+          device;
+          fmt_rate off_ips;
+          fmt_rate on_ips;
+          Printf.sprintf "%.1f%%" overhead;
+        ])
+      [ "fdc"; "scsi" ]
+  in
+  Table.print
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "Device"; "watchdog off/s"; "watchdog on/s"; "overhead" ]
+    wd_rows;
+  Printf.printf
+    "(deadline armed at a budget no benign walk reaches: the no-fault\n\
+    \ cost is one integer compare per walked node, so ~0%%)\n"
+
 let fuzz_smoke () =
   section "Fuzz smoke: differential fuzzing of the ES-Checker";
   let budget = if !quick then 100 else 500 in
@@ -869,6 +996,7 @@ let () =
       | "ablation" -> ablation ()
       | "baseline" -> baseline ()
       | "micro" -> micro ()
+      | "fleet" -> fleet_bench ()
       | "fuzz" -> fuzz_smoke ()
       | "all" ->
         table2 ();
@@ -879,10 +1007,11 @@ let () =
         baseline ();
         ablation ();
         micro ();
+        fleet_bench ();
         fuzz_smoke ()
       | other ->
         Printf.eprintf
-          "unknown command %s (table2|table3|fig3|fig4|fig5|baseline|ablation|micro|fuzz|all)\n"
+          "unknown command %s (table2|table3|fig3|fig4|fig5|baseline|ablation|micro|fleet|fuzz|all)\n"
           other;
         exit 2)
     cmds;

@@ -359,6 +359,92 @@ let fuzz_cmd =
           $ batch_arg $ max_steps_arg $ json_arg $ corpus_out_arg
           $ corpus_in_arg $ replay_arg $ training_cases_arg)
 
+(* --- fleet ---------------------------------------------------------------- *)
+
+let fleet_cmd =
+  let devices_arg =
+    let doc =
+      "Comma-separated devices assigned round-robin (fdc, ehci, pcnet, \
+       sdhci, scsi) or 'all'."
+    in
+    Arg.(value & opt string "all" & info [ "device" ] ~docv:"DEVICES" ~doc)
+  in
+  let vms_arg =
+    let doc = "Fleet size (protected VMs)." in
+    Arg.(value & opt int 8 & info [ "vms" ] ~docv:"N" ~doc)
+  in
+  let ticks_arg =
+    let doc = "Supervision periods per VM." in
+    Arg.(value & opt int 32 & info [ "ticks" ] ~docv:"N" ~doc)
+  in
+  let ops_arg =
+    let doc = "Logical workload operations per tick." in
+    Arg.(value & opt int 12 & info [ "ops" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Fleet seed (per-VM seeds derive from it; jobs-independent)." in
+    Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Watchdog step budget per checker walk (0 disables)." in
+    Arg.(value & opt int 50_000 & info [ "deadline" ] ~docv:"STEPS" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the health-snapshot JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run device vms ticks ops seed jobs deadline json training =
+    setup_training training;
+    let devices =
+      if device = "all" then
+        List.map
+          (fun w ->
+            let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+            W.device_name)
+          Workload.Samples.all
+      else begin
+        let ds = String.split_on_char ',' device in
+        List.iter (fun d -> ignore (find_device d)) ds;
+        ds
+      end
+    in
+    let opts =
+      {
+        Fleet.Supervisor.vms;
+        ticks;
+        seed;
+        jobs;
+        devices;
+        vm_opts =
+          (fun device ->
+            {
+              (Fleet.Vm.default_options ~device) with
+              Fleet.Vm.ops_per_tick = ops;
+              deadline = (if deadline <= 0 then None else Some deadline);
+            });
+      }
+    in
+    let r = Fleet.Supervisor.run opts in
+    Format.printf "%a" Fleet.Supervisor.pp_report r;
+    match json with
+    | Some file ->
+      let body = Fleet.Supervisor.report_to_json r in
+      let tmp = file ^ ".tmp" in
+      let oc = open_out tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc body);
+      Sys.rename tmp file
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Serve a fleet of protected VMs under the deadline watchdog, \
+          error-budget governor and bulkhead isolation")
+    Term.(const run $ devices_arg $ vms_arg $ ticks_arg $ ops_arg $ seed_arg
+          $ jobs_arg $ deadline_arg $ json_arg $ training_cases_arg)
+
 (* --- faultinj -------------------------------------------------------------- *)
 
 let faultinj_cmd =
@@ -388,7 +474,34 @@ let faultinj_cmd =
     let doc = "Write the JSON report to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
   in
-  let run device plans cases ops seed jobs json training =
+  let fleet_vms_arg =
+    let doc =
+      "Run the fleet bulkhead-isolation campaign over $(docv) VMs instead of \
+       the per-combo campaign (0 keeps the per-combo campaign)."
+    in
+    Arg.(value & opt int 0 & info [ "fleet-vms" ] ~docv:"N" ~doc)
+  in
+  let fleet_faulty_arg =
+    let doc = "Fleet members carrying an armed fault (fleet mode)." in
+    Arg.(value & opt int 3 & info [ "fleet-faulty" ] ~docv:"N" ~doc)
+  in
+  let fleet_ticks_arg =
+    let doc = "Supervision periods per VM (fleet mode)." in
+    Arg.(value & opt int 24 & info [ "fleet-ticks" ] ~docv:"N" ~doc)
+  in
+  let write_json json body =
+    match json with
+    | Some file ->
+      let tmp = file ^ ".tmp" in
+      let oc = open_out tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc body);
+      Sys.rename tmp file
+    | None -> ()
+  in
+  let run device plans cases ops seed jobs json fleet_vms fleet_faulty
+      fleet_ticks training =
     setup_training training;
     let devices =
       if device = "all" then
@@ -403,39 +516,50 @@ let faultinj_cmd =
         ds
       end
     in
-    let opts =
-      {
-        Faultinj.Campaign.devices;
-        plans_per_combo = plans;
-        cases_per_plan = cases;
-        ops_per_case = ops;
-        seed;
-        jobs;
-      }
-    in
-    let r = Faultinj.Campaign.run opts in
-    Format.printf "%a" Faultinj.Campaign.pp_report r;
-    (match json with
-    | Some file ->
-      let body =
-        Sedspec_util.Json.to_string (Faultinj.Campaign.report_to_json r)
+    if fleet_vms > 0 then begin
+      let opts =
+        {
+          Faultinj.Campaign.fl_vms = fleet_vms;
+          fl_faulty = fleet_faulty;
+          fl_ticks = fleet_ticks;
+          fl_seed = seed;
+          fl_jobs = jobs;
+          fl_devices = devices;
+        }
       in
-      let tmp = file ^ ".tmp" in
-      let oc = open_out tmp in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc body);
-      Sys.rename tmp file
-    | None -> ());
-    if not (Faultinj.Campaign.passed r) then exit 1
+      let r = Faultinj.Campaign.fleet_isolation opts in
+      Format.printf "%a" Faultinj.Campaign.pp_fleet_report r;
+      write_json json
+        (Sedspec_util.Json.to_string (Faultinj.Campaign.fleet_report_to_json r));
+      if not (Faultinj.Campaign.fleet_passed r) then exit 1
+    end
+    else begin
+      let opts =
+        {
+          Faultinj.Campaign.devices;
+          plans_per_combo = plans;
+          cases_per_plan = cases;
+          ops_per_case = ops;
+          seed;
+          jobs;
+        }
+      in
+      let r = Faultinj.Campaign.run opts in
+      Format.printf "%a" Faultinj.Campaign.pp_report r;
+      write_json json
+        (Sedspec_util.Json.to_string (Faultinj.Campaign.report_to_json r));
+      if not (Faultinj.Campaign.passed r) then exit 1
+    end
   in
   Cmd.v
     (Cmd.info "faultinj"
        ~doc:
          "Deterministic fault-injection campaign against the checker's \
-          containment (exits 1 on any escaped exception or silent fail-open)")
+          containment (exits 1 on any escaped exception or silent fail-open); \
+          --fleet-vms switches to the fleet bulkhead-isolation campaign")
     Term.(const run $ devices_arg $ plans_arg $ cases_arg $ ops_arg $ seed_arg
-          $ jobs_arg $ json_arg $ training_cases_arg)
+          $ jobs_arg $ json_arg $ fleet_vms_arg $ fleet_faulty_arg
+          $ fleet_ticks_arg $ training_cases_arg)
 
 (* --- check-spec ----------------------------------------------------------- *)
 
@@ -484,6 +608,7 @@ let () =
             soak_cmd;
             coverage_cmd;
             fuzz_cmd;
+            fleet_cmd;
             faultinj_cmd;
             check_spec_cmd;
             dump_device_cmd;

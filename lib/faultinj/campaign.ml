@@ -277,3 +277,184 @@ let pp_report ppf r =
   Format.fprintf ppf "verdict: %s@."
     (if passed r then "PASS (no escapes, no silent fail-opens)"
      else "FAIL (escaped exception or silent fail-open)")
+
+(* ------------------------------------------------------------------ *)
+(* Fleet bulkhead isolation                                            *)
+(* ------------------------------------------------------------------ *)
+
+type fleet_options = {
+  fl_vms : int;
+  fl_faulty : int;
+  fl_ticks : int;
+  fl_seed : int64;
+  fl_jobs : int;
+  fl_devices : string list;
+}
+
+let default_fleet_options =
+  {
+    fl_vms = 8;
+    fl_faulty = 3;
+    fl_ticks = 24;
+    fl_seed = 1L;
+    fl_jobs = 1;
+    fl_devices = [ "fdc"; "ehci"; "pcnet"; "sdhci"; "scsi" ];
+  }
+
+type fleet_report = {
+  fl_options : fleet_options;
+  fl_faulty_set : int list;
+  fl_sites : (int * string) list;  (** (vm, armed fault site). *)
+  fl_fired : int;
+  fl_clean_divergent : int list;
+  fl_jobs_divergence : bool;
+  fl_baseline : Fleet.Supervisor.report;
+  fl_faulted : Fleet.Supervisor.report;
+}
+
+(* Spread the faulty members across the fleet so every device type in the
+   round-robin can land in both the faulty and the clean partition. *)
+let faulty_set ~vms ~faulty =
+  List.init faulty (fun k -> k * vms / faulty)
+
+(* Only machine-site faults make sense against a live fleet member; the
+   spec sites are exercised by the load path (Vm's backoff'd Persist
+   retries), not by arming. *)
+let machine_site rng =
+  match Prng.int rng 4 with
+  | 0 -> Plan.Guest_corrupt { mask = Prng.pick rng Plan.masks }
+  | 1 -> Plan.Guest_short { limit = Prng.pick rng Plan.limits }
+  | 2 -> Plan.Walk_raise { at_walk = Prng.int rng 6 }
+  | _ -> Plan.Walk_delay { at_walk = Prng.int rng 6; spin = Prng.pick rng Plan.spins }
+
+let fleet_isolation opts =
+  if opts.fl_faulty < 1 || opts.fl_faulty > opts.fl_vms then
+    invalid_arg "Campaign.fleet_isolation: need 1 <= faulty <= vms";
+  let faulty = faulty_set ~vms:opts.fl_vms ~faulty:opts.fl_faulty in
+  let sup_opts jobs =
+    {
+      (Fleet.Supervisor.default_options ()) with
+      Fleet.Supervisor.vms = opts.fl_vms;
+      ticks = opts.fl_ticks;
+      seed = opts.fl_seed;
+      jobs;
+      devices = opts.fl_devices;
+    }
+  in
+  (* Plan sites are drawn per faulty VM from a stream keyed only by the
+     campaign seed and the VM index, so arming is jobs-independent too. *)
+  let site_of = Hashtbl.create 8 in
+  List.iter
+    (fun vm ->
+      let rng = Prng.create (Int64.add opts.fl_seed (Int64.of_int (vm + 1))) in
+      Hashtbl.replace site_of vm (machine_site (Prng.split rng)))
+    faulty;
+  let fired = Atomic.make 0 in
+  let arm ~vm machine checker =
+    match Hashtbl.find_opt site_of vm with
+    | None -> None
+    | Some site ->
+      let plan = { Plan.id = vm; site; policy = C.Fail_closed } in
+      let armed = Inject.arm plan machine checker in
+      Some
+        (fun () ->
+          Inject.disarm armed;
+          ignore (Atomic.fetch_and_add fired (Inject.fired armed) : int))
+  in
+  let baseline = Fleet.Supervisor.run (sup_opts opts.fl_jobs) in
+  let faulted = Fleet.Supervisor.run ~arm (sup_opts opts.fl_jobs) in
+  let jobs_divergence =
+    if opts.fl_jobs = 1 then false
+    else
+      let serial = Fleet.Supervisor.run ~arm (sup_opts 1) in
+      Fleet.Supervisor.report_to_json serial
+      <> Fleet.Supervisor.report_to_json faulted
+  in
+  let base_vms = Array.of_list baseline.Fleet.Supervisor.f_vms
+  and fault_vms = Array.of_list faulted.Fleet.Supervisor.f_vms in
+  let clean_divergent =
+    List.filter
+      (fun i -> (not (List.mem i faulty)) && base_vms.(i) <> fault_vms.(i))
+      (List.init opts.fl_vms Fun.id)
+  in
+  {
+    fl_options = opts;
+    fl_faulty_set = faulty;
+    fl_sites =
+      List.map (fun vm -> (vm, Plan.site_to_string (Hashtbl.find site_of vm))) faulty;
+    fl_fired = Atomic.get fired;
+    fl_clean_divergent = clean_divergent;
+    fl_jobs_divergence = jobs_divergence;
+    fl_baseline = baseline;
+    fl_faulted = faulted;
+  }
+
+let fleet_passed r =
+  r.fl_fired > 0 && r.fl_clean_divergent = [] && not r.fl_jobs_divergence
+
+let fleet_report_to_json r =
+  let o = r.fl_options in
+  Json.Obj
+    [
+      ("seed", Json.Str (Printf.sprintf "0x%Lx" o.fl_seed));
+      ("vms", Json.Int o.fl_vms);
+      ("ticks", Json.Int o.fl_ticks);
+      ("jobs", Json.Int o.fl_jobs);
+      ("devices", Json.List (List.map (fun d -> Json.Str d) o.fl_devices));
+      ("faulty", Json.List (List.map (fun i -> Json.Int i) r.fl_faulty_set));
+      ( "sites",
+        Json.List
+          (List.map
+             (fun (vm, s) ->
+               Json.Obj [ ("vm", Json.Int vm); ("site", Json.Str s) ])
+             r.fl_sites) );
+      ("fired", Json.Int r.fl_fired);
+      ( "clean_divergent",
+        Json.List (List.map (fun i -> Json.Int i) r.fl_clean_divergent) );
+      ("jobs_divergence", Json.Bool r.fl_jobs_divergence);
+      ( "baseline",
+        Json.Obj
+          [
+            ("interactions", Json.Int r.fl_baseline.Fleet.Supervisor.f_interactions);
+            ("anomalies", Json.Int r.fl_baseline.Fleet.Supervisor.f_anomalies);
+            ("crashes", Json.Int r.fl_baseline.Fleet.Supervisor.f_crashes);
+            ("rollbacks", Json.Int r.fl_baseline.Fleet.Supervisor.f_rollbacks);
+          ] );
+      ( "faulted",
+        Json.Obj
+          [
+            ("interactions", Json.Int r.fl_faulted.Fleet.Supervisor.f_interactions);
+            ("anomalies", Json.Int r.fl_faulted.Fleet.Supervisor.f_anomalies);
+            ("internal_errors", Json.Int r.fl_faulted.Fleet.Supervisor.f_internal_errors);
+            ("deadline_overruns", Json.Int r.fl_faulted.Fleet.Supervisor.f_deadline_overruns);
+            ("crashes", Json.Int r.fl_faulted.Fleet.Supervisor.f_crashes);
+            ("rollbacks", Json.Int r.fl_faulted.Fleet.Supervisor.f_rollbacks);
+            ("degrades", Json.Int r.fl_faulted.Fleet.Supervisor.f_degrades);
+          ] );
+      ("passed", Json.Bool (fleet_passed r));
+    ]
+
+let pp_fleet_report ppf r =
+  Format.fprintf ppf
+    "fleet isolation: %d VMs (%d faulty: %s), %d ticks, seed %Ld@."
+    r.fl_options.fl_vms r.fl_options.fl_faulty
+    (String.concat ","
+       (List.map (fun (vm, s) -> Printf.sprintf "vm%d:%s" vm s) r.fl_sites))
+    r.fl_options.fl_ticks r.fl_options.fl_seed;
+  Format.fprintf ppf
+    "  faults fired: %d; faulted-run anomalies: %d (baseline %d); \
+     rollbacks: %d (baseline %d)@."
+    r.fl_fired r.fl_faulted.Fleet.Supervisor.f_anomalies
+    r.fl_baseline.Fleet.Supervisor.f_anomalies
+    r.fl_faulted.Fleet.Supervisor.f_rollbacks
+    r.fl_baseline.Fleet.Supervisor.f_rollbacks;
+  (match r.fl_clean_divergent with
+  | [] -> Format.fprintf ppf "  clean VMs: all byte-identical to baseline@."
+  | l ->
+    Format.fprintf ppf "  clean VMs DIVERGED: %s@."
+      (String.concat "," (List.map string_of_int l)));
+  Format.fprintf ppf "verdict: %s@."
+    (if fleet_passed r then
+       "PASS (faults fired, zero cross-bulkhead interference, \
+        jobs-independent)"
+     else "FAIL (no firing, clean-VM divergence or jobs divergence)")

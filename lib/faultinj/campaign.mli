@@ -56,3 +56,51 @@ val report_to_json : report -> Sedspec_util.Json.t
     fixed — byte-identical across runs and [jobs] values. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Fleet bulkhead isolation}
+
+    Inject machine-site faults (guest-memory corruption/short reads,
+    synthetic walk exceptions and latency spikes) into a deterministic
+    subset of a {!Fleet.Supervisor} fleet and prove the bulkheads hold:
+    every {e clean} VM's report — verdict stream, anomaly counts,
+    coverage — must be byte-identical to a fault-free baseline run, and
+    the faulted run itself must be bit-identical across [jobs]. *)
+
+type fleet_options = {
+  fl_vms : int;
+  fl_faulty : int;  (** Faulty members, spread evenly over the fleet. *)
+  fl_ticks : int;
+  fl_seed : int64;
+  fl_jobs : int;
+  fl_devices : string list;
+}
+
+val default_fleet_options : fleet_options
+(** 8 VMs, 3 faulty, 24 ticks, seed 1, jobs 1, all five devices. *)
+
+type fleet_report = {
+  fl_options : fleet_options;
+  fl_faulty_set : int list;  (** VM indices that carried a fault. *)
+  fl_sites : (int * string) list;  (** (vm, armed fault site). *)
+  fl_fired : int;  (** Total fault firings — must be > 0. *)
+  fl_clean_divergent : int list;
+      (** Clean VMs whose full report differs from the baseline run —
+          must be empty (zero cross-bulkhead interference). *)
+  fl_jobs_divergence : bool;
+      (** Faulted run at [jobs] vs [jobs = 1] produced different JSON —
+          must be [false]. *)
+  fl_baseline : Fleet.Supervisor.report;
+  fl_faulted : Fleet.Supervisor.report;
+}
+
+val fleet_isolation : fleet_options -> fleet_report
+(** Three fleet runs (clean baseline, faulted, faulted serial when
+    [fl_jobs <> 1]) under identical options and seed; faults are armed
+    through {!Fleet.Supervisor.run}'s [arm] seam on the faulty subset
+    only, with sites drawn from a stream keyed by (seed, vm). *)
+
+val fleet_passed : fleet_report -> bool
+(** Faults fired, no clean-VM divergence, no jobs divergence. *)
+
+val fleet_report_to_json : fleet_report -> Sedspec_util.Json.t
+val pp_fleet_report : Format.formatter -> fleet_report -> unit

@@ -1,0 +1,142 @@
+module Checker = Sedspec.Checker
+
+type state = Protection | Enhancement | Fail_open
+
+type config = {
+  window : int;
+  degrade_burn : int;
+  restore_burn : int;
+  restore_clean : int;
+}
+
+let default_config =
+  { window = 8; degrade_burn = 6; restore_burn = 2; restore_clean = 4 }
+
+type transition =
+  | Steady
+  | Degraded of state * state
+  | Restored of state * state
+
+type t = {
+  cfg : config;
+  ring : int array;  (** Last [window] burns; zero-filled at creation. *)
+  mutable pos : int;
+  mutable sum : int;
+  mutable state : state;
+  mutable clean : int;  (** Current restore-eligible streak. *)
+  mutable degrades : int;
+  mutable restores : int;
+}
+
+let create ?(config = default_config) () =
+  if config.window < 1 then invalid_arg "Governor: window must be >= 1";
+  if config.degrade_burn < 1 then invalid_arg "Governor: degrade_burn must be >= 1";
+  if config.restore_burn < 0 || config.restore_burn >= config.degrade_burn then
+    invalid_arg "Governor: need 0 <= restore_burn < degrade_burn";
+  if config.restore_clean < 1 then
+    invalid_arg "Governor: restore_clean must be >= 1";
+  {
+    cfg = config;
+    ring = Array.make config.window 0;
+    pos = 0;
+    sum = 0;
+    state = Protection;
+    clean = 0;
+    degrades = 0;
+    restores = 0;
+  }
+
+let state t = t.state
+let burn_in_window t = t.sum
+let degrades t = t.degrades
+let restores t = t.restores
+
+let down = function
+  | Protection -> Some Enhancement
+  | Enhancement -> Some Fail_open
+  | Fail_open -> None
+
+let up = function
+  | Fail_open -> Some Enhancement
+  | Enhancement -> Some Protection
+  | Protection -> None
+
+(* A transition charges the incident once: the window and the streak
+   restart, so the same burn cannot immediately drive a second rung. *)
+let clear_window t =
+  Array.fill t.ring 0 (Array.length t.ring) 0;
+  t.pos <- 0;
+  t.sum <- 0;
+  t.clean <- 0
+
+let observe t ~burn =
+  if burn < 0 then invalid_arg "Governor.observe: burn must be >= 0";
+  t.sum <- t.sum - t.ring.(t.pos) + burn;
+  t.ring.(t.pos) <- burn;
+  t.pos <- (t.pos + 1) mod t.cfg.window;
+  if t.sum > t.cfg.degrade_burn then begin
+    t.clean <- 0;
+    match down t.state with
+    | None -> Steady (* already at the bottom rung *)
+    | Some s ->
+      let from = t.state in
+      t.state <- s;
+      t.degrades <- t.degrades + 1;
+      clear_window t;
+      Degraded (from, s)
+  end
+  else if t.sum <= t.cfg.restore_burn then begin
+    t.clean <- t.clean + 1;
+    if t.clean >= t.cfg.restore_clean then
+      match up t.state with
+      | None ->
+        t.clean <- 0;
+        Steady
+      | Some s ->
+        let from = t.state in
+        t.state <- s;
+        t.restores <- t.restores + 1;
+        clear_window t;
+        Restored (from, s)
+    else Steady
+  end
+  else begin
+    (* Between the thresholds: the hysteresis band.  Hold the rung and
+       break the streak — neither boundary value can flap the state. *)
+    t.clean <- 0;
+    Steady
+  end
+
+let checker_config state ~base =
+  let strategies =
+    if List.mem Checker.Parameter_check base.Checker.strategies then
+      base.Checker.strategies
+    else Checker.Parameter_check :: base.Checker.strategies
+  in
+  match state with
+  | Protection ->
+    {
+      base with
+      Checker.strategies;
+      mode = Checker.Protection;
+      on_internal_error = Checker.Fail_closed;
+    }
+  | Enhancement ->
+    {
+      base with
+      Checker.strategies;
+      mode = Checker.Enhancement;
+      on_internal_error = Checker.Fail_closed;
+    }
+  | Fail_open ->
+    {
+      base with
+      Checker.strategies;
+      mode = Checker.Enhancement;
+      on_internal_error = Checker.Fail_open_warn;
+    }
+
+let state_to_string = function
+  | Protection -> "protection"
+  | Enhancement -> "enhancement"
+  | Fail_open -> "fail-open"

@@ -1,0 +1,66 @@
+(** Fleet supervisor: run N protected VMs concurrently, each inside its
+    own bulkhead ({!Vm}), over the {!Sedspec_util.Runner} domain pool.
+
+    Each VM's entire lifecycle — spec acquisition with seeded backoff,
+    serving ticks, degradation, healing — is one task, so there are no
+    cross-VM barriers and nothing for a slow or faulty member to block.
+    Per-VM seeds come from {!Sedspec_util.Runner.map_seeded}'s split
+    stream: they depend only on the fleet seed and the VM index, so the
+    whole report (including every per-tick stream line) is bit-identical
+    for any [jobs] — the property the [--jobs 1] vs [--jobs 4] test and
+    the fault-isolation oracle both rely on. *)
+
+type options = {
+  vms : int;  (** Fleet size (>= 1). *)
+  ticks : int;  (** Supervision periods per VM. *)
+  seed : int64;
+  jobs : int;  (** Domain-pool width; never affects the report. *)
+  devices : string list;
+      (** Device types assigned round-robin: VM [i] serves
+          [List.nth devices (i mod length)].  Must be non-empty and
+          known to {!Workload.Samples.find}. *)
+  vm_opts : string -> Vm.options;
+      (** Per-device VM options ([device] field is overridden to the
+          assigned device). *)
+}
+
+val default_options : unit -> options
+(** 8 VMs, 32 ticks, seed 1, 1 job, all five paper devices,
+    {!Vm.default_options}. *)
+
+type report = {
+  f_vms : Vm.report list;  (** In VM-index order. *)
+  f_ticks : int;
+  f_seed : int64;
+  f_interactions : int;  (** Checker-inspected interactions, fleet-wide. *)
+  f_anomalies : int;  (** All strategies, fleet-wide. *)
+  f_internal_errors : int;
+  f_deadline_overruns : int;
+  f_crashes : int;
+  f_rollbacks : int;
+  f_heals : int;
+  f_degrades : int;
+  f_restores : int;
+  f_failed_vms : int;  (** VMs whose spec never built (bulkheaded). *)
+}
+
+val run :
+  ?arm:
+    (vm:int -> Vmm.Machine.t -> Sedspec.Checker.t -> (unit -> unit) option) ->
+  options ->
+  report
+(** Run the fleet.  [arm] is the fault-injection seam: it is called on
+    the worker domain after VM [vm] is built and before its first tick,
+    and may install faults ({!Sedspec.Checker.set_fault_hook}, guest RAM
+    corruption, …) on that VM only; the returned closure is invoked
+    after the VM's last tick (disarm/bookkeeping).  Raises
+    [Invalid_argument] on an empty or unknown [devices] list or
+    non-positive [vms]/[ticks]. *)
+
+val report_to_json : report -> string
+(** Deterministic health-snapshot JSON: fleet totals plus one object per
+    VM (mode, budget burn, breaker state, heal spend, coverage, verdict
+    stream).  Byte-identical across [jobs] settings. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Human-readable table: one line per VM plus fleet totals. *)

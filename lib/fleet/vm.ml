@@ -1,0 +1,321 @@
+module Checker = Sedspec.Checker
+module Remedy = Sedspec.Remedy
+module Backoff = Sedspec_util.Backoff
+module Prng = Sedspec_util.Prng
+module W = Workload.Samples
+
+type spec_source = Trained | Persisted of (unit -> string)
+
+type options = {
+  device : string;
+  ops_per_tick : int;
+  rare_prob : float;
+  deadline : int option;
+  governor : Governor.config;
+  breaker : (int * int) option;
+  retry : Backoff.cfg;
+  max_attempts : int;
+  spec_source : spec_source;
+}
+
+let default_options ~device =
+  {
+    device;
+    ops_per_tick = 12;
+    rare_prob = 0.05;
+    deadline = Some 50_000;
+    governor = Governor.default_config;
+    breaker = Some (2, 8);
+    retry = Backoff.default;
+    max_attempts = 3;
+    spec_source = Trained;
+  }
+
+type core = {
+  workload : (module W.DEVICE_WORKLOAD);
+  machine : Vmm.Machine.t;
+  checker : Checker.t;
+  remedy : Remedy.t;
+  coverage : Checker.coverage;
+}
+
+type t = {
+  index : int;
+  opts : options;
+  rng : Prng.t;  (** Workload stream; independent of the backoff stream. *)
+  gov : Governor.t;
+  core : core option;
+  fail_reason : string;
+  build_attempts : int;
+  build_fallback : bool;
+  backoff_delay : int;
+  mutable ticks : int;
+  mutable crashes : int;
+  mutable halt_ticks : int;
+  mutable warns : int;
+  mutable anoms_param : int;
+  mutable anoms_indirect : int;
+  mutable anoms_cond : int;
+  mutable anoms_internal : int;
+  mutable stream_rev : string list;
+}
+
+(* Spec acquisition: retry the fallible source under seeded backoff, then
+   fall back to a fresh (cache-bypassing) pipeline rebuild.  The serving
+   machine is built first so a persisted spec parses against the exact
+   program it will protect. *)
+let acquire ~backoff_seed opts (machine : Vmm.Machine.t)
+    (w : (module W.DEVICE_WORKLOAD)) =
+  let module D = (val w) in
+  let attempts = ref 0 in
+  let step ~attempt:_ =
+    incr attempts;
+    match opts.spec_source with
+    | Trained -> (
+      try Ok (`Built (Metrics.Spec_cache.built w D.paper_version))
+      with e -> Error (Printexc.to_string e))
+    | Persisted fetch -> (
+      try
+        let program =
+          Interp.program (Vmm.Machine.interp_of machine D.device_name)
+        in
+        match Sedspec.Persist.of_string ~program (fetch ()) with
+        | Ok spec -> Ok (`Spec spec)
+        | Error msg -> Error msg
+      with e -> Error (Printexc.to_string e))
+  in
+  match
+    Backoff.retry ~cfg:opts.retry ~seed:backoff_seed
+      ~max_attempts:opts.max_attempts step
+  with
+  | Ok (got, spent) -> (got, !attempts, false, spent)
+  | Error (f : string Backoff.failure) ->
+    (* All retries burned: rebuild from scratch outside the cache so a
+       poisoned source cannot wedge the VM.  A failure here propagates to
+       [create]'s bulkhead and marks the VM failed. *)
+    let scratch = D.make_machine D.paper_version in
+    let built =
+      Sedspec.Pipeline.build scratch ~device:D.device_name
+        (D.trainer ~cases:!Metrics.Spec_cache.training_cases)
+    in
+    (`Built built, !attempts, true, f.Backoff.delay_total)
+
+let create ~index ~seed opts =
+  let root = Prng.create seed in
+  let rng = Prng.split root in
+  let backoff_seed = Prng.next root in
+  let gov = Governor.create ~config:opts.governor () in
+  let base_config =
+    Governor.checker_config (Governor.state gov) ~base:Checker.default_config
+  in
+  match
+    let w = W.find opts.device in
+    let module D = (val w : W.DEVICE_WORKLOAD) in
+    let machine = D.make_machine D.paper_version in
+    let got, attempts, fallback, spent = acquire ~backoff_seed opts machine w in
+    let checker =
+      match got with
+      | `Built built ->
+        Sedspec.Pipeline.protect ~config:base_config machine
+          ~device:D.device_name built
+      | `Spec spec ->
+        Checker.attach ~config:base_config machine ~spec D.device_name
+    in
+    Checker.set_deadline checker opts.deadline;
+    let coverage = Checker.coverage_create () in
+    Checker.set_coverage checker (Some coverage);
+    let remedy =
+      Remedy.create ?breaker:opts.breaker machine ~device:D.device_name checker
+    in
+    ({ workload = w; machine; checker; remedy; coverage }, attempts, fallback,
+     spent)
+  with
+  | core, attempts, fallback, spent ->
+    {
+      index;
+      opts;
+      rng;
+      gov;
+      core = Some core;
+      fail_reason = "";
+      build_attempts = attempts;
+      build_fallback = fallback;
+      backoff_delay = spent;
+      ticks = 0;
+      crashes = 0;
+      halt_ticks = 0;
+      warns = 0;
+      anoms_param = 0;
+      anoms_indirect = 0;
+      anoms_cond = 0;
+      anoms_internal = 0;
+      stream_rev = [];
+    }
+  | exception e ->
+    {
+      index;
+      opts;
+      rng;
+      gov;
+      core = None;
+      fail_reason = Printexc.to_string e;
+      build_attempts = opts.max_attempts;
+      build_fallback = true;
+      backoff_delay = 0;
+      ticks = 0;
+      crashes = 0;
+      halt_ticks = 0;
+      warns = 0;
+      anoms_param = 0;
+      anoms_indirect = 0;
+      anoms_cond = 0;
+      anoms_internal = 0;
+      stream_rev = [];
+    }
+
+let machine t = Option.map (fun c -> c.machine) t.core
+let checker t = Option.map (fun c -> c.checker) t.core
+
+let tick t =
+  t.ticks <- t.ticks + 1;
+  match t.core with
+  | None -> ()
+  | Some core ->
+    let module D = (val core.workload : W.DEVICE_WORKLOAD) in
+    let crash = ref 0 in
+    (* Bulkhead: whatever the guest workload (or an injected fault the
+       checker could not contain) throws stays inside this VM. *)
+    (try
+       D.soak_case ~mode:W.Sequential ~rng:t.rng ~rare_prob:t.opts.rare_prob
+         ~ops:t.opts.ops_per_tick core.machine
+     with _ ->
+       incr crash;
+       t.crashes <- t.crashes + 1);
+    let warns = List.length (Vmm.Machine.warnings core.machine) in
+    Vmm.Machine.clear_warnings core.machine;
+    t.warns <- t.warns + warns;
+    (* Classify this tick's anomalies before [Remedy.tick] adjudicates
+       (and drains) them.  Deadline overruns already surface here as
+       contained [Internal_error] anomalies, so burning them again via
+       [deadline_overruns] would double-charge the budget. *)
+    let p = ref 0 and i = ref 0 and c = ref 0 and x = ref 0 in
+    List.iter
+      (fun (a : Checker.anomaly) ->
+        match a.Checker.strategy with
+        | Checker.Parameter_check -> incr p
+        | Checker.Indirect_jump_check -> incr i
+        | Checker.Conditional_jump_check -> incr c
+        | Checker.Internal_error -> incr x)
+      (Checker.anomalies core.checker);
+    t.anoms_param <- t.anoms_param + !p;
+    t.anoms_indirect <- t.anoms_indirect + !i;
+    t.anoms_cond <- t.anoms_cond + !c;
+    t.anoms_internal <- t.anoms_internal + !x;
+    (* Parameter-check hits are exploitation evidence, not budget noise:
+       only the false-positive-prone strategies, contained internal
+       errors and bulkhead catches burn the error budget. *)
+    let burn = !i + !c + !x + !crash in
+    (match Governor.observe t.gov ~burn with
+    | Governor.Steady -> ()
+    | Governor.Degraded (_, s) | Governor.Restored (_, s) ->
+      Checker.set_config core.checker
+        (Governor.checker_config s ~base:(Checker.config core.checker)));
+    let _events = Remedy.tick core.remedy in
+    let halted = Vmm.Machine.halted core.machine in
+    if halted then t.halt_ticks <- t.halt_ticks + 1;
+    let line =
+      Printf.sprintf
+        "t%04d %s burn=%d halted=%b warns=%d p=%d i=%d c=%d x=%d crash=%d \
+         rb=%d cov=%d/%d"
+        t.ticks
+        (Governor.state_to_string (Governor.state t.gov))
+        (Governor.burn_in_window t.gov)
+        halted warns !p !i !c !x !crash
+        (Remedy.rollbacks core.remedy)
+        (Checker.coverage_node_count core.coverage)
+        (Checker.coverage_edge_count core.coverage)
+    in
+    t.stream_rev <- line :: t.stream_rev
+
+type report = {
+  r_vm : int;
+  r_device : string;
+  r_status : string;
+  r_state : Governor.state;
+  r_degrades : int;
+  r_restores : int;
+  r_burn : int;
+  r_interactions : int;
+  r_anoms_param : int;
+  r_anoms_indirect : int;
+  r_anoms_cond : int;
+  r_anoms_internal : int;
+  r_internal_errors : int;
+  r_deadline_overruns : int;
+  r_crashes : int;
+  r_halt_ticks : int;
+  r_warns : int;
+  r_rollbacks : int;
+  r_breaker_tripped : bool;
+  r_halted_final : bool;
+  r_heals : int;
+  r_build_attempts : int;
+  r_build_fallback : bool;
+  r_backoff_delay : int;
+  r_cov_nodes : int;
+  r_cov_edges : int;
+  r_stream : string list;
+}
+
+let report t =
+  let status =
+    match t.core with
+    | Some _ -> "ok"
+    | None -> "failed: " ^ t.fail_reason
+  in
+  let interactions, internal_errors, overruns, rollbacks, tripped, halted,
+      heals, cov_nodes, cov_edges =
+    match t.core with
+    | None -> (0, 0, 0, 0, false, false, 0, 0, 0)
+    | Some core ->
+      let stats = Checker.stats core.checker in
+      let snap = Remedy.snapshot core.remedy in
+      ( stats.Checker.interactions,
+        Checker.internal_errors core.checker,
+        Checker.deadline_overruns core.checker,
+        snap.Remedy.s_rollbacks,
+        snap.Remedy.s_breaker_tripped,
+        snap.Remedy.s_halted,
+        Checker.heals core.checker,
+        Checker.coverage_node_count core.coverage,
+        Checker.coverage_edge_count core.coverage )
+  in
+  {
+    r_vm = t.index;
+    r_device = t.opts.device;
+    r_status = status;
+    r_state = Governor.state t.gov;
+    r_degrades = Governor.degrades t.gov;
+    r_restores = Governor.restores t.gov;
+    r_burn = Governor.burn_in_window t.gov;
+    r_interactions = interactions;
+    r_anoms_param = t.anoms_param;
+    r_anoms_indirect = t.anoms_indirect;
+    r_anoms_cond = t.anoms_cond;
+    r_anoms_internal = t.anoms_internal;
+    r_internal_errors = internal_errors;
+    r_deadline_overruns = overruns;
+    r_crashes = t.crashes;
+    r_halt_ticks = t.halt_ticks;
+    r_warns = t.warns;
+    r_rollbacks = rollbacks;
+    r_breaker_tripped = tripped;
+    r_halted_final = halted;
+    r_heals = heals;
+    r_build_attempts = t.build_attempts;
+    r_build_fallback = t.build_fallback;
+    r_backoff_delay = t.backoff_delay;
+    r_cov_nodes = cov_nodes;
+    r_cov_edges = cov_edges;
+    r_stream = List.rev t.stream_rev;
+  }

@@ -1,0 +1,95 @@
+(** One protected machine inside its bulkhead.
+
+    A [Vm.t] owns everything with mutable state — machine, checker,
+    remedy supervisor, governor, PRNG, coverage accumulator — so fleet
+    members share nothing but the read-only spec cache, and a whole VM
+    lifecycle (build, serve, degrade, heal) can run on any domain.  The
+    bulkhead guarantee is structural: {!create} and {!tick} never let an
+    exception escape — a spec that cannot be built marks the VM failed,
+    a workload crash is counted and contained — so one misbehaving guest
+    can never halt or starve its siblings.
+
+    Spec acquisition retries under {!Sedspec_util.Backoff} (seeded,
+    deterministic): transient {!Metrics.Spec_cache} build failures and
+    CRC-failing {!Sedspec.Persist} loads are retried, then fall back to
+    a fresh pipeline rebuild outside the cache — a poisoned source never
+    wedges the VM. *)
+
+type spec_source =
+  | Trained  (** Build (or fetch) via the single-flight spec cache. *)
+  | Persisted of (unit -> string)
+      (** Fetch serialised spec text (e.g. from distribution storage);
+          called once per load attempt, so a transient corruption can
+          clear on retry.  Parsed with [Persist.of_string] — CRC and
+          structural failures count as attempts. *)
+
+type options = {
+  device : string;  (** fdc, ehci, pcnet, sdhci or scsi. *)
+  ops_per_tick : int;  (** Logical soak operations per tick. *)
+  rare_prob : float;  (** Rare-command probability (FP source, §VII-B1). *)
+  deadline : int option;  (** Watchdog step budget ({!Sedspec.Checker.set_deadline}). *)
+  governor : Governor.config;
+  breaker : (int * int) option;  (** Remedy circuit breaker. *)
+  retry : Sedspec_util.Backoff.cfg;
+  max_attempts : int;  (** Spec-acquisition attempts before fallback. *)
+  spec_source : spec_source;
+}
+
+val default_options : device:string -> options
+(** 12 ops/tick, rare probability 0.05, deadline 50k steps, default
+    governor, breaker (2, 8), default backoff with 3 attempts, trained
+    spec. *)
+
+type t
+
+val create : index:int -> seed:int64 -> options -> t
+(** Build the VM.  Never raises (unknown devices excepted — validate
+    upstream): a failed spec acquisition after retries {e and} fallback
+    yields a VM whose report carries the failure and whose {!tick}s are
+    no-ops. *)
+
+val machine : t -> Vmm.Machine.t option
+(** [None] when the VM failed to build.  Exposed (with {!checker}) so a
+    fault-injection campaign can arm faults on specific fleet members. *)
+
+val checker : t -> Sedspec.Checker.t option
+
+val tick : t -> unit
+(** One supervision period: run the benign workload (bulkhead-wrapped),
+    account warnings/anomalies/overruns, feed the burn to the governor
+    (applying any rung change to the checker config), then run the
+    remedy supervisor's tick.  Appends one line to the verdict stream. *)
+
+type report = {
+  r_vm : int;
+  r_device : string;
+  r_status : string;  (** ["ok"] or ["failed: <reason>"]. *)
+  r_state : Governor.state;  (** Final governor rung. *)
+  r_degrades : int;
+  r_restores : int;
+  r_burn : int;  (** Final window burn. *)
+  r_interactions : int;  (** Checker-inspected interactions. *)
+  r_anoms_param : int;
+  r_anoms_indirect : int;
+  r_anoms_cond : int;
+  r_anoms_internal : int;
+  r_internal_errors : int;
+  r_deadline_overruns : int;
+  r_crashes : int;  (** Workload exceptions the bulkhead contained. *)
+  r_halt_ticks : int;  (** Ticks that ended with the machine halted. *)
+  r_warns : int;
+  r_rollbacks : int;
+  r_breaker_tripped : bool;
+  r_halted_final : bool;
+  r_heals : int;
+  r_build_attempts : int;
+  r_build_fallback : bool;  (** Spec came from the fresh-rebuild fallback. *)
+  r_backoff_delay : int;  (** Logical backoff units spent acquiring the spec. *)
+  r_cov_nodes : int;
+  r_cov_edges : int;
+  r_stream : string list;
+      (** Per-tick verdict/coverage stream, oldest first: the bulkhead
+          isolation oracle compares these byte-for-byte. *)
+}
+
+val report : t -> report

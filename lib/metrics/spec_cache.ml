@@ -16,6 +16,16 @@ let cache : (string * string, slot) Hashtbl.t = Hashtbl.create 8
 let lock = Mutex.create ()
 let landed = Condition.create ()
 
+(* Build-fault seam: runs at the top of every single-flight build with
+   the device name and may raise, simulating a transient build failure.
+   The failing build's [Building] marker is evicted before the exception
+   reaches the caller, so waiters (and retrying callers, e.g. the fleet's
+   seeded backoff) observe either [Ready] or an empty slot — never a
+   stuck marker.  An atomic so a test arming it from the main domain is
+   seen by pool domains without racing the cache mutex. *)
+let build_fault : (string -> unit) option Atomic.t = Atomic.make None
+let set_build_fault hook = Atomic.set build_fault hook
+
 let built (module W : Workload.Samples.DEVICE_WORKLOAD) version =
   let key = (W.device_name, Devices.Qemu_version.to_string version) in
   let claim () =
@@ -38,6 +48,9 @@ let built (module W : Workload.Samples.DEVICE_WORKLOAD) version =
   | `Hit b -> b
   | `Build -> (
     let build () =
+      (match Atomic.get build_fault with
+      | Some f -> f W.device_name
+      | None -> ());
       let m = W.make_machine version in
       Sedspec.Pipeline.build m ~device:W.device_name
         (W.trainer ~cases:!training_cases)

@@ -16,7 +16,20 @@ val built :
   (module Workload.Samples.DEVICE_WORKLOAD) ->
   Devices.Qemu_version.t ->
   Sedspec.Pipeline.built
-(** Train (or fetch) the specification for a device at a version. *)
+(** Train (or fetch) the specification for a device at a version.
+
+    Failure discipline: a build that raises evicts its single-flight
+    marker (under the cache lock, before the exception propagates) and
+    wakes all waiters — one of them claims the slot and retries the
+    build, the rest keep waiting; a later call after a transient failure
+    starts a fresh build instead of observing a poisoned entry.  Only
+    the caller whose own build raised sees the exception. *)
+
+val set_build_fault : (string -> unit) option -> unit
+(** Test/fault-injection seam: the hook runs with the device name at the
+    top of every single-flight build and may raise to simulate a
+    transient build failure (exercised by the fleet's retry-with-backoff
+    and the spec-cache eviction test).  [None] removes it. *)
 
 val fresh_protected_machine :
   ?config:Sedspec.Checker.config ->

@@ -109,7 +109,21 @@ type t = {
       (** Exceptions contained by the interposer wrapper (monotone;
           survives [drain_anomalies], cleared by [reset]). *)
   mutable heals : int;  (** Resyncs performed by [heal] since [reset]. *)
+  mutable deadline : int;
+      (** Watchdog step budget per walk; [max_int] = off.  Checked by the
+          same per-step counter as [walk_limit] under both engines, so an
+          overrun is deterministic and engine-independent. *)
+  mutable deadline_overruns : int;
+      (** Walks aborted by the watchdog (monotone; cleared by [reset]). *)
 }
+
+exception Deadline_exceeded of int
+
+let () =
+  Printexc.register_printer (function
+    | Deadline_exceeded budget ->
+      Some (Printf.sprintf "walk deadline exceeded (watchdog step budget %d)" budget)
+    | _ -> None)
 
 let strategy_to_string = function
   | Parameter_check -> "parameter-check"
@@ -200,6 +214,8 @@ let create ?(config = default_config) ~spec ~device_arena ~guest () =
     fault_hook = None;
     internal_errors = 0;
     heals = 0;
+    deadline = max_int;
+    deadline_overruns = 0;
   }
 
 let config t = t.config
@@ -245,7 +261,9 @@ let reset t =
   t.cov_prev <- None;
   t.fault_hook <- None;
   t.internal_errors <- 0;
-  t.heals <- 0
+  t.heals <- 0;
+  t.deadline <- max_int;
+  t.deadline_overruns <- 0
 
 (* Only decision-relevant parameters are guaranteed to match: fields pulled
    in purely as dependencies may be computed from untracked buffer content
@@ -516,6 +534,10 @@ let walk_interpreted t ~sync ~handler ~params =
   in
   let rec walk_block (bref : Program.bref) stack =
     incr steps;
+    if !steps > t.deadline then begin
+      t.deadline_overruns <- t.deadline_overruns + 1;
+      raise (Deadline_exceeded t.deadline)
+    end;
     if !steps > t.config.walk_limit then
       if enabled t Conditional_jump_check then
         anomaly Conditional_jump_check (Some bref)
@@ -687,8 +709,13 @@ let walk_compiled t ~sync ~handler ~params =
   let steps = ref 0 in
   let walked = ref 0 in
   let limit = t.config.walk_limit in
+  let deadline = t.deadline in
   let bump (bref : Program.bref) =
     incr steps;
+    if !steps > deadline then begin
+      t.deadline_overruns <- t.deadline_overruns + 1;
+      raise (Deadline_exceeded deadline)
+    end;
     if !steps > limit then
       if t.en_cond then
         anomaly Conditional_jump_check (Some bref)
@@ -820,6 +847,15 @@ let walk_compiled t ~sync ~handler ~params =
   res
 
 let set_fault_hook t hook = t.fault_hook <- hook
+
+let set_deadline t = function
+  | None -> t.deadline <- max_int
+  | Some budget ->
+    if budget < 1 then invalid_arg "Checker.set_deadline: budget must be >= 1";
+    t.deadline <- budget
+
+let deadline t = if t.deadline = max_int then None else Some t.deadline
+let deadline_overruns t = t.deadline_overruns
 
 let walk t ~sync ~handler ~params =
   (* The fault seam fires before either engine touches a node, so an

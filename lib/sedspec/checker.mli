@@ -125,6 +125,31 @@ val set_fault_hook : t -> (unit -> unit) option -> unit
     exception or delay fires identically in the compiled and interpreted
     walks.  [None] removes it ({!reset} also clears it). *)
 
+exception Deadline_exceeded of int
+(** Raised mid-walk by the deadline watchdog; carries the step budget.
+    Through {!interposer} it is contained like any other internal
+    exception — an [Internal_error] anomaly plus the [on_internal_error]
+    policy verdict — so an overrunning walk degrades to a per-interaction
+    containment event, never a hang.  Only {!interposer_exn} and
+    {!bench_walk} let it propagate. *)
+
+val set_deadline : t -> int option -> unit
+(** Arm (or disarm, with [None]) the watchdog: a walk visiting more than
+    the given number of steps — the same deterministic per-step counter
+    [walk_limit] uses, identical under both engines — aborts with
+    {!Deadline_exceeded}.  Unlike [walk_limit] (a trained-behaviour bound
+    whose trip is a conditional-jump anomaly about the {e guest}), the
+    deadline is an availability bound about the {e checker}: the fleet
+    supervisor uses it so one hostile or degenerate interaction cannot
+    stall a bulkhead.  Budgets must be >= 1; [None] (the default) costs
+    one integer compare per step.  {!reset} disarms it. *)
+
+val deadline : t -> int option
+
+val deadline_overruns : t -> int
+(** Walks aborted by the watchdog (monotone; survives
+    {!drain_anomalies}, cleared by {!reset}). *)
+
 val config : t -> config
 val set_config : t -> config -> unit
 val stats : t -> stats

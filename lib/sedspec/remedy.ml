@@ -29,7 +29,7 @@ type event = {
   action : policy;
 }
 
-type snapshot = {
+type mem_image = {
   arena_bytes : bytes;
   ram_bytes : bytes;
 }
@@ -42,7 +42,7 @@ type t = {
   checker : Checker.t;
   policy_of : severity -> policy;
   breaker : breaker option;
-  mutable saved : snapshot;
+  mutable saved : mem_image;
   mutable events_rev : event list;
   mutable rollbacks : int;
   mutable ticks : int;
@@ -198,6 +198,38 @@ let events t = List.rev t.events_rev
 let rollbacks t = t.rollbacks
 let breaker_tripped t = t.tripped
 let log t = List.rev t.log_rev
+
+(* --- Structured state (for the fleet governor / health JSON) ----------- *)
+
+type snapshot = {
+  s_ticks : int;
+  s_events : int;
+  s_rollbacks : int;
+  s_rollbacks_in_window : int;
+  s_breaker : (int * int) option;
+  s_breaker_tripped : bool;
+  s_halted : bool;
+}
+
+let snapshot t =
+  let in_window =
+    match t.breaker with
+    | None -> t.rollbacks
+    | Some b ->
+      let floor = t.ticks - b.window in
+      List.fold_left
+        (fun n tk -> if tk > floor then n + 1 else n)
+        0 t.rollback_ticks_rev
+  in
+  {
+    s_ticks = t.ticks;
+    s_events = List.length t.events_rev;
+    s_rollbacks = t.rollbacks;
+    s_rollbacks_in_window = in_window;
+    s_breaker = Option.map (fun b -> (b.max_rollbacks, b.window)) t.breaker;
+    s_breaker_tripped = t.tripped;
+    s_halted = Vmm.Machine.halted t.machine;
+  }
 
 let pp_event ppf e =
   Format.fprintf ppf "[%s -> %s] %a"

@@ -79,4 +79,23 @@ val log : t -> string list
 (** Operational log, oldest first: skipped checkpoints, heal outcomes,
     breaker escalations. *)
 
+(** Structured supervisor state.  Everything here used to be reachable
+    only by parsing {!log} lines; the fleet governor and the health
+    snapshot JSON consume this record instead of scraping strings. *)
+type snapshot = {
+  s_ticks : int;  (** {!tick} calls so far. *)
+  s_events : int;  (** Adjudicated anomaly events so far. *)
+  s_rollbacks : int;  (** Rollbacks applied (lifetime). *)
+  s_rollbacks_in_window : int;
+      (** Rollbacks inside the trailing breaker window; equals
+          [s_rollbacks] when no breaker is armed. *)
+  s_breaker : (int * int) option;  (** The armed [(max_rollbacks, window)]. *)
+  s_breaker_tripped : bool;  (** Latched escalation (see {!breaker_tripped}). *)
+  s_halted : bool;  (** The supervised machine is currently halted. *)
+}
+
+val snapshot : t -> snapshot
+(** Consistent point-in-time view of the supervisor; pure read, never
+    advances the tick counter or touches the checkpoint. *)
+
 val pp_event : Format.formatter -> event -> unit

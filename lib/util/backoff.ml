@@ -1,0 +1,46 @@
+type cfg = { base : int; cap : int; jitter : float }
+
+let default = { base = 1; cap = 64; jitter = 0.25 }
+
+let validate { base; cap; jitter } =
+  if base < 1 then invalid_arg "Backoff: base must be >= 1";
+  if cap < base then invalid_arg "Backoff: cap must be >= base";
+  if jitter < 0.0 || jitter >= 1.0 then
+    invalid_arg "Backoff: jitter must be in [0, 1)"
+
+let nominal cfg ~attempt =
+  validate cfg;
+  if attempt < 0 then invalid_arg "Backoff.nominal: attempt must be >= 0";
+  (* [base lsl attempt] overflows past 62 doublings; saturate first. *)
+  if attempt >= 62 then cfg.cap
+  else
+    let n = cfg.base lsl attempt in
+    if n < cfg.base || n > cfg.cap then cfg.cap else n
+
+(* Key the jitter stream by (seed, attempt) through one splitmix step per
+   component: the delay for attempt k never depends on whether attempts
+   0..k-1 drew their jitter, so schedules compose (a caller may probe a
+   single attempt's delay without replaying the prefix). *)
+let delay cfg ~seed ~attempt =
+  let n = nominal cfg ~attempt in
+  if cfg.jitter = 0.0 then n
+  else
+    let key = Int64.add seed (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (attempt + 1))) in
+    let u = Prng.float (Prng.create key) 1.0 in
+    (* u in [0,1) -> offset in [-jitter, +jitter) of the nominal. *)
+    let d = float_of_int n *. (1.0 +. (cfg.jitter *. ((2.0 *. u) -. 1.0))) in
+    max 0 (int_of_float (Float.round d))
+
+type 'e failure = { error : 'e; attempts : int; delay_total : int }
+
+let retry ?(cfg = default) ~seed ~max_attempts f =
+  if max_attempts < 1 then invalid_arg "Backoff.retry: max_attempts must be >= 1";
+  let rec go attempt spent =
+    match f ~attempt with
+    | Ok v -> Ok (v, spent)
+    | Error e ->
+      if attempt + 1 >= max_attempts then
+        Error { error = e; attempts = attempt + 1; delay_total = spent }
+      else go (attempt + 1) (spent + delay cfg ~seed ~attempt)
+  in
+  go 0 0

@@ -1,0 +1,340 @@
+(* Fleet supervisor tests: governor ladder + hard invariant, deadline
+   watchdog, VM bulkheads, spec-acquisition retry, and jobs-independent
+   fleet reports. *)
+
+module Governor = Fleet.Governor
+module Vm = Fleet.Vm
+module Supervisor = Fleet.Supervisor
+module Checker = Sedspec.Checker
+
+let () = Metrics.Spec_cache.training_cases := 12
+
+let state = Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (Governor.state_to_string s))
+    ( = )
+
+(* --- Governor ladder ------------------------------------------------------ *)
+
+let test_governor_degrades_and_restores () =
+  let g =
+    Governor.create
+      ~config:{ window = 4; degrade_burn = 5; restore_burn = 1; restore_clean = 3 }
+      ()
+  in
+  Alcotest.check state "starts protecting" Governor.Protection (Governor.state g);
+  (* Burn through the budget: 3 + 3 = 6 > 5 degrades one rung and clears
+     the window (the incident is charged once). *)
+  (match Governor.observe g ~burn:3 with
+  | Governor.Steady -> ()
+  | _ -> Alcotest.fail "no transition under the threshold");
+  (match Governor.observe g ~burn:3 with
+  | Governor.Degraded (Governor.Protection, Governor.Enhancement) -> ()
+  | _ -> Alcotest.fail "expected Protection -> Enhancement");
+  Alcotest.(check int) "window cleared on transition" 0 (Governor.burn_in_window g);
+  (* Another incident descends to the bottom rung and stays there. *)
+  ignore (Governor.observe g ~burn:6);
+  Alcotest.check state "fail-open" Governor.Fail_open (Governor.state g);
+  ignore (Governor.observe g ~burn:6);
+  Alcotest.check state "bottom rung holds" Governor.Fail_open (Governor.state g);
+  (* A sustained clean run restores one rung at a time.  The failed
+     degrade above left a stale burn of 6 in the window, so the first
+     [window - 1] zeros only flush it; then [restore_clean] eligible
+     observations buy the rung back. *)
+  for i = 1 to 5 do
+    match Governor.observe g ~burn:0 with
+    | Governor.Steady -> ()
+    | _ -> Alcotest.failf "flush/streak observation %d must be Steady" i
+  done;
+  (match Governor.observe g ~burn:0 with
+  | Governor.Restored (Governor.Fail_open, Governor.Enhancement) -> ()
+  | _ -> Alcotest.fail "expected Fail_open -> Enhancement after clean streak");
+  ignore (Governor.observe g ~burn:0);
+  ignore (Governor.observe g ~burn:0);
+  (match Governor.observe g ~burn:0 with
+  | Governor.Restored (Governor.Enhancement, Governor.Protection) -> ()
+  | _ -> Alcotest.fail "expected Enhancement -> Protection");
+  Alcotest.check state "fully restored" Governor.Protection (Governor.state g);
+  Alcotest.(check int) "two degrades" 2 (Governor.degrades g);
+  Alcotest.(check int) "two restores" 2 (Governor.restores g)
+
+let test_governor_hysteresis_boundary () =
+  (* A burn rate sitting on either boundary must hold the rung forever:
+     exactly degrade_burn never degrades, and anything above restore_burn
+     breaks the clean streak so it never restores either. *)
+  let config =
+    { Governor.window = 3; degrade_burn = 6; restore_burn = 2; restore_clean = 2 }
+  in
+  let g = Governor.create ~config () in
+  for _ = 1 to 50 do
+    (* A steady burn of 2 saturates the 3-wide window at exactly
+       degrade_burn = 6 (the > is strict) and sits above restore_burn
+       from the second observation on: the rung must hold forever. *)
+    (match Governor.observe g ~burn:2 with
+    | Governor.Steady -> ()
+    | _ -> Alcotest.fail "boundary burn must not transition");
+    if Governor.burn_in_window g > 6 then Alcotest.fail "ring buffer sum wrong"
+  done;
+  Alcotest.check state "degrade boundary holds the rung" Governor.Protection
+    (Governor.state g);
+  (* Push one rung down, then keep the window sum inside the hysteresis
+     band (restore_burn < sum <= degrade_burn): no oscillation either
+     way.  The opening 3 keeps the transient sums out of the
+     restore-eligible region while the window refills. *)
+  ignore (Governor.observe g ~burn:7);
+  Alcotest.check state "degraded" Governor.Enhancement (Governor.state g);
+  (match Governor.observe g ~burn:3 with
+  | Governor.Steady -> ()
+  | _ -> Alcotest.fail "band refill must not transition");
+  for _ = 1 to 50 do
+    match Governor.observe g ~burn:1 with
+    | Governor.Steady -> ()
+    | _ -> Alcotest.fail "hysteresis band must not transition"
+  done;
+  Alcotest.check state "band holds the rung" Governor.Enhancement
+    (Governor.state g);
+  Alcotest.(check int) "one degrade total" 1 (Governor.degrades g);
+  Alcotest.(check int) "no restores" 0 (Governor.restores g)
+
+let test_governor_preconditions () =
+  let bad config =
+    match Governor.create ~config () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "invalid governor config accepted"
+  in
+  bad { Governor.window = 0; degrade_burn = 2; restore_burn = 1; restore_clean = 1 };
+  bad { Governor.window = 4; degrade_burn = 2; restore_burn = 2; restore_clean = 1 };
+  bad { Governor.window = 4; degrade_burn = 2; restore_burn = 1; restore_clean = 0 };
+  let g = Governor.create () in
+  match Governor.observe g ~burn:(-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative burn accepted"
+
+(* --- Hard invariant: parameter checks halt in every rung ------------------ *)
+
+let test_invariant_parameter_check_halts_in_every_state () =
+  (* CVE-2021-3409 (sdhci) is detected by the parameter check.  Replay
+     it under the checker configuration of each governor rung: every
+     rung must detect AND block it — degradation may only relax the
+     warn-only strategies and the internal-error policy. *)
+  let attack = Attacks.Attack.find "CVE-2021-3409" in
+  let w = Workload.Samples.find attack.Attacks.Attack.device in
+  List.iter
+    (fun gstate ->
+      let config =
+        Governor.checker_config gstate ~base:Checker.default_config
+      in
+      let m, checker =
+        Metrics.Spec_cache.fresh_protected_machine ~config w
+          attack.Attacks.Attack.qemu_version
+      in
+      attack.Attacks.Attack.setup m;
+      ignore (Checker.drain_anomalies checker);
+      (try attack.Attacks.Attack.run m with Exit -> ());
+      let anoms = Checker.drain_anomalies checker in
+      let name = Governor.state_to_string gstate in
+      Alcotest.(check bool)
+        (name ^ ": parameter-check anomaly raised")
+        true
+        (List.exists
+           (fun (a : Checker.anomaly) ->
+             a.Checker.strategy = Checker.Parameter_check)
+           anoms);
+      Alcotest.(check bool)
+        (name ^ ": exploitation blocked (VM halted)")
+        true (Vmm.Machine.halted m))
+    [ Governor.Protection; Governor.Enhancement; Governor.Fail_open ]
+
+let test_checker_config_keeps_parameter_check () =
+  (* Even a base config that dropped the parameter check gets it back. *)
+  let base = { Checker.default_config with Checker.strategies = [] } in
+  List.iter
+    (fun gstate ->
+      let c = Governor.checker_config gstate ~base in
+      Alcotest.(check bool)
+        (Governor.state_to_string gstate ^ " keeps Parameter_check")
+        true
+        (List.mem Checker.Parameter_check c.Checker.strategies))
+    [ Governor.Protection; Governor.Enhancement; Governor.Fail_open ]
+
+(* --- Deadline watchdog ---------------------------------------------------- *)
+
+let test_deadline_overrun_contained () =
+  (* An absurdly small step budget: every walk overruns, and each
+     overrun must come back as a contained Internal_error anomaly (the
+     fail-closed halt), never a hang or an escaped exception. *)
+  let w = Workload.Samples.find "fdc" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let m, checker =
+    Metrics.Spec_cache.fresh_protected_machine ~vmexit_cost:0 w
+      (Devices.Qemu_version.v 2 3 0)
+  in
+  Checker.set_deadline checker (Some 1);
+  Alcotest.(check (option int)) "deadline armed" (Some 1)
+    (Checker.deadline checker);
+  let d = Workload.Fdc_driver.create m in
+  ignore (Workload.Fdc_driver.reset d);
+  Alcotest.(check bool) "halted by the watchdog" true (Vmm.Machine.halted m);
+  let anoms = Checker.drain_anomalies checker in
+  Alcotest.(check bool) "internal-error anomaly" true
+    (List.exists
+       (fun (a : Checker.anomaly) -> a.Checker.strategy = Checker.Internal_error)
+       anoms);
+  Alcotest.(check bool) "overruns counted" true
+    (Checker.deadline_overruns checker > 0);
+  (* Disarm and reset: the machine serves normally again. *)
+  Checker.set_deadline checker None;
+  Vmm.Machine.resume m;
+  Checker.resync checker;
+  ignore (Checker.drain_anomalies checker);
+  ignore (Workload.Fdc_driver.sense_interrupt d);
+  Alcotest.(check bool) "clean with watchdog off" false (Vmm.Machine.halted m);
+  (* Budget must be positive. *)
+  match Checker.set_deadline checker (Some 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero deadline accepted"
+
+let test_deadline_engines_agree () =
+  (* Same step counter in both engines: identical streams must overrun
+     identically. *)
+  let run engine =
+    let w = Workload.Samples.find "fdc" in
+    let config = { Checker.default_config with Checker.engine } in
+    let m, checker =
+      Metrics.Spec_cache.fresh_protected_machine ~config ~vmexit_cost:0 w
+        (Devices.Qemu_version.v 2 3 0)
+    in
+    Checker.set_deadline checker (Some 3);
+    let d = Workload.Fdc_driver.create m in
+    ignore (Workload.Fdc_driver.reset d);
+    (Checker.deadline_overruns checker, Vmm.Machine.halted m)
+  in
+  let o_c, h_c = run Checker.Compiled in
+  let o_i, h_i = run Checker.Interpreted in
+  Alcotest.(check int) "same overrun count" o_i o_c;
+  Alcotest.(check bool) "same halt verdict" h_i h_c;
+  Alcotest.(check bool) "overran" true (o_c > 0)
+
+(* --- Vm bulkhead and spec acquisition ------------------------------------- *)
+
+let test_vm_spec_retry_and_fallback () =
+  (* A persisted source that always returns garbage burns its retries
+     (CRC/parse failures) and falls back to a fresh pipeline rebuild:
+     the VM must come up serving, with the retry accounting visible. *)
+  let opts =
+    {
+      (Vm.default_options ~device:"fdc") with
+      Vm.spec_source = Vm.Persisted (fun () -> "corrupt nonsense");
+      max_attempts = 3;
+    }
+  in
+  let vm = Vm.create ~index:0 ~seed:11L opts in
+  for _ = 1 to 3 do
+    Vm.tick vm
+  done;
+  let r = Vm.report vm in
+  Alcotest.(check string) "serving" "ok" r.Vm.r_status;
+  Alcotest.(check int) "all retries burned" 3 r.Vm.r_build_attempts;
+  Alcotest.(check bool) "fell back to rebuild" true r.Vm.r_build_fallback;
+  Alcotest.(check bool) "logical backoff delay accounted" true
+    (r.Vm.r_backoff_delay > 0);
+  Alcotest.(check bool) "interactions served" true (r.Vm.r_interactions > 0);
+  Alcotest.(check int) "stream has one line per tick" 3
+    (List.length r.Vm.r_stream);
+  (* A good persisted spec loads on the first attempt, no fallback. *)
+  let w = Workload.Samples.find "fdc" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let text =
+    Sedspec.Persist.to_string
+      (Metrics.Spec_cache.built w W.paper_version).Sedspec.Pipeline.spec
+  in
+  let vm2 =
+    Vm.create ~index:1 ~seed:11L
+      { opts with Vm.spec_source = Vm.Persisted (fun () -> text) }
+  in
+  Vm.tick vm2;
+  let r2 = Vm.report vm2 in
+  Alcotest.(check string) "serving from persisted spec" "ok" r2.Vm.r_status;
+  Alcotest.(check int) "first attempt" 1 r2.Vm.r_build_attempts;
+  Alcotest.(check bool) "no fallback" false r2.Vm.r_build_fallback
+
+(* --- Fleet determinism and isolation -------------------------------------- *)
+
+let small_fleet jobs =
+  {
+    (Supervisor.default_options ()) with
+    Supervisor.vms = 5;
+    ticks = 4;
+    seed = 42L;
+    jobs;
+    devices = [ "fdc"; "sdhci" ];
+  }
+
+let test_fleet_jobs_independent () =
+  let r1 = Supervisor.run (small_fleet 1) in
+  let r4 = Supervisor.run (small_fleet 4) in
+  Alcotest.(check string) "report JSON bit-identical jobs 1 vs 4"
+    (Supervisor.report_to_json r1)
+    (Supervisor.report_to_json r4);
+  Alcotest.(check int) "no failed VMs" 0 r1.Supervisor.f_failed_vms;
+  Alcotest.(check bool) "fleet served traffic" true
+    (r1.Supervisor.f_interactions > 0)
+
+let test_fleet_isolation_smoke () =
+  let r =
+    Faultinj.Campaign.fleet_isolation
+      {
+        Faultinj.Campaign.fl_vms = 4;
+        fl_faulty = 2;
+        fl_ticks = 4;
+        fl_seed = 3L;
+        fl_jobs = 2;
+        fl_devices = [ "fdc"; "sdhci" ];
+      }
+  in
+  Alcotest.(check bool) "faults fired" true (r.Faultinj.Campaign.fl_fired > 0);
+  Alcotest.(check (list int)) "no clean-VM divergence" []
+    r.Faultinj.Campaign.fl_clean_divergent;
+  Alcotest.(check bool) "jobs-independent under faults" false
+    r.Faultinj.Campaign.fl_jobs_divergence;
+  Alcotest.(check bool) "campaign verdict" true
+    (Faultinj.Campaign.fleet_passed r)
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "governor",
+        [
+          Alcotest.test_case "degrades and restores" `Quick
+            test_governor_degrades_and_restores;
+          Alcotest.test_case "hysteresis never oscillates on a boundary" `Quick
+            test_governor_hysteresis_boundary;
+          Alcotest.test_case "preconditions raise" `Quick
+            test_governor_preconditions;
+          Alcotest.test_case "checker config keeps the parameter check" `Quick
+            test_checker_config_keeps_parameter_check;
+        ] );
+      ( "invariant",
+        [
+          Alcotest.test_case "parameter check halts in every rung" `Slow
+            test_invariant_parameter_check_halts_in_every_state;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "overrun contained, never a hang" `Quick
+            test_deadline_overrun_contained;
+          Alcotest.test_case "both engines overrun identically" `Quick
+            test_deadline_engines_agree;
+        ] );
+      ( "vm",
+        [
+          Alcotest.test_case "spec retry with fallback" `Slow
+            test_vm_spec_retry_and_fallback;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "report independent of jobs" `Slow
+            test_fleet_jobs_independent;
+          Alcotest.test_case "bulkhead isolation under faults" `Slow
+            test_fleet_isolation_smoke;
+        ] );
+    ]

@@ -137,6 +137,59 @@ let test_case_studies_parallel_deterministic () =
             b.per_strategy))
     serial parallel
 
+let test_spec_cache_transient_failure_retries () =
+  (* A build that raises must evict its single-flight marker so a retry
+     can claim the slot: four domains race on a cold key whose first
+     build fails, every caller retries under backoff, and all four must
+     end up sharing the one successful build.  The fault hook fires
+     exactly twice — the failing build and the succeeding rebuild — so
+     a third firing would mean the eviction leaked an extra build. *)
+  let w = Workload.Samples.find "pcnet" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let version = Devices.Qemu_version.latest in
+  let calls = Atomic.make 0 in
+  Metrics.Spec_cache.set_build_fault
+    (Some
+       (fun device ->
+         if device = "pcnet" then
+           if Atomic.fetch_and_add calls 1 = 0 then
+             failwith "injected transient build failure"));
+  Fun.protect
+    ~finally:(fun () -> Metrics.Spec_cache.set_build_fault None)
+    (fun () ->
+      let results =
+        Sedspec_util.Runner.map ~jobs:4
+          (fun i ->
+            Sedspec_util.Backoff.retry ~seed:(Int64.of_int i) ~max_attempts:3
+              (fun ~attempt:_ ->
+                try Ok (Metrics.Spec_cache.built (module W) version)
+                with e -> Error (Printexc.to_string e)))
+          [ 0; 1; 2; 3 ]
+      in
+      let builds =
+        List.map
+          (function
+            | Ok (b, _spent) -> b
+            | Error f ->
+              Alcotest.failf "caller exhausted retries: %s"
+                f.Sedspec_util.Backoff.error)
+          results
+      in
+      (match builds with
+      | b :: rest ->
+        List.iter
+          (fun b' ->
+            Alcotest.(check bool) "all callers share the rebuild" true (b == b'))
+          rest
+      | [] -> assert false);
+      Alcotest.(check int) "hook fired for fail + rebuild only" 2
+        (Atomic.get calls);
+      (* The slot now memoises the successful rebuild. *)
+      let again = Metrics.Spec_cache.built (module W) version in
+      Alcotest.(check bool) "later call hits the cache" true
+        (again == List.hd builds);
+      Alcotest.(check int) "no further builds" 2 (Atomic.get calls))
+
 let test_spec_cache_memoises () =
   let w = Workload.Samples.find "fdc" in
   let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
@@ -174,6 +227,8 @@ let () =
           Alcotest.test_case "spec cache memoises" `Quick test_spec_cache_memoises;
           Alcotest.test_case "spec cache single-flight" `Quick
             test_spec_cache_single_flight;
+          Alcotest.test_case "spec cache transient failure retries" `Quick
+            test_spec_cache_transient_failure_retries;
         ] );
       ( "parallel",
         [

@@ -1030,6 +1030,67 @@ let test_remedy_circuit_breaker_escalates () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "breaker with zero threshold accepted"
 
+let test_remedy_snapshot_tracks_state () =
+  (* The snapshot record must expose what previously had to be scraped
+     from the log: tick/event/rollback counters, the in-window rollback
+     count, breaker arming and latch, and the halt flag — as a pure read
+     that never advances the supervisor. *)
+  let m, checker, d = fresh_fdc () in
+  let sup =
+    Sedspec.Remedy.create
+      ~policy_of:(fun _ -> Sedspec.Remedy.Rollback)
+      ~breaker:(2, 8) m ~device:"fdc" checker
+  in
+  let s0 = Sedspec.Remedy.snapshot sup in
+  Alcotest.(check int) "no ticks yet" 0 s0.Sedspec.Remedy.s_ticks;
+  Alcotest.(check int) "no events yet" 0 s0.Sedspec.Remedy.s_events;
+  Alcotest.(check (option (pair int int))) "breaker armed" (Some (2, 8))
+    s0.Sedspec.Remedy.s_breaker;
+  Alcotest.(check bool) "not tripped" false s0.Sedspec.Remedy.s_breaker_tripped;
+  Alcotest.(check bool) "not halted" false s0.Sedspec.Remedy.s_halted;
+  ignore (Workload.Fdc_driver.reset d);
+  ignore (Sedspec.Remedy.tick sup);
+  (* snapshot is a pure read: two in a row are identical and the tick
+     counter reflects only real ticks. *)
+  Alcotest.(check bool) "pure read" true
+    (Sedspec.Remedy.snapshot sup = Sedspec.Remedy.snapshot sup);
+  Alcotest.(check int) "one tick" 1
+    (Sedspec.Remedy.snapshot sup).Sedspec.Remedy.s_ticks;
+  ignore (Workload.Fdc_driver.dumpreg d);
+  Alcotest.(check bool) "halted by rare command" true (Vmm.Machine.halted m);
+  Alcotest.(check bool) "snapshot sees the halt" true
+    (Sedspec.Remedy.snapshot sup).Sedspec.Remedy.s_halted;
+  ignore (Sedspec.Remedy.tick sup);
+  let s1 = Sedspec.Remedy.snapshot sup in
+  Alcotest.(check int) "rollback counted" 1 s1.Sedspec.Remedy.s_rollbacks;
+  Alcotest.(check int) "rollback in breaker window" 1
+    s1.Sedspec.Remedy.s_rollbacks_in_window;
+  Alcotest.(check int) "event recorded" 1 s1.Sedspec.Remedy.s_events;
+  Alcotest.(check bool) "resumed" false s1.Sedspec.Remedy.s_halted;
+  (* Re-trip until the breaker latches; the snapshot must agree with the
+     accessors. *)
+  for _ = 1 to 4 do
+    ignore (Workload.Fdc_driver.dumpreg d);
+    ignore (Sedspec.Remedy.tick sup)
+  done;
+  let s2 = Sedspec.Remedy.snapshot sup in
+  Alcotest.(check bool) "breaker latched in snapshot" true
+    s2.Sedspec.Remedy.s_breaker_tripped;
+  Alcotest.(check int) "rollbacks capped" 2 s2.Sedspec.Remedy.s_rollbacks;
+  Alcotest.(check bool) "left halted" true s2.Sedspec.Remedy.s_halted;
+  (* Without a breaker the in-window count equals the lifetime count. *)
+  let m2, checker2, d2 = fresh_fdc () in
+  let sup2 = Sedspec.Remedy.create m2 ~device:"fdc" checker2 in
+  ignore (Workload.Fdc_driver.reset d2);
+  ignore (Sedspec.Remedy.tick sup2);
+  ignore (Workload.Fdc_driver.dumpreg d2);
+  ignore (Sedspec.Remedy.tick sup2);
+  let s3 = Sedspec.Remedy.snapshot sup2 in
+  Alcotest.(check int) "unarmed: window = lifetime" s3.Sedspec.Remedy.s_rollbacks
+    s3.Sedspec.Remedy.s_rollbacks_in_window;
+  Alcotest.(check (option (pair int int))) "unarmed breaker" None
+    s3.Sedspec.Remedy.s_breaker
+
 (* --- Shadow consistency property ----------------------------------------- *)
 
 let prop_shadow_tracks_device =
@@ -1131,6 +1192,8 @@ let () =
             test_remedy_checkpoint_while_halted;
           Alcotest.test_case "circuit breaker escalates repeat rollbacks" `Quick
             test_remedy_circuit_breaker_escalates;
+          Alcotest.test_case "snapshot tracks supervisor state" `Quick
+            test_remedy_snapshot_tracks_state;
         ] );
       ( "containment",
         [

@@ -246,6 +246,115 @@ let test_fmt_float () =
   Alcotest.(check string) "default digits" "1.50" (Table.fmt_float 1.5);
   Alcotest.(check string) "3 digits" "1.500" (Table.fmt_float ~digits:3 1.5)
 
+(* --- Backoff ----------------------------------------------------------- *)
+
+module Backoff = Sedspec_util.Backoff
+
+let backoff_cfg_gen =
+  QCheck.Gen.(
+    let* base = int_range 1 8 in
+    let* cap = int_range base 512 in
+    let* jitter = float_bound_inclusive 0.9 in
+    return { Backoff.base; cap; jitter })
+
+let backoff_cfg_arb =
+  QCheck.make
+    ~print:(fun c ->
+      Printf.sprintf "{base=%d; cap=%d; jitter=%f}" c.Backoff.base c.Backoff.cap
+        c.Backoff.jitter)
+    backoff_cfg_gen
+
+let prop_backoff_deterministic =
+  QCheck.Test.make ~name:"backoff delay deterministic per (cfg, seed, attempt)"
+    ~count:300
+    QCheck.(pair backoff_cfg_arb (pair int64 (int_range 0 80)))
+    (fun (cfg, (seed, attempt)) ->
+      Backoff.delay cfg ~seed ~attempt = Backoff.delay cfg ~seed ~attempt)
+
+let prop_backoff_band =
+  QCheck.Test.make ~name:"backoff delay within jitter band" ~count:500
+    QCheck.(pair backoff_cfg_arb (pair int64 (int_range 0 80)))
+    (fun (cfg, (seed, attempt)) ->
+      let n = float_of_int (Backoff.nominal cfg ~attempt) in
+      let d = float_of_int (Backoff.delay cfg ~seed ~attempt) in
+      let lo = (n *. (1.0 -. cfg.Backoff.jitter)) -. 0.5
+      and hi = (n *. (1.0 +. cfg.Backoff.jitter)) +. 0.5 in
+      d >= Float.max 0.0 lo && d <= hi)
+
+(* For jitter <= 1/3 the worst case across consecutive attempts is
+   2n(1-j) >= n(1+j), so the jittered schedule can never shrink while
+   the nominal delay is doubling (and is trivially flat at the cap). *)
+let prop_backoff_monotone =
+  QCheck.Test.make ~name:"backoff monotone in attempt for jitter <= 1/3"
+    ~count:300
+    QCheck.(pair int64 (pair (int_range 1 8) (int_range 0 100)))
+    (fun (seed, (base, jpct)) ->
+      let base = max 1 base and jpct = max 0 jpct in
+      let cfg =
+        { Backoff.base; cap = base * 256; jitter = float_of_int jpct /. 300.0 }
+      in
+      let ok = ref true in
+      for attempt = 0 to 11 do
+        (* The guarantee covers the doubling region; once the nominal
+           saturates at the cap only the band bound applies. *)
+        if
+          Backoff.nominal cfg ~attempt:(attempt + 1)
+          = 2 * Backoff.nominal cfg ~attempt
+          && Backoff.delay cfg ~seed ~attempt
+             > Backoff.delay cfg ~seed ~attempt:(attempt + 1)
+        then ok := false
+      done;
+      !ok)
+
+let prop_backoff_nominal_caps =
+  QCheck.Test.make ~name:"backoff nominal doubles then saturates" ~count:300
+    QCheck.(pair backoff_cfg_arb (int_range 0 200))
+    (fun (cfg, attempt) ->
+      let n = Backoff.nominal cfg ~attempt in
+      n >= cfg.Backoff.base && n <= cfg.Backoff.cap
+      &&
+      (* base <= 8 and cap <= 512 from the generator, so [lsl] is exact
+         through attempt 30 and anything past that saturates. *)
+      if attempt <= 30 then
+        let exact = cfg.Backoff.base lsl attempt in
+        n = if exact > cfg.Backoff.cap then cfg.Backoff.cap else exact
+      else n = cfg.Backoff.cap)
+
+let test_backoff_retry_accounting () =
+  let calls = ref 0 in
+  let result =
+    Backoff.retry ~seed:9L ~max_attempts:5 (fun ~attempt ->
+        incr calls;
+        Alcotest.(check int) "attempt index" (!calls - 1) attempt;
+        if attempt < 3 then Error "transient" else Ok "done")
+  in
+  (match result with
+  | Ok (v, spent) ->
+    Alcotest.(check string) "value" "done" v;
+    let expect =
+      List.fold_left
+        (fun acc a -> acc + Backoff.delay Backoff.default ~seed:9L ~attempt:a)
+        0 [ 0; 1; 2 ]
+    in
+    Alcotest.(check int) "delay spent = sum of pre-success delays" expect spent
+  | Error _ -> Alcotest.fail "expected success");
+  Alcotest.(check int) "four calls" 4 !calls;
+  match Backoff.retry ~seed:9L ~max_attempts:3 (fun ~attempt:_ -> Error "no") with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error f ->
+    Alcotest.(check string) "last error" "no" f.Backoff.error;
+    Alcotest.(check int) "attempts" 3 f.Backoff.attempts;
+    let expect =
+      List.fold_left
+        (fun acc a -> acc + Backoff.delay Backoff.default ~seed:9L ~attempt:a)
+        0 [ 0; 1 ]
+    in
+    Alcotest.(check int) "delay total" expect f.Backoff.delay_total
+
+let test_backoff_preconditions () =
+  Alcotest.check_raises "max_attempts 0" (Invalid_argument "Backoff.retry: max_attempts must be >= 1")
+    (fun () -> ignore (Backoff.retry ~seed:1L ~max_attempts:0 (fun ~attempt:_ -> Ok ())))
+
 let () =
   Alcotest.run "util"
     [
@@ -281,6 +390,17 @@ let () =
             test_runner_more_jobs_than_tasks;
           Alcotest.test_case "failure mid-queue drains" `Quick
             test_runner_failure_mid_queue_drains;
+        ] );
+      ( "backoff",
+        [
+          QCheck_alcotest.to_alcotest prop_backoff_deterministic;
+          QCheck_alcotest.to_alcotest prop_backoff_band;
+          QCheck_alcotest.to_alcotest prop_backoff_monotone;
+          QCheck_alcotest.to_alcotest prop_backoff_nominal_caps;
+          Alcotest.test_case "retry accounting" `Quick
+            test_backoff_retry_accounting;
+          Alcotest.test_case "preconditions raise" `Quick
+            test_backoff_preconditions;
         ] );
       ( "table",
         [
