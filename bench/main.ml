@@ -8,6 +8,7 @@
      fig5      PCNet bandwidth and ping latency (paper Figure 5)
      ablation  Design-choice ablations (DESIGN.md §5)
      micro     Walk-engine throughput + Bechamel micro-benchmarks
+     scale     Fleet scale: shared arenas + per-VM cursors at 10/1k/10k VMs
      fuzz      Coverage-guided differential fuzz smoke (lib/fuzz)
      all       Everything above (default)
 
@@ -41,6 +42,9 @@ let json_bool key v = json_add key (string_of_bool v)
 
 let json_float key v =
   json_add key (if Float.is_finite v then Printf.sprintf "%.6g" v else "null")
+
+(* Values are ASCII prose (schema notes), so %S escaping is valid JSON. *)
+let json_str key v = json_add key (Printf.sprintf "%S" v)
 
 (* Keys are ASCII identifiers, so OCaml's %S escaping is valid JSON.
    The write is atomic (temp file + rename) and the fd is protected, so
@@ -898,6 +902,115 @@ let fleet_bench () =
     "(deadline armed at a budget no benign walk reaches: the no-fault\n\
     \ cost is one integer compare per walked node, so ~0%%)\n"
 
+(* ------------------------------------------------------------------ *)
+(* Fleet scale: the arena/cursor split measured at 10 / 1k / 10k VMs.   *)
+
+(* Fixed regression budgets, dumped next to the measurements so CI can
+   fail the bench from the JSON alone.  Calibrated several x above the
+   reference-container numbers so scheduler and GC noise cannot trip
+   them, while a reintroduced per-walk allocation (a boxed option, a
+   closure, a fresh tuple per node) or a per-VM copy of any arena table
+   blows straight through. *)
+let scale_max_minor_words_per_walk = 150.0
+let scale_max_bytes_per_vm = 100_000.0
+
+let scale_schema =
+  "scale.vms<N>.*: vms = fleet size; interactions = timed-phase total; \
+   throughput_ips = interactions/s fleet-wide; p50_tick_ns / p99_tick_ns \
+   = per-VM tick latency percentiles in ns; bytes_per_vm = marginal \
+   major-heap bytes per VM (live-word delta across cell creation); \
+   minor_words_per_tick / minor_words_per_walk = steady-state \
+   minor-heap allocation; walk_ns_per_node = busy ns per walked ES-CFG \
+   node; builds = spec builds this configuration triggered (<= 1 per \
+   (device, version), 0 once the single-flight cache is warm); shared = \
+   every cell's compiled arena is physically (==) its device's one.  \
+   scale.threshold.*: fixed budgets; CI fails if any configuration's \
+   minor_words_per_walk or bytes_per_vm exceeds them."
+
+let scale_bench () =
+  section "Fleet scale: shared arenas + per-VM cursors";
+  let sizes = if !quick then [ 10; 1000 ] else [ 10; 1000; 10_000 ] in
+  let results =
+    List.map
+      (fun vms ->
+        let opts =
+          {
+            (Fleet.Scale.default_options ()) with
+            Fleet.Scale.vms;
+            ticks = (if !quick then 2 else 4);
+            seed = !seed;
+            jobs = !jobs;
+          }
+        in
+        (vms, Fleet.Scale.run opts))
+      sizes
+  in
+  let rows =
+    List.map
+      (fun (vms, (r : Fleet.Scale.result)) ->
+        let open Fleet.Scale in
+        let pfx = Printf.sprintf "scale.vms%d" vms in
+        json_int (pfx ^ ".vms") r.sc_vms;
+        json_int (pfx ^ ".interactions") r.sc_interactions;
+        json_int (pfx ^ ".anomalies") r.sc_anomalies;
+        json_int (pfx ^ ".builds") r.sc_builds;
+        json_bool (pfx ^ ".shared") r.sc_shared;
+        json_float (pfx ^ ".throughput_ips") r.sc_throughput_ips;
+        json_float (pfx ^ ".p50_tick_ns") r.sc_p50_tick_ns;
+        json_float (pfx ^ ".p99_tick_ns") r.sc_p99_tick_ns;
+        json_float (pfx ^ ".bytes_per_vm") r.sc_bytes_per_vm;
+        json_float (pfx ^ ".minor_words_per_tick") r.sc_minor_words_per_tick;
+        json_float (pfx ^ ".minor_words_per_walk") r.sc_minor_words_per_walk;
+        json_float (pfx ^ ".walk_ns_per_node") r.sc_walk_ns_per_node;
+        json_float (pfx ^ ".create_s") r.sc_create_s;
+        [
+          string_of_int vms;
+          string_of_int r.sc_interactions;
+          fmt_rate r.sc_throughput_ips;
+          Printf.sprintf "%.0f" (r.sc_p99_tick_ns /. 1e3);
+          Printf.sprintf "%.0f" r.sc_bytes_per_vm;
+          Printf.sprintf "%.1f" r.sc_minor_words_per_walk;
+          Printf.sprintf "%.1f" r.sc_walk_ns_per_node;
+          Printf.sprintf "%d/%b" r.sc_builds r.sc_shared;
+        ])
+      results
+  in
+  json_str "scale.schema" scale_schema;
+  json_float "scale.threshold.minor_words_per_walk"
+    scale_max_minor_words_per_walk;
+  json_float "scale.threshold.bytes_per_vm" scale_max_bytes_per_vm;
+  Table.print
+    ~align:
+      [
+        Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+        Table.Right; Table.Right; Table.Right;
+      ]
+    ~header:
+      [
+        "VMs"; "interactions"; "ia/s"; "p99 us"; "B/VM"; "mw/walk";
+        "ns/node"; "builds/shared";
+      ]
+    rows;
+  List.iter
+    (fun (vms, (r : Fleet.Scale.result)) ->
+      let budget name v max_v =
+        if v > max_v then
+          Printf.printf "BUDGET EXCEEDED: %d VMs %s %.1f > %.1f\n" vms name v
+            max_v
+      in
+      budget "minor_words_per_walk" r.Fleet.Scale.sc_minor_words_per_walk
+        scale_max_minor_words_per_walk;
+      budget "bytes_per_vm" r.Fleet.Scale.sc_bytes_per_vm
+        scale_max_bytes_per_vm;
+      if r.Fleet.Scale.sc_anomalies > 0 then
+        Printf.printf "ANOMALIES: %d VMs reported %d on benign streams\n" vms
+          r.Fleet.Scale.sc_anomalies)
+    results;
+  Printf.printf
+    "(one compiled arena per (device, version) shared by every cell;\n\
+    \ each VM adds only a cursor + shadow/work state — bytes/VM is the\n\
+    \ marginal cost, mw/walk the steady-state allocation per check)\n"
+
 let fuzz_smoke () =
   section "Fuzz smoke: differential fuzzing of the ES-Checker";
   let budget = if !quick then 100 else 500 in
@@ -997,6 +1110,7 @@ let () =
       | "baseline" -> baseline ()
       | "micro" -> micro ()
       | "fleet" -> fleet_bench ()
+      | "scale" -> scale_bench ()
       | "fuzz" -> fuzz_smoke ()
       | "all" ->
         table2 ();
@@ -1008,10 +1122,11 @@ let () =
         ablation ();
         micro ();
         fleet_bench ();
+        scale_bench ();
         fuzz_smoke ()
       | other ->
         Printf.eprintf
-          "unknown command %s (table2|table3|fig3|fig4|fig5|baseline|ablation|micro|fleet|fuzz|all)\n"
+          "unknown command %s (table2|table3|fig3|fig4|fig5|baseline|ablation|micro|fleet|scale|fuzz|all)\n"
           other;
         exit 2)
     cmds;

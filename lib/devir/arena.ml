@@ -109,14 +109,20 @@ let save_into t out =
     invalid_arg "Arena.save_into: size mismatch";
   Bytes.blit t.mem 0 out 0 (Bytes.length t.mem)
 
-let copy_spans ~spans ~src ~dst =
-  List.iter (fun (off, len) -> Bytes.blit src.mem off dst.mem off len) spans
+(* Span blits run on the checker's per-interaction hot path; a top-level
+   recursion (instead of [List.iter] with a capturing closure) keeps them
+   allocation-free. *)
+let rec blit_spans src dst = function
+  | [] -> ()
+  | (off, len) :: rest ->
+    Bytes.blit src off dst off len;
+    blit_spans src dst rest
 
-let save_spans ~spans t out =
-  List.iter (fun (off, len) -> Bytes.blit t.mem off out off len) spans
+let copy_spans ~spans ~src ~dst = blit_spans src.mem dst.mem spans
 
-let restore_spans ~spans t saved =
-  List.iter (fun (off, len) -> Bytes.blit saved off t.mem off len) spans
+let save_spans ~spans t out = blit_spans t.mem out spans
+
+let restore_spans ~spans t saved = blit_spans saved t.mem spans
 
 let copy_into ~src ~dst =
   if Bytes.length src.mem <> Bytes.length dst.mem then

@@ -372,9 +372,15 @@ let fleet_isolation opts =
   in
   let base_vms = Array.of_list baseline.Fleet.Supervisor.f_vms
   and fault_vms = Array.of_list faulted.Fleet.Supervisor.f_vms in
+  (* Compare behaviour, not arena identity: [r_arena] is a physical
+     handle (and holds closures, which structural compare rejects).  A
+     faulty sibling's failed build may legitimately force a fresh —
+     equal-content — arena for clean VMs acquired after the eviction. *)
+  let strip (r : Fleet.Vm.report) = { r with Fleet.Vm.r_arena = None } in
   let clean_divergent =
     List.filter
-      (fun i -> (not (List.mem i faulty)) && base_vms.(i) <> fault_vms.(i))
+      (fun i ->
+        (not (List.mem i faulty)) && strip base_vms.(i) <> strip fault_vms.(i))
       (List.init opts.fl_vms Fun.id)
   in
   {

@@ -34,6 +34,11 @@ type report = {
   f_degrades : int;
   f_restores : int;
   f_failed_vms : int;
+  f_spec_builds : int;
+      (** Single-flight spec builds this run triggered (cache deltas). *)
+  f_arenas_shared : bool;
+      (** Every cache-built VM of a device walks the physically same
+          compiled arena. *)
 }
 
 let validate opts =
@@ -46,8 +51,26 @@ let validate opts =
         invalid_arg (Printf.sprintf "Supervisor.run: unknown device %s" d))
     opts.devices
 
+(* Physical-sharing audit: group the cache-built arenas by device and
+   require each group to be one identity class.  [==] is meaningful
+   across Runner domains (one shared major heap). *)
+let arenas_shared reports =
+  let by_device : (string, Sedspec.Compile.t) Hashtbl.t = Hashtbl.create 8 in
+  List.for_all
+    (fun (r : Vm.report) ->
+      match r.Vm.r_arena with
+      | None -> true
+      | Some a -> (
+        match Hashtbl.find_opt by_device r.Vm.r_device with
+        | None ->
+          Hashtbl.add by_device r.Vm.r_device a;
+          true
+        | Some first -> first == a))
+    reports
+
 let run ?arm opts =
   validate opts;
+  let builds0 = Metrics.Spec_cache.builds () in
   let devices = Array.of_list opts.devices in
   let run_vm ~seed index =
     let device = devices.(index mod Array.length devices) in
@@ -89,6 +112,8 @@ let run ?arm opts =
     f_degrades = sum (fun r -> r.Vm.r_degrades);
     f_restores = sum (fun r -> r.Vm.r_restores);
     f_failed_vms = sum (fun r -> if r.Vm.r_status = "ok" then 0 else 1);
+    f_spec_builds = Metrics.Spec_cache.builds () - builds0;
+    f_arenas_shared = arenas_shared reports;
   }
 
 let vm_to_json (r : Vm.report) =
@@ -125,6 +150,7 @@ let vm_to_json (r : Vm.report) =
             ("attempts", Json.Int r.Vm.r_build_attempts);
             ("fallback", Json.Bool r.Vm.r_build_fallback);
             ("backoff_delay", Json.Int r.Vm.r_backoff_delay);
+            ("shared_arena", Json.Bool (r.Vm.r_arena <> None));
           ] );
       ( "coverage",
         Json.Obj
@@ -152,6 +178,8 @@ let report_to_json r =
          ("heals", Json.Int r.f_heals);
          ("degrades", Json.Int r.f_degrades);
          ("restores", Json.Int r.f_restores);
+         ("spec_builds", Json.Int r.f_spec_builds);
+         ("arenas_shared", Json.Bool r.f_arenas_shared);
          ("fleet", Json.List (List.map vm_to_json r.f_vms));
        ])
 
@@ -172,7 +200,8 @@ let pp_report ppf r =
     r.f_vms;
   Format.fprintf ppf
     "  total: ia=%d anomalies=%d internal=%d overruns=%d crashes=%d \
-     rollbacks=%d heals=%d degrades=%d restores=%d failed=%d@."
+     rollbacks=%d heals=%d degrades=%d restores=%d failed=%d builds=%d \
+     shared=%b@."
     r.f_interactions r.f_anomalies r.f_internal_errors r.f_deadline_overruns
     r.f_crashes r.f_rollbacks r.f_heals r.f_degrades r.f_restores
-    r.f_failed_vms
+    r.f_failed_vms r.f_spec_builds r.f_arenas_shared

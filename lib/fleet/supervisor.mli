@@ -42,6 +42,16 @@ type report = {
   f_degrades : int;
   f_restores : int;
   f_failed_vms : int;  (** VMs whose spec never built (bulkheaded). *)
+  f_spec_builds : int;
+      (** Single-flight spec builds (and hence compiled-arena lowerings)
+          this run triggered, as a {!Metrics.Spec_cache.builds} delta: at
+          most one per (device, version) key regardless of fleet size or
+          [jobs] (zero when a prior run already populated the cache). *)
+  f_arenas_shared : bool;
+      (** Physical-sharing audit: every cache-built VM of a given device
+          reported the {e physically same} ([==]) compiled arena, across
+          all Runner domains.  Fallback/persisted VMs are exempt (their
+          arenas are private by design). *)
 }
 
 val run :

@@ -176,6 +176,11 @@ let create ~index ~seed opts =
 let machine t = Option.map (fun c -> c.machine) t.core
 let checker t = Option.map (fun c -> c.checker) t.core
 
+let arena t =
+  match t.core with
+  | None -> None
+  | Some c -> Checker.compiled_arena c.checker
+
 let tick t =
   t.ticks <- t.ticks + 1;
   match t.core with
@@ -264,6 +269,7 @@ type report = {
   r_backoff_delay : int;
   r_cov_nodes : int;
   r_cov_edges : int;
+  r_arena : Sedspec.Compile.t option;
   r_stream : string list;
 }
 
@@ -317,5 +323,14 @@ let report t =
     r_backoff_delay = t.backoff_delay;
     r_cov_nodes = cov_nodes;
     r_cov_edges = cov_edges;
+    r_arena =
+      (* Only cache-built specs carry a shareable arena claim: fallback
+         rebuilds and persisted loads own private arenas by design. *)
+      (if t.build_fallback then None
+       else
+         match t.core with
+         | Some core when t.opts.spec_source = Trained ->
+           Checker.compiled_arena core.checker
+         | _ -> None);
     r_stream = List.rev t.stream_rev;
   }

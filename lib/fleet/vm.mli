@@ -54,6 +54,12 @@ val machine : t -> Vmm.Machine.t option
 
 val checker : t -> Sedspec.Checker.t option
 
+val arena : t -> Sedspec.Compile.t option
+(** The compiled arena this VM's checker walks.  For cache-acquired
+    specs this is the one shared immutable arena of the (device,
+    version) — physically equal ([==]) across every VM and Runner
+    domain; for fallback/persisted sources it is private. *)
+
 val tick : t -> unit
 (** One supervision period: run the benign workload (bulkhead-wrapped),
     account warnings/anomalies/overruns, feed the burn to the governor
@@ -87,6 +93,10 @@ type report = {
   r_backoff_delay : int;  (** Logical backoff units spent acquiring the spec. *)
   r_cov_nodes : int;
   r_cov_edges : int;
+  r_arena : Sedspec.Compile.t option;
+      (** The shared arena, when the spec came from the cache ([None]
+          for fallback rebuilds and persisted sources).  Lets the
+          supervisor assert physical sharing across the whole fleet. *)
   r_stream : string list;
       (** Per-tick verdict/coverage stream, oldest first: the bulkhead
           isolation oracle compares these byte-for-byte. *)

@@ -26,6 +26,13 @@ let landed = Condition.create ()
 let build_fault : (string -> unit) option Atomic.t = Atomic.make None
 let set_build_fault hook = Atomic.set build_fault hook
 
+(* Successful single-flight builds since process start.  With the
+   arena/cursor split this counts compiled-arena constructions too (one
+   per build): the fleet asserts its delta stays at one per
+   (device, version) key no matter how many VMs or domains ask. *)
+let build_count = Atomic.make 0
+let builds () = Atomic.get build_count
+
 let built (module W : Workload.Samples.DEVICE_WORKLOAD) version =
   let key = (W.device_name, Devices.Qemu_version.to_string version) in
   let claim () =
@@ -57,6 +64,7 @@ let built (module W : Workload.Samples.DEVICE_WORKLOAD) version =
     in
     match build () with
     | b ->
+      Atomic.incr build_count;
       Mutex.lock lock;
       Hashtbl.replace cache key (Ready b);
       Condition.broadcast landed;

@@ -25,6 +25,12 @@ val built :
     starts a fresh build instead of observing a poisoned entry.  Only
     the caller whose own build raised sees the exception. *)
 
+val builds : unit -> int
+(** Successful single-flight builds since process start (each one also
+    lowered exactly one shared compiled arena).  Monotone; harnesses
+    assert deltas across a run — one per (device, version) key touched,
+    independent of VM count and [jobs]. *)
+
 val set_build_fault : (string -> unit) option -> unit
 (** Test/fault-injection seam: the hook runs with the device name at the
     top of every single-flight build and may raise to simulate a

@@ -46,9 +46,12 @@ type stats = {
   mutable nodes_walked : int;
 }
 
-(* Command context, mirroring the constructor's; [Ctx_unknown] is the
-   permissive state after a bail or resync. *)
-type ctx = Ctx_none | Ctx_cmd of Es_cfg.cmd_key | Ctx_unknown
+(* Command context over dense command ids (indices into [cmd_keys]):
+   [-1] = no command, [-2] = unknown (the permissive state after a bail
+   or resync).  An unboxed int instead of a variant keeps every walk's
+   context save/restore allocation-free under both engines. *)
+let cctx_none = -1
+let cctx_unknown = -2
 
 type pending = { p_handler : string; p_params : (string * int64) list }
 
@@ -67,6 +70,14 @@ type coverage = {
    re-run [lift_dsod] on every pass-through of every walk. *)
 type pass = P_goto of Program.bref | P_halt | P_off
 
+(* Walk outcomes as int codes + result fields on [t] (below): the walk
+   itself is on the per-interaction hot path and a [W_ok of ctx]-style
+   variant would allocate per walk. *)
+let res_ok = 0
+let res_anomaly = 1
+let res_bail = 2
+let res_defer = 3
+
 type t = {
   spec : Es_cfg.t;
   mutable config : config;
@@ -74,18 +85,28 @@ type t = {
   guest : Interp.guest;
   shadow : Arena.t;
   work : Arena.t;
-  mutable ctx : ctx;
+  mutable ctx : int;  (** Committed command context ([cctx_*] or id). *)
+  cmd_keys : Es_cfg.cmd_key array;
+      (** Dense command id -> key; same [Es_cfg.commands] order as
+          {!Compile.lower} uses, so ids agree between engines. *)
+  cmd_ids : (Es_cfg.cmd_key, int) Hashtbl.t;
   mutable anomalies_rev : anomaly list;
   stats : stats;
   sync_values : (Program.bref * string, int64 Queue.t) Hashtbl.t;
   mutable pending : pending option;
   staged_buf : bytes;
-  mutable staged : ctx option;  (** [Some ctx] means [staged_buf] is valid. *)
+  mutable staged : bool;  (** [staged_buf]/[staged_ctx] are valid. *)
+  mutable staged_ctx : int;
   mutable dirty : bool;
   walk_locals : (string, int64 * bool) Hashtbl.t;
-  pass_map : (Program.bref, pass) Hashtbl.t;
+  mutable pass_map : (Program.bref, pass) Hashtbl.t option;
+      (** Built on the first interpreted walk; the compiled engine never
+          needs it, and fleet-scale VMs should not pay for it. *)
   mutable compiled : Compile.t option;
-      (** Compiled spec, built lazily on the first walk. *)
+      (** Immutable compiled spec: either installed at creation (the
+          fleet's shared arena) or lowered lazily on the first walk. *)
+  mutable cursor : Compile.cursor option;
+      (** This checker's private mutable walk state over [compiled]. *)
   tracked_buffers : (string, unit) Hashtbl.t;
   spans : (int * int) list;
       (** Byte extents of the tracked shadow state (scalars + relevant
@@ -96,8 +117,14 @@ type t = {
   mutable inline_warn : anomaly option;
   mutable cov : coverage option;
       (** When set, every walk records ES-CFG node/edge coverage here. *)
-  mutable cov_prev : Program.bref option;
-      (** Previous node entered in the current walk (edge recording). *)
+  mutable cov_prev : Program.bref;
+      (** Previous node entered in the current walk (edge recording);
+          only meaningful when [cov_has_prev]. *)
+  mutable cov_has_prev : bool;
+  (* Result fields for the int-coded walk: [w_ctx] is valid after
+     [res_ok], [w_anomaly] after [res_anomaly]. *)
+  mutable w_ctx : int;
+  mutable w_anomaly : anomaly option;
   (* Strategy flags, kept in sync with [config] (hot-path lookups). *)
   mutable en_param : bool;
   mutable en_indirect : bool;
@@ -140,7 +167,25 @@ let pp_anomaly ppf a =
     | None -> "")
     a.detail
 
-let create ?(config = default_config) ~spec ~device_arena ~guest () =
+let dummy_bref : Program.bref = { handler = ""; label = "" }
+
+(* Wire a private cursor over [c] (shared or private) into this checker.
+   The compiled spec itself is immutable: everything per-VM lives in the
+   cursor, whose scratch shadow is the checker's own [work] arena. *)
+let install_compiled t (c : Compile.t) =
+  if not (c.Compile.spec == t.spec) then
+    invalid_arg "Checker.install_compiled: arena lowered from a different spec";
+  let cur = Compile.make_cursor ~work:t.work c in
+  cur.Compile.guest_read <- t.guest.Interp.read_byte;
+  cur.Compile.sync_pop <-
+    (fun bref local ->
+      match Hashtbl.find_opt t.sync_values (bref, local) with
+      | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
+      | _ -> None);
+  t.compiled <- Some c;
+  t.cursor <- Some cur
+
+let create ?(config = default_config) ?compiled ~spec ~device_arena ~guest () =
   let layout = Program.layout (Es_cfg.program spec) in
   let shadow = Arena.create layout in
   Arena.copy_into ~src:device_arena ~dst:shadow;
@@ -171,52 +216,56 @@ let create ?(config = default_config) ~spec ~device_arena ~guest () =
     in
     merge raw
   in
-  let pass_map = Hashtbl.create 64 in
-  Program.iter_blocks (Es_cfg.program spec) (fun bref block ->
-      if Option.is_none (Es_cfg.node spec bref) then begin
-        let p =
-          match (Es_cfg.lift_dsod block.Block.stmts, block.Block.term) with
-          | [], Term.Goto l ->
-            P_goto { Program.handler = bref.handler; label = l }
-          | [], Term.Halt -> P_halt
-          | _ -> P_off
-        in
-        Hashtbl.add pass_map bref p
-      end);
-  {
-    spec;
-    config;
-    device_arena;
-    guest;
-    shadow;
-    work = Arena.create layout;
-    ctx = Ctx_none;
-    anomalies_rev = [];
-    stats =
-      { interactions = 0; walks_ok = 0; bails = 0; deferred = 0; nodes_walked = 0 };
-    sync_values = Hashtbl.create 8;
-    staged_buf = Bytes.create (Layout.size layout);
-    pending = None;
-    staged = None;
-    dirty = false;
-    walk_locals = Hashtbl.create 32;
-    pass_map;
-    compiled = None;
-    tracked_buffers;
-    spans;
-    inline_halt = None;
-    inline_warn = None;
-    cov = None;
-    cov_prev = None;
-    en_param = List.mem Parameter_check config.strategies;
-    en_indirect = List.mem Indirect_jump_check config.strategies;
-    en_cond = List.mem Conditional_jump_check config.strategies;
-    fault_hook = None;
-    internal_errors = 0;
-    heals = 0;
-    deadline = max_int;
-    deadline_overruns = 0;
-  }
+  let cmd_keys = Array.of_list (Es_cfg.commands spec) in
+  let cmd_ids = Hashtbl.create (max (Array.length cmd_keys * 2) 8) in
+  Array.iteri (fun i key -> Hashtbl.replace cmd_ids key i) cmd_keys;
+  let t =
+    {
+      spec;
+      config;
+      device_arena;
+      guest;
+      shadow;
+      work = Arena.create layout;
+      ctx = cctx_none;
+      cmd_keys;
+      cmd_ids;
+      anomalies_rev = [];
+      stats =
+        { interactions = 0; walks_ok = 0; bails = 0; deferred = 0; nodes_walked = 0 };
+      sync_values = Hashtbl.create 8;
+      staged_buf = Bytes.create (Layout.size layout);
+      pending = None;
+      staged = false;
+      staged_ctx = cctx_none;
+      dirty = false;
+      walk_locals = Hashtbl.create 32;
+      pass_map = None;
+      compiled = None;
+      cursor = None;
+      tracked_buffers;
+      spans;
+      inline_halt = None;
+      inline_warn = None;
+      cov = None;
+      cov_prev = dummy_bref;
+      cov_has_prev = false;
+      w_ctx = cctx_none;
+      w_anomaly = None;
+      en_param = List.mem Parameter_check config.strategies;
+      en_indirect = List.mem Indirect_jump_check config.strategies;
+      en_cond = List.mem Conditional_jump_check config.strategies;
+      fault_hook = None;
+      internal_errors = 0;
+      heals = 0;
+      deadline = max_int;
+      deadline_overruns = 0;
+    }
+  in
+  (match compiled with Some c -> install_compiled t c | None -> ());
+  t
+
+let compiled_arena t = t.compiled
 
 let config t = t.config
 
@@ -235,16 +284,16 @@ let drain_anomalies t =
 
 let resync t =
   Arena.copy_into ~src:t.device_arena ~dst:t.shadow;
-  t.ctx <- Ctx_unknown
+  t.ctx <- cctx_unknown
 
 (* Return the checker to its just-attached state against the (already
-   reset) live control structure.  Keeps the lazily-built compiled form:
-   recycling machine+checker pairs across replays is what makes fuzzing
-   throughput viable, and the lowering is immutable apart from its
-   per-walk env, which every walk re-initialises. *)
+   reset) live control structure.  Keeps the compiled spec and its
+   cursor: recycling machine+checker pairs across replays is what makes
+   fuzzing throughput viable, the compiled spec is immutable, and every
+   walk re-initialises the cursor. *)
 let reset t =
   Arena.copy_into ~src:t.device_arena ~dst:t.shadow;
-  t.ctx <- Ctx_none;
+  t.ctx <- cctx_none;
   t.anomalies_rev <- [];
   t.stats.interactions <- 0;
   t.stats.walks_ok <- 0;
@@ -253,12 +302,16 @@ let reset t =
   t.stats.nodes_walked <- 0;
   Hashtbl.reset t.sync_values;
   t.pending <- None;
-  t.staged <- None;
+  t.staged <- false;
+  t.staged_ctx <- cctx_none;
   t.dirty <- false;
   t.inline_halt <- None;
   t.inline_warn <- None;
   t.cov <- None;
-  t.cov_prev <- None;
+  t.cov_prev <- dummy_bref;
+  t.cov_has_prev <- false;
+  t.w_ctx <- cctx_none;
+  t.w_anomaly <- None;
   t.fault_hook <- None;
   t.internal_errors <- 0;
   t.heals <- 0;
@@ -340,20 +393,22 @@ let coverage_absorb ~into c =
 
 let set_coverage t cov =
   t.cov <- cov;
-  t.cov_prev <- None
+  t.cov_prev <- dummy_bref;
+  t.cov_has_prev <- false
 
-(* Entering an ES-CFG node during a walk (either engine). *)
+(* Entering an ES-CFG node during a walk (either engine).  With coverage
+   off (the steady state) this is one immediate match: no allocation. *)
 let cov_enter t bref =
   match t.cov with
   | None -> ()
   | Some c ->
     if not (Hashtbl.mem c.cov_nodes bref) then Hashtbl.replace c.cov_nodes bref ();
-    (match t.cov_prev with
-    | Some prev ->
-      let e = (prev, bref) in
+    if t.cov_has_prev then begin
+      let e = (t.cov_prev, bref) in
       if not (Hashtbl.mem c.cov_edges e) then Hashtbl.replace c.cov_edges e ()
-    | None -> ());
-    t.cov_prev <- Some bref
+    end;
+    t.cov_prev <- bref;
+    t.cov_has_prev <- true
 
 let enabled t = function
   | Parameter_check -> t.en_param
@@ -383,11 +438,24 @@ let rec linked locals (e : Expr.t) =
     linked locals a || linked locals b
   | Expr.Not a -> linked locals a
 
-type walk_result =
-  | W_ok of ctx  (** Final state is left in [t.work]. *)
-  | W_anomaly of anomaly
-  | W_bail of string
-  | W_defer
+let force_pass_map t =
+  match t.pass_map with
+  | Some pm -> pm
+  | None ->
+    let pm = Hashtbl.create 64 in
+    Program.iter_blocks (Es_cfg.program t.spec) (fun bref block ->
+        if Option.is_none (Es_cfg.node t.spec bref) then begin
+          let p =
+            match (Es_cfg.lift_dsod block.Block.stmts, block.Block.term) with
+            | [], Term.Goto l ->
+              P_goto { Program.handler = bref.handler; label = l }
+            | [], Term.Halt -> P_halt
+            | _ -> P_off
+          in
+          Hashtbl.add pm bref p
+        end);
+    t.pass_map <- Some pm;
+    pm
 
 (* The reference (interpreted) walk: tree-walking evaluation straight off
    the ES-CFG.  Kept as the semantic baseline the compiled walk is
@@ -396,6 +464,7 @@ let walk_interpreted t ~sync ~handler ~params =
   let program = Es_cfg.program t.spec in
   let layout = Program.layout program in
   let selection = Es_cfg.selection t.spec in
+  let pass_map = force_pass_map t in
   Arena.copy_spans ~spans:t.spans ~src:t.shadow ~dst:t.work;
   (* Refresh function-pointer parameters from the live control structure:
      they are never legitimately rewritten between interactions, so this
@@ -515,12 +584,13 @@ let walk_interpreted t ~sync ~handler ~params =
     | Stmt.Respond _ | Stmt.Write_guest _ | Stmt.Note _ -> ()
   in
   let check_access (bref : Program.bref) =
+    let cx = !ctx in
     let ok =
-      match !ctx with
-      | Ctx_unknown -> true
-      | Ctx_none -> Es_cfg.no_cmd_allows t.spec bref
-      | Ctx_cmd key ->
-        Es_cfg.cmd_allows t.spec key bref || Es_cfg.no_cmd_allows t.spec bref
+      if cx = cctx_unknown then true
+      else if cx = cctx_none then Es_cfg.no_cmd_allows t.spec bref
+      else
+        Es_cfg.cmd_allows t.spec t.cmd_keys.(cx) bref
+        || Es_cfg.no_cmd_allows t.spec bref
     in
     if not ok then
       if enabled t Conditional_jump_check then
@@ -549,7 +619,7 @@ let walk_interpreted t ~sync ~handler ~params =
       (* Blocks with no device-state operations and an unconditional
          transfer are exactly what control-flow reduction removes: pass
          through.  Anything else off-graph is an untrained path. *)
-      match Hashtbl.find_opt t.pass_map bref with
+      match Hashtbl.find_opt pass_map bref with
       | Some (P_goto next) -> walk_block next stack
       | Some P_halt -> (
         match stack with
@@ -561,7 +631,7 @@ let walk_interpreted t ~sync ~handler ~params =
       cov_enter t bref;
       check_access bref;
       List.iter (exec_stmt bref) n.dsod;
-      let clear_if_cmd_end () = if n.kind = Block.Cmd_end then ctx := Ctx_none in
+      let clear_if_cmd_end () = if n.kind = Block.Cmd_end then ctx := cctx_none in
       match n.term with
       | Term.Goto l ->
         clear_if_cmd_end ();
@@ -587,11 +657,15 @@ let walk_interpreted t ~sync ~handler ~params =
         in
         (if n.kind = Block.Cmd_decision then
            let key = (bref, v) in
-           if Es_cfg.cmd_known t.spec key then ctx := Ctx_cmd key
+           if Es_cfg.cmd_known t.spec key then
+             ctx :=
+               (match Hashtbl.find_opt t.cmd_ids key with
+               | Some i -> i
+               | None -> cctx_unknown)
            else if enabled t Conditional_jump_check then
              anomaly Conditional_jump_check (Some bref)
                (Printf.sprintf "unknown device command %Ld" v)
-           else ctx := Ctx_unknown);
+           else ctx := cctx_unknown);
         if
           enabled t Conditional_jump_check && not (List.mem (v, dest) n.cases)
         then
@@ -619,32 +693,20 @@ let walk_interpreted t ~sync ~handler ~params =
   in
   let entry = Es_cfg.entry_of t.spec handler in
   match walk_block entry [] with
-  | () -> W_ok !ctx
-  | exception Anomaly_found a -> W_anomaly a
-  | exception Bail reason -> W_bail reason
-  | exception Defer -> W_defer
-  | exception Arena.Out_of_arena _ ->
-    W_bail "simulation escaped the control structure"
-  | exception Interp.Eval.Div_by_zero -> W_bail "division by zero in simulation"
-  | exception Interp.Eval.Undefined_local l -> W_bail ("undefined local " ^ l)
-  | exception Interp.Eval.Undefined_param p -> W_bail ("undefined parameter " ^ p)
+  | () ->
+    t.w_ctx <- !ctx;
+    res_ok
+  | exception Anomaly_found a ->
+    t.w_anomaly <- Some a;
+    res_anomaly
+  | exception Bail _ -> res_bail
+  | exception Defer -> res_defer
+  | exception Arena.Out_of_arena _ -> res_bail
+  | exception Interp.Eval.Div_by_zero -> res_bail
+  | exception Interp.Eval.Undefined_local _ -> res_bail
+  | exception Interp.Eval.Undefined_param _ -> res_bail
 
 (* --- Compiled walk --------------------------------------------------- *)
-
-let force_compiled t =
-  match t.compiled with
-  | Some c -> c
-  | None ->
-    let c = Compile.lower t.spec in
-    c.Compile.env.Compile.work <- t.work;
-    c.Compile.env.Compile.guest_read <- t.guest.Interp.read_byte;
-    c.Compile.env.Compile.sync_pop <-
-      (fun bref local ->
-        match Hashtbl.find_opt t.sync_values (bref, local) with
-        | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
-        | _ -> None);
-    t.compiled <- Some c;
-    c
 
 let anomaly_of_fault (f : Compile.fault) =
   match f with
@@ -667,183 +729,176 @@ let anomaly_of_fault (f : Compile.fault) =
       pre_execution = true;
     }
 
-(* Command context over dense command ids: -1 = none, -2 = unknown. *)
-let cctx_none = -1
-let cctx_unknown = -2
+(* The compiled walk driver, as top-level mutually-recursive functions
+   over (checker, shared compiled spec, private cursor): no local
+   closures, so the steady-state walk allocates nothing in the driver
+   itself.  (Residual per-walk allocation comes from int64 boxing inside
+   compiled expression closures — see DESIGN.md §4g.) *)
+let rec cbump t (cur : Compile.cursor) (bref : Program.bref) =
+  cur.Compile.steps <- cur.Compile.steps + 1;
+  if cur.Compile.steps > cur.Compile.deadline then begin
+    t.deadline_overruns <- t.deadline_overruns + 1;
+    raise (Deadline_exceeded cur.Compile.deadline)
+  end;
+  if cur.Compile.steps > cur.Compile.limit then
+    if t.en_cond then
+      anomaly Conditional_jump_check (Some bref)
+        "walk limit exceeded (irregular device operation / possible infinite loop)"
+    else raise (Compile.Bail "walk limit exceeded")
+
+and cgoto t (c : Compile.t) cur (d : Compile.dest) =
+  let chain = d.Compile.chain in
+  for i = 0 to Array.length chain - 1 do
+    cbump t cur chain.(i)
+  done;
+  match d.Compile.target with
+  | Compile.T_node id -> center t c cur c.Compile.nodes.(id)
+  | Compile.T_pop -> cpop t c cur
+  | Compile.T_off bref ->
+    if t.en_cond then
+      anomaly Conditional_jump_check (Some bref)
+        "block never observed in training"
+    else raise (Compile.Bail "block never observed in training")
+  | Compile.T_spin cycle ->
+    (* Burns steps until the walk limit trips. *)
+    let len = Array.length cycle in
+    let i = ref 0 in
+    while true do
+      cbump t cur cycle.(!i);
+      i := if !i + 1 = len then 0 else !i + 1
+    done
+
+and cpop t c (cur : Compile.cursor) =
+  if cur.Compile.depth > 0 then begin
+    cur.Compile.depth <- cur.Compile.depth - 1;
+    cgoto t c cur cur.Compile.stack.(cur.Compile.depth)
+  end
+
+and center t (c : Compile.t) (cur : Compile.cursor) (n : Compile.cnode) =
+  cbump t cur n.Compile.bref;
+  cur.Compile.walked <- cur.Compile.walked + 1;
+  cov_enter t n.Compile.bref;
+  (let cx = cur.Compile.cctx in
+   let ok =
+     if cx = cctx_unknown then true
+     else if cx = cctx_none then Compile.bit c.Compile.no_cmd_bits n.Compile.id
+     else
+       Compile.bit c.Compile.cmd_bits.(cx) n.Compile.id
+       || Compile.bit c.Compile.no_cmd_bits n.Compile.id
+   in
+   if not ok then
+     if t.en_cond then
+       anomaly Conditional_jump_check (Some n.Compile.bref)
+         "block not accessible under the current device command");
+  let stmts = n.Compile.stmts in
+  for i = 0 to Array.length stmts - 1 do
+    stmts.(i) cur
+  done;
+  match n.Compile.term with
+  | Compile.C_goto d ->
+    if n.Compile.is_cmd_end then cur.Compile.cctx <- cctx_none;
+    cgoto t c cur d
+  | Compile.C_halt ->
+    if n.Compile.is_cmd_end then cur.Compile.cctx <- cctx_none;
+    cpop t c cur
+  | Compile.C_branch { cond; taken0; not_taken0; if_taken; if_not } ->
+    cur.Compile.overflow <- None;
+    let taken = Interp.Eval.truthy (cond cur) in
+    if t.en_cond then
+      if (taken && taken0) || ((not taken) && not_taken0) then
+        anomaly Conditional_jump_check (Some n.Compile.bref)
+          (Printf.sprintf "untraversed branch direction (%s)"
+             (if taken then "taken" else "not taken"));
+    if n.Compile.is_cmd_end then cur.Compile.cctx <- cctx_none;
+    cgoto t c cur (if taken then if_taken else if_not)
+  | Compile.C_switch sw ->
+    cur.Compile.overflow <- None;
+    let v = sw.Compile.scrutinee cur in
+    let idx = Compile.find_case_idx sw v in
+    (match sw.Compile.cmd_of with
+    | Some tbl -> (
+      match Hashtbl.find tbl v with
+      | id -> cur.Compile.cctx <- id
+      | exception Not_found ->
+        if t.en_cond then
+          anomaly Conditional_jump_check (Some n.Compile.bref)
+            (Printf.sprintf "unknown device command %Ld" v)
+        else cur.Compile.cctx <- cctx_unknown)
+    | None -> ());
+    (if t.en_cond then
+       let dlabel =
+         if idx < 0 then sw.Compile.default_label
+         else sw.Compile.case_labels.(idx)
+       in
+       if not (Compile.case_observed sw v dlabel) then
+         anomaly Conditional_jump_check (Some n.Compile.bref)
+           (Printf.sprintf "untraversed switch case %Ld" v));
+    if n.Compile.is_cmd_end then cur.Compile.cctx <- cctx_none;
+    cgoto t c cur
+      (if idx < 0 then sw.Compile.default else sw.Compile.case_dests.(idx))
+  | Compile.C_icall ic -> (
+    cur.Compile.overflow <- None;
+    let v = ic.Compile.fnptr cur in
+    if t.en_indirect && not (ic.Compile.legit v) then
+      anomaly Indirect_jump_check (Some n.Compile.bref)
+        (Printf.sprintf "indirect call to illegitimate target 0x%Lx" v);
+    if n.Compile.is_cmd_end then cur.Compile.cctx <- cctx_none;
+    match Hashtbl.find ic.Compile.actions v with
+    | Compile.A_chain entry ->
+      Compile.push_dest cur ic.Compile.next;
+      cgoto t c cur entry
+    | Compile.A_plain -> cgoto t c cur ic.Compile.next
+    | Compile.A_empty -> raise (Compile.Bail "empty chained handler")
+    | exception Not_found ->
+      raise (Compile.Bail "indirect call to unknown callback"))
 
 let walk_compiled t ~sync ~handler ~params =
-  let c = force_compiled t in
-  let env = c.Compile.env in
+  (match t.cursor with
+  | Some _ -> ()
+  | None -> (
+    (* Lazy private lowering: only checkers created without a shared
+       arena (e.g. from persisted specs) ever take this path. *)
+    match t.compiled with
+    | Some c -> install_compiled t c
+    | None -> install_compiled t (Compile.lower t.spec)));
+  let c = match t.compiled with Some c -> c | None -> assert false in
+  let cur = match t.cursor with Some cur -> cur | None -> assert false in
   Arena.copy_spans ~spans:t.spans ~src:t.shadow ~dst:t.work;
   (* Function-pointer refresh from the live control structure, as byte
      spans instead of name lookups (see the interpreted walk for why). *)
   Arena.copy_spans ~spans:c.Compile.fn_ptr_spans ~src:t.device_arena
     ~dst:t.work;
-  Array.fill env.Compile.ldef 0 (Array.length env.Compile.ldef) false;
-  Array.fill env.Compile.llink 0 (Array.length env.Compile.llink) false;
-  Array.fill env.Compile.pdef 0 (Array.length env.Compile.pdef) false;
-  env.Compile.sync <- sync;
-  env.Compile.en_param <- t.en_param;
-  env.Compile.overflow <- None;
-  List.iter
-    (fun (name, v) ->
-      match Hashtbl.find_opt c.Compile.param_slots name with
-      | Some s ->
-        (* First binding wins, as in [List.assoc]. *)
-        if not env.Compile.pdef.(s) then begin
-          env.Compile.params.(s) <- v;
-          env.Compile.pdef.(s) <- true
-        end
-      | None -> ())
-    params;
-  let ctx =
-    ref
-      (match t.ctx with
-      | Ctx_none -> cctx_none
-      | Ctx_unknown -> cctx_unknown
-      | Ctx_cmd key -> (
-        match Hashtbl.find_opt c.Compile.cmd_ids key with
-        | Some i -> i
-        | None -> cctx_unknown))
-  in
-  let steps = ref 0 in
-  let walked = ref 0 in
-  let limit = t.config.walk_limit in
-  let deadline = t.deadline in
-  let bump (bref : Program.bref) =
-    incr steps;
-    if !steps > deadline then begin
-      t.deadline_overruns <- t.deadline_overruns + 1;
-      raise (Deadline_exceeded deadline)
-    end;
-    if !steps > limit then
-      if t.en_cond then
-        anomaly Conditional_jump_check (Some bref)
-          "walk limit exceeded (irregular device operation / possible infinite loop)"
-      else raise (Compile.Bail "walk limit exceeded")
-  in
-  let nodes = c.Compile.nodes in
-  let rec goto (d : Compile.dest) stack =
-    let chain = d.Compile.chain in
-    for i = 0 to Array.length chain - 1 do
-      bump chain.(i)
-    done;
-    match d.Compile.target with
-    | Compile.T_node id -> enter nodes.(id) stack
-    | Compile.T_pop -> pop stack
-    | Compile.T_off bref ->
-      if t.en_cond then
-        anomaly Conditional_jump_check (Some bref)
-          "block never observed in training"
-      else raise (Compile.Bail "block never observed in training")
-    | Compile.T_spin cycle ->
-      (* Burns steps until the walk limit trips. *)
-      let len = Array.length cycle in
-      let i = ref 0 in
-      while true do
-        bump cycle.(!i);
-        i := if !i + 1 = len then 0 else !i + 1
-      done
-  and pop stack = match stack with d :: rest -> goto d rest | [] -> ()
-  and enter (n : Compile.cnode) stack =
-    bump n.Compile.bref;
-    incr walked;
-    cov_enter t n.Compile.bref;
-    (let ok =
-       match !ctx with
-       | -2 -> true
-       | -1 -> Compile.bit c.Compile.no_cmd_bits n.Compile.id
-       | id ->
-         Compile.bit c.Compile.cmd_bits.(id) n.Compile.id
-         || Compile.bit c.Compile.no_cmd_bits n.Compile.id
-     in
-     if not ok then
-       if t.en_cond then
-         anomaly Conditional_jump_check (Some n.Compile.bref)
-           "block not accessible under the current device command");
-    let stmts = n.Compile.stmts in
-    for i = 0 to Array.length stmts - 1 do
-      stmts.(i) env
-    done;
-    let clear_if_cmd_end () = if n.Compile.is_cmd_end then ctx := cctx_none in
-    match n.Compile.term with
-    | Compile.C_goto d ->
-      clear_if_cmd_end ();
-      goto d stack
-    | Compile.C_halt ->
-      clear_if_cmd_end ();
-      pop stack
-    | Compile.C_branch { cond; taken0; not_taken0; if_taken; if_not } ->
-      env.Compile.overflow <- None;
-      let taken = Interp.Eval.truthy (cond env) in
-      if t.en_cond then
-        if (taken && taken0) || ((not taken) && not_taken0) then
-          anomaly Conditional_jump_check (Some n.Compile.bref)
-            (Printf.sprintf "untraversed branch direction (%s)"
-               (if taken then "taken" else "not taken"));
-      clear_if_cmd_end ();
-      goto (if taken then if_taken else if_not) stack
-    | Compile.C_switch sw ->
-      env.Compile.overflow <- None;
-      let v = sw.Compile.scrutinee env in
-      let dest, dlabel = Compile.find_case sw v in
-      (match sw.Compile.cmd_of with
-      | Some tbl -> (
-        match Hashtbl.find_opt tbl v with
-        | Some id -> ctx := id
-        | None ->
-          if t.en_cond then
-            anomaly Conditional_jump_check (Some n.Compile.bref)
-              (Printf.sprintf "unknown device command %Ld" v)
-          else ctx := cctx_unknown)
-      | None -> ());
-      if t.en_cond && not (Compile.case_observed sw v dlabel) then
-        anomaly Conditional_jump_check (Some n.Compile.bref)
-          (Printf.sprintf "untraversed switch case %Ld" v);
-      clear_if_cmd_end ();
-      goto dest stack
-    | Compile.C_icall ic -> (
-      env.Compile.overflow <- None;
-      let v = ic.Compile.fnptr env in
-      if t.en_indirect && not (ic.Compile.legit v) then
-        anomaly Indirect_jump_check (Some n.Compile.bref)
-          (Printf.sprintf "indirect call to illegitimate target 0x%Lx" v);
-      clear_if_cmd_end ();
-      match Hashtbl.find_opt ic.Compile.actions v with
-      | Some (Compile.A_chain entry) -> goto entry (ic.Compile.next :: stack)
-      | Some Compile.A_plain -> goto ic.Compile.next stack
-      | Some Compile.A_empty -> raise (Compile.Bail "empty chained handler")
-      | None -> raise (Compile.Bail "indirect call to unknown callback"))
-  in
-  let entry =
-    match Hashtbl.find_opt c.Compile.entries handler with
-    | Some d -> d
-    | None ->
-      (* Unknown or empty handler: surface the exact exception the
-         reference's [Es_cfg.entry_of] would raise. *)
-      ignore (Es_cfg.entry_of t.spec handler : Program.bref);
-      raise Not_found
-  in
+  Compile.cursor_start cur ~sync ~en_param:t.en_param
+    ~limit:t.config.walk_limit ~deadline:t.deadline;
+  Compile.bind_params c cur params;
+  cur.Compile.cctx <- t.ctx;
   let res =
-    match goto entry [] with
+    match
+      match Hashtbl.find c.Compile.entries handler with
+      | d -> cgoto t c cur d
+      | exception Not_found ->
+        (* Unknown or empty handler: surface the exact exception the
+           reference's [Es_cfg.entry_of] would raise. *)
+        ignore (Es_cfg.entry_of t.spec handler : Program.bref);
+        raise Not_found
+    with
     | () ->
-      W_ok
-        (if !ctx = cctx_none then Ctx_none
-         else if !ctx = cctx_unknown then Ctx_unknown
-         else Ctx_cmd c.Compile.cmd_keys.(!ctx))
-    | exception Anomaly_found a -> W_anomaly a
-    | exception Compile.Fault f -> W_anomaly (anomaly_of_fault f)
-    | exception Compile.Bail reason -> W_bail reason
-    | exception Compile.Defer -> W_defer
-    | exception Arena.Out_of_arena _ ->
-      W_bail "simulation escaped the control structure"
-    | exception Interp.Eval.Div_by_zero ->
-      W_bail "division by zero in simulation"
-    | exception Interp.Eval.Undefined_local l -> W_bail ("undefined local " ^ l)
-    | exception Interp.Eval.Undefined_param p ->
-      W_bail ("undefined parameter " ^ p)
+      t.w_ctx <- cur.Compile.cctx;
+      res_ok
+    | exception Anomaly_found a ->
+      t.w_anomaly <- Some a;
+      res_anomaly
+    | exception Compile.Fault f ->
+      t.w_anomaly <- Some (anomaly_of_fault f);
+      res_anomaly
+    | exception Compile.Bail _ -> res_bail
+    | exception Compile.Defer -> res_defer
+    | exception Arena.Out_of_arena _ -> res_bail
+    | exception Interp.Eval.Div_by_zero -> res_bail
+    | exception Interp.Eval.Undefined_local _ -> res_bail
+    | exception Interp.Eval.Undefined_param _ -> res_bail
   in
-  t.stats.nodes_walked <- t.stats.nodes_walked + !walked;
+  t.stats.nodes_walked <- t.stats.nodes_walked + cur.Compile.walked;
   res
 
 let set_fault_hook t hook = t.fault_hook <- hook
@@ -888,73 +943,89 @@ let verdict t (a : anomaly) : Vmm.Machine.verdict =
       | Indirect_jump_check | Conditional_jump_check | Internal_error ->
         Vmm.Machine.Warn msg))
 
+let taken_anomaly t =
+  match t.w_anomaly with Some a -> a | None -> assert false
+
 let before t (request : Vmm.Machine.request) : Vmm.Machine.verdict =
   t.stats.interactions <- t.stats.interactions + 1;
   t.pending <- None;
-  t.staged <- None;
+  t.staged <- false;
   t.dirty <- false;
   t.inline_halt <- None;
   t.inline_warn <- None;
-  Hashtbl.reset t.sync_values;
-  match walk t ~sync:false ~handler:request.handler ~params:request.params with
-  | W_ok ctx' ->
+  (* [clear], not [reset]: [reset] reallocates the bucket array on every
+     interaction. *)
+  Hashtbl.clear t.sync_values;
+  let r = walk t ~sync:false ~handler:request.handler ~params:request.params in
+  if r = res_ok then begin
     t.stats.walks_ok <- t.stats.walks_ok + 1;
     Arena.save_spans ~spans:t.spans t.work t.staged_buf;
-    t.staged <- Some ctx';
+    t.staged <- true;
+    t.staged_ctx <- t.w_ctx;
     Vmm.Machine.Allow
-  | W_defer ->
+  end
+  else if r = res_defer then begin
     t.stats.deferred <- t.stats.deferred + 1;
     t.pending <- Some { p_handler = request.handler; p_params = request.params };
     Vmm.Machine.Allow
-  | W_bail _ ->
+  end
+  else if r = res_bail then begin
     t.stats.bails <- t.stats.bails + 1;
     t.dirty <- true;
     Vmm.Machine.Allow
-  | W_anomaly a ->
+  end
+  else begin
+    let a = taken_anomaly t in
     record_anomaly t a;
     t.dirty <- true;
     verdict t a
+  end
 
 let after t (_request : Vmm.Machine.request) (outcome : Interp.Event.outcome) :
     Vmm.Machine.verdict =
   match outcome with
   | Interp.Event.Trapped _ -> (
     resync t;
-    t.staged <- None;
+    t.staged <- false;
     t.pending <- None;
     match t.inline_halt with
     | Some a -> verdict t a
     | None -> Vmm.Machine.Allow)
   | Interp.Event.Done _ -> (
     match t.pending with
-    | Some p -> (
+    | Some p ->
       t.pending <- None;
-      match walk t ~sync:true ~handler:p.p_handler ~params:p.p_params with
-      | W_ok ctx' ->
+      let r = walk t ~sync:true ~handler:p.p_handler ~params:p.p_params in
+      if r = res_ok then begin
         Arena.copy_spans ~spans:t.spans ~src:t.work ~dst:t.shadow;
-        t.ctx <- ctx';
+        t.ctx <- t.w_ctx;
         t.stats.walks_ok <- t.stats.walks_ok + 1;
         Vmm.Machine.Allow
-      | W_anomaly a ->
+      end
+      else if r = res_anomaly then begin
+        let a = taken_anomaly t in
         record_anomaly t { a with pre_execution = false };
         resync t;
         verdict t a
-      | W_bail _ | W_defer ->
+      end
+      else begin
         t.stats.bails <- t.stats.bails + 1;
         resync t;
-        Vmm.Machine.Allow)
-    | None -> (
-      match t.staged with
-      | Some ctx' ->
-        Arena.restore_spans ~spans:t.spans t.shadow t.staged_buf;
-        t.ctx <- ctx';
-        t.staged <- None;
         Vmm.Machine.Allow
-      | None -> (
+      end
+    | None ->
+      if t.staged then begin
+        Arena.restore_spans ~spans:t.spans t.shadow t.staged_buf;
+        t.ctx <- t.staged_ctx;
+        t.staged <- false;
+        Vmm.Machine.Allow
+      end
+      else begin
         if t.dirty then resync t;
         match t.inline_warn with
         | Some a -> verdict t a
-        | None -> Vmm.Machine.Allow)))
+        | None -> Vmm.Machine.Allow
+      end)
 
 (* Inline enforcement of the indirect jump check: consulted by the
    interpreter at the actual call site, with the just-computed target. *)
@@ -986,7 +1057,7 @@ let icall_guard t (bref : Program.bref) target =
 (* --- Containment ------------------------------------------------------ *)
 
 (* No exception may escape the interposer into [Machine] dispatch.  The
-   walk-control set is already folded into [walk_result] by the engines;
+   walk-control set is already folded into result codes by the engines;
    anything else reaching here — an injected fault, a checker defect, a
    corrupted internal structure — is an internal error: record a
    diagnostic anomaly, put the shadow back on a sound footing (the failed
@@ -1006,7 +1077,7 @@ let contain t ~pre exn =
   record_anomaly t a;
   resync t;
   t.pending <- None;
-  t.staged <- None;
+  t.staged <- false;
   t.dirty <- false;
   verdict t a
 
@@ -1043,15 +1114,14 @@ let heal t =
 (* A single pre-execution walk with no verdict bookkeeping and no shadow
    commit: the walk-throughput micro-benchmark's unit of work. *)
 let bench_walk t ~handler ~params =
-  match walk t ~sync:false ~handler ~params with
-  | W_ok _ | W_anomaly _ | W_bail _ | W_defer -> ()
+  ignore (walk t ~sync:false ~handler ~params : int)
 
 let shadow_snapshot t = Arena.snapshot t.shadow
 
-let attach ?config machine ~spec device =
+let attach ?config ?compiled machine ~spec device =
   let interp = Vmm.Machine.interp_of machine device in
   let t =
-    create ?config ~spec
+    create ?config ?compiled ~spec
       ~device_arena:(Interp.arena interp)
       ~guest:(Vmm.Guest_mem.access (Vmm.Machine.ram machine))
       ()

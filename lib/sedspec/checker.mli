@@ -91,16 +91,30 @@ type t
 
 val create :
   ?config:config ->
+  ?compiled:Compile.t ->
   spec:Es_cfg.t ->
   device_arena:Devir.Arena.t ->
   guest:Interp.guest ->
   unit ->
   t
+(** [?compiled] installs an already-lowered immutable arena (it must have
+    been lowered from the {e physically same} [spec] — enforced with
+    [invalid_arg]).  The checker only ever allocates its private
+    {!Compile.cursor} over it, so any number of checkers across any
+    number of domains can share one arena.  Without it, the checker
+    lowers its own private arena lazily on the first compiled walk. *)
 
-val attach : ?config:config -> Vmm.Machine.t -> spec:Es_cfg.t -> string -> t
+val compiled_arena : t -> Compile.t option
+(** The compiled arena this checker walks: the shared arena passed at
+    creation, or the private lazily-lowered one ([None] until the first
+    compiled walk in that case). *)
+
+val attach :
+  ?config:config -> ?compiled:Compile.t -> Vmm.Machine.t -> spec:Es_cfg.t -> string -> t
 (** [attach machine ~spec device] wires a checker in front of the named
     device: installs the machine interposer, initialises the shadow state
-    from the live control structure and plants sync instrumentation. *)
+    from the live control structure and plants sync instrumentation.
+    [?compiled] is passed through to {!create}. *)
 
 val interposer : t -> Vmm.Machine.interposer
 (** The containment-wrapped interposer: no exception escapes; internal

@@ -1,20 +1,5 @@
 open Devir
 
-type env = {
-  mutable work : Arena.t;
-  mutable locals : int64 array;
-  mutable ldef : bool array;
-  mutable llink : bool array;
-  mutable params : int64 array;
-  mutable pdef : bool array;
-  mutable overflow : Interp.Eval.overflow option;
-  mutable record_overflow : Interp.Eval.overflow -> unit;
-  mutable guest_read : int64 -> int;
-  mutable sync : bool;
-  mutable en_param : bool;
-  mutable sync_pop : Program.bref -> string -> int64 option;
-}
-
 type fault =
   | Overflow of {
       at : Program.bref;
@@ -41,8 +26,34 @@ type target =
 
 type dest = { chain : Program.bref array; target : target }
 
+(* All mutable walk state.  The compiled spec itself ([t], below) is
+   immutable after [lower] and physically shared by every VM protecting
+   the same (device, version); each checker owns exactly one cursor. *)
+type cursor = {
+  mutable work : Arena.t;
+  locals : int64 array;
+  ldef : bool array;
+  llink : bool array;
+  params : int64 array;
+  pdef : bool array;
+  mutable overflow : Interp.Eval.overflow option;
+  mutable record_overflow : Interp.Eval.overflow -> unit;
+  mutable guest_read : int64 -> int;
+  mutable sync : bool;
+  mutable en_param : bool;
+  mutable sync_pop : Program.bref -> string -> int64 option;
+  (* Per-walk driver bookkeeping (owned by the checker's walk loop). *)
+  mutable steps : int;
+  mutable walked : int;
+  mutable cctx : int;
+  mutable depth : int;
+  mutable stack : dest array;
+  mutable limit : int;
+  mutable deadline : int;
+}
+
 type switch = {
-  scrutinee : env -> int64;
+  scrutinee : cursor -> int64;
   case_vals : int64 array;
   case_dests : dest array;
   case_labels : string array;
@@ -55,7 +66,7 @@ type switch = {
 type icall_action = A_chain of dest | A_plain | A_empty
 
 type icall = {
-  fnptr : env -> int64;
+  fnptr : cursor -> int64;
   legit : int64 -> bool;
   actions : (int64, icall_action) Hashtbl.t;
   next : dest;
@@ -65,7 +76,7 @@ type cterm =
   | C_goto of dest
   | C_halt
   | C_branch of {
-      cond : env -> int64;
+      cond : cursor -> int64;
       taken0 : bool;
       not_taken0 : bool;
       if_taken : dest;
@@ -78,15 +89,18 @@ type cnode = {
   id : int;
   bref : Program.bref;
   is_cmd_end : bool;
-  stmts : (env -> unit) array;
+  stmts : (cursor -> unit) array;
   term : cterm;
 }
 
 type t = {
+  spec : Es_cfg.t;
+  layout : Layout.t;
   nodes : cnode array;
-  env : env;
   entries : (string, dest) Hashtbl.t;
   param_slots : (string, int) Hashtbl.t;
+  n_locals : int;
+  n_params : int;
   no_cmd_bits : Bytes.t;
   cmd_bits : Bytes.t array;
   cmd_keys : Es_cfg.cmd_key array;
@@ -100,7 +114,10 @@ let set_bit b i =
   Bytes.set b (i lsr 3)
     (Char.chr (Char.code (Bytes.get b (i lsr 3)) lor (1 lsl (i land 7))))
 
-let find_case sw v =
+(* Binary search over the static cases; [-1] means "take the default".
+   Returning an index (not a tuple) keeps the hot switch dispatch
+   allocation-free. *)
+let find_case_idx sw v =
   let vals = sw.case_vals in
   let lo = ref 0 and hi = ref (Array.length vals - 1) in
   let found = ref (-1) in
@@ -114,13 +131,19 @@ let find_case sw v =
     else if c < 0 then lo := mid + 1
     else hi := mid - 1
   done;
-  if !found >= 0 then (sw.case_dests.(!found), sw.case_labels.(!found))
-  else (sw.default, sw.default_label)
+  !found
+
+let find_case sw v =
+  match find_case_idx sw v with
+  | -1 -> (sw.default, sw.default_label)
+  | i -> (sw.case_dests.(i), sw.case_labels.(i))
 
 let case_observed sw v label =
-  match Hashtbl.find_opt sw.observed v with
-  | Some labels -> List.mem label labels
-  | None -> false
+  (* [Hashtbl.find] + [Not_found] instead of [find_opt]: no [Some] box on
+     the per-switch hot path. *)
+  match Hashtbl.find sw.observed v with
+  | labels -> List.mem label labels
+  | exception Not_found -> false
 
 (* Name -> dense slot allocation, shared across the whole spec: locals
    persist across chained handlers within one walk and are keyed purely by
@@ -155,7 +178,7 @@ type cctx = {
    OCaml evaluates [binop ~record op w (eval a) (eval b)] right-to-left,
    so [b] runs first — overflow recording and exception ordering depend
    on it. *)
-let rec compile_expr c (e : Expr.t) : env -> int64 =
+let rec compile_expr c (e : Expr.t) : cursor -> int64 =
   match e with
   | Expr.Const (v, w) ->
     let k = Width.truncate w v in
@@ -212,7 +235,7 @@ let rec compile_expr c (e : Expr.t) : env -> int64 =
 (* Linkage (taint toward device/request state), constant-folded: only
    [Local] leaves are dynamic, everything else is statically linked or
    statically not. *)
-type lnk = Lconst of bool | Ldyn of (env -> bool)
+type lnk = Lconst of bool | Ldyn of (cursor -> bool)
 
 let lnk_or a b =
   match (a, b) with
@@ -236,7 +259,7 @@ let rec compile_linked c (e : Expr.t) : lnk =
 
 (* Bounds guard over a buffer operation whose extent is linked: a no-op
    closure when linkage is statically false. *)
-let compile_buf_check ~at ~buf ~bsize l : env -> int -> int -> unit =
+let compile_buf_check ~at ~buf ~bsize l : cursor -> int -> int -> unit =
   match l with
   | Lconst false -> fun _ _ _ -> ()
   | Lconst true ->
@@ -248,7 +271,7 @@ let compile_buf_check ~at ~buf ~bsize l : env -> int -> int -> unit =
       if env.en_param && fl env && (off < 0 || off + len > bsize) then
         raise (Fault (Buf_bounds { at; buf; off; len; size = bsize }))
 
-let compile_stmt c ~(at : Program.bref) (stmt : Stmt.t) : env -> unit =
+let compile_stmt c ~(at : Program.bref) (stmt : Stmt.t) : cursor -> unit =
   let asize = c.asize in
   match stmt with
   | Stmt.Set_field (f, e) -> (
@@ -656,32 +679,86 @@ let lower spec : t =
         (Layout.offset layout f, Layout.field_size (Layout.find layout f)))
       selection.Selection.fn_ptrs
   in
-  let env =
-    {
-      work = Arena.create layout;
-      locals = Array.make (max c.locals.next 1) 0L;
-      ldef = Array.make (max c.locals.next 1) false;
-      llink = Array.make (max c.locals.next 1) false;
-      params = Array.make (max c.cparams.next 1) 0L;
-      pdef = Array.make (max c.cparams.next 1) false;
-      overflow = None;
-      record_overflow = ignore;
-      guest_read = (fun _ -> 0);
-      sync = false;
-      en_param = true;
-      sync_pop = (fun _ _ -> None);
-    }
-  in
-  env.record_overflow <-
-    (fun o -> if env.overflow = None then env.overflow <- Some o);
   {
+    spec;
+    layout;
     nodes;
-    env;
     entries;
     param_slots = c.cparams.tbl;
+    n_locals = c.locals.next;
+    n_params = c.cparams.next;
     no_cmd_bits;
     cmd_bits;
     cmd_keys;
     cmd_ids;
     fn_ptr_spans;
   }
+
+(* --- Cursors ---------------------------------------------------------- *)
+
+let dummy_dest = { chain = [||]; target = T_pop }
+
+let make_cursor ?work (t : t) =
+  let cur =
+    {
+      work = (match work with Some w -> w | None -> Arena.create t.layout);
+      locals = Array.make (max t.n_locals 1) 0L;
+      ldef = Array.make (max t.n_locals 1) false;
+      llink = Array.make (max t.n_locals 1) false;
+      params = Array.make (max t.n_params 1) 0L;
+      pdef = Array.make (max t.n_params 1) false;
+      overflow = None;
+      record_overflow = ignore;
+      guest_read = (fun _ -> 0);
+      sync = false;
+      en_param = true;
+      sync_pop = (fun _ _ -> None);
+      steps = 0;
+      walked = 0;
+      cctx = -1;
+      depth = 0;
+      stack = Array.make 8 dummy_dest;
+      limit = max_int;
+      deadline = max_int;
+    }
+  in
+  cur.record_overflow <-
+    (fun o -> if cur.overflow = None then cur.overflow <- Some o);
+  cur
+
+(* Reset the per-walk portions of a cursor.  Everything here is a field
+   write or an [Array.fill] over preallocated storage: no allocation. *)
+let cursor_start cur ~sync ~en_param ~limit ~deadline =
+  Array.fill cur.ldef 0 (Array.length cur.ldef) false;
+  Array.fill cur.llink 0 (Array.length cur.llink) false;
+  Array.fill cur.pdef 0 (Array.length cur.pdef) false;
+  cur.overflow <- None;
+  cur.sync <- sync;
+  cur.en_param <- en_param;
+  cur.steps <- 0;
+  cur.walked <- 0;
+  cur.depth <- 0;
+  cur.limit <- limit;
+  cur.deadline <- deadline
+
+let push_dest cur d =
+  let n = Array.length cur.stack in
+  if cur.depth = n then begin
+    let grown = Array.make (2 * n) dummy_dest in
+    Array.blit cur.stack 0 grown 0 n;
+    cur.stack <- grown
+  end;
+  cur.stack.(cur.depth) <- d;
+  cur.depth <- cur.depth + 1
+
+let rec bind_params (t : t) cur = function
+  | [] -> ()
+  | (name, v) :: rest ->
+    (match Hashtbl.find t.param_slots name with
+    | s ->
+      if not cur.pdef.(s) then begin
+        cur.params.(s) <- v;
+        cur.pdef.(s) <- true
+      end
+    | exception Not_found -> ());
+    bind_params t cur rest

@@ -15,12 +15,19 @@
       via [lift_dsod]) are pre-resolved, including goto cycles among
       non-node blocks ({!T_spin}) so walk-limit accounting stays exact.
     - DSOD statements and terminator expressions become OCaml closures
-      over an {!env} of pre-resolved arena byte offsets, widths and
+      over a {!cursor} of pre-resolved arena byte offsets, widths and
       local/parameter array slots.
     - Switch cases become sorted arrays (binary search replaces
       [List.assoc]), observed-transition sets and indirect-call target
       sets become int64 hashtables, and per-command access sets become
       [Bytes]-backed bitsets indexed by block id.
+
+    The result {!t} is {b immutable after [lower]}: it holds no mutable
+    walk state whatsoever, so one value can be physically shared by every
+    VM protecting the same (device, version) — across Runner domains
+    too, since the OCaml 5 major heap is shared.  All mutable walk state
+    lives in a per-VM {!cursor} ({!make_cursor}); compiled closures
+    receive the cursor as an argument.
 
     Lowering never changes verdicts: the compiled walk must be
     bit-for-bit equivalent to the reference walk — same anomalies at the
@@ -28,27 +35,6 @@
     shadow-arena bytes (see the differential test). *)
 
 open Devir
-
-(** Mutable per-walk evaluation state shared by all compiled closures.
-    The closures receive it as an argument, so one compiled spec can in
-    principle drive several environments; the checker uses one. *)
-type env = {
-  mutable work : Arena.t;  (** Scratch shadow the walk mutates. *)
-  mutable locals : int64 array;
-  mutable ldef : bool array;  (** Local slot is defined this walk. *)
-  mutable llink : bool array;
-      (** Local slot is linked to device/request state (the parameter
-          check's taint bit). *)
-  mutable params : int64 array;
-  mutable pdef : bool array;
-  mutable overflow : Interp.Eval.overflow option;
-      (** First overflow recorded since the last top-level reset. *)
-  mutable record_overflow : Interp.Eval.overflow -> unit;
-  mutable guest_read : int64 -> int;
-  mutable sync : bool;  (** Sync values available (post-run walk). *)
-  mutable en_param : bool;  (** Parameter check enabled. *)
-  mutable sync_pop : Program.bref -> string -> int64 option;
-}
 
 type fault =
   | Overflow of {
@@ -69,7 +55,7 @@ exception Fault of fault
     checker translates these into its anomaly representation. *)
 
 exception Defer
-(** A sync point was reached with [env.sync = false]. *)
+(** A sync point was reached with [cursor.sync = false]. *)
 
 exception Bail of string
 (** Walk cannot continue (missing sync value, unknown callback, ...). *)
@@ -94,8 +80,40 @@ type dest = {
   target : target;
 }
 
+(** All mutable walk state: per-VM, single-owner, allocated once by
+    {!make_cursor}.  The compiled spec {!t} never refers to a cursor;
+    closures receive it as an argument, so any number of cursors can
+    walk one shared spec concurrently (from different domains) without
+    interference. *)
+type cursor = {
+  mutable work : Arena.t;  (** Scratch shadow the walk mutates. *)
+  locals : int64 array;
+  ldef : bool array;  (** Local slot is defined this walk. *)
+  llink : bool array;
+      (** Local slot is linked to device/request state (the parameter
+          check's taint bit). *)
+  params : int64 array;
+  pdef : bool array;
+  mutable overflow : Interp.Eval.overflow option;
+      (** First overflow recorded since the last top-level reset. *)
+  mutable record_overflow : Interp.Eval.overflow -> unit;
+  mutable guest_read : int64 -> int;
+  mutable sync : bool;  (** Sync values available (post-run walk). *)
+  mutable en_param : bool;  (** Parameter check enabled. *)
+  mutable sync_pop : Program.bref -> string -> int64 option;
+  mutable steps : int;  (** Walk steps charged so far. *)
+  mutable walked : int;  (** Nodes visited this walk. *)
+  mutable cctx : int;
+      (** Current command context: [-1] none, [-2] unknown, else a dense
+          command id (index into {!t.cmd_bits}). *)
+  mutable depth : int;  (** Live entries in [stack]. *)
+  mutable stack : dest array;  (** Continuations for chained handlers. *)
+  mutable limit : int;  (** Walk step limit for this walk. *)
+  mutable deadline : int;  (** Walk deadline budget for this walk. *)
+}
+
 type switch = {
-  scrutinee : env -> int64;
+  scrutinee : cursor -> int64;
   case_vals : int64 array;  (** Static case values, sorted, deduped. *)
   case_dests : dest array;  (** Parallel to [case_vals]. *)
   case_labels : string array;  (** Parallel to [case_vals]. *)
@@ -113,7 +131,7 @@ type icall_action =
   | A_empty  (** Chained handler with no blocks (bail). *)
 
 type icall = {
-  fnptr : env -> int64;
+  fnptr : cursor -> int64;
   legit : int64 -> bool;  (** Observed-target membership. *)
   actions : (int64, icall_action) Hashtbl.t;
   next : dest;
@@ -123,7 +141,7 @@ type cterm =
   | C_goto of dest
   | C_halt
   | C_branch of {
-      cond : env -> int64;
+      cond : cursor -> int64;
       taken0 : bool;  (** Taken direction never observed in training. *)
       not_taken0 : bool;
       if_taken : dest;
@@ -136,17 +154,23 @@ type cnode = {
   id : int;
   bref : Program.bref;
   is_cmd_end : bool;
-  stmts : (env -> unit) array;  (** Compiled DSOD, in order. *)
+  stmts : (cursor -> unit) array;  (** Compiled DSOD, in order. *)
   term : cterm;
 }
 
+(** The immutable shared arena: everything here is read-only after
+    {!lower} returns. *)
 type t = {
+  spec : Es_cfg.t;  (** The frozen spec this was lowered from. *)
+  layout : Layout.t;
   nodes : cnode array;  (** Indexed by dense id. *)
-  env : env;
   entries : (string, dest) Hashtbl.t;  (** Handler name -> entry edge. *)
   param_slots : (string, int) Hashtbl.t;
-      (** Request parameter name -> slot in [env.params]; global across
-          handlers because chained handlers share the caller's request. *)
+      (** Request parameter name -> slot in [cursor.params]; global
+          across handlers because chained handlers share the caller's
+          request. *)
+  n_locals : int;  (** Local slots a cursor must provide. *)
+  n_params : int;  (** Parameter slots a cursor must provide. *)
   no_cmd_bits : Bytes.t;  (** Bitset over node ids: no-command access. *)
   cmd_bits : Bytes.t array;  (** Per-command-id bitsets over node ids. *)
   cmd_keys : Es_cfg.cmd_key array;  (** Command id -> key. *)
@@ -157,12 +181,36 @@ type t = {
 }
 
 val lower : Es_cfg.t -> t
-(** Lower a frozen spec.  The resulting environment's [work],
-    [guest_read] and [sync_pop] fields are placeholders the caller must
-    set before walking. *)
+(** Lower a frozen spec into an immutable, shareable compiled form. *)
+
+val dummy_dest : dest
+(** Placeholder dest used to fill cursor stack slots. *)
+
+val make_cursor : ?work:Arena.t -> t -> cursor
+(** Allocate the per-VM mutable walk state for [t].  [work] defaults to
+    a fresh arena for [t]'s layout; pass the checker's scratch shadow to
+    share it.  [guest_read] and [sync_pop] are placeholders the caller
+    must set before walking. *)
+
+val cursor_start :
+  cursor -> sync:bool -> en_param:bool -> limit:int -> deadline:int -> unit
+(** Reset per-walk cursor state in place (no allocation). *)
+
+val push_dest : cursor -> dest -> unit
+(** Push a continuation on the cursor's chained-handler stack (amortised
+    allocation-free: the stack array doubles on overflow and is reused
+    across walks). *)
+
+val bind_params : t -> cursor -> (string * int64) list -> unit
+(** Bind request parameters into cursor slots; first binding per name
+    wins, names without a slot are ignored (never referenced by any
+    handler). *)
 
 val bit : Bytes.t -> int -> bool
 (** Bitset probe ([i]th bit, little-endian within bytes). *)
+
+val find_case_idx : switch -> int64 -> int
+(** Binary search over the static cases; [-1] means the default. *)
 
 val find_case : switch -> int64 -> dest * string
 (** Binary search over the static cases; falls back to the default. *)

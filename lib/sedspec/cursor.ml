@@ -1,0 +1,3 @@
+type t = Compile.cursor
+
+let create = Compile.make_cursor

@@ -1,0 +1,14 @@
+(** Per-VM mutable walk state over a shared immutable {!Compile.t}.
+
+    The arena/cursor split is the fleet's scaling mechanism: one compiled
+    spec per (device, version) — built once, physically shared by every
+    VM and every Runner domain — and one small cursor per VM holding
+    everything a walk mutates (current position, step counter, local and
+    parameter slots, continuation stack, deadline budget).  This module
+    just names that concept; the representation lives in {!Compile} and
+    the walk driver in {!Checker}. *)
+
+type t = Compile.cursor
+
+val create : ?work:Devir.Arena.t -> Compile.t -> t
+(** Allocate a cursor for an arena (see {!Compile.make_cursor}). *)

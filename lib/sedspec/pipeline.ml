@@ -17,6 +17,7 @@ type built = {
   logs : Ds_log.t;
   datadep : Datadep.report;
   reduced : int;
+  arena : Compile.t;
 }
 
 let reset_device machine ~device =
@@ -73,7 +74,12 @@ let construct ?(reduce = true) machine ~device p1 trainer =
   Es_cfg.add_logs spec logs;
   let reduced = if reduce then Es_cfg.reduce spec else 0 in
   let datadep = Datadep.analyze spec in
-  { spec; p1; logs; datadep; reduced }
+  (* Lower eagerly, exactly once, while [built] is still private to the
+     constructing thread: every checker attached from this [built] shares
+     this one immutable arena (the fleet cache hands the same [built] to
+     every VM of a (device, version), across Runner domains). *)
+  let arena = Compile.lower spec in
+  { spec; p1; logs; datadep; reduced; arena }
 
 let build ?reduce machine ~device trainer =
   let p1 = collect machine ~device trainer in
@@ -81,7 +87,7 @@ let build ?reduce machine ~device trainer =
 
 let protect ?config machine ~device built =
   reset_device machine ~device;
-  Checker.attach ?config machine ~spec:built.spec device
+  Checker.attach ?config ~compiled:built.arena machine ~spec:built.spec device
 
 let pp_built ppf b =
   Format.fprintf ppf "@[<v>%a@,%a@,trace volume: %d bytes, %d logs, %d interactions@]"

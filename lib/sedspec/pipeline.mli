@@ -34,6 +34,9 @@ type built = {
   logs : Ds_log.t;
   datadep : Datadep.report;
   reduced : int;  (** Nodes removed by control-flow reduction. *)
+  arena : Compile.t;
+      (** The spec lowered once at construction: immutable, physically
+          shared by every checker {!protect} attaches from this value. *)
 }
 
 val collect : Vmm.Machine.t -> device:string -> trainer -> phase1

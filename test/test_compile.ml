@@ -144,6 +144,40 @@ let test_bench_walk_counts_nodes () =
   let after = (C.stats checker).C.nodes_walked in
   Alcotest.(check bool) "walked at least one node" true (after > before)
 
+(* Allocation-regression guard for the compiled steady-state walk.  The
+   arena/cursor split makes the walk driver itself allocation-free; what
+   remains per walk is a fixed overhead (Int64 boxing inside compiled
+   expression closures — flambda would erase it — plus walk setup).
+   That residue is ~45 words on the reference toolchain; the budget sits
+   ~4x above it so GC accounting noise can never trip the test, while a
+   reintroduced per-node allocation (a boxed option from a hashtable
+   probe, a closure built mid-walk, a fresh tuple per node — each worth
+   hundreds of words over a ~100-node walk) blows straight through. *)
+let walk_word_budget = 200.0
+
+let test_walk_allocation_budget () =
+  let w = Workload.Samples.find "fdc" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let m, checker = Metrics.Spec_cache.fresh_protected_machine w W.paper_version in
+  ignore (m : Vmm.Machine.t);
+  let params = [ ("addr", 0x3F4L); ("offset", 4L); ("size", 1L); ("data", 0L) ] in
+  let walk () = C.bench_walk checker ~handler:"read" ~params in
+  (* Warm: lazy lowering, cursor growth, hashtable resizes. *)
+  for _ = 1 to 32 do
+    walk ()
+  done;
+  let rounds = 1000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to rounds do
+    walk ()
+  done;
+  let per_walk = (Gc.minor_words () -. w0) /. float_of_int rounds in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.1f minor words/walk within budget %.0f" per_walk
+       walk_word_budget)
+    true
+    (per_walk < walk_word_budget)
+
 let () =
   Alcotest.run "compile"
     [
@@ -162,5 +196,7 @@ let () =
         [
           Alcotest.test_case "shape" `Quick test_lowering_shape;
           Alcotest.test_case "bench_walk" `Quick test_bench_walk_counts_nodes;
+          Alcotest.test_case "steady-state walk allocation budget" `Quick
+            test_walk_allocation_budget;
         ] );
     ]

@@ -1,0 +1,173 @@
+(* Cursor isolation over a shared immutable arena: the tentpole's
+   correctness contract.  Any number of checkers (cursors) may walk one
+   compiled arena from any mix of domains; each cursor's observable
+   behaviour — anomalies, statistics, shadow bytes — must be exactly
+   what it would be running alone, and lifecycle operations on one
+   cursor (reset, heal) must never perturb a sibling. *)
+
+module Checker = Sedspec.Checker
+module W = Workload.Samples
+module Runner = Sedspec_util.Runner
+
+let () = Metrics.Spec_cache.training_cases := 12
+
+(* One shared context per device: the cached arena plus a benign request
+   stream recorded off an unprotected machine (fdc replays are
+   state-faithful without a live device, so the stream stays
+   anomaly-free — same property the fleet scale harness relies on). *)
+type ctx = {
+  x_arena : Sedspec.Compile.t;
+  x_spec : Sedspec.Es_cfg.t;
+  x_device_arena : Devir.Arena.t;
+  x_guest : Interp.guest;
+  x_reqs : Vmm.Machine.request array;
+}
+
+let make_ctx device =
+  let w = W.find device in
+  let module D = (val w : W.DEVICE_WORKLOAD) in
+  let b = Metrics.Spec_cache.built w D.paper_version in
+  let m = D.make_machine D.paper_version in
+  let reqs = ref [] in
+  Vmm.Machine.set_interposer m D.device_name
+    {
+      before =
+        (fun r ->
+          reqs := r :: !reqs;
+          Vmm.Machine.Allow);
+      after = (fun _ _ -> Vmm.Machine.Allow);
+    };
+  let rng = Sedspec_util.Prng.create 13L in
+  for _ = 1 to 2 do
+    D.soak_case ~mode:W.Sequential ~rng ~rare_prob:0.0 ~ops:8 m
+  done;
+  let interp = Vmm.Machine.interp_of m D.device_name in
+  Devir.Arena.reset (Interp.arena interp);
+  {
+    x_arena = b.Sedspec.Pipeline.arena;
+    x_spec = b.Sedspec.Pipeline.spec;
+    x_device_arena = Interp.arena interp;
+    x_guest = Vmm.Guest_mem.access (Vmm.Machine.ram m);
+    x_reqs = Array.of_list (List.rev !reqs);
+  }
+
+let fdc_ctx = lazy (make_ctx "fdc")
+
+type cell = { c_checker : Checker.t; c_ip : Vmm.Machine.interposer }
+
+let make_cell ctx =
+  let checker =
+    Checker.create ~compiled:ctx.x_arena ~spec:ctx.x_spec
+      ~device_arena:ctx.x_device_arena ~guest:ctx.x_guest ()
+  in
+  { c_checker = checker; c_ip = Checker.interposer checker }
+
+let done_outcome = Interp.Event.Done { response = None }
+
+let replay_range ctx cell lo hi =
+  for i = lo to hi - 1 do
+    let r = ctx.x_reqs.(i) in
+    ignore (cell.c_ip.Vmm.Machine.before r : Vmm.Machine.verdict);
+    ignore (cell.c_ip.Vmm.Machine.after r done_outcome : Vmm.Machine.verdict)
+  done
+
+let replay ctx cell = replay_range ctx cell 0 (Array.length ctx.x_reqs)
+
+(* The full observable state of a cursor, as one comparable string:
+   every anomaly, every statistic, and the raw shadow bytes. *)
+let transcript cell =
+  let c = cell.c_checker in
+  let anoms =
+    List.map (Format.asprintf "%a" Checker.pp_anomaly) (Checker.anomalies c)
+  in
+  let s = Checker.stats c in
+  Printf.sprintf "anoms=[%s] ia=%d ok=%d bail=%d defer=%d nodes=%d shadow=%s"
+    (String.concat ";" anoms)
+    s.Checker.interactions s.Checker.walks_ok s.Checker.bails
+    s.Checker.deferred s.Checker.nodes_walked
+    (let b = Checker.shadow_snapshot c in
+     let out = Buffer.create (2 * Bytes.length b) in
+     Bytes.iter (fun ch -> Buffer.add_string out (Printf.sprintf "%02x" (Char.code ch))) b;
+     Buffer.contents out)
+
+let test_concurrent_equals_sequential () =
+  (* 8 cursors on one arena, 3 replay passes each.  Reference: each cell
+     driven alone, serially.  Probe: the same population partitioned
+     across 4 Runner domains, all walking the one arena concurrently.
+     Every cell's transcript must be bit-identical to its reference. *)
+  let ctx = Lazy.force fdc_ctx in
+  let n = 8 and passes = 3 in
+  Alcotest.(check bool) "stream is non-trivial" true
+    (Array.length ctx.x_reqs > 50);
+  let drive cells (lo, hi) =
+    for i = lo to hi - 1 do
+      for _ = 1 to passes do
+        replay ctx cells.(i)
+      done
+    done
+  in
+  let seq_cells = Array.init n (fun _ -> make_cell ctx) in
+  drive seq_cells (0, n);
+  let reference = Array.map transcript seq_cells in
+  let con_cells = Array.init n (fun _ -> make_cell ctx) in
+  Array.iter
+    (fun c ->
+      match Checker.compiled_arena c.c_checker with
+      | Some a -> Alcotest.(check bool) "cell shares the arena" true (a == ctx.x_arena)
+      | None -> Alcotest.fail "cell has no arena")
+    con_cells;
+  ignore
+    (Runner.map ~jobs:4
+       (fun chunk -> drive con_cells chunk)
+       [ (0, 2); (2, 4); (4, 6); (6, 8) ]
+      : unit list);
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check string)
+        (Printf.sprintf "cell %d bit-identical to sequential" i)
+        reference.(i) (transcript c))
+    con_cells;
+  (* The benign stream really is benign: no cursor saw an anomaly. *)
+  Array.iter
+    (fun c ->
+      Alcotest.(check int) "no anomalies" 0
+        (List.length (Checker.anomalies c.c_checker)))
+    con_cells
+
+let test_reset_heal_never_perturbs_siblings () =
+  (* Two cursors replay the stream in interleaved halves; midway, one is
+     reset and healed.  The sibling must finish with exactly the
+     transcript of an undisturbed lone run, and the reset cursor must
+     replay the full stream back to that same reference. *)
+  let ctx = Lazy.force fdc_ctx in
+  let len = Array.length ctx.x_reqs in
+  let half = len / 2 in
+  let lone = make_cell ctx in
+  replay ctx lone;
+  let reference = transcript lone in
+  let c1 = make_cell ctx and c2 = make_cell ctx in
+  replay_range ctx c1 0 half;
+  replay_range ctx c2 0 half;
+  Checker.reset c1.c_checker;
+  (match Checker.heal c1.c_checker with
+  | Checker.Heal_clean -> ()
+  | Checker.Heal_resynced _ | Checker.Heal_exhausted _ ->
+    Alcotest.fail "freshly reset cursor must heal clean");
+  replay_range ctx c2 half len;
+  Alcotest.(check string) "sibling transcript undisturbed by reset/heal"
+    reference (transcript c2);
+  replay ctx c1;
+  Alcotest.(check string) "reset cursor replays to the reference" reference
+    (transcript c1)
+
+let () =
+  Alcotest.run "cursor"
+    [
+      ( "isolation",
+        [
+          Alcotest.test_case "4 domains x 8 cursors == sequential" `Slow
+            test_concurrent_equals_sequential;
+          Alcotest.test_case "reset/heal isolated to its cursor" `Slow
+            test_reset_heal_never_perturbs_siblings;
+        ] );
+    ]

@@ -257,6 +257,64 @@ let test_vm_spec_retry_and_fallback () =
   Alcotest.(check int) "first attempt" 1 r2.Vm.r_build_attempts;
   Alcotest.(check bool) "no fallback" false r2.Vm.r_build_fallback
 
+(* --- Shared immutable spec arenas ----------------------------------------- *)
+
+let test_arena_shared_across_vms_and_domains () =
+  (* Every cache-acquired VM of a (device, version) must walk the same
+     physical compiled arena — that is the tentpole sharing invariant:
+     N VMs cost one arena plus N cursors, never N arenas. *)
+  let opts = Vm.default_options ~device:"fdc" in
+  let vm1 = Vm.create ~index:0 ~seed:5L opts in
+  let vm2 = Vm.create ~index:1 ~seed:6L opts in
+  let arena_of vm =
+    match Vm.arena vm with
+    | Some a -> a
+    | None -> Alcotest.fail "trained VM has no compiled arena"
+  in
+  let a1 = arena_of vm1 in
+  Alcotest.(check bool) "two VMs, one arena" true (a1 == arena_of vm2);
+  Vm.tick vm1;
+  (match (Vm.report vm1).Vm.r_arena with
+  | Some a -> Alcotest.(check bool) "report carries the arena" true (a == a1)
+  | None -> Alcotest.fail "report must flag the shared arena");
+  (* The same holds across Runner domains: arenas live on the shared
+     major heap, so [==] is meaningful between domains, and the
+     single-flight cache must hand every domain the same one. *)
+  let arenas =
+    Sedspec_util.Runner.map ~jobs:4
+      (fun i -> arena_of (Vm.create ~index:i ~seed:(Int64.of_int (100 + i)) opts))
+      [ 2; 3; 4; 5 ]
+  in
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "domain-created VM shares the arena" true (a == a1))
+    arenas
+
+let test_spec_cache_failed_build_keeps_healthy_arena () =
+  (* A failed build may only evict its own cache marker: the healthy
+     arena of a sibling key must survive physically intact, and the
+     failed key must rebuild cleanly once the fault clears. *)
+  let w = Workload.Samples.find "fdc" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let healthy =
+    (Metrics.Spec_cache.built w W.paper_version).Sedspec.Pipeline.arena
+  in
+  Metrics.Spec_cache.set_build_fault
+    (Some (fun _ -> failwith "injected build fault"));
+  (match Metrics.Spec_cache.built w Devices.Qemu_version.latest with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "faulted build must raise");
+  Metrics.Spec_cache.set_build_fault None;
+  let again =
+    (Metrics.Spec_cache.built w W.paper_version).Sedspec.Pipeline.arena
+  in
+  Alcotest.(check bool) "healthy arena survives the failed sibling" true
+    (again == healthy);
+  let b1 = Metrics.Spec_cache.built w Devices.Qemu_version.latest in
+  let b2 = Metrics.Spec_cache.built w Devices.Qemu_version.latest in
+  Alcotest.(check bool) "faulted key rebuilds once, then caches" true
+    (b1.Sedspec.Pipeline.arena == b2.Sedspec.Pipeline.arena)
+
 (* --- Fleet determinism and isolation -------------------------------------- *)
 
 let small_fleet jobs =
@@ -329,6 +387,13 @@ let () =
         [
           Alcotest.test_case "spec retry with fallback" `Slow
             test_vm_spec_retry_and_fallback;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "one arena across VMs and domains" `Slow
+            test_arena_shared_across_vms_and_domains;
+          Alcotest.test_case "failed build never evicts a healthy arena" `Slow
+            test_spec_cache_failed_build_keeps_healthy_arena;
         ] );
       ( "fleet",
         [
