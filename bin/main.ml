@@ -52,14 +52,28 @@ let inspect_cmd =
     let doc = "Write a Graphviz rendering of the ES-CFG to $(docv)." in
     Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
   in
-  let run device cases save dot =
+  let minimize_arg =
+    let doc = "Also minimize the specification (dependence-driven check \
+               pruning and chain merging) and print the before/after \
+               comparison; saved/rendered outputs then describe the \
+               minimized spec." in
+    Arg.(value & flag & info [ "minimize" ] ~doc)
+  in
+  let run device cases save dot minimize =
     setup_training cases;
     let w = find_device device in
     let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
-    let built = Metrics.Spec_cache.built (module W) W.paper_version in
+    let built =
+      if minimize then Metrics.Spec_cache.built_minimized (module W) W.paper_version
+      else Metrics.Spec_cache.built (module W) W.paper_version
+    in
     Format.printf "device %s at QEMU v%s@." W.device_name
       (Devices.Qemu_version.to_string W.paper_version);
     Format.printf "@.%a@." Sedspec.Pipeline.pp_built built;
+    (if minimize then
+       let trained = Metrics.Spec_cache.built (module W) W.paper_version in
+       Format.printf "@.trained spec (before minimization):@.%a@."
+         Sedspec.Es_cfg.pp_stats trained.Sedspec.Pipeline.spec);
     Format.printf "@.device state parameter selection:@.%a@." Sedspec.Selection.pp
       (Sedspec.Es_cfg.selection built.spec);
     Format.printf "content-tracked buffers: %s@."
@@ -87,7 +101,8 @@ let inspect_cmd =
   Cmd.v
     (Cmd.info "inspect"
        ~doc:"Train and print a device's execution specification")
-    Term.(const run $ device_arg $ training_cases_arg $ save_arg $ dot_arg)
+    Term.(const run $ device_arg $ training_cases_arg $ save_arg $ dot_arg
+          $ minimize_arg)
 
 (* --- attack ------------------------------------------------------------- *)
 
@@ -230,6 +245,19 @@ let fuzz_cmd =
                report per-input verdicts instead of fuzzing." in
     Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
   in
+  let oracle_arg =
+    let doc = "Differential oracle: $(b,default) (compiled vs interpreted), \
+               $(b,minimized) (minimized vs trained spec, same engine) or \
+               $(b,all)." in
+    Arg.(value
+         & opt (enum [ ("default", `Default); ("minimized", `Minimized); ("all", `All) ]) `Default
+         & info [ "oracle" ] ~docv:"ORACLE" ~doc)
+  in
+  let oracle_profiles = function
+    | `Default -> Fuzz.Exec.default_profiles
+    | `Minimized -> Fuzz.Exec.minimized_profiles
+    | `All -> Fuzz.Exec.all_profiles
+  in
   let load_corpus file =
     match Fuzz.Input.load_corpus file with
     | Ok inputs -> inputs
@@ -237,12 +265,12 @@ let fuzz_cmd =
       Printf.eprintf "cannot load corpus %s: %s\n" file msg;
       exit 2
   in
-  let replay_file file =
+  let replay_file ~profiles file =
     let inputs = load_corpus file in
     let failed = ref 0 in
     List.iteri
       (fun i (input : Fuzz.Input.t) ->
-        let o = Fuzz.Exec.evaluate input in
+        let o = Fuzz.Exec.evaluate ~profiles input in
         let verdict =
           match (o.Fuzz.Exec.divergences, o.Fuzz.Exec.crashed) with
           | [], None -> "ok"
@@ -263,8 +291,8 @@ let fuzz_cmd =
       inputs;
     if !failed > 0 then exit 1
   in
-  let fuzz_devices device budget seed jobs batch max_steps json corpus_out
-      corpus_in =
+  let fuzz_devices ~profiles device budget seed jobs batch max_steps json
+      corpus_out corpus_in =
     let devices =
       if device = "all" then
         List.map
@@ -291,6 +319,7 @@ let fuzz_cmd =
               jobs;
               batch;
               max_steps;
+              profiles;
               extra_seeds =
                 List.filter
                   (fun (i : Fuzz.Input.t) -> i.device = dev)
@@ -344,20 +373,21 @@ let fuzz_cmd =
     then exit 1
   in
   let run device budget seed jobs batch max_steps json corpus_out corpus_in
-      replay cases =
+      replay oracle cases =
     setup_training cases;
+    let profiles = oracle_profiles oracle in
     match replay with
-    | Some file -> replay_file file
+    | Some file -> replay_file ~profiles file
     | None ->
-      fuzz_devices device budget seed jobs batch max_steps json corpus_out
-        corpus_in
+      fuzz_devices ~profiles device budget seed jobs batch max_steps json
+        corpus_out corpus_in
   in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Coverage-guided differential fuzzing of the ES-Checker")
     Term.(const run $ device_opt_arg $ budget_arg $ seed_arg $ jobs_arg
           $ batch_arg $ max_steps_arg $ json_arg $ corpus_out_arg
-          $ corpus_in_arg $ replay_arg $ training_cases_arg)
+          $ corpus_in_arg $ replay_arg $ oracle_arg $ training_cases_arg)
 
 (* --- fleet ---------------------------------------------------------------- *)
 

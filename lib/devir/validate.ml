@@ -156,6 +156,53 @@ let check program =
     (Program.callbacks program);
   List.rev !errors
 
+(* Graph-over-program validation: a set of graph nodes (brefs + successor
+   edges) layered over a program, where a successor may also resolve by
+   chasing pass-through blocks — blocks the graph's walker crosses without
+   work.  The walker's notion of "no work" is graph-specific (e.g. the
+   ES-CFG passes through blocks whose DSOD lifting is empty), so it comes
+   in as a predicate. *)
+let check_graph program ~nodes ~pass_through =
+  let errors = ref [] in
+  let err ?where fmt =
+    Format.kasprintf (fun message -> errors := { where; message } :: !errors) fmt
+  in
+  let member = Hashtbl.create (2 * List.length nodes + 1) in
+  List.iter (fun ((bref : Program.bref), _) -> Hashtbl.replace member bref ())
+    nodes;
+  let rec chase ~(where : Program.bref) (bref : Program.bref) fuel =
+    if not (Hashtbl.mem member bref) then
+      if fuel = 0 then
+        err ~where "successor chase through %a does not terminate"
+          Program.pp_bref bref
+      else
+        match Program.find_block program bref with
+        | exception Not_found ->
+          err ~where "dangling successor %a: no such block" Program.pp_bref bref
+        | block ->
+          if not (pass_through block) then
+            err ~where "dangling successor %a: off-graph block is not pass-through"
+              Program.pp_bref bref
+          else (
+            match block.Block.term with
+            | Term.Goto l ->
+              chase ~where { Program.handler = bref.handler; label = l } (fuel - 1)
+            | Term.Halt -> ()
+            | Term.Branch _ | Term.Switch _ | Term.Icall _ ->
+              err ~where
+                "dangling successor %a: pass-through block has a decision terminator"
+                Program.pp_bref bref)
+  in
+  List.iter
+    (fun ((bref : Program.bref), succs) ->
+      (match Program.find_block program bref with
+      | exception Not_found ->
+        err ~where:bref "graph node has no source block"
+      | _ -> ());
+      List.iter (fun s -> chase ~where:bref s 1024) succs)
+    nodes;
+  List.rev !errors
+
 let errors_message program errors =
   let buf = Buffer.create 256 in
   let ppf = Format.formatter_of_buffer buf in

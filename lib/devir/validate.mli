@@ -22,6 +22,21 @@ val check : Program.t -> error list
     - request parameters read by blocks are declared by the handler;
     - [Cmd_decision] blocks terminate with [Switch]. *)
 
+val check_graph :
+  Program.t ->
+  nodes:(Program.bref * Program.bref list) list ->
+  pass_through:(Block.t -> bool) ->
+  error list
+(** Validate a graph layered over a program: every node bref must resolve
+    to a block, and every successor must either be a graph node itself or
+    chase to one through pass-through blocks — blocks satisfying
+    [pass_through] with an unconditional terminator ([Goto] chains; a
+    [Halt] ends the chase legitimately).  Reports dangling successors,
+    off-graph blocks that are not pass-through, decisions reached
+    mid-chase, and non-terminating chases.  Used to assert that reduced
+    and minimized execution specifications keep the walker on defined
+    paths. *)
+
 val validate_result : Program.t -> (unit, string) result
 (** [Ok ()] when {!check} finds nothing; otherwise [Error msg] where [msg]
     is a readable report naming every offending block. *)

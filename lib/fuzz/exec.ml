@@ -10,13 +10,30 @@
 
 module C = Sedspec.Checker
 
-type profile = { pname : string; left : C.config; right : C.config }
+type spec_source = Trained | Minimized
+
+let source_key = function Trained -> "trained" | Minimized -> "min"
+
+type profile = {
+  pname : string;
+  left : C.config;
+  right : C.config;
+  left_source : spec_source;
+  right_source : spec_source;
+  lenient : bool;
+      (** Mask walk-internal observables (stats, node/edge coverage) that
+          legitimately differ across spec sources; verdict-level fields
+          are always compared. *)
+}
 
 let profile ~mode ~pname =
   {
     pname;
     left = { C.default_config with C.mode; engine = C.Compiled };
     right = { C.default_config with C.mode; engine = C.Interpreted };
+    left_source = Trained;
+    right_source = Trained;
+    lenient = false;
   }
 
 let default_profiles =
@@ -24,6 +41,29 @@ let default_profiles =
     profile ~mode:C.Protection ~pname:"protection";
     profile ~mode:C.Enhancement ~pname:"enhancement";
   ]
+
+(* Minimized-vs-trained oracles: same engine and mode on both sides, the
+   minimized spec on the left.  A pruned node is crossed as a chain block
+   by the walker, so everything verdict-level — I/O results, anomalies,
+   warnings, halts, shadow state, crashes — must stay bit-identical;
+   only node-walk statistics and coverage may differ (hence [lenient]). *)
+let minimized_profiles =
+  List.concat_map
+    (fun (mode, mname) ->
+      List.map
+        (fun (engine, ename) ->
+          {
+            pname = Printf.sprintf "min-%s-%s" mname ename;
+            left = { C.default_config with C.mode; engine };
+            right = { C.default_config with C.mode; engine };
+            left_source = Minimized;
+            right_source = Trained;
+            lenient = true;
+          })
+        [ (C.Compiled, "compiled"); (C.Interpreted, "interp") ])
+    [ (C.Protection, "protection"); (C.Enhancement, "enhancement") ]
+
+let all_profiles = default_profiles @ minimized_profiles
 
 (* --- Machine factory --------------------------------------------------- *)
 
@@ -85,9 +125,13 @@ let config_key (c : C.config) =
 let ctx_pool : (string, rctx list ref) Hashtbl.t = Hashtbl.create 16
 let ctx_lock = Mutex.create ()
 
-let make_rctx ~config (input : Input.t) =
+let make_rctx ~config ~source (input : Input.t) =
   let w = Workload.Samples.find input.device in
-  let b = Metrics.Spec_cache.built w input.version in
+  let b =
+    match source with
+    | Trained -> Metrics.Spec_cache.built w input.version
+    | Minimized -> Metrics.Spec_cache.built_minimized w input.version
+  in
   let dev = cached_device ~device:input.device ~version:input.version in
   (* 1 MiB of RAM, not the 16 MiB default: every guest address the
      workloads, attacks and mutator touch sits below 0xA0000. *)
@@ -109,11 +153,11 @@ let scrub_rctx ~device rctx =
   C.set_fault_hook rctx.rx_checker None;
   C.reset rctx.rx_checker
 
-let with_rctx ~config (input : Input.t) f =
+let with_rctx ~config ~source (input : Input.t) f =
   let key =
-    Printf.sprintf "%s|%s|%s" input.device
+    Printf.sprintf "%s|%s|%s|%s" input.device
       (Devices.Qemu_version.to_string input.version)
-      (config_key config)
+      (config_key config) (source_key source)
   in
   let acquire () =
     Mutex.lock ctx_lock;
@@ -129,7 +173,7 @@ let with_rctx ~config (input : Input.t) f =
     | Some rctx ->
       scrub_rctx ~device:input.device rctx;
       rctx
-    | None -> make_rctx ~config input
+    | None -> make_rctx ~config ~source input
   in
   let release rctx =
     Mutex.lock ctx_lock;
@@ -190,8 +234,9 @@ let edge_repr (a, b) =
    halted VM) and at the first host-level exception, which is recorded as
    a crash rather than propagated: a crashing replay is a finding, not a
    fuzzer failure. *)
-let run ~config (input : Input.t) =
-  with_rctx ~config input @@ fun { rx_machine = m; rx_checker = checker } ->
+let run ~config ?(source = Trained) (input : Input.t) =
+  with_rctx ~config ~source input
+  @@ fun { rx_machine = m; rx_checker = checker } ->
   let cov = C.coverage_create () in
   C.set_coverage checker (Some cov);
   let ram = Vmm.Machine.ram m in
@@ -278,7 +323,7 @@ let diff_list field l r =
     Some (field, Printf.sprintf "left %s vs right %s" (describe l) (describe r))
   else None
 
-let compare_obs l r =
+let compare_obs ?(lenient = false) l r =
   List.filter_map Fun.id
     [
       diff_list "step-results" l.o_steps r.o_steps;
@@ -296,14 +341,14 @@ let compare_obs l r =
                (h (l.o_halted_at, l.o_halt_reason))
                (h (r.o_halted_at, r.o_halt_reason)) )
        else None);
-      (if l.o_stats <> r.o_stats then
+      (if (not lenient) && l.o_stats <> r.o_stats then
          Some ("stats", Printf.sprintf "left %s vs right %s" l.o_stats r.o_stats)
        else None);
       (if l.o_shadow <> r.o_shadow then
          Some ("shadow", "shadow-arena bytes differ")
        else None);
-      diff_list "coverage-nodes" l.o_nodes r.o_nodes;
-      diff_list "coverage-edges" l.o_edges r.o_edges;
+      (if lenient then None else diff_list "coverage-nodes" l.o_nodes r.o_nodes);
+      (if lenient then None else diff_list "coverage-edges" l.o_edges r.o_edges);
       (if l.o_crash <> r.o_crash then
          let c = function None -> "no crash" | Some e -> "crash " ^ e in
          Some
@@ -331,8 +376,8 @@ let evaluate ?(profiles = default_profiles) (input : Input.t) =
   let divergences =
     List.concat_map
       (fun p ->
-        let l, lcov = run ~config:p.left input in
-        let r, rcov = run ~config:p.right input in
+        let l, lcov = run ~config:p.left ~source:p.left_source input in
+        let r, rcov = run ~config:p.right ~source:p.right_source input in
         ignore (C.coverage_absorb ~into:coverage lcov);
         ignore (C.coverage_absorb ~into:coverage rcov);
         if !canonical = None then canonical := Some l;
@@ -342,7 +387,7 @@ let evaluate ?(profiles = default_profiles) (input : Input.t) =
         List.map
           (fun (field, detail) ->
             { d_profile = p.pname; d_field = field; d_detail = detail })
-          (compare_obs l r))
+          (compare_obs ~lenient:p.lenient l r))
       profiles
   in
   let canon = Option.get !canonical in

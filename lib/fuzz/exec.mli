@@ -10,10 +10,36 @@
 
 module C := Sedspec.Checker
 
-type profile = { pname : string; left : C.config; right : C.config }
+type spec_source = Trained | Minimized
+(** Which spec a replay side walks: the trained spec from
+    {!Metrics.Spec_cache.built} or its {!Sedspec.Minimize}d derivation. *)
+
+type profile = {
+  pname : string;
+  left : C.config;
+  right : C.config;
+  left_source : spec_source;
+  right_source : spec_source;
+  lenient : bool;
+      (** Mask observables that legitimately differ across spec sources
+          (walk statistics, node/edge coverage); verdict-level fields —
+          I/O results, anomalies, warnings, halts, shadow bytes,
+          crashes — are always compared. *)
+}
+
+val profile : mode:C.mode -> pname:string -> profile
+(** Compiled-vs-interpreted over the trained spec (strict). *)
 
 val default_profiles : profile list
 (** Compiled vs Interpreted, in protection and enhancement modes. *)
+
+val minimized_profiles : profile list
+(** Minimized vs trained spec under the {e same} engine and mode, for
+    all four engine × mode combinations; lenient.  The oracle that
+    minimization preserves verdict bit-equivalence. *)
+
+val all_profiles : profile list
+(** {!default_profiles} followed by {!minimized_profiles}. *)
 
 val cached_device : device:string -> version:Devices.Qemu_version.t -> Devices.Device.t
 (** Process-wide memoised device build (immutable program; callers mint
@@ -33,15 +59,18 @@ type obs = {
   o_crash : string option;
 }
 
-val run : config:C.config -> Input.t -> obs * C.coverage
-(** Replay an input on a fresh protected machine under one configuration.
-    Stops at the first halt verdict; host-level exceptions out of a step
-    are recorded in [o_crash] rather than propagated. *)
+val run :
+  config:C.config -> ?source:spec_source -> Input.t -> obs * C.coverage
+(** Replay an input on a fresh protected machine under one configuration
+    and spec source ([source] defaults to [Trained]).  Stops at the first
+    halt verdict; host-level exceptions out of a step are recorded in
+    [o_crash] rather than propagated. *)
 
 type divergence = { d_profile : string; d_field : string; d_detail : string }
 
-val compare_obs : obs -> obs -> (string * string) list
-(** Field-wise differences as [(field, detail)] pairs; empty = identical. *)
+val compare_obs : ?lenient:bool -> obs -> obs -> (string * string) list
+(** Field-wise differences as [(field, detail)] pairs; empty = identical.
+    [lenient] (default [false]) skips stats and coverage fields. *)
 
 type outcome = {
   divergences : divergence list;

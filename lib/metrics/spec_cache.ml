@@ -33,8 +33,7 @@ let set_build_fault hook = Atomic.set build_fault hook
 let build_count = Atomic.make 0
 let builds () = Atomic.get build_count
 
-let built (module W : Workload.Samples.DEVICE_WORKLOAD) version =
-  let key = (W.device_name, Devices.Qemu_version.to_string version) in
+let single_flight key build =
   let claim () =
     let rec wait () =
       match Hashtbl.find_opt cache key with
@@ -54,14 +53,6 @@ let built (module W : Workload.Samples.DEVICE_WORKLOAD) version =
   match claim () with
   | `Hit b -> b
   | `Build -> (
-    let build () =
-      (match Atomic.get build_fault with
-      | Some f -> f W.device_name
-      | None -> ());
-      let m = W.make_machine version in
-      Sedspec.Pipeline.build m ~device:W.device_name
-        (W.trainer ~cases:!training_cases)
-    in
     match build () with
     | b ->
       Atomic.incr build_count;
@@ -76,6 +67,27 @@ let built (module W : Workload.Samples.DEVICE_WORKLOAD) version =
       Condition.broadcast landed;
       Mutex.unlock lock;
       raise e)
+
+let built (module W : Workload.Samples.DEVICE_WORKLOAD) version =
+  let key = (W.device_name, Devices.Qemu_version.to_string version) in
+  single_flight key (fun () ->
+      (match Atomic.get build_fault with
+      | Some f -> f W.device_name
+      | None -> ());
+      let m = W.make_machine version in
+      Sedspec.Pipeline.build m ~device:W.device_name
+        (W.trainer ~cases:!training_cases))
+
+(* Derived key: the minimized spec is computed from the trained one, so
+   the inner [built] call may itself trigger (or wait on) the base
+   build.  Neither single-flight holds the lock while building, so the
+   nesting cannot deadlock. *)
+let built_minimized (module W : Workload.Samples.DEVICE_WORKLOAD) version =
+  let key =
+    (W.device_name, Devices.Qemu_version.to_string version ^ "+min")
+  in
+  single_flight key (fun () ->
+      Sedspec.Pipeline.minimize_built (built (module W) version))
 
 let fresh_machine ?vmexit_cost (module W : Workload.Samples.DEVICE_WORKLOAD)
     version =

@@ -25,6 +25,16 @@ val built :
     starts a fresh build instead of observing a poisoned entry.  Only
     the caller whose own build raised sees the exception. *)
 
+val built_minimized :
+  (module Workload.Samples.DEVICE_WORKLOAD) ->
+  Devices.Qemu_version.t ->
+  Sedspec.Pipeline.built
+(** The {!Sedspec.Minimize}d derivation of {!built}, memoised under its
+    own single-flight key ([version ^ "+min"]).  The first call may
+    trigger (or wait on) the base build; each successful derivation also
+    increments {!builds} — a run using minimized specs touches two keys
+    per (device, version). *)
+
 val builds : unit -> int
 (** Successful single-flight builds since process start (each one also
     lowered exactly one shared compiled arena).  Monotone; harnesses

@@ -9,11 +9,19 @@ type report = {
   sync_points : int;
 }
 
-(* Classify the locals a decision expression depends on by chasing their
-   definitions across the whole handler (flow-insensitive, like the
-   paper's angr pass): a host-value definition anywhere in the chain makes
-   the site a sync point; a guest read makes it guest-replay. *)
-let classify_site program (bref : Program.bref) expr =
+(* Severity join: a host dependence anywhere makes the site a sync point;
+   otherwise a guest dependence anywhere makes it guest-replay. *)
+let join a b =
+  match (a, b) with
+  | Sync_point, _ | _, Sync_point -> Sync_point
+  | Guest_replay, _ | _, Guest_replay -> Guest_replay
+  | Substituted, Substituted -> Substituted
+
+(* The pre-DDG classifier, kept as the comparison baseline for the
+   minimization report (and the regression tests): chase a decision
+   local's definitions across the whole handler, ignoring whether a
+   definition can actually reach the decision. *)
+let classify_site_flow_insensitive program (bref : Program.bref) expr =
   let handler = Program.find_handler program bref.handler in
   let deps = Hashtbl.create 8 in
   let uses_host = ref false and uses_guest = ref false in
@@ -41,14 +49,58 @@ let classify_site program (bref : Program.bref) expr =
   else if !uses_guest then Guest_replay
   else Substituted
 
+(* DDG-backed classification: chase only the definitions that reach the
+   decision point (flow-sensitive).  A host-value load that cannot reach
+   the branch no longer forces a sync point. *)
+let classify_site ?graph program (bref : Program.bref) expr =
+  let graph = match graph with Some g -> g | None -> Depgraph.build program in
+  let uses_host = ref false and uses_guest = ref false in
+  let seen = Hashtbl.create 16 in
+  let rec chase ~label ~before local =
+    let key = (label, before, local) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      List.iter
+        (fun (d : Depgraph.def_site) ->
+          match d.Depgraph.d_stmt with
+          | Stmt.Set_local (_, e) ->
+            List.iter
+              (chase ~label:d.d_label ~before:(Some d.d_index))
+              (Expr.locals e)
+          | Stmt.Read_guest _ -> uses_guest := true
+          | Stmt.Host_value _ -> uses_host := true
+          | _ -> ())
+        (Depgraph.reaching_defs graph ~handler:bref.handler ~label ?before
+           (Depgraph.Vlocal local))
+    end
+  in
+  List.iter (chase ~label:bref.label ~before:None) (Expr.locals expr);
+  if !uses_host then Sync_point
+  else if !uses_guest then Guest_replay
+  else Substituted
+
+(* Join over *all* of a terminator's expressions.  The first cut of
+   [analyze] classified [e :: _] only, so a site whose later expression
+   was host-derived could be reported [Substituted] — hiding a sync
+   point from every consumer of the report. *)
+let classify_exprs ?graph program bref exprs =
+  match exprs with
+  | [] -> None
+  | es ->
+    Some
+      (List.fold_left
+         (fun acc e -> join acc (classify_site ?graph program bref e))
+         Substituted es)
+
 let analyze spec =
   let program = Es_cfg.program spec in
+  let graph = Depgraph.build program in
   let per_site =
     List.filter_map
       (fun (n : Es_cfg.node) ->
-        match Term.exprs n.term with
-        | [] -> None
-        | e :: _ -> Some (n.bref, classify_site program n.bref e))
+        match classify_exprs ~graph program n.bref (Term.exprs n.term) with
+        | None -> None
+        | Some c -> Some (n.bref, c))
       (Es_cfg.nodes spec)
   in
   let count c = List.length (List.filter (fun (_, x) -> x = c) per_site) in

@@ -24,5 +24,37 @@ type report = {
 }
 
 val analyze : Es_cfg.t -> report
+(** Classify every decision site of the specification.  The
+    classification joins over {e all} of the terminator's expressions
+    (any host dependence ⇒ [Sync_point]; else any guest dependence ⇒
+    [Guest_replay]) and chases definitions flow-sensitively through the
+    {!Depgraph} DDG — only definitions that can actually reach the
+    decision count. *)
+
+val classify_site :
+  ?graph:Depgraph.t ->
+  Devir.Program.t ->
+  Devir.Program.bref ->
+  Devir.Expr.t ->
+  classification
+(** Classify one decision expression at a site, chasing only reaching
+    definitions.  [graph] avoids rebuilding the dependence graphs when
+    classifying many sites of one program. *)
+
+val classify_exprs :
+  ?graph:Depgraph.t ->
+  Devir.Program.t ->
+  Devir.Program.bref ->
+  Devir.Expr.t list ->
+  classification option
+(** Join of {!classify_site} over an expression list ([None] for [[]]).
+    This is the fix for the first-expression-only bug: a site is a sync
+    point as soon as {e any} of its expressions is host-derived, not just
+    the head. *)
+
+val classify_site_flow_insensitive :
+  Devir.Program.t -> Devir.Program.bref -> Devir.Expr.t -> classification
+(** The pre-DDG classifier (whole-handler, flow-insensitive chase).
+    Kept as the baseline the minimization report compares against. *)
 
 val pp_report : Format.formatter -> report -> unit

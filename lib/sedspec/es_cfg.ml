@@ -32,6 +32,9 @@ type t = {
   cmd_table : (cmd_key, (Program.bref, unit) Hashtbl.t) Hashtbl.t;
   no_cmd : (Program.bref, unit) Hashtbl.t;
   seen : (edge, unit) Hashtbl.t;
+  removed : (Program.bref, unit) Hashtbl.t;
+      (** Brefs ever removed by {!reduce} — makes the [reduced] counter
+          idempotent across repeated reductions of the same blocks. *)
   mutable reduced : int;
 }
 
@@ -43,6 +46,7 @@ let create ~program ~selection =
     cmd_table = Hashtbl.create 32;
     no_cmd = Hashtbl.create 64;
     seen = Hashtbl.create 256;
+    removed = Hashtbl.create 16;
     reduced = 0;
   }
 
@@ -240,12 +244,56 @@ let cmd_allows t key bref =
 
 let no_cmd_allows t bref = Hashtbl.mem t.no_cmd bref
 
-let commands t = Hashtbl.fold (fun key _ acc -> key :: acc) t.cmd_table []
+let cmd_key_compare ((a, va) : cmd_key) ((b, vb) : cmd_key) =
+  match Program.bref_compare a b with 0 -> Int64.compare va vb | n -> n
+
+(* Sorted: hash-fold order depends on insertion history (and could change
+   across OCaml releases), and these lists feed pp_stats, viz and JSON
+   reports — plus the dense command-id assignment both walk engines
+   share, which must be reproducible across processes. *)
+let commands t =
+  List.sort cmd_key_compare
+    (Hashtbl.fold (fun key _ acc -> key :: acc) t.cmd_table [])
 
 let sync_points t =
-  Hashtbl.fold
-    (fun bref n acc -> if n.sync_locals <> [] then (bref, n.sync_locals) :: acc else acc)
-    t.nodes []
+  List.sort
+    (fun (a, _) (b, _) -> Program.bref_compare a b)
+    (Hashtbl.fold
+       (fun bref n acc ->
+         if n.sync_locals <> [] then (bref, n.sync_locals) :: acc else acc)
+       t.nodes [])
+
+let access_entries t =
+  let sorted_members set =
+    List.sort Program.bref_compare
+      (Hashtbl.fold (fun b () acc -> b :: acc) set [])
+  in
+  List.map (fun b -> (None, b)) (sorted_members t.no_cmd)
+  @ List.concat_map
+      (fun key ->
+        List.map
+          (fun b -> (Some key, b))
+          (sorted_members (Hashtbl.find t.cmd_table key)))
+      (commands t)
+
+(* Chase a successor through blocks the walker passes without work (no
+   DSOD, unconditional transfer) until a present node; [None] when the
+   chain halts, leaves defined ground or cycles. *)
+let chase_to_node t (start : Program.bref) =
+  let rec go (bref : Program.bref) fuel =
+    if Hashtbl.mem t.nodes bref then Some bref
+    else if fuel = 0 then None
+    else
+      match Program.find_block t.program bref with
+      | exception Not_found -> None
+      | block -> (
+        if lift_dsod block.Block.stmts <> [] then None
+        else
+          match block.Block.term with
+          | Term.Goto l -> go { Program.handler = bref.handler; label = l } (fuel - 1)
+          | _ -> None)
+  in
+  go start 1024
 
 let reduce t =
   let removable =
@@ -269,11 +317,47 @@ let reduce t =
           | E_succ (src, _) | E_case (src, _, _) | E_itarget (src, _) -> src
         in
         if Hashtbl.mem gone src then None else Some ())
-      t.seen
+      t.seen;
+    (* Rewrite surviving nodes' successor edges through the removed
+       blocks: an NBTD edge into a reduced-away block would otherwise
+       dangle.  The chase mirrors the walker's pass-through rule. *)
+    Hashtbl.iter
+      (fun _ n ->
+        let rewritten =
+          List.filter_map
+            (fun s ->
+              if Hashtbl.mem t.nodes s then Some s else chase_to_node t s)
+            n.succs
+        in
+        let dedup =
+          List.rev
+            (List.fold_left
+               (fun acc s -> if List.mem s acc then acc else s :: acc)
+               [] rewritten)
+        in
+        List.iter
+          (fun s -> Hashtbl.replace t.seen (E_succ (n.bref, s)) ())
+          dedup;
+        n.succs <- dedup)
+      t.nodes
   end;
-  let removed = List.length removable in
-  t.reduced <- t.reduced + removed;
-  removed
+  (* Count each bref at most once across repeated reductions. *)
+  let fresh =
+    List.filter (fun b -> not (Hashtbl.mem t.removed b)) removable
+  in
+  List.iter (fun b -> Hashtbl.replace t.removed b ()) fresh;
+  t.reduced <- t.reduced + List.length fresh;
+  List.length removable
+
+let validate t =
+  Validate.check_graph t.program
+    ~nodes:
+      (List.map
+         (fun n -> (n.bref, n.succs))
+         (List.sort
+            (fun a b -> Program.bref_compare a.bref b.bref)
+            (Hashtbl.fold (fun _ n acc -> n :: acc) t.nodes [])))
+    ~pass_through:(fun (b : Block.t) -> lift_dsod b.Block.stmts = [])
 
 let pp_stats ppf t =
   let conds =
@@ -308,6 +392,12 @@ let import_node t bref ~visits ~taken ~not_taken ~cases ~itargets ~succs =
   List.iter (fun (v, d) -> Hashtbl.replace t.seen (E_case (bref, v, d)) ()) cases;
   List.iter (fun v -> Hashtbl.replace t.seen (E_itarget (bref, v)) ()) itargets;
   List.iter (fun s -> Hashtbl.replace t.seen (E_succ (bref, s)) ()) succs
+
+let reduced_count t = t.reduced
+
+let import_reduced t n =
+  if n < 0 then invalid_arg "Es_cfg.import_reduced: negative count";
+  t.reduced <- n
 
 let import_access t ~cmd bref =
   match cmd with

@@ -63,15 +63,42 @@ val entry_of : t -> string -> Devir.Program.bref
 val cmd_known : t -> cmd_key -> bool
 val cmd_allows : t -> cmd_key -> Devir.Program.bref -> bool
 val no_cmd_allows : t -> Devir.Program.bref -> bool
+
 val commands : t -> cmd_key list
+(** All decoded commands, sorted by (decision bref, value) — the order is
+    part of the spec's observable surface: it feeds reports, viz and the
+    dense command-id assignment both walk engines share. *)
 
 val sync_points : t -> (Devir.Program.bref * string list) list
-(** All nodes with host-value locals — where sync instrumentation goes. *)
+(** All nodes with host-value locals — where sync instrumentation goes.
+    Sorted by bref. *)
+
+val access_entries : t -> (cmd_key option * Devir.Program.bref) list
+(** The full command access table as (command, member) rows, [None] being
+    the no-command set; deterministically ordered.  Inverse of repeated
+    {!import_access} — used to copy access state onto a derived
+    (minimized) spec. *)
 
 val reduce : t -> int
 (** Control flow reduction: delete nodes with no device-state operations
     and an unconditional transfer (the checker walks through such blocks
-    without work).  Returns the number of nodes removed. *)
+    without work).  Surviving nodes' successor edges are rewritten
+    through the removed blocks (chasing the walker's pass-through rule),
+    so no dangling successors remain.  Returns the number of nodes
+    removed by this call; the {!reduced} statistic counts each distinct
+    bref once, making repeated reduction idempotent. *)
+
+val reduced_count : t -> int
+(** Nodes reduced away so far (distinct brefs). *)
+
+val import_reduced : t -> int -> unit
+(** Set the reduced-away counter (spec import / derivation). *)
+
+val validate : t -> Devir.Validate.error list
+(** Graph well-formedness over the program: every node has a source
+    block and every successor edge lands on a node, possibly through
+    pass-through blocks ({!Devir.Validate.check_graph} with the DSOD
+    lifting rule).  Empty on healthy, reduced and minimized specs. *)
 
 val lift_dsod : Devir.Stmt.t list -> Devir.Stmt.t list
 (** The DSOD lifting rule (exposed for tests): keeps state writes, local

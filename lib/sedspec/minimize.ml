@@ -1,0 +1,378 @@
+open Devir
+
+(* Dependence-driven spec-to-spec minimization (ROADMAP item 2).
+
+   Three rewrites over a trained ES-CFG, each proven bit-equivalent in
+   verdicts by construction and re-proven by the differential fuzzer
+   (minimized-vs-trained profiles):
+
+   (a) {b branch folding / dominated-check pruning}.  A conditional whose
+       expression is constant and whose observed direction matches the
+       constant is rewritten to the unconditional transfer.  A
+       conditional B whose expression equals that of a strictly
+       dominating conditional A, where both were one-sided the same way
+       in training and nothing on any A→B path can change the
+       expression's value, is likewise rewritten: any walk that reaches B
+       already passed A's identical check, so B's own check can never be
+       the first to fire.
+
+   (b) {b sync-point reclassification}.  The DDG-backed
+       [Datadep.classify_site] replaces the flow-insensitive chase; the
+       report records how many decision sites stop being sync points.
+       The [Host_value] statements themselves are kept: dropping one
+       would change {e when} an interaction defers (pre- vs
+       post-execution checking), which is observable in anomaly
+       timing — the reclassification sharpens reports, not walks.
+
+   (c) {b chain merging + pruning}.  A node whose lifted statements are
+       all walk-local (local/guest-read definitions, which can never
+       raise a positioned anomaly) and whose unique successor can only be
+       entered through it forwards those statements into the successor.
+       Then every node left with no device-state operations, an
+       unconditional transfer and unconditional access (member of the
+       no-command set, so the access check passes under every command
+       context) is pruned: the walker crosses it as a pass-through chain
+       block, still charging a walk step, so walk-limit and deadline
+       anomaly sites are preserved.
+
+   Soundness notes baked into the guards below:
+   - pruned nodes must be in the no-command access set — otherwise the
+     trained walk could raise "block not accessible" where the minimized
+     walk passes through silently;
+   - [Cmd_decision]/[Cmd_end] nodes are never pruned — pass-through
+     chasing is kind-blind and would lose command-context transitions;
+   - only [Set_local]/[Read_guest] statements are forwarded by merging —
+     [Set_field]/buffer writes can raise anomalies positioned at their
+     node, and [Host_value] keys its sync queue by bref;
+   - dominated-branch certification requires no local/field writes (and
+     no indirect calls, whose callees share the walk's local table)
+     between the two checks;
+   - with the conditional-jump check disabled the dominated-branch
+     argument weakens: the trained walk may survive A with the shared
+     condition false and then branch differently at B than the rewritten
+     [Goto].  The differential contract therefore holds for
+     configurations with [Conditional_jump_check] enabled (the default
+     and every shipped profile); constant folds and pure prunes hold
+     under every configuration. *)
+
+type report = {
+  nodes_before : int;
+  nodes_after : int;
+  pruned : int;
+  branches_folded : int;
+  branches_dominated : int;
+  chains_merged : int;
+  sync_sites_flow_insensitive : int;
+  sync_sites_ddg : int;
+}
+
+let lifts stmt = Es_cfg.lift_dsod [ stmt ] <> []
+
+let const_value layout e =
+  if not (Expr.is_constant e) then None
+  else
+    let ctx =
+      {
+        Interp.Eval.get_field = (fun _ -> raise Exit);
+        get_buf_byte = (fun _ _ -> raise Exit);
+        buf_len = Layout.buf_size layout;
+        get_param = (fun _ -> raise Exit);
+        get_local = (fun _ -> raise Exit);
+        record_overflow = (fun _ -> ());
+      }
+    in
+    match Interp.Eval.eval ctx e with
+    | v -> Some v
+    | exception Interp.Eval.Div_by_zero -> None
+    | exception Exit -> None
+
+(* Training saw exactly one direction of this branch? *)
+let one_sided (n : Es_cfg.node) =
+  if n.taken > 0 && n.not_taken = 0 then Some true
+  else if n.not_taken > 0 && n.taken = 0 then Some false
+  else None
+
+let run spec =
+  let program = Es_cfg.program spec in
+  let layout = Program.layout program in
+  let graph = Depgraph.build program in
+  let nodes = Es_cfg.nodes spec in
+  let nodes_before = List.length nodes in
+  let node_tbl : (Program.bref, Es_cfg.node) Hashtbl.t =
+    Hashtbl.create (2 * nodes_before + 1)
+  in
+  List.iter (fun (n : Es_cfg.node) -> Hashtbl.replace node_tbl n.bref n) nodes;
+  let term_rewrites : (Program.bref, Term.t) Hashtbl.t = Hashtbl.create 16 in
+  let stmt_rewrites : (Program.bref, Stmt.t list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  (* --- (a-i) constant-decided branches --------------------------------- *)
+  let branches_folded = ref 0 in
+  List.iter
+    (fun (n : Es_cfg.node) ->
+      match n.term with
+      | Term.Branch (cond, if_taken, if_not) -> (
+        match const_value layout cond with
+        | Some v ->
+          let taken = Interp.Eval.truthy v in
+          let trained = if taken then n.taken > 0 else n.not_taken > 0 in
+          if trained then begin
+            Hashtbl.replace term_rewrites n.bref
+              (Term.Goto (if taken then if_taken else if_not));
+            incr branches_folded
+          end
+        | None -> ())
+      | _ -> ())
+    nodes;
+  (* --- (a-ii) dominated equivalent branches ---------------------------- *)
+  let branches_dominated = ref 0 in
+  let stmts_of (bref : Program.bref) =
+    (Program.find_block program bref).Block.stmts
+  in
+  let writes_dep ~dep_locals ~dep_fields stmt =
+    List.exists (fun l -> List.mem l dep_locals) (Stmt.locals_written stmt)
+    || (dep_fields <> [] && Stmt.fields_written stmt <> [])
+  in
+  let branch_nodes =
+    List.filter
+      (fun (n : Es_cfg.node) ->
+        match n.term with Term.Branch _ -> true | _ -> false)
+      nodes
+  in
+  List.iter
+    (fun (b : Es_cfg.node) ->
+      if not (Hashtbl.mem term_rewrites b.bref) then
+        match (b.term, one_sided b) with
+        | Term.Branch (cond, if_taken, if_not), Some dir ->
+          let handler = b.bref.Program.handler in
+          let dep_locals = Expr.locals cond in
+          let dep_fields = Expr.fields cond in
+          let certifies (a : Es_cfg.node) =
+            a.bref.Program.handler = handler
+            && a.bref.Program.label <> b.bref.Program.label
+            && (not (Hashtbl.mem term_rewrites a.bref))
+            && (match a.term with
+               | Term.Branch (acond, _, _) -> Expr.equal acond cond
+               | _ -> false)
+            && one_sided a = Some dir
+            && Depgraph.dominates graph ~handler a.bref.Program.label
+                 b.bref.Program.label
+            &&
+            (* Nothing between the two evaluations may redefine the
+               condition's inputs.  [between] over-approximates the
+               executable paths; any field write is treated as aliasing
+               any field read (buffer overruns spill into neighbours). *)
+            let mid =
+              Depgraph.between graph ~handler a.bref.Program.label
+                b.bref.Program.label
+            in
+            List.for_all
+              (fun label ->
+                let blk =
+                  Program.find_block program { Program.handler; label }
+                in
+                (match blk.Block.term with Term.Icall _ -> false | _ -> true)
+                && not
+                     (List.exists (writes_dep ~dep_locals ~dep_fields)
+                        blk.Block.stmts))
+              mid
+            && not (List.exists (writes_dep ~dep_locals ~dep_fields) (stmts_of b.bref))
+          in
+          if List.exists certifies branch_nodes then begin
+            Hashtbl.replace term_rewrites b.bref
+              (Term.Goto (if dir then if_taken else if_not));
+            incr branches_dominated
+          end
+        | _ -> ())
+    branch_nodes;
+  let eff_term (n : Es_cfg.node) =
+    match Hashtbl.find_opt term_rewrites n.bref with
+    | Some t -> t
+    | None -> n.term
+  in
+  (* --- (c) chain merging ----------------------------------------------- *)
+  (* Predecessor map per handler over effective terms (folded branches
+     lose their dead edge, enabling more merges). *)
+  let eff_block_term (bref : Program.bref) =
+    match Hashtbl.find_opt term_rewrites bref with
+    | Some t -> t
+    | None -> (Program.find_block program bref).Block.term
+  in
+  let preds : (Program.bref, Program.bref list) Hashtbl.t =
+    Hashtbl.create 128
+  in
+  Program.iter_blocks program (fun bref _ ->
+      List.iter
+        (fun l ->
+          let s : Program.bref = { handler = bref.handler; label = l } in
+          let cur =
+            match Hashtbl.find_opt preds s with Some ps -> ps | None -> []
+          in
+          if not (List.exists (Program.bref_equal bref) cur) then
+            Hashtbl.replace preds s (bref :: cur))
+        (Term.successors (eff_block_term bref)));
+  let chains_merged = ref 0 in
+  let involved : (Program.bref, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (x : Es_cfg.node) ->
+      match eff_term x with
+      | Term.Goto l
+        when (x.kind = Block.Normal || x.kind = Block.Entry)
+             && x.dsod <> []
+             && List.for_all
+                  (fun (s : Stmt.t) ->
+                    match s with
+                    | Stmt.Set_local _ | Stmt.Read_guest _ -> true
+                    | _ -> false)
+                  x.dsod
+             && Es_cfg.no_cmd_allows spec x.bref
+             && not (Hashtbl.mem involved x.bref) -> (
+        let y_bref : Program.bref = { handler = x.bref.handler; label = l } in
+        match Hashtbl.find_opt node_tbl y_bref with
+        | Some y
+          when y.kind <> Block.Entry
+               && (not (Program.bref_equal x.bref y_bref))
+               && (not (Hashtbl.mem involved y_bref))
+               && (match Hashtbl.find_opt preds y_bref with
+                  | Some [ p ] -> Program.bref_equal p x.bref
+                  | _ -> false) ->
+          (* Forward x's walk-local definitions into y; x's block keeps
+             only statements the walker never executes, so the prune
+             pass below removes it as a pass-through. *)
+          let x_stmts = stmts_of x.bref in
+          Hashtbl.replace stmt_rewrites x.bref
+            (List.filter (fun s -> not (lifts s)) x_stmts);
+          Hashtbl.replace stmt_rewrites y_bref
+            (List.filter lifts x_stmts @ stmts_of y_bref);
+          Hashtbl.replace involved x.bref ();
+          Hashtbl.replace involved y_bref ();
+          incr chains_merged
+        | _ -> ())
+      | _ -> ())
+    nodes;
+  (* --- (c) pruning ------------------------------------------------------ *)
+  let eff_stmts (bref : Program.bref) =
+    match Hashtbl.find_opt stmt_rewrites bref with
+    | Some s -> s
+    | None -> stmts_of bref
+  in
+  let prunable (n : Es_cfg.node) =
+    (match n.kind with
+    | Block.Normal | Block.Entry | Block.Exit -> true
+    | Block.Cmd_decision | Block.Cmd_end -> false)
+    && (match eff_term n with Term.Goto _ | Term.Halt -> true | _ -> false)
+    && Es_cfg.lift_dsod (eff_stmts n.bref) = []
+    && Es_cfg.no_cmd_allows spec n.bref
+  in
+  let pruned_set : (Program.bref, unit) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (n : Es_cfg.node) ->
+      if prunable n then Hashtbl.replace pruned_set n.bref ())
+    nodes;
+  let pruned = Hashtbl.length pruned_set in
+  (* --- materialize ------------------------------------------------------ *)
+  let min_program =
+    Program.map_blocks ~name:(Program.name program ^ "+min") program
+      (fun bref (b : Block.t) ->
+        let term =
+          match Hashtbl.find_opt term_rewrites bref with
+          | Some t -> t
+          | None -> b.Block.term
+        in
+        let stmts =
+          match Hashtbl.find_opt stmt_rewrites bref with
+          | Some s -> s
+          | None -> b.Block.stmts
+        in
+        { b with Block.term; stmts })
+  in
+  Validate.check_exn min_program;
+  let min_spec =
+    Es_cfg.create ~program:min_program ~selection:(Es_cfg.selection spec)
+  in
+  let kept : (Program.bref, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Es_cfg.node) ->
+      if not (Hashtbl.mem pruned_set n.bref) then Hashtbl.replace kept n.bref ())
+    nodes;
+  (* Successor edges chase through the pruned blocks exactly as the
+     walker will: rewritten-program gotos down to the next kept node (or
+     nothing, when the chain halts). *)
+  let rec chase (bref : Program.bref) fuel =
+    if Hashtbl.mem kept bref then Some bref
+    else if fuel = 0 then None
+    else
+      match Program.find_block min_program bref with
+      | exception Not_found -> None
+      | blk -> (
+        if Es_cfg.lift_dsod blk.Block.stmts <> [] then None
+        else
+          match blk.Block.term with
+          | Term.Goto l ->
+            chase { Program.handler = bref.handler; label = l } (fuel - 1)
+          | _ -> None)
+  in
+  List.iter
+    (fun (n : Es_cfg.node) ->
+      if Hashtbl.mem kept n.bref then begin
+        let succs =
+          List.rev
+            (List.fold_left
+               (fun acc s ->
+                 match chase s 1024 with
+                 | Some s' when not (List.exists (Program.bref_equal s') acc) ->
+                   s' :: acc
+                 | _ -> acc)
+               [] n.succs)
+        in
+        Es_cfg.import_node min_spec n.bref ~visits:n.visits ~taken:n.taken
+          ~not_taken:n.not_taken ~cases:n.cases ~itargets:n.itargets ~succs
+      end)
+    nodes;
+  List.iter
+    (fun (cmd, bref) -> Es_cfg.import_access min_spec ~cmd bref)
+    (Es_cfg.access_entries spec);
+  Es_cfg.import_reduced min_spec (Es_cfg.reduced_count spec + pruned);
+  (match Es_cfg.validate min_spec with
+  | [] -> ()
+  | errors ->
+    failwith
+      (Format.asprintf "Minimize.run: minimized spec is ill-formed:@ %a"
+         (Format.pp_print_list Validate.pp_error)
+         errors));
+  (* --- (b) sync-site reclassification (report-level) -------------------- *)
+  let sync_count classify =
+    List.length
+      (List.filter
+         (fun (n : Es_cfg.node) ->
+           match Term.exprs n.term with
+           | [] -> false
+           | es ->
+             List.exists (fun e -> classify n.bref e = Datadep.Sync_point) es)
+         nodes)
+  in
+  let sync_fi =
+    sync_count (fun bref e ->
+        Datadep.classify_site_flow_insensitive program bref e)
+  in
+  let sync_fs =
+    sync_count (fun bref e -> Datadep.classify_site ~graph program bref e)
+  in
+  ( min_spec,
+    {
+      nodes_before;
+      nodes_after = Es_cfg.node_count min_spec;
+      pruned;
+      branches_folded = !branches_folded;
+      branches_dominated = !branches_dominated;
+      chains_merged = !chains_merged;
+      sync_sites_flow_insensitive = sync_fi;
+      sync_sites_ddg = sync_fs;
+    } )
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "minimized %d -> %d nodes (%d pruned, %d folded, %d dominated, %d merged); sync sites %d -> %d (ddg)"
+    r.nodes_before r.nodes_after r.pruned r.branches_folded
+    r.branches_dominated r.chains_merged r.sync_sites_flow_insensitive
+    r.sync_sites_ddg

@@ -1,0 +1,51 @@
+(** Dependence-driven specification minimization (ROADMAP item 2).
+
+    A spec-to-spec transform over a trained {!Es_cfg.t} that deletes
+    checks provably subsumed by earlier checks and merges straight-line
+    chains {!Es_cfg.reduce} cannot touch.  Passes:
+
+    + {b constant branch folding} — conditionals whose expression is
+      constant ({!Devir.Expr.is_constant}) and whose trained direction
+      agrees become unconditional transfers;
+    + {b dominated-check pruning} — a one-sided conditional strictly
+      dominated by an equal one-sided conditional, with no writes to the
+      condition's inputs (and no indirect calls) possible in between,
+      is rewritten to its trained direction: its check can never be the
+      first to fire;
+    + {b chain merging} — a node whose lifted statements are all
+      walk-local definitions and whose unique successor is only
+      reachable through it forwards those statements into the successor;
+    + {b pruning} — nodes left with no device-state operations, an
+      unconditional terminator and unconditional access (no-command set
+      membership) are removed; the walker crosses them as pass-through
+      blocks, so step counting and anomaly sites are unchanged.
+
+    The result is a new spec over a cloned program (same labels and
+    addresses, name suffixed ["+min"]) that walks the {e original}
+    device's events and must produce bit-identical verdicts — enforced
+    structurally by {!Es_cfg.validate} at build time and behaviourally by
+    the differential fuzzer's minimized-vs-trained profiles.  The
+    dominated-branch pass assumes the conditional jump check is enabled
+    (every shipped configuration); all other passes are sound under any
+    configuration. *)
+
+type report = {
+  nodes_before : int;
+  nodes_after : int;
+  pruned : int;  (** Nodes removed (includes merged-away sources). *)
+  branches_folded : int;  (** Constant-decided conditionals rewritten. *)
+  branches_dominated : int;  (** Dominated equal conditionals rewritten. *)
+  chains_merged : int;  (** Chain pairs whose definitions were forwarded. *)
+  sync_sites_flow_insensitive : int;
+      (** Decision sites the pre-DDG classifier calls sync points. *)
+  sync_sites_ddg : int;
+      (** Sync points under the flow-sensitive DDG classifier — the
+          sites whose host dependence actually reaches the decision. *)
+}
+
+val run : Es_cfg.t -> Es_cfg.t * report
+(** Minimize a trained spec.  The input is not modified.  Raises
+    [Failure] if the minimized spec fails {!Es_cfg.validate} — a bug
+    guard, not an expected outcome. *)
+
+val pp_report : Format.formatter -> report -> unit

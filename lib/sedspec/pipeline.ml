@@ -18,6 +18,7 @@ type built = {
   datadep : Datadep.report;
   reduced : int;
   arena : Compile.t;
+  minimized : Minimize.report option;
 }
 
 let reset_device machine ~device =
@@ -57,7 +58,17 @@ let collect machine ~device trainer =
 (* The paper's trainer feeds the same samples again with the observation
    points instrumented; a trap during benign training would indicate a
    broken device model, so it is surfaced loudly. *)
-let construct ?(reduce = true) machine ~device p1 trainer =
+let minimize_built b =
+  let spec, report = Minimize.run b.spec in
+  {
+    b with
+    spec;
+    datadep = Datadep.analyze spec;
+    arena = Compile.lower spec;
+    minimized = Some report;
+  }
+
+let construct ?(reduce = true) ?(minimize = false) machine ~device p1 trainer =
   reset_device machine ~device;
   let program = Interp.program (Vmm.Machine.interp_of machine device) in
   let collector =
@@ -79,11 +90,12 @@ let construct ?(reduce = true) machine ~device p1 trainer =
      this one immutable arena (the fleet cache hands the same [built] to
      every VM of a (device, version), across Runner domains). *)
   let arena = Compile.lower spec in
-  { spec; p1; logs; datadep; reduced; arena }
+  let b = { spec; p1; logs; datadep; reduced; arena; minimized = None } in
+  if minimize then minimize_built b else b
 
-let build ?reduce machine ~device trainer =
+let build ?reduce ?minimize machine ~device trainer =
   let p1 = collect machine ~device trainer in
-  construct ?reduce machine ~device p1 trainer
+  construct ?reduce ?minimize machine ~device p1 trainer
 
 let protect ?config machine ~device built =
   reset_device machine ~device;
@@ -93,4 +105,7 @@ let pp_built ppf b =
   Format.fprintf ppf "@[<v>%a@,%a@,trace volume: %d bytes, %d logs, %d interactions@]"
     Es_cfg.pp_stats b.spec Datadep.pp_report b.datadep b.p1.trace_bytes
     (List.length b.logs)
-    (Ds_log.interaction_count b.logs)
+    (Ds_log.interaction_count b.logs);
+  match b.minimized with
+  | None -> ()
+  | Some r -> Format.fprintf ppf "@,%a" Minimize.pp_report r

@@ -37,18 +37,39 @@ type built = {
   arena : Compile.t;
       (** The spec lowered once at construction: immutable, physically
           shared by every checker {!protect} attaches from this value. *)
+  minimized : Minimize.report option;
+      (** Present when the spec went through {!Minimize.run}; [spec],
+          [datadep] and [arena] then describe the minimized spec. *)
 }
 
 val collect : Vmm.Machine.t -> device:string -> trainer -> phase1
 (** Phase 1.  Resets the device control structure first. *)
 
 val construct :
-  ?reduce:bool -> Vmm.Machine.t -> device:string -> phase1 -> trainer -> built
-(** Phase 2 ([reduce] defaults to [true]). *)
+  ?reduce:bool ->
+  ?minimize:bool ->
+  Vmm.Machine.t ->
+  device:string ->
+  phase1 ->
+  trainer ->
+  built
+(** Phase 2 ([reduce] defaults to [true]; [minimize], defaulting to
+    [false], additionally applies {!minimize_built}). *)
 
 val build :
-  ?reduce:bool -> Vmm.Machine.t -> device:string -> trainer -> built
+  ?reduce:bool ->
+  ?minimize:bool ->
+  Vmm.Machine.t ->
+  device:string ->
+  trainer ->
+  built
 (** Phases 1 + 2. *)
+
+val minimize_built : built -> built
+(** Apply {!Minimize.run} to an already-built spec: replaces [spec],
+    re-analyzes [datadep], re-lowers [arena] and records the report.
+    Training artifacts ([p1], [logs], [reduced]) are kept from the
+    source build. *)
 
 val protect :
   ?config:Checker.config -> Vmm.Machine.t -> device:string -> built -> Checker.t

@@ -212,6 +212,9 @@ let broken_profile ~walk_limit =
         C.engine = C.Interpreted;
         walk_limit;
       };
+    left_source = Exec.Trained;
+    right_source = Exec.Trained;
+    lenient = false;
   }
 
 let test_seeded_divergence_found_and_shrunk () =
@@ -273,6 +276,55 @@ let test_fp_candidate_reported () =
   in
   Alcotest.(check bool) "fp candidate surfaced" true (r.Loop.r_fp_candidates <> [])
 
+(* --- Minimized-spec oracle ---------------------------------------------- *)
+
+(* Property: for random fuzzer inputs, the minimized spec produces
+   bit-identical verdicts to the trained spec — same I/O results,
+   anomalies, warnings, halts and shadow bytes — in both engines and
+   both working modes ([Exec.minimized_profiles] covers the 2x2).  Each
+   trial drives a fresh fuzz generation from a random master seed, so
+   every run explores different mutants. *)
+let minimized_equivalence_prop =
+  QCheck.Test.make ~name:"minimized spec is verdict-equivalent under fuzzing"
+    ~count:3 QCheck.int64 (fun seed ->
+      let r =
+        Loop.run
+          {
+            (fdc_options ~budget:48 ~seed) with
+            Loop.profiles = Exec.minimized_profiles;
+          }
+      in
+      if r.Loop.r_divergent_inputs <> 0 || r.Loop.r_crashes <> 0 then
+        QCheck.Test.fail_reportf
+          "seed %Ld: %d divergent inputs, %d crashes; first: %s" seed
+          r.Loop.r_divergent_inputs r.Loop.r_crashes
+          (match r.Loop.r_findings with
+          | f :: _ ->
+            Printf.sprintf "[%s/%s] %s" f.Loop.f_profile f.Loop.f_field
+              f.Loop.f_detail
+          | [] -> "-")
+      else true)
+
+(* One deterministic pass per device with the full oracle stack (engine
+   differential + minimized differential) — the cross-device smoke the
+   qcheck property above can't afford. *)
+let test_minimized_oracle_all_devices () =
+  List.iter
+    (fun device ->
+      let r =
+        Loop.run
+          {
+            (Loop.default_options ~device) with
+            Loop.budget = 24;
+            seed = 5L;
+            profiles = Exec.all_profiles;
+          }
+      in
+      Alcotest.(check int) (device ^ ": no divergences") 0
+        r.Loop.r_divergent_inputs;
+      Alcotest.(check int) (device ^ ": no crashes") 0 r.Loop.r_crashes)
+    devices
+
 let test_report_json_shape () =
   let r = Loop.run (fdc_options ~budget:16 ~seed:11L) in
   let json = Loop.report_to_string r in
@@ -330,5 +382,11 @@ let () =
           Alcotest.test_case "fp candidate reported" `Quick
             test_fp_candidate_reported;
           Alcotest.test_case "report json shape" `Quick test_report_json_shape;
+        ] );
+      ( "minimized-oracle",
+        [
+          QCheck_alcotest.to_alcotest minimized_equivalence_prop;
+          Alcotest.test_case "all devices, full oracle" `Slow
+            test_minimized_oracle_all_devices;
         ] );
     ]

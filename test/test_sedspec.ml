@@ -21,6 +21,16 @@ let build_for ?(version = None) name =
 (* Cache: the FDC build is reused by several tests. *)
 let fdc_built = lazy (build_for "fdc")
 
+let empty_selection =
+  {
+    Sedspec.Selection.scalars = [];
+    buffers = [];
+    fn_ptrs = [];
+    index_params = [];
+    tracked_buffers = [];
+    rationale = [];
+  }
+
 (* --- Selection --------------------------------------------------------- *)
 
 let test_selection_fdc_matches_paper_table1 () =
@@ -217,6 +227,342 @@ let test_datadep_pcnet_guest_replay () =
   let _, built, _ = build_for "pcnet" in
   (* Descriptor own-bit branches read guest memory. *)
   Alcotest.(check bool) "guest replay sites" true (built.datadep.guest_replay > 0)
+
+(* Synthetic one-handler program: a host value and a guest load feed two
+   locals; the branch site is where classification is queried. *)
+let datadep_syn_program () =
+  let open Devir.Dsl in
+  let layout = Layout.make [ Layout.reg ~hw:true "st" Width.W8 ] in
+  Program.make ~name:"ddsyn" ~layout
+    [
+      handler "d" ~params:[]
+        [
+          entry "e0"
+            [
+              hostv "hv" "clock";
+              load "gv" (c 0x100);
+              local "pure" (c 2);
+            ]
+            (goto "b1");
+          blk "b1" [] (br (lcl "hv") "x" "x");
+          exit_ "x" [];
+        ];
+    ]
+
+(* The headline regression: [Datadep.analyze] used to classify a decision
+   by its terminator's FIRST expression only (an [e :: _] match).  A site
+   whose second expression is host-derived was silently treated as
+   substitutable — the checker would then walk it pre-execution with a
+   value it cannot compute.  The classification must join over all
+   expressions: any host dependence wins, then any guest dependence. *)
+let test_datadep_joins_all_exprs () =
+  let p = datadep_syn_program () in
+  let site = { Program.handler = "d"; label = "b1" } in
+  let classify exprs = Sedspec.Datadep.classify_exprs p site exprs in
+  let cls =
+    Alcotest.testable
+      (Fmt.of_to_string (function
+        | Sedspec.Datadep.Substituted -> "substituted"
+        | Guest_replay -> "guest-replay"
+        | Sync_point -> "sync-point"))
+      ( = )
+  in
+  let open Devir.Dsl in
+  (* Failing before the fix: the head is pure, the tail is host-derived. *)
+  Alcotest.(check (option cls)) "host dep in SECOND expr forces sync"
+    (Some Sedspec.Datadep.Sync_point)
+    (classify [ c 1; lcl "hv" ]);
+  Alcotest.(check (option cls)) "host dep in head still syncs"
+    (Some Sedspec.Datadep.Sync_point)
+    (classify [ lcl "hv"; c 1 ]);
+  Alcotest.(check (option cls)) "guest dep in second expr replays"
+    (Some Sedspec.Datadep.Guest_replay)
+    (classify [ lcl "pure"; lcl "gv" ]);
+  Alcotest.(check (option cls)) "host beats guest in the join"
+    (Some Sedspec.Datadep.Sync_point)
+    (classify [ lcl "gv"; lcl "hv" ]);
+  Alcotest.(check (option cls)) "pure exprs substitute"
+    (Some Sedspec.Datadep.Substituted)
+    (classify [ c 1; lcl "pure" ]);
+  Alcotest.(check (option cls)) "no exprs, no classification" None (classify [])
+
+(* Flow sensitivity: a host-derived local that is strongly redefined from
+   a constant before the decision no longer forces a sync point — only
+   definitions that actually reach the site count.  The old whole-handler
+   chase (kept as [classify_site_flow_insensitive]) says sync. *)
+let test_datadep_flow_sensitive () =
+  let open Devir.Dsl in
+  let layout = Layout.make [ Layout.reg ~hw:true "st" Width.W8 ] in
+  let p =
+    Program.make ~name:"ddflow" ~layout
+      [
+        handler "f" ~params:[]
+          [
+            entry "e0" [ hostv "t" "clock" ] (goto "m");
+            blk "m" [ local "t" (c 5) ] (goto "b");
+            blk "b" [] (br (lcl "t") "x" "x");
+            exit_ "x" [];
+          ];
+      ]
+  in
+  let site = { Program.handler = "f"; label = "b" } in
+  Alcotest.(check bool) "flow-insensitive chase still says sync" true
+    (Sedspec.Datadep.classify_site_flow_insensitive p site (lcl "t")
+    = Sedspec.Datadep.Sync_point);
+  Alcotest.(check bool) "ddg sees only the reaching constant def" true
+    (Sedspec.Datadep.classify_site p site (lcl "t")
+    = Sedspec.Datadep.Substituted)
+
+(* --- Minimization ------------------------------------------------------- *)
+
+(* One synthetic handler that exercises all four minimization rewrites:
+   - [e]     Entry, no work, goto            -> pruned
+   - [chk1]  one-sided branch on st == 1     -> kept (the certifier)
+   - [mid]   empty straight-line block       -> pruned
+   - [chk2]  same one-sided branch           -> dominated, rewritten + pruned
+   - [body]  local-only definitions, goto    -> merged into [sink], pruned
+   - [sink]  state write (consumes the local)-> kept
+   - [cfold] branch on a constant            -> folded + pruned
+   - [out]   Exit                            -> pruned *)
+let minimize_syn_spec () =
+  let open Devir.Dsl in
+  let layout =
+    Layout.make
+      [ Layout.reg ~hw:true "st" Width.W8; Layout.reg ~hw:true "cnt" Width.W8 ]
+  in
+  let program =
+    Program.make ~name:"minsyn" ~layout
+      [
+        handler "h" ~params:[ "data" ]
+          [
+            entry "e" [] (goto "chk1");
+            blk "chk1" [] (br (fld "st" ==% c 1) "mid" "dead1");
+            blk "mid" [] (goto "chk2");
+            blk "chk2" [] (br (fld "st" ==% c 1) "body" "dead2");
+            blk "body" [ local "t" (c 3) ] (goto "sink");
+            blk "sink" [ set "st" (lcl "t") ] (goto "cfold");
+            blk "cfold" [] (br (c 1) "out" "dead3");
+            exit_ "out" [];
+            exit_ "dead1" [];
+            exit_ "dead2" [];
+            exit_ "dead3" [];
+          ];
+      ]
+  in
+  let spec = Sedspec.Es_cfg.create ~program ~selection:empty_selection in
+  let b label = { Program.handler = "h"; label } in
+  let node ?(taken = 0) ?(not_taken = 0) label succs =
+    Sedspec.Es_cfg.import_node spec (b label) ~visits:(max 1 (taken + not_taken))
+      ~taken ~not_taken ~cases:[] ~itargets:[]
+      ~succs:(List.map b succs);
+    Sedspec.Es_cfg.import_access spec ~cmd:None (b label)
+  in
+  node "e" [ "chk1" ];
+  node ~taken:5 "chk1" [ "mid" ];
+  node "mid" [ "chk2" ];
+  node ~taken:5 "chk2" [ "body" ];
+  node "body" [ "sink" ];
+  node "sink" [ "cfold" ];
+  node ~taken:5 "cfold" [ "out" ];
+  node "out" [];
+  spec
+
+let test_minimize_all_passes () =
+  let spec = minimize_syn_spec () in
+  let mspec, rep = Sedspec.Minimize.run spec in
+  Alcotest.(check int) "nodes before" 8 rep.Sedspec.Minimize.nodes_before;
+  Alcotest.(check int) "constant branch folded" 1
+    rep.Sedspec.Minimize.branches_folded;
+  Alcotest.(check int) "dominated branch rewritten" 1
+    rep.Sedspec.Minimize.branches_dominated;
+  Alcotest.(check int) "chain merged" 1 rep.Sedspec.Minimize.chains_merged;
+  Alcotest.(check int) "pruned" 6 rep.Sedspec.Minimize.pruned;
+  Alcotest.(check int) "nodes after" 2 rep.Sedspec.Minimize.nodes_after;
+  Alcotest.(check int) "node count matches report"
+    rep.Sedspec.Minimize.nodes_after
+    (Sedspec.Es_cfg.node_count mspec);
+  (* The source spec is untouched. *)
+  Alcotest.(check int) "source spec intact" 8 (Sedspec.Es_cfg.node_count spec);
+  (* Survivors: the certifier branch and the state write.  The certifier's
+     successor edge was re-chased through the pruned chain down to the
+     surviving state-write node. *)
+  let b label = { Program.handler = "h"; label } in
+  (match Sedspec.Es_cfg.node mspec (b "chk1") with
+  | Some n ->
+    Alcotest.(check (list string)) "chk1 chases to sink" [ "sink" ]
+      (List.map (fun (s : Program.bref) -> s.label) n.succs)
+  | None -> Alcotest.fail "certifier chk1 was pruned");
+  (match Sedspec.Es_cfg.node mspec (b "sink") with
+  | Some n ->
+    (* Merge moved body's local definition in front of sink's own DSOD. *)
+    Alcotest.(check bool) "sink dsod starts with the forwarded local" true
+      (match n.dsod with Stmt.Set_local ("t", _) :: _ -> true | _ -> false)
+  | None -> Alcotest.fail "sink was pruned");
+  Alcotest.(check bool) "minimized graph validates" true
+    (Sedspec.Es_cfg.validate mspec = []);
+  (* Derived-spec bookkeeping: the program is a clone with a new name but
+     identical brefs; the prune counter folds into the reduce statistic. *)
+  Alcotest.(check bool) "derived program renamed" true
+    (Program.name (Sedspec.Es_cfg.program mspec) = "minsyn+min");
+  Alcotest.(check int) "reduced counter absorbs prunes"
+    (Sedspec.Es_cfg.reduced_count spec + rep.Sedspec.Minimize.pruned)
+    (Sedspec.Es_cfg.reduced_count mspec)
+
+(* Guard rails: a branch whose condition can be rewritten in between, a
+   two-sided branch, and a node outside the no-command set must all
+   survive. *)
+let test_minimize_guards () =
+  let open Devir.Dsl in
+  let layout = Layout.make [ Layout.reg ~hw:true "st" Width.W8 ] in
+  let program =
+    Program.make ~name:"minguard" ~layout
+      [
+        handler "h" ~params:[]
+          [
+            entry "e" [] (goto "chk1");
+            blk "chk1" [] (br (fld "st" ==% c 1) "mid" "dead1");
+            (* [mid] writes the certified condition's field: chk2 must
+               NOT be treated as dominated. *)
+            blk "mid" [ set "st" (c 1) ] (goto "chk2");
+            blk "chk2" [] (br (fld "st" ==% c 1) "two" "dead2");
+            (* Two-sided in training: never foldable or dominated. *)
+            blk "two" [] (br (fld "st" ==% c 0) "out" "priv");
+            exit_ "out" [];
+            (* Command-gated empty block: without no-command access its
+               access check is load-bearing, so it must not be pruned. *)
+            blk "priv" [] (goto "out2");
+            exit_ "out2" [];
+            exit_ "dead1" [];
+            exit_ "dead2" [];
+          ];
+      ]
+  in
+  let spec = Sedspec.Es_cfg.create ~program ~selection:empty_selection in
+  let b label = { Program.handler = "h"; label } in
+  let node ?(taken = 0) ?(not_taken = 0) ?(no_cmd = true) label succs =
+    Sedspec.Es_cfg.import_node spec (b label) ~visits:(max 1 (taken + not_taken))
+      ~taken ~not_taken ~cases:[] ~itargets:[]
+      ~succs:(List.map b succs);
+    if no_cmd then Sedspec.Es_cfg.import_access spec ~cmd:None (b label)
+  in
+  node "e" [ "chk1" ];
+  node ~taken:5 "chk1" [ "mid" ];
+  node "mid" [ "chk2" ];
+  node ~taken:5 "chk2" [ "two" ];
+  node ~taken:3 ~not_taken:2 "two" [ "out"; "priv" ];
+  node "out" [];
+  node ~no_cmd:false "priv" [ "out2" ];
+  node "out2" [];
+  let mspec, rep = Sedspec.Minimize.run spec in
+  Alcotest.(check int) "no branch folded" 0 rep.Sedspec.Minimize.branches_folded;
+  Alcotest.(check int) "write between checks blocks domination" 0
+    rep.Sedspec.Minimize.branches_dominated;
+  Alcotest.(check bool) "chk2 survives" true
+    (Sedspec.Es_cfg.node mspec (b "chk2") <> None);
+  Alcotest.(check bool) "two-sided branch survives" true
+    (Sedspec.Es_cfg.node mspec (b "two") <> None);
+  Alcotest.(check bool) "command-gated block survives" true
+    (Sedspec.Es_cfg.node mspec (b "priv") <> None);
+  Alcotest.(check bool) "minimized graph validates" true
+    (Sedspec.Es_cfg.validate mspec = [])
+
+(* Minimizing every trained device spec must shrink (or at worst keep)
+   the node count, preserve the command access table verbatim, and yield
+   a graph that validates. *)
+let test_minimize_all_devices () =
+  List.iter
+    (fun w ->
+      let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+      let m = W.make_machine W.paper_version in
+      let built =
+        Sedspec.Pipeline.build m ~device:W.device_name
+          (W.trainer ~cases:training_cases)
+      in
+      let mspec, rep = Sedspec.Minimize.run built.spec in
+      Alcotest.(check bool) (W.device_name ^ ": never larger") true
+        (rep.Sedspec.Minimize.nodes_after <= rep.Sedspec.Minimize.nodes_before);
+      Alcotest.(check bool) (W.device_name ^ ": shrank") true
+        (rep.Sedspec.Minimize.nodes_after < rep.Sedspec.Minimize.nodes_before);
+      Alcotest.(check bool) (W.device_name ^ ": validates") true
+        (Sedspec.Es_cfg.validate mspec = []);
+      Alcotest.(check bool) (W.device_name ^ ": commands preserved") true
+        (Sedspec.Es_cfg.commands mspec = Sedspec.Es_cfg.commands built.spec))
+    Workload.Samples.all
+
+(* --- Deterministic spec surface ----------------------------------------- *)
+
+(* [commands]/[sync_points] used to leak Hashtbl fold order: two specs
+   holding identical training state could print different stats, viz and
+   JSON.  Build the same access table in opposite insertion orders and
+   require identical observable output. *)
+let test_escfg_deterministic_order () =
+  let program = Devices.Fdc.program ~version:(QV.v 2 3 0) in
+  let blocks =
+    let acc = ref [] in
+    Program.iter_blocks program (fun bref _ -> acc := bref :: !acc);
+    Array.of_list (List.rev !acc)
+  in
+  let cmds =
+    [ (blocks.(4), 0x10L); (blocks.(0), 0x8L); (blocks.(4), 0x2L);
+      (blocks.(2), 0x45L) ]
+  in
+  let members = [ blocks.(1); blocks.(5); blocks.(3) ] in
+  let build order_cmds order_members =
+    let spec = Sedspec.Es_cfg.create ~program ~selection:empty_selection in
+    List.iter
+      (fun key ->
+        List.iter
+          (fun b -> Sedspec.Es_cfg.import_access spec ~cmd:(Some key) b)
+          order_members)
+      order_cmds;
+    List.iter (Sedspec.Es_cfg.import_access spec ~cmd:None) order_members;
+    List.iter
+      (fun (b : Program.bref) ->
+        Sedspec.Es_cfg.import_node spec b ~visits:1 ~taken:0 ~not_taken:0
+          ~cases:[] ~itargets:[] ~succs:[])
+      order_members;
+    spec
+  in
+  let s1 = build cmds members in
+  let s2 = build (List.rev cmds) (List.rev members) in
+  Alcotest.(check bool) "commands sorted identically" true
+    (Sedspec.Es_cfg.commands s1 = Sedspec.Es_cfg.commands s2);
+  Alcotest.(check bool) "access entries identical" true
+    (Sedspec.Es_cfg.access_entries s1 = Sedspec.Es_cfg.access_entries s2);
+  Alcotest.(check string) "pp_stats identical"
+    (Format.asprintf "%a" Sedspec.Es_cfg.pp_stats s1)
+    (Format.asprintf "%a" Sedspec.Es_cfg.pp_stats s2);
+  (* And the sorted views really are sorted. *)
+  let sorted_cmds = Sedspec.Es_cfg.commands s1 in
+  Alcotest.(check bool) "commands ascending" true
+    (List.sort
+       (fun (b1, v1) (b2, v2) ->
+         match Program.bref_compare b1 b2 with
+         | 0 -> Int64.compare v1 v2
+         | n -> n)
+       sorted_cmds
+    = sorted_cmds)
+
+let test_escfg_reduce_idempotent () =
+  let w = Workload.Samples.find "fdc" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let m = W.make_machine W.paper_version in
+  let built =
+    Sedspec.Pipeline.build ~reduce:false m ~device:"fdc" (W.trainer ~cases:6)
+  in
+  let spec = built.spec in
+  let r1 = Sedspec.Es_cfg.reduce spec in
+  Alcotest.(check bool) "first reduce removes nodes" true (r1 > 0);
+  Alcotest.(check int) "counter after first pass" r1
+    (Sedspec.Es_cfg.reduced_count spec);
+  let r2 = Sedspec.Es_cfg.reduce spec in
+  Alcotest.(check int) "second reduce is a no-op" 0 r2;
+  Alcotest.(check int) "counter unchanged" r1 (Sedspec.Es_cfg.reduced_count spec);
+  (* No surviving successor edge dangles into a removed block. *)
+  Alcotest.(check (list string)) "no dangling successors" []
+    (List.map
+       (fun (e : Validate.error) -> e.message)
+       (Sedspec.Es_cfg.validate spec))
 
 (* --- Checker: benign traffic -------------------------------------------- *)
 
@@ -486,16 +832,6 @@ let test_persist_stale_allow_fails () =
     Alcotest.(check bool) "fails fast on the stale allow" true
       (String.length msg > 0)
   | Ok _ -> Alcotest.fail "stale allow after a node was accepted"
-
-let empty_selection =
-  {
-    Sedspec.Selection.scalars = [];
-    buffers = [];
-    fn_ptrs = [];
-    index_params = [];
-    tracked_buffers = [];
-    rationale = [];
-  }
 
 let test_persist_rejects_bad_names () =
   (* The format is word/comma separated: a name with a space or comma
@@ -1139,6 +1475,10 @@ let () =
           Alcotest.test_case "reduction removes only trivial nodes" `Quick
             test_escfg_reduction_only_trivial;
           Alcotest.test_case "dsod lifting rule" `Quick test_dsod_lifting_rule;
+          Alcotest.test_case "deterministic command/table order" `Quick
+            test_escfg_deterministic_order;
+          Alcotest.test_case "reduce is idempotent and leaves no dangling edges"
+            `Quick test_escfg_reduce_idempotent;
         ] );
       ( "datadep",
         [
@@ -1146,6 +1486,18 @@ let () =
           Alcotest.test_case "fdc fully substituted" `Quick
             test_datadep_fdc_fully_substituted;
           Alcotest.test_case "pcnet guest replay" `Quick test_datadep_pcnet_guest_replay;
+          Alcotest.test_case "classification joins over all exprs" `Quick
+            test_datadep_joins_all_exprs;
+          Alcotest.test_case "flow-sensitive reaching defs" `Quick
+            test_datadep_flow_sensitive;
+        ] );
+      ( "minimize",
+        [
+          Alcotest.test_case "all four passes on a synthetic handler" `Quick
+            test_minimize_all_passes;
+          Alcotest.test_case "soundness guards hold" `Quick test_minimize_guards;
+          Alcotest.test_case "shrinks every device spec" `Slow
+            test_minimize_all_devices;
         ] );
       ( "checker-benign",
         [
