@@ -10,6 +10,7 @@
      micro     Walk-engine throughput + Bechamel micro-benchmarks
      scale     Fleet scale: shared arenas + per-VM cursors at 10/1k/10k VMs
      fuzz      Coverage-guided differential fuzz smoke (lib/fuzz)
+     locate    Cross-version deviation locator over the attack catalogue
      all       Everything above (default)
 
    Flags: --quick (shorter soaks), --seed N, --json FILE (dump every
@@ -1139,6 +1140,71 @@ let fuzz_smoke () =
     rows;
   Printf.printf "(any divergence or crash is a walk-engine bug)\n"
 
+(* The cross-version deviation locator over the attack catalogue:
+   vulnerable vs patched device model per CVE, minimized witnesses,
+   localized block sets (DESIGN.md §4i).  Quick mode covers the scsi
+   catalogue (three CVEs, three version pairs, one device build); the
+   full run covers all nine. *)
+let locate_bench () =
+  section "Locate: cross-version behaviour deltas over the attack catalogue";
+  let opts =
+    {
+      Fuzz.Locate.default_options with
+      Fuzz.Locate.device = (if !quick then Some "scsi" else None);
+      budget = 8;
+      seed = !seed;
+      jobs = !jobs;
+    }
+  in
+  let r = Fuzz.Locate.run opts in
+  let rows =
+    List.map
+      (fun (d : Fuzz.Delta.cve_delta) ->
+        let best_ratio =
+          List.fold_left
+            (fun acc (w : Fuzz.Delta.witness) ->
+              min acc
+                (float_of_int (Array.length w.Fuzz.Delta.w_input.Fuzz.Input.steps)
+                /. float_of_int (max 1 w.Fuzz.Delta.w_original_len)))
+            1.0 d.Fuzz.Delta.cd_witnesses
+        in
+        let pfx = Printf.sprintf "locate.%s" d.Fuzz.Delta.cd_cve in
+        json_int (pfx ^ ".witnesses") (List.length d.Fuzz.Delta.cd_witnesses);
+        json_int (pfx ^ ".changed_blocks") (List.length d.Fuzz.Delta.cd_changed);
+        json_int (pfx ^ ".roots") (List.length d.Fuzz.Delta.cd_roots);
+        json_int (pfx ^ ".static_blocks") (List.length d.Fuzz.Delta.cd_static);
+        json_float (pfx ^ ".best_shrink_ratio") best_ratio;
+        json_bool (pfx ^ ".localized") d.Fuzz.Delta.cd_localized;
+        [
+          d.Fuzz.Delta.cd_cve;
+          d.Fuzz.Delta.cd_device;
+          Printf.sprintf "%s->%s"
+            (Devices.Qemu_version.to_string d.Fuzz.Delta.cd_vulnerable)
+            (Devices.Qemu_version.to_string d.Fuzz.Delta.cd_patched);
+          string_of_int (List.length d.Fuzz.Delta.cd_witnesses);
+          string_of_int (List.length d.Fuzz.Delta.cd_changed);
+          string_of_int (List.length d.Fuzz.Delta.cd_roots);
+          Printf.sprintf "%.2f" best_ratio;
+          (if d.Fuzz.Delta.cd_localized then "yes" else "NO");
+        ])
+      r.Fuzz.Delta.deltas
+  in
+  Table.print
+    ~align:
+      [
+        Table.Left; Table.Left; Table.Center; Table.Right; Table.Right;
+        Table.Right; Table.Right; Table.Center;
+      ]
+    ~header:
+      [
+        "CVE"; "device"; "pair"; "witnesses"; "changed"; "roots";
+        "best shrink"; "localized";
+      ]
+    rows;
+  Printf.printf
+    "(localized = statically patched blocks contained in the dynamically\n\
+    \ localized set; best shrink = smallest minimized/original witness ratio)\n"
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -1187,6 +1253,7 @@ let () =
       | "fleet" -> fleet_bench ()
       | "scale" -> scale_bench ()
       | "fuzz" -> fuzz_smoke ()
+      | "locate" -> locate_bench ()
       | "all" ->
         table2 ();
         table3 ();
@@ -1199,10 +1266,11 @@ let () =
         minimize_bench ();
         fleet_bench ();
         scale_bench ();
-        fuzz_smoke ()
+        fuzz_smoke ();
+        locate_bench ()
       | other ->
         Printf.eprintf
-          "unknown command %s (table2|table3|fig3|fig4|fig5|baseline|ablation|micro|minimize|fleet|scale|fuzz|all)\n"
+          "unknown command %s (table2|table3|fig3|fig4|fig5|baseline|ablation|micro|minimize|fleet|scale|fuzz|locate|all)\n"
           other;
         exit 2)
     cmds;

@@ -389,6 +389,85 @@ let fuzz_cmd =
           $ batch_arg $ max_steps_arg $ json_arg $ corpus_out_arg
           $ corpus_in_arg $ replay_arg $ oracle_arg $ training_cases_arg)
 
+(* --- locate ---------------------------------------------------------------- *)
+
+let locate_cmd =
+  let device_arg =
+    let doc =
+      "Restrict to one device's CVEs (fdc, ehci, pcnet, sdhci, scsi)."
+    in
+    Arg.(value & opt (some string) None & info [ "device" ] ~docv:"DEVICE" ~doc)
+  in
+  let cve_arg =
+    let doc = "Restrict to one CVE id, e.g. CVE-2021-3409." in
+    Arg.(value & opt (some string) None & info [ "cve" ] ~docv:"CVE" ~doc)
+  in
+  let budget_arg =
+    let doc = "Mutant evaluations per CVE." in
+    Arg.(value & opt int 128 & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Master PRNG seed." in
+    Arg.(value & opt int64 0L & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let max_steps_arg =
+    let doc = "Mutant length cap in interaction steps." in
+    Arg.(value & opt int 48 & info [ "max-steps" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the behaviour-delta JSON report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Exit non-zero unless every selected CVE is localized (all its \
+       statically patched blocks appear in the fuzzer's changed-block set)."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run device cve budget seed jobs max_steps json check cases =
+    setup_training cases;
+    let opts =
+      {
+        Fuzz.Locate.default_options with
+        Fuzz.Locate.device;
+        cve;
+        budget;
+        seed;
+        jobs;
+        max_steps;
+      }
+    in
+    if Fuzz.Locate.targets opts = [] then begin
+      Printf.eprintf "no catalogued CVE matches the filters (try 'list')\n";
+      exit 2
+    end;
+    let report = Fuzz.Locate.run opts in
+    Format.printf "%a@." Fuzz.Delta.pp report;
+    (match json with
+    | Some file ->
+      let tmp = file ^ ".tmp" in
+      let oc = open_out tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Fuzz.Delta.to_string report));
+      Sys.rename tmp file
+    | None -> ());
+    if
+      check
+      && List.exists
+           (fun (d : Fuzz.Delta.cve_delta) -> not d.Fuzz.Delta.cd_localized)
+           report.Fuzz.Delta.deltas
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "locate"
+       ~doc:
+         "Locate behaviour deviations across each CVE's vulnerable/patched \
+          version pair")
+    Term.(const run $ device_arg $ cve_arg $ budget_arg $ seed_arg $ jobs_arg
+          $ max_steps_arg $ json_arg $ check_arg $ training_cases_arg)
+
 (* --- fleet ---------------------------------------------------------------- *)
 
 let fleet_cmd =
@@ -638,6 +717,7 @@ let () =
             soak_cmd;
             coverage_cmd;
             fuzz_cmd;
+            locate_cmd;
             fleet_cmd;
             faultinj_cmd;
             check_spec_cmd;

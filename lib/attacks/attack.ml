@@ -2,6 +2,7 @@ type t = {
   cve : string;
   device : string;
   qemu_version : Devices.Qemu_version.t;
+  fixed_in : Devices.Qemu_version.t;
   expected : Sedspec.Checker.strategy list;
   detectable : bool;
   description : string;
@@ -59,6 +60,7 @@ let venom =
     cve = "CVE-2015-3456";
     device = Devices.Fdc.name;
     qemu_version = Devices.Qemu_version.v 2 3 0;
+    fixed_in = Devices.Fdc.venom_fixed_in;
     expected = [ Sedspec.Checker.Parameter_check; Sedspec.Checker.Conditional_jump_check ];
     detectable = true;
     description =
@@ -92,6 +94,7 @@ let cve_2020_14364 =
     cve = "CVE-2020-14364";
     device = Devices.Ehci.name;
     qemu_version = Devices.Qemu_version.v 5 1 0;
+    fixed_in = Devices.Ehci.cve_2020_14364_fixed_in;
     expected = [ Sedspec.Checker.Parameter_check; Sedspec.Checker.Indirect_jump_check ];
     detectable = true;
     description =
@@ -145,6 +148,7 @@ let cve_2015_7504 =
     cve = "CVE-2015-7504";
     device = Devices.Pcnet.name;
     qemu_version = Devices.Qemu_version.v 2 4 0;
+    fixed_in = Devices.Pcnet.cve_2015_750x_fixed_in;
     expected = [ Sedspec.Checker.Indirect_jump_check ];
     detectable = true;
     description =
@@ -169,6 +173,7 @@ let cve_2015_7512 =
     cve = "CVE-2015-7512";
     device = Devices.Pcnet.name;
     qemu_version = Devices.Qemu_version.v 2 4 0;
+    fixed_in = Devices.Pcnet.cve_2015_750x_fixed_in;
     expected = [ Sedspec.Checker.Parameter_check; Sedspec.Checker.Indirect_jump_check ];
     detectable = true;
     description =
@@ -200,6 +205,7 @@ let cve_2016_7909 =
     cve = "CVE-2016-7909";
     device = Devices.Pcnet.name;
     qemu_version = Devices.Qemu_version.v 2 6 0;
+    fixed_in = Devices.Pcnet.cve_2016_7909_fixed_in;
     expected = [ Sedspec.Checker.Conditional_jump_check ];
     detectable = true;
     description =
@@ -236,6 +242,7 @@ let cve_2021_3409 =
     cve = "CVE-2021-3409";
     device = Devices.Sdhci.name;
     qemu_version = Devices.Qemu_version.v 5 2 0;
+    fixed_in = Devices.Sdhci.cve_2021_3409_fixed_in;
     expected = [ Sedspec.Checker.Parameter_check ];
     detectable = true;
     description =
@@ -300,6 +307,7 @@ let cve_2015_5158 =
     cve = "CVE-2015-5158";
     device = Devices.Scsi.name;
     qemu_version = Devices.Qemu_version.v 2 4 0;
+    fixed_in = Devices.Scsi.cve_2015_5158_fixed_in;
     expected = [ Sedspec.Checker.Conditional_jump_check ];
     detectable = true;
     description =
@@ -322,6 +330,7 @@ let cve_2016_4439 =
     cve = "CVE-2016-4439";
     device = Devices.Scsi.name;
     qemu_version = Devices.Qemu_version.v 2 6 0;
+    fixed_in = Devices.Scsi.cve_2016_4439_fixed_in;
     expected = [ Sedspec.Checker.Conditional_jump_check ];
     detectable = true;
     description =
@@ -344,6 +353,7 @@ let cve_2016_1568 =
     cve = "CVE-2016-1568";
     device = Devices.Scsi.name;
     qemu_version = Devices.Qemu_version.v 2 4 0;
+    fixed_in = Devices.Scsi.cve_2016_1568_fixed_in;
     expected = [];
     detectable = false;
     description =
@@ -382,3 +392,5 @@ let all =
   ]
 
 let find cve = List.find (fun a -> a.cve = cve) all
+
+let version_pair a = (a.qemu_version, a.fixed_in)

@@ -15,6 +15,10 @@ type t = {
   cve : string;
   device : string;
   qemu_version : Devices.Qemu_version.t;
+  fixed_in : Devices.Qemu_version.t;
+      (** First QEMU version whose device model carries the fix — the
+          patched side of the CVE's version pair (matches the device
+          module's [*_fixed_in] gate). *)
   expected : Sedspec.Checker.strategy list;
   detectable : bool;
   description : string;
@@ -22,6 +26,10 @@ type t = {
   run : Vmm.Machine.t -> unit;
   ground_check : Vmm.Machine.t -> string list;
 }
+
+val version_pair : t -> Devices.Qemu_version.t * Devices.Qemu_version.t
+(** [(vulnerable, patched)] — the adjacent device versions the
+    cross-version deviation locator replays against. *)
 
 type effects = {
   oob_writes : int;

@@ -1,0 +1,172 @@
+(* Behaviour-delta reports (see .mli). *)
+
+module P = Devir.Program
+module Json = Sedspec_util.Json
+module Table = Sedspec_util.Table
+
+type witness = {
+  w_profile : string;
+  w_field : string;
+  w_detail : string;
+  w_original_len : int;
+  w_input : Input.t;
+  w_blocks : P.bref list;
+  w_roots : P.bref list;
+}
+
+type cve_delta = {
+  cd_cve : string;
+  cd_device : string;
+  cd_vulnerable : Devices.Qemu_version.t;
+  cd_patched : Devices.Qemu_version.t;
+  cd_static : Sedspec.Attrib.block_change list;
+  cd_changed : P.bref list;
+  cd_roots : P.bref list;
+  cd_witnesses : witness list;
+  cd_clusters : (P.bref list * int list) list;
+  cd_executed : int;
+  cd_divergent : int;
+  cd_localized : bool;
+}
+
+type t = { seed : int64; budget : int; deltas : cve_delta list }
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let json_brefs bs = Json.List (List.map (fun b -> Json.Str (P.bref_to_string b)) bs)
+
+let json_witness w =
+  Json.Obj
+    [
+      ("profile", Json.Str w.w_profile);
+      ("field", Json.Str w.w_field);
+      ("detail", Json.Str w.w_detail);
+      ("original_steps", Json.Int w.w_original_len);
+      ("steps", Json.Int (Array.length w.w_input.Input.steps));
+      ("origin", Json.Str (Input.origin_to_string w.w_input.Input.origin));
+      ("blocks", json_brefs w.w_blocks);
+      ("roots", json_brefs w.w_roots);
+      ("input", Json.Str (Input.to_string w.w_input));
+    ]
+
+let json_delta d =
+  Json.Obj
+    [
+      ("cve", Json.Str d.cd_cve);
+      ("device", Json.Str d.cd_device);
+      ("vulnerable", Json.Str (Devices.Qemu_version.to_string d.cd_vulnerable));
+      ("patched", Json.Str (Devices.Qemu_version.to_string d.cd_patched));
+      ( "static_diff",
+        Json.List
+          (List.map
+             (fun (c : Sedspec.Attrib.block_change) ->
+               Json.Obj
+                 [
+                   ("block", Json.Str (P.bref_to_string c.c_bref));
+                   ( "kind",
+                     Json.Str (Sedspec.Attrib.change_kind_to_string c.c_kind)
+                   );
+                 ])
+             d.cd_static) );
+      ("changed_blocks", json_brefs d.cd_changed);
+      ("root_blocks", json_brefs d.cd_roots);
+      ("localized", Json.Bool d.cd_localized);
+      ("executed", Json.Int d.cd_executed);
+      ("divergent_inputs", Json.Int d.cd_divergent);
+      ("witnesses", Json.List (List.map json_witness d.cd_witnesses));
+      ( "clusters",
+        Json.List
+          (List.map
+             (fun (roots, idxs) ->
+               Json.Obj
+                 [
+                   ("roots", json_brefs roots);
+                   ("witnesses", Json.List (List.map (fun i -> Json.Int i) idxs));
+                 ])
+             d.cd_clusters) );
+    ]
+
+(* Deliberately excludes job count and wall-clock: byte-identical across
+   [--jobs] values. *)
+let to_json t =
+  Json.Obj
+    [
+      ("tool", Json.Str "locate");
+      ("seed", Json.Str (Int64.to_string t.seed));
+      ("budget", Json.Int t.budget);
+      ("deltas", Json.List (List.map json_delta t.deltas));
+    ]
+
+let to_string t = Json.to_string (to_json t)
+
+(* --- Pretty table -------------------------------------------------------- *)
+
+let brefs_to_string = function
+  | [] -> "-"
+  | bs -> String.concat " " (List.map P.bref_to_string bs)
+
+let pp ppf t =
+  Format.fprintf ppf "deviation locator: seed %Ld, budget %d/CVE@."
+    t.seed t.budget;
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "@.%s  (%s %s -> %s)  %s@." d.cd_cve d.cd_device
+        (Devices.Qemu_version.to_string d.cd_vulnerable)
+        (Devices.Qemu_version.to_string d.cd_patched)
+        (if d.cd_localized then "localized" else "NOT LOCALIZED");
+      Format.fprintf ppf "  static diff : %s@."
+        (match d.cd_static with
+        | [] -> "-"
+        | cs ->
+            String.concat " "
+              (List.map
+                 (fun (c : Sedspec.Attrib.block_change) ->
+                   Printf.sprintf "%s(%s)"
+                     (P.bref_to_string c.c_bref)
+                     (Sedspec.Attrib.change_kind_to_string c.c_kind))
+                 cs));
+      Format.fprintf ppf "  changed     : %s@." (brefs_to_string d.cd_changed);
+      Format.fprintf ppf "  roots       : %s@." (brefs_to_string d.cd_roots);
+      Format.fprintf ppf "  evaluations : %d (%d divergent)@." d.cd_executed
+        d.cd_divergent;
+      if d.cd_witnesses <> [] then begin
+        let rows =
+          List.map
+            (fun w ->
+              [
+                w.w_profile;
+                w.w_field;
+                string_of_int w.w_original_len;
+                string_of_int (Array.length w.w_input.Input.steps);
+                Input.origin_to_string w.w_input.Input.origin;
+                brefs_to_string w.w_roots;
+              ])
+            d.cd_witnesses
+        in
+        Format.fprintf ppf "%s"
+          (Table.render
+             ~align:Table.[ Left; Left; Right; Right; Left; Left ]
+             ~header:[ "profile"; "field"; "orig"; "min"; "origin"; "roots" ]
+             rows)
+      end)
+    t.deltas;
+  (* Summary: one row per CVE, the report's headline table. *)
+  Format.fprintf ppf "@.%s"
+    (Table.render
+       ~align:Table.[ Left; Left; Left; Right; Right; Right; Left ]
+       ~header:
+         [ "CVE"; "device"; "pair"; "witnesses"; "blocks"; "roots"; "localized" ]
+       (List.map
+          (fun d ->
+            [
+              d.cd_cve;
+              d.cd_device;
+              Devices.Qemu_version.to_string d.cd_vulnerable
+              ^ "->"
+              ^ Devices.Qemu_version.to_string d.cd_patched;
+              string_of_int (List.length d.cd_witnesses);
+              string_of_int (List.length d.cd_changed);
+              string_of_int (List.length d.cd_roots);
+              (if d.cd_localized then "yes" else "no");
+            ])
+          t.deltas))

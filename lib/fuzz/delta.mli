@@ -1,0 +1,56 @@
+(** Behaviour-delta reports: what the cross-version deviation locator
+    found for each catalogued CVE.
+
+    A report carries, per CVE, the static ground truth (label-level
+    program diff of the version-gated models, {!Sedspec.Attrib}), the
+    dynamically localized changed-block set, its dominator roots, the
+    minimized witness sequences, and witness clusters keyed by root
+    blocks — the auto-generated "what changed across this patch" table
+    the attack catalogue grows from. *)
+
+type witness = {
+  w_profile : string;  (** Cross-version profile ([xver-*]) that diverged. *)
+  w_field : string;  (** Diverging oracle field. *)
+  w_detail : string;
+  w_original_len : int;  (** Steps before ddmin. *)
+  w_input : Input.t;  (** Minimized witness sequence. *)
+  w_blocks : Devir.Program.bref list;
+      (** Blocks this witness implicates (coverage/anomaly symmetric
+          difference across the version pair), sorted. *)
+  w_roots : Devir.Program.bref list;
+      (** [w_blocks] collapsed to dominator roots in the patched
+          program — the cluster key. *)
+}
+
+type cve_delta = {
+  cd_cve : string;
+  cd_device : string;
+  cd_vulnerable : Devices.Qemu_version.t;
+  cd_patched : Devices.Qemu_version.t;
+  cd_static : Sedspec.Attrib.block_change list;
+      (** Ground truth: blocks the version gate actually patches. *)
+  cd_changed : Devir.Program.bref list;
+      (** Union of witness block sets plus the full exploit stream's
+          device-trace diff, sorted. *)
+  cd_roots : Devir.Program.bref list;
+      (** [cd_changed] collapsed to dominator roots. *)
+  cd_witnesses : witness list;
+  cd_clusters : (Devir.Program.bref list * int list) list;
+      (** Witness indices grouped by identical root set. *)
+  cd_executed : int;  (** Fuzz evaluations spent on this CVE. *)
+  cd_divergent : int;  (** Inputs that diverged across the version pair. *)
+  cd_localized : bool;
+      (** Every statically patched block appears in [cd_changed]. *)
+}
+
+type t = { seed : int64; budget : int; deltas : cve_delta list }
+
+val to_json : t -> Sedspec_util.Json.t
+(** Deterministic; excludes job count and wall-clock, so output is
+    byte-identical across [--jobs] values. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+(** Pretty per-CVE tables: version pair, static diff vs localized
+    blocks, and one row per minimized witness. *)

@@ -20,6 +20,10 @@ type profile = {
   right : C.config;
   left_source : spec_source;
   right_source : spec_source;
+  left_version : Devices.Qemu_version.t option;
+      (** Replay the left side at this device version instead of the
+          input's own — the cross-version (deviation-locator) seam. *)
+  right_version : Devices.Qemu_version.t option;
   lenient : bool;
       (** Mask walk-internal observables (stats, node/edge coverage) that
           legitimately differ across spec sources; verdict-level fields
@@ -33,6 +37,8 @@ let profile ~mode ~pname =
     right = { C.default_config with C.mode; engine = C.Interpreted };
     left_source = Trained;
     right_source = Trained;
+    left_version = None;
+    right_version = None;
     lenient = false;
   }
 
@@ -58,12 +64,38 @@ let minimized_profiles =
             right = { C.default_config with C.mode; engine };
             left_source = Minimized;
             right_source = Trained;
+            left_version = None;
+            right_version = None;
             lenient = true;
           })
         [ (C.Compiled, "compiled"); (C.Interpreted, "interp") ])
     [ (C.Protection, "protection"); (C.Enhancement, "enhancement") ]
 
 let all_profiles = default_profiles @ minimized_profiles
+
+(* Cross-version oracles: the same engine, mode and spec source on both
+   sides, but the device model (and the spec trained on it) at the CVE's
+   vulnerable version on the left and its first patched version on the
+   right.  A field difference here is not a checker bug — it is a
+   behavioural deviation between adjacent device versions, the raw
+   material of the deviation locator.  Lenient: walk statistics and
+   coverage legitimately differ across versions (the specs are trained on
+   different models); verdict-level fields — I/O results, anomalies,
+   warnings, halts, shadow bytes, crashes — are always compared. *)
+let cross_version_profiles ~vuln ~patched =
+  List.map
+    (fun (mode, mname) ->
+      {
+        pname = Printf.sprintf "xver-%s" mname;
+        left = { C.default_config with C.mode; engine = C.Compiled };
+        right = { C.default_config with C.mode; engine = C.Compiled };
+        left_source = Trained;
+        right_source = Trained;
+        left_version = Some vuln;
+        right_version = Some patched;
+        lenient = true;
+      })
+    [ (C.Protection, "protection"); (C.Enhancement, "enhancement") ]
 
 (* --- Machine factory --------------------------------------------------- *)
 
@@ -125,14 +157,14 @@ let config_key (c : C.config) =
 let ctx_pool : (string, rctx list ref) Hashtbl.t = Hashtbl.create 16
 let ctx_lock = Mutex.create ()
 
-let make_rctx ~config ~source (input : Input.t) =
+let make_rctx ~config ~source ~version (input : Input.t) =
   let w = Workload.Samples.find input.device in
   let b =
     match source with
-    | Trained -> Metrics.Spec_cache.built w input.version
-    | Minimized -> Metrics.Spec_cache.built_minimized w input.version
+    | Trained -> Metrics.Spec_cache.built w version
+    | Minimized -> Metrics.Spec_cache.built_minimized w version
   in
-  let dev = cached_device ~device:input.device ~version:input.version in
+  let dev = cached_device ~device:input.device ~version in
   (* 1 MiB of RAM, not the 16 MiB default: every guest address the
      workloads, attacks and mutator touch sits below 0xA0000. *)
   let m = Vmm.Machine.create ~ram_size:0x100000 ~vmexit_cost:0 () in
@@ -153,10 +185,10 @@ let scrub_rctx ~device rctx =
   C.set_fault_hook rctx.rx_checker None;
   C.reset rctx.rx_checker
 
-let with_rctx ~config ~source (input : Input.t) f =
+let with_rctx ~config ~source ~version (input : Input.t) f =
   let key =
     Printf.sprintf "%s|%s|%s|%s" input.device
-      (Devices.Qemu_version.to_string input.version)
+      (Devices.Qemu_version.to_string version)
       (config_key config) (source_key source)
   in
   let acquire () =
@@ -173,7 +205,7 @@ let with_rctx ~config ~source (input : Input.t) f =
     | Some rctx ->
       scrub_rctx ~device:input.device rctx;
       rctx
-    | None -> make_rctx ~config ~source input
+    | None -> make_rctx ~config ~source ~version input
   in
   let release rctx =
     Mutex.lock ctx_lock;
@@ -234,8 +266,9 @@ let edge_repr (a, b) =
    halted VM) and at the first host-level exception, which is recorded as
    a crash rather than propagated: a crashing replay is a finding, not a
    fuzzer failure. *)
-let run ~config ?(source = Trained) (input : Input.t) =
-  with_rctx ~config ~source input
+let run ~config ?(source = Trained) ?version (input : Input.t) =
+  let version = Option.value version ~default:input.version in
+  with_rctx ~config ~source ~version input
   @@ fun { rx_machine = m; rx_checker = checker } ->
   let cov = C.coverage_create () in
   C.set_coverage checker (Some cov);
@@ -310,6 +343,70 @@ let run ~config ?(source = Trained) (input : Input.t) =
   in
   (obs, cov)
 
+(* Device-level execution trace: replay the input on an *unprotected*
+   machine and collect the devir IR blocks the device itself executes
+   (every [on_block] firing, plus consecutive-pair edges across the whole
+   replay).  The spec-walk coverage above can only ever name trained
+   blocks — a patch that adds a rejection path off the benign corpus is
+   invisible to it — so the deviation locator attributes divergences
+   against this ground-level trace instead.  Walk faults are checker
+   effects and are skipped; guest faults apply as in [run]. *)
+let trace ?version (input : Input.t) =
+  let version = Option.value version ~default:input.version in
+  let dev = cached_device ~device:input.device ~version in
+  let m = Vmm.Machine.create ~ram_size:0x100000 ~vmexit_cost:0 () in
+  Vmm.Machine.attach m (dev.Devices.Device.make_binding ());
+  let interp = Vmm.Machine.interp_of m input.device in
+  let nodes : (Devir.Program.bref, int) Hashtbl.t = Hashtbl.create 64 in
+  let edges = Hashtbl.create 64 in
+  let last = ref None in
+  let hooks = Interp.hooks interp in
+  Interp.set_hooks interp
+    {
+      hooks with
+      Interp.on_block =
+        (fun bref kind ->
+          Hashtbl.replace nodes bref
+            (1 + Option.value ~default:0 (Hashtbl.find_opt nodes bref));
+          (match !last with
+          | Some prev -> Hashtbl.replace edges (prev, bref) ()
+          | None -> ());
+          last := Some bref;
+          hooks.Interp.on_block bref kind);
+    };
+  let ram = Vmm.Machine.ram m in
+  (try
+     Array.iter
+       (fun step ->
+         match step with
+         | Input.Guest_write { addr; data } ->
+           Vmm.Guest_mem.blit_in ram addr (Bytes.of_string data)
+         | Input.Fault f -> (
+           match f with
+           | Input.F_guest_xor mask ->
+             Vmm.Guest_mem.set_read_fault ram
+               (Some (Faultinj.Inject.corrupt_byte ~mask))
+           | Input.F_guest_short limit ->
+             Vmm.Guest_mem.set_read_fault ram
+               (Some (Faultinj.Inject.short_byte ~limit))
+           | Input.F_guest_clear -> Vmm.Guest_mem.set_read_fault ram None
+           | Input.F_walk_raise | Input.F_walk_delay _ -> ())
+         | Input.Req { handler; params } -> (
+           match Vmm.Machine.inject m ~device:input.device ~handler ~params with
+           | _ -> if Vmm.Machine.halted m then raise Exit
+           | exception _ -> raise Exit))
+       input.steps
+   with Exit -> ());
+  ( List.sort
+      (fun (a, _) (b, _) -> Devir.Program.bref_compare a b)
+      (Hashtbl.fold (fun k n acc -> (k, n) :: acc) nodes []),
+    List.sort
+      (fun (a1, a2) (b1, b2) ->
+        match Devir.Program.bref_compare a1 b1 with
+        | 0 -> Devir.Program.bref_compare a2 b2
+        | c -> c)
+      (Hashtbl.fold (fun k () acc -> k :: acc) edges []) )
+
 (* --- Comparison -------------------------------------------------------- *)
 
 type divergence = { d_profile : string; d_field : string; d_detail : string }
@@ -376,8 +473,13 @@ let evaluate ?(profiles = default_profiles) (input : Input.t) =
   let divergences =
     List.concat_map
       (fun p ->
-        let l, lcov = run ~config:p.left ~source:p.left_source input in
-        let r, rcov = run ~config:p.right ~source:p.right_source input in
+        let l, lcov =
+          run ~config:p.left ~source:p.left_source ?version:p.left_version input
+        in
+        let r, rcov =
+          run ~config:p.right ~source:p.right_source ?version:p.right_version
+            input
+        in
         ignore (C.coverage_absorb ~into:coverage lcov);
         ignore (C.coverage_absorb ~into:coverage rcov);
         if !canonical = None then canonical := Some l;

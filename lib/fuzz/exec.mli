@@ -20,6 +20,12 @@ type profile = {
   right : C.config;
   left_source : spec_source;
   right_source : spec_source;
+  left_version : Devices.Qemu_version.t option;
+      (** Replay the left side at this device version (and the spec
+          trained on it) instead of the input's own version — the
+          cross-version seam the deviation locator uses.  [None] keeps
+          the input's version. *)
+  right_version : Devices.Qemu_version.t option;
   lenient : bool;
       (** Mask observables that legitimately differ across spec sources
           (walk statistics, node/edge coverage); verdict-level fields —
@@ -41,6 +47,14 @@ val minimized_profiles : profile list
 val all_profiles : profile list
 (** {!default_profiles} followed by {!minimized_profiles}. *)
 
+val cross_version_profiles :
+  vuln:Devices.Qemu_version.t -> patched:Devices.Qemu_version.t -> profile list
+(** Vulnerable-vs-patched device model under the {e same} engine and
+    mode (protection and enhancement), each side checked by the spec
+    trained at its own version; lenient.  A divergence is a behavioural
+    deviation across the version boundary, not a checker bug — the raw
+    signal {!Locate} minimizes and clusters. *)
+
 val cached_device : device:string -> version:Devices.Qemu_version.t -> Devices.Device.t
 (** Process-wide memoised device build (immutable program; callers mint
     fresh arenas via [make_binding]).  Raises [Invalid_argument] for an
@@ -60,11 +74,32 @@ type obs = {
 }
 
 val run :
-  config:C.config -> ?source:spec_source -> Input.t -> obs * C.coverage
+  config:C.config ->
+  ?source:spec_source ->
+  ?version:Devices.Qemu_version.t ->
+  Input.t ->
+  obs * C.coverage
 (** Replay an input on a fresh protected machine under one configuration
-    and spec source ([source] defaults to [Trained]).  Stops at the first
-    halt verdict; host-level exceptions out of a step are recorded in
-    [o_crash] rather than propagated. *)
+    and spec source ([source] defaults to [Trained]; [version] overrides
+    the input's device version, defaulting to the input's own).  Stops at
+    the first halt verdict; host-level exceptions out of a step are
+    recorded in [o_crash] rather than propagated. *)
+
+val trace :
+  ?version:Devices.Qemu_version.t ->
+  Input.t ->
+  (Devir.Program.bref * int) list
+  * (Devir.Program.bref * Devir.Program.bref) list
+(** Device-level execution trace: replay the input on an {e unprotected}
+    machine and return the devir IR blocks the device executes with
+    their execution counts (sorted by block), plus consecutive-pair
+    edges across the whole replay.  Unlike the spec-walk coverage in
+    {!obs} — which can only name trained blocks — this sees patched
+    rejection paths the benign corpus never exercises, so the deviation
+    locator attributes against it; the counts additionally expose
+    deviations that visit the same block set a different number of times
+    (a re-bounded loop).  Walk faults (checker effects) are skipped;
+    guest faults apply. *)
 
 type divergence = { d_profile : string; d_field : string; d_detail : string }
 

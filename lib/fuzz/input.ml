@@ -210,6 +210,10 @@ let step_of_line line =
   match split_words line with
   | [ "g"; addr; hex ] ->
     Guest_write { addr = Int64.of_string addr; data = string_of_hex hex }
+  | [ "g"; addr ] ->
+    (* Empty payload prints as "g <addr> " — no hex word survives
+       [split_words]. *)
+    Guest_write { addr = Int64.of_string addr; data = "" }
   | [ "r"; handler ] -> Req { handler; params = [] }
   | [ "f"; "xor"; mask ] -> Fault (F_guest_xor (Int64.of_string mask))
   | [ "f"; "short"; limit ] -> Fault (F_guest_short (Int64.of_string limit))

@@ -45,6 +45,7 @@ type finding = {
   f_profile : string;
   f_field : string;
   f_detail : string;
+  f_original_len : int;  (** Steps in the input the divergence was found on. *)
   f_input : Input.t;  (** Shrunk reproducer. *)
 }
 
@@ -149,6 +150,7 @@ let run (opts : options) =
               f_profile = d.d_profile;
               f_field = d.d_field;
               f_detail = d.d_detail;
+              f_original_len = Array.length input.Input.steps;
               f_input = shrunk;
             }
         end)
@@ -247,6 +249,7 @@ let report_to_json r =
                    ("profile", Json.Str f.f_profile);
                    ("field", Json.Str f.f_field);
                    ("detail", Json.Str f.f_detail);
+                   ("original_steps", Json.Int f.f_original_len);
                    ("steps", Json.Int (Array.length f.f_input.Input.steps));
                    ("reproducer", Json.Str (Input.to_string f.f_input));
                  ])

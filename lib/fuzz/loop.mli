@@ -28,6 +28,7 @@ type finding = {
   f_profile : string;
   f_field : string;
   f_detail : string;
+  f_original_len : int;  (** Steps in the input the divergence was found on. *)
   f_input : Input.t;  (** Shrunk reproducer. *)
 }
 

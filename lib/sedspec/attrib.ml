@@ -1,0 +1,160 @@
+(* Block attribution for cross-version behaviour deltas (see .mli). *)
+
+module P = Devir.Program
+
+type change_kind = Added | Removed | Changed
+type block_change = { c_bref : P.bref; c_kind : change_kind }
+
+let change_kind_to_string = function
+  | Added -> "added"
+  | Removed -> "removed"
+  | Changed -> "changed"
+
+module Bset = Set.Make (struct
+  type t = P.bref
+
+  let compare = P.bref_compare
+end)
+
+let index p =
+  let tbl = Hashtbl.create 64 in
+  P.iter_blocks p (fun bref b -> Hashtbl.replace tbl bref b);
+  tbl
+
+let program_diff vulnerable patched =
+  let lt = index vulnerable and rt = index patched in
+  let changes = ref [] in
+  Hashtbl.iter
+    (fun bref (lb : Devir.Block.t) ->
+      match Hashtbl.find_opt rt bref with
+      | None -> changes := { c_bref = bref; c_kind = Removed } :: !changes
+      | Some (rb : Devir.Block.t) ->
+          (* Blocks are pure structural data; label equality is already
+             given by the shared bref key. *)
+          if lb.stmts <> rb.stmts || lb.term <> rb.term || lb.kind <> rb.kind
+          then changes := { c_bref = bref; c_kind = Changed } :: !changes)
+    lt;
+  Hashtbl.iter
+    (fun bref _ ->
+      if not (Hashtbl.mem lt bref) then
+        changes := { c_bref = bref; c_kind = Added } :: !changes)
+    rt;
+  List.sort (fun a b -> P.bref_compare a.c_bref b.c_bref) !changes
+
+module Eset = Set.Make (struct
+  type t = P.bref * P.bref
+
+  let compare (a1, a2) (b1, b2) =
+    match P.bref_compare a1 b1 with 0 -> P.bref_compare a2 b2 | c -> c
+end)
+
+let divergence_blocks ~left_nodes ~left_edges ~right_nodes ~right_edges
+    ?(left_sites = []) ?(right_sites = []) () =
+  let set = Bset.of_list in
+  let sym a b = Bset.union (Bset.diff a b) (Bset.diff b a) in
+  let nodes = sym (set left_nodes) (set right_nodes) in
+  (* Both endpoints of a one-side-only edge are implicated: the source's
+     terminator was rewired, and the destination's incoming control
+     changed — a block whose body was patched but whose label and
+     successors survived (e.g. a guard inserted *before* it) shows up
+     only as an edge destination.  The over-blamed rejoin block after a
+     diverging branch is collapsed away by [roots]. *)
+  let le = Eset.of_list left_edges and re = Eset.of_list right_edges in
+  let only = Eset.union (Eset.diff le re) (Eset.diff re le) in
+  let edge_ends =
+    Eset.fold
+      (fun (src, dst) acc -> Bset.add src (Bset.add dst acc))
+      only Bset.empty
+  in
+  let sites = sym (set left_sites) (set right_sites) in
+  Bset.elements (Bset.union nodes (Bset.union edge_ends sites))
+
+let count_diff left right =
+  let index side =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun (b, n) -> Hashtbl.replace tbl b n) side;
+    tbl
+  in
+  let lt = index left and rt = index right in
+  let count tbl b = Option.value ~default:0 (Hashtbl.find_opt tbl b) in
+  let all =
+    Bset.union
+      (Bset.of_list (List.map fst left))
+      (Bset.of_list (List.map fst right))
+  in
+  Bset.elements (Bset.filter (fun b -> count lt b <> count rt b) all)
+
+let term_vars (blk : Devir.Block.t) =
+  List.concat_map
+    (fun e ->
+      List.map (fun f -> Depgraph.Vfield f) (Devir.Expr.fields e)
+      @ List.map (fun l -> Depgraph.Vlocal l) (Devir.Expr.locals e))
+    (Devir.Term.exprs blk.Devir.Block.term)
+
+let data_slice graph program ~executed blocks =
+  let exec = Bset.of_list executed in
+  (* Program-wide field writers, for the cross-invocation fallback:
+     persistent device state set during one handler invocation steers a
+     branch in a later one (the def block exits straight to the handler
+     epilogue, so no intra-invocation path links them), which
+     per-invocation reaching-defs cannot see. *)
+  let field_writers = lazy begin
+    let tbl = Hashtbl.create 64 in
+    P.iter_blocks program (fun bref (b : Devir.Block.t) ->
+        List.iter
+          (fun st ->
+            List.iter
+              (fun f ->
+                let cur =
+                  Option.value ~default:Bset.empty (Hashtbl.find_opt tbl f)
+                in
+                Hashtbl.replace tbl f (Bset.add bref cur))
+              (Devir.Stmt.fields_written st))
+          b.Devir.Block.stmts);
+    tbl
+  end in
+  let defs =
+    List.concat_map
+      (fun (b : P.bref) ->
+        match P.find_block program b with
+        | exception Not_found -> []
+        | blk ->
+          List.concat_map
+            (fun var ->
+              let intra =
+                List.filter_map
+                  (fun (d : Depgraph.def_site) ->
+                    let site =
+                      { P.handler = b.P.handler; P.label = d.Depgraph.d_label }
+                    in
+                    if Bset.mem site exec then Some site else None)
+                  (Depgraph.reaching_defs graph ~handler:b.P.handler
+                     ~label:b.P.label var)
+              in
+              match var with
+              | Depgraph.Vfield f when intra = [] ->
+                (* No executed def reaches within this invocation: the
+                   value flowed through device state from an earlier
+                   request.  Over-approximate with every executed writer
+                   of the field, program-wide. *)
+                let writers =
+                  Option.value ~default:Bset.empty
+                    (Hashtbl.find_opt (Lazy.force field_writers) f)
+                in
+                Bset.elements (Bset.inter writers exec)
+              | _ -> intra)
+            (term_vars blk))
+      blocks
+  in
+  List.sort_uniq P.bref_compare defs
+
+let roots graph brefs =
+  let strictly_dominated (b : P.bref) =
+    List.exists
+      (fun (a : P.bref) ->
+        a.P.handler = b.P.handler
+        && a.P.label <> b.P.label
+        && Depgraph.dominates graph ~handler:a.P.handler a.P.label b.P.label)
+      brefs
+  in
+  List.filter (fun b -> not (strictly_dominated b)) brefs

@@ -1,0 +1,87 @@
+(** Block attribution for cross-version behaviour deltas.
+
+    The deviation locator replays one input against adjacent device
+    versions and must answer "{e which} IR blocks changed behaviour?".
+    Two independent views feed that answer:
+
+    - {b static}: a label-level structural diff of the two device
+      programs ({!program_diff}) — ground truth for the version-gated
+      models, where a patch adds, removes or rewrites whole blocks;
+    - {b dynamic}: the symmetric difference of a diverging replay's
+      ES-CFG coverage plus one-side-only anomaly sites
+      ({!divergence_blocks}) — what a witness actually exercised
+      differently.
+
+    {!roots} then collapses a dynamic set to its dominator roots via
+    {!Depgraph}, so a patch that rewires one branch is reported as that
+    branch's decision block rather than every block downstream of it. *)
+
+type change_kind =
+  | Added  (** Block exists only in the right (patched) program. *)
+  | Removed  (** Block exists only in the left (vulnerable) program. *)
+  | Changed  (** Same label on both sides, different body or terminator. *)
+
+type block_change = { c_bref : Devir.Program.bref; c_kind : change_kind }
+
+val change_kind_to_string : change_kind -> string
+
+val program_diff :
+  Devir.Program.t -> Devir.Program.t -> block_change list
+(** [program_diff vulnerable patched]: label-level structural diff,
+    sorted by bref.  Blocks are pure data, so bodies compare with
+    structural equality; layout/addresses are ignored (the gated models
+    keep label identity across versions, which is what makes this the
+    locator's ground truth). *)
+
+val divergence_blocks :
+  left_nodes:Devir.Program.bref list ->
+  left_edges:(Devir.Program.bref * Devir.Program.bref) list ->
+  right_nodes:Devir.Program.bref list ->
+  right_edges:(Devir.Program.bref * Devir.Program.bref) list ->
+  ?left_sites:Devir.Program.bref list ->
+  ?right_sites:Devir.Program.bref list ->
+  unit ->
+  Devir.Program.bref list
+(** Blocks implicated by one diverging replay: the coverage-node
+    symmetric difference, {e both endpoints} of one-side-only coverage
+    edges (the source's terminator was rewired; the destination's
+    incoming control changed — a patched block whose label and
+    successors survived shows up only as an edge destination), and
+    one-side-only anomaly sites ([?_sites], default empty).  Sorted and
+    deduplicated. *)
+
+val count_diff :
+  (Devir.Program.bref * int) list ->
+  (Devir.Program.bref * int) list ->
+  Devir.Program.bref list
+(** Blocks whose execution count differs between two replays (absent =
+    0), sorted.  Catches deviations the set view cannot: a loop bounded
+    by a patched constant, or a callback path invoked a different number
+    of times, executes the {e same} blocks on both sides — just not as
+    often. *)
+
+val data_slice :
+  Depgraph.t ->
+  Devir.Program.t ->
+  executed:Devir.Program.bref list ->
+  Devir.Program.bref list ->
+  Devir.Program.bref list
+(** One step of DDG reachability: for each implicated block, the
+    definition sites (same handler, per {!Depgraph.reaching_defs})
+    of the variables its terminator branches on, kept only if they were
+    [executed] in the diverging replay.  When a {e field} variable has no
+    executed intra-invocation def, the value flowed through persistent
+    device state from an earlier request, so the slice falls back to
+    every executed program-wide writer of that field.  This names
+    value-only patches — a block whose label, successors and execution
+    count all survived, but which now feeds a different value into the
+    branch that visibly diverged (e.g. Venom's [data_len] initialiser).
+    An over-approximation: sibling definition sites are included;
+    sorted.  Blocks absent from [program] are skipped. *)
+
+val roots :
+  Depgraph.t -> Devir.Program.bref list -> Devir.Program.bref list
+(** Drop every member strictly dominated by another member of the same
+    handler: if the set contains both a decision block and blocks it
+    dominates, only the decision block survives.  Brefs from handlers or
+    labels unknown to the graph are kept as-is.  Order preserved. *)

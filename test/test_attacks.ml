@@ -17,16 +17,19 @@ let effects_for (attack : Attacks.Attack.t) version =
     (fun () -> try attack.run m with Exit -> ())
     attack
 
-let fixed_version_for = function
-  | "CVE-2015-3456" -> QV.v 2 3 1
-  | "CVE-2020-14364" -> QV.v 5 1 1
-  | "CVE-2015-7504" | "CVE-2015-7512" -> QV.v 2 5 0
-  | "CVE-2016-7909" -> QV.v 2 7 1
-  | "CVE-2021-3409" -> QV.v 6 0 0
-  | "CVE-2015-5158" -> QV.v 2 4 1
-  | "CVE-2016-4439" -> QV.v 2 6 1
-  | "CVE-2016-1568" -> QV.v 2 5 1
-  | cve -> Alcotest.failf "unknown cve %s" cve
+let test_version_pairs_are_ordered () =
+  (* The catalogue's own version pair: vulnerable strictly before fixed,
+     and the pair is what the deviation locator enumerates. *)
+  List.iter
+    (fun (a : Attacks.Attack.t) ->
+      let vuln, patched = Attacks.Attack.version_pair a in
+      Alcotest.(check int) (a.cve ^ " pair = (qemu_version, fixed_in)") 0
+        (QV.compare vuln a.qemu_version + QV.compare patched a.fixed_in);
+      Alcotest.(check bool)
+        (a.cve ^ " vulnerable < fixed")
+        true
+        QV.(vuln < patched))
+    Attacks.Attack.all
 
 (* CVEs whose fixed-version run is still "noisy" because a *different* CVE
    remains open at that version on the same device (pcnet 7504/7512 share a
@@ -61,10 +64,96 @@ let test_exploits_succeed_on_vulnerable () =
 let test_exploits_fail_on_patched () =
   List.iter
     (fun (a : Attacks.Attack.t) ->
-      let e = effects_for a (fixed_version_for a.cve) in
+      let e = effects_for a a.fixed_in in
       if isolated_effect a e then
         Alcotest.failf "%s still effective on patched: %s" a.cve
           (Format.asprintf "%a" Attacks.Attack.pp_effects e))
+    Attacks.Attack.all
+
+(* --- Protected replay across the version pair --------------------------- *)
+
+(* The paper's end-to-end claim, asserted for every engine × mode
+   combination: replaying a CVE's exploit stream on a checker-protected
+   machine at the vulnerable version detects the exploit (and halts the
+   VM whenever the mode escalates the anomaly), while the same stream
+   against the patched model causes no exploit effect.  Case-study
+   replays cover the per-strategy detection matrix at the vulnerable
+   version only; this pins both sides of the version pair. *)
+
+let engine_mode_combos =
+  [
+    (Sedspec.Checker.Compiled, "compiled");
+    (Sedspec.Checker.Interpreted, "interp");
+  ]
+  |> List.concat_map (fun (engine, ename) ->
+         List.map
+           (fun (mode, mname) -> (engine, mode, ename ^ "/" ^ mname))
+           [
+             (Sedspec.Checker.Protection, "protection");
+             (Sedspec.Checker.Enhancement, "enhancement");
+           ])
+
+let protected_replay (a : Attacks.Attack.t) ~engine ~mode version =
+  let w = Workload.Samples.find a.device in
+  let config =
+    { Sedspec.Checker.default_config with Sedspec.Checker.engine; mode }
+  in
+  let m, checker = Metrics.Spec_cache.fresh_protected_machine ~config w version in
+  a.setup m;
+  let setup_anoms = Sedspec.Checker.drain_anomalies checker in
+  let effects =
+    Attacks.Attack.observe_effects m ~device:a.device
+      (fun () -> try a.run m with _ -> ())
+      a
+  in
+  (setup_anoms, Sedspec.Checker.drain_anomalies checker, Vmm.Machine.halted m, effects)
+
+let test_protected_vulnerable_halts () =
+  List.iter
+    (fun (a : Attacks.Attack.t) ->
+      List.iter
+        (fun (engine, mode, cname) ->
+          let tag = Printf.sprintf "%s %s vulnerable" a.cve cname in
+          let setup_anoms, anoms, halted, _ =
+            protected_replay a ~engine ~mode a.qemu_version
+          in
+          Alcotest.(check int) (tag ^ " setup clean") 0 (List.length setup_anoms);
+          if a.detectable then begin
+            Alcotest.(check bool) (tag ^ " detected") true (anoms <> []);
+            (* Protection halts on any anomaly; enhancement escalates only
+               the parameter check (paper §V-C). *)
+            let expect_halt =
+              match mode with
+              | Sedspec.Checker.Protection -> true
+              | Sedspec.Checker.Enhancement ->
+                List.mem Sedspec.Checker.Parameter_check a.expected
+            in
+            if expect_halt then
+              Alcotest.(check bool) (tag ^ " halted") true halted
+          end
+          else begin
+            (* CVE-2016-1568: the acknowledged miss stays invisible in
+               every configuration. *)
+            Alcotest.(check int) (tag ^ " miss undetected") 0 (List.length anoms);
+            Alcotest.(check bool) (tag ^ " miss unhalted") false halted
+          end)
+        engine_mode_combos)
+    Attacks.Attack.all
+
+let test_protected_patched_is_clean () =
+  List.iter
+    (fun (a : Attacks.Attack.t) ->
+      List.iter
+        (fun (engine, mode, cname) ->
+          let tag = Printf.sprintf "%s %s patched" a.cve cname in
+          let setup_anoms, _, _, effects =
+            protected_replay a ~engine ~mode a.fixed_in
+          in
+          Alcotest.(check int) (tag ^ " setup clean") 0 (List.length setup_anoms);
+          if isolated_effect a effects then
+            Alcotest.failf "%s: exploit still effective: %s" tag
+              (Format.asprintf "%a" Attacks.Attack.pp_effects effects))
+        engine_mode_combos)
     Attacks.Attack.all
 
 let test_expected_matrix_matches_paper () =
@@ -146,6 +235,15 @@ let () =
             test_exploits_fail_on_patched;
           Alcotest.test_case "setup streams are benign" `Quick
             test_setup_streams_are_benign;
+          Alcotest.test_case "version pairs are ordered" `Quick
+            test_version_pairs_are_ordered;
+        ] );
+      ( "protected replay",
+        [
+          Alcotest.test_case "vulnerable side detected and halted" `Quick
+            test_protected_vulnerable_halts;
+          Alcotest.test_case "patched side runs clean" `Quick
+            test_protected_patched_is_clean;
         ] );
       ( "plumbing",
         [

@@ -113,6 +113,88 @@ let test_fault_steps_roundtrip () =
     Alcotest.(check bool) "fault steps roundtrip" true (input_equal input input')
   | Ok _ -> Alcotest.fail "expected exactly one input"
 
+(* qcheck property: [of_string . to_string] is the identity over the
+   whole corpus grammar — request, guest-write and fault lines alike —
+   with values drawn from a u64-boundary-heavy distribution (the
+   serializer prints unsigned hex, so negative int64 bit patterns are
+   the interesting corner) and payloads including the empty string
+   (which serializes to a two-word [g] line). *)
+let corpus_roundtrip_prop =
+  let open QCheck in
+  let u64 =
+    Gen.frequency
+      [
+        ( 2,
+          Gen.oneofl
+            [
+              0L;
+              1L;
+              -1L;
+              Int64.max_int;
+              Int64.min_int;
+              0xFFL;
+              0xFFFFFFFFL;
+              0x100000000L;
+              0x7FFFFFFFFFFFFFFEL;
+            ] );
+        (2, Gen.map Int64.of_int (Gen.int_bound 0xFFFF));
+        (1, Gen.map Int64.of_int Gen.int);
+      ]
+  in
+  let ident =
+    (* Handler and parameter names: non-empty, no whitespace, '=', ','. *)
+    Gen.map
+      (fun (c, s) -> String.make 1 c ^ s)
+      (Gen.pair
+         (Gen.char_range 'a' 'z')
+         (Gen.string_size ~gen:(Gen.char_range 'a' 'z') (Gen.int_bound 6)))
+  in
+  let gen_step =
+    Gen.frequency
+      [
+        ( 4,
+          Gen.map2
+            (fun handler params -> Input.Req { handler; params })
+            ident
+            (Gen.list_size (Gen.int_bound 4) (Gen.pair ident u64)) );
+        ( 3,
+          Gen.map2
+            (fun addr data -> Input.Guest_write { addr; data })
+            u64
+            (Gen.string_size (Gen.int_bound 24)) );
+        (1, Gen.map (fun m -> Input.Fault (Input.F_guest_xor m)) u64);
+        (1, Gen.map (fun l -> Input.Fault (Input.F_guest_short l)) u64);
+        (1, Gen.return (Input.Fault Input.F_guest_clear));
+        (1, Gen.return (Input.Fault Input.F_walk_raise));
+        ( 1,
+          Gen.map
+            (fun s -> Input.Fault (Input.F_walk_delay s))
+            (Gen.int_bound 10_000) );
+      ]
+  in
+  let gen_input =
+    Gen.map2
+      (fun steps origin ->
+        {
+          Input.device = "fdc";
+          version = Devices.Qemu_version.v 2 3 0;
+          origin;
+          steps = Array.of_list steps;
+        })
+      (Gen.list_size (Gen.int_bound 20) gen_step)
+      (Gen.oneofl
+         [ Input.Benign; Input.Mutant; Input.Attack "CVE-2015-3456" ])
+  in
+  QCheck.Test.make ~name:"corpus grammar roundtrips" ~count:500
+    (QCheck.make
+       ~print:(fun i -> Input.to_string i)
+       gen_input)
+    (fun input ->
+      match Input.corpus_of_string (Input.to_string input) with
+      | Ok [ input' ] -> input_equal input input'
+      | Ok _ -> QCheck.Test.fail_report "expected exactly one input"
+      | Error msg -> QCheck.Test.fail_reportf "reload failed: %s" msg)
+
 (* Scheduled faults must not break the differential oracle: guest
    corruption is a pure function of the address and walk faults fire
    before engine dispatch, so both engines observe identical effects —
@@ -214,6 +296,8 @@ let broken_profile ~walk_limit =
       };
     left_source = Exec.Trained;
     right_source = Exec.Trained;
+    left_version = None;
+    right_version = None;
     lenient = false;
   }
 
@@ -243,6 +327,46 @@ let test_seeded_divergence_found_and_shrunk () =
         (List.exists
            (fun (d : Exec.divergence) ->
              d.Exec.d_profile = "seeded-bug" && d.Exec.d_field = f.Loop.f_field)
+           o.Exec.divergences))
+    r.Loop.r_findings
+
+(* ddmin fidelity under *several* simultaneously-diverging keys: the
+   shrinker's interestingness predicate must target the finding's own
+   (profile, field), not "any divergence" — otherwise a shrink can slide
+   onto a different oracle field (or a looser profile) with a smaller
+   core and report a witness that no longer reproduces what it claims.
+   Two broken profiles with different walk budgets diverge on different
+   input sets; every reported witness must re-diverge on exactly its own
+   key, and must never exceed the recorded original length. *)
+let test_ddmin_shrinks_preserve_their_finding () =
+  let profiles =
+    [
+      { (broken_profile ~walk_limit:4) with Exec.pname = "tight" };
+      { (broken_profile ~walk_limit:6) with Exec.pname = "loose" };
+    ]
+  in
+  let opts =
+    { (fdc_options ~budget:64 ~seed:3L) with Loop.profiles; jobs = 2 }
+  in
+  let r = Loop.run opts in
+  Alcotest.(check bool) "findings reported" true (r.Loop.r_findings <> []);
+  List.iter
+    (fun (f : Loop.finding) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shrink (%d steps) <= original (%d steps)"
+           (Array.length f.Loop.f_input.Input.steps)
+           f.Loop.f_original_len)
+        true
+        (Array.length f.Loop.f_input.Input.steps <= f.Loop.f_original_len);
+      let o = Exec.evaluate ~profiles f.Loop.f_input in
+      Alcotest.(check bool)
+        (Printf.sprintf "witness re-diverges on its own key (%s, %s)"
+           f.Loop.f_profile f.Loop.f_field)
+        true
+        (List.exists
+           (fun (d : Exec.divergence) ->
+             d.Exec.d_profile = f.Loop.f_profile
+             && d.Exec.d_field = f.Loop.f_field)
            o.Exec.divergences))
     r.Loop.r_findings
 
@@ -325,6 +449,64 @@ let test_minimized_oracle_all_devices () =
       Alcotest.(check int) (device ^ ": no crashes") 0 r.Loop.r_crashes)
     devices
 
+(* --- Cross-version deviation locator ------------------------------------ *)
+
+module Locate = Fuzz.Locate
+module Delta = Fuzz.Delta
+
+(* Acceptance: on the scsi catalogue (three CVEs, three distinct version
+   pairs) a fixed-seed, small-budget locate run must localize every
+   patch — the statically changed block set is contained in the
+   dynamically localized one — and carry at least one minimized witness
+   at <= 25% of its original sequence length per CVE. *)
+let test_locate_localizes_and_shrinks () =
+  let opts =
+    {
+      Locate.default_options with
+      Locate.device = Some "scsi";
+      budget = 8;
+      jobs = 2;
+    }
+  in
+  let r = Locate.run opts in
+  Alcotest.(check int) "three scsi CVEs" 3 (List.length r.Delta.deltas);
+  List.iter
+    (fun (d : Delta.cve_delta) ->
+      Alcotest.(check bool) (d.Delta.cd_cve ^ ": static diff non-empty") true
+        (d.Delta.cd_static <> []);
+      Alcotest.(check bool) (d.Delta.cd_cve ^ ": localized") true
+        d.Delta.cd_localized;
+      Alcotest.(check bool) (d.Delta.cd_cve ^ ": has witnesses") true
+        (d.Delta.cd_witnesses <> []);
+      let best =
+        List.fold_left
+          (fun acc (w : Delta.witness) ->
+            min acc
+              (float_of_int (Array.length w.Delta.w_input.Input.steps)
+              /. float_of_int (max 1 w.Delta.w_original_len)))
+          infinity d.Delta.cd_witnesses
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: best shrink ratio %.3f <= 0.25" d.Delta.cd_cve
+           best)
+        true (best <= 0.25))
+    r.Delta.deltas
+
+(* The delta report — JSON and pretty table — must be bit-identical for
+   any [--jobs], like every other fuzzer artifact. *)
+let test_locate_jobs_determinism () =
+  let base =
+    { Locate.default_options with Locate.cve = Some "CVE-2015-5158"; budget = 8 }
+  in
+  let render jobs =
+    let r = Locate.run { base with Locate.jobs } in
+    (Delta.to_string r, Format.asprintf "%a" Delta.pp r)
+  in
+  let json1, pp1 = render 1 in
+  let json4, pp4 = render 4 in
+  Alcotest.(check string) "json jobs 1 = jobs 4" json1 json4;
+  Alcotest.(check string) "table jobs 1 = jobs 4" pp1 pp4
+
 let test_report_json_shape () =
   let r = Loop.run (fdc_options ~budget:16 ~seed:11L) in
   let json = Loop.report_to_string r in
@@ -360,6 +542,7 @@ let () =
             test_parser_rejects_garbage;
           Alcotest.test_case "fault steps roundtrip" `Quick
             test_fault_steps_roundtrip;
+          QCheck_alcotest.to_alcotest corpus_roundtrip_prop;
           Alcotest.test_case "fault steps keep the oracle green" `Quick
             test_fault_steps_no_divergence;
         ] );
@@ -379,9 +562,18 @@ let () =
             test_jobs_determinism;
           Alcotest.test_case "seeded divergence found and shrunk" `Quick
             test_seeded_divergence_found_and_shrunk;
+          Alcotest.test_case "shrinks preserve their own finding" `Quick
+            test_ddmin_shrinks_preserve_their_finding;
           Alcotest.test_case "fp candidate reported" `Quick
             test_fp_candidate_reported;
           Alcotest.test_case "report json shape" `Quick test_report_json_shape;
+        ] );
+      ( "locate",
+        [
+          Alcotest.test_case "scsi catalogue localizes, witnesses shrink" `Slow
+            test_locate_localizes_and_shrinks;
+          Alcotest.test_case "delta report jobs 1 = jobs 4 bit-identical" `Slow
+            test_locate_jobs_determinism;
         ] );
       ( "minimized-oracle",
         [

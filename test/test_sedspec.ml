@@ -489,6 +489,58 @@ let test_minimize_all_devices () =
         (Sedspec.Es_cfg.commands mspec = Sedspec.Es_cfg.commands built.spec))
     Workload.Samples.all
 
+(* Pin exactly which minimization passes fire on each real device spec
+   (trained at the paper version with the suite's fixed case count).
+   Today only the pruning pass finds work on real devices — the trained
+   specs carry two empty pass-through nodes each, while constant
+   folding, dominated-check pruning and chain merging fire exclusively
+   on synthetic handlers ([test_minimize_all_passes]).  If a device
+   model or the trainer changes shape, these counts move and the pin
+   makes that visible; it also documents that pcnet is the only device
+   whose spec contains a host-dependent decision site (link status),
+   and that the flow-sensitive DDG classifier keeps it. *)
+let test_minimize_pass_counts_per_device () =
+  let expect =
+    [
+      (* device,  before, after, pruned, folded, dominated, merged,
+         sync_fi, sync_ddg *)
+      ("fdc", 44, 42, 2, 0, 0, 0, 0, 0);
+      ("ehci", 31, 29, 2, 0, 0, 0, 0, 0);
+      ("pcnet", 43, 41, 2, 0, 0, 0, 1, 1);
+      ("sdhci", 38, 36, 2, 0, 0, 0, 0, 0);
+      ("scsi", 59, 57, 2, 0, 0, 0, 0, 0);
+    ]
+  in
+  List.iter
+    (fun w ->
+      let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+      let m = W.make_machine W.paper_version in
+      let built =
+        Sedspec.Pipeline.build m ~device:W.device_name
+          (W.trainer ~cases:training_cases)
+      in
+      let _, rep = Sedspec.Minimize.run built.spec in
+      let before, after, pruned, folded, dominated, merged, fi, ddg =
+        match
+          List.find_opt (fun (d, _, _, _, _, _, _, _, _) -> d = W.device_name)
+            expect
+        with
+        | Some (_, a, b, c, d, e, f, g, h) -> (a, b, c, d, e, f, g, h)
+        | None -> Alcotest.failf "no expectation for %s" W.device_name
+      in
+      let check what = Alcotest.(check int) (W.device_name ^ ": " ^ what) in
+      check "nodes before" before rep.Sedspec.Minimize.nodes_before;
+      check "nodes after" after rep.Sedspec.Minimize.nodes_after;
+      check "pruned" pruned rep.Sedspec.Minimize.pruned;
+      check "branches folded" folded rep.Sedspec.Minimize.branches_folded;
+      check "branches dominated" dominated
+        rep.Sedspec.Minimize.branches_dominated;
+      check "chains merged" merged rep.Sedspec.Minimize.chains_merged;
+      check "sync sites (flow-insensitive)" fi
+        rep.Sedspec.Minimize.sync_sites_flow_insensitive;
+      check "sync sites (DDG)" ddg rep.Sedspec.Minimize.sync_sites_ddg)
+    Workload.Samples.all
+
 (* --- Deterministic spec surface ----------------------------------------- *)
 
 (* [commands]/[sync_points] used to leak Hashtbl fold order: two specs
@@ -1498,6 +1550,8 @@ let () =
           Alcotest.test_case "soundness guards hold" `Quick test_minimize_guards;
           Alcotest.test_case "shrinks every device spec" `Slow
             test_minimize_all_devices;
+          Alcotest.test_case "pass counts pinned per device" `Slow
+            test_minimize_pass_counts_per_device;
         ] );
       ( "checker-benign",
         [
