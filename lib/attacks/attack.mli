@@ -47,8 +47,11 @@ val observe_effects : Vmm.Machine.t -> device:string -> (unit -> unit) -> t -> e
     traps, then apply the attack's ground check. *)
 
 val all : t list
-(** The eight Table III case studies plus the CVE-2016-1568 miss, in the
-    paper's order. *)
+(** The Table III case studies plus the CVE-2016-1568 miss (paper's
+    order), the virtio-ring CVE-2019-14835 analog, and two
+    locator-grown entries ([GROWN-*]): minimized deviation witnesses the
+    cross-version locator bred from the catalogue streams, promoted to
+    first-class regressions. *)
 
 val find : string -> t
 (** Lookup by CVE id; raises [Not_found]. *)

@@ -1,0 +1,250 @@
+open Devir
+open Devir.Dsl
+
+let name = "virtio"
+let mmio_base = 0x5000_0000L
+let irq_cb = 0x0060_1000L
+let buf_size = 1024
+let desc_size = 16
+let cve_2019_14835_fixed_in = Qemu_version.v 4 1 0
+
+(* ISR bits. *)
+let isr_queue = 0x1
+
+(* Descriptor flags. *)
+let f_next = 0x1
+let f_write = 0x2
+
+(* [vq_buf] is last: a runaway descriptor chain escapes the structure
+   quickly, like the vhost buffer overflow of the real bug. *)
+let layout =
+  Layout.make
+    [
+      Layout.reg ~hw:true "qsize" Width.W16;
+      Layout.reg ~hw:true "desc_addr" Width.W32;
+      Layout.reg ~hw:true "avail_addr" Width.W32;
+      Layout.reg ~hw:true "used_addr" Width.W32;
+      Layout.reg ~hw:true "status" Width.W8;
+      Layout.reg ~hw:true "isr" Width.W16;
+      Layout.reg "avail_idx" Width.W16;
+      Layout.reg "used_idx" Width.W16;
+      Layout.reg "head" Width.W16;
+      Layout.reg "desc_idx" Width.W16;
+      Layout.reg "chain_len" Width.W16;
+      Layout.reg "cur_len" Width.W32;
+      Layout.reg "rx_sum" Width.W32;
+      Layout.fn_ptr ~init:irq_cb "irq";
+      Layout.buf "vq_buf" buf_size;
+    ]
+
+(* Byte the device serves into device-writable descriptors. *)
+let served_pattern = band Width.W32 (fld "rx_sum" +% c 0x41) (c 0xFF)
+
+let desc_base = fld "desc_addr" +% (fld "desc_idx" *% c desc_size)
+
+(* Queue processing: consume avail entries, walk each descriptor chain
+   (guest-readable descriptors DMA into [vq_buf] at [cur_len];
+   device-writable ones are served from [vq_buf]), then publish a used
+   entry and raise the interrupt. *)
+let notify_blocks ~vulnerable =
+  let head_blocks =
+    if vulnerable then
+      (* CVE-2019-14835 analog: the avail-ring head is used unmasked, so a
+         16-bit index escapes the descriptor table. *)
+      [ blk "n_head_set" [ set "head" (lcl "head_v") ] (goto "n_chain") ]
+    else
+      [
+        blk "n_head_set"
+          [ set "head" (band Width.W16 (lcl "head_v") (fld "qsize" -% c 1)) ]
+          (goto "n_chain");
+      ]
+  in
+  let desc_term =
+    (* The vulnerable copy never bounds the descriptor length against the
+       remaining buffer space. *)
+    if vulnerable then goto "n_dir"
+    else br (lcl "d_len" +% fld "cur_len" >% c buf_size) "n_used" "n_dir"
+  in
+  let next_blocks =
+    if vulnerable then
+      (* Unmasked next pointer, unbounded chain: a self-linked descriptor
+         loops until the step limit (hang analog). *)
+      [ blk "n_next" [ set "desc_idx" (lcl "d_next") ] (goto "n_desc") ]
+    else
+      [
+        blk "n_next" []
+          (br (fld "chain_len" >=% fld "qsize") "n_used" "n_next_ok");
+        blk "n_next_ok"
+          [ set "desc_idx" (band Width.W16 (lcl "d_next") (fld "qsize" -% c 1)) ]
+          (goto "n_desc");
+      ]
+  in
+  [
+    blk "n_loop"
+      [ load "g_avail" ~w:Width.W16 (fld "avail_addr" +% c 2) ]
+      (br (fld "avail_idx" <>% lcl "g_avail") "n_head" "n_done");
+    blk "n_head"
+      [
+        local "slot" (rem Width.W16 (fld "avail_idx") (fld "qsize"));
+        load "head_v" ~w:Width.W16
+          (fld "avail_addr" +% c 4 +% (lcl "slot" *% c 2));
+      ]
+      (goto "n_head_set");
+    blk "n_chain"
+      [
+        set "cur_len" (c 0);
+        set "chain_len" (c ~w:Width.W16 0);
+        set "desc_idx" (fld "head");
+      ]
+      (goto "n_desc");
+    blk "n_desc"
+      [
+        load "d_addr" ~w:Width.W32 desc_base;
+        load "d_len" ~w:Width.W32 (desc_base +% c 4);
+        load "d_flags" ~w:Width.W16 (desc_base +% c 8);
+        load "d_next" ~w:Width.W16 (desc_base +% c 10);
+      ]
+      desc_term;
+    blk "n_dir" []
+      (br (band Width.W16 (lcl "d_flags") (c f_write) <>% c 0) "n_serve"
+         "n_consume");
+    blk "n_consume"
+      [
+        dma_in ~buf:"vq_buf" ~buf_off:(fld "cur_len") ~addr:(lcl "d_addr")
+          ~len:(lcl "d_len");
+        set "rx_sum"
+          (bxor Width.W32 (fld "rx_sum")
+             (bufb "vq_buf" (fld "cur_len") +% lcl "d_len"));
+      ]
+      (goto "n_adv");
+    blk "n_serve"
+      [
+        fill "vq_buf" ~off:(fld "cur_len") ~len:(lcl "d_len") served_pattern;
+        dma_out ~buf:"vq_buf" ~buf_off:(fld "cur_len") ~addr:(lcl "d_addr")
+          ~len:(lcl "d_len");
+      ]
+      (goto "n_adv");
+    blk "n_adv"
+      [
+        set "cur_len" (fld "cur_len" +% lcl "d_len");
+        set "chain_len" (add Width.W16 (fld "chain_len") (c 1));
+      ]
+      (br (band Width.W16 (lcl "d_flags") (c f_next) <>% c 0) "n_next" "n_used");
+    (* Publish the completion: used-ring id + length, bumped used index —
+       all host→guest stores the guest-side validator watches. *)
+    blk "n_used"
+      [
+        local "u_slot" (rem Width.W16 (fld "used_idx") (fld "qsize"));
+        store ~w:Width.W32
+          (fld "used_addr" +% c 4 +% (lcl "u_slot" *% c 8))
+          (fld "head");
+        store ~w:Width.W32
+          (fld "used_addr" +% c 8 +% (lcl "u_slot" *% c 8))
+          (fld "cur_len");
+        set "used_idx" (add Width.W16 (fld "used_idx") (c 1));
+        store ~w:Width.W16 (fld "used_addr" +% c 2) (fld "used_idx");
+        set "avail_idx" (add Width.W16 (fld "avail_idx") (c 1));
+        set "isr" (bor Width.W16 (fld "isr") (c isr_queue));
+      ]
+      (icall (fld "irq") "n_loop");
+  ]
+  @ head_blocks @ next_blocks
+
+let write_handler ~vulnerable =
+  handler "mmio_write"
+    ~params:[ "addr"; "offset"; "size"; "data" ]
+    ([
+       entry "w_entry" []
+         (switch (prm "offset")
+            [
+              (0x00, "w_qsize");
+              (0x04, "w_desc");
+              (0x08, "w_avail");
+              (0x0C, "w_used");
+              (0x10, "w_status");
+              (0x14, "w_isr_ack");
+              (0x20, "w_notify");
+            ]
+            "w_exit");
+       blk "w_qsize" [ set "qsize" (prm "data" &% c 0xFF) ] (goto "w_exit");
+       blk "w_desc" [ set "desc_addr" (prm "data") ] (goto "w_exit");
+       blk "w_avail" [ set "avail_addr" (prm "data") ] (goto "w_exit");
+       blk "w_used" [ set "used_addr" (prm "data") ] (goto "w_exit");
+       (* Writing zero is a device reset (virtio status semantics): the
+          queue state returns to power-on values. *)
+       blk "w_status" [] (br (prm "data" ==% c 0) "w_reset" "w_status_set");
+       blk "w_status_set" [ set "status" (prm "data" &% c 0xFF) ] (goto "w_exit");
+       blk "w_reset"
+         [
+           set "status" (c ~w:Width.W8 0);
+           set "isr" (c ~w:Width.W16 0);
+           set "avail_idx" (c ~w:Width.W16 0);
+           set "used_idx" (c ~w:Width.W16 0);
+           set "head" (c ~w:Width.W16 0);
+           set "desc_idx" (c ~w:Width.W16 0);
+           set "chain_len" (c ~w:Width.W16 0);
+           set "cur_len" (c 0);
+         ]
+         (goto "w_exit");
+       blk "w_isr_ack"
+         [
+           set "isr"
+             (band Width.W16 (fld "isr") (bxor Width.W16 (prm "data") (c 0xFFFF)));
+         ]
+         (goto "w_exit");
+       (* Queue notify: the written value selects the queue (one queue). *)
+       cmd_decision "w_notify" []
+         (switch (prm "data") [ (0, "n_loop") ] "w_exit");
+       cmd_end "n_done" [] (goto "w_exit");
+       exit_ "w_exit" [];
+     ]
+    @ notify_blocks ~vulnerable)
+
+let read_handler =
+  handler "mmio_read"
+    ~params:[ "addr"; "offset"; "size"; "data" ]
+    [
+      entry "r_entry" []
+        (switch (prm "offset")
+           [
+             (0x00, "r_qsize");
+             (0x04, "r_desc");
+             (0x08, "r_avail");
+             (0x0C, "r_used");
+             (0x10, "r_status");
+             (0x14, "r_isr");
+             (0x18, "r_used_idx");
+             (0x1C, "r_features");
+           ]
+           "r_zero");
+      blk "r_qsize" [ respond (fld "qsize") ] (goto "r_exit");
+      blk "r_desc" [ respond (fld "desc_addr") ] (goto "r_exit");
+      blk "r_avail" [ respond (fld "avail_addr") ] (goto "r_exit");
+      blk "r_used" [ respond (fld "used_addr") ] (goto "r_exit");
+      blk "r_status" [ respond (fld "status") ] (goto "r_exit");
+      blk "r_isr" [ respond (fld "isr") ] (goto "r_exit");
+      blk "r_used_idx" [ respond (fld "used_idx") ] (goto "r_exit");
+      blk "r_features" [ respond (c64 0x74726976L) ] (goto "r_exit");
+      blk "r_zero" [ respond (c 0) ] (goto "r_exit");
+      exit_ "r_exit" [];
+    ]
+
+let program ~version =
+  let vulnerable = Qemu_version.(version < cve_2019_14835_fixed_in) in
+  Program.make ~name ~layout ~code_base:0x0045_0000L
+    ~callbacks:
+      [ (irq_cb, { Program.cb_name = "virtio_irq"; action = Program.Raise_irq_line }) ]
+    [ write_handler ~vulnerable; read_handler ]
+
+let device ~version =
+  let program = program ~version in
+  {
+    Device.name;
+    version;
+    program;
+    make_binding =
+      (fun () ->
+        Device.binding_of ~program
+          ~mmio:[ (mmio_base, 0x100) ]
+          ~mmio_read:"mmio_read" ~mmio_write:"mmio_write" ());
+  }

@@ -1,0 +1,33 @@
+(** A virtio-style ring device: one queue of guest-staged descriptor
+    chains, modelled after the split virtqueue (avail/used rings plus a
+    descriptor table in guest memory).
+
+    Memory-mapped at [0x5000_0000]: queue size, descriptor/avail/used ring
+    base addresses, device status, ISR and a queue-notify doorbell.  On
+    notify the device consumes every pending avail entry: guest-readable
+    descriptors DMA into the device's 1 KiB staging buffer, device-writable
+    ones are served back from it, and each chain completes with used-ring
+    id/length stores, a used-index bump and an interrupt — a host→guest
+    write pattern the guest-side validator trains over.
+
+    Vulnerability (version-gated):
+    - {b CVE-2019-14835 analog} (fixed in 4.1.0): the avail-ring head and
+      the chain's next pointers are used unmasked and descriptor lengths
+      are never bounded against the staging buffer, so an out-of-range
+      index or an oversized/self-linked chain overflows [vq_buf] (or loops
+      until the step limit), like the vhost buffer-overflow of the real
+      bug.  The fix masks both indices, bounds the accumulated length and
+      caps the chain at the queue size. *)
+
+val name : string
+val mmio_base : int64
+val irq_cb : int64
+val buf_size : int
+val desc_size : int
+val f_next : int
+val f_write : int
+val cve_2019_14835_fixed_in : Qemu_version.t
+
+val layout : Devir.Layout.t
+val program : version:Qemu_version.t -> Devir.Program.t
+val device : version:Qemu_version.t -> Device.t

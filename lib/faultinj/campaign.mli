@@ -104,3 +104,72 @@ val fleet_passed : fleet_report -> bool
 
 val fleet_report_to_json : fleet_report -> Sedspec_util.Json.t
 val pp_fleet_report : Format.formatter -> fleet_report -> unit
+
+(** {1 Hostile-device campaign}
+
+    The mirror of the substrate campaign for the {e host->guest}
+    direction: seeded, replayable corruptions of device responses —
+    register read-returns, outbound DMA lengths, completion stores, IRQ
+    storms — plus synthetic faults inside the guest-side validator
+    itself.  Every combo runs a protected machine with the
+    {!Guard.Validator} chained in front of the ES-Checker and a remedy
+    supervisor consuming the validator's anomalies, so a hostile device
+    trips the same rollback/breaker machinery as a guest-side exploit.
+
+    Same determinism contract as {!run}: per-combo seeds come from
+    [Runner.map_seeded], so the report and its JSON are byte-identical
+    for any [h_jobs]. *)
+
+type hostile_options = {
+  h_devices : string list;
+  h_plans_per_combo : int;
+  h_cases_per_plan : int;
+  h_ops_per_case : int;
+  h_min_injected : int;
+      (** Floor on total corruption firings for the run to pass. *)
+  h_seed : int64;
+  h_jobs : int;
+}
+
+val default_hostile_options : hostile_options
+(** sdhci + the virtio ring, 36 plans/combo, 6 cases/plan, 10 ops/case,
+    >= 5000 injections required, seed 1, jobs 1. *)
+
+type hostile_combo_report = {
+  hc_device : string;
+  hc_mode : Sedspec.Checker.mode;
+  hc_engine : Sedspec.Checker.engine;
+  hc_injected : int;  (** Response corruptions the guest actually saw. *)
+  hc_contained : int;  (** Checker + validator internal containments. *)
+  hc_escaped : int;  (** Exceptions that crossed a bulkhead — must be 0. *)
+  hc_fail_open : int;
+      (** Fail-closed [Guard_raise] plans whose fault fired yet produced
+          neither a contained anomaly nor an escape — must be 0. *)
+  hc_guard_anoms : int;  (** Validator anomalies fed to the remedy. *)
+  hc_halts : int;
+  hc_warns : int;
+  hc_rollbacks : int;
+  hc_breaker_trips : int;
+  hc_heals : int;
+}
+
+type hostile_report = {
+  h_options : hostile_options;
+  h_combos : hostile_combo_report list;
+}
+
+val run_hostile : hostile_options -> hostile_report
+
+val hostile_passed : hostile_report -> bool
+(** No escape, no silent fail-open, and at least [h_min_injected]
+    corruption firings. *)
+
+val hostile_totals : hostile_report -> hostile_combo_report
+val hostile_report_to_json : hostile_report -> Sedspec_util.Json.t
+val pp_hostile_report : Format.formatter -> hostile_report -> unit
+
+val hostile_isolation : fleet_options -> fleet_report
+(** {!fleet_isolation} with the guard enabled on every VM and
+    response-direction corruption sites armed on the faulty subset: a
+    hostile device model must trip its own bulkhead without perturbing
+    one byte of any clean neighbour's report. *)

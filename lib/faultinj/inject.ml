@@ -17,6 +17,18 @@ let corrupt_byte ~mask addr b =
     b lxor (Int64.to_int (Int64.logand (Int64.shift_right_logical h 8) 0xFFL) lor 1)
   else b
 
+(* Response-value corruption: a pure function of (value, mask), firing on
+   a deterministic ~1/4 of values with a nonzero derived XOR — replayable
+   and identical wherever the same value flows. *)
+let corrupt_value ~mask v =
+  let h = mix64 (Int64.logxor v mask) in
+  if Int64.logand h 0x3L = 0L then
+    Int64.logxor v
+      (Int64.logor (Int64.logand (Int64.shift_right_logical h 8) 0xFFFFL) 1L)
+  else v
+
+let dma_len_delta ~delta len = max 0 (len + delta)
+
 let unsigned_ge a b = Int64.unsigned_compare a b >= 0
 
 let short_byte ~limit addr b = if unsigned_ge addr limit then 0 else b
@@ -31,13 +43,26 @@ let burn n =
 type armed = {
   machine : Vmm.Machine.t;
   checker : Sedspec.Checker.t;
+  guard : Guard.Validator.t option;
   mutable fired : int;
+  mutable undo : (unit -> unit) list;
 }
 
 let fired a = a.fired
 
-let arm (plan : Plan.t) machine checker =
-  let a = { machine; checker; fired = 0 } in
+(* Arm a response-fault record on every device interp of the machine
+   (corruptions of the host->guest channel are a property of the device
+   model, not of one checker). *)
+let arm_response a rf =
+  List.iter
+    (fun name ->
+      let it = Vmm.Machine.interp_of a.machine name in
+      Interp.set_response_fault it (Some rf);
+      a.undo <- (fun () -> Interp.set_response_fault it None) :: a.undo)
+    (Vmm.Machine.device_names a.machine)
+
+let arm ?guard (plan : Plan.t) machine checker =
+  let a = { machine; checker; guard; fired = 0; undo = [] } in
   (match plan.site with
   | Plan.Guest_corrupt { mask } ->
     Vmm.Guest_mem.set_read_fault (Vmm.Machine.ram machine)
@@ -75,12 +100,86 @@ let arm (plan : Plan.t) machine checker =
            if k = at_walk then begin
              a.fired <- a.fired + 1;
              burn spin
-           end)));
+           end))
+  | Plan.Resp_read_corrupt { mask } ->
+    arm_response a
+      {
+        Interp.no_response_fault with
+        Interp.rf_read =
+          Some
+            (fun v ->
+              let v' = corrupt_value ~mask v in
+              if v' <> v then a.fired <- a.fired + 1;
+              v');
+      }
+  | Plan.Resp_dma_len { delta } ->
+    arm_response a
+      {
+        Interp.no_response_fault with
+        Interp.rf_dma_len =
+          Some
+            (fun len ->
+              let len' = dma_len_delta ~delta len in
+              if len' <> len then a.fired <- a.fired + 1;
+              len');
+      }
+  | Plan.Resp_store_corrupt { mask } ->
+    arm_response a
+      {
+        Interp.no_response_fault with
+        Interp.rf_store =
+          Some
+            (fun v ->
+              let v' = corrupt_value ~mask v in
+              if v' <> v then a.fired <- a.fired + 1;
+              v');
+      }
+  | Plan.Resp_irq_storm { burst } ->
+    (* The burst is applied inside the interp; count the raise edges the
+       guest actually sees while the storm is armed (each legitimate
+       raise is amplified by [burst] injected edges). *)
+    List.iter
+      (fun name ->
+        let it = Vmm.Machine.interp_of machine name in
+        Interp.set_response_fault it
+          (Some { Interp.no_response_fault with Interp.rf_irq_burst = burst });
+        let h = Interp.hooks it in
+        Interp.set_hooks it
+          {
+            h with
+            Interp.on_irq =
+              (fun up ->
+                if up then a.fired <- a.fired + 1;
+                h.Interp.on_irq up);
+          };
+        a.undo <-
+          (fun () ->
+            Interp.set_response_fault it None;
+            Interp.set_hooks it h)
+          :: a.undo)
+      (Vmm.Machine.device_names machine)
+  | Plan.Guard_raise { at_check } -> (
+    match guard with
+    | None -> ()
+    | Some g ->
+      let n = ref 0 in
+      Guard.Validator.set_fault_hook g
+        (Some
+           (fun () ->
+             let k = !n in
+             incr n;
+             if k = at_check then begin
+               a.fired <- a.fired + 1;
+               raise (Plan.Injected "synthetic guard fault")
+             end));
+      a.undo <- (fun () -> Guard.Validator.set_fault_hook g None) :: a.undo));
   a
 
 let disarm a =
   Vmm.Guest_mem.set_read_fault (Vmm.Machine.ram a.machine) None;
-  Sedspec.Checker.set_fault_hook a.checker None
+  Sedspec.Checker.set_fault_hook a.checker None;
+  List.iter (fun f -> f ()) a.undo;
+  a.undo <- []
 
 let corrupt_spec rng (site : Plan.site) text =
   match site with

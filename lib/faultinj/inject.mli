@@ -9,10 +9,15 @@
 type armed
 (** One armed plan; counts firings until {!disarm}. *)
 
-val arm : Plan.t -> Vmm.Machine.t -> Sedspec.Checker.t -> armed
+val arm :
+  ?guard:Guard.Validator.t -> Plan.t -> Vmm.Machine.t -> Sedspec.Checker.t ->
+  armed
 (** Install the plan's hooks ([Guest_mem.set_read_fault] /
-    [Checker.set_fault_hook]).  Spec-site plans install nothing — they
-    are exercised through {!corrupt_spec}. *)
+    [Checker.set_fault_hook] / [Interp.set_response_fault] on every
+    device interp for the response-direction sites).  Spec-site plans
+    install nothing — they are exercised through {!corrupt_spec}.
+    [Guard_raise] plans need [?guard] (the validator whose fault seam
+    they exercise) and arm nothing without it. *)
 
 val disarm : armed -> unit
 (** Remove both hooks. *)
@@ -28,6 +33,15 @@ val corrupt_byte : mask:int64 -> int64 -> int -> int
 
 val short_byte : limit:int64 -> int64 -> int -> int
 (** The pure short-read function: 0 at/above [limit] (unsigned). *)
+
+val corrupt_value : mask:int64 -> int64 -> int64
+(** The pure response-value corruption [Resp_read_corrupt] and
+    [Resp_store_corrupt] use: XORs a nonzero derived pattern into a
+    deterministic ~1/4 subset of values keyed by [mask], identity
+    elsewhere.  Exposed so the fuzzer's replays corrupt identically. *)
+
+val dma_len_delta : delta:int -> int -> int
+(** The pure [Resp_dma_len] mangler: [max 0 (len + delta)]. *)
 
 val burn : int -> unit
 (** Spin for [n] iterations (the latency fault's payload); opaque to the

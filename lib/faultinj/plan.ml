@@ -7,6 +7,11 @@ type site =
   | Spec_truncate
   | Walk_raise of { at_walk : int }
   | Walk_delay of { at_walk : int; spin : int }
+  | Resp_read_corrupt of { mask : int64 }
+  | Resp_dma_len of { delta : int }
+  | Resp_store_corrupt of { mask : int64 }
+  | Resp_irq_storm of { burst : int }
+  | Guard_raise of { at_check : int }
 
 type t = { id : int; site : site; policy : Sedspec.Checker.containment }
 
@@ -31,8 +36,21 @@ let masks =
 let limits = [| 0x0L; 0x100L; 0x1000L; 0x10000L; 0xA0000L; 0x100000L |]
 let spins = [| 64; 1024; 16384 |]
 
+(* Response-direction pools: DMA-length deltas spanning truncation,
+   off-by-one and page-scale inflation; IRQ-storm bursts from nuisance to
+   flood. *)
+let resp_deltas = [| -512; -1; 1; 64; 4096 |]
+let bursts = [| 3; 8; 32 |]
+
 let dictionary =
-  Array.concat [ masks; limits; Array.map Int64.of_int spins ]
+  Array.concat
+    [
+      masks;
+      limits;
+      Array.map Int64.of_int spins;
+      Array.map Int64.of_int resp_deltas;
+      Array.map Int64.of_int bursts;
+    ]
 
 let gen_site rng =
   match Prng.int rng 6 with
@@ -43,14 +61,27 @@ let gen_site rng =
   | 4 -> Walk_raise { at_walk = Prng.int rng 24 }
   | _ -> Walk_delay { at_walk = Prng.int rng 24; spin = Prng.pick rng spins }
 
-let generate rng ~n =
+(* Hostile-device sites: corruptions of what the device feeds back to the
+   guest, plus the validator's own fault seam. *)
+let gen_hostile_site rng =
+  match Prng.int rng 5 with
+  | 0 -> Resp_read_corrupt { mask = Prng.pick rng masks }
+  | 1 -> Resp_dma_len { delta = Prng.pick rng resp_deltas }
+  | 2 -> Resp_store_corrupt { mask = Prng.pick rng masks }
+  | 3 -> Resp_irq_storm { burst = Prng.pick rng bursts }
+  | _ -> Guard_raise { at_check = Prng.int rng 24 }
+
+let generate_with gen rng ~n =
   List.init n (fun id ->
-      let site = gen_site rng in
+      let site = gen rng in
       let policy : Sedspec.Checker.containment =
         if Prng.chance rng 0.25 then Sedspec.Checker.Fail_open_warn
         else Sedspec.Checker.Fail_closed
       in
       { id; site; policy })
+
+let generate rng ~n = generate_with gen_site rng ~n
+let generate_hostile rng ~n = generate_with gen_hostile_site rng ~n
 
 let site_to_string = function
   | Guest_corrupt { mask } -> Printf.sprintf "guest-corrupt mask=0x%Lx" mask
@@ -60,6 +91,12 @@ let site_to_string = function
   | Walk_raise { at_walk } -> Printf.sprintf "walk-raise at=%d" at_walk
   | Walk_delay { at_walk; spin } ->
     Printf.sprintf "walk-delay at=%d spin=%d" at_walk spin
+  | Resp_read_corrupt { mask } -> Printf.sprintf "resp-read-corrupt mask=0x%Lx" mask
+  | Resp_dma_len { delta } -> Printf.sprintf "resp-dma-len delta=%d" delta
+  | Resp_store_corrupt { mask } ->
+    Printf.sprintf "resp-store-corrupt mask=0x%Lx" mask
+  | Resp_irq_storm { burst } -> Printf.sprintf "resp-irq-storm burst=%d" burst
+  | Guard_raise { at_check } -> Printf.sprintf "guard-raise at=%d" at_check
 
 let to_string p =
   Printf.sprintf "#%d %s policy=%s" p.id (site_to_string p.site)

@@ -30,6 +30,22 @@ type site =
           (0-based). *)
   | Walk_delay of { at_walk : int; spin : int }
       (** Burn [spin] iterations at the top of walk number [at_walk]. *)
+  | Resp_read_corrupt of { mask : int64 }
+      (** XOR-corrupt a deterministic ~1/4 subset of register read-return
+          values at the host->guest seam; [mask] keys which values. *)
+  | Resp_dma_len of { delta : int }
+      (** Add [delta] to every outbound (device->guest) DMA length —
+          malformed completions, truncated or inflated. *)
+  | Resp_store_corrupt of { mask : int64 }
+      (** XOR-corrupt a deterministic ~1/4 subset of completion-store
+          values written into guest memory. *)
+  | Resp_irq_storm of { burst : int }
+      (** Inject [burst] extra raise/lower edges per IRQ raise. *)
+  | Guard_raise of { at_check : int }
+      (** Raise {!Injected} inside the guest-side validator's boundary
+          adjudication number [at_check] (0-based) — exercises the
+          validator's own containment, as [Walk_raise] does the
+          checker's. *)
 
 type t = { id : int; site : site; policy : Sedspec.Checker.containment }
 
@@ -37,9 +53,15 @@ exception Injected of string
 (** The synthetic fault [Walk_raise] throws from inside the checker. *)
 
 val generate : Sedspec_util.Prng.t -> n:int -> t list
-(** [n] plans drawn from the generator: site uniform over the six kinds,
-    parameters from {!dictionary}-style constants, policy fail-closed
-    3/4 of the time.  Pure function of the PRNG state. *)
+(** [n] plans drawn from the generator: site uniform over the six
+    substrate kinds, parameters from {!dictionary}-style constants,
+    policy fail-closed 3/4 of the time.  Pure function of the PRNG
+    state. *)
+
+val generate_hostile : Sedspec_util.Prng.t -> n:int -> t list
+(** Like {!generate} but over the five hostile-device sites
+    ([Resp_read_corrupt], [Resp_dma_len], [Resp_store_corrupt],
+    [Resp_irq_storm], [Guard_raise]) — the host->guest direction. *)
 
 val site_to_string : site -> string
 val to_string : t -> string
@@ -52,4 +74,7 @@ val dictionary : int64 array
 val masks : int64 array
 val limits : int64 array
 val spins : int array
-(** The individual constant pools {!generate} draws from. *)
+val resp_deltas : int array
+val bursts : int array
+(** The individual constant pools {!generate}/{!generate_hostile} draw
+    from. *)

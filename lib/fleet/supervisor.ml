@@ -118,7 +118,7 @@ let run ?arm opts =
 
 let vm_to_json (r : Vm.report) =
   Json.Obj
-    [
+    ([
       ("vm", Json.Int r.Vm.r_vm);
       ("device", Json.Str r.Vm.r_device);
       ("status", Json.Str r.Vm.r_status);
@@ -160,6 +160,20 @@ let vm_to_json (r : Vm.report) =
           ] );
       ("stream", Json.List (List.map (fun l -> Json.Str l) r.Vm.r_stream));
     ]
+    @
+    (* Present only for guard-enabled VMs, so guard-less fleet JSON is
+       byte-identical to what it was before the validator existed. *)
+    (match r.Vm.r_guard with
+    | None -> []
+    | Some (anoms, internal) ->
+      [
+        ( "guard",
+          Json.Obj
+            [
+              ("anomalies", Json.Int anoms);
+              ("internal_errors", Json.Int internal);
+            ] );
+      ]))
 
 let report_to_json r =
   Json.to_string

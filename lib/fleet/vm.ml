@@ -16,6 +16,7 @@ type options = {
   retry : Backoff.cfg;
   max_attempts : int;
   spec_source : spec_source;
+  guard : bool;
 }
 
 let default_options ~device =
@@ -29,6 +30,7 @@ let default_options ~device =
     retry = Backoff.default;
     max_attempts = 3;
     spec_source = Trained;
+    guard = false;
   }
 
 type core = {
@@ -37,6 +39,8 @@ type core = {
   checker : Checker.t;
   remedy : Remedy.t;
   coverage : Checker.coverage;
+  validator : Guard.Validator.t option;
+  guard_drained : int ref;  (** Guard anomalies fed to the remedy. *)
 }
 
 type t = {
@@ -124,11 +128,31 @@ let create ~index ~seed opts =
     Checker.set_deadline checker opts.deadline;
     let coverage = Checker.coverage_create () in
     Checker.set_coverage checker (Some coverage);
-    let remedy =
-      Remedy.create ?breaker:opts.breaker machine ~device:D.device_name checker
+    (* The response-direction validator chains in front of the checker's
+       interposer, so attach it after [protect]. *)
+    let validator =
+      if opts.guard then
+        Some
+          (Guard.Validator.attach machine ~device:D.device_name
+             ~profile:(Metrics.Spec_cache.guard_profile w D.paper_version))
+      else None
     in
-    ({ workload = w; machine; checker; remedy; coverage }, attempts, fallback,
-     spent)
+    let guard_drained = ref 0 in
+    let aux_drain =
+      match validator with
+      | None -> fun () -> []
+      | Some v ->
+        fun () ->
+          let l = Guard.Validator.drain_as_checker_anomalies v in
+          guard_drained := !guard_drained + List.length l;
+          l
+    in
+    let remedy =
+      Remedy.create ~aux_drain ?breaker:opts.breaker machine
+        ~device:D.device_name checker
+    in
+    ({ workload = w; machine; checker; remedy; coverage; validator;
+       guard_drained }, attempts, fallback, spent)
   with
   | core, attempts, fallback, spent ->
     {
@@ -218,8 +242,15 @@ let tick t =
     t.anoms_internal <- t.anoms_internal + !x;
     (* Parameter-check hits are exploitation evidence, not budget noise:
        only the false-positive-prone strategies, contained internal
-       errors and bulkhead catches burn the error budget. *)
-    let burn = !i + !c + !x + !crash in
+       errors and bulkhead catches burn the error budget.  Guard
+       anomalies pending adjudication count like conditional hits: a
+       hostile device must walk this VM down the governor's rungs. *)
+    let gpend =
+      match core.validator with
+      | None -> 0
+      | Some v -> List.length (Guard.Validator.anomalies v)
+    in
+    let burn = !i + !c + !x + !crash + gpend in
     (match Governor.observe t.gov ~burn with
     | Governor.Steady -> ()
     | Governor.Degraded (_, s) | Governor.Restored (_, s) ->
@@ -269,6 +300,8 @@ type report = {
   r_backoff_delay : int;
   r_cov_nodes : int;
   r_cov_edges : int;
+  r_guard : (int * int) option;
+      (** [(drained_anomalies, internal_errors)] when the guard ran. *)
   r_arena : Sedspec.Compile.t option;
   r_stream : string list;
 }
@@ -323,6 +356,11 @@ let report t =
     r_backoff_delay = t.backoff_delay;
     r_cov_nodes = cov_nodes;
     r_cov_edges = cov_edges;
+    r_guard =
+      (match t.core with
+      | Some { validator = Some v; guard_drained; _ } ->
+        Some (!guard_drained, Guard.Validator.internal_errors v)
+      | _ -> None);
     r_arena =
       (* Only cache-built specs carry a shareable arena claim: fallback
          rebuilds and persisted loads own private arenas by design. *)

@@ -33,12 +33,17 @@ type options = {
   retry : Sedspec_util.Backoff.cfg;
   max_attempts : int;  (** Spec-acquisition attempts before fallback. *)
   spec_source : spec_source;
+  guard : bool;
+      (** Attach the guest-side response validator (trained via
+          {!Metrics.Spec_cache.guard_profile}) in front of the checker,
+          feed its anomalies to the remedy supervisor and charge pending
+          guard anomalies to the governor's burn. *)
 }
 
 val default_options : device:string -> options
 (** 12 ops/tick, rare probability 0.05, deadline 50k steps, default
     governor, breaker (2, 8), default backoff with 3 attempts, trained
-    spec. *)
+    spec, no guard. *)
 
 type t
 
@@ -93,6 +98,10 @@ type report = {
   r_backoff_delay : int;  (** Logical backoff units spent acquiring the spec. *)
   r_cov_nodes : int;
   r_cov_edges : int;
+  r_guard : (int * int) option;
+      (** [(drained_anomalies, internal_errors)] of the response
+          validator; [None] when the guard was not enabled — reports and
+          their JSON are unchanged for guard-less fleets. *)
   r_arena : Sedspec.Compile.t option;
       (** The shared arena, when the spec came from the cache ([None]
           for fallback rebuilds and persisted sources).  Lets the

@@ -113,6 +113,8 @@ let device_ctor name : (Devices.Qemu_version.t -> Devices.Device.t) option =
     Some (fun version -> Devices.Pcnet.device ~version)
   else if name = Devices.Scsi.name then
     Some (fun version -> Devices.Scsi.device ~version)
+  else if name = Devices.Virtio_ring.name then
+    Some (fun version -> Devices.Virtio_ring.device ~version)
   else None
 
 let device_cache : (string * string, Devices.Device.t) Hashtbl.t =
@@ -182,6 +184,7 @@ let scrub_rctx ~device rctx =
   Vmm.Irq.lower_line (Vmm.Machine.irq m) device;
   Vmm.Irq.clear_counts (Vmm.Machine.irq m);
   Vmm.Guest_mem.set_read_fault (Vmm.Machine.ram m) None;
+  Interp.set_response_fault (Vmm.Machine.interp_of m device) None;
   C.set_fault_hook rctx.rx_checker None;
   C.reset rctx.rx_checker
 
@@ -261,6 +264,34 @@ let io_result_repr : Vmm.Machine.io_result -> string = function
 let edge_repr (a, b) =
   Devir.Program.bref_to_string a ^ "->" ^ Devir.Program.bref_to_string b
 
+(* Response faults accumulate field-wise into one armed record on the
+   input's device interp: each rf step replaces its own seam and "rf
+   clear" disarms them all.  The pure manglers come from Faultinj.Inject,
+   so corpus-scheduled response faults and the hostile campaign's replays
+   explore one shape space.  Applied inside the interpreter, the mangled
+   responses reach both walk engines identically — fault-bearing inputs
+   still satisfy the differential oracle. *)
+let apply_resp_fault interp resp = function
+  | Input.F_resp_read mask ->
+    resp :=
+      { !resp with Interp.rf_read = Some (Faultinj.Inject.corrupt_value ~mask) };
+    Interp.set_response_fault interp (Some !resp)
+  | Input.F_resp_store mask ->
+    resp :=
+      { !resp with Interp.rf_store = Some (Faultinj.Inject.corrupt_value ~mask) };
+    Interp.set_response_fault interp (Some !resp)
+  | Input.F_resp_dma delta ->
+    resp :=
+      { !resp with Interp.rf_dma_len = Some (Faultinj.Inject.dma_len_delta ~delta) };
+    Interp.set_response_fault interp (Some !resp)
+  | Input.F_resp_irq burst ->
+    resp := { !resp with Interp.rf_irq_burst = burst };
+    Interp.set_response_fault interp (Some !resp)
+  | Input.F_resp_clear ->
+    resp := Interp.no_response_fault;
+    Interp.set_response_fault interp None
+  | _ -> ()
+
 (* Replay [input] under one checker configuration.  Replay stops at the
    first interposer halt (subsequent dispatches would only observe the
    halted VM) and at the first host-level exception, which is recorded as
@@ -272,6 +303,8 @@ let run ~config ?(source = Trained) ?version (input : Input.t) =
   @@ fun { rx_machine = m; rx_checker = checker } ->
   let cov = C.coverage_create () in
   C.set_coverage checker (Some cov);
+  let dev_interp = Vmm.Machine.interp_of m input.device in
+  let resp = ref Interp.no_response_fault in
   let ram = Vmm.Machine.ram m in
   let steps_rev = ref [] in
   let halted_at = ref None in
@@ -311,7 +344,10 @@ let run ~config ?(source = Trained) ?version (input : Input.t) =
                     if !live then begin
                       live := false;
                       Faultinj.Inject.burn spin
-                    end)))
+                    end))
+           | Input.F_resp_read _ | Input.F_resp_store _ | Input.F_resp_dma _
+           | Input.F_resp_irq _ | Input.F_resp_clear ->
+             apply_resp_fault dev_interp resp f)
          | Input.Req { handler; params } -> (
            (match Vmm.Machine.inject m ~device:input.device ~handler ~params with
            | r -> steps_rev := io_result_repr r :: !steps_rev
@@ -326,6 +362,7 @@ let run ~config ?(source = Trained) ?version (input : Input.t) =
    with Exit -> ());
   C.set_coverage checker None;
   Vmm.Guest_mem.set_read_fault ram None;
+  Interp.set_response_fault dev_interp None;
   C.set_fault_hook checker None;
   let obs =
     {
@@ -375,6 +412,7 @@ let trace ?version (input : Input.t) =
           hooks.Interp.on_block bref kind);
     };
   let ram = Vmm.Machine.ram m in
+  let resp = ref Interp.no_response_fault in
   (try
      Array.iter
        (fun step ->
@@ -390,7 +428,12 @@ let trace ?version (input : Input.t) =
              Vmm.Guest_mem.set_read_fault ram
                (Some (Faultinj.Inject.short_byte ~limit))
            | Input.F_guest_clear -> Vmm.Guest_mem.set_read_fault ram None
-           | Input.F_walk_raise | Input.F_walk_delay _ -> ())
+           | Input.F_walk_raise | Input.F_walk_delay _ -> ()
+           | Input.F_resp_read _ | Input.F_resp_store _ | Input.F_resp_dma _
+           | Input.F_resp_irq _ | Input.F_resp_clear ->
+             (* Response faults are device-model effects: they belong in
+                the ground-level trace exactly as in protected replays. *)
+             apply_resp_fault interp resp f)
          | Input.Req { handler; params } -> (
            match Vmm.Machine.inject m ~device:input.device ~handler ~params with
            | _ -> if Vmm.Machine.halted m then raise Exit

@@ -19,6 +19,14 @@ type fault =
   | F_guest_clear
   | F_walk_raise
   | F_walk_delay of int  (* Inject.burn iterations *)
+  (* Response-direction (host->guest) faults, applied inside the devir
+     interpreter so both walk engines observe identical effects.  Like
+     guest faults they stay armed until replaced or cleared. *)
+  | F_resp_read of int64  (* mangle read-return values: corrupt_value mask *)
+  | F_resp_store of int64  (* mangle completion-store values *)
+  | F_resp_dma of int  (* add delta to outbound DMA lengths *)
+  | F_resp_irq of int  (* extra raise/lower edges per IRQ raise *)
+  | F_resp_clear
 
 type step =
   | Req of { handler : string; params : (string * int64) list }
@@ -192,6 +200,12 @@ let step_to_line = function
   | Fault F_guest_clear -> "f clear"
   | Fault F_walk_raise -> "f raise"
   | Fault (F_walk_delay spin) -> Printf.sprintf "f delay %d" spin
+  (* Response faults use the "rf" tag: "r" is the request line. *)
+  | Fault (F_resp_read mask) -> Printf.sprintf "rf read 0x%Lx" mask
+  | Fault (F_resp_store mask) -> Printf.sprintf "rf store 0x%Lx" mask
+  | Fault (F_resp_dma delta) -> Printf.sprintf "rf dma %d" delta
+  | Fault (F_resp_irq burst) -> Printf.sprintf "rf irq %d" burst
+  | Fault F_resp_clear -> "rf clear"
 
 let to_lines t =
   Printf.sprintf "input %s %s %s" t.device
@@ -220,6 +234,11 @@ let step_of_line line =
   | [ "f"; "clear" ] -> Fault F_guest_clear
   | [ "f"; "raise" ] -> Fault F_walk_raise
   | [ "f"; "delay"; spin ] -> Fault (F_walk_delay (int_of_string spin))
+  | [ "rf"; "read"; mask ] -> Fault (F_resp_read (Int64.of_string mask))
+  | [ "rf"; "store"; mask ] -> Fault (F_resp_store (Int64.of_string mask))
+  | [ "rf"; "dma"; delta ] -> Fault (F_resp_dma (int_of_string delta))
+  | [ "rf"; "irq"; burst ] -> Fault (F_resp_irq (int_of_string burst))
+  | [ "rf"; "clear" ] -> Fault F_resp_clear
   | [ "r"; handler; kvs ] ->
     let params =
       String.split_on_char ',' kvs

@@ -16,6 +16,17 @@ type fault =
   | F_guest_clear
   | F_walk_raise
   | F_walk_delay of int  (** {!Faultinj.Inject.burn} iterations. *)
+  | F_resp_read of int64
+      (** Mangle register read-return values at the host->guest seam
+          ({!Faultinj.Inject.corrupt_value} mask); stays armed until
+          replaced or cleared, like guest faults. *)
+  | F_resp_store of int64  (** Mangle completion-store values. *)
+  | F_resp_dma of int
+      (** Add the delta to outbound (device->guest) DMA lengths. *)
+  | F_resp_irq of int  (** Extra raise/lower edges per IRQ raise. *)
+  | F_resp_clear
+      (** Response faults serialize under the ["rf"] line tag — the
+          ["r"] tag already names request steps. *)
 
 type step =
   | Req of { handler : string; params : (string * int64) list }

@@ -193,11 +193,16 @@ let synth_guest_write rng =
    drown the replay in corruption noise. *)
 let synth_fault rng =
   Input.Fault
-    (match Prng.int rng 6 with
+    (match Prng.int rng 11 with
     | 0 -> Input.F_guest_xor (Prng.pick rng Faultinj.Plan.masks)
     | 1 -> Input.F_guest_short (Prng.pick rng Faultinj.Plan.limits)
     | 2 -> Input.F_walk_raise
     | 3 -> Input.F_walk_delay (Prng.pick rng Faultinj.Plan.spins)
+    | 4 -> Input.F_resp_read (Prng.pick rng Faultinj.Plan.masks)
+    | 5 -> Input.F_resp_store (Prng.pick rng Faultinj.Plan.masks)
+    | 6 -> Input.F_resp_dma (Prng.pick rng Faultinj.Plan.resp_deltas)
+    | 7 -> Input.F_resp_irq (Prng.pick rng Faultinj.Plan.bursts)
+    | 8 -> Input.F_resp_clear
     | _ -> Input.F_guest_clear)
 
 (* --- Step/sequence mutations ------------------------------------------- *)
@@ -247,6 +252,12 @@ let mutate_step rng s step =
       Input.Fault (Input.F_guest_xor (mutate_value rng s mask))
     | Input.F_guest_short limit when Prng.chance rng 0.5 ->
       Input.Fault (Input.F_guest_short (mutate_value rng s limit))
+    | Input.F_resp_read mask when Prng.chance rng 0.5 ->
+      Input.Fault (Input.F_resp_read (mutate_value rng s mask))
+    | Input.F_resp_store mask when Prng.chance rng 0.5 ->
+      Input.Fault (Input.F_resp_store (mutate_value rng s mask))
+    | Input.F_resp_dma delta when Prng.chance rng 0.5 ->
+      Input.Fault (Input.F_resp_dma (delta + Prng.int_in rng (-64) 64))
     | _ -> synth_fault rng)
 
 let splice a b ~at_a ~at_b =

@@ -25,6 +25,15 @@ type oob_event = {
   oob_write : bool;
 }
 
+(* The host→guest channel, as the guest experiences it: every value the
+   device hands back crosses exactly one of these four seams. *)
+type response_event =
+  | R_read_return of int64  (* [Respond] value returned for a read *)
+  | R_dma_out of { addr : int64; len : int }  (* [Copy_to_guest] *)
+  | R_store of { addr : int64; value : int64; width : Devir.Width.t }
+      (* [Write_guest] — completion/status writes into guest memory *)
+  | R_irq of bool  (* IRQ line raised/lowered through a callback *)
+
 type trap =
   | Wild_jump of { block : Devir.Program.bref; target : int64 }
   | Icall_blocked of { block : Devir.Program.bref; target : int64 }
@@ -58,6 +67,14 @@ let pp_observe_entry ppf (e : observe_entry) =
     (String.concat ", "
        (List.map (fun (n, v) -> Printf.sprintf "%s=%Ld" n v) e.state))
     (match e.cmd with Some c -> Printf.sprintf " cmd=%Ld" c | None -> "")
+
+let pp_response_event ppf = function
+  | R_read_return v -> Format.fprintf ppf "read-return %Ld" v
+  | R_dma_out { addr; len } -> Format.fprintf ppf "dma-out %Lx+%d" addr len
+  | R_store { addr; value; width } ->
+    Format.fprintf ppf "store %Lx <- %Ld (%s)" addr value
+      (Devir.Width.to_string width)
+  | R_irq up -> Format.fprintf ppf "irq %s" (if up then "raise" else "lower")
 
 let pp_trap ppf = function
   | Wild_jump { block; target } ->

@@ -46,6 +46,15 @@ type oob_event = {
 (** A buffer access outside the buffer's declared bounds (but still inside
     the control structure) — silent corruption, like the C originals. *)
 
+type response_event =
+  | R_read_return of int64  (** [Respond] value handed back for a read. *)
+  | R_dma_out of { addr : int64; len : int }  (** [Copy_to_guest]. *)
+  | R_store of { addr : int64; value : int64; width : Devir.Width.t }
+      (** [Write_guest] — completion/status writes into guest memory. *)
+  | R_irq of bool  (** IRQ line raised/lowered through a callback. *)
+(** One crossing of the host→guest channel, as the guest experiences it —
+    the event stream the guest-side validator trains and enforces over. *)
+
 type trap =
   | Wild_jump of { block : Devir.Program.bref; target : int64 }
       (** Indirect call through a value with no registered callback. *)
@@ -69,6 +78,7 @@ type outcome =
 val pp_trace_event : Format.formatter -> trace_event -> unit
 val pp_obs_outcome : Format.formatter -> obs_outcome -> unit
 val pp_observe_entry : Format.formatter -> observe_entry -> unit
+val pp_response_event : Format.formatter -> response_event -> unit
 val pp_trap : Format.formatter -> trap -> unit
 val pp_outcome : Format.formatter -> outcome -> unit
 val trap_to_string : trap -> string

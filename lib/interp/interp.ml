@@ -12,6 +12,7 @@ type hooks = {
   on_oob : Event.oob_event -> unit;
   on_irq : bool -> unit;
   on_overflow : Eval.overflow -> unit;
+  on_response : Event.response_event -> unit;
 }
 
 let silent_hooks =
@@ -22,7 +23,23 @@ let silent_hooks =
     on_oob = ignore;
     on_irq = ignore;
     on_overflow = ignore;
+    on_response = ignore;
   }
+
+(* A seeded corruption of the host→guest channel.  Corruptors run inside
+   the interpreter, after expression evaluation but before the value
+   crosses to the guest, so both checker engines (which replay the same
+   device trace) observe identical effects and the device's own shadowed
+   state never diverges. *)
+type response_fault = {
+  rf_read : (int64 -> int64) option;  (* mangle [Respond] values *)
+  rf_dma_len : (int -> int) option;  (* mangle [Copy_to_guest] lengths *)
+  rf_store : (int64 -> int64) option;  (* mangle [Write_guest] values *)
+  rf_irq_burst : int;  (* extra raise/lower toggles per IRQ raise *)
+}
+
+let no_response_fault =
+  { rf_read = None; rf_dma_len = None; rf_store = None; rf_irq_burst = 0 }
 
 type config = { step_limit : int; depth_limit : int }
 
@@ -44,6 +61,7 @@ type t = {
   mutable on_sync : Program.bref -> (string * int64) list -> unit;
   mutable host_value : string -> int64;
   mutable icall_guard : (Program.bref -> int64 -> bool) option;
+  mutable response_fault : response_fault option;
 }
 
 let create ?(config = default_config) ?(hooks = silent_hooks) ~program ~arena
@@ -59,6 +77,7 @@ let create ?(config = default_config) ?(hooks = silent_hooks) ~program ~arena
     on_sync = (fun _ _ -> ());
     host_value = (fun _ -> 0L);
     icall_guard = None;
+    response_fault = None;
   }
 
 let set_hooks t hooks = t.hooks <- hooks
@@ -77,6 +96,9 @@ let set_host_values t f = t.host_value <- f
 
 let set_icall_guard t g = t.icall_guard <- g
 let clear_icall_guard t = t.icall_guard <- None
+
+let set_response_fault t rf = t.response_fault <- rf
+let response_fault t = t.response_fault
 
 let set_sync_points t points ~on_sync =
   Hashtbl.reset t.sync_points;
@@ -148,6 +170,14 @@ let exec_stmt t frame block ctx (stmt : Stmt.t) =
   | Stmt.Copy_to_guest { buf; buf_off; addr; len } ->
     let buf_off = to_int buf_off and len = to_int len in
     let addr = eval addr in
+    let len =
+      match t.response_fault with
+      | Some { rf_dma_len = Some f; _ } -> f len
+      | _ -> len
+    in
+    (* Announced before the copy so the validator sees the length even
+       when a mangled length traps mid-transfer. *)
+    t.hooks.on_response (Event.R_dma_out { addr; len });
     let size = Layout.buf_size (Arena.layout t.arena) buf in
     for i = 0 to len - 1 do
       let idx = buf_off + i in
@@ -172,12 +202,26 @@ let exec_stmt t frame block ctx (stmt : Stmt.t) =
   | Stmt.Write_guest { addr; value; width } ->
     let addr = eval addr in
     let v = eval value in
+    let v =
+      match t.response_fault with
+      | Some { rf_store = Some f; _ } -> f v
+      | _ -> v
+    in
+    t.hooks.on_response (Event.R_store { addr; value = v; width });
     for i = 0 to Width.bytes width - 1 do
       t.guest.write_byte
         (Int64.add addr (Int64.of_int i))
         (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL))
     done
-  | Stmt.Respond e -> frame.response <- Some (eval e)
+  | Stmt.Respond e ->
+    let v = eval e in
+    let v =
+      match t.response_fault with
+      | Some { rf_read = Some f; _ } -> f v
+      | _ -> v
+    in
+    t.hooks.on_response (Event.R_read_return v);
+    frame.response <- Some v
   | Stmt.Note _ -> ()
   | Stmt.Host_value { local; key } ->
     Hashtbl.replace frame.locals local (t.host_value key)
@@ -277,8 +321,23 @@ let rec run_handler t frame depth hname =
       | None -> raise (Trap (Event.Wild_jump { block = bref; target = v }))
       | Some cb -> (
         match cb.action with
-        | Program.Raise_irq_line -> t.hooks.on_irq true
-        | Program.Lower_irq_line -> t.hooks.on_irq false
+        | Program.Raise_irq_line ->
+          t.hooks.on_irq true;
+          t.hooks.on_response (Event.R_irq true);
+          (* An injected storm toggles the line so every extra raise is a
+             real low→high edge the IRQ controller counts. *)
+          (match t.response_fault with
+          | Some { rf_irq_burst = n; _ } when n > 0 ->
+            for _ = 1 to n do
+              t.hooks.on_irq false;
+              t.hooks.on_response (Event.R_irq false);
+              t.hooks.on_irq true;
+              t.hooks.on_response (Event.R_irq true)
+            done
+          | _ -> ())
+        | Program.Lower_irq_line ->
+          t.hooks.on_irq false;
+          t.hooks.on_response (Event.R_irq false)
         | Program.Run_handler callee -> run_handler t frame (depth + 1) callee
         | Program.Noop -> ()));
       step (Program.find_block t.program (bref_of next))

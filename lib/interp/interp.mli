@@ -23,10 +23,33 @@ type hooks = {
   on_irq : bool -> unit;  (** IRQ line raised ([true]) or lowered. *)
   on_overflow : Eval.overflow -> unit;
       (** Every arithmetic wrap during device execution (ground truth). *)
+  on_response : Event.response_event -> unit;
+      (** Fires at every host→guest seam: read-return values, outbound DMA,
+          completion writes into guest memory, IRQ line transitions.  The
+          guest-side validator trains and enforces over this stream. *)
 }
 
 val silent_hooks : hooks
 (** Hooks that drop every event. *)
+
+type response_fault = {
+  rf_read : (int64 -> int64) option;
+  rf_dma_len : (int -> int) option;
+  rf_store : (int64 -> int64) option;
+  rf_irq_burst : int;
+}
+(** A corruption of the host→guest channel, applied inside the interpreter
+    after expression evaluation but before the value reaches the guest —
+    the device's own (shadowed) state never diverges, so both checker
+    engines see identical effects.  [rf_read] mangles {!Devir.Stmt.Respond}
+    values, [rf_dma_len] mangles {!Devir.Stmt.Copy_to_guest} lengths (a
+    mangled length may trap as {!Event.Out_of_arena} — contained as an
+    [Io_fault]), [rf_store] mangles {!Devir.Stmt.Write_guest} values, and
+    [rf_irq_burst] injects that many extra raise/lower toggles per IRQ
+    raise. *)
+
+val no_response_fault : response_fault
+(** All corruptors off — identity behaviour. *)
 
 type config = {
   step_limit : int;   (** Blocks executed before declaring a hang. *)
@@ -68,6 +91,11 @@ val set_icall_guard : t -> (Devir.Program.bref -> int64 -> bool) option -> unit
     where SEDSpec's indirect jump check enforces at runtime. *)
 
 val clear_icall_guard : t -> unit
+
+val set_response_fault : t -> response_fault option -> unit
+(** Arm (or with [None] clear) a host→guest corruption on this device. *)
+
+val response_fault : t -> response_fault option
 
 val set_host_values : t -> (string -> int64) -> unit
 (** Provide host-side values for {!Devir.Stmt.Host_value} statements

@@ -99,3 +99,53 @@ let fresh_protected_machine ?config ?vmexit_cost
   let m = W.make_machine ?vmexit_cost version in
   let checker = Sedspec.Pipeline.protect ?config m ~device:W.device_name b in
   (m, checker)
+
+(* Response-direction profiles for the guest-side validator, under the
+   same single-flight discipline but in their own table and counter: the
+   fleet asserts exactly one {!builds} delta per (device, version) spec
+   key, and a guard profile is not a spec build. *)
+type gslot = G_building | G_ready of Guard.Resp.profile
+
+let gcache : (string * string, gslot) Hashtbl.t = Hashtbl.create 8
+let guard_build_count = Atomic.make 0
+let guard_builds () = Atomic.get guard_build_count
+
+let guard_profile (module W : Workload.Samples.DEVICE_WORKLOAD) version =
+  let key = (W.device_name, Devices.Qemu_version.to_string version) in
+  let claim () =
+    let rec wait () =
+      match Hashtbl.find_opt gcache key with
+      | Some (G_ready p) -> `Hit p
+      | Some G_building ->
+        Condition.wait landed lock;
+        wait ()
+      | None ->
+        Hashtbl.replace gcache key G_building;
+        `Build
+    in
+    Mutex.lock lock;
+    let r = wait () in
+    Mutex.unlock lock;
+    r
+  in
+  match claim () with
+  | `Hit p -> p
+  | `Build -> (
+    match
+      let m = W.make_machine version in
+      Guard.Resp.train m ~device:W.device_name
+        (W.trainer ~cases:!training_cases)
+    with
+    | p ->
+      Atomic.incr guard_build_count;
+      Mutex.lock lock;
+      Hashtbl.replace gcache key (G_ready p);
+      Condition.broadcast landed;
+      Mutex.unlock lock;
+      p
+    | exception e ->
+      Mutex.lock lock;
+      Hashtbl.remove gcache key;
+      Condition.broadcast landed;
+      Mutex.unlock lock;
+      raise e)

@@ -61,3 +61,15 @@ val fresh_machine :
   (module Workload.Samples.DEVICE_WORKLOAD) ->
   Devices.Qemu_version.t ->
   Vmm.Machine.t
+
+val guard_profile :
+  (module Workload.Samples.DEVICE_WORKLOAD) ->
+  Devices.Qemu_version.t ->
+  Guard.Resp.profile
+(** Train (or fetch) the response-direction profile the guest-side
+    validator enforces, over the same benign corpus ({!training_cases})
+    as the spec build.  Memoised single-flight like {!built}, in its own
+    table — guard profiles do not count toward {!builds}. *)
+
+val guard_builds : unit -> int
+(** Successful guard-profile builds since process start (monotone). *)

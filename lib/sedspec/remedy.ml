@@ -41,6 +41,7 @@ type t = {
   device : string;
   checker : Checker.t;
   policy_of : severity -> policy;
+  aux_drain : unit -> Checker.anomaly list;
   breaker : breaker option;
   mutable saved : mem_image;
   mutable events_rev : event list;
@@ -61,7 +62,8 @@ let take_snapshot t =
 
 let log_line t line = t.log_rev <- line :: t.log_rev
 
-let create ?(policy_of = fun _ -> Rollback) ?breaker machine ~device checker =
+let create ?(policy_of = fun _ -> Rollback) ?(aux_drain = fun () -> [])
+    ?breaker machine ~device checker =
   (match breaker with
   | Some (max_rollbacks, window) when max_rollbacks < 1 || window < 1 ->
     invalid_arg "Remedy.create: breaker thresholds must be >= 1"
@@ -72,6 +74,7 @@ let create ?(policy_of = fun _ -> Rollback) ?breaker machine ~device checker =
       device;
       checker;
       policy_of;
+      aux_drain;
       breaker =
         Option.map (fun (max_rollbacks, window) -> { max_rollbacks; window }) breaker;
       saved = { arena_bytes = Bytes.empty; ram_bytes = Bytes.empty };
@@ -134,12 +137,13 @@ let tick t =
         (Printf.sprintf
            "heal: budget exhausted, %d parameters still divergent" n));
     ignore (Checker.drain_anomalies t.checker);
+    ignore (t.aux_drain ());
     Vmm.Machine.clear_warnings t.machine;
     t.saved <- take_snapshot t;
     []
   end
   else begin
-    let anomalies = Checker.drain_anomalies t.checker in
+    let anomalies = Checker.drain_anomalies t.checker @ t.aux_drain () in
     if anomalies = [] then
       (* Halted with nothing new to adjudicate: a manual halt, or a halt
          the breaker already escalated.  Leave the machine down — the

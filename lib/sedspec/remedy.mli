@@ -41,6 +41,7 @@ type t
 
 val create :
   ?policy_of:(severity -> policy) ->
+  ?aux_drain:(unit -> Checker.anomaly list) ->
   ?breaker:int * int ->
   Vmm.Machine.t ->
   device:string ->
@@ -48,6 +49,12 @@ val create :
   t
 (** [create machine ~device checker] builds a supervisor.  [policy_of]
     maps severities to actions (default: everything rolls back).
+    [aux_drain] feeds anomalies from a second enforcement layer (the
+    guest-side response validator) into every tick's adjudication, so a
+    halt raised by that layer — whose anomalies the checker never sees —
+    is classified and remedied instead of leaving the VM down forever;
+    on clean ticks it is drained as benign bookkeeping like the
+    checker's own queue (default: none).
     [breaker:(n, w)] arms the circuit breaker: when applying a rollback
     would make more than [n] rollbacks within the last [w] ticks, the
     decision escalates to [Halt_vm] instead and stays escalated — a fault

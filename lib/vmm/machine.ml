@@ -123,6 +123,7 @@ let get t name =
 
 let set_interposer t name ip = (get t name).interposer <- Some ip
 let clear_interposer t name = (get t name).interposer <- None
+let interposer_of t name = (get t name).interposer
 let interp_of t name = (get t name).interp
 let device_names t = t.order
 

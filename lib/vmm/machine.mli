@@ -68,6 +68,11 @@ val set_interposer : t -> string -> interposer -> unit
 
 val clear_interposer : t -> string -> unit
 
+val interposer_of : t -> string -> interposer option
+(** The currently installed interposer, if any — lets a second enforcement
+    layer (the guest-side validator) chain in front of the checker's
+    interposer instead of displacing it. *)
+
 val interp_of : t -> string -> Interp.t
 (** The device's interpreter, e.g. to install observation points or trace
     hooks during SEDSpec's data-collection phase. *)

@@ -398,6 +398,86 @@ module Scsi_w = struct
     | Random_delay -> 2400
 end
 
+module Virtio_w = struct
+  let device_name = Devices.Virtio_ring.name
+  let paper_version = Devices.Qemu_version.v 4 0 0
+
+  let make_machine ?vmexit_cost version =
+    make_machine_for
+      (fun version -> Devices.Virtio_ring.device ~version)
+      ?vmexit_cost version
+
+  let payload rng len = Prng.bytes rng len
+
+  let trainer ~cases =
+    {
+      Sedspec.Pipeline.cases;
+      run_case =
+        (fun m case ->
+          let rng = Prng.create (Int64.of_int (6947 * (case + 1))) in
+          let d = Virtio_driver.create m in
+          ignore (Virtio_driver.init d);
+          (* Notify with an empty queue: trains the no-work edge. *)
+          ignore (Virtio_driver.publish d 0);
+          ignore (Virtio_driver.poll_used d);
+          for i = 0 to 5 do
+            let len = 32 + ((case * 113 + i * 197) mod 480) in
+            if i mod 3 = 2 then
+              (* Two-descriptor chain (trains the NEXT edge). *)
+              ignore
+                (Virtio_driver.send d
+                   [ payload rng (len / 2); payload rng (len / 2) ])
+            else ignore (Virtio_driver.send d [ payload rng len ]);
+            ignore (Virtio_driver.poll_used d);
+            if i mod 2 = 0 then
+              ignore (Virtio_driver.recv d ~len:(16 + ((case * 37 + i) mod 240)));
+            ignore (Virtio_driver.poll_used d);
+            ignore (Virtio_driver.isr d);
+            ignore (Virtio_driver.isr_ack d)
+          done;
+          ignore (Virtio_driver.status d);
+          ignore (Virtio_driver.used_idx_reg d);
+          ignore (Virtio_driver.features d);
+          ignore (Virtio_driver.qsize_reg d))
+    }
+
+  let rare_op _rng d =
+    (* Ring-address readback is legitimate but untrained. *)
+    ignore (Virtio_driver.avail_addr_reg d)
+
+  let soak_case ~mode ~rng ~rare_prob ~ops m =
+    let d = Virtio_driver.create m in
+    ignore (Virtio_driver.init d);
+    let actions =
+      [|
+        (fun () ->
+          ignore (Virtio_driver.send d [ payload rng (32 + Prng.int rng 480) ]);
+          ignore (Virtio_driver.poll_used d));
+        (fun () ->
+          let l = 64 + Prng.int rng 400 in
+          ignore (Virtio_driver.send d [ payload rng (l / 2); payload rng (l / 2) ]);
+          ignore (Virtio_driver.poll_used d));
+        (fun () ->
+          ignore (Virtio_driver.recv d ~len:(16 + Prng.int rng 240));
+          ignore (Virtio_driver.poll_used d));
+        (fun () -> ignore (Virtio_driver.status d));
+        (fun () -> ignore (Virtio_driver.used_idx_reg d));
+        (fun () ->
+          ignore (Virtio_driver.isr d);
+          ignore (Virtio_driver.isr_ack d));
+      |]
+    in
+    for k = 0 to ops - 1 do
+      if Prng.chance rng rare_prob then rare_op rng d
+      else (pick_op ~mode ~rng k actions) ()
+    done
+
+  let ops_per_hour = function
+    | Sequential -> 15000
+    | Random -> 13000
+    | Random_delay -> 7000
+end
+
 let all : (module DEVICE_WORKLOAD) list =
   [
     (module Fdc_w);
@@ -405,6 +485,7 @@ let all : (module DEVICE_WORKLOAD) list =
     (module Pcnet_w);
     (module Sdhci_w);
     (module Scsi_w);
+    (module Virtio_w);
   ]
 
 let find name =

@@ -1,0 +1,127 @@
+type t = {
+  m : Vmm.Machine.t;
+  qsize : int;
+  mutable avail_idx : int;  (** Next avail slot the guest will publish. *)
+  mutable used_seen : int;  (** Used entries the guest has reaped. *)
+  mutable next_desc : int;  (** Round-robin descriptor allocator. *)
+}
+
+(* Guest memory map owned by this driver. *)
+let desc_table = 0x30000L
+let avail_ring = 0x31000L
+let used_ring = 0x32000L
+let data_bufs = 0x34000L
+let buf_stride = 0x400
+
+let reg off = Int64.add Devices.Virtio_ring.mmio_base (Int64.of_int off)
+
+let create ?(qsize = 8) m =
+  { m; qsize; avail_idx = 0; used_seen = 0; next_desc = 0 }
+
+let w t off v = Io.mmio_w32 t.m (reg off) v
+let r t off = Io.mmio_r32_v t.m (reg off)
+
+let ram t = Vmm.Machine.ram t.m
+
+let init t =
+  t.avail_idx <- 0;
+  t.used_seen <- 0;
+  t.next_desc <- 0;
+  let g = ram t in
+  (* Zero the ring headers so a reused machine starts from a clean queue. *)
+  Vmm.Guest_mem.write g (Int64.add avail_ring 2L) Devir.Width.W16 0L;
+  Vmm.Guest_mem.write g (Int64.add used_ring 2L) Devir.Width.W16 0L;
+  Io.ok (w t 0x10 0L) (* device reset *)
+  && Io.ok (w t 0x00 (Int64.of_int t.qsize))
+  && Io.ok (w t 0x04 desc_table)
+  && Io.ok (w t 0x08 avail_ring)
+  && Io.ok (w t 0x0C used_ring)
+  && Io.ok (w t 0x10 1L) (* ACKNOWLEDGE *)
+  && Io.ok (w t 0x10 3L) (* DRIVER *)
+  && Io.ok (w t 0x10 7L) (* DRIVER_OK *)
+
+let desc_addr i =
+  Int64.add desc_table (Int64.of_int (i * Devices.Virtio_ring.desc_size))
+
+let write_desc t i ~addr ~len ~flags ~next =
+  let g = ram t in
+  let d = desc_addr i in
+  Vmm.Guest_mem.write g d Devir.Width.W32 addr;
+  Vmm.Guest_mem.write g (Int64.add d 4L) Devir.Width.W32 (Int64.of_int len);
+  Vmm.Guest_mem.write g (Int64.add d 8L) Devir.Width.W16 (Int64.of_int flags);
+  Vmm.Guest_mem.write g (Int64.add d 10L) Devir.Width.W16 (Int64.of_int next)
+
+let alloc_desc t =
+  let i = t.next_desc in
+  t.next_desc <- (t.next_desc + 1) mod t.qsize;
+  i
+
+let buf_of i = Int64.add data_bufs (Int64.of_int (i * buf_stride))
+
+let publish t head =
+  let g = ram t in
+  let slot = t.avail_idx mod t.qsize in
+  Vmm.Guest_mem.write g
+    (Int64.add avail_ring (Int64.of_int (4 + (slot * 2))))
+    Devir.Width.W16 (Int64.of_int head);
+  t.avail_idx <- (t.avail_idx + 1) land 0xFFFF;
+  Vmm.Guest_mem.write g (Int64.add avail_ring 2L) Devir.Width.W16
+    (Int64.of_int t.avail_idx);
+  w t 0x20 0L
+
+(* Stage a chain of guest-readable buffers (the device consumes them)
+   and notify. *)
+let send t frags =
+  match frags with
+  | [] -> Io.R_ok None
+  | _ ->
+    let n = List.length frags in
+    let idxs = List.map (fun _ -> alloc_desc t) frags in
+    let head = List.hd idxs in
+    List.iteri
+      (fun k (i, frag) ->
+        let buf = buf_of i in
+        Vmm.Guest_mem.blit_in (ram t) buf frag;
+        let flags =
+          if k = n - 1 then 0 else Devices.Virtio_ring.f_next
+        in
+        let next = if k = n - 1 then 0 else List.nth idxs (k + 1) in
+        write_desc t i ~addr:buf ~len:(Bytes.length frag) ~flags ~next)
+      (List.combine idxs frags);
+    publish t head
+
+(* Stage one device-writable buffer of [len] bytes and notify; on success
+   the device has served its pattern into it. *)
+let recv t ~len =
+  let i = alloc_desc t in
+  let buf = buf_of i in
+  write_desc t i ~addr:buf ~len ~flags:Devices.Virtio_ring.f_write ~next:0;
+  match publish t i with
+  | Io.R_ok _ -> Some (Vmm.Guest_mem.blit_out (ram t) buf len)
+  | _ -> None
+
+(* Reap one used-ring entry: [(id, len)] as the device published it. *)
+let poll_used t =
+  let g = ram t in
+  let used_idx =
+    Int64.to_int (Vmm.Guest_mem.read g (Int64.add used_ring 2L) Devir.Width.W16)
+  in
+  if used_idx = t.used_seen then None
+  else begin
+    let slot = t.used_seen mod t.qsize in
+    let e = Int64.add used_ring (Int64.of_int (4 + (slot * 8))) in
+    let id = Int64.to_int (Vmm.Guest_mem.read g e Devir.Width.W32) in
+    let len =
+      Int64.to_int (Vmm.Guest_mem.read g (Int64.add e 4L) Devir.Width.W32)
+    in
+    t.used_seen <- (t.used_seen + 1) land 0xFFFF;
+    Some (id, len)
+  end
+
+let isr t = Int64.to_int (r t 0x14) land 0xFFFF
+let isr_ack t = w t 0x14 0xFFFFL
+let status t = Int64.to_int (r t 0x10) land 0xFF
+let used_idx_reg t = Int64.to_int (r t 0x18) land 0xFFFF
+let features t = r t 0x1C
+let qsize_reg t = Int64.to_int (r t 0x00) land 0xFFFF
+let avail_addr_reg t = r t 0x08

@@ -1,0 +1,48 @@
+(** Guest-side driver for the virtio-style ring device.
+
+    Owns a split virtqueue in guest memory (descriptor table, avail ring,
+    used ring, data buffers), publishes descriptor chains through the
+    avail ring and reaps completions from the used ring — the benign
+    traffic the response-direction validator trains over. *)
+
+type t
+
+val desc_table : int64
+val avail_ring : int64
+val used_ring : int64
+val data_bufs : int64
+val buf_stride : int
+
+val create : ?qsize:int -> Vmm.Machine.t -> t
+(** Default queue size 8 (must be a power of two). *)
+
+val init : t -> bool
+(** Program queue size, ring addresses and the status handshake. *)
+
+val write_desc :
+  t -> int -> addr:int64 -> len:int -> flags:int -> next:int -> unit
+(** Raw descriptor-table write (exploits stage hostile chains with it). *)
+
+val publish : t -> int -> Io.result
+(** Append a head index to the avail ring, bump its index and notify. *)
+
+val send : t -> Bytes.t list -> Io.result
+(** Stage a chain of guest-readable buffers and notify. *)
+
+val recv : t -> len:int -> Bytes.t option
+(** Stage one device-writable buffer and notify; returns the served
+    bytes. *)
+
+val poll_used : t -> (int * int) option
+(** Reap one used-ring entry as [(id, len)]. *)
+
+val isr : t -> int
+val isr_ack : t -> Io.result
+val status : t -> int
+val used_idx_reg : t -> int
+val features : t -> int64
+val qsize_reg : t -> int
+
+val avail_addr_reg : t -> int64
+(** Avail-ring address readback — a legitimate probe the benign trainer
+    deliberately never issues (enhancement-mode headroom). *)

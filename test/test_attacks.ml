@@ -44,7 +44,8 @@ let isolated_effect (attack : Attacks.Attack.t) (e : Attacks.Attack.effects) =
   | _ -> Attacks.Attack.succeeded e
 
 let test_catalogue_is_complete () =
-  Alcotest.(check int) "eight case studies + one miss" 9
+  Alcotest.(check int)
+    "eight case studies + one miss + virtio analog + two grown" 12
     (List.length Attacks.Attack.all);
   List.iter
     (fun (a : Attacks.Attack.t) ->
@@ -175,7 +176,13 @@ let test_expected_matrix_matches_paper () =
   expect "CVE-2021-3409" [ p ];
   expect "CVE-2015-5158" [ c ];
   expect "CVE-2016-4439" [ c ];
-  expect "CVE-2016-1568" []
+  expect "CVE-2016-1568" [];
+  expect "CVE-2019-14835" [ p ];
+  (* The locator-grown regressions: the sdhci stream halts at the first
+     out-of-envelope arithmetic; the pcnet stream additionally lands a
+     wild indirect jump once the overrun clobbers the irq pointer. *)
+  expect "GROWN-2021-3409" [ p ];
+  expect "GROWN-2015-7512" [ p; i ]
 
 let test_miss_is_marked_undetectable () =
   let a = Attacks.Attack.find "CVE-2016-1568" in

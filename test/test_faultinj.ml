@@ -29,7 +29,17 @@ let test_plan_generation_deterministic () =
           (Array.mem limit Plan.limits)
       | Plan.Walk_delay { spin; _ } ->
         Alcotest.(check bool) "spin from pool" true (Array.mem spin Plan.spins)
-      | Plan.Spec_bit_flip _ | Plan.Spec_truncate | Plan.Walk_raise _ -> ())
+      | Plan.Resp_dma_len { delta } ->
+        Alcotest.(check bool) "delta from pool" true
+          (Array.mem delta Plan.resp_deltas)
+      | Plan.Resp_irq_storm { burst } ->
+        Alcotest.(check bool) "burst from pool" true
+          (Array.mem burst Plan.bursts)
+      | Plan.Resp_read_corrupt { mask } | Plan.Resp_store_corrupt { mask } ->
+        Alcotest.(check bool) "resp mask from pool" true
+          (Array.mem mask Plan.masks)
+      | Plan.Spec_bit_flip _ | Plan.Spec_truncate | Plan.Walk_raise _
+      | Plan.Guard_raise _ -> ())
     plans
 
 let test_corrupt_byte_pure_and_partial () =

@@ -104,6 +104,11 @@ let test_fault_steps_roundtrip () =
           Input.Fault Input.F_guest_clear;
           Input.Fault Input.F_walk_raise;
           Input.Fault (Input.F_walk_delay 1024);
+          Input.Fault (Input.F_resp_read 0xFEEDFACEL);
+          Input.Fault (Input.F_resp_store (-1L));
+          Input.Fault (Input.F_resp_dma (-512));
+          Input.Fault (Input.F_resp_irq 32);
+          Input.Fault Input.F_resp_clear;
         |];
     }
   in
@@ -170,6 +175,15 @@ let corpus_roundtrip_prop =
           Gen.map
             (fun s -> Input.Fault (Input.F_walk_delay s))
             (Gen.int_bound 10_000) );
+        (1, Gen.map (fun m -> Input.Fault (Input.F_resp_read m)) u64);
+        (1, Gen.map (fun m -> Input.Fault (Input.F_resp_store m)) u64);
+        ( 1,
+          (* DMA deltas are signed decimals on the wire. *)
+          Gen.map
+            (fun d -> Input.Fault (Input.F_resp_dma d))
+            (Gen.int_range (-8192) 8192) );
+        (1, Gen.map (fun b -> Input.Fault (Input.F_resp_irq b)) (Gen.int_bound 64));
+        (1, Gen.return (Input.Fault Input.F_resp_clear));
       ]
   in
   let gen_input =
@@ -214,6 +228,16 @@ let test_fault_steps_no_divergence () =
         |];
         prefix;
         [| Input.Fault Input.F_guest_clear; Input.Fault Input.F_walk_raise |];
+        prefix;
+        (* Response-direction faults are interp effects, visible to both
+           engines identically. *)
+        [|
+          Input.Fault (Input.F_resp_read 0x5A5A5A5AL);
+          Input.Fault (Input.F_resp_dma (-1));
+          Input.Fault (Input.F_resp_irq 3);
+        |];
+        prefix;
+        [| Input.Fault Input.F_resp_clear |];
         prefix;
       ]
   in

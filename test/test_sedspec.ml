@@ -509,6 +509,7 @@ let test_minimize_pass_counts_per_device () =
       ("pcnet", 43, 41, 2, 0, 0, 0, 1, 1);
       ("sdhci", 38, 36, 2, 0, 0, 0, 0, 0);
       ("scsi", 59, 57, 2, 0, 0, 0, 0, 0);
+      ("virtio", 25, 23, 2, 0, 0, 0, 0, 0);
     ]
   in
   List.iter
