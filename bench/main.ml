@@ -45,8 +45,11 @@ let json_bool key v = json_add key (string_of_bool v)
 let json_float key v =
   json_add key (if Float.is_finite v then Printf.sprintf "%.6g" v else "null")
 
-(* Values are ASCII prose (schema notes), so %S escaping is valid JSON. *)
-let json_str key v = json_add key (Printf.sprintf "%S" v)
+(* RFC 8259 escaping via the shared emitter: UTF-8 prose (schema notes
+   with dashes and arrows) passes through byte-clean, unlike OCaml's %S
+   whose decimal escapes are invalid JSON. *)
+let json_str key v =
+  json_add key (Sedspec_util.Json.to_string (Sedspec_util.Json.Str v))
 
 (* Keys are ASCII identifiers, so OCaml's %S escaping is valid JSON.
    The write is atomic (temp file + rename) and the fd is protected, so
@@ -1283,6 +1286,187 @@ let hostile_bench () =
   Printf.printf "verdict: %s (escapes and silent fail-opens must be zero)\n"
     (if Faultinj.Campaign.hostile_passed r then "PASS" else "FAIL")
 
+(* ------------------------------------------------------------------ *)
+(* Rollout: shadow-walk overhead + the candidate ladder.                *)
+
+(* Fixed regression budget, dumped next to the measurements so CI can
+   fail the bench from the JSON alone: the lockstep shadow walk must
+   cost at most 15% of fleet wall-clock.  The walk itself is a second
+   pointer-chase over an already-resident arena while the tick is
+   dominated by device emulation, so the reference-container numbers sit
+   far below the budget; a reintroduced per-interaction allocation or a
+   rebuild of the candidate inside the hot path blows through it. *)
+let rollout_overhead_max = 0.15
+
+let rollout_schema =
+  "rollout.<row>.base_cpu_s / shadow_cpu_s = minimum user-CPU seconds \
+   over paired fleet runs with the shadow walk off / on (same seed, \
+   same ticks; Gc.compact before each timed run, and minima because \
+   scheduler/collector contamination only ever adds time); overhead = \
+   shadow/base - 1 over those minima; agree/stricter/looser = fleet-wide \
+   shadow scoreboard of the timed run.  Rows: fdc and scsi put every \
+   VM of a single-device fleet in lockstep (informational; fdc's \
+   walk-heavy workload is the worst case), shadow_phase is the rollout \
+   ladder's default shadow-phase shape — shadow_vms of vms walking, on \
+   the worst-case device — the budgeted number.  ladder.* = one full \
+   rollout ladder (retrained candidate): final rung, pinned revision, \
+   rollback_latency_ticks (-1 when no rollback).  \
+   rollout.threshold.overhead_max: fixed budget; CI fails if \
+   rollout.shadow_phase.overhead exceeds it."
+
+let rollout_bench () =
+  section "Rollout: shadow-walk overhead and the candidate ladder";
+  let vms = 3 in
+  (* Enough ticks that per-VM setup (the candidate checker's two arena
+     allocations) amortises: the budget bounds the steady-state walk. *)
+  let ticks = if !quick then 32 else 48 in
+  let pairs = if !quick then 6 else 7 in
+  let shadow_fetch device =
+    let w = Workload.Samples.find device in
+    let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+    fun () ->
+      Metrics.Spec_cache.built_retrained (module W) W.paper_version
+        ~cases:!Metrics.Spec_cache.training_cases
+  in
+  (* Direct Vm loop (per-index shadow subset, which Supervisor's
+     per-device options cannot express); same seeds for the on/off
+     configurations of a row, so the workload streams are identical. *)
+  let run_fleet device nvms shadow_pred =
+    List.init nvms (fun i ->
+        let opts =
+          {
+            (Fleet.Vm.default_options ~device) with
+            Fleet.Vm.shadow =
+              (if shadow_pred i then Some (shadow_fetch device) else None);
+          }
+        in
+        let vm =
+          Fleet.Vm.create ~index:i
+            ~seed:(Int64.add !seed (Int64.of_int (31 * i)))
+            opts
+        in
+        for _ = 1 to ticks do
+          Fleet.Vm.tick vm
+        done;
+        Fleet.Vm.report vm)
+  in
+  let cpu () = (Unix.times ()).Unix.tms_utime in
+  let timed device nvms shadow_pred =
+    Gc.compact ();
+    let t0 = cpu () in
+    let rs = run_fleet device nvms shadow_pred in
+    (cpu () -. t0, rs)
+  in
+  let none _ = false in
+  let all _ = true in
+  let rollout_default = Fleet.Rollout.default_config ~device:"fdc" in
+  let configs =
+    [
+      (* Worst case: every VM of the walk-heaviest device in lockstep. *)
+      ("fdc", "fdc", vms, all);
+      ("scsi", "scsi", vms, all);
+      (* The budgeted row: the rollout ladder's default shadow-phase
+         shape (shadow_vms of vms walking) on the worst-case device. *)
+      ( "shadow_phase",
+        "fdc",
+        rollout_default.Fleet.Rollout.vms,
+        fun i -> i < rollout_default.Fleet.Rollout.shadow_vms );
+    ]
+  in
+  let budget_overhead = ref nan in
+  let rows =
+    List.map
+      (fun (row, device, nvms, pred) ->
+        (* Warm base and candidate cache entries: the timed runs measure
+           serving, not training. *)
+        ignore (timed device nvms pred);
+        let base_ts = ref [] and sh_ts = ref [] in
+        let last = ref [] in
+        for _ = 1 to pairs do
+          let b, _ = timed device nvms none in
+          let s, rs = timed device nvms pred in
+          base_ts := b :: !base_ts;
+          sh_ts := s :: !sh_ts;
+          last := rs
+        done;
+        (* Ratio of minima: scheduler and collector contamination only
+           ever adds time, so the minimum of each configuration is the
+           robust estimate of its true busy cost. *)
+        let base_dt = List.fold_left Float.min infinity !base_ts
+        and sh_dt = List.fold_left Float.min infinity !sh_ts in
+        let overhead = if base_dt > 0. then (sh_dt /. base_dt) -. 1.0 else 0.0 in
+        if row = "shadow_phase" then budget_overhead := overhead;
+        let agree, stricter, looser =
+          List.fold_left
+            (fun (a, s, l) (r : Fleet.Vm.report) ->
+              match r.Fleet.Vm.r_shadow with
+              | Some sh ->
+                ( a + sh.Fleet.Vm.sh_agree,
+                  s + sh.Fleet.Vm.sh_stricter,
+                  l + sh.Fleet.Vm.sh_looser )
+              | None -> (a, s, l))
+            (0, 0, 0) !last
+        in
+        json_float (Printf.sprintf "rollout.%s.base_cpu_s" row) base_dt;
+        json_float (Printf.sprintf "rollout.%s.shadow_cpu_s" row) sh_dt;
+        json_float (Printf.sprintf "rollout.%s.overhead" row) overhead;
+        json_int (Printf.sprintf "rollout.%s.agree" row) agree;
+        json_int (Printf.sprintf "rollout.%s.stricter" row) stricter;
+        json_int (Printf.sprintf "rollout.%s.looser" row) looser;
+        [
+          row;
+          Printf.sprintf "%.0f ms" (base_dt *. 1000.);
+          Printf.sprintf "%.0f ms" (sh_dt *. 1000.);
+          Printf.sprintf "%+.1f%%" (overhead *. 100.);
+          Printf.sprintf "%d/%d/%d" agree stricter looser;
+        ])
+      configs
+  in
+  Table.print
+    ~align:
+      [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "Fleet"; "base"; "shadow"; "overhead"; "agree/str/loose" ]
+    rows;
+  Printf.printf
+    "(%d ticks, minimum of %d pairs, user-CPU time; shadow walks the \
+     retrained candidate in lockstep; the budget applies to the \
+     shadow_phase row: %+.1f%% vs %.0f%% max)\n"
+    ticks pairs
+    (100. *. !budget_overhead)
+    (100. *. rollout_overhead_max);
+  (* One full ladder: the retrained candidate must promote cleanly. *)
+  Fleet.Rollout.reset_latches ();
+  let device = "fdc" in
+  let w = Workload.Samples.find device in
+  let cfg =
+    {
+      (Fleet.Rollout.default_config ~device) with
+      Fleet.Rollout.vms = (if !quick then 2 else 4);
+      shadow_ticks = (if !quick then 6 else 12);
+      canary_ticks = (if !quick then 4 else 8);
+      seed = !seed;
+    }
+  in
+  let recipe =
+    Fleet.Rollout.retrained w ~cases:!Metrics.Spec_cache.training_cases
+  in
+  let t0 = Unix.gettimeofday () in
+  let o = Fleet.Rollout.run cfg recipe in
+  let dt = Unix.gettimeofday () -. t0 in
+  Format.printf "%a" Fleet.Rollout.pp_outcome o;
+  Printf.printf "ladder wall-clock: %.1fs\n" dt;
+  json_str "rollout.ladder.device" device;
+  json_str "rollout.ladder.final"
+    (Fleet.Rollout.rung_to_string o.Fleet.Rollout.o_final);
+  json_int "rollout.ladder.base_revision" o.Fleet.Rollout.o_base_revision;
+  json_int "rollout.ladder.pinned_revision" o.Fleet.Rollout.o_pinned_revision;
+  json_int "rollout.ladder.rollback_latency_ticks"
+    (match o.Fleet.Rollout.o_rollback with
+    | Some rb -> rb.Fleet.Rollout.rb_latency_ticks
+    | None -> -1);
+  json_float "rollout.threshold.overhead_max" rollout_overhead_max;
+  json_str "rollout.schema" rollout_schema
+
 let () =
   let cmds = ref [] in
   Array.iteri
@@ -1331,6 +1515,7 @@ let () =
       | "fuzz" -> fuzz_smoke ()
       | "locate" -> locate_bench ()
       | "hostile" -> hostile_bench ()
+      | "rollout" -> rollout_bench ()
       | "all" ->
         table2 ();
         table3 ();
@@ -1345,10 +1530,11 @@ let () =
         scale_bench ();
         fuzz_smoke ();
         locate_bench ();
-        hostile_bench ()
+        hostile_bench ();
+        rollout_bench ()
       | other ->
         Printf.eprintf
-          "unknown command %s (table2|table3|fig3|fig4|fig5|baseline|ablation|micro|minimize|fleet|scale|fuzz|locate|hostile|all)\n"
+          "unknown command %s (table2|table3|fig3|fig4|fig5|baseline|ablation|micro|minimize|fleet|scale|fuzz|locate|hostile|rollout|all)\n"
           other;
         exit 2)
     cmds;

@@ -554,6 +554,179 @@ let fleet_cmd =
     Term.(const run $ devices_arg $ vms_arg $ ticks_arg $ ops_arg $ seed_arg
           $ jobs_arg $ deadline_arg $ json_arg $ training_cases_arg)
 
+(* --- evolve ---------------------------------------------------------------- *)
+
+let evolve_cmd =
+  let recipe_arg =
+    let doc =
+      "Candidate recipe: 'retrained' or 'retrained:N' (retrain on N benign \
+       cases), 'minimized' (dependence-driven minimization), or \
+       'poisoned:CVE-XXXX-YYYY' (a deliberately looser candidate whose \
+       training corpus treats that CVE's attack as benign — the ladder \
+       must reject it)."
+    in
+    Arg.(value & opt string "retrained" & info [ "recipe" ] ~docv:"RECIPE" ~doc)
+  in
+  let vms_arg =
+    let doc = "Fleet size per rollout phase." in
+    Arg.(value & opt int 4 & info [ "vms" ] ~docv:"N" ~doc)
+  in
+  let canary_vms_arg =
+    let doc = "Candidate-enforcing subset during the canary phase." in
+    Arg.(value & opt int 1 & info [ "canary-vms" ] ~docv:"N" ~doc)
+  in
+  let shadow_vms_arg =
+    let doc =
+      "Shadow-walking subset (the shadow-overhead budget); 0 uses the \
+       ladder default."
+    in
+    Arg.(value & opt int 0 & info [ "shadow-vms" ] ~docv:"N" ~doc)
+  in
+  let shadow_ticks_arg =
+    let doc = "Supervision periods in the shadow phase." in
+    Arg.(value & opt int 12 & info [ "shadow-ticks" ] ~docv:"N" ~doc)
+  in
+  let canary_ticks_arg =
+    let doc = "Supervision periods in the canary phase." in
+    Arg.(value & opt int 8 & info [ "canary-ticks" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Rollout seed (per-VM seeds derive from it; jobs-independent)." in
+    Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the rollout outcome JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let expect_arg =
+    let doc =
+      "Exit nonzero unless the final rung is $(docv) (shadow, canary, \
+       promoted or rolled-back) — for CI smokes."
+    in
+    Arg.(value & opt (some string) None & info [ "expect" ] ~docv:"RUNG" ~doc)
+  in
+  let poisoned_recipe ~cve ~device =
+    let attack =
+      try Attacks.Attack.find cve
+      with Not_found ->
+        Printf.eprintf "unknown CVE %s (try 'list')\n" cve;
+        exit 2
+    in
+    if attack.Attacks.Attack.device <> device then begin
+      Printf.eprintf "%s targets %s, not %s\n" cve attack.Attacks.Attack.device
+        device;
+      exit 2
+    end;
+    let w = find_device device in
+    let module D = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+    {
+      Fleet.Rollout.rc_name = "poisoned:" ^ cve;
+      rc_build =
+        (fun version ->
+          let m = D.make_machine version in
+          let base = D.trainer ~cases:!Metrics.Spec_cache.training_cases in
+          let trainer =
+            {
+              Sedspec.Pipeline.cases = base.Sedspec.Pipeline.cases + 1;
+              run_case =
+                (fun m i ->
+                  if i < base.Sedspec.Pipeline.cases then
+                    base.Sedspec.Pipeline.run_case m i
+                  else begin
+                    (try attack.Attacks.Attack.setup m with _ -> ());
+                    try attack.Attacks.Attack.run m with _ -> ()
+                  end);
+            }
+          in
+          let b = Sedspec.Pipeline.build m ~device trainer in
+          Sedspec.Es_cfg.set_version b.Sedspec.Pipeline.spec ~revision:1
+            ~provenance:
+              (Sedspec.Es_cfg.Retrained trainer.Sedspec.Pipeline.cases);
+          b);
+    }
+  in
+  let parse_recipe recipe device w =
+    match recipe with
+    | "minimized" -> Fleet.Rollout.minimized w
+    | "retrained" ->
+      Fleet.Rollout.retrained w ~cases:!Metrics.Spec_cache.training_cases
+    | _ -> (
+      match String.index_opt recipe ':' with
+      | Some i -> (
+        let kind = String.sub recipe 0 i in
+        let arg = String.sub recipe (i + 1) (String.length recipe - i - 1) in
+        match kind with
+        | "retrained" -> (
+          match int_of_string_opt arg with
+          | Some n when n >= 1 -> Fleet.Rollout.retrained w ~cases:n
+          | _ ->
+            Printf.eprintf "retrained:N needs N >= 1 (got %s)\n" arg;
+            exit 2)
+        | "poisoned" -> poisoned_recipe ~cve:arg ~device
+        | _ ->
+          Printf.eprintf
+            "unknown recipe %s (retrained[:N]|minimized|poisoned:CVE)\n" recipe;
+          exit 2)
+      | None ->
+        Printf.eprintf
+          "unknown recipe %s (retrained[:N]|minimized|poisoned:CVE)\n" recipe;
+        exit 2)
+  in
+  let run device recipe vms canary_vms shadow_vms shadow_ticks canary_ticks
+      seed jobs json expect training =
+    setup_training training;
+    let w = find_device device in
+    let rc = parse_recipe recipe device w in
+    let default = Fleet.Rollout.default_config ~device in
+    let shadow_vms =
+      if shadow_vms = 0 then min default.Fleet.Rollout.shadow_vms vms
+      else shadow_vms
+    in
+    let cfg =
+      {
+        default with
+        Fleet.Rollout.vms;
+        canary_vms;
+        shadow_vms;
+        shadow_ticks;
+        canary_ticks;
+        seed;
+        jobs;
+      }
+    in
+    let o = Fleet.Rollout.run cfg rc in
+    Format.printf "%a" Fleet.Rollout.pp_outcome o;
+    (match json with
+    | Some file ->
+      let body =
+        Sedspec_util.Json.to_string (Fleet.Rollout.outcome_to_json o)
+      in
+      let tmp = file ^ ".tmp" in
+      let oc = open_out tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc body);
+      Sys.rename tmp file
+    | None -> ());
+    match expect with
+    | Some want ->
+      let got = Fleet.Rollout.rung_to_string o.Fleet.Rollout.o_final in
+      if got <> want then begin
+        Printf.eprintf "evolve: expected final rung %s, got %s\n" want got;
+        exit 1
+      end
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "evolve"
+       ~doc:
+         "Climb a candidate specification through the rollout ladder \
+          (shadow -> canary -> promoted) with catalogue-gated automatic \
+          rollback")
+    Term.(const run $ device_arg $ recipe_arg $ vms_arg $ canary_vms_arg
+          $ shadow_vms_arg $ shadow_ticks_arg $ canary_ticks_arg $ seed_arg
+          $ jobs_arg $ json_arg $ expect_arg $ training_cases_arg)
+
 (* --- faultinj -------------------------------------------------------------- *)
 
 let faultinj_cmd =
@@ -837,6 +1010,7 @@ let () =
             fuzz_cmd;
             locate_cmd;
             fleet_cmd;
+            evolve_cmd;
             faultinj_cmd;
             hostile_cmd;
             check_spec_cmd;

@@ -1,5 +1,35 @@
 module Checker = Sedspec.Checker
 
+(* The sliding-window accumulator the governor rides on, split out so
+   other ladders (the rollout's agreement budget) reuse the exact same
+   window semantics instead of reimplementing them. *)
+module Budget = struct
+  type t = {
+    ring : int array;
+    mutable pos : int;
+    mutable sum : int;
+  }
+
+  let create ~window =
+    if window < 1 then invalid_arg "Governor.Budget: window must be >= 1";
+    { ring = Array.make window 0; pos = 0; sum = 0 }
+
+  let window t = Array.length t.ring
+
+  let observe t burn =
+    if burn < 0 then invalid_arg "Governor.Budget.observe: burn must be >= 0";
+    t.sum <- t.sum - t.ring.(t.pos) + burn;
+    t.ring.(t.pos) <- burn;
+    t.pos <- (t.pos + 1) mod Array.length t.ring
+
+  let sum t = t.sum
+
+  let clear t =
+    Array.fill t.ring 0 (Array.length t.ring) 0;
+    t.pos <- 0;
+    t.sum <- 0
+end
+
 type state = Protection | Enhancement | Fail_open
 
 type config = {
@@ -19,9 +49,7 @@ type transition =
 
 type t = {
   cfg : config;
-  ring : int array;  (** Last [window] burns; zero-filled at creation. *)
-  mutable pos : int;
-  mutable sum : int;
+  budget : Budget.t;  (** Last [window] burns; zero-filled at creation. *)
   mutable state : state;
   mutable clean : int;  (** Current restore-eligible streak. *)
   mutable degrades : int;
@@ -37,9 +65,7 @@ let create ?(config = default_config) () =
     invalid_arg "Governor: restore_clean must be >= 1";
   {
     cfg = config;
-    ring = Array.make config.window 0;
-    pos = 0;
-    sum = 0;
+    budget = Budget.create ~window:config.window;
     state = Protection;
     clean = 0;
     degrades = 0;
@@ -47,7 +73,7 @@ let create ?(config = default_config) () =
   }
 
 let state t = t.state
-let burn_in_window t = t.sum
+let burn_in_window t = Budget.sum t.budget
 let degrades t = t.degrades
 let restores t = t.restores
 
@@ -64,17 +90,13 @@ let up = function
 (* A transition charges the incident once: the window and the streak
    restart, so the same burn cannot immediately drive a second rung. *)
 let clear_window t =
-  Array.fill t.ring 0 (Array.length t.ring) 0;
-  t.pos <- 0;
-  t.sum <- 0;
+  Budget.clear t.budget;
   t.clean <- 0
 
 let observe t ~burn =
   if burn < 0 then invalid_arg "Governor.observe: burn must be >= 0";
-  t.sum <- t.sum - t.ring.(t.pos) + burn;
-  t.ring.(t.pos) <- burn;
-  t.pos <- (t.pos + 1) mod t.cfg.window;
-  if t.sum > t.cfg.degrade_burn then begin
+  Budget.observe t.budget burn;
+  if Budget.sum t.budget > t.cfg.degrade_burn then begin
     t.clean <- 0;
     match down t.state with
     | None -> Steady (* already at the bottom rung *)
@@ -85,7 +107,7 @@ let observe t ~burn =
       clear_window t;
       Degraded (from, s)
   end
-  else if t.sum <= t.cfg.restore_burn then begin
+  else if Budget.sum t.budget <= t.cfg.restore_burn then begin
     t.clean <- t.clean + 1;
     if t.clean >= t.cfg.restore_clean then
       match up t.state with

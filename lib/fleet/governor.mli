@@ -33,6 +33,27 @@
     clears the window and the clean streak, so a single incident is
     charged once. *)
 
+(** The governor's sliding-window accumulator, exposed so other ladders
+    (the rollout's agreement budget) share the exact same window
+    semantics: a fixed-size ring of per-observation burns whose running
+    sum is the windowed total. *)
+module Budget : sig
+  type t
+
+  val create : window:int -> t
+  (** Zero-filled ring of [window] (>= 1) observations; raises
+      [Invalid_argument] otherwise. *)
+
+  val observe : t -> int -> unit
+  (** Push one observation (>= 0), evicting the oldest. *)
+
+  val sum : t -> int
+  (** Total burn across the current window. *)
+
+  val window : t -> int
+  val clear : t -> unit
+end
+
 type state = Protection | Enhancement | Fail_open
 
 type config = {

@@ -39,6 +39,9 @@ type report = {
   f_arenas_shared : bool;
       (** Every cache-built VM of a device walks the physically same
           compiled arena. *)
+  f_shadow : (int * int * int) option;
+      (** Fleet-wide (agree, stricter, looser) when any VM shadowed a
+          candidate. *)
 }
 
 let validate opts =
@@ -114,6 +117,19 @@ let run ?arm opts =
     f_failed_vms = sum (fun r -> if r.Vm.r_status = "ok" then 0 else 1);
     f_spec_builds = Metrics.Spec_cache.builds () - builds0;
     f_arenas_shared = arenas_shared reports;
+    f_shadow =
+      (if List.for_all (fun r -> r.Vm.r_shadow = None) reports then None
+       else
+         Some
+           (List.fold_left
+              (fun (a, s, l) r ->
+                match r.Vm.r_shadow with
+                | None -> (a, s, l)
+                | Some sh ->
+                  ( a + sh.Vm.sh_agree,
+                    s + sh.Vm.sh_stricter,
+                    l + sh.Vm.sh_looser ))
+              (0, 0, 0) reports));
   }
 
 let vm_to_json (r : Vm.report) =
@@ -173,12 +189,44 @@ let vm_to_json (r : Vm.report) =
               ("anomalies", Json.Int anoms);
               ("internal_errors", Json.Int internal);
             ] );
+      ])
+    @
+    (* Likewise present only when this VM shadowed a candidate. *)
+    (match r.Vm.r_shadow with
+    | None -> []
+    | Some sh ->
+      [
+        ( "shadow",
+          Json.Obj
+            [
+              ("candidate_revision", Json.Int sh.Vm.sh_revision);
+              ("candidate_provenance", Json.Str sh.Vm.sh_provenance);
+              ("agree", Json.Int sh.Vm.sh_agree);
+              ("stricter", Json.Int sh.Vm.sh_stricter);
+              ("looser", Json.Int sh.Vm.sh_looser);
+              ( "first_looser_tick",
+                match sh.Vm.sh_first_looser_tick with
+                | None -> Json.Int (-1)
+                | Some t -> Json.Int t );
+              ( "sites",
+                Json.List
+                  (List.map
+                     (fun (site, (a, s, l)) ->
+                       Json.Obj
+                         [
+                           ("site", Json.Str site);
+                           ("agree", Json.Int a);
+                           ("stricter", Json.Int s);
+                           ("looser", Json.Int l);
+                         ])
+                     sh.Vm.sh_sites) );
+            ] );
       ]))
 
 let report_to_json r =
   Json.to_string
     (Json.Obj
-       [
+       ([
          ("ticks", Json.Int r.f_ticks);
          ("seed", Json.Str (Int64.to_string r.f_seed));
          ("vms", Json.Int (List.length r.f_vms));
@@ -194,8 +242,20 @@ let report_to_json r =
          ("restores", Json.Int r.f_restores);
          ("spec_builds", Json.Int r.f_spec_builds);
          ("arenas_shared", Json.Bool r.f_arenas_shared);
-         ("fleet", Json.List (List.map vm_to_json r.f_vms));
-       ])
+       ]
+       @ (match r.f_shadow with
+         | None -> []
+         | Some (a, s, l) ->
+           [
+             ( "shadow",
+               Json.Obj
+                 [
+                   ("agree", Json.Int a);
+                   ("stricter", Json.Int s);
+                   ("looser", Json.Int l);
+                 ] );
+           ])
+       @ [ ("fleet", Json.List (List.map vm_to_json r.f_vms)) ]))
 
 let pp_report ppf r =
   Format.fprintf ppf "fleet: %d VMs x %d ticks (seed %Ld)@."

@@ -51,7 +51,13 @@ type report = {
       (** Physical-sharing audit: every cache-built VM of a given device
           reported the {e physically same} ([==]) compiled arena, across
           all Runner domains.  Fallback/persisted VMs are exempt (their
-          arenas are private by design). *)
+          arenas are private by design), as are canary VMs enforcing a
+          candidate. *)
+  f_shadow : (int * int * int) option;
+      (** Fleet-wide shadow scoreboard — (agree, stricter, looser) summed
+          over every shadowing VM; [None] when no VM shadowed a
+          candidate, keeping shadow-less reports (and their JSON)
+          byte-identical to pre-shadow output. *)
 }
 
 val run :

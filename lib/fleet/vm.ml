@@ -4,7 +4,10 @@ module Backoff = Sedspec_util.Backoff
 module Prng = Sedspec_util.Prng
 module W = Workload.Samples
 
-type spec_source = Trained | Persisted of (unit -> string)
+type spec_source =
+  | Trained
+  | Persisted of (unit -> string)
+  | Candidate of (unit -> Sedspec.Pipeline.built)
 
 type options = {
   device : string;
@@ -17,6 +20,7 @@ type options = {
   max_attempts : int;
   spec_source : spec_source;
   guard : bool;
+  shadow : (unit -> Sedspec.Pipeline.built) option;
 }
 
 let default_options ~device =
@@ -31,7 +35,26 @@ let default_options ~device =
     max_attempts = 3;
     spec_source = Trained;
     guard = false;
+    shadow = None;
   }
+
+(* Shadow scoreboard: the candidate walks every interaction the enforced
+   checker walks, but only its verdicts' {e comparison} is recorded — the
+   enforced verdict always decides the interaction. *)
+type shadow = {
+  s_checker : Checker.t;
+  s_revision : int;
+  s_provenance : string;
+  mutable s_agree : int;
+  mutable s_stricter : int;  (** Candidate stricter than enforced. *)
+  mutable s_looser : int;  (** Candidate looser — missed detections. *)
+  s_sites : (string, int * int * int) Hashtbl.t;  (** Keyed by handler. *)
+  mutable s_tick_agree : int;
+  mutable s_tick_stricter : int;
+  mutable s_tick_looser : int;
+  mutable s_first_looser_tick : int option;
+  mutable s_looser_rev : int list;  (** Per-tick looser counts, newest first. *)
+}
 
 type core = {
   workload : (module W.DEVICE_WORKLOAD);
@@ -41,6 +64,7 @@ type core = {
   coverage : Checker.coverage;
   validator : Guard.Validator.t option;
   guard_drained : int ref;  (** Guard anomalies fed to the remedy. *)
+  shadow : shadow option;
 }
 
 type t = {
@@ -87,6 +111,13 @@ let acquire ~backoff_seed opts (machine : Vmm.Machine.t)
         | Ok spec -> Ok (`Spec spec)
         | Error msg -> Error msg
       with e -> Error (Printexc.to_string e))
+    | Candidate fetch -> (
+      (* Canary rung: this VM enforces the candidate.  A candidate that
+         cannot be built falls through the same retry ladder to the
+         scratch trained rebuild — the canary degrades to serving the
+         known-good behaviour, never to serving nothing. *)
+      try Ok (`Built (fetch ()))
+      with e -> Error (Printexc.to_string e))
   in
   match
     Backoff.retry ~cfg:opts.retry ~seed:backoff_seed
@@ -128,6 +159,173 @@ let create ~index ~seed opts =
     Checker.set_deadline checker opts.deadline;
     let coverage = Checker.coverage_create () in
     Checker.set_coverage checker (Some coverage);
+    (* Shadow walk: a second, non-enforcing checker over the candidate
+       spec, walked in lockstep by wrapping the enforced interposer.  The
+       candidate's verdict is scored against the enforced one and then
+       discarded — shadow mode can never change what the VM does.  Wired
+       before the validator so the guard chains in front of both. *)
+    let shadow =
+      match opts.shadow with
+      | None -> None
+      | Some fetch ->
+        let cand = fetch () in
+        let interp = Vmm.Machine.interp_of machine D.device_name in
+        let s_checker =
+          Checker.create
+            ~config:(Checker.config checker)
+            ~compiled:cand.Sedspec.Pipeline.arena
+            ~spec:cand.Sedspec.Pipeline.spec
+            ~device_arena:(Interp.arena interp)
+            ~guest:(Vmm.Guest_mem.access (Vmm.Machine.ram machine))
+            ()
+        in
+        Checker.set_deadline s_checker opts.deadline;
+        let sh =
+          {
+            s_checker;
+            s_revision = Sedspec.Es_cfg.revision cand.Sedspec.Pipeline.spec;
+            s_provenance =
+              Sedspec.Es_cfg.provenance_to_string
+                (Sedspec.Es_cfg.provenance cand.Sedspec.Pipeline.spec);
+            s_agree = 0;
+            s_stricter = 0;
+            s_looser = 0;
+            s_sites = Hashtbl.create 8;
+            s_tick_agree = 0;
+            s_tick_stricter = 0;
+            s_tick_looser = 0;
+            s_first_looser_tick = None;
+            s_looser_rev = [];
+          }
+        in
+        (* Both specs need their sync instrumentation, but the interp has
+           one sync slot: install the union of both sync-point sets and
+           dispatch each report to the checkers that asked for that
+           block, filtered to the locals each one declared. *)
+        let base_spec =
+          match got with
+          | `Built b -> b.Sedspec.Pipeline.spec
+          | `Spec s -> s
+        in
+        let to_tbl spec =
+          let tbl = Hashtbl.create 16 in
+          List.iter
+            (fun (bref, locals) -> Hashtbl.replace tbl bref locals)
+            (Sedspec.Es_cfg.sync_points spec);
+          tbl
+        in
+        let base_sp = to_tbl base_spec
+        and cand_sp = to_tbl cand.Sedspec.Pipeline.spec in
+        let union =
+          let tbl = Hashtbl.create 16 in
+          let add (bref, locals) =
+            let prev =
+              Option.value (Hashtbl.find_opt tbl bref) ~default:[]
+            in
+            Hashtbl.replace tbl bref
+              (List.sort_uniq compare (prev @ locals))
+          in
+          List.iter add (Sedspec.Es_cfg.sync_points base_spec);
+          List.iter add (Sedspec.Es_cfg.sync_points cand.Sedspec.Pipeline.spec);
+          List.sort compare (Hashtbl.fold (fun b l acc -> (b, l) :: acc) tbl [])
+        in
+        (* Pre-resolve each delivery against the union's locals: when a
+           spec asked for every local the union carries at that block
+           (the common case — base and candidate are near-identical),
+           the event is forwarded without the per-event filter
+           allocation. *)
+        let plan tbl =
+          let plans = Hashtbl.create 16 in
+          List.iter
+            (fun (bref, ulocals) ->
+              match Hashtbl.find_opt tbl bref with
+              | None -> ()
+              | Some locals ->
+                let locals = List.sort_uniq compare locals in
+                Hashtbl.replace plans bref
+                  (if locals = ulocals then `Full else `Subset locals))
+            union;
+          plans
+        in
+        let base_plan = plan base_sp and cand_plan = plan cand_sp in
+        (* When a spec wants every union event in full (base and
+           candidate sync sets usually coincide), skip the per-event
+           plan lookup entirely. *)
+        let all_full plans =
+          List.for_all
+            (fun (bref, _) -> Hashtbl.find_opt plans bref = Some `Full)
+            union
+        in
+        let deliver plans target bref vals =
+          match Hashtbl.find_opt plans bref with
+          | None -> ()
+          | Some `Full -> Checker.record_sync target bref vals
+          | Some (`Subset locals) ->
+            Checker.record_sync target bref
+              (List.filter (fun (n, _) -> List.mem n locals) vals)
+        in
+        let deliver_base =
+          if all_full base_plan then Checker.record_sync checker
+          else deliver base_plan checker
+        and deliver_cand =
+          if all_full cand_plan then Checker.record_sync s_checker
+          else deliver cand_plan s_checker
+        in
+        Interp.set_sync_points interp union ~on_sync:(fun bref vals ->
+            deliver_base bref vals;
+            deliver_cand bref vals);
+        (* Lockstep wrapper: run the candidate first at both seams (its
+           verdict cannot block, so ordering only affects bookkeeping),
+           score, return the enforced verdict. *)
+        let enforced =
+          match Vmm.Machine.interposer_of machine D.device_name with
+          | Some ip -> ip
+          | None -> assert false (* [protect]/[attach] just installed it *)
+        in
+        let sip = Checker.interposer s_checker in
+        let rank = function
+          | Vmm.Machine.Allow -> 0
+          | Vmm.Machine.Warn _ -> 1
+          | Vmm.Machine.Halt _ -> 2
+        in
+        let score (req : Vmm.Machine.request) cand_v enf_v =
+          let a, s, l =
+            match compare (rank cand_v) (rank enf_v) with
+            | 0 -> (1, 0, 0)
+            | n when n > 0 -> (0, 1, 0)
+            | _ -> (0, 0, 1)
+          in
+          sh.s_agree <- sh.s_agree + a;
+          sh.s_stricter <- sh.s_stricter + s;
+          sh.s_looser <- sh.s_looser + l;
+          sh.s_tick_agree <- sh.s_tick_agree + a;
+          sh.s_tick_stricter <- sh.s_tick_stricter + s;
+          sh.s_tick_looser <- sh.s_tick_looser + l;
+          let pa, ps, pl =
+            Option.value
+              (Hashtbl.find_opt sh.s_sites req.Vmm.Machine.handler)
+              ~default:(0, 0, 0)
+          in
+          Hashtbl.replace sh.s_sites req.Vmm.Machine.handler
+            (pa + a, ps + s, pl + l)
+        in
+        Vmm.Machine.set_interposer machine D.device_name
+          {
+            Vmm.Machine.before =
+              (fun req ->
+                let cand_v = sip.Vmm.Machine.before req in
+                let enf_v = enforced.Vmm.Machine.before req in
+                score req cand_v enf_v;
+                enf_v);
+            after =
+              (fun req outcome ->
+                let cand_v = sip.Vmm.Machine.after req outcome in
+                let enf_v = enforced.Vmm.Machine.after req outcome in
+                score req cand_v enf_v;
+                enf_v);
+          };
+        Some sh
+    in
     (* The response-direction validator chains in front of the checker's
        interposer, so attach it after [protect]. *)
     let validator =
@@ -152,7 +350,7 @@ let create ~index ~seed opts =
         ~device:D.device_name checker
     in
     ({ workload = w; machine; checker; remedy; coverage; validator;
-       guard_drained }, attempts, fallback, spent)
+       guard_drained; shadow }, attempts, fallback, spent)
   with
   | core, attempts, fallback, spent ->
     {
@@ -211,6 +409,12 @@ let tick t =
   | None -> ()
   | Some core ->
     let module D = (val core.workload : W.DEVICE_WORKLOAD) in
+    (match core.shadow with
+    | Some sh ->
+      sh.s_tick_agree <- 0;
+      sh.s_tick_stricter <- 0;
+      sh.s_tick_looser <- 0
+    | None -> ());
     let crash = ref 0 in
     (* Bulkhead: whatever the guest workload (or an injected fault the
        checker could not contain) throws stays inside this VM. *)
@@ -254,9 +458,25 @@ let tick t =
     (match Governor.observe t.gov ~burn with
     | Governor.Steady -> ()
     | Governor.Degraded (_, s) | Governor.Restored (_, s) ->
-      Checker.set_config core.checker
-        (Governor.checker_config s ~base:(Checker.config core.checker)));
+      let cfg = Governor.checker_config s ~base:(Checker.config core.checker) in
+      Checker.set_config core.checker cfg;
+      (* The candidate must be judged under the rung the enforced checker
+         runs at, or every degradation would show up as spurious
+         stricter/looser skew. *)
+      match core.shadow with
+      | Some sh -> Checker.set_config sh.s_checker cfg
+      | None -> ());
     let _events = Remedy.tick core.remedy in
+    (match core.shadow with
+    | Some sh ->
+      (* Candidate anomalies are advisory: drain them (bounded memory)
+         and record when the first looser verdict landed — the rollout's
+         deterministic rollback-latency clock. *)
+      ignore (Checker.drain_anomalies sh.s_checker : Checker.anomaly list);
+      sh.s_looser_rev <- sh.s_tick_looser :: sh.s_looser_rev;
+      if sh.s_tick_looser > 0 && sh.s_first_looser_tick = None then
+        sh.s_first_looser_tick <- Some t.ticks
+    | None -> ());
     let halted = Vmm.Machine.halted core.machine in
     if halted then t.halt_ticks <- t.halt_ticks + 1;
     let line =
@@ -271,7 +491,27 @@ let tick t =
         (Checker.coverage_node_count core.coverage)
         (Checker.coverage_edge_count core.coverage)
     in
+    (* Shadow-less streams keep their exact historical bytes: the
+       isolation oracle compares them across runs. *)
+    let line =
+      match core.shadow with
+      | None -> line
+      | Some sh ->
+        Printf.sprintf "%s sh=%d/%d/%d" line sh.s_tick_agree
+          sh.s_tick_stricter sh.s_tick_looser
+    in
     t.stream_rev <- line :: t.stream_rev
+
+type shadow_report = {
+  sh_revision : int;
+  sh_provenance : string;
+  sh_agree : int;
+  sh_stricter : int;
+  sh_looser : int;
+  sh_first_looser_tick : int option;
+  sh_tick_looser : int list;  (** Per-tick looser counts, oldest first. *)
+  sh_sites : (string * (int * int * int)) list;
+}
 
 type report = {
   r_vm : int;
@@ -302,6 +542,7 @@ type report = {
   r_cov_edges : int;
   r_guard : (int * int) option;
       (** [(drained_anomalies, internal_errors)] when the guard ran. *)
+  r_shadow : shadow_report option;
   r_arena : Sedspec.Compile.t option;
   r_stream : string list;
 }
@@ -360,6 +601,23 @@ let report t =
       (match t.core with
       | Some { validator = Some v; guard_drained; _ } ->
         Some (!guard_drained, Guard.Validator.internal_errors v)
+      | _ -> None);
+    r_shadow =
+      (match t.core with
+      | Some { shadow = Some sh; _ } ->
+        Some
+          {
+            sh_revision = sh.s_revision;
+            sh_provenance = sh.s_provenance;
+            sh_agree = sh.s_agree;
+            sh_stricter = sh.s_stricter;
+            sh_looser = sh.s_looser;
+            sh_first_looser_tick = sh.s_first_looser_tick;
+            sh_tick_looser = List.rev sh.s_looser_rev;
+            sh_sites =
+              List.sort compare
+                (Hashtbl.fold (fun k v acc -> (k, v) :: acc) sh.s_sites []);
+          }
       | _ -> None);
     r_arena =
       (* Only cache-built specs carry a shareable arena claim: fallback

@@ -22,6 +22,14 @@ type spec_source =
           called once per load attempt, so a transient corruption can
           clear on retry.  Parsed with [Persist.of_string] — CRC and
           structural failures count as attempts. *)
+  | Candidate of (unit -> Sedspec.Pipeline.built)
+      (** Enforce a candidate spec build — the rollout ladder's canary
+          rung.  Fetch failures retry like the other sources and fall
+          back to the scratch trained rebuild, so a broken candidate
+          degrades the canary to known-good behaviour rather than
+          failing the VM.  Candidate VMs never claim a shared arena
+          (their arena legitimately differs from their device's base
+          arena). *)
 
 type options = {
   device : string;  (** fdc, ehci, pcnet, sdhci or scsi. *)
@@ -38,12 +46,35 @@ type options = {
           {!Metrics.Spec_cache.guard_profile}) in front of the checker,
           feed its anomalies to the remedy supervisor and charge pending
           guard anomalies to the governor's burn. *)
+  shadow : (unit -> Sedspec.Pipeline.built) option;
+      (** Walk a candidate spec in lockstep with the enforced one: a
+          second checker over the candidate sees every interaction
+          (before and after seams — the walk must see the full request
+          stream, since conditional checks couple requests through sync
+          values), its verdict is compared with the
+          enforced verdict and discarded — the enforced verdict always
+          decides.  Agreement is scored per anomaly site (handler) into
+          the report's [r_shadow] scoreboard; governor rung changes apply
+          to both checkers so degradation cannot masquerade as
+          disagreement.  Sync instrumentation installs the union of both
+          specs' sync points, each checker receiving only the locals it
+          declared.  Limitation: the inline indirect-call guard remains
+          wired to the enforced checker only — candidate indirect-target
+          deltas surface through the walk, not the inline seam.  A
+          candidate build failure fails the VM's bulkhead (the rollout
+          treats failed shadow VMs as a rejection signal).  The
+          steady-state walk cost is bounded by the bench's
+          shadow-overhead budget ([rollout.threshold.overhead_max],
+          15%): sync events reach both checkers through a pre-resolved
+          allocation-free dispatch, and per-VM setup (one extra checker
+          over the already-lowered candidate arena) amortises across
+          ticks. *)
 }
 
 val default_options : device:string -> options
 (** 12 ops/tick, rare probability 0.05, deadline 50k steps, default
     governor, breaker (2, 8), default backoff with 3 attempts, trained
-    spec, no guard. *)
+    spec, no guard, no shadow. *)
 
 type t
 
@@ -70,6 +101,22 @@ val tick : t -> unit
     account warnings/anomalies/overruns, feed the burn to the governor
     (applying any rung change to the checker config), then run the
     remedy supervisor's tick.  Appends one line to the verdict stream. *)
+
+type shadow_report = {
+  sh_revision : int;  (** Candidate spec revision. *)
+  sh_provenance : string;  (** Candidate provenance tag. *)
+  sh_agree : int;  (** Verdict comparisons where both ranked equal. *)
+  sh_stricter : int;  (** Candidate stricter (would have escalated). *)
+  sh_looser : int;  (** Candidate looser (would have missed). *)
+  sh_first_looser_tick : int option;
+      (** Tick of the first looser verdict — the rollout's deterministic
+          rollback-latency clock. *)
+  sh_tick_looser : int list;
+      (** Per-tick looser counts, oldest first — fed to the rollout's
+          {!Governor.Budget} agreement window. *)
+  sh_sites : (string * (int * int * int)) list;
+      (** Per-handler (agree, stricter, looser), sorted by handler. *)
+}
 
 type report = {
   r_vm : int;
@@ -102,6 +149,10 @@ type report = {
       (** [(drained_anomalies, internal_errors)] of the response
           validator; [None] when the guard was not enabled — reports and
           their JSON are unchanged for guard-less fleets. *)
+  r_shadow : shadow_report option;
+      (** The shadow-walk scoreboard; [None] when no candidate was
+          shadowed — shadow-less reports (including their per-tick
+          stream lines) keep their exact historical bytes. *)
   r_arena : Sedspec.Compile.t option;
       (** The shared arena, when the spec came from the cache ([None]
           for fallback rebuilds and persisted sources).  Lets the

@@ -116,6 +116,28 @@ let finalize c ~device =
     trained_interactions = c.c_interactions;
   }
 
+(* The profile for a pair with no benign evidence at all: the empty
+   start/follow matrices flag every response kind as an untrained opening
+   (or sequence), the zero volume bounds flag any DMA byte, IRQ raise or
+   second event.  Fail-closed by construction — a validator running this
+   profile pends an anomaly on the very first host->guest event. *)
+let fail_closed ~device =
+  {
+    device;
+    starts = Array.make nkinds false;
+    follows = Array.make_matrix nkinds nkinds false;
+    read_mask = 0L;
+    store_mask = 0L;
+    dma_len_max = 0;
+    irq_max = 0;
+    events_max = 0;
+    trained_interactions = 0;
+  }
+
+let is_fail_closed p =
+  p.trained_interactions = 0
+  && Array.for_all (fun b -> not b) p.starts
+
 (* Train over a machine by splicing the collector into the device interp's
    response hook and delimiting interactions at the dispatch boundary,
    then restoring both seams. *)

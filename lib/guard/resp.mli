@@ -52,6 +52,17 @@ val boundary : collector -> unit
 
 val finalize : collector -> device:string -> profile
 
+val fail_closed : device:string -> profile
+(** The profile for an untrained (device, version) pair: empty
+    start/follow matrices and zero volume bounds, so a validator running
+    it flags {e every} host→guest response event.  Canaried versions with
+    no benign corpus get a safe guard instead of none. *)
+
+val is_fail_closed : profile -> bool
+(** True for profiles with no benign evidence (as built by
+    {!fail_closed}): zero trained interactions and no admissible opening
+    kind. *)
+
 val train :
   ?cases_seen:int ref ->
   Vmm.Machine.t ->

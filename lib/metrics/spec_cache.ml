@@ -89,6 +89,32 @@ let built_minimized (module W : Workload.Samples.DEVICE_WORKLOAD) version =
   single_flight key (fun () ->
       Sedspec.Pipeline.minimize_built (built (module W) version))
 
+(* Candidate key: a fresh training pass at a different corpus size — the
+   evolution ladder's retrained-on-recent-traffic candidate.  The spec is
+   stamped one revision past the cached base so the rollout can order and
+   pin generations. *)
+let built_retrained (module W : Workload.Samples.DEVICE_WORKLOAD) version
+    ~cases =
+  if cases < 1 then invalid_arg "Spec_cache.built_retrained: cases must be >= 1";
+  let key =
+    ( W.device_name,
+      Printf.sprintf "%s+retrain:%d" (Devices.Qemu_version.to_string version)
+        cases )
+  in
+  single_flight key (fun () ->
+      (match Atomic.get build_fault with
+      | Some f -> f W.device_name
+      | None -> ());
+      let base = built (module W) version in
+      let m = W.make_machine version in
+      let b =
+        Sedspec.Pipeline.build m ~device:W.device_name (W.trainer ~cases)
+      in
+      Sedspec.Es_cfg.set_version b.Sedspec.Pipeline.spec
+        ~revision:(Sedspec.Es_cfg.revision base.Sedspec.Pipeline.spec + 1)
+        ~provenance:(Sedspec.Es_cfg.Retrained cases);
+      b)
+
 let fresh_machine ?vmexit_cost (module W : Workload.Samples.DEVICE_WORKLOAD)
     version =
   W.make_machine ?vmexit_cost version
@@ -110,6 +136,13 @@ let gcache : (string * string, gslot) Hashtbl.t = Hashtbl.create 8
 let guard_build_count = Atomic.make 0
 let guard_builds () = Atomic.get guard_build_count
 
+(* Fail-closed substitutions: a (device, version) pair whose guard
+   training raised gets {!Guard.Resp.fail_closed} instead of no guard at
+   all — counted separately so harnesses can assert the substitution
+   happened (or didn't). *)
+let guard_fail_closed_count = Atomic.make 0
+let guard_fail_closed () = Atomic.get guard_fail_closed_count
+
 let guard_profile (module W : Workload.Samples.DEVICE_WORKLOAD) version =
   let key = (W.device_name, Devices.Qemu_version.to_string version) in
   let claim () =
@@ -130,22 +163,61 @@ let guard_profile (module W : Workload.Samples.DEVICE_WORKLOAD) version =
   in
   match claim () with
   | `Hit p -> p
-  | `Build -> (
-    match
-      let m = W.make_machine version in
-      Guard.Resp.train m ~device:W.device_name
-        (W.trainer ~cases:!training_cases)
-    with
-    | p ->
-      Atomic.incr guard_build_count;
-      Mutex.lock lock;
-      Hashtbl.replace gcache key (G_ready p);
-      Condition.broadcast landed;
-      Mutex.unlock lock;
-      p
-    | exception e ->
-      Mutex.lock lock;
-      Hashtbl.remove gcache key;
-      Condition.broadcast landed;
-      Mutex.unlock lock;
-      raise e)
+  | `Build ->
+    (* Fail closed, not open: if the benign corpus cannot be trained for
+       this pair, cache the all-deny profile rather than propagating and
+       leaving the response channel unguarded.  The substitution is
+       cached like a real profile (it is the profile for an untrained
+       pair), so waiters observe it too. *)
+    let p =
+      match
+        let m = W.make_machine version in
+        Guard.Resp.train m ~device:W.device_name
+          (W.trainer ~cases:!training_cases)
+      with
+      | p ->
+        Atomic.incr guard_build_count;
+        p
+      | exception _ ->
+        Atomic.incr guard_fail_closed_count;
+        Guard.Resp.fail_closed ~device:W.device_name
+    in
+    Mutex.lock lock;
+    Hashtbl.replace gcache key (G_ready p);
+    Condition.broadcast landed;
+    Mutex.unlock lock;
+    p
+
+(* Eviction must take the derived entries ("+min", "+retrain:N", …) with
+   the base: a stale derived spec would otherwise keep serving content
+   computed from an evicted — possibly superseded — base build.  Derived
+   keys all extend the base version string with a '+' suffix, so one
+   prefix scan finds them.  In-flight [Building]/[G_building] markers are
+   left alone: the builder holds no stale content and lands (or evicts)
+   its own marker. *)
+let derived_of ~version candidate =
+  let pl = String.length version in
+  String.length candidate > pl
+  && String.sub candidate 0 pl = version
+  && candidate.[pl] = '+'
+
+let evict ~device ~version =
+  let doomed_keys table ready acc0 =
+    Hashtbl.fold
+      (fun ((d, v) as key) slot acc ->
+        if d = device && (v = version || derived_of ~version v) && ready slot
+        then key :: acc
+        else acc)
+      table acc0
+  in
+  Mutex.lock lock;
+  let doomed =
+    doomed_keys cache (function Ready _ -> true | Building -> false) []
+  in
+  List.iter (Hashtbl.remove cache) doomed;
+  let gdoomed =
+    doomed_keys gcache (function G_ready _ -> true | G_building -> false) []
+  in
+  List.iter (Hashtbl.remove gcache) gdoomed;
+  Mutex.unlock lock;
+  List.length doomed + List.length gdoomed

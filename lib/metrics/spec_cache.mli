@@ -35,6 +35,19 @@ val built_minimized :
     increments {!builds} — a run using minimized specs touches two keys
     per (device, version). *)
 
+val built_retrained :
+  (module Workload.Samples.DEVICE_WORKLOAD) ->
+  Devices.Qemu_version.t ->
+  cases:int ->
+  Sedspec.Pipeline.built
+(** A candidate specification: a fresh training pass at corpus size
+    [cases] (the evolution ladder's retrained-on-recent-traffic
+    candidate), memoised under its own single-flight key
+    ([version ^ "+retrain:<cases>"]).  The spec is stamped one revision
+    past the cached base with [Retrained cases] provenance, so rollout
+    can order and pin generations.  Raises [Invalid_argument] when
+    [cases < 1]. *)
+
 val builds : unit -> int
 (** Successful single-flight builds since process start (each one also
     lowered exactly one shared compiled arena).  Monotone; harnesses
@@ -69,7 +82,27 @@ val guard_profile :
 (** Train (or fetch) the response-direction profile the guest-side
     validator enforces, over the same benign corpus ({!training_cases})
     as the spec build.  Memoised single-flight like {!built}, in its own
-    table — guard profiles do not count toward {!builds}. *)
+    table — guard profiles do not count toward {!builds}.
+
+    Fail-closed discipline: unlike {!built}, a training failure does not
+    propagate — the pair gets {!Guard.Resp.fail_closed} (every response
+    event flags) cached as its profile, so an untrainable pair is guarded
+    strictly rather than not at all.  Each substitution increments
+    {!guard_fail_closed}. *)
 
 val guard_builds : unit -> int
 (** Successful guard-profile builds since process start (monotone). *)
+
+val guard_fail_closed : unit -> int
+(** Fail-closed profile substitutions since process start (monotone):
+    guard trainings that raised and were replaced by
+    {!Guard.Resp.fail_closed}. *)
+
+val evict : device:string -> version:string -> int
+(** Drop the cached spec build {e and} every derived entry (["+min"],
+    ["+retrain:N"], …) plus the guard profile for [(device, version)],
+    returning how many entries were removed.  Derived entries go with
+    the base so a stale derivation can never outlive (and silently
+    shadow) a superseded base build.  In-flight single-flight markers
+    are left untouched — the active builder lands or evicts its own
+    marker. *)

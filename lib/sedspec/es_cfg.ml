@@ -25,9 +25,16 @@ type edge =
   | E_case of Program.bref * int64 * string
   | E_itarget of Program.bref * int64
 
+(* Where a spec's learned content came from.  [Trained] is the one-shot
+   paper pipeline; the others are evolution derivations — the revision
+   counter orders them so the rollout ladder can pin and roll back. *)
+type provenance = Trained | Retrained of int | Minimized | Merged
+
 type t = {
   program : Program.t;
   selection : Selection.t;
+  mutable revision : int;
+  mutable provenance : provenance;
   nodes : (Program.bref, node) Hashtbl.t;
   cmd_table : (cmd_key, (Program.bref, unit) Hashtbl.t) Hashtbl.t;
   no_cmd : (Program.bref, unit) Hashtbl.t;
@@ -42,6 +49,8 @@ let create ~program ~selection =
   {
     program;
     selection;
+    revision = 0;
+    provenance = Trained;
     nodes = Hashtbl.create 128;
     cmd_table = Hashtbl.create 32;
     no_cmd = Hashtbl.create 64;
@@ -216,6 +225,32 @@ let add_logs t logs = List.iter (add_log t) logs
 
 let program t = t.program
 let selection t = t.selection
+let revision t = t.revision
+let provenance t = t.provenance
+
+let set_version t ~revision ~provenance =
+  if revision < 0 then invalid_arg "Es_cfg.set_version: negative revision";
+  t.revision <- revision;
+  t.provenance <- provenance
+
+let provenance_to_string = function
+  | Trained -> "trained"
+  | Retrained cases -> Printf.sprintf "retrained:%d" cases
+  | Minimized -> "minimized"
+  | Merged -> "merged"
+
+let provenance_of_string s =
+  match s with
+  | "trained" -> Some Trained
+  | "minimized" -> Some Minimized
+  | "merged" -> Some Merged
+  | _ -> (
+    match String.split_on_char ':' s with
+    | [ "retrained"; n ] -> (
+      match int_of_string_opt n with
+      | Some cases when cases >= 0 -> Some (Retrained cases)
+      | _ -> None)
+    | _ -> None)
 
 let node t bref = Hashtbl.find_opt t.nodes bref
 

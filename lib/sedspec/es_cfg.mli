@@ -41,6 +41,12 @@ type node = {
 type cmd_key = Devir.Program.bref * int64
 (** A command is identified by its decision block and decoded value. *)
 
+(** Where the spec's learned content came from.  [Trained] is the one-shot
+    paper pipeline (the default); [Retrained n] a fresh training pass on an
+    [n]-case corpus; [Minimized] a {!Minimize} derivation; [Merged] an
+    {!Evolve.merge} of a base with a candidate's benign evidence. *)
+type provenance = Trained | Retrained of int | Minimized | Merged
+
 type t
 
 val create : program:Devir.Program.t -> selection:Selection.t -> t
@@ -53,6 +59,24 @@ val add_logs : t -> Ds_log.t -> unit
 val program : t -> Devir.Program.t
 val selection : t -> Selection.t
 
+val revision : t -> int
+(** Monotonically increasing spec revision.  Freshly trained specs (and
+    legacy persisted files with no [revision] line) are revision 0; every
+    evolution derivation bumps it, so the rollout ladder can order, pin
+    and roll back spec generations. *)
+
+val provenance : t -> provenance
+
+val set_version : t -> revision:int -> provenance:provenance -> unit
+(** Stamp a derivation.  Raises [Invalid_argument] on a negative
+    revision. *)
+
+val provenance_to_string : provenance -> string
+(** ["trained"], ["retrained:N"], ["minimized"] or ["merged"] — the tag
+    {!Persist} writes. *)
+
+val provenance_of_string : string -> provenance option
+
 val node : t -> Devir.Program.bref -> node option
 val nodes : t -> node list
 val node_count : t -> int
@@ -63,6 +87,9 @@ val entry_of : t -> string -> Devir.Program.bref
 val cmd_known : t -> cmd_key -> bool
 val cmd_allows : t -> cmd_key -> Devir.Program.bref -> bool
 val no_cmd_allows : t -> Devir.Program.bref -> bool
+
+val cmd_key_compare : cmd_key -> cmd_key -> int
+(** Total order on commands: (decision bref, value). *)
 
 val commands : t -> cmd_key list
 (** All decoded commands, sorted by (decision bref, value) — the order is

@@ -333,6 +333,9 @@ let run spec =
     (fun (cmd, bref) -> Es_cfg.import_access min_spec ~cmd bref)
     (Es_cfg.access_entries spec);
   Es_cfg.import_reduced min_spec (Es_cfg.reduced_count spec + pruned);
+  Es_cfg.set_version min_spec
+    ~revision:(Es_cfg.revision spec + 1)
+    ~provenance:Es_cfg.Minimized;
   (match Es_cfg.validate min_spec with
   | [] -> ()
   | errors ->

@@ -74,6 +74,14 @@ let to_string spec =
   let sel = Es_cfg.selection spec in
   pf "%s\n" magic;
   pf "program %s\n" (Program.name program);
+  (* The version line is omitted for a pristine trained revision 0, so a
+     spec that never evolved serialises byte-identically to files written
+     before versioning existed — and legacy files parse as exactly that
+     state. *)
+  (match (Es_cfg.revision spec, Es_cfg.provenance spec) with
+  | 0, Es_cfg.Trained -> ()
+  | rev, prov ->
+    pf "revision %d %s\n" rev (Es_cfg.provenance_to_string prov));
   pf "selection scalars %s\n" (String.concat "," sel.Selection.scalars);
   pf "selection buffers %s\n"
     (String.concat ","
@@ -192,6 +200,7 @@ let of_string ~program text =
         spec := Some s;
         s
     in
+    let version : (int * Es_cfg.provenance) option ref = ref None in
     let current_node : Program.bref option ref = ref None in
     let node_acc = Hashtbl.create 64 in
     let current_cmd : Es_cfg.cmd_key option option ref = ref None in
@@ -228,6 +237,17 @@ let of_string ~program text =
         | false, [ "program"; name ] ->
           if name <> Program.name program then
             fail "spec is for program %s, not %s" name (Program.name program)
+        | false, [ "revision"; rev; prov ] -> (
+          (* Stashed, not applied: [get_spec] freezes the selection, and
+             the revision line precedes the selection lines. *)
+          let rev =
+            match int_of_string_opt rev with
+            | Some r when r >= 0 -> r
+            | _ -> fail "bad revision number %S" rev
+          in
+          match Es_cfg.provenance_of_string prov with
+          | Some p -> version := Some (rev, p)
+          | None -> fail "unknown provenance tag %S" prov)
         | false, "selection" :: "scalars" :: rest ->
           sel := { !sel with Selection.scalars = split_commas (String.concat " " rest) }
         | false, "selection" :: "buffers" :: rest ->
@@ -312,6 +332,10 @@ let of_string ~program text =
     if not !saw_end then
       fail "missing end line: spec file is truncated";
     flush_node ();
+    (match !version with
+    | Some (revision, provenance) ->
+      Es_cfg.set_version (get_spec ()) ~revision ~provenance
+    | None -> ());
     Ok (get_spec ())
   with
   | Parse_error msg -> Error msg

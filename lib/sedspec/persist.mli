@@ -15,7 +15,13 @@ val to_string : Es_cfg.t -> string
     newlines; raises [Invalid_argument] when a name would not round-trip
     rather than emitting a corrupt spec.  The body ends with an [end]
     line followed by a [crc] trailer (CRC-32 of everything before the
-    trailer), so corruption between save and load is detected. *)
+    trailer), so corruption between save and load is detected.
+
+    Versioning: an evolved spec (non-zero {!Es_cfg.revision} or
+    non-[Trained] provenance) carries a [revision N <tag>] line; a
+    pristine trained revision 0 omits it, so such a spec serialises
+    byte-identically to files written before versioning existed, and
+    legacy unversioned files load as revision 0 / trained. *)
 
 val of_string :
   program:Devir.Program.t -> string -> (Es_cfg.t, string) result

@@ -337,6 +337,249 @@ let test_fleet_jobs_independent () =
   Alcotest.(check bool) "fleet served traffic" true
     (r1.Supervisor.f_interactions > 0)
 
+(* --- Shadow walk and the rollout ladder ----------------------------------- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let retrain_fetch device =
+  let w = Workload.Samples.find device in
+  let module D = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  fun () ->
+    Metrics.Spec_cache.built_retrained w D.paper_version
+      ~cases:!Metrics.Spec_cache.training_cases
+
+let test_shadow_full_agreement () =
+  (* A candidate retrained on the exact same corpus is behaviourally
+     identical to the base: the lockstep shadow walk must agree on every
+     verdict — zero stricter, zero looser, and no looser tick. *)
+  let opts =
+    {
+      (Vm.default_options ~device:"fdc") with
+      Vm.shadow = Some (retrain_fetch "fdc");
+    }
+  in
+  let r =
+    Supervisor.run
+      {
+        Supervisor.vms = 2;
+        ticks = 8;
+        seed = 11L;
+        jobs = 1;
+        devices = [ "fdc" ];
+        vm_opts = (fun _ -> opts);
+      }
+  in
+  Alcotest.(check int) "no failed VMs" 0 r.Supervisor.f_failed_vms;
+  (match r.Supervisor.f_shadow with
+  | None -> Alcotest.fail "fleet must aggregate the shadow scoreboard"
+  | Some (agree, stricter, looser) ->
+    Alcotest.(check bool) "comparisons ran" true (agree > 0);
+    Alcotest.(check int) "no stricter verdicts" 0 stricter;
+    Alcotest.(check int) "no looser verdicts" 0 looser);
+  List.iter
+    (fun (vr : Vm.report) ->
+      match vr.Vm.r_shadow with
+      | None -> Alcotest.fail "every VM shadowed a candidate"
+      | Some sh ->
+        Alcotest.(check int) "candidate revision bumped" 1 sh.Vm.sh_revision;
+        Alcotest.(check (option int)) "never a looser tick" None
+          sh.Vm.sh_first_looser_tick;
+        Alcotest.(check bool) "sites recorded" true (sh.Vm.sh_sites <> []))
+    r.Supervisor.f_vms;
+  (* Shadow-enabled stream lines carry the scoreboard suffix. *)
+  let first_vm = List.hd r.Supervisor.f_vms in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "stream line has sh= suffix" true
+        (contains ~sub:" sh=" line))
+    first_vm.Vm.r_stream
+
+let test_shadow_jobs_independent () =
+  let mk jobs =
+    Supervisor.run
+      {
+        Supervisor.vms = 3;
+        ticks = 6;
+        seed = 13L;
+        jobs;
+        devices = [ "fdc" ];
+        vm_opts =
+          (fun device ->
+            {
+              (Vm.default_options ~device) with
+              Vm.shadow = Some (retrain_fetch "fdc");
+            });
+      }
+  in
+  Alcotest.(check string) "shadow report JSON bit-identical jobs 1 vs 4"
+    (Supervisor.report_to_json (mk 1))
+    (Supervisor.report_to_json (mk 4))
+
+(* A candidate whose training corpus was poisoned with the exploit
+   stream: the attack's traffic becomes "benign", so the spec admits the
+   CVE's path and the catalogue gate must refuse it at the first rung. *)
+let poisoned_recipe ~cve ~device =
+  let w = Workload.Samples.find device in
+  let module D = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let attack = Attacks.Attack.find cve in
+  {
+    Fleet.Rollout.rc_name = "poisoned:" ^ cve;
+    rc_build =
+      (fun version ->
+        let m = D.make_machine version in
+        let base = D.trainer ~cases:!Metrics.Spec_cache.training_cases in
+        let trainer =
+          {
+            Sedspec.Pipeline.cases = base.Sedspec.Pipeline.cases + 1;
+            run_case =
+              (fun m i ->
+                if i < base.Sedspec.Pipeline.cases then
+                  base.Sedspec.Pipeline.run_case m i
+                else begin
+                  (try attack.Attacks.Attack.setup m with _ -> ());
+                  try attack.Attacks.Attack.run m with _ -> ()
+                end);
+          }
+        in
+        let b = Sedspec.Pipeline.build m ~device trainer in
+        Sedspec.Es_cfg.set_version b.Sedspec.Pipeline.spec ~revision:1
+          ~provenance:(Sedspec.Es_cfg.Retrained trainer.Sedspec.Pipeline.cases);
+        b);
+  }
+
+let test_rollout_gate_covers_grown_cves () =
+  (* The catalogue gate replays every detectable catalogued attack of
+     the device — including the locator-grown GROWN-* entries — in both
+     walk engines and both working modes, so a candidate that would
+     miss one can never climb past the first rung. *)
+  let w = Workload.Samples.find "sdhci" in
+  let recipe =
+    Fleet.Rollout.retrained w ~cases:!Metrics.Spec_cache.training_cases
+  in
+  let checks = Fleet.Rollout.catalogue_gate ~device:"sdhci" recipe in
+  let cves = List.sort_uniq compare (List.map (fun g -> g.Fleet.Rollout.g_cve) checks) in
+  Alcotest.(check bool) "grown entry gated" true
+    (List.mem "GROWN-2021-3409" cves);
+  Alcotest.(check bool) "original CVE gated" true
+    (List.mem "CVE-2021-3409" cves);
+  List.iter
+    (fun cve ->
+      let of_cve = List.filter (fun g -> g.Fleet.Rollout.g_cve = cve) checks in
+      Alcotest.(check int) (cve ^ ": engines x modes") 4 (List.length of_cve);
+      List.iter
+        (fun g ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s/%s passes" cve g.Fleet.Rollout.g_engine
+               g.Fleet.Rollout.g_mode)
+            true g.Fleet.Rollout.g_pass)
+        of_cve)
+    cves
+
+let test_rollout_poisoned_rolled_back_and_latched () =
+  Fleet.Rollout.reset_latches ();
+  let cfg = Fleet.Rollout.default_config ~device:"scsi" in
+  let recipe = poisoned_recipe ~cve:"CVE-2016-4439" ~device:"scsi" in
+  let o = Fleet.Rollout.run cfg recipe in
+  Alcotest.(check string) "rolled back" "rolled-back"
+    (Fleet.Rollout.rung_to_string o.Fleet.Rollout.o_final);
+  Alcotest.(check int) "pinned at the base revision" o.Fleet.Rollout.o_base_revision
+    o.Fleet.Rollout.o_pinned_revision;
+  (match o.Fleet.Rollout.o_rollback with
+  | None -> Alcotest.fail "rollback record required"
+  | Some rb ->
+    Alcotest.(check string) "demoted from the shadow rung" "shadow"
+      (Fleet.Rollout.rung_to_string rb.Fleet.Rollout.rb_rung);
+    Alcotest.(check bool) "catalogue gate named the CVE" true
+      (contains ~sub:"CVE-2016-4439" rb.Fleet.Rollout.rb_reason));
+  (* The gate that tripped must show the miss in both engines and modes. *)
+  (match o.Fleet.Rollout.o_gates with
+  | [ ("shadow", checks) ] ->
+    Alcotest.(check bool) "gate checked both engines x both modes" true
+      (List.length checks >= 4);
+    Alcotest.(check bool) "at least one check failed" true
+      (List.exists (fun g -> not g.Fleet.Rollout.g_pass) checks)
+  | _ -> Alcotest.fail "exactly the shadow-rung gate ran");
+  (* Latched: a second attempt is refused without running anything. *)
+  let o2 = Fleet.Rollout.run cfg recipe in
+  Alcotest.(check string) "latched on retry" "rolled-back"
+    (Fleet.Rollout.rung_to_string o2.Fleet.Rollout.o_final);
+  (match o2.Fleet.Rollout.o_rollback with
+  | Some rb ->
+    Alcotest.(check bool) "latch reason" true
+      (String.length rb.Fleet.Rollout.rb_reason >= 8
+      && String.sub rb.Fleet.Rollout.rb_reason 0 8 = "latched:")
+  | None -> Alcotest.fail "latched outcome carries the rollback");
+  Fleet.Rollout.reset_latches ()
+
+let test_rollout_equivalent_retrained_promoted () =
+  Fleet.Rollout.reset_latches ();
+  let w = Workload.Samples.find "fdc" in
+  let cfg =
+    {
+      (Fleet.Rollout.default_config ~device:"fdc") with
+      Fleet.Rollout.vms = 2;
+      canary_vms = 1;
+      shadow_ticks = 6;
+      canary_ticks = 4;
+      seed = 7L;
+    }
+  in
+  let recipe =
+    Fleet.Rollout.retrained w ~cases:!Metrics.Spec_cache.training_cases
+  in
+  let o = Fleet.Rollout.run cfg recipe in
+  Alcotest.(check string) "promoted" "promoted"
+    (Fleet.Rollout.rung_to_string o.Fleet.Rollout.o_final);
+  Alcotest.(check int) "pinned at the candidate revision"
+    o.Fleet.Rollout.o_cand_revision o.Fleet.Rollout.o_pinned_revision;
+  Alcotest.(check bool) "candidate revision past the base" true
+    (o.Fleet.Rollout.o_cand_revision > o.Fleet.Rollout.o_base_revision);
+  Alcotest.(check int) "three rungs gated" 3
+    (List.length o.Fleet.Rollout.o_gates);
+  List.iter
+    (fun (_, checks) ->
+      Alcotest.(check bool) "every gate check passed" true
+        (List.for_all (fun g -> g.Fleet.Rollout.g_pass) checks))
+    o.Fleet.Rollout.o_gates;
+  (match (o.Fleet.Rollout.o_shadow, o.Fleet.Rollout.o_canary) with
+  | Some sh, Some ca ->
+    Alcotest.(check int) "shadow phase: no looser verdicts" 0
+      sh.Fleet.Rollout.ph_looser;
+    Alcotest.(check int) "canary phase: no failed VMs" 0
+      ca.Fleet.Rollout.ph_failed_vms;
+    Alcotest.(check int) "canary phase: no parameter anomalies" 0
+      ca.Fleet.Rollout.ph_param_anomalies
+  | _ -> Alcotest.fail "both fleet phases must have run");
+  (* The equivalent candidate's diff is empty — promotion was evidence,
+     not luck. *)
+  (match o.Fleet.Rollout.o_diff with
+  | Some d ->
+    Alcotest.(check bool) "diff is empty" true (Sedspec.Evolve.is_empty d)
+  | None -> Alcotest.fail "diff must be present");
+  Fleet.Rollout.reset_latches ()
+
+let test_budget_window () =
+  let b = Governor.Budget.create ~window:3 in
+  Alcotest.(check int) "empty" 0 (Governor.Budget.sum b);
+  Governor.Budget.observe b 2;
+  Governor.Budget.observe b 3;
+  Governor.Budget.observe b 4;
+  Alcotest.(check int) "full window" 9 (Governor.Budget.sum b);
+  Governor.Budget.observe b 1;
+  Alcotest.(check int) "oldest evicted" 8 (Governor.Budget.sum b);
+  Governor.Budget.clear b;
+  Alcotest.(check int) "cleared" 0 (Governor.Budget.sum b);
+  Alcotest.(check int) "window length" 3 (Governor.Budget.window b);
+  Alcotest.check_raises "window >= 1"
+    (Invalid_argument "Governor.Budget: window must be >= 1") (fun () ->
+      ignore (Governor.Budget.create ~window:0));
+  Alcotest.check_raises "burn >= 0"
+    (Invalid_argument "Governor.Budget.observe: burn must be >= 0") (fun () ->
+      Governor.Budget.observe b (-1))
+
 let test_fleet_isolation_smoke () =
   let r =
     Faultinj.Campaign.fleet_isolation
@@ -401,5 +644,23 @@ let () =
             test_fleet_jobs_independent;
           Alcotest.test_case "bulkhead isolation under faults" `Slow
             test_fleet_isolation_smoke;
+        ] );
+      ( "shadow",
+        [
+          Alcotest.test_case "equivalent candidate fully agrees" `Slow
+            test_shadow_full_agreement;
+          Alcotest.test_case "shadow report independent of jobs" `Slow
+            test_shadow_jobs_independent;
+          Alcotest.test_case "budget window semantics" `Quick
+            test_budget_window;
+        ] );
+      ( "rollout",
+        [
+          Alcotest.test_case "catalogue gate covers GROWN-* entries" `Slow
+            test_rollout_gate_covers_grown_cves;
+          Alcotest.test_case "poisoned candidate rolled back and latched"
+            `Slow test_rollout_poisoned_rolled_back_and_latched;
+          Alcotest.test_case "equivalent retrained candidate promoted" `Slow
+            test_rollout_equivalent_retrained_promoted;
         ] );
     ]

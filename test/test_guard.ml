@@ -183,6 +183,51 @@ let test_hostile_isolation () =
     r.Campaign.fl_clean_divergent;
   Alcotest.(check bool) "verdict passes" true (Campaign.fleet_passed r)
 
+let test_cache_fail_closed_default () =
+  (* Spec_cache.guard_profile's fail-closed discipline: an untrainable
+     (device, version) pair gets the all-deny profile — guarded strictly
+     rather than not at all — and the substitution is cached like a real
+     profile, so waiters and repeat callers observe it without
+     re-raising. *)
+  let module Broken = struct
+    let device_name = "sdhci(untrainable)"
+    let paper_version = W.paper_version
+    let make_machine = W.make_machine
+
+    let trainer ~cases =
+      let t = W.trainer ~cases in
+      {
+        t with
+        Sedspec.Pipeline.run_case =
+          (fun _ _ -> failwith "benign corpus unavailable");
+      }
+
+    let soak_case = W.soak_case
+    let ops_per_hour = W.ops_per_hour
+  end in
+  let before = Metrics.Spec_cache.guard_fail_closed () in
+  let builds_before = Metrics.Spec_cache.guard_builds () in
+  let p = Metrics.Spec_cache.guard_profile (module Broken) W.paper_version in
+  Alcotest.(check bool) "substituted profile is fail-closed" true
+    (Resp.is_fail_closed p);
+  Alcotest.(check int) "substitution counted" (before + 1)
+    (Metrics.Spec_cache.guard_fail_closed ());
+  Alcotest.(check int) "no successful build counted" builds_before
+    (Metrics.Spec_cache.guard_builds ());
+  (* Cached: asking again serves the substitution without retraining. *)
+  let p' = Metrics.Spec_cache.guard_profile (module Broken) W.paper_version in
+  Alcotest.(check bool) "substitution is cached" true (p == p');
+  Alcotest.(check int) "no second substitution" (before + 1)
+    (Metrics.Spec_cache.guard_fail_closed ());
+  (* A trainable pair is unaffected: real training still lands. *)
+  let ok =
+    Metrics.Spec_cache.guard_profile
+      (module W : Workload.Samples.DEVICE_WORKLOAD)
+      W.paper_version
+  in
+  Alcotest.(check bool) "trainable pair gets a real profile" false
+    (Resp.is_fail_closed ok)
+
 let () =
   Alcotest.run "guard"
     [
@@ -192,6 +237,8 @@ let () =
             test_training_deterministic;
           Alcotest.test_case "below_mask envelope" `Quick
             test_below_mask_envelope;
+          Alcotest.test_case "untrainable pair fails closed" `Quick
+            test_cache_fail_closed_default;
         ] );
       ( "validator",
         [

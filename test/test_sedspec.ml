@@ -989,70 +989,81 @@ let test_persist_legacy_without_crc_loads () =
     Alcotest.(check string) "legacy reload is identical" text
       (Sedspec.Persist.to_string spec')
 
+(* Generator for arbitrary well-formed training state over the FDC
+   program — shared by the persist round-trip property and the evolve
+   self-diff property. *)
+let training_state_program = Devices.Fdc.program ~version:(QV.v 2 3 0)
+
+let training_state_blocks =
+  let acc = ref [] in
+  Program.iter_blocks training_state_program (fun bref _ -> acc := bref :: !acc);
+  Array.of_list (List.rev !acc)
+
+let training_state_gen =
+  let blocks = training_state_blocks in
+  let nblocks = Array.length blocks in
+  let open QCheck.Gen in
+  let idx = int_bound (nblocks - 1) in
+  let stat = int_bound 9999 in
+  let value = map Int64.of_int (int_bound 4095) in
+  let node_for i =
+    let* visits = stat and* taken = stat and* not_taken = stat in
+    let* cases = list_size (int_bound 4) (pair value idx) in
+    let* itargets = list_size (int_bound 4) value in
+    let* succs = list_size (int_bound 4) idx in
+    return (i, visits, taken, not_taken, cases, itargets, succs)
+  in
+  let* node_idxs = map (List.sort_uniq compare) (list_size (int_bound 12) idx) in
+  let* nodes = flatten_l (List.map node_for node_idxs) in
+  let* cmd_keys =
+    map (List.sort_uniq compare) (list_size (int_bound 5) (pair idx value))
+  in
+  let* cmds =
+    flatten_l
+      (List.map
+         (fun (i, v) ->
+           let* allowed = list_size (int_range 1 5) idx in
+           return (i, v, allowed))
+         cmd_keys)
+  in
+  let* nocmd = map (List.sort_uniq compare) (list_size (int_bound 5) idx) in
+  return (nodes, cmds, nocmd)
+
+let build_training_state (nodes, cmds, nocmd) =
+  let blocks = training_state_blocks in
+  let spec =
+    Sedspec.Es_cfg.create ~program:training_state_program
+      ~selection:empty_selection
+  in
+  List.iter
+    (fun (i, visits, taken, not_taken, cases, itargets, succs) ->
+      Sedspec.Es_cfg.import_node spec blocks.(i) ~visits ~taken ~not_taken
+        ~cases:(List.map (fun (v, li) -> (v, blocks.(li).Program.label)) cases)
+        ~itargets
+        ~succs:(List.map (fun si -> blocks.(si)) succs))
+    nodes;
+  List.iter
+    (fun (di, v, allowed) ->
+      List.iter
+        (fun ai ->
+          Sedspec.Es_cfg.import_access spec ~cmd:(Some (blocks.(di), v))
+            blocks.(ai))
+        allowed)
+    cmds;
+  List.iter
+    (fun ni -> Sedspec.Es_cfg.import_access spec ~cmd:None blocks.(ni))
+    nocmd;
+  spec
+
 (* Property: any well-formed training state round-trips through the text
    format — node statistics, observed cases, indirect targets, successor
    edges and the command access table all survive save -> load. *)
 let persist_roundtrip_prop =
-  let program = Devices.Fdc.program ~version:(QV.v 2 3 0) in
-  let blocks =
-    let acc = ref [] in
-    Program.iter_blocks program (fun bref _ -> acc := bref :: !acc);
-    Array.of_list (List.rev !acc)
-  in
-  let nblocks = Array.length blocks in
-  let gen =
-    let open QCheck.Gen in
-    let idx = int_bound (nblocks - 1) in
-    let stat = int_bound 9999 in
-    let value = map Int64.of_int (int_bound 4095) in
-    let node_for i =
-      let* visits = stat and* taken = stat and* not_taken = stat in
-      let* cases = list_size (int_bound 4) (pair value idx) in
-      let* itargets = list_size (int_bound 4) value in
-      let* succs = list_size (int_bound 4) idx in
-      return (i, visits, taken, not_taken, cases, itargets, succs)
-    in
-    let* node_idxs = map (List.sort_uniq compare) (list_size (int_bound 12) idx) in
-    let* nodes = flatten_l (List.map node_for node_idxs) in
-    let* cmd_keys =
-      map (List.sort_uniq compare) (list_size (int_bound 5) (pair idx value))
-    in
-    let* cmds =
-      flatten_l
-        (List.map
-           (fun (i, v) ->
-             let* allowed = list_size (int_range 1 5) idx in
-             return (i, v, allowed))
-           cmd_keys)
-    in
-    let* nocmd = map (List.sort_uniq compare) (list_size (int_bound 5) idx) in
-    return (nodes, cmds, nocmd)
-  in
-  let build (nodes, cmds, nocmd) =
-    let spec = Sedspec.Es_cfg.create ~program ~selection:empty_selection in
-    List.iter
-      (fun (i, visits, taken, not_taken, cases, itargets, succs) ->
-        Sedspec.Es_cfg.import_node spec blocks.(i) ~visits ~taken ~not_taken
-          ~cases:(List.map (fun (v, li) -> (v, blocks.(li).Program.label)) cases)
-          ~itargets
-          ~succs:(List.map (fun si -> blocks.(si)) succs))
-      nodes;
-    List.iter
-      (fun (di, v, allowed) ->
-        List.iter
-          (fun ai ->
-            Sedspec.Es_cfg.import_access spec ~cmd:(Some (blocks.(di), v))
-              blocks.(ai))
-          allowed)
-      cmds;
-    List.iter
-      (fun ni -> Sedspec.Es_cfg.import_access spec ~cmd:None blocks.(ni))
-      nocmd;
-    spec
-  in
+  let program = training_state_program in
+  let blocks = training_state_blocks in
   QCheck.Test.make ~name:"persist round-trips any training state" ~count:60
-    (QCheck.make gen) (fun desc ->
-      let spec = build desc in
+    (QCheck.make training_state_gen) (fun desc ->
+      let spec = build_training_state desc in
       match
         Sedspec.Persist.of_string ~program (Sedspec.Persist.to_string spec)
       with
@@ -1103,6 +1114,176 @@ let test_persist_all_devices () =
           (List.length (Sedspec.Es_cfg.commands built.spec))
           (List.length (Sedspec.Es_cfg.commands spec')))
     Workload.Samples.all
+
+let test_persist_version_roundtrip () =
+  (* Versioned persistence: a pristine trained spec is revision 0 with no
+     [revision] line — exactly the legacy on-disk format — and reparses
+     bit-identically; a stamped revision/provenance survives the
+     round-trip. *)
+  let _, built, _ = build_for "fdc" in
+  let spec = built.spec in
+  let program = Sedspec.Es_cfg.program spec in
+  Alcotest.(check int) "pristine spec is revision 0" 0
+    (Sedspec.Es_cfg.revision spec);
+  let text = Sedspec.Persist.to_string spec in
+  let has_revision_line t =
+    String.split_on_char '\n' t
+    |> List.exists (fun l ->
+           String.length l >= 9 && String.sub l 0 9 = "revision ")
+  in
+  Alcotest.(check bool) "revision-0 file carries no revision line" false
+    (has_revision_line text);
+  (match Sedspec.Persist.of_string ~program text with
+  | Error msg -> Alcotest.failf "legacy reload failed: %s" msg
+  | Ok spec' ->
+    Alcotest.(check int) "legacy file loads as revision 0" 0
+      (Sedspec.Es_cfg.revision spec');
+    Alcotest.(check string) "legacy round-trip is bit-identical" text
+      (Sedspec.Persist.to_string spec'));
+  Sedspec.Es_cfg.set_version spec ~revision:7
+    ~provenance:(Sedspec.Es_cfg.Retrained 48);
+  let stamped = Sedspec.Persist.to_string spec in
+  Alcotest.(check bool) "stamped file carries a revision line" true
+    (has_revision_line stamped);
+  match Sedspec.Persist.of_string ~program stamped with
+  | Error msg -> Alcotest.failf "stamped reload failed: %s" msg
+  | Ok spec' ->
+    Alcotest.(check int) "revision survives" 7
+      (Sedspec.Es_cfg.revision spec');
+    Alcotest.(check bool) "provenance survives" true
+      (Sedspec.Es_cfg.provenance spec' = Sedspec.Es_cfg.Retrained 48);
+    Alcotest.(check string) "stamped round-trip is bit-identical" stamped
+      (Sedspec.Persist.to_string spec')
+
+(* --- Evolution ------------------------------------------------------------ *)
+
+(* Property: the structural diff of any training state against itself is
+   empty — the comparison layer never invents a delta. *)
+let self_diff_empty_prop =
+  QCheck.Test.make ~name:"self-diff of any training state is empty" ~count:60
+    (QCheck.make training_state_gen) (fun desc ->
+      let spec = build_training_state desc in
+      let d = Sedspec.Evolve.diff ~base:spec ~cand:spec in
+      Sedspec.Evolve.is_empty d && Sedspec.Evolve.change_count d = 0)
+
+let test_evolve_diff_trained_vs_minimized () =
+  (* The diff is keyed by bref, so it works across the base program and
+     its "+min" derivation; minimization only ever narrows, so the
+     candidate must not add nodes, commands, access rows or sync
+     points. *)
+  Metrics.Spec_cache.training_cases := training_cases;
+  List.iter
+    (fun name ->
+      let w = Workload.Samples.find name in
+      let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+      let base =
+        (Metrics.Spec_cache.built (module W) W.paper_version).spec
+      in
+      let cand =
+        (Metrics.Spec_cache.built_minimized (module W) W.paper_version).spec
+      in
+      let d = Sedspec.Evolve.diff ~base ~cand in
+      Alcotest.(check int) (name ^ ": base is revision 0") 0 d.base_revision;
+      Alcotest.(check bool) (name ^ ": candidate revision advanced") true
+        (d.cand_revision > d.base_revision);
+      Alcotest.(check (list string)) (name ^ ": no added nodes") []
+        (List.map Program.bref_to_string d.added_nodes);
+      Alcotest.(check int) (name ^ ": no added commands") 0
+        (List.length d.added_cmds);
+      Alcotest.(check int) (name ^ ": no added access rows") 0
+        (List.length d.added_access);
+      Alcotest.(check int) (name ^ ": no added sync points") 0
+        (List.length d.added_syncs);
+      (* Deterministic rendering: two renders of two computations agree. *)
+      Alcotest.(check string) (name ^ ": diff JSON is deterministic")
+        (Sedspec_util.Json.to_string (Sedspec.Evolve.diff_to_json d))
+        (Sedspec_util.Json.to_string
+           (Sedspec.Evolve.diff_to_json (Sedspec.Evolve.diff ~base ~cand))))
+    (List.map
+       (fun w ->
+         let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+         W.device_name)
+       Workload.Samples.all)
+
+let test_evolve_diff_vulnerable_vs_patched () =
+  (* Diff across device versions (the locator's setting): the bref
+     keying makes specs trained on different program versions
+     comparable.  Two complementary facts, both load-bearing for the
+     rollout design: the sdhci patch is visible in benign evidence (a
+     non-empty delta), while the FDC Venom patch is NOT — benign
+     training cannot distinguish the vulnerable and patched models,
+     which is exactly why the rollout ladder replays the attack
+     catalogue instead of trusting the diff. *)
+  Metrics.Spec_cache.training_cases := training_cases;
+  let diff_versions name =
+    let w = Workload.Samples.find name in
+    let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+    let base = (Metrics.Spec_cache.built (module W) W.paper_version).spec in
+    let cand =
+      (Metrics.Spec_cache.built (module W) Devices.Qemu_version.latest).spec
+    in
+    (base, cand, Sedspec.Evolve.diff ~base ~cand)
+  in
+  let _, _, fdc_d = diff_versions "fdc" in
+  Alcotest.(check bool) "Venom patch invisible to benign evidence" true
+    (Sedspec.Evolve.is_empty fdc_d);
+  let base, cand, d = diff_versions "sdhci" in
+  Alcotest.(check bool) "sdhci patch changes the spec" false
+    (Sedspec.Evolve.is_empty d);
+  Alcotest.(check string) "cross-version diff JSON is deterministic"
+    (Sedspec_util.Json.to_string (Sedspec.Evolve.diff_to_json d))
+    (Sedspec_util.Json.to_string
+       (Sedspec.Evolve.diff_to_json (Sedspec.Evolve.diff ~base ~cand)))
+
+let test_evolve_merge_widens () =
+  (* The conservative merge removes nothing the base learned, stamps the
+     next revision with Merged provenance, and the result round-trips
+     through the persistence layer. *)
+  Metrics.Spec_cache.training_cases := training_cases;
+  let w = Workload.Samples.find "fdc" in
+  let module W = (val w : Workload.Samples.DEVICE_WORKLOAD) in
+  let base = (Metrics.Spec_cache.built (module W) W.paper_version).spec in
+  let cand =
+    (Metrics.Spec_cache.built_retrained (module W) W.paper_version
+       ~cases:(training_cases + 6))
+      .spec
+  in
+  let merged = Sedspec.Evolve.merge ~base ~cand in
+  Alcotest.(check int) "merged revision is max + 1"
+    (max (Sedspec.Es_cfg.revision base) (Sedspec.Es_cfg.revision cand) + 1)
+    (Sedspec.Es_cfg.revision merged);
+  Alcotest.(check bool) "merged provenance" true
+    (Sedspec.Es_cfg.provenance merged = Sedspec.Es_cfg.Merged);
+  let d = Sedspec.Evolve.diff ~base ~cand:merged in
+  Alcotest.(check (list string)) "merge removes no nodes" []
+    (List.map Program.bref_to_string d.removed_nodes);
+  Alcotest.(check int) "merge removes no commands" 0
+    (List.length d.removed_cmds);
+  Alcotest.(check int) "merge removes no access rows" 0
+    (List.length d.removed_access);
+  Alcotest.(check int) "merge removes no sync points" 0
+    (List.length d.removed_syncs);
+  Alcotest.(check bool) "merged self-diff is empty" true
+    (Sedspec.Evolve.is_empty
+       (Sedspec.Evolve.diff ~base:merged ~cand:merged));
+  (* Merged spec survives persistence with its version intact. *)
+  let program = Sedspec.Es_cfg.program merged in
+  (match Sedspec.Persist.of_string ~program (Sedspec.Persist.to_string merged)
+   with
+  | Error msg -> Alcotest.failf "merged spec reload failed: %s" msg
+  | Ok m' ->
+    Alcotest.(check int) "merged revision survives persistence"
+      (Sedspec.Es_cfg.revision merged)
+      (Sedspec.Es_cfg.revision m');
+    Alcotest.(check bool) "merged self-diff after reload" true
+      (Sedspec.Evolve.is_empty (Sedspec.Evolve.diff ~base:merged ~cand:m')));
+  (* Cross-device merges are refused. *)
+  let scsi = Workload.Samples.find "scsi" in
+  let module S = (val scsi : Workload.Samples.DEVICE_WORKLOAD) in
+  let other = (Metrics.Spec_cache.built (module S) S.paper_version).spec in
+  match Sedspec.Evolve.merge ~base ~cand:other with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cross-program merge must be refused"
 
 let test_checker_command_access_context () =
   (* The access table keys blocks by the current command: result bytes of a
@@ -1586,6 +1767,18 @@ let () =
             test_persisted_spec_still_detects;
           Alcotest.test_case "dot rendering" `Quick test_viz_dot_output;
           Alcotest.test_case "roundtrip on all devices" `Slow test_persist_all_devices;
+          Alcotest.test_case "versioned roundtrip + legacy revision 0" `Quick
+            test_persist_version_roundtrip;
+        ] );
+      ( "evolve",
+        [
+          QCheck_alcotest.to_alcotest self_diff_empty_prop;
+          Alcotest.test_case "diff trained vs minimized, all devices" `Slow
+            test_evolve_diff_trained_vs_minimized;
+          Alcotest.test_case "diff vulnerable vs patched" `Quick
+            test_evolve_diff_vulnerable_vs_patched;
+          Alcotest.test_case "merge widens, never narrows" `Quick
+            test_evolve_merge_widens;
         ] );
       ( "remedy",
         [
